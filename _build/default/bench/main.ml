@@ -1,0 +1,616 @@
+(* Benchmark harness.
+
+   The paper (ICDE 2001) has no quantitative evaluation — its figures are
+   architecture diagrams and screenshots — so each group here either
+   exercises a figure's machinery (F6, F7) or measures a design trade-off
+   the paper states qualitatively (§6): the space and interpretation cost
+   of the generic triple representation (E1, E2), the lightweight list
+   store vs the indexed "alternative implementation mechanism" (E3), TRIM
+   query/view cost (E4), mapping cost (E6), and declarative query vs
+   navigational access (E7). EXPERIMENTS.md maps each group back to the
+   paper's claims.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+module Dmi = Si_slim.Dmi
+module Desktop = Si_mark.Desktop
+module Manager = Si_mark.Manager
+module Mark = Si_mark.Mark
+module Trim = Si_triple.Trim
+module Triple = Si_triple.Triple
+module Store = Si_triple.Store
+
+(* ------------------------------------------------------------- runner *)
+
+let run_group ~name tests =
+  Printf.printf "\n== %s ==\n%!" name;
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.3) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw =
+    Benchmark.all cfg
+      [ Instance.monotonic_clock ]
+      (Test.make_grouped ~name tests)
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  let humanize ns =
+    if ns >= 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+    else Printf.sprintf "%8.1f ns" ns
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) rows
+  |> List.iter (fun (test_name, ols_result) ->
+         match Analyze.OLS.estimates ols_result with
+         | Some (t :: _) ->
+             Printf.printf "  %-58s %s/run\n%!" test_name (humanize t)
+         | Some [] | None ->
+             Printf.printf "  %-58s (no estimate)\n%!" test_name)
+
+let staged = Staged.stage
+
+(* --------------------------------------------------------- fixtures *)
+
+(* A bundle-scrap world of [n] scraps through the DMI: one pad, n/10
+   bundles, 10 scraps each. *)
+let build_world ?store n =
+  let t = Dmi.create ?store () in
+  let pad = Dmi.create_slimpad t ~pad_name:"bench" in
+  let root = Dmi.root_bundle t pad in
+  let bundles =
+    List.init (max 1 (n / 10)) (fun i ->
+        Dmi.create_bundle t ~name:(Printf.sprintf "bundle-%d" i) ~parent:root ())
+  in
+  let bundle_array = Array.of_list bundles in
+  for i = 0 to n - 1 do
+    ignore
+      (Dmi.create_scrap t
+         ~name:(Printf.sprintf "scrap-%d" i)
+         ~mark_id:(Printf.sprintf "mark-%d" i)
+         ~parent:bundle_array.(i mod Array.length bundle_array)
+         ())
+  done;
+  (t, pad, root, bundle_array)
+
+let fig4_desktop () =
+  let desk = Desktop.create () in
+  let wb = Si_spreadsheet.Workbook.create ~sheet_names:[ "Medications" ] () in
+  let set a v = Si_spreadsheet.Workbook.set wb ~sheet_name:"Medications" a v in
+  set "A1" "Drug";
+  set "B1" "Dose";
+  set "A2" "Dopamine";
+  set "B2" "5";
+  set "A3" "Fentanyl";
+  set "B3" "0.05";
+  Desktop.add_workbook desk "meds.xls" wb;
+  Desktop.add_xml desk "labs.xml"
+    (Si_xmlk.Parse.node_exn
+       "<report><panel name=\"lytes\"><result test=\"Na\">140</result>\
+        <result test=\"K\">4.2</result></panel></report>");
+  Desktop.add_text desk "note.txt"
+    (Si_textdoc.Textdoc.of_lines
+       [ "Patient: John Smith"; "Plan: wean pressors"; "Call renal." ]);
+  let word = Si_wordproc.Wordproc.create ~title:"Note" () in
+  Si_wordproc.Wordproc.append_paragraph word "Admitted with sepsis.";
+  Desktop.add_word desk "note.doc" word;
+  let deck = Si_slides.Slides.create ~title:"Rounds" () in
+  let s1 = Si_slides.Slides.add_slide deck ~title:"Case" in
+  ignore
+    (Si_slides.Slides.add_shape s1 ~id:"problems"
+       (Si_slides.Slides.Bullets [ "Septic shock"; "ARF" ]));
+  Desktop.add_slides desk "rounds.ppt" deck;
+  let pdf = Si_pdfdoc.Pdfdoc.create ~title:"Guideline" () in
+  let p1 = Si_pdfdoc.Pdfdoc.add_page pdf in
+  ignore (Si_pdfdoc.Pdfdoc.add_line p1 ~y:100. "MAP >= 65 mmHg");
+  Desktop.add_pdf desk "guide.pdf" pdf;
+  Desktop.add_html desk "wiki.html"
+    "<html><head><title>Sepsis</title></head><body><h1 \
+     id=\"tx\">Treatment</h1><p>Start antibiotics early.</p></body></html>";
+  desk
+
+let mark_fixture () =
+  let desk = fig4_desktop () in
+  let mgr = Manager.create () in
+  Desktop.install_modules desk mgr;
+  let mk mark_type fields =
+    match Manager.create_mark mgr ~mark_type ~fields () with
+    | Ok m -> (mark_type, m.Mark.mark_id)
+    | Error e -> failwith e
+  in
+  let marks =
+    [
+      mk "excel"
+        [ ("fileName", "meds.xls"); ("sheetName", "Medications");
+          ("range", "A2:B2") ];
+      mk "xml"
+        [ ("fileName", "labs.xml"); ("xmlPath", "/report/panel/result[2]") ];
+      mk "text"
+        [ ("fileName", "note.txt"); ("offset", "26"); ("length", "13");
+          ("selected", "wean pressors") ];
+      mk "word"
+        [ ("fileName", "note.doc"); ("para", "1"); ("offset", "14");
+          ("length", "6") ];
+      mk "slides"
+        [ ("fileName", "rounds.ppt"); ("slide", "1");
+          ("shapeId", "problems"); ("bullet", "2") ];
+      mk "pdf"
+        [ ("fileName", "guide.pdf"); ("page", "1"); ("x", "0"); ("y", "90");
+          ("w", "600"); ("h", "30") ];
+      mk "html" [ ("fileName", "wiki.html"); ("anchor", "tx") ];
+    ]
+  in
+  (desk, mgr, marks)
+
+(* A native-record baseline for the DMI comparison (E2): the same
+   Bundle-Scrap shapes as plain mutable OCaml structures, without the
+   generic triple representation underneath. *)
+module Native_baseline = struct
+  type scrap = {
+    mutable scrap_name : string;
+    mutable pos : (int * int) option;
+    mutable mark_id : string;
+  }
+
+  type bundle = {
+    mutable bundle_name : string;
+    mutable scraps : scrap list;
+    mutable nested : bundle list;
+  }
+
+  type pad = { mutable pad_name : string; root : bundle }
+
+  let create_pad name =
+    { pad_name = name; root = { bundle_name = name; scraps = []; nested = [] } }
+
+  let create_bundle parent name =
+    let b = { bundle_name = name; scraps = []; nested = [] } in
+    parent.nested <- b :: parent.nested;
+    b
+
+  let create_scrap parent name mark_id =
+    let s = { scrap_name = name; pos = None; mark_id } in
+    parent.scraps <- s :: parent.scraps;
+    s
+end
+
+(* ------------------------------------------------ E3: store scaling *)
+
+let synthetic_triples n =
+  List.init n (fun i ->
+      match i mod 3 with
+      | 0 ->
+          Triple.make
+            (Printf.sprintf "bundle-%d" (i / 3))
+            "bundleContent"
+            (Triple.resource (Printf.sprintf "scrap-%d" i))
+      | 1 ->
+          Triple.make
+            (Printf.sprintf "scrap-%d" (i - 1))
+            "scrapName"
+            (Triple.literal (Printf.sprintf "scrap %d" i))
+      | _ ->
+          Triple.make
+            (Printf.sprintf "scrap-%d" (i - 2))
+            "scrapMark"
+            (Triple.resource (Printf.sprintf "mark-%d" i)))
+
+let store_scaling_tests () =
+  let sizes = [ 100; 1_000; 10_000 ] in
+  List.concat_map
+    (fun (impl_name, (module S : Store.S)) ->
+      List.concat_map
+        (fun n ->
+          let triples = synthetic_triples n in
+          let filled = S.create () in
+          S.add_all filled triples;
+          let probe_subject = Printf.sprintf "scrap-%d" ((n / 2) + 1) in
+          [
+            Test.make
+              ~name:(Printf.sprintf "insert:%s:n=%d" impl_name n)
+              (staged (fun () ->
+                   let s = S.create () in
+                   S.add_all s triples));
+            Test.make
+              ~name:(Printf.sprintf "select-subject:%s:n=%d" impl_name n)
+              (staged (fun () -> S.select ~subject:probe_subject filled));
+            Test.make
+              ~name:(Printf.sprintf "select-predicate:%s:n=%d" impl_name n)
+              (staged (fun () -> S.select ~predicate:"scrapName" filled));
+          ])
+        sizes)
+    Store.implementations
+
+(* ------------------------------------- E4: TRIM query & view scaling *)
+
+let trim_view_tests () =
+  List.map
+    (fun n ->
+      let t, pad, _, _ = build_world n in
+      let trim = Dmi.trim t in
+      let pad_id = Dmi.pad_id pad in
+      Test.make
+        ~name:(Printf.sprintf "view:scraps=%d" n)
+        (staged (fun () -> Trim.view trim pad_id)))
+    [ 10; 100; 1_000 ]
+  @ List.map
+      (fun depth ->
+        let t = Dmi.create () in
+        let pad = Dmi.create_slimpad t ~pad_name:"deep" in
+        let rec nest parent i =
+          if i = 0 then ()
+          else
+            nest
+              (Dmi.create_bundle t ~name:(Printf.sprintf "d%d" i) ~parent ())
+              (i - 1)
+        in
+        nest (Dmi.root_bundle t pad) depth;
+        let trim = Dmi.trim t in
+        let pad_id = Dmi.pad_id pad in
+        Test.make
+          ~name:(Printf.sprintf "view:depth=%d" depth)
+          (staged (fun () -> Trim.view trim pad_id)))
+      [ 8; 64; 256 ]
+
+(* --------------------------------------------- E2: DMI interpretation *)
+
+let dmi_overhead_tests () =
+  let t, _, _, bundles = build_world 1_000 in
+  let target = bundles.(0) in
+  let scrap = List.hd (Dmi.scraps t target) in
+  let native_pad = Native_baseline.create_pad "bench" in
+  let native_bundle =
+    Native_baseline.create_bundle native_pad.Native_baseline.root "b"
+  in
+  let native_scrap = Native_baseline.create_scrap native_bundle "s" "m" in
+  [
+    (* Create+delete so the benched bundle does not grow across
+       iterations and skew the later read benchmarks. *)
+    Test.make ~name:"dmi:create+delete-scrap"
+      (staged (fun () ->
+           Dmi.delete_scrap t
+             (Dmi.create_scrap t ~name:"s" ~mark_id:"m" ~parent:target ())));
+    Test.make ~name:"native:create+delete-scrap"
+      (staged (fun () ->
+           let s = Native_baseline.create_scrap native_bundle "s" "m" in
+           native_bundle.Native_baseline.scraps <-
+             List.filter
+               (fun x -> x != s)
+               native_bundle.Native_baseline.scraps));
+    Test.make ~name:"dmi:read-scrap-name"
+      (staged (fun () -> Dmi.scrap_name t scrap));
+    Test.make ~name:"native:read-scrap-name"
+      (staged (fun () -> native_scrap.Native_baseline.scrap_name));
+    Test.make ~name:"dmi:update-scrap-name"
+      (staged (fun () -> Dmi.update_scrap_name t scrap "renamed"));
+    Test.make ~name:"native:update-scrap-name"
+      (staged (fun () ->
+           native_scrap.Native_baseline.scrap_name <- "renamed"));
+    Test.make ~name:"dmi:list-bundle-scraps"
+      (staged (fun () -> Dmi.scraps t target));
+    Test.make ~name:"native:list-bundle-scraps"
+      (staged (fun () -> native_bundle.Native_baseline.scraps));
+  ]
+
+(* Ablation: the automatically generated (interpreted, run-time-checked)
+   DMI vs the hand-written Bundle-Scrap DMI (§6 "automatic generation of
+   customized data manipulation interfaces"). *)
+let generated_dmi_tests () =
+  let t, _, _, bundles = build_world 100 in
+  let target = bundles.(0) in
+  let scrap = List.hd (Dmi.scraps t target) in
+  let scrap_id = Dmi.scrap_id scrap in
+  let g =
+    Si_slim.Generic_dmi.for_model
+      (Dmi.model t).Si_slim.Bundle_model.model
+  in
+  let must = function Ok v -> v | Error e -> failwith e in
+  [
+    Test.make ~name:"generated:create+delete-scrap"
+      (staged (fun () ->
+           let s = must (Si_slim.Generic_dmi.create g "Scrap") in
+           ignore (must (Si_slim.Generic_dmi.delete g s))));
+    Test.make ~name:"handwritten:create+delete-scrap"
+      (staged (fun () ->
+           Dmi.delete_scrap t
+             (Dmi.create_scrap t ~name:"s" ~mark_id:"m" ~parent:target ())));
+    Test.make ~name:"generated:checked-set"
+      (staged (fun () ->
+           must
+             (Si_slim.Generic_dmi.set g scrap_id "scrapName"
+                (Triple.literal "renamed"))));
+    Test.make ~name:"handwritten:set"
+      (staged (fun () -> Dmi.update_scrap_name t scrap "renamed"));
+    Test.make ~name:"generated:get"
+      (staged (fun () -> Si_slim.Generic_dmi.get_literal g scrap_id "scrapName"));
+    Test.make ~name:"handwritten:get"
+      (staged (fun () -> Dmi.scrap_name t scrap));
+  ]
+
+(* ------------------------------------------------ F7: mark round-trips *)
+
+let mark_tests () =
+  let _desk, mgr, marks = mark_fixture () in
+  List.map
+    (fun (mark_type, mark_id) ->
+      Test.make
+        ~name:(Printf.sprintf "resolve:%s" mark_type)
+        (staged (fun () ->
+             match Manager.resolve mgr mark_id with
+             | Ok _ -> ()
+             | Error e -> failwith e)))
+    marks
+  @ [
+      Test.make ~name:"create:excel"
+        (staged (fun () ->
+             match
+               Manager.create_mark mgr ~mark_type:"excel"
+                 ~fields:
+                   [ ("fileName", "meds.xls"); ("sheetName", "Medications");
+                     ("range", "B2") ]
+                 ~excerpt:"5" ()
+             with
+             | Ok _ -> ()
+             | Error e -> failwith e));
+    ]
+
+(* -------------------------------------------- F6: the three behaviours *)
+
+let behaviour_tests () =
+  let _desk, mgr, marks = mark_fixture () in
+  let xml_mark = List.assoc "xml" marks in
+  List.map
+    (fun (label, behaviour) ->
+      Test.make
+        ~name:(Printf.sprintf "behaviour:%s" label)
+        (staged (fun () ->
+             match Manager.resolve_with mgr xml_mark behaviour with
+             | Ok _ -> ()
+             | Error e -> failwith e)))
+    [
+      ("navigate", Mark.Navigate);
+      ("extract", Mark.Extract_content);
+      ("inplace", Mark.Display_in_place);
+    ]
+
+(* -------------------------------------------------- E6: mapping cost *)
+
+let mapping_tests () =
+  let module Model = Si_metamodel.Model in
+  List.map
+    (fun n ->
+      let trim = Trim.create () in
+      let src = Model.define trim ~name:"src" in
+      let bundle = Model.construct src "Bundle" in
+      let str = Model.literal_construct src "String" in
+      ignore (Model.connect src ~name:"bundleName" ~from_:bundle ~to_:str ());
+      for i = 0 to n - 1 do
+        let b = Model.new_instance src bundle () in
+        Model.set_property src b "bundleName"
+          (Triple.literal (Printf.sprintf "b%d" i))
+      done;
+      Test.make
+        ~name:(Printf.sprintf "map-instances:n=%d" n)
+        (staged (fun () ->
+             let target_trim = Trim.create () in
+             let tgt = Model.define target_trim ~name:"tgt" in
+             let topic = Model.construct tgt "Topic" in
+             let tstr = Model.literal_construct tgt "String" in
+             ignore
+               (Model.connect tgt ~name:"topicName" ~from_:topic ~to_:tstr ());
+             let mapping =
+               Si_mapping.Mapping.add_rule_exn
+                 (Si_mapping.Mapping.create ~source:src ~target:tgt)
+                 {
+                   Si_mapping.Mapping.from_construct = "Bundle";
+                   to_construct = "Topic";
+                   property_map = [ ("bundleName", "topicName") ];
+                 }
+             in
+             Si_mapping.Mapping.apply mapping)))
+    [ 10; 100; 1_000 ]
+
+(* --------------------------------------- E7: query vs navigation *)
+
+let query_tests () =
+  let t, pad, _, _ = build_world 1_000 in
+  let trim = Dmi.trim t in
+  let q =
+    Si_query.Query.parse_exn
+      "select ?n where { ?s <rdf:type> <model:bundle-scrap/Scrap> . ?s \
+       scrapName ?n }"
+  in
+  let needle =
+    Si_query.Query.parse_exn "select ?s where { ?s scrapName \"scrap-500\" }"
+  in
+  let rec nav_all_scrap_names b acc =
+    let acc =
+      List.fold_left
+        (fun acc s -> Dmi.scrap_name t s :: acc)
+        acc (Dmi.scraps t b)
+    in
+    List.fold_left
+      (fun acc nested -> nav_all_scrap_names nested acc)
+      acc
+      (Dmi.nested_bundles t b)
+  in
+  let root = Dmi.root_bundle t pad in
+  (* Optimizer: the same 3-hop join written worst-pattern-first. *)
+  let pessimal =
+    Si_query.Query.parse_exn
+      "select ?n where { ?x ?p ?y . ?s scrapName ?n . ?s scrapName \
+       \"scrap-500\" }"
+  in
+  let optimized = Si_query.Query.optimize trim pessimal in
+  [
+    Test.make ~name:"query:all-scrap-names"
+      (staged (fun () -> Si_query.Query.run trim q));
+    Test.make ~name:"nav:all-scrap-names"
+      (staged (fun () -> nav_all_scrap_names root []));
+    Test.make ~name:"query:point-lookup"
+      (staged (fun () -> Si_query.Query.run trim needle));
+    Test.make ~name:"query:pessimal-order"
+      (staged (fun () -> Si_query.Query.run trim pessimal));
+    Test.make ~name:"query:optimized-order"
+      (staged (fun () -> Si_query.Query.run trim optimized));
+  ]
+
+(* ------------------------------------------ application-level benches *)
+
+let application_tests () =
+  (* A realistic pad: the ICU worksheet over a generated desktop. *)
+  let desk = Desktop.create () in
+  let spec = Si_workload.Icu.build_desktop ~patients:6 ~seed:11 desk in
+  let app = Si_slimpad.Slimpad.create desk in
+  let pad = Si_workload.Icu.build_worksheet app spec in
+  let ui = Si_tui.Ui.make app pad in
+  [
+    Test.make ~name:"render:text"
+      (staged (fun () -> Si_slimpad.Slimpad.render_pad app pad));
+    Test.make ~name:"render:html"
+      (staged (fun () -> Si_slimpad.Slimpad.render_pad_html app pad));
+    Test.make ~name:"render:tui-frame"
+      (staged (fun () -> Si_tui.Ui.render ui ~width:120 ~height:40));
+    Test.make ~name:"drift:whole-pad"
+      (staged (fun () -> Si_slimpad.Slimpad.drift_report app pad));
+    Test.make ~name:"find-scraps"
+      (staged (fun () -> Si_slimpad.Slimpad.find_scraps app pad "TODO"));
+  ]
+
+(* ----------------------------------------- substrate parsing benches *)
+
+let substrate_tests () =
+  let xml_doc =
+    Si_xmlk.Print.to_string
+      (Si_xmlk.Node.element "report"
+         (List.init 100 (fun i ->
+              Si_xmlk.Node.element "result"
+                ~attrs:[ ("test", Printf.sprintf "t%d" i) ]
+                [ Si_xmlk.Node.text (string_of_int i) ])))
+  in
+  let html_doc =
+    "<html><body>"
+    ^ String.concat ""
+        (List.init 100 (fun i -> Printf.sprintf "<tr><td>row %d<td>%d" i i))
+    ^ "</body></html>"
+  in
+  let wb = Si_spreadsheet.Workbook.create () in
+  for i = 1 to 50 do
+    Si_spreadsheet.Workbook.set wb (Printf.sprintf "A%d" i) (string_of_int i);
+    Si_spreadsheet.Workbook.set wb
+      (Printf.sprintf "B%d" i)
+      (Printf.sprintf "=A%d * 2 + SUM(A1:A%d)" i i)
+  done;
+  [
+    Test.make ~name:"xml:parse-100-elements"
+      (staged (fun () -> Si_xmlk.Parse.node_exn xml_doc));
+    Test.make ~name:"html:parse-100-rows"
+      (staged (fun () -> Si_htmldoc.Htmldoc.parse html_doc));
+    Test.make ~name:"formula:parse"
+      (staged (fun () ->
+           Si_spreadsheet.Formula.parse_exn "SUM(B2:B9) * (1 + C1) / 2"));
+    Test.make ~name:"spreadsheet:recalc-chain-50"
+      (staged (fun () -> Si_spreadsheet.Workbook.display wb "B50"));
+  ]
+
+(* --------------------------------- E9: persistence & RDF serialization *)
+
+let persistence_tests () =
+  List.concat_map
+    (fun n ->
+      let t, _, _, _ = build_world n in
+      let trim = Dmi.trim t in
+      let internal_xml = Trim.to_xml trim in
+      let rdf_xml =
+        match Si_triple.Rdf_xml.to_xml trim with
+        | Ok node -> node
+        | Error e -> failwith e
+      in
+      [
+        Test.make
+          ~name:(Printf.sprintf "trim-to-xml:scraps=%d" n)
+          (staged (fun () -> Trim.to_xml trim));
+        Test.make
+          ~name:(Printf.sprintf "trim-of-xml:scraps=%d" n)
+          (staged (fun () -> Trim.of_xml internal_xml));
+        Test.make
+          ~name:(Printf.sprintf "rdf-to-xml:scraps=%d" n)
+          (staged (fun () -> Si_triple.Rdf_xml.to_xml trim));
+        Test.make
+          ~name:(Printf.sprintf "rdf-of-xml:scraps=%d" n)
+          (staged (fun () -> Si_triple.Rdf_xml.of_xml rdf_xml));
+      ])
+    [ 10; 100; 1_000 ]
+
+(* --------------------------------------------- E1: space (direct print) *)
+
+let space_report () =
+  Printf.printf "\n== E1: space overhead of the generic representation ==\n";
+  Printf.printf "  %-10s %12s %14s %16s %18s\n" "scraps" "triples"
+    "triples/scrap" "store XML bytes" "native-ish bytes";
+  List.iter
+    (fun n ->
+      let t, pad, _, _ = build_world n in
+      let baseline = Dmi.create () in
+      let model_triples = Dmi.triple_count baseline in
+      let triples = Dmi.triple_count t - model_triples in
+      let xml_bytes = String.length (Si_xmlk.Print.to_string (Dmi.to_xml t)) in
+      (* A compact purpose-built serialization as the "native" yardstick:
+         roughly what a hand-written format would store per object. *)
+      let rec native_size b acc =
+        let acc =
+          List.fold_left
+            (fun acc s ->
+              acc
+              + String.length (Dmi.scrap_name t s)
+              + String.length (Dmi.scrap_mark_id t s)
+              + 16)
+            acc (Dmi.scraps t b)
+        in
+        List.fold_left
+          (fun acc nested ->
+            native_size nested
+              (acc + String.length (Dmi.bundle_name t nested) + 16))
+          acc
+          (Dmi.nested_bundles t b)
+      in
+      let native_bytes = native_size (Dmi.root_bundle t pad) 64 in
+      Printf.printf "  %-10d %12d %14.1f %16d %18d\n" n triples
+        (float_of_int triples /. float_of_int (max 1 n))
+        xml_bytes native_bytes)
+    [ 10; 100; 1_000 ];
+  Printf.printf
+    "  (triples/scrap counts the whole pad structure: scrap + name + mark\n\
+    \   handle + membership; the model definition itself is %d triples,\n\
+    \   paid once per store.)\n"
+    (Dmi.triple_count (Dmi.create ()))
+
+let registry_report () =
+  let _desk, mgr, _marks = mark_fixture () in
+  Printf.printf "\n== F7: registered mark modules ==\n  %s\n"
+    (String.concat ", " (Manager.module_names mgr))
+
+let () =
+  Printf.printf "superimposed-information benchmarks (paper: ICDE 2001)\n";
+  space_report ();
+  registry_report ();
+  run_group ~name:"E3 store scaling (list vs indexed)" (store_scaling_tests ());
+  run_group ~name:"E4 TRIM reachability views" (trim_view_tests ());
+  run_group ~name:"E2 DMI vs native records" (dmi_overhead_tests ());
+  run_group ~name:"ablation: generated vs hand-written DMI"
+    (generated_dmi_tests ());
+  run_group ~name:"F7 mark create/resolve per base type" (mark_tests ());
+  run_group ~name:"F6 viewing behaviours" (behaviour_tests ());
+  run_group ~name:"E6 model-to-model mapping" (mapping_tests ());
+  run_group ~name:"E7 query vs navigation" (query_tests ());
+  run_group ~name:"E9 persistence & RDF serialization" (persistence_tests ());
+  run_group ~name:"application-level (ICU worksheet, 6 patients)"
+    (application_tests ());
+  run_group ~name:"substrate parsers" (substrate_tests ());
+  Printf.printf "\nbench: done\n"

@@ -1,0 +1,1 @@
+bin/slimpad_tui.ml: A Array I List Notty Notty_unix Printf Si_slim Si_slimpad Si_tui String Sys Term Unescape Workspace

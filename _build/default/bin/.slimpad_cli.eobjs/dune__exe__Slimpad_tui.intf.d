@@ -1,0 +1,1 @@
+bin/slimpad_tui.mli:

@@ -1,0 +1,1 @@
+bin/workspace.ml: Array Filename In_channel List Printf Si_mark Si_pdfdoc Si_slides Si_slimpad Si_spreadsheet Si_textdoc Si_wordproc Si_xmlk String Sys

@@ -1,0 +1,652 @@
+(* slimpad — command-line SLIMPad.
+
+   Operates on workspace directories (see bin/workspace.ml for the layout);
+   `slimpad init --scenario icu DIR` generates a ready-made one. *)
+
+module Desktop = Si_mark.Desktop
+module Manager = Si_mark.Manager
+module Mark = Si_mark.Mark
+module Dmi = Si_slim.Dmi
+module Slimpad = Si_slimpad.Slimpad
+
+let with_workspace dir f =
+  match Workspace.open_workspace dir with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok app -> f app
+
+let find_pad_or_first app = function
+  | Some name -> (
+      match Dmi.find_pad (Slimpad.dmi app) name with
+      | Some p -> Ok p
+      | None -> Error (Printf.sprintf "no pad named %S" name))
+  | None -> (
+      match Dmi.pads (Slimpad.dmi app) with
+      | p :: _ -> Ok p
+      | [] -> Error "the workspace has no pads; create one with add-pad")
+
+let find_scrap app pad label =
+  match Slimpad.find_scraps app pad label with
+  | [ s ] -> Ok s
+  | [] -> Error (Printf.sprintf "no scrap matching %S" label)
+  | many ->
+      Error
+        (Printf.sprintf "%d scraps match %S; be more specific"
+           (List.length many) label)
+
+let find_bundle app pad name =
+  let t = Slimpad.dmi app in
+  let rec search b =
+    if Dmi.bundle_name t b = name then Some b
+    else List.find_map search (Dmi.nested_bundles t b)
+  in
+  match search (Dmi.root_bundle t pad) with
+  | Some b -> Ok b
+  | None -> Error (Printf.sprintf "no bundle named %S in the pad" name)
+
+(* ------------------------------------------------------------ commands *)
+
+let cmd_init dir scenario seed =
+  if Sys.file_exists dir && Array.length (Sys.readdir dir) > 0 then begin
+    Printf.eprintf "error: %s exists and is not empty\n" dir;
+    1
+  end
+  else begin
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let desk = Desktop.create () in
+    let app, built =
+      match scenario with
+      | "icu" ->
+          let spec = Si_workload.Icu.build_desktop ~seed desk in
+          let app = Slimpad.create desk in
+          let _ = Si_workload.Icu.build_worksheet app spec in
+          (app, "ICU rounds worksheet")
+      | "atc" ->
+          let spec = Si_workload.Atc.build_desktop ~seed desk in
+          let app = Slimpad.create desk in
+          let _ = Si_workload.Atc.build_board app spec in
+          (app, "air-traffic sector board")
+      | "concordance" ->
+          Si_workload.Concordance.install_play desk;
+          let app = Slimpad.create desk in
+          let _ =
+            Si_workload.Concordance.build app
+              ~terms:[ "sleep"; "death"; "dream"; "conscience" ]
+          in
+          (app, "Hamlet concordance")
+      | "empty" -> (Slimpad.create desk, "empty workspace")
+      | other ->
+          Printf.eprintf "error: unknown scenario %S\n" other;
+          exit 1
+    in
+    (* Persist the generated base documents as files. *)
+    List.iter
+      (fun (kind, name) ->
+        let path = Filename.concat dir name in
+        match kind with
+        | "excel" ->
+            Si_spreadsheet.Workbook.save
+              (Result.get_ok (Desktop.open_workbook desk name))
+              (path ^ ".workbook.xml")
+        | "xml" ->
+            Si_xmlk.Print.to_file (path)
+              (Result.get_ok (Desktop.open_xml desk name))
+        | "text" ->
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc
+                  (Si_textdoc.Textdoc.to_string
+                     (Result.get_ok (Desktop.open_text desk name))))
+        | _ -> ())
+      (Desktop.document_names desk);
+    Workspace.save_workspace dir app;
+    Printf.printf "initialized %s in %s\n" built dir;
+    0
+  end
+
+let cmd_show dir pad_name =
+  with_workspace dir (fun app ->
+      match find_pad_or_first app pad_name with
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          1
+      | Ok pad ->
+          print_string (Slimpad.render_pad app pad);
+          0)
+
+let cmd_pads dir =
+  with_workspace dir (fun app ->
+      let t = Slimpad.dmi app in
+      List.iter
+        (fun p ->
+          let bundles, scraps =
+            Dmi.bundle_descendant_count t (Dmi.root_bundle t p)
+          in
+          Printf.printf "%s (%d bundles, %d scraps)\n" (Dmi.pad_name t p)
+            bundles scraps)
+        (Dmi.pads t);
+      0)
+
+let cmd_docs dir =
+  with_workspace dir (fun app ->
+      List.iter
+        (fun (kind, name) -> Printf.printf "%-7s %s\n" kind name)
+        (Desktop.document_names (Slimpad.desktop app));
+      0)
+
+let cmd_add_pad dir name =
+  with_workspace dir (fun app ->
+      let _ = Slimpad.new_pad app name in
+      Workspace.save_workspace dir app;
+      Printf.printf "created pad %S\n" name;
+      0)
+
+let cmd_add_bundle dir pad_name parent name =
+  with_workspace dir (fun app ->
+      let ( let* ) r f =
+        match r with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1
+        | Ok v -> f v
+      in
+      let* pad = find_pad_or_first app pad_name in
+      let* parent =
+        match parent with
+        | None -> Ok (Dmi.root_bundle (Slimpad.dmi app) pad)
+        | Some p -> find_bundle app pad p
+      in
+      let _ = Slimpad.add_bundle app ~parent ~name () in
+      Workspace.save_workspace dir app;
+      Printf.printf "created bundle %S\n" name;
+      0)
+
+let parse_field s =
+  match String.index_opt s '=' with
+  | Some i ->
+      Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> Error (Printf.sprintf "field %S is not key=value" s)
+
+let cmd_add_scrap dir pad_name parent name mark_type fields =
+  with_workspace dir (fun app ->
+      let ( let* ) r f =
+        match r with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1
+        | Ok v -> f v
+      in
+      let* pad = find_pad_or_first app pad_name in
+      let* parent =
+        match parent with
+        | None -> Ok (Dmi.root_bundle (Slimpad.dmi app) pad)
+        | Some p -> find_bundle app pad p
+      in
+      let rec parse_all acc = function
+        | [] -> Ok (List.rev acc)
+        | f :: rest -> (
+            match parse_field f with
+            | Ok kv -> parse_all (kv :: acc) rest
+            | Error _ as e -> e)
+      in
+      let* fields = parse_all [] fields in
+      let* scrap =
+        Slimpad.add_scrap app ~parent ~name ~mark_type ~fields ()
+      in
+      Workspace.save_workspace dir app;
+      Printf.printf "created scrap %S -> %s\n"
+        (Dmi.scrap_name (Slimpad.dmi app) scrap)
+        (Slimpad.render_scrap_line app scrap);
+      0)
+
+let behaviour_of_string = function
+  | "navigate" -> Ok Mark.Navigate
+  | "extract" -> Ok Mark.Extract_content
+  | "inplace" -> Ok Mark.Display_in_place
+  | other -> Error (Printf.sprintf "unknown behaviour %S" other)
+
+let cmd_resolve dir pad_name label behaviour =
+  with_workspace dir (fun app ->
+      let ( let* ) r f =
+        match r with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1
+        | Ok v -> f v
+      in
+      let* pad = find_pad_or_first app pad_name in
+      let* scrap = find_scrap app pad label in
+      let* behaviour = behaviour_of_string behaviour in
+      let* res = Slimpad.double_click app scrap in
+      print_endline (Mark.apply_behaviour behaviour res);
+      0)
+
+let cmd_annotate dir pad_name label text =
+  with_workspace dir (fun app ->
+      let ( let* ) r f =
+        match r with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1
+        | Ok v -> f v
+      in
+      let* pad = find_pad_or_first app pad_name in
+      let* scrap = find_scrap app pad label in
+      Dmi.annotate_scrap (Slimpad.dmi app) scrap text;
+      Workspace.save_workspace dir app;
+      0)
+
+let cmd_link dir pad_name from_label to_label label =
+  with_workspace dir (fun app ->
+      let ( let* ) r f =
+        match r with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1
+        | Ok v -> f v
+      in
+      let* pad = find_pad_or_first app pad_name in
+      let* from_ = find_scrap app pad from_label in
+      let* to_ = find_scrap app pad to_label in
+      let _ = Dmi.link_scraps (Slimpad.dmi app) ?label ~from_ ~to_ () in
+      Workspace.save_workspace dir app;
+      0)
+
+let cmd_drift dir pad_name refresh =
+  with_workspace dir (fun app ->
+      let ( let* ) r f =
+        match r with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1
+        | Ok v -> f v
+      in
+      let* pad = find_pad_or_first app pad_name in
+      let t = Slimpad.dmi app in
+      let report = Slimpad.drift_report app pad in
+      if report = [] then print_endline "all scraps current"
+      else
+        List.iter
+          (fun (scrap, drift) ->
+            match drift with
+            | Manager.Changed { was; now } ->
+                Printf.printf "changed  %s: %S -> %S\n"
+                  (Dmi.scrap_name t scrap) was now
+            | Manager.Unresolvable msg ->
+                Printf.printf "broken   %s: %s\n" (Dmi.scrap_name t scrap) msg
+            | Manager.Unchanged -> ())
+          report;
+      if refresh then begin
+        let n = Slimpad.refresh_pad app pad in
+        Workspace.save_workspace dir app;
+        Printf.printf "refreshed %d scrap(s)\n" n
+      end;
+      0)
+
+let cmd_query dir text =
+  with_workspace dir (fun app ->
+      match Slimpad.query app text with
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          1
+      | Ok rows ->
+          List.iter print_endline rows;
+          Printf.printf "(%d rows)\n" (List.length rows);
+          0)
+
+let cmd_validate dir =
+  with_workspace dir (fun app ->
+      let report = Dmi.validate (Slimpad.dmi app) in
+      print_string (Si_metamodel.Validate.report_to_string report);
+      if report.Si_metamodel.Validate.violations = [] then 0 else 1)
+
+let cmd_import dir file pad_name rename =
+  with_workspace dir (fun app ->
+      match Slimpad.import_pad app ~from_file:file ?pad_name ?rename () with
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          1
+      | Ok pad ->
+          Workspace.save_workspace dir app;
+          Printf.printf "imported pad %S\n"
+            (Dmi.pad_name (Slimpad.dmi app) pad);
+          0)
+
+let cmd_template dir pad_name bundle_name off =
+  with_workspace dir (fun app ->
+      let ( let* ) r f =
+        match r with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1
+        | Ok v -> f v
+      in
+      let* pad = find_pad_or_first app pad_name in
+      let* bundle = find_bundle app pad bundle_name in
+      Dmi.set_template (Slimpad.dmi app) bundle (not off);
+      Workspace.save_workspace dir app;
+      Printf.printf "%s is %s a template\n" bundle_name
+        (if off then "no longer" else "now");
+      0)
+
+let cmd_instantiate dir pad_name template_name new_name parent =
+  with_workspace dir (fun app ->
+      let ( let* ) r f =
+        match r with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1
+        | Ok v -> f v
+      in
+      let* pad = find_pad_or_first app pad_name in
+      let* template = find_bundle app pad template_name in
+      let* parent =
+        match parent with
+        | None -> Ok (Dmi.root_bundle (Slimpad.dmi app) pad)
+        | Some p -> find_bundle app pad p
+      in
+      let* copy =
+        Dmi.instantiate_template (Slimpad.dmi app) ~template ~name:new_name
+          ~parent
+      in
+      Workspace.save_workspace dir app;
+      Printf.printf "instantiated %S from %S\n"
+        (Dmi.bundle_name (Slimpad.dmi app) copy)
+        template_name;
+      0)
+
+let cmd_export_html dir pad_name out =
+  with_workspace dir (fun app ->
+      match find_pad_or_first app pad_name with
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          1
+      | Ok pad ->
+          let html = Slimpad.render_pad_html app pad in
+          (match out with
+          | Some path ->
+              Out_channel.with_open_bin path (fun oc ->
+                  Out_channel.output_string oc html);
+              Printf.printf "wrote %s (%d bytes)\n" path (String.length html)
+          | None -> print_string html);
+          0)
+
+let cmd_model dir =
+  with_workspace dir (fun app ->
+      let bm = Dmi.model (Slimpad.dmi app) in
+      print_string
+        (Si_metamodel.Model_dsl.print bm.Si_slim.Bundle_model.model);
+      0)
+
+let cmd_history dir last =
+  with_workspace dir (fun app ->
+      let entries = Dmi.journal (Slimpad.dmi app) in
+      let entries =
+        match last with
+        | None -> entries
+        | Some n ->
+            let skip = max 0 (List.length entries - n) in
+            List.filteri (fun i _ -> i >= skip) entries
+      in
+      List.iter
+        (fun (e : Dmi.journal_entry) ->
+          Printf.printf "%4d  %-22s %-12s %s\n" e.Dmi.seq e.Dmi.op
+            e.Dmi.target e.Dmi.detail)
+        entries;
+      0)
+
+let cmd_stats dir =
+  with_workspace dir (fun app ->
+      let t = Slimpad.dmi app in
+      let trim = Dmi.trim t in
+      Printf.printf "store implementation : %s\n"
+        (Si_triple.Trim.store_name trim);
+      Printf.printf "triples              : %d\n" (Si_triple.Trim.size trim);
+      Printf.printf "pads                 : %d\n" (List.length (Dmi.pads t));
+      Printf.printf "marks                : %d\n"
+        (Manager.mark_count (Slimpad.marks app));
+      let by_type = Hashtbl.create 8 in
+      List.iter
+        (fun m ->
+          let k = m.Si_mark.Mark.mark_type in
+          Hashtbl.replace by_type k
+            (1 + Option.value (Hashtbl.find_opt by_type k) ~default:0))
+        (Manager.marks (Slimpad.marks app));
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_type []
+      |> List.sort compare
+      |> List.iter (fun (k, v) ->
+             Printf.printf "  %-19s: %d\n" k v);
+      Printf.printf "mark modules         : %s\n"
+        (String.concat ", " (Manager.module_names (Slimpad.marks app)));
+      Printf.printf "base documents       : %d\n"
+        (List.length (Desktop.document_names (Slimpad.desktop app)));
+      0)
+
+(* -------------------------------------------------------------- cmdliner *)
+
+open Cmdliner
+
+let dir_arg =
+  Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR"
+       ~doc:"Workspace directory.")
+
+let new_dir_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+       ~doc:"Workspace directory to create.")
+
+let pad_opt =
+  Arg.(value & opt (some string) None & info [ "pad" ] ~docv:"NAME"
+       ~doc:"Pad to operate on (default: the first pad).")
+
+let init_cmd =
+  let scenario =
+    Arg.(value & opt string "icu"
+         & info [ "scenario" ] ~docv:"NAME"
+           ~doc:"One of icu, atc, concordance, empty.")
+  in
+  let seed =
+    Arg.(value & opt int 2001 & info [ "seed" ] ~docv:"N"
+         ~doc:"Workload generator seed.")
+  in
+  Cmd.v
+    (Cmd.info "init" ~doc:"Create a workspace with a generated scenario")
+    Term.(const cmd_init $ new_dir_arg $ scenario $ seed)
+
+let show_cmd =
+  Cmd.v
+    (Cmd.info "show" ~doc:"Render a pad")
+    Term.(const cmd_show $ dir_arg $ pad_opt)
+
+let pads_cmd =
+  Cmd.v (Cmd.info "pads" ~doc:"List pads") Term.(const cmd_pads $ dir_arg)
+
+let docs_cmd =
+  Cmd.v
+    (Cmd.info "docs" ~doc:"List base documents on the desktop")
+    Term.(const cmd_docs $ dir_arg)
+
+let add_pad_cmd =
+  let name_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME")
+  in
+  Cmd.v
+    (Cmd.info "add-pad" ~doc:"Create a new pad")
+    Term.(const cmd_add_pad $ dir_arg $ name_arg)
+
+let parent_opt =
+  Arg.(value & opt (some string) None & info [ "parent" ] ~docv:"BUNDLE"
+       ~doc:"Parent bundle name (default: the pad's root).")
+
+let add_bundle_cmd =
+  let name_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME")
+  in
+  Cmd.v
+    (Cmd.info "add-bundle" ~doc:"Create a bundle")
+    Term.(const cmd_add_bundle $ dir_arg $ pad_opt $ parent_opt $ name_arg)
+
+let add_scrap_cmd =
+  let name_arg =
+    Arg.(value & opt string "" & info [ "name" ] ~docv:"LABEL"
+         ~doc:"Scrap label (default: the marked content).")
+  in
+  let mark_type =
+    Arg.(required & opt (some string) None & info [ "type" ] ~docv:"TYPE"
+         ~doc:"Mark type: excel, xml, text, word, slides, pdf, html.")
+  in
+  let fields =
+    Arg.(value & opt_all string [] & info [ "field"; "f" ] ~docv:"K=V"
+         ~doc:"Mark address field, repeatable (e.g. -f fileName=labs.xml).")
+  in
+  Cmd.v
+    (Cmd.info "add-scrap" ~doc:"Create a scrap marking into a base document")
+    Term.(const cmd_add_scrap $ dir_arg $ pad_opt $ parent_opt $ name_arg
+          $ mark_type $ fields)
+
+let resolve_cmd =
+  let label =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"SCRAP"
+         ~doc:"Scrap label (substring match).")
+  in
+  let behaviour =
+    Arg.(value & opt string "navigate" & info [ "behaviour"; "b" ]
+         ~docv:"B" ~doc:"navigate, extract, or inplace.")
+  in
+  Cmd.v
+    (Cmd.info "resolve"
+       ~doc:"Double-click a scrap: follow its mark into the base document")
+    Term.(const cmd_resolve $ dir_arg $ pad_opt $ label $ behaviour)
+
+let annotate_cmd =
+  let label =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"SCRAP")
+  in
+  let text =
+    Arg.(required & pos 2 (some string) None & info [] ~docv:"TEXT")
+  in
+  Cmd.v
+    (Cmd.info "annotate" ~doc:"Attach an annotation to a scrap")
+    Term.(const cmd_annotate $ dir_arg $ pad_opt $ label $ text)
+
+let link_cmd =
+  let from_ =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FROM")
+  in
+  let to_ = Arg.(required & pos 2 (some string) None & info [] ~docv:"TO") in
+  let label =
+    Arg.(value & opt (some string) None & info [ "label" ] ~docv:"TEXT")
+  in
+  Cmd.v
+    (Cmd.info "link" ~doc:"Link two scraps")
+    Term.(const cmd_link $ dir_arg $ pad_opt $ from_ $ to_ $ label)
+
+let drift_cmd =
+  let refresh =
+    Arg.(value & flag & info [ "refresh" ]
+         ~doc:"Re-cache excerpts for stale scraps.")
+  in
+  Cmd.v
+    (Cmd.info "drift"
+       ~doc:"Report scraps whose base elements changed or vanished")
+    Term.(const cmd_drift $ dir_arg $ pad_opt $ refresh)
+
+let query_cmd =
+  let text =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
+         ~doc:"e.g. 'select ?n where { ?s scrapName ?n }'")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Query the superimposed layer")
+    Term.(const cmd_query $ dir_arg $ text)
+
+let validate_cmd =
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Check the store against the Bundle-Scrap model")
+    Term.(const cmd_validate $ dir_arg)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Workspace statistics")
+    Term.(const cmd_stats $ dir_arg)
+
+let import_cmd =
+  let file =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"FILE"
+         ~doc:"A pad store saved by another workspace (its pad.xml).")
+  in
+  let pad_name =
+    Arg.(value & opt (some string) None & info [ "from-pad" ] ~docv:"NAME"
+         ~doc:"Which pad of the file to import (default: its first).")
+  in
+  let rename =
+    Arg.(value & opt (some string) None & info [ "as" ] ~docv:"NAME"
+         ~doc:"Name for the imported copy.")
+  in
+  Cmd.v
+    (Cmd.info "import"
+       ~doc:"Import (copy) a pad shared from another workspace")
+    Term.(const cmd_import $ dir_arg $ file $ pad_name $ rename)
+
+let template_cmd =
+  let bundle =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"BUNDLE")
+  in
+  let off =
+    Arg.(value & flag & info [ "off" ] ~doc:"Clear the template flag.")
+  in
+  Cmd.v
+    (Cmd.info "template" ~doc:"Mark (or unmark) a bundle as a template")
+    Term.(const cmd_template $ dir_arg $ pad_opt $ bundle $ off)
+
+let instantiate_cmd =
+  let template =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"TEMPLATE")
+  in
+  let new_name =
+    Arg.(required & pos 2 (some string) None & info [] ~docv:"NAME")
+  in
+  Cmd.v
+    (Cmd.info "instantiate"
+       ~doc:"Stamp out a copy of a template bundle (§6 extension)")
+    Term.(const cmd_instantiate $ dir_arg $ pad_opt $ template $ new_name
+          $ parent_opt)
+
+let export_html_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write to FILE instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "export-html"
+       ~doc:"Render a pad as a standalone HTML page (2-D layout)")
+    Term.(const cmd_export_html $ dir_arg $ pad_opt $ out)
+
+let model_cmd =
+  Cmd.v
+    (Cmd.info "model"
+       ~doc:"Print the Bundle-Scrap data model in SLIM-ML syntax")
+    Term.(const cmd_model $ dir_arg)
+
+let history_cmd =
+  let last =
+    Arg.(value & opt (some int) None & info [ "last"; "n" ] ~docv:"N"
+         ~doc:"Show only the last N operations.")
+  in
+  Cmd.v
+    (Cmd.info "history"
+       ~doc:"The pad's construction history (the DMI operation journal)")
+    Term.(const cmd_history $ dir_arg $ last)
+
+let main =
+  Cmd.group
+    (Cmd.info "slimpad" ~version:"1.0"
+       ~doc:"Superimposed scratchpad over heterogeneous base documents")
+    [
+      init_cmd; show_cmd; pads_cmd; docs_cmd; add_pad_cmd; add_bundle_cmd;
+      add_scrap_cmd; resolve_cmd; annotate_cmd; link_cmd; drift_cmd;
+      query_cmd; validate_cmd; stats_cmd; history_cmd; model_cmd; import_cmd; export_html_cmd;
+      template_cmd; instantiate_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

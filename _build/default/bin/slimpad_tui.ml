@@ -1,0 +1,105 @@
+(* slimpad-tui — the interactive SLIMPad (terminal edition).
+
+   Usage: slimpad-tui WORKSPACE [--pad NAME]
+
+   A notty event loop around the pure state machine in Si_tui.Ui: arrows/jk
+   move, space folds bundles, enter resolves the selected scrap into the
+   detail pane (navigate view), e/i switch to extract / in-place views,
+   r renames, a annotates, / searches (n for next match), d runs drift
+   detection, q quits (saving the pad). *)
+
+module Ui = Si_tui.Ui
+module Dmi = Si_slim.Dmi
+open Notty
+open Notty_unix
+
+let event_of_key ui (key : [ `Key of Unescape.key | `Resize of int * int ]) =
+  match Ui.mode ui with
+  | Ui.Input _ -> (
+      match key with
+      | `Key (`ASCII c, []) -> Some (Ui.Char c)
+      | `Key (`Backspace, _) -> Some Ui.Backspace
+      | `Key (`Enter, _) -> Some Ui.Commit
+      | `Key (`Escape, _) -> Some Ui.Cancel
+      | _ -> None)
+  | Ui.Browse -> (
+      match key with
+      | `Key (`ASCII 'q', []) -> Some Ui.Quit
+      | `Key (`Arrow `Up, []) | `Key (`ASCII 'k', []) -> Some Ui.Up
+      | `Key (`Arrow `Down, []) | `Key (`ASCII 'j', []) -> Some Ui.Down
+      | `Key (`Page `Up, []) -> Some Ui.Page_up
+      | `Key (`Page `Down, []) -> Some Ui.Page_down
+      | `Key (`ASCII ' ', []) -> Some Ui.Toggle
+      | `Key (`Enter, []) -> Some Ui.Activate
+      | `Key (`ASCII 'e', []) -> Some Ui.Extract
+      | `Key (`ASCII 'i', []) -> Some Ui.In_place
+      | `Key (`ASCII 'r', []) -> Some Ui.Start_rename
+      | `Key (`ASCII 'a', []) -> Some Ui.Start_annotate
+      | `Key (`ASCII 'l', []) -> Some Ui.Start_link
+      | `Key (`Escape, []) -> Some Ui.Cancel
+      | `Key (`ASCII '/', []) -> Some Ui.Start_search
+      | `Key (`ASCII 'n', []) -> Some Ui.Next_match
+      | `Key (`ASCII 'd', []) -> Some Ui.Refresh_drift
+      | _ -> None)
+
+let image_of_lines lines =
+  I.vcat
+    (List.map
+       (fun line ->
+         (* First line (title) and cursor rows render with emphasis. *)
+         let attr =
+           if String.length line >= 2 && String.sub line 0 2 = "> " then
+             A.(st bold)
+           else A.empty
+         in
+         I.string attr line)
+       lines)
+
+let rec loop term ui =
+  let w, h = Term.size term in
+  Term.image term (image_of_lines (Ui.render ui ~width:w ~height:h));
+  if Ui.finished ui then ()
+  else
+    match Term.event term with
+    | `End -> ()
+    | `Resize _ -> loop term ui
+    | (`Key _ | `Mouse _ | `Paste _) as ev -> (
+        match ev with
+        | `Key _ as key -> (
+            match event_of_key ui (key :> [ `Key of Unescape.key | `Resize of int * int ]) with
+            | Some e -> loop term (Ui.handle ui e)
+            | None -> loop term ui)
+        | _ -> loop term ui)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let dir, pad_name =
+    match args with
+    | [ _; dir ] -> (dir, None)
+    | [ _; dir; "--pad"; name ] -> (dir, Some name)
+    | _ ->
+        prerr_endline "usage: slimpad-tui WORKSPACE [--pad NAME]";
+        exit 2
+  in
+  match Workspace.open_workspace dir with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  | Ok app -> (
+      let dmi = Si_slimpad.Slimpad.dmi app in
+      let pad =
+        match pad_name with
+        | Some name -> Dmi.find_pad dmi name
+        | None -> (
+            match Dmi.pads dmi with p :: _ -> Some p | [] -> None)
+      in
+      match pad with
+      | None ->
+          prerr_endline "error: no pad in the workspace";
+          exit 1
+      | Some pad ->
+          let term = Term.create () in
+          loop term (Ui.make app pad);
+          Term.release term;
+          (* Persist edits made through the TUI. *)
+          Workspace.save_workspace dir app)

@@ -1,0 +1,78 @@
+(* Workspace loading shared by the slimpad CLI and the TUI.
+
+   A workspace is a directory holding base documents (recognized by
+   suffix) plus the superimposed store in pad.xml:
+
+     *.workbook.xml   spreadsheet (Excel stand-in)
+     *.doc.xml        word-processor document
+     *.slides.xml     presentation
+     *.pdf.xml        paginated document
+     *.txt            plain text
+     *.html           HTML page
+     *.xml            any other XML document
+     pad.xml          the SLIMPad store (triples + marks + journal) *)
+
+module Desktop = Si_mark.Desktop
+module Slimpad = Si_slimpad.Slimpad
+
+let pad_store dir = Filename.concat dir "pad.xml"
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+(* Rich documents live on disk with a serialization suffix; on the desktop
+   they keep their logical name, so mark fileName fields stay stable. *)
+let logical entry suffix =
+  String.sub entry 0 (String.length entry - String.length suffix)
+
+let load_desktop dir =
+  let desk = Desktop.create () in
+  let entries = try Sys.readdir dir with Sys_error _ -> [||] in
+  let problems = ref [] in
+  Array.iter
+    (fun entry ->
+      let path = Filename.concat dir entry in
+      let fail msg =
+        problems := Printf.sprintf "%s: %s" entry msg :: !problems
+      in
+      if entry = "pad.xml" then ()
+      else if ends_with ~suffix:".workbook.xml" entry then
+        match Si_spreadsheet.Workbook.load path with
+        | Ok wb -> Desktop.add_workbook desk (logical entry ".workbook.xml") wb
+        | Error e -> fail e
+      else if ends_with ~suffix:".doc.xml" entry then
+        match Si_wordproc.Wordproc.load path with
+        | Ok d -> Desktop.add_word desk (logical entry ".doc.xml") d
+        | Error e -> fail e
+      else if ends_with ~suffix:".slides.xml" entry then
+        match Si_slides.Slides.load path with
+        | Ok d -> Desktop.add_slides desk (logical entry ".slides.xml") d
+        | Error e -> fail e
+      else if ends_with ~suffix:".pdf.xml" entry then
+        match Si_pdfdoc.Pdfdoc.load path with
+        | Ok d -> Desktop.add_pdf desk (logical entry ".pdf.xml") d
+        | Error e -> fail e
+      else if ends_with ~suffix:".txt" entry then
+        match Si_textdoc.Textdoc.from_file path with
+        | Ok d -> Desktop.add_text desk entry d
+        | Error e -> fail e
+      else if ends_with ~suffix:".html" entry then
+        match In_channel.with_open_bin path In_channel.input_all with
+        | source -> Desktop.add_html desk entry source
+        | exception Sys_error e -> fail e
+      else if ends_with ~suffix:".xml" entry then
+        match Si_xmlk.Parse.file path with
+        | Ok root -> Desktop.add_xml desk entry root
+        | Error e -> fail (Si_xmlk.Parse.error_to_string e))
+    entries;
+  (desk, List.rev !problems)
+
+let open_workspace dir =
+  let desk, problems = load_desktop dir in
+  List.iter (Printf.eprintf "warning: %s\n") problems;
+  let store = pad_store dir in
+  if Sys.file_exists store then Slimpad.load desk store
+  else Ok (Slimpad.create desk)
+
+let save_workspace dir app = Slimpad.save app (pad_store dir)

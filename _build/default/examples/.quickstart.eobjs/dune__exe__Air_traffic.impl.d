@@ -1,0 +1,1 @@
+examples/air_traffic.ml: List Option Printf Si_mark Si_slim Si_slimpad Si_spreadsheet Si_workload

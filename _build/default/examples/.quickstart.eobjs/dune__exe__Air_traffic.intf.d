@@ -1,0 +1,1 @@
+examples/air_traffic.mli:

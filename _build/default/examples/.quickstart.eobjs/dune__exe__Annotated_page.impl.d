@@ -1,0 +1,1 @@
+examples/annotated_page.ml: List Printf Si_htmldoc Si_mark Si_slim Si_slimpad Si_textdoc String

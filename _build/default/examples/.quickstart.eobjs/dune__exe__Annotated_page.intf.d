@@ -1,0 +1,1 @@
+examples/annotated_page.mli:

@@ -1,0 +1,1 @@
+examples/citation_index.ml: List Printf Si_mark Si_metamodel Si_pdfdoc Si_query Si_slim Si_spreadsheet Si_triple

@@ -1,0 +1,1 @@
+examples/citation_index.mli:

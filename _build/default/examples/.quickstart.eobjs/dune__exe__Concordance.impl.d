@@ -1,0 +1,1 @@
+examples/concordance.ml: List Printf Si_mark Si_slim Si_slimpad Si_workload String

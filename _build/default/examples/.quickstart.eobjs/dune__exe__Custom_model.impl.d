@@ -1,0 +1,1 @@
+examples/custom_model.ml: List Printf Si_metamodel Si_query Si_slim Si_triple String

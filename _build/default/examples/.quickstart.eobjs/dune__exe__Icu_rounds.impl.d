@@ -1,0 +1,1 @@
+examples/icu_rounds.ml: Filename List Option Printf Si_mark Si_slim Si_slimpad Si_workload Si_xmlk Sys

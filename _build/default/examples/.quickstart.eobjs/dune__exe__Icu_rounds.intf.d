@@ -1,0 +1,1 @@
+examples/icu_rounds.mli:

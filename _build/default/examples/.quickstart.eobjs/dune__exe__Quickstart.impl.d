@@ -1,0 +1,1 @@
+examples/quickstart.ml: Filename List Option Printf Si_mark Si_slim Si_slimpad Si_spreadsheet Si_xmlk Sys

@@ -1,0 +1,73 @@
+(* The air-traffic-control analogue (paper §2, citing Hutchins and Mackay's
+   flight-strip studies): bundles outside the medical domain.
+
+   Builds a sector board over a flight spreadsheet, hands a flight off
+   between sectors (reparenting its strip), and annotates a strip the way
+   controllers mark paper strips.
+
+   Run with: dune exec examples/air_traffic.exe *)
+
+module Desktop = Si_mark.Desktop
+module Dmi = Si_slim.Dmi
+module Slimpad = Si_slimpad.Slimpad
+module Atc = Si_workload.Atc
+
+let ok = function Ok v -> v | Error msg -> failwith msg
+
+let () =
+  let desk = Desktop.create () in
+  let spec = Atc.build_desktop ~flights:9 ~seed:77 desk in
+  let app = Slimpad.create desk in
+  let pad = Atc.build_board app spec in
+  let t = Slimpad.dmi app in
+
+  print_endline "--- the sector board ---";
+  print_string (Slimpad.render_pad app pad);
+
+  (* A strip resolves to its full flight row — the "wire" back to the
+     flight-data system. *)
+  let sectors = Dmi.nested_bundles t (Dmi.root_bundle t pad) in
+  let from_sector = List.hd sectors in
+  let strip = List.hd (Dmi.scraps t from_sector) in
+  print_endline "--- reading a strip ---";
+  Printf.printf "%s => %s\n"
+    (Dmi.scrap_name t strip)
+    (ok (Slimpad.scrap_content app strip));
+
+  (* Handoff: the flight crosses a boundary; its strip moves bundles. The
+     mark is untouched — only the superimposed structure changes. *)
+  (match sectors with
+  | _ :: to_sector :: _ ->
+      Printf.printf "--- handing %s off to %s ---\n"
+        (Dmi.scrap_name t strip)
+        (Dmi.bundle_name t to_sector);
+      Dmi.reparent_scrap t strip ~parent:to_sector;
+      Dmi.annotate_scrap t strip "handed off; climb to FL340 approved"
+  | _ -> ());
+
+  print_endline "--- the board after the handoff ---";
+  print_string (Slimpad.render_pad app pad);
+
+  (* The flight data updates (new ETA); the strip notices the drift. *)
+  let wb = ok (Desktop.open_workbook desk spec.Atc.flights_file) in
+  let row =
+    (* The strip's mark points at a row; bump its ETA cell (column E). *)
+    let mark = Option.get (Slimpad.scrap_mark app strip) in
+    Si_mark.Mark.field_exn mark "range"
+  in
+  (match Si_spreadsheet.Cellref.of_string row with
+  | Some r ->
+      let eta_cell =
+        Si_spreadsheet.Cellref.cell_to_string
+          (Si_spreadsheet.Cellref.cell 5 r.Si_spreadsheet.Cellref.top_left.row)
+      in
+      Si_spreadsheet.Workbook.set wb ~sheet_name:spec.Atc.flights_sheet
+        eta_cell "23:59"
+  | None -> ());
+  (match Slimpad.drift_report app pad with
+  | [] -> print_endline "--- no drift?! ---"
+  | drifts ->
+      Printf.printf "--- %d strip(s) stale after flight-data update ---\n"
+        (List.length drifts));
+  ignore (Slimpad.refresh_pad app pad);
+  print_endline "air_traffic: OK"

@@ -1,0 +1,110 @@
+(* Enhanced base-layer viewing (paper §4.1, Fig 6 middle; the Third Voice
+   example): instead of showing the superimposed layer in its own window,
+   the base application's view is enhanced with the superimposed
+   information — here, a web page rendered with the pad's annotations
+   spliced in where their marks point.
+
+   Run with: dune exec examples/annotated_page.exe *)
+
+module Desktop = Si_mark.Desktop
+module Dmi = Si_slim.Dmi
+module Slimpad = Si_slimpad.Slimpad
+
+let ok = function Ok v -> v | Error msg -> failwith msg
+
+let page_source =
+  "<html><head><title>Sepsis Management</title></head><body>\
+   <h1 id=\"recognition\">Early recognition</h1>\
+   <p>Screen every admission for altered mentation, tachypnea and \
+   hypotension.</p>\
+   <h1 id=\"resuscitation\">Resuscitation</h1>\
+   <p id=\"fluids\">Give 30 mL/kg crystalloid within the first three \
+   hours.</p>\
+   <p id=\"pressors\">Start norepinephrine if MAP stays below 65 mmHg.</p>\
+   <h1 id=\"source-control\">Source control</h1>\
+   <p>Obtain cultures before antibiotics whenever that causes no \
+   significant delay.</p>\
+   </body></html>"
+
+let () =
+  let desk = Desktop.create () in
+  Desktop.add_html desk "sepsis.html" page_source;
+  let app = Slimpad.create desk in
+  let t = Slimpad.dmi app in
+  let pad = Slimpad.new_pad app "Reading Notes" in
+  let root = Dmi.root_bundle t pad in
+
+  (* The reader marks passages and annotates the scraps. *)
+  let note anchor label annotations =
+    let scrap =
+      ok
+        (Slimpad.add_scrap app ~parent:root ~name:label ~mark_type:"html"
+           ~fields:[ ("fileName", "sepsis.html"); ("anchor", anchor) ]
+           ())
+    in
+    List.iter (Dmi.annotate_scrap t scrap) annotations;
+    scrap
+  in
+  let _ = note "fluids" "fluid bolus"
+      [ "our pumps max at 999 mL/h — plan two lines" ] in
+  let _ = note "pressors" "pressor trigger"
+      [ "matches our ICU protocol"; "check with pharmacy about premix" ] in
+  let _ = note "source-control" "cultures first" [] in
+
+  (* Simultaneous viewing would show the pad next to the page: *)
+  print_endline "--- the pad (its own window) ---";
+  print_string (Slimpad.render_pad app pad);
+
+  (* Enhanced base-layer viewing: render the PAGE, splicing each scrap's
+     annotations in right after the passage its mark addresses. *)
+  print_endline "--- the page, enhanced with the superimposed layer ---";
+  let page = ok (Desktop.open_html desk "sepsis.html") in
+  let notes_by_excerpt =
+    List.filter_map
+      (fun scrap ->
+        match Slimpad.scrap_content app scrap with
+        | Ok excerpt ->
+            Some
+              ( excerpt,
+                Dmi.scrap_name t scrap,
+                Dmi.annotations t scrap )
+        | Error _ -> None)
+      (Slimpad.find_scraps app pad "")
+  in
+  let enhanced =
+    List.fold_left
+      (fun text (excerpt, label, annotations) ->
+        (* Splice after the first line of the marked element's text. *)
+        let first_line =
+          match String.split_on_char '\n' excerpt with
+          | l :: _ -> l
+          | [] -> excerpt
+        in
+        let callout =
+          Printf.sprintf "%s\n    >> [%s]%s" first_line label
+            (String.concat ""
+               (List.map (fun a -> Printf.sprintf "\n    >> note: %s" a)
+                  annotations))
+        in
+        (* Replace the first occurrence only. *)
+        match Si_textdoc.Textdoc.find_first
+                (Si_textdoc.Textdoc.of_string text) first_line
+        with
+        | Some span ->
+            String.concat ""
+              [
+                String.sub text 0 span.Si_textdoc.Textdoc.offset;
+                callout;
+                String.sub text
+                  (span.Si_textdoc.Textdoc.offset
+                  + span.Si_textdoc.Textdoc.length)
+                  (String.length text
+                  - span.Si_textdoc.Textdoc.offset
+                  - span.Si_textdoc.Textdoc.length);
+              ]
+        | None -> text)
+      (Si_htmldoc.Htmldoc.to_text page)
+      notes_by_excerpt
+  in
+  print_endline enhanced;
+  print_endline "annotated_page: OK"

@@ -1,0 +1,120 @@
+(* The resident's worksheet scenario (paper §2 Fig 2, §3 Fig 4).
+
+   Generates an ICU desktop (medication workbook, per-patient lab reports
+   and notes), builds the Rounds worksheet pad over it, then walks through
+   the workflows the paper describes: double-clicking a scrap to
+   re-establish context, detecting transcription drift when a base document
+   changes, instantiating a bundle template for a new admission, and the §6
+   "transfer of current-situation awareness" hand-off (save on Friday, load
+   on Saturday).
+
+   Run with: dune exec examples/icu_rounds.exe *)
+
+module Desktop = Si_mark.Desktop
+module Dmi = Si_slim.Dmi
+module Slimpad = Si_slimpad.Slimpad
+module Icu = Si_workload.Icu
+
+let ok = function Ok v -> v | Error msg -> failwith msg
+
+let () =
+  let desk = Desktop.create () in
+  let spec = Icu.build_desktop ~patients:3 ~seed:2001 desk in
+  let app = Slimpad.create desk in
+  let pad = Icu.build_worksheet app spec in
+  let t = Slimpad.dmi app in
+
+  print_endline "--- the resident's worksheet ---";
+  print_string (Slimpad.render_pad app pad);
+
+  (* Double-click the first patient's first lab scrap: the lab report opens
+     with the result highlighted (simultaneous viewing). *)
+  let patient = List.hd (Dmi.nested_bundles t (Dmi.root_bundle t pad)) in
+  let labs = List.hd (Dmi.nested_bundles t patient) in
+  let lab_scrap = List.hd (Dmi.scraps t labs) in
+  print_endline "--- double-click a lab scrap ---";
+  let res = ok (Slimpad.double_click app lab_scrap) in
+  Printf.printf "source: %s\n%s\n" res.Si_mark.Mark.res_source
+    res.Si_mark.Mark.res_context;
+
+  (* Overnight, the morning draw is re-run: values change in the base
+     document. The pad detects every affected scrap. *)
+  let p0 = List.hd spec.Icu.patients in
+  let report = ok (Desktop.open_xml desk p0.Icu.labs_file) in
+  let bumped =
+    (* Crude "new lab values": change the first result's text. *)
+    let open Si_xmlk.Node in
+    map_children
+      (List.map (fun child ->
+           match child with
+           | Element { name = "panel"; _ } ->
+               map_children
+                 (function
+                   | Element ({ name = "result"; _ } as e) :: rest ->
+                       Element { e with children = [ text "999.9" ] } :: rest
+                   | other -> other)
+                 child
+           | other -> other))
+      report
+  in
+  Desktop.add_xml desk p0.Icu.labs_file bumped;
+  print_endline "--- overnight lab change detected ---";
+  List.iter
+    (fun (scrap, drift) ->
+      match drift with
+      | Si_mark.Manager.Changed { was; now } ->
+          Printf.printf "  %s: %s -> %s\n"
+            (Dmi.scrap_name t scrap)
+            was now
+      | Si_mark.Manager.Unresolvable msg ->
+          Printf.printf "  %s: unresolvable (%s)\n"
+            (Dmi.scrap_name t scrap)
+            msg
+      | Si_mark.Manager.Unchanged -> ())
+    (Slimpad.drift_report app pad);
+  Printf.printf "refreshed %d stale scrap(s)\n" (Slimpad.refresh_pad app pad);
+
+  (* A new admission: stamp out a patient bundle from a template. *)
+  let template =
+    Slimpad.add_bundle app ~parent:(Dmi.root_bundle t pad)
+      ~name:"admission-template" ()
+  in
+  let vitals =
+    Slimpad.add_bundle app ~parent:template ~name:"Vitals to watch" ()
+  in
+  ignore
+    (ok
+       (Slimpad.add_scrap app ~parent:vitals ~name:"lactate"
+          ~mark_type:"xml"
+          ~fields:
+            [
+              ("fileName", p0.Icu.labs_file);
+              ("xmlPath", "/report/panel/result[1]");
+            ]
+          ()));
+  Dmi.set_template t template true;
+  let bed4 =
+    ok
+      (Dmi.instantiate_template t ~template ~name:"Bed 4 (new admission)"
+         ~parent:(Dmi.root_bundle t pad))
+  in
+  Printf.printf "--- instantiated template: %s with %d sub-bundle(s) ---\n"
+    (Dmi.bundle_name t bed4)
+    (List.length (Dmi.nested_bundles t bed4));
+
+  (* The weekend hand-off (§6): save the pad, reload it as the covering
+     doctor, every wire still live. *)
+  let path = Filename.temp_file "rounds" ".xml" in
+  Slimpad.save app path;
+  let weekend = ok (Slimpad.load desk path) in
+  Sys.remove path;
+  let pad2 = Option.get (Dmi.find_pad (Slimpad.dmi weekend) "Rounds") in
+  let todo_scraps = Slimpad.find_scraps weekend pad2 "TODO:" in
+  print_endline "--- weekend hand-off: the covering doctor's to-do list ---";
+  List.iter
+    (fun s ->
+      Printf.printf "  %s (wire: %s)\n"
+        (Dmi.scrap_name (Slimpad.dmi weekend) s)
+        (ok (Slimpad.scrap_content weekend s)))
+    todo_scraps;
+  print_endline "icu_rounds: OK"

@@ -1,0 +1,97 @@
+(* Quickstart: the smallest end-to-end tour of the public API.
+
+   Builds two base documents (a spreadsheet and an XML report), superimposes
+   a pad with two scraps marking into them, resolves the marks three ways,
+   runs a query, and round-trips the pad through a file.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Desktop = Si_mark.Desktop
+module Dmi = Si_slim.Dmi
+module Slimpad = Si_slimpad.Slimpad
+
+let ok = function Ok v -> v | Error msg -> failwith msg
+
+let () =
+  (* 1. The base layer: documents owned by (simulated) base applications. *)
+  let desk = Desktop.create () in
+  let wb = Si_spreadsheet.Workbook.create ~sheet_names:[ "Budget" ] () in
+  let set a v = Si_spreadsheet.Workbook.set wb ~sheet_name:"Budget" a v in
+  set "A1" "Item";
+  set "B1" "Cost";
+  set "A2" "Laser";
+  set "B2" "1200";
+  set "A3" "Shark tank";
+  set "B3" "50000";
+  set "B5" "=SUM(B2:B3)";
+  Desktop.add_workbook desk "budget.xls" wb;
+  Desktop.add_xml desk "status.xml"
+    (Si_xmlk.Parse.node_exn
+       "<status><phase>procurement</phase>\
+        <risk level=\"high\">lasers are back-ordered</risk></status>");
+
+  (* 2. The superimposed layer: a pad with scraps marking into the base. *)
+  let app = Slimpad.create desk in
+  let pad = Slimpad.new_pad app "Evil Plan" in
+  let root = Dmi.root_bundle (Slimpad.dmi app) pad in
+  let total =
+    ok
+      (Slimpad.add_scrap app ~parent:root ~name:"total cost"
+         ~mark_type:"excel"
+         ~fields:
+           [ ("fileName", "budget.xls"); ("sheetName", "Budget");
+             ("range", "B5") ]
+         ~pos:{ Dmi.x = 10; y = 10 }
+         ())
+  in
+  let risk =
+    ok
+      (Slimpad.add_scrap app ~parent:root ~name:"blocker" ~mark_type:"xml"
+         ~fields:[ ("fileName", "status.xml"); ("xmlPath", "/status/risk") ]
+         ~pos:{ Dmi.x = 10; y = 40 }
+         ())
+  in
+  Dmi.annotate_scrap (Slimpad.dmi app) risk "escalate to minion #2";
+  ignore
+    (Dmi.link_scraps (Slimpad.dmi app) ~label:"drives" ~from_:risk ~to_:total ());
+
+  print_endline "--- the pad ---";
+  print_string (Slimpad.render_pad app pad);
+
+  (* 3. Resolution: the three viewing behaviours of the paper. *)
+  print_endline "--- double-click 'total cost' (navigate) ---";
+  let res = ok (Slimpad.double_click app total) in
+  print_endline res.Si_mark.Mark.res_context;
+  print_endline "--- extract content ---";
+  print_endline (ok (Slimpad.scrap_content app total));
+  print_endline "--- display in place ---";
+  print_endline (ok (Slimpad.scrap_in_place app risk));
+
+  (* 4. The base changes; the pad notices. *)
+  set "B2" "1800";
+  (match Slimpad.drift_report app pad with
+  | [ (_, Si_mark.Manager.Changed { was; now }) ] ->
+      Printf.printf "--- drift detected: %s -> %s ---\n" was now
+  | _ -> print_endline "--- no drift?! ---");
+  ignore (Slimpad.refresh_pad app pad);
+
+  (* 5. Query the superimposed layer. *)
+  print_endline "--- query: scraps and their marks ---";
+  List.iter print_endline
+    (ok
+       (Slimpad.query app
+          "select ?n ?m where { ?s scrapName ?n . ?s scrapMark ?h . ?h \
+           markId ?m }"));
+
+  (* 6. Persistence round-trip. *)
+  let path = Filename.temp_file "quickstart" ".xml" in
+  Slimpad.save app path;
+  let app2 = ok (Slimpad.load desk path) in
+  Sys.remove path;
+  let pad2 = Option.get (Dmi.find_pad (Slimpad.dmi app2) "Evil Plan") in
+  Printf.printf "--- reloaded: %d scraps, still resolving: %s ---\n"
+    (List.length (Slimpad.find_scraps app2 pad2 ""))
+    (ok
+       (Slimpad.scrap_content app2
+          (List.hd (Slimpad.find_scraps app2 pad2 "total"))));
+  print_endline "quickstart: OK"

@@ -1,0 +1,1 @@
+lib/htmldoc/htmldoc.ml: Buffer Char In_channel List Si_xmlk String

@@ -1,0 +1,1 @@
+lib/htmldoc/htmldoc.mli: Si_xmlk

@@ -1,0 +1,1 @@
+lib/htmldoc/selector.ml: List Printf Si_xmlk String

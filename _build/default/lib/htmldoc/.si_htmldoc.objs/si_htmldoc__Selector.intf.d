@@ -1,0 +1,1 @@
+lib/htmldoc/selector.mli: Si_xmlk

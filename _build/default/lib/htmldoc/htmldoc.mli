@@ -1,0 +1,57 @@
+(** Tolerant HTML parsing — the web-browser (Internet Explorer) stand-in.
+
+    Parses real-world "tag soup" into the shared XML DOM
+    ({!Si_xmlk.Node.t}), so HTML marks can reuse the slash-path addressing
+    of {!Si_xmlk.Path} alongside anchor- and id-based addressing. The
+    parser never fails: unmatched close tags are dropped, unclosed
+    elements are closed at the end of their enclosing element, void
+    elements ([<br>], [<img>] …) never take children, [<p>]/[<li>]/[<tr>]/
+    [<td>] auto-close their predecessors, and [<script>]/[<style>] bodies
+    are raw text. Tag and attribute names are lowercased. *)
+
+val parse : string -> Si_xmlk.Node.t
+(** The document root: the single top-level element if there is exactly
+    one, otherwise a synthesized [<html>] element wrapping everything. *)
+
+val parse_forest : string -> Si_xmlk.Node.t list
+(** Top-level nodes without the wrapping. *)
+
+val from_file : string -> (Si_xmlk.Node.t, string) result
+
+(** {1 HTML-flavoured accessors} *)
+
+val element_by_id : Si_xmlk.Node.t -> string -> Si_xmlk.Node.t option
+(** First element with the given [id] attribute, in document order. *)
+
+val anchors : Si_xmlk.Node.t -> (string * Si_xmlk.Node.t) list
+(** Anchor targets: every element with an [id], plus [<a name=...>]
+    elements — the fragment identifiers a URL can address. *)
+
+val links : Si_xmlk.Node.t -> (string * string) list
+(** [(href, link text)] for every [<a href=...>], in document order. *)
+
+val title : Si_xmlk.Node.t -> string option
+(** Text of the first [<title>] element. *)
+
+val elements_by_tag : Si_xmlk.Node.t -> string -> Si_xmlk.Node.t list
+
+val to_text : Si_xmlk.Node.t -> string
+(** Roughly rendered text: block-level elements ([p], [div], [li], [tr],
+    [h1]–[h6], [br] …) introduce line breaks; [<script>], [<style>] and
+    comments are skipped; runs of whitespace collapse to one space. *)
+
+val is_void : string -> bool
+(** Whether a (lowercase) tag never has content ([br], [img], …). *)
+
+type outline_entry = {
+  level : int;  (** 1 for [h1] … 6 for [h6] *)
+  heading : string;  (** rendered text of the heading *)
+  node : Si_xmlk.Node.t;
+  children : outline_entry list;
+}
+
+val outline : Si_xmlk.Node.t -> outline_entry list
+(** The document's heading hierarchy, in document order: each entry owns
+    the later, deeper headings up to the next heading of its own level or
+    shallower (the HTML5 flat-outline interpretation). Useful as a table
+    of contents and as section anchors for marks. *)

@@ -1,0 +1,226 @@
+module Node = Si_xmlk.Node
+
+(* One simple selector: every listed condition must hold. *)
+type attr_test = Present of string | Equals of string * string
+
+type compound = {
+  tag : string option;
+  id : string option;
+  classes : string list;
+  attrs : attr_test list;
+}
+
+type combinator = Descendant | Child
+
+(* A complex selector is matched right-to-left: the last compound matches
+   the node itself, earlier compounds its ancestors/parents. *)
+type complex = { head : compound; rest : (combinator * compound) list }
+(* [rest] is ordered from the node outwards: [(c1, comp1); (c2, comp2)]
+   means comp1 relates to the head by c1, comp2 to comp1 by c2. *)
+
+type t = complex list  (* comma alternation *)
+
+(* ------------------------------------------------------------- parsing *)
+
+exception Bad of string
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> true
+  | _ -> false
+
+let parse_compound input pos =
+  (* Parses one compound starting at [pos]; returns (compound, next pos).
+     Grammar: [tag]? ( '#'name | '.'name | '[' name ('=' value)? ']' )* *)
+  let n = String.length input in
+  let read_name p =
+    let start = p in
+    let p = ref p in
+    while !p < n && is_name_char input.[!p] do
+      incr p
+    done;
+    if !p = start then raise (Bad "expected a name");
+    (String.sub input start (!p - start), !p)
+  in
+  let tag, pos =
+    if pos < n && input.[pos] = '*' then (None, pos + 1)
+    else if pos < n && is_name_char input.[pos] then
+      let name, p = read_name pos in
+      (Some (String.lowercase_ascii name), p)
+    else (None, pos)
+  in
+  let rec qualifiers pos acc =
+    if pos >= n then (acc, pos)
+    else
+      match input.[pos] with
+      | '#' ->
+          let name, p = read_name (pos + 1) in
+          qualifiers p { acc with id = Some name }
+      | '.' ->
+          let name, p = read_name (pos + 1) in
+          qualifiers p { acc with classes = name :: acc.classes }
+      | '[' ->
+          let name, p = read_name (pos + 1) in
+          if p < n && input.[p] = '=' then begin
+            match String.index_from_opt input p ']' with
+            | None -> raise (Bad "unterminated [attr=value]")
+            | Some close ->
+                let value = String.sub input (p + 1) (close - p - 1) in
+                qualifiers (close + 1)
+                  { acc with attrs = Equals (name, value) :: acc.attrs }
+          end
+          else if p < n && input.[p] = ']' then
+            qualifiers (p + 1) { acc with attrs = Present name :: acc.attrs }
+          else raise (Bad "malformed attribute selector")
+      | _ -> (acc, pos)
+  in
+  let base = { tag; id = None; classes = []; attrs = [] } in
+  let compound, pos = qualifiers pos base in
+  if compound = base && tag = None then raise (Bad "empty selector");
+  (compound, pos)
+
+let parse_complex text =
+  (* Tokenize into compounds and combinators. *)
+  let n = String.length text in
+  let rec skip_ws p = if p < n && text.[p] = ' ' then skip_ws (p + 1) else p in
+  let rec sequence pos acc =
+    let pos = skip_ws pos in
+    if pos >= n then List.rev acc
+    else if text.[pos] = '>' then
+      match acc with
+      | [] -> raise (Bad "selector cannot start with '>'")
+      | _ -> sequence (pos + 1) (`Child :: acc)
+    else
+      let compound, p = parse_compound text pos in
+      let acc =
+        match acc with
+        | `Compound _ :: _ -> `Desc :: acc  (* implicit descendant *)
+        | _ -> acc
+      in
+      sequence p (`Compound compound :: acc)
+  in
+  let items =
+    sequence 0 []
+    |> List.filter (function `Desc -> true | `Child -> true | `Compound _ -> true)
+  in
+  (* Items run left-to-right (outermost ancestor first); the matcher wants
+     the node's compound as [head] and its ancestors outward in [rest], so
+     build the chain right-to-left. *)
+  match items with
+  | [] -> raise (Bad "empty selector")
+  | _ ->
+      let rec to_chain = function
+        | [ `Compound c ] -> ({ head = c; rest = [] } : complex)
+        | rest -> (
+            match List.rev rest with
+            | `Compound head :: `Desc :: outer ->
+                let outer_chain = to_chain (List.rev outer) in
+                {
+                  head;
+                  rest = (Descendant, outer_chain.head) :: outer_chain.rest;
+                }
+            | `Compound head :: `Child :: outer ->
+                let outer_chain = to_chain (List.rev outer) in
+                { head; rest = (Child, outer_chain.head) :: outer_chain.rest }
+            | _ -> raise (Bad "malformed selector"))
+      in
+      to_chain items
+
+let parse input =
+  match
+    String.split_on_char ',' input
+    |> List.map String.trim
+    |> List.map parse_complex
+  with
+  | alternatives -> Ok alternatives
+  | exception Bad msg -> Error msg
+
+let parse_exn input =
+  match parse input with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Selector.parse_exn: " ^ msg)
+
+(* ------------------------------------------------------------ printing *)
+
+let compound_to_string c =
+  String.concat ""
+    ((match c.tag with Some t -> [ t ] | None -> [])
+    @ (match c.id with Some i -> [ "#" ^ i ] | None -> [])
+    @ List.map (fun cl -> "." ^ cl) (List.rev c.classes)
+    @ List.map
+        (function
+          | Present a -> "[" ^ a ^ "]"
+          | Equals (a, v) -> Printf.sprintf "[%s=%s]" a v)
+        (List.rev c.attrs))
+
+let complex_to_string { head; rest } =
+  List.fold_left
+    (fun acc (comb, c) ->
+      let sep = match comb with Descendant -> " " | Child -> " > " in
+      compound_to_string c ^ sep ^ acc)
+    (compound_to_string head) rest
+
+let to_string t = String.concat ", " (List.map complex_to_string t)
+
+(* ------------------------------------------------------------ matching *)
+
+let classes_of node =
+  match Node.attr "class" node with
+  | None -> []
+  | Some v ->
+      String.split_on_char ' ' v |> List.filter (fun c -> c <> "")
+
+let compound_matches node c =
+  Node.is_element node
+  && (match c.tag with
+     | None -> true
+     | Some t -> Node.name node = Some t)
+  && (match c.id with
+     | None -> true
+     | Some i -> Node.attr "id" node = Some i)
+  && List.for_all (fun cl -> List.mem cl (classes_of node)) c.classes
+  && List.for_all
+       (function
+         | Present a -> Node.attr a node <> None
+         | Equals (a, v) -> Node.attr a node = Some v)
+       c.attrs
+
+(* ancestors: nearest first. *)
+let rec chain_matches ~ancestors rest =
+  match rest with
+  | [] -> true
+  | (Child, c) :: outer -> (
+      match ancestors with
+      | parent :: grand ->
+          compound_matches parent c && chain_matches ~ancestors:grand outer
+      | [] -> false)
+  | (Descendant, c) :: outer ->
+      let rec try_ancestors = function
+        | [] -> false
+        | a :: grand ->
+            (compound_matches a c && chain_matches ~ancestors:grand outer)
+            || try_ancestors grand
+      in
+      try_ancestors ancestors
+
+let complex_matches ~ancestors node { head; rest } =
+  compound_matches node head && chain_matches ~ancestors rest
+
+let matches_element ~ancestors node t =
+  List.exists (complex_matches ~ancestors node) t
+
+let select root t =
+  let results = ref [] in
+  let rec walk ancestors node =
+    if matches_element ~ancestors node t then results := node :: !results;
+    List.iter (walk (node :: ancestors)) (Node.children node)
+  in
+  walk [] root;
+  List.rev !results
+
+let select_first root t =
+  match select root t with [] -> None | n :: _ -> Some n
+
+let query root input =
+  match parse input with
+  | Ok t -> Ok (select root t)
+  | Error _ as e -> e

@@ -1,0 +1,26 @@
+(** CSS-flavoured selectors over parsed HTML.
+
+    Supports the workhorse subset: type selectors ([p]), ids ([#intro]),
+    classes ([.warn]), attribute presence/equality ([\[href\]],
+    [\[type=submit\]]), compounds ([p.warn#intro]), descendant ([div p])
+    and child ([ul > li]) combinators, and comma-separated alternation.
+    Matching is case-sensitive for values, lowercase for tag names (the
+    parser lowercases tags). *)
+
+type t
+
+val parse : string -> (t, string) result
+val parse_exn : string -> t
+val to_string : t -> string
+
+val select : Si_xmlk.Node.t -> t -> Si_xmlk.Node.t list
+(** Matching elements of the tree (root included), in document order,
+    without duplicates (a node matching several alternatives appears
+    once). *)
+
+val select_first : Si_xmlk.Node.t -> t -> Si_xmlk.Node.t option
+val matches_element : ancestors:Si_xmlk.Node.t list -> Si_xmlk.Node.t -> t -> bool
+(** Whether the node matches, given its ancestor chain (nearest first). *)
+
+val query : Si_xmlk.Node.t -> string -> (Si_xmlk.Node.t list, string) result
+(** Parse + select in one step. *)

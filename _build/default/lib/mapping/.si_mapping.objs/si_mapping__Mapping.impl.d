@@ -1,0 +1,1 @@
+lib/mapping/mapping.ml: Format Hashtbl List Printf Si_metamodel Si_triple

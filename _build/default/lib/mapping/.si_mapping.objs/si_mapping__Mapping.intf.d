@@ -1,0 +1,1 @@
+lib/mapping/mapping.mli: Format Si_metamodel

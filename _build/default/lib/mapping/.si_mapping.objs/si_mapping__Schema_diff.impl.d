@@ -1,0 +1,1 @@
+lib/mapping/schema_diff.ml: Format List Printf Si_metamodel

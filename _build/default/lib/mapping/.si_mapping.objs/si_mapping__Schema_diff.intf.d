@@ -1,0 +1,1 @@
+lib/mapping/schema_diff.mli: Format Si_metamodel

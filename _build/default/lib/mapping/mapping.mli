@@ -1,0 +1,56 @@
+(** Mappings between superimposed models (paper §4.3 / [4]).
+
+    "We can leverage the generic representation directly, by defining
+    mappings between superimposed models, including model-to-model,
+    schema-to-schema and even schema-to-model mappings."
+
+    Because every model's instance data is triples, a mapping is plain
+    data transformation: construct-to-construct rules with per-property
+    renamings. [apply] walks the source instances and materializes target
+    instances (in the same or another triple manager), rewriting resource
+    references through the instance correspondence it builds. *)
+
+type rule = {
+  from_construct : string;  (** construct name in the source model *)
+  to_construct : string;  (** construct name in the target model *)
+  property_map : (string * string) list;
+      (** source predicate -> target predicate; unmapped properties are
+          dropped (and counted) *)
+}
+
+type t
+
+val create : source:Si_metamodel.Model.t -> target:Si_metamodel.Model.t -> t
+val add_rule : t -> rule -> (t, string) result
+(** Checks both constructs exist and target predicates name connectors of
+    the target construct (or its supertypes). *)
+
+val add_rule_exn : t -> rule -> t
+val rules : t -> rule list
+
+type report = {
+  instances_mapped : int;
+  properties_mapped : int;
+  properties_dropped : int;
+  dangling_rewrites : int;
+      (** resource-valued properties whose referent had no mapped
+          counterpart; they are dropped *)
+  correspondence : (string * string) list;
+      (** source instance id -> target instance id *)
+}
+
+val apply : t -> report
+(** Materializes target instances in the target model's triple manager.
+    Conformance links ([mm:conformsTo]) are recorded from each new
+    instance back to its source. Idempotence is not attempted: applying
+    twice maps twice. *)
+
+val schema_to_model : source:Si_metamodel.Model.t ->
+  instance_construct:string -> name_predicate:string ->
+  target:Si_metamodel.Model.t -> (Si_metamodel.Model.construct list, string) result
+(** The paper's "schema-to-model" direction: promote each {e instance} of
+    [instance_construct] (e.g. each Table of a relational schema) into a
+    {e construct} of the target model, named by its [name_predicate]
+    value. Returns the new constructs. *)
+
+val pp_report : Format.formatter -> report -> unit

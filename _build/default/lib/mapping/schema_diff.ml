@@ -1,0 +1,174 @@
+module Model = Si_metamodel.Model
+
+type change =
+  | Construct_added of string
+  | Construct_removed of string
+  | Construct_rekinded of { name : string; from_ : string; to_ : string }
+  | Connector_added of { domain : string; predicate : string; min_card : int }
+  | Connector_removed of { domain : string; predicate : string }
+  | Cardinality_changed of {
+      domain : string;
+      predicate : string;
+      from_ : string;
+      to_ : string;
+    }
+  | Range_changed of {
+      domain : string;
+      predicate : string;
+      from_ : string;
+      to_ : string;
+    }
+  | Generalization_added of { sub : string; super : string }
+  | Generalization_removed of { sub : string; super : string }
+
+let kind_name = function
+  | Model.Construct -> "construct"
+  | Model.Literal_construct -> "literal"
+  | Model.Mark_construct -> "mark"
+
+let card_name { Model.min_card; max_card } =
+  Printf.sprintf "%d..%s" min_card
+    (match max_card with Some n -> string_of_int n | None -> "*")
+
+(* Keyed views of a model. *)
+let construct_table m =
+  List.map (fun c -> (Model.construct_name m c, c)) (Model.constructs m)
+
+let connector_table m =
+  List.map
+    (fun conn ->
+      ( ( Model.construct_name m conn.Model.conn_domain,
+          conn.Model.conn_predicate ),
+        conn ))
+    (Model.connectors m)
+
+(* Direct generalization edges, as (sub name, super name). We re-derive
+   direct edges from the transitive closure: an edge sub->super is direct
+   when no other supertype of sub has super as its supertype... that is
+   overcautious; instead compare the transitive closures, which is what
+   compatibility cares about. *)
+let generalization_closure m =
+  List.concat_map
+    (fun c ->
+      List.map
+        (fun s -> (Model.construct_name m c, Model.construct_name m s))
+        (Model.superconstructs m c))
+    (Model.constructs m)
+  |> List.sort_uniq compare
+
+let diff old_model new_model =
+  let old_constructs = construct_table old_model in
+  let new_constructs = construct_table new_model in
+  let construct_changes =
+    List.filter_map
+      (fun (name, c) ->
+        match List.assoc_opt name new_constructs with
+        | None -> Some (Construct_removed name)
+        | Some c' when c'.Model.kind <> c.Model.kind ->
+            Some
+              (Construct_rekinded
+                 {
+                   name;
+                   from_ = kind_name c.Model.kind;
+                   to_ = kind_name c'.Model.kind;
+                 })
+        | Some _ -> None)
+      old_constructs
+    @ List.filter_map
+        (fun (name, _) ->
+          if List.mem_assoc name old_constructs then None
+          else Some (Construct_added name))
+        new_constructs
+  in
+  let old_conns = connector_table old_model in
+  let new_conns = connector_table new_model in
+  let connector_changes =
+    List.concat_map
+      (fun ((domain, predicate), conn) ->
+        match List.assoc_opt (domain, predicate) new_conns with
+        | None -> [ Connector_removed { domain; predicate } ]
+        | Some conn' ->
+            let card_change =
+              if conn.Model.card <> conn'.Model.card then
+                [
+                  Cardinality_changed
+                    {
+                      domain;
+                      predicate;
+                      from_ = card_name conn.Model.card;
+                      to_ = card_name conn'.Model.card;
+                    };
+                ]
+              else []
+            in
+            let range_change =
+              let range m c = Model.construct_name m c.Model.conn_range in
+              if range old_model conn <> range new_model conn' then
+                [
+                  Range_changed
+                    {
+                      domain;
+                      predicate;
+                      from_ = range old_model conn;
+                      to_ = range new_model conn';
+                    };
+                ]
+              else []
+            in
+            card_change @ range_change)
+      old_conns
+    @ List.filter_map
+        (fun ((domain, predicate), conn) ->
+          if List.mem_assoc (domain, predicate) old_conns then None
+          else
+            Some
+              (Connector_added
+                 { domain; predicate; min_card = conn.Model.card.Model.min_card }))
+        new_conns
+  in
+  let old_gen = generalization_closure old_model in
+  let new_gen = generalization_closure new_model in
+  let gen_changes =
+    List.filter_map
+      (fun (sub, super) ->
+        if List.mem (sub, super) new_gen then None
+        else Some (Generalization_removed { sub; super }))
+      old_gen
+    @ List.filter_map
+        (fun (sub, super) ->
+          if List.mem (sub, super) old_gen then None
+          else Some (Generalization_added { sub; super }))
+        new_gen
+  in
+  List.sort compare (construct_changes @ connector_changes @ gen_changes)
+
+let is_backward_compatible changes =
+  List.for_all
+    (function
+      | Construct_added _ | Generalization_added _ -> true
+      | Connector_added { min_card; _ } -> min_card = 0
+      | Construct_removed _ | Construct_rekinded _ | Connector_removed _
+      | Cardinality_changed _ | Range_changed _ | Generalization_removed _ ->
+          false)
+    changes
+
+let change_to_string = function
+  | Construct_added n -> Printf.sprintf "+ construct %s" n
+  | Construct_removed n -> Printf.sprintf "- construct %s" n
+  | Construct_rekinded { name; from_; to_ } ->
+      Printf.sprintf "~ construct %s: %s -> %s" name from_ to_
+  | Connector_added { domain; predicate; min_card } ->
+      Printf.sprintf "+ %s.%s (min %d)" domain predicate min_card
+  | Connector_removed { domain; predicate } ->
+      Printf.sprintf "- %s.%s" domain predicate
+  | Cardinality_changed { domain; predicate; from_; to_ } ->
+      Printf.sprintf "~ %s.%s cardinality: %s -> %s" domain predicate from_ to_
+  | Range_changed { domain; predicate; from_; to_ } ->
+      Printf.sprintf "~ %s.%s range: %s -> %s" domain predicate from_ to_
+  | Generalization_added { sub; super } ->
+      Printf.sprintf "+ %s isa %s" sub super
+  | Generalization_removed { sub; super } ->
+      Printf.sprintf "- %s isa %s" sub super
+
+let pp ppf changes =
+  List.iter (fun c -> Format.fprintf ppf "%s@." (change_to_string c)) changes

@@ -1,0 +1,45 @@
+(** Structural diff between two models (schema evolution support).
+
+    §6: "We are also developing capabilities for cross-schema and even
+    cross-model mapping of superimposed information." A mapping is written
+    against a model version; this diff reports what changed between two
+    versions so mappings (and generated DMIs) can be reviewed: constructs
+    added/removed/re-kinded, connectors added/removed, cardinality or
+    range changes, generalization edges added/removed. *)
+
+type change =
+  | Construct_added of string
+  | Construct_removed of string
+  | Construct_rekinded of { name : string; from_ : string; to_ : string }
+  | Connector_added of { domain : string; predicate : string; min_card : int }
+  | Connector_removed of { domain : string; predicate : string }
+  | Cardinality_changed of {
+      domain : string;
+      predicate : string;
+      from_ : string;
+      to_ : string;
+    }
+  | Range_changed of {
+      domain : string;
+      predicate : string;
+      from_ : string;
+      to_ : string;
+    }
+  | Generalization_added of { sub : string; super : string }
+  | Generalization_removed of { sub : string; super : string }
+
+val diff : Si_metamodel.Model.t -> Si_metamodel.Model.t -> change list
+(** Changes that turn the first model into the second, matched by
+    construct/predicate {e name}. Deterministic order (sorted by kind,
+    then name). *)
+
+val is_backward_compatible : change list -> bool
+(** True when old instance data necessarily still validates under the new
+    model: new constructs, new generalization edges and new {e optional}
+    connectors (min-cardinality 0) are compatible; removals, re-kindings,
+    required additions, and cardinality/range changes are treated as
+    breaking (conservatively — a widened cardinality is reported as a
+    change and therefore breaking here). *)
+
+val change_to_string : change -> string
+val pp : Format.formatter -> change list -> unit

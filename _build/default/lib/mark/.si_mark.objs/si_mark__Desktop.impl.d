@@ -1,0 +1,1 @@
+lib/mark/desktop.ml: Excel_mark Hashtbl Html_mark List Manager Pdf_mark Printf Si_htmldoc Si_pdfdoc Si_slides Si_spreadsheet Si_textdoc Si_wordproc Si_xmlk Slides_mark Text_mark Word_mark Xml_mark

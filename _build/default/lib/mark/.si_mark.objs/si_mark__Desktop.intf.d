@@ -1,0 +1,1 @@
+lib/mark/desktop.mli: Manager Si_pdfdoc Si_slides Si_spreadsheet Si_textdoc Si_wordproc Si_xmlk

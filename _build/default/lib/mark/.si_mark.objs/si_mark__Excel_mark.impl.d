@@ -1,0 +1,1 @@
+lib/mark/excel_mark.ml: Fields List Manager Mark Printf Result Si_spreadsheet String

@@ -1,0 +1,1 @@
+lib/mark/excel_mark.mli: Manager Si_spreadsheet

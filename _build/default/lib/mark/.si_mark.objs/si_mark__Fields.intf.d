@@ -1,0 +1,1 @@
+lib/mark/fields.mli:

@@ -1,0 +1,1 @@
+lib/mark/html_mark.ml: Fields List Manager Mark Option Printf Result Si_htmldoc Si_xmlk

@@ -1,0 +1,1 @@
+lib/mark/html_mark.mli: Manager Si_xmlk

@@ -1,0 +1,1 @@
+lib/mark/manager.ml: Hashtbl List Mark Printf Result Si_xmlk String

@@ -1,0 +1,1 @@
+lib/mark/manager.mli: Mark Si_xmlk

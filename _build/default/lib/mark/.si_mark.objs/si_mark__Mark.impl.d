@@ -1,0 +1,1 @@
+lib/mark/mark.ml: Format List Option Printf Si_xmlk String

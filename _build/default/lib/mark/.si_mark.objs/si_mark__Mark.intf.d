@@ -1,0 +1,1 @@
+lib/mark/mark.mli: Format Si_xmlk

@@ -1,0 +1,1 @@
+lib/mark/pdf_mark.ml: Fields List Manager Mark Printf Result Si_pdfdoc String

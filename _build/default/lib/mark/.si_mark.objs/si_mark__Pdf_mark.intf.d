@@ -1,0 +1,1 @@
+lib/mark/pdf_mark.mli: Manager Si_pdfdoc

@@ -1,0 +1,1 @@
+lib/mark/slides_mark.mli: Manager Si_slides

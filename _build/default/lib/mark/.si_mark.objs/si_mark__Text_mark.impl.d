@@ -1,0 +1,1 @@
+lib/mark/text_mark.ml: Fields Manager Mark Option Printf Result Si_textdoc

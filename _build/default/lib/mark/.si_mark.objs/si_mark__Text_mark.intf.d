@@ -1,0 +1,1 @@
+lib/mark/text_mark.mli: Manager Si_textdoc

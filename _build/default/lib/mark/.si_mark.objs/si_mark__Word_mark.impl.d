@@ -1,0 +1,1 @@
+lib/mark/word_mark.ml: Fields Manager Mark Option Printf Result Si_wordproc

@@ -1,0 +1,1 @@
+lib/mark/word_mark.mli: Manager Si_wordproc

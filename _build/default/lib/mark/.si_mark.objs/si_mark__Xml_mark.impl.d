@@ -1,0 +1,1 @@
+lib/mark/xml_mark.ml: Fields List Manager Mark Option Printf Result Si_xmlk String

@@ -1,0 +1,1 @@
+lib/mark/xml_mark.mli: Manager Si_xmlk

@@ -1,0 +1,71 @@
+type t = {
+  workbooks : (string, Si_spreadsheet.Workbook.t) Hashtbl.t;
+  xml_docs : (string, Si_xmlk.Node.t) Hashtbl.t;
+  text_docs : (string, Si_textdoc.Textdoc.t) Hashtbl.t;
+  word_docs : (string, Si_wordproc.Wordproc.t) Hashtbl.t;
+  decks : (string, Si_slides.Slides.t) Hashtbl.t;
+  pdfs : (string, Si_pdfdoc.Pdfdoc.t) Hashtbl.t;
+  pages : (string, Si_xmlk.Node.t) Hashtbl.t;
+}
+
+let create () =
+  {
+    workbooks = Hashtbl.create 8;
+    xml_docs = Hashtbl.create 8;
+    text_docs = Hashtbl.create 8;
+    word_docs = Hashtbl.create 8;
+    decks = Hashtbl.create 8;
+    pdfs = Hashtbl.create 8;
+    pages = Hashtbl.create 8;
+  }
+
+let add_workbook t name doc = Hashtbl.replace t.workbooks name doc
+let add_xml t name doc = Hashtbl.replace t.xml_docs name doc
+let add_text t name doc = Hashtbl.replace t.text_docs name doc
+let add_word t name doc = Hashtbl.replace t.word_docs name doc
+let add_slides t name doc = Hashtbl.replace t.decks name doc
+let add_pdf t name doc = Hashtbl.replace t.pdfs name doc
+
+let add_html t name source =
+  Hashtbl.replace t.pages name (Si_htmldoc.Htmldoc.parse source)
+
+let opener kind table name =
+  match Hashtbl.find_opt table name with
+  | Some doc -> Ok doc
+  | None -> Error (Printf.sprintf "no open %s document %S" kind name)
+
+let open_workbook t = opener "spreadsheet" t.workbooks
+let open_xml t = opener "XML" t.xml_docs
+let open_text t = opener "text" t.text_docs
+let open_word t = opener "word-processor" t.word_docs
+let open_slides t = opener "presentation" t.decks
+let open_pdf t = opener "PDF" t.pdfs
+let open_html t = opener "HTML" t.pages
+
+let document_names t =
+  let names kind table =
+    Hashtbl.fold (fun name _ acc -> (kind, name) :: acc) table []
+  in
+  List.concat
+    [
+      names "excel" t.workbooks; names "xml" t.xml_docs;
+      names "text" t.text_docs; names "word" t.word_docs;
+      names "slides" t.decks; names "pdf" t.pdfs; names "html" t.pages;
+    ]
+  |> List.sort compare
+
+let install_modules t mgr =
+  Manager.register_exn mgr
+    (Excel_mark.mark_module ~open_workbook:(open_workbook t) ());
+  Manager.register_exn mgr
+    (Xml_mark.mark_module ~open_document:(open_xml t) ());
+  Manager.register_exn mgr
+    (Text_mark.mark_module ~open_document:(open_text t) ());
+  Manager.register_exn mgr
+    (Word_mark.mark_module ~open_document:(open_word t) ());
+  Manager.register_exn mgr
+    (Slides_mark.mark_module ~open_presentation:(open_slides t) ());
+  Manager.register_exn mgr
+    (Pdf_mark.mark_module ~open_document:(open_pdf t) ());
+  Manager.register_exn mgr
+    (Html_mark.mark_module ~open_page:(open_html t) ())

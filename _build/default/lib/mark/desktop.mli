@@ -1,0 +1,45 @@
+(** A desktop of open base applications.
+
+    The paper's base layer is "outside the box": documents owned by other
+    applications. This module models the running desktop — a set of named,
+    open documents of each supported kind — and installs one mark module
+    per kind into a {!Manager.t} (Fig 7). Examples, the CLI, and the
+    benchmarks all build on it; tests that need finer control construct
+    mark modules directly with custom openers. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Documents}
+
+    [add_*] registers an open document under a file name (replacing any
+    previous one — the base application saved a new version). [open_*]
+    is what the mark modules call. *)
+
+val add_workbook : t -> string -> Si_spreadsheet.Workbook.t -> unit
+val add_xml : t -> string -> Si_xmlk.Node.t -> unit
+val add_text : t -> string -> Si_textdoc.Textdoc.t -> unit
+val add_word : t -> string -> Si_wordproc.Wordproc.t -> unit
+val add_slides : t -> string -> Si_slides.Slides.t -> unit
+val add_pdf : t -> string -> Si_pdfdoc.Pdfdoc.t -> unit
+val add_html : t -> string -> string -> unit
+(** [add_html t name source] parses the HTML source. *)
+
+val open_workbook : t -> string -> (Si_spreadsheet.Workbook.t, string) result
+val open_xml : t -> string -> (Si_xmlk.Node.t, string) result
+val open_text : t -> string -> (Si_textdoc.Textdoc.t, string) result
+val open_word : t -> string -> (Si_wordproc.Wordproc.t, string) result
+val open_slides : t -> string -> (Si_slides.Slides.t, string) result
+val open_pdf : t -> string -> (Si_pdfdoc.Pdfdoc.t, string) result
+val open_html : t -> string -> (Si_xmlk.Node.t, string) result
+
+val document_names : t -> (string * string) list
+(** [(kind, name)] pairs, sorted. *)
+
+(** {1 Mark modules} *)
+
+val install_modules : t -> Manager.t -> unit
+(** Registers the seven standard mark modules (excel, xml, text, word,
+    slides, pdf, html), each resolving against this desktop.
+    @raise Invalid_argument if one of those module names is taken. *)

@@ -1,0 +1,120 @@
+module Ss = Si_spreadsheet
+open Fields
+
+type target =
+  | Range_target of { sheet_name : string; range : Ss.Cellref.range }
+  | Name_target of string
+
+type address = { file_name : string; target : target }
+
+let type_name = "excel"
+
+let fields_of_address a =
+  ("fileName", a.file_name)
+  ::
+  (match a.target with
+  | Range_target { sheet_name; range } ->
+      [ ("sheetName", sheet_name); ("range", Ss.Cellref.to_string range) ]
+  | Name_target name -> [ ("definedName", name) ])
+
+let address_of_fields fields =
+  let* file_name = get fields "fileName" in
+  match get_opt fields "definedName" with
+  | Some name ->
+      if name = "" then Error "empty definedName"
+      else Ok { file_name; target = Name_target name }
+  | None -> (
+      let* sheet_name = get fields "sheetName" in
+      let* range_text = get fields "range" in
+      match Ss.Cellref.of_string range_text with
+      | Some range ->
+          Ok { file_name; target = Range_target { sheet_name; range } }
+      | None -> Error (Printf.sprintf "bad A1 range %S" range_text))
+
+let capture _wb ~file_name ~sheet_name ~range =
+  fields_of_address { file_name; target = Range_target { sheet_name; range } }
+
+let capture_name wb ~file_name name =
+  match Ss.Workbook.lookup_name wb name with
+  | Some _ -> Ok (fields_of_address { file_name; target = Name_target name })
+  | None -> Error (Printf.sprintf "workbook has no defined name %S" name)
+
+(* Evaluated cell grid of a range: cells tab-separated, rows on lines. *)
+let grid_text wb sheet_name (range : Ss.Cellref.range) =
+  List.init (Ss.Cellref.height range) (fun i ->
+      let row = range.Ss.Cellref.top_left.Ss.Cellref.row + i in
+      List.init (Ss.Cellref.width range) (fun j ->
+          let col = range.Ss.Cellref.top_left.Ss.Cellref.col + j in
+          let address =
+            Ss.Cellref.cell_to_string (Ss.Cellref.cell col row)
+          in
+          Ss.Workbook.display wb ~sheet_name address)
+      |> String.concat "\t")
+  |> String.concat "\n"
+
+let resolve_address open_workbook a =
+  let* wb = open_workbook a.file_name in
+  (* Defined names resolve through the workbook's name table, so they
+     stay valid across row insertion/deletion. *)
+  let* sheet_name, range =
+    match a.target with
+    | Range_target { sheet_name; range } -> Ok (sheet_name, range)
+    | Name_target name -> (
+        match Ss.Workbook.lookup_name wb name with
+        | Some (sheet_name, range) -> Ok (sheet_name, range)
+        | None ->
+            Error
+              (Printf.sprintf "no defined name %S in %s" name a.file_name))
+  in
+  match Ss.Workbook.sheet wb sheet_name with
+  | None -> Error (Printf.sprintf "no sheet %S in %s" sheet_name a.file_name)
+  | Some sheet ->
+      let excerpt = grid_text wb sheet_name range in
+      let context =
+        (* The whole used range, with the marked selection bracketed — the
+           "open the file, activate the worksheet, select the range"
+           experience, textually. *)
+        match Ss.Sheet.used_range sheet with
+        | None -> ""
+        | Some used ->
+            List.init (Ss.Cellref.height used) (fun i ->
+                let row = used.Ss.Cellref.top_left.Ss.Cellref.row + i in
+                List.init (Ss.Cellref.width used) (fun j ->
+                    let col = used.Ss.Cellref.top_left.Ss.Cellref.col + j in
+                    let cell = Ss.Cellref.cell col row in
+                    let text =
+                      Ss.Workbook.display wb ~sheet_name
+                        (Ss.Cellref.cell_to_string cell)
+                    in
+                    if Ss.Cellref.contains range cell then "[" ^ text ^ "]"
+                    else text)
+                |> String.concat "\t")
+            |> String.concat "\n"
+      in
+      let where =
+        match a.target with
+        | Name_target name ->
+            Printf.sprintf "%s (%s!%s)" name sheet_name
+              (Ss.Cellref.to_string range)
+        | Range_target _ ->
+            Printf.sprintf "%s!%s" sheet_name (Ss.Cellref.to_string range)
+      in
+      Ok
+        {
+          Mark.res_excerpt = excerpt;
+          res_context = context;
+          res_display = Printf.sprintf "%s: %s" where excerpt;
+          res_source = Printf.sprintf "%s!%s" a.file_name where;
+        }
+
+let mark_module ?(module_name = "excel") ~open_workbook () =
+  {
+    Manager.module_name;
+    handles_type = type_name;
+    validate =
+      (fun fields -> Result.map (fun _ -> ()) (address_of_fields fields));
+    resolve =
+      (fun fields ->
+        let* a = address_of_fields fields in
+        resolve_address open_workbook a);
+  }

@@ -1,0 +1,47 @@
+(** Excel marks (paper Fig 8): [fileName], [sheetName], [range].
+
+    "An Excel mark is created when Microsoft Excel gives the Excel mark
+    module information containing the current selection within the current
+    workbook. … The Excel mark module uses the address in an Excel mark
+    object to tell Microsoft Excel to open the file, activate the
+    worksheet, and select the appropriate range." The workbook substrate
+    plays Excel; [open_workbook] plays the file-opening step. *)
+
+type target =
+  | Range_target of {
+      sheet_name : string;
+      range : Si_spreadsheet.Cellref.range;
+    }  (** the Fig 8 layout: [sheetName] + [range] *)
+  | Name_target of string
+      (** a defined name ([definedName] field) — survives row
+          insertion/deletion because {!Si_spreadsheet.Workbook} keeps
+          names adjusted *)
+
+type address = { file_name : string; target : target }
+
+val type_name : string
+(** ["excel"] *)
+
+val fields_of_address : address -> (string * string) list
+val address_of_fields : (string * string) list -> (address, string) result
+
+val mark_module :
+  ?module_name:string ->
+  open_workbook:(string -> (Si_spreadsheet.Workbook.t, string) result) ->
+  unit -> Manager.mark_module
+(** Resolution: excerpt = evaluated cell values of the range (cells
+    tab-separated, rows newline-separated); context = the sheet's used
+    range rendered the same way with the selection bracketed; display =
+    ["sheet!range: excerpt"]. *)
+
+val capture :
+  Si_spreadsheet.Workbook.t -> file_name:string -> sheet_name:string ->
+  range:Si_spreadsheet.Cellref.range -> (string * string) list
+(** What the (modified) base application hands the mark module when the
+    user selects a range — the fields for {!Manager.create_mark}. *)
+
+val capture_name :
+  Si_spreadsheet.Workbook.t -> file_name:string -> string ->
+  ((string * string) list, string) result
+(** Fields addressing a defined name; fails if the workbook has no such
+    name. *)

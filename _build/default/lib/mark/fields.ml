@@ -1,0 +1,28 @@
+(* Helpers for mark-address field codecs. Fields are the (string * string)
+   lists inside Mark.t; every mark module parses and emits them through
+   these. *)
+
+let get fields name =
+  match List.assoc_opt name fields with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let get_opt fields name = List.assoc_opt name fields
+
+let get_int fields name =
+  match get fields name with
+  | Error _ as e -> e
+  | Ok v -> (
+      match int_of_string_opt v with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "field %S is not an integer: %S" name v))
+
+let get_float fields name =
+  match get fields name with
+  | Error _ as e -> e
+  | Ok v -> (
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "field %S is not a number: %S" name v))
+
+let ( let* ) = Result.bind

@@ -1,0 +1,12 @@
+(** Helpers for mark-address field codecs.
+
+    Fields are the [(string * string) list] inside {!Mark.t}; every mark
+    module parses and emits them through these. *)
+
+val get : (string * string) list -> string -> (string, string) result
+val get_opt : (string * string) list -> string -> string option
+val get_int : (string * string) list -> string -> (int, string) result
+val get_float : (string * string) list -> string -> (float, string) result
+
+val ( let* ) :
+  ('a, 'e) result -> ('a -> ('b, 'e) result) -> ('b, 'e) result

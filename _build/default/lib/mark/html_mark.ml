@@ -1,0 +1,103 @@
+module Xml = Si_xmlk
+module Hd = Si_htmldoc.Htmldoc
+open Fields
+
+type target = Anchor of string | Node_path of Xml.Path.t | Selector of string
+type address = { file_name : string; target : target }
+
+let type_name = "html"
+
+let fields_of_address a =
+  ("fileName", a.file_name)
+  ::
+  (match a.target with
+  | Anchor id -> [ ("anchor", id) ]
+  | Node_path p -> [ ("nodePath", Xml.Path.to_string p) ]
+  | Selector s -> [ ("selector", s) ])
+
+let address_of_fields fields =
+  let* file_name = get fields "fileName" in
+  match get_opt fields "anchor" with
+  | Some id when id <> "" -> Ok { file_name; target = Anchor id }
+  | Some _ -> Error "empty anchor"
+  | None ->
+  match get_opt fields "selector" with
+  | Some sel -> (
+      match Si_htmldoc.Selector.parse sel with
+      | Ok _ -> Ok { file_name; target = Selector sel }
+      | Error msg -> Error (Printf.sprintf "bad selector %S: %s" sel msg))
+  | None -> (
+      let* path_text = get fields "nodePath" in
+      match Xml.Path.of_string path_text with
+      | Ok p -> Ok { file_name; target = Node_path p }
+      | Error msg -> Error (Printf.sprintf "bad nodePath %S: %s" path_text msg))
+
+let capture_anchor root ~file_name id =
+  if List.mem_assoc id (Hd.anchors root) then
+    Ok (fields_of_address { file_name; target = Anchor id })
+  else Error (Printf.sprintf "no anchor %S in the page" id)
+
+let capture_selector root ~file_name sel =
+  match Si_htmldoc.Selector.parse sel with
+  | Error msg -> Error (Printf.sprintf "bad selector %S: %s" sel msg)
+  | Ok parsed -> (
+      match Si_htmldoc.Selector.select_first root parsed with
+      | Some _ -> Ok (fields_of_address { file_name; target = Selector sel })
+      | None -> Error (Printf.sprintf "selector %S matches nothing" sel))
+
+let capture_node ~root ~file_name node =
+  match Xml.Path.path_of ~root node with
+  | Some p -> Ok (fields_of_address { file_name; target = Node_path p })
+  | None -> Error "selected node is not part of the page"
+
+let resolve_address open_page a =
+  let* root = open_page a.file_name in
+  let* node =
+    match a.target with
+    | Anchor id -> (
+        match List.assoc_opt id (Hd.anchors root) with
+        | Some n -> Ok n
+        | None ->
+            Error (Printf.sprintf "no anchor %S in %s" id a.file_name))
+    | Node_path p -> (
+        match Xml.Path.resolve_element root p with
+        | Some n -> Ok n
+        | None ->
+            Error
+              (Printf.sprintf "path %s does not resolve in %s"
+                 (Xml.Path.to_string p) a.file_name))
+    | Selector sel -> (
+        match Si_htmldoc.Selector.query root sel with
+        | Ok (n :: _) -> Ok n
+        | Ok [] ->
+            Error
+              (Printf.sprintf "selector %S matches nothing in %s" sel
+                 a.file_name)
+        | Error msg -> Error msg)
+  in
+  let page_title = Option.value (Hd.title root) ~default:a.file_name in
+  let fragment =
+    match a.target with
+    | Anchor id -> "#" ^ id
+    | Node_path p -> "#" ^ Xml.Path.to_string p
+    | Selector sel -> "?" ^ sel
+  in
+  Ok
+    {
+      Mark.res_excerpt = Hd.to_text node;
+      res_context = Printf.sprintf "%s\n\n%s" page_title (Hd.to_text root);
+      res_display = Xml.Print.to_string node;
+      res_source = a.file_name ^ fragment;
+    }
+
+let mark_module ?(module_name = "html") ~open_page () =
+  {
+    Manager.module_name;
+    handles_type = type_name;
+    validate =
+      (fun fields -> Result.map (fun _ -> ()) (address_of_fields fields));
+    resolve =
+      (fun fields ->
+        let* a = address_of_fields fields in
+        resolve_address open_page a);
+  }

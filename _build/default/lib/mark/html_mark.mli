@@ -1,0 +1,40 @@
+(** HTML marks: [fileName] (a URL in a real deployment) plus either an
+    anchor/fragment id or a node path. HTML pages are among SLIMPad's
+    supported base types (paper §3). *)
+
+type target =
+  | Anchor of string  (** fragment identifier: element id or [<a name>] *)
+  | Node_path of Si_xmlk.Path.t
+  | Selector of string
+      (** a CSS-style selector ({!Si_htmldoc.Selector}); the mark addresses
+          the {e first} match, document order *)
+
+type address = { file_name : string; target : target }
+
+val type_name : string
+(** ["html"] *)
+
+val fields_of_address : address -> (string * string) list
+val address_of_fields : (string * string) list -> (address, string) result
+
+val mark_module :
+  ?module_name:string ->
+  open_page:(string -> (Si_xmlk.Node.t, string) result) ->
+  unit -> Manager.mark_module
+(** [open_page] returns the parsed DOM ({!Si_htmldoc.Htmldoc.parse}).
+    Resolution: excerpt = rendered text of the addressed element; context
+    = rendered text of the whole page (with its title); display = the
+    element's HTML serialization. *)
+
+val capture_anchor :
+  Si_xmlk.Node.t -> file_name:string -> string ->
+  ((string * string) list, string) result
+
+val capture_node :
+  root:Si_xmlk.Node.t -> file_name:string -> Si_xmlk.Node.t ->
+  ((string * string) list, string) result
+
+val capture_selector :
+  Si_xmlk.Node.t -> file_name:string -> string ->
+  ((string * string) list, string) result
+(** Fails when the selector is malformed or matches nothing in the page. *)

@@ -1,0 +1,94 @@
+(** The Mark Manager (paper §4.2, Fig 7).
+
+    "The Mark Manager is the framework for creating and managing these
+    links – called marks. A mark module works with each base-layer
+    application to create and resolve marks. … Since the specific
+    addressing scheme of the base-layer information is encapsulated within
+    the mark, the Mark Manager can generically store and retrieve all
+    marks."
+
+    Mark modules are registered at run time; "to support new base-layer
+    applications, new mark modules need to be introduced" — without
+    touching the manager or any superimposed application. Several modules
+    may be registered for the same mark {e type} under different module
+    names (§5: "one manager for Excel can display Excel Marks in context
+    and another act as an in-place viewer"). *)
+
+type mark_module = {
+  module_name : string;  (** unique registry key *)
+  handles_type : string;  (** the mark type this module interprets *)
+  validate : (string * string) list -> (unit, string) result;
+      (** check that the address fields are well-formed *)
+  resolve : (string * string) list -> (Mark.resolution, string) result;
+      (** drive the base application to the marked element *)
+}
+
+type t
+
+val create : unit -> t
+
+(** {1 Module registry} *)
+
+val register : t -> mark_module -> (unit, string) result
+(** Fails on a duplicate module name. *)
+
+val register_exn : t -> mark_module -> unit
+val module_names : t -> string list
+(** Sorted. *)
+
+val modules_for_type : t -> string -> mark_module list
+val supported_types : t -> string list
+
+(** {1 Mark creation and storage} *)
+
+val create_mark :
+  t -> mark_type:string -> fields:(string * string) list ->
+  ?excerpt:string -> unit -> (Mark.t, string) result
+(** Validates the fields with (any) registered module for the type, then
+    stores the mark under a fresh id. When no [excerpt] is given, the mark
+    is resolved once and the current content cached. *)
+
+val add_mark : t -> Mark.t -> (unit, string) result
+(** Store an existing mark (e.g. loaded from elsewhere); fails on a
+    duplicate id. The type need not be registered yet — marks of
+    not-yet-supported types are kept and fail only on resolution. *)
+
+val mark : t -> string -> Mark.t option
+val mark_exn : t -> string -> Mark.t
+val marks : t -> Mark.t list
+(** Sorted by id. *)
+
+val remove_mark : t -> string -> bool
+val mark_count : t -> int
+
+(** {1 Resolution} *)
+
+val resolve : ?module_name:string -> t -> string -> (Mark.resolution, string) result
+(** [resolve mgr mark_id] finds the mark, dispatches to a module handling
+    its type ([module_name] selects a specific one), and drives the base
+    application to the element. *)
+
+val resolve_with :
+  ?module_name:string -> t -> string -> Mark.behaviour -> (string, string) result
+(** Resolution narrowed to one viewing behaviour. *)
+
+type drift = Unchanged | Changed of { was : string; now : string } | Unresolvable of string
+
+val check_drift : t -> string -> (drift, string) result
+(** Compare the excerpt cached at creation with the element's current
+    content (§3: redundancy "is a problem … if it introduces errors during
+    transcription"; this detects base-side divergence). *)
+
+val refresh_excerpt : t -> string -> (Mark.t, string) result
+(** Re-resolve and overwrite the cached excerpt. *)
+
+(** {1 Persistence} *)
+
+val to_xml : t -> Si_xmlk.Node.t
+(** Marks only; modules are code and must be re-registered. *)
+
+val of_xml : t -> Si_xmlk.Node.t -> (unit, string) result
+(** Loads marks into an existing manager (keeping its modules). *)
+
+val save : t -> string -> unit
+val load_into : t -> string -> (unit, string) result

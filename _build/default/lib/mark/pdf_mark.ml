@@ -1,0 +1,75 @@
+module Pd = Si_pdfdoc.Pdfdoc
+open Fields
+
+type address = { file_name : string; region : Pd.region }
+
+let type_name = "pdf"
+
+let fields_of_address a =
+  let r = a.region.Pd.rect in
+  [
+    ("fileName", a.file_name);
+    ("page", string_of_int a.region.Pd.page);
+    ("x", Printf.sprintf "%.2f" r.Pd.x);
+    ("y", Printf.sprintf "%.2f" r.Pd.y);
+    ("w", Printf.sprintf "%.2f" r.Pd.w);
+    ("h", Printf.sprintf "%.2f" r.Pd.h);
+  ]
+
+let address_of_fields fields =
+  let* file_name = get fields "fileName" in
+  let* page = get_int fields "page" in
+  let* x = get_float fields "x" in
+  let* y = get_float fields "y" in
+  let* w = get_float fields "w" in
+  let* h = get_float fields "h" in
+  if page < 1 then Error "page numbers start at 1"
+  else if w < 0. || h < 0. then Error "negative region"
+  else Ok { file_name; region = { Pd.page; rect = { Pd.x; y; w; h } } }
+
+let capture doc ~file_name ~page_number selected =
+  match Pd.bounding_region doc ~page_number selected with
+  | Some region -> Ok (fields_of_address { file_name; region })
+  | None -> Error "empty selection or missing page"
+
+let resolve_address open_document a =
+  let* doc = open_document a.file_name in
+  match Pd.nth_page doc a.region.Pd.page with
+  | None ->
+      Error (Printf.sprintf "no page %d in %s" a.region.Pd.page a.file_name)
+  | Some page -> (
+      match Pd.spans_in_region doc a.region with
+      | [] ->
+          Error
+            (Printf.sprintf "region selects nothing on page %d of %s"
+               a.region.Pd.page a.file_name)
+      | selected ->
+          let excerpt =
+            String.concat "\n"
+              (List.map (fun s -> s.Pd.span_text) selected)
+          in
+          let doc_title =
+            if Pd.title doc = "" then a.file_name else Pd.title doc
+          in
+          Ok
+            {
+              Mark.res_excerpt = excerpt;
+              res_context = Pd.page_text page;
+              res_display =
+                Printf.sprintf "%s p.%d: %s" doc_title a.region.Pd.page
+                  excerpt;
+              res_source =
+                Printf.sprintf "%s p.%d" a.file_name a.region.Pd.page;
+            })
+
+let mark_module ?(module_name = "pdf") ~open_document () =
+  {
+    Manager.module_name;
+    handles_type = type_name;
+    validate =
+      (fun fields -> Result.map (fun _ -> ()) (address_of_fields fields));
+    resolve =
+      (fun fields ->
+        let* a = address_of_fields fields in
+        resolve_address open_document a);
+  }

@@ -1,0 +1,25 @@
+(** PDF marks: [fileName], [page], and a rectangular region
+    ([x]/[y]/[w]/[h]) — an Acrobat-style highlight. PDF documents are
+    among SLIMPad's supported base types (paper §3). *)
+
+type address = { file_name : string; region : Si_pdfdoc.Pdfdoc.region }
+
+val type_name : string
+(** ["pdf"] *)
+
+val fields_of_address : address -> (string * string) list
+val address_of_fields : (string * string) list -> (address, string) result
+
+val mark_module :
+  ?module_name:string ->
+  open_document:(string -> (Si_pdfdoc.Pdfdoc.t, string) result) ->
+  unit -> Manager.mark_module
+(** Resolution: excerpt = text of spans intersecting the region; context =
+    the whole page's text; display = ["title p.N: excerpt"]. An empty
+    region (no spans) is an error — the highlight selects nothing. *)
+
+val capture :
+  Si_pdfdoc.Pdfdoc.t -> file_name:string ->
+  page_number:int -> Si_pdfdoc.Pdfdoc.text_span list ->
+  ((string * string) list, string) result
+(** Fields for a selection of spans: stores their bounding region. *)

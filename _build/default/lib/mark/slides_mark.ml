@@ -1,0 +1,71 @@
+module Sl = Si_slides.Slides
+open Fields
+
+type address = { file_name : string; target : Sl.address }
+
+let type_name = "slides"
+
+let fields_of_address a =
+  [
+    ("fileName", a.file_name);
+    ("slide", string_of_int a.target.Sl.slide);
+    ("shapeId", a.target.Sl.shape_id);
+  ]
+  @
+  match a.target.Sl.bullet with
+  | Some b -> [ ("bullet", string_of_int b) ]
+  | None -> []
+
+let address_of_fields fields =
+  let* file_name = get fields "fileName" in
+  let* slide = get_int fields "slide" in
+  let* shape_id = get fields "shapeId" in
+  let* bullet =
+    match get_opt fields "bullet" with
+    | None -> Ok None
+    | Some b -> (
+        match int_of_string_opt b with
+        | Some n when n >= 1 -> Ok (Some n)
+        | Some _ | None -> Error (Printf.sprintf "bad bullet index %S" b))
+  in
+  if slide < 1 then Error "slide numbers start at 1"
+  else Ok { file_name; target = { Sl.slide; shape_id; bullet } }
+
+let capture pres ~file_name target =
+  match Sl.resolve pres target with
+  | Some _ -> Ok (fields_of_address { file_name; target })
+  | None -> Error "address does not resolve in the presentation"
+
+let resolve_address open_presentation a =
+  let* pres = open_presentation a.file_name in
+  match Sl.resolve pres a.target with
+  | None ->
+      Error
+        (Printf.sprintf "slide %d shape %S does not resolve in %s"
+           a.target.Sl.slide a.target.Sl.shape_id a.file_name)
+  | Some excerpt ->
+      let slide = Option.get (Sl.nth_slide pres a.target.Sl.slide) in
+      let deck = if Sl.title pres = "" then a.file_name else Sl.title pres in
+      Ok
+        {
+          Mark.res_excerpt = excerpt;
+          res_context = Printf.sprintf "%s\n\n%s" deck (Sl.slide_text slide);
+          res_display =
+            Printf.sprintf "slide %d, %s: %s" a.target.Sl.slide
+              a.target.Sl.shape_id excerpt;
+          res_source =
+            Printf.sprintf "%s: slide %d, shape %s" a.file_name
+              a.target.Sl.slide a.target.Sl.shape_id;
+        }
+
+let mark_module ?(module_name = "slides") ~open_presentation () =
+  {
+    Manager.module_name;
+    handles_type = type_name;
+    validate =
+      (fun fields -> Result.map (fun _ -> ()) (address_of_fields fields));
+    resolve =
+      (fun fields ->
+        let* a = address_of_fields fields in
+        resolve_address open_presentation a);
+  }

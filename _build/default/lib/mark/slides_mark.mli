@@ -1,0 +1,22 @@
+(** PowerPoint marks: [fileName], [slide], [shapeId], optional [bullet].
+    Presentations are among SLIMPad's supported base types (paper §3). *)
+
+type address = { file_name : string; target : Si_slides.Slides.address }
+
+val type_name : string
+(** ["slides"] *)
+
+val fields_of_address : address -> (string * string) list
+val address_of_fields : (string * string) list -> (address, string) result
+
+val mark_module :
+  ?module_name:string ->
+  open_presentation:(string -> (Si_slides.Slides.t, string) result) ->
+  unit -> Manager.mark_module
+(** Resolution: excerpt = the addressed shape's (or bullet's) text;
+    context = the whole slide's text under the deck title; display =
+    ["slide n, shape: excerpt"]. *)
+
+val capture :
+  Si_slides.Slides.t -> file_name:string -> Si_slides.Slides.address ->
+  ((string * string) list, string) result

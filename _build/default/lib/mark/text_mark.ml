@@ -1,0 +1,72 @@
+module Td = Si_textdoc.Textdoc
+open Fields
+
+type address = { file_name : string; span : Td.span; selected : string }
+
+let type_name = "text"
+
+let fields_of_address a =
+  [
+    ("fileName", a.file_name);
+    ("offset", string_of_int a.span.Td.offset);
+    ("length", string_of_int a.span.Td.length);
+    ("selected", a.selected);
+  ]
+
+let address_of_fields fields =
+  let* file_name = get fields "fileName" in
+  let* offset = get_int fields "offset" in
+  let* length = get_int fields "length" in
+  if offset < 0 || length < 0 then Error "negative span"
+  else
+    let selected = Option.value (get_opt fields "selected") ~default:"" in
+    Ok { file_name; span = { Td.offset; length }; selected }
+
+let capture doc ~file_name span =
+  match Td.extract doc span with
+  | Some selected -> Ok (fields_of_address { file_name; span; selected })
+  | None -> Error "span out of bounds"
+
+(* The effective span: the stored one if it still carries the remembered
+   text, otherwise the nearest occurrence of that text. *)
+let locate doc a =
+  match Td.extract doc a.span with
+  | Some current when a.selected = "" || current = a.selected -> Some a.span
+  | Some _ | None ->
+      if a.selected = "" then None
+      else Td.reanchor doc ~excerpt:a.selected ~stale_offset:a.span.Td.offset
+
+let resolve_address open_document context_lines a =
+  let* doc = open_document a.file_name in
+  match locate doc a with
+  | None ->
+      Error
+        (Printf.sprintf "span %d+%d invalid in %s and excerpt not found"
+           a.span.Td.offset a.span.Td.length a.file_name)
+  | Some span ->
+      let excerpt = Td.extract_exn doc span in
+      let line =
+        match Td.position_of_offset doc span.Td.offset with
+        | Some p -> p.Td.line
+        | None -> 0
+      in
+      Ok
+        {
+          Mark.res_excerpt = excerpt;
+          res_context = Td.context doc span ~lines_around:context_lines;
+          res_display = Printf.sprintf "%s:%d: %s" a.file_name line excerpt;
+          res_source = Printf.sprintf "%s:%d" a.file_name line;
+        }
+
+let mark_module ?(module_name = "text") ?(context_lines = 2) ~open_document ()
+    =
+  {
+    Manager.module_name;
+    handles_type = type_name;
+    validate =
+      (fun fields -> Result.map (fun _ -> ()) (address_of_fields fields));
+    resolve =
+      (fun fields ->
+        let* a = address_of_fields fields in
+        resolve_address open_document context_lines a);
+  }

@@ -1,0 +1,31 @@
+(** Text marks: [fileName], [offset], [length], plus the selected excerpt.
+
+    The excerpt travels in the address fields so resolution can re-anchor
+    the span when the underlying file has been edited (the base document
+    substrate's {!Si_textdoc.Textdoc.reanchor}). *)
+
+type address = {
+  file_name : string;
+  span : Si_textdoc.Textdoc.span;
+  selected : string;  (** excerpt at creation, used for re-anchoring *)
+}
+
+val type_name : string
+(** ["text"] *)
+
+val fields_of_address : address -> (string * string) list
+val address_of_fields : (string * string) list -> (address, string) result
+
+val mark_module :
+  ?module_name:string ->
+  ?context_lines:int ->
+  open_document:(string -> (Si_textdoc.Textdoc.t, string) result) ->
+  unit -> Manager.mark_module
+(** Resolution: excerpt = current text of the (possibly re-anchored) span;
+    context = surrounding lines ([context_lines] each side, default 2);
+    display = ["file:line: excerpt"]. Resolution fails only when the span
+    is invalid {e and} the remembered excerpt is nowhere in the file. *)
+
+val capture :
+  Si_textdoc.Textdoc.t -> file_name:string -> Si_textdoc.Textdoc.span ->
+  ((string * string) list, string) result

@@ -1,0 +1,84 @@
+module Wp = Si_wordproc.Wordproc
+open Fields
+
+type target = Bookmark of string | Span of Wp.span
+type address = { file_name : string; target : target }
+
+let type_name = "word"
+
+let fields_of_address a =
+  ("fileName", a.file_name)
+  ::
+  (match a.target with
+  | Bookmark name -> [ ("bookmark", name) ]
+  | Span s ->
+      [
+        ("para", string_of_int s.Wp.para);
+        ("offset", string_of_int s.Wp.offset);
+        ("length", string_of_int s.Wp.length);
+      ])
+
+let address_of_fields fields =
+  let* file_name = get fields "fileName" in
+  match get_opt fields "bookmark" with
+  | Some name -> Ok { file_name; target = Bookmark name }
+  | None ->
+      let* para = get_int fields "para" in
+      let* offset = get_int fields "offset" in
+      let* length = get_int fields "length" in
+      if para < 1 || offset < 0 || length < 0 then Error "bad span"
+      else Ok { file_name; target = Span { Wp.para; offset; length } }
+
+let capture_span doc ~file_name span =
+  if Wp.span_valid doc span then
+    Ok (fields_of_address { file_name; target = Span span })
+  else Error "span out of bounds"
+
+let capture_bookmark doc ~file_name name =
+  match Wp.bookmark doc name with
+  | Some _ -> Ok (fields_of_address { file_name; target = Bookmark name })
+  | None -> Error (Printf.sprintf "no bookmark %S" name)
+
+let resolve_address open_document a =
+  let* doc = open_document a.file_name in
+  let* span =
+    match a.target with
+    | Span s -> Ok s
+    | Bookmark name -> (
+        match Wp.bookmark doc name with
+        | Some s -> Ok s
+        | None ->
+            Error (Printf.sprintf "no bookmark %S in %s" name a.file_name))
+  in
+  match Wp.extract doc span with
+  | None ->
+      Error
+        (Printf.sprintf "span ¶%d %d+%d invalid in %s" span.Wp.para
+           span.Wp.offset span.Wp.length a.file_name)
+  | Some excerpt ->
+      let paragraph =
+        Option.value (Wp.block_text doc span.Wp.para) ~default:""
+      in
+      let doc_title =
+        if Wp.title doc = "" then a.file_name else Wp.title doc
+      in
+      Ok
+        {
+          Mark.res_excerpt = excerpt;
+          res_context = Printf.sprintf "%s\n\n%s" doc_title paragraph;
+          res_display =
+            Printf.sprintf "%s ¶%d: %s" doc_title span.Wp.para excerpt;
+          res_source = Printf.sprintf "%s ¶%d" a.file_name span.Wp.para;
+        }
+
+let mark_module ?(module_name = "word") ~open_document () =
+  {
+    Manager.module_name;
+    handles_type = type_name;
+    validate =
+      (fun fields -> Result.map (fun _ -> ()) (address_of_fields fields));
+    resolve =
+      (fun fields ->
+        let* a = address_of_fields fields in
+        resolve_address open_document a);
+  }

@@ -1,0 +1,31 @@
+(** Word marks: [fileName] plus either a bookmark name or a paragraph
+    character span. Word documents are among SLIMPad's supported base
+    types (paper §3). *)
+
+type target =
+  | Bookmark of string
+  | Span of Si_wordproc.Wordproc.span
+
+type address = { file_name : string; target : target }
+
+val type_name : string
+(** ["word"] *)
+
+val fields_of_address : address -> (string * string) list
+val address_of_fields : (string * string) list -> (address, string) result
+
+val mark_module :
+  ?module_name:string ->
+  open_document:(string -> (Si_wordproc.Wordproc.t, string) result) ->
+  unit -> Manager.mark_module
+(** Resolution: excerpt = the span's text; context = the whole paragraph
+    (with the document title); display = ["title ¶n: excerpt"]. Bookmark
+    targets resolve through the document's bookmark table. *)
+
+val capture_span :
+  Si_wordproc.Wordproc.t -> file_name:string -> Si_wordproc.Wordproc.span ->
+  ((string * string) list, string) result
+
+val capture_bookmark :
+  Si_wordproc.Wordproc.t -> file_name:string -> string ->
+  ((string * string) list, string) result

@@ -1,0 +1,133 @@
+module Xml = Si_xmlk
+open Fields
+
+type address = { file_name : string; path : Xml.Path.t; selected : string }
+
+let type_name = "xml"
+
+let fields_of_address a =
+  [ ("fileName", a.file_name); ("xmlPath", Xml.Path.to_string a.path) ]
+  @ if a.selected = "" then [] else [ ("selected", a.selected) ]
+
+let address_of_fields fields =
+  let* file_name = get fields "fileName" in
+  let* path_text = get fields "xmlPath" in
+  match Xml.Path.of_string path_text with
+  | Ok path ->
+      Ok
+        {
+          file_name;
+          path;
+          selected = Option.value (get_opt fields "selected") ~default:"";
+        }
+  | Error msg -> Error (Printf.sprintf "bad xmlPath %S: %s" path_text msg)
+
+let capture ~root ~file_name node =
+  match Xml.Path.path_of ~root node with
+  | Some path ->
+      Ok
+        (fields_of_address
+           { file_name; path; selected = Xml.Node.text_content node })
+  | None -> Error "selected node is not part of the document"
+
+(* When the stored path no longer resolves (the document was restructured),
+   re-anchor on the remembered content: among elements whose text equals
+   the selection, prefer ones whose element name matches the stale path's
+   last step. *)
+let reanchor root a =
+  if a.selected = "" then None
+  else
+    let wanted_name =
+      match List.rev a.path.Xml.Path.steps with
+      | { Xml.Path.name = Some n; _ } :: _ -> Some n
+      | _ -> None
+    in
+    let candidates =
+      Xml.Path.all_element_paths root
+      |> List.filter (fun (_, node) ->
+             String.equal (Xml.Node.text_content node) a.selected)
+    in
+    let named =
+      match wanted_name with
+      | None -> []
+      | Some n ->
+          List.filter (fun (_, node) -> Xml.Node.name node = Some n) candidates
+    in
+    match (named, candidates) with
+    | (p, _) :: _, _ -> Some p
+    | [], (p, _) :: _ -> Some p
+    | [], [] -> None
+
+let resolve_address open_document a =
+  let* root = open_document a.file_name in
+  (* The effective path. A restructured document can leave the stored path
+     resolving to a different element, so a positional hit whose content
+     disagrees with the remembered selection only stands if the selection
+     is not found anywhere else (in-place edits are legitimate: drift
+     detection reports them). *)
+  let content_of = function
+    | Xml.Path.Resolved_element node -> Xml.Node.text_content node
+    | Xml.Path.Resolved_attribute (_, v) -> v
+    | Xml.Path.Resolved_text text -> text
+  in
+  let reanchored () =
+    match reanchor root a with
+    | Some path ->
+        Option.map (fun r -> (path, r)) (Xml.Path.resolve root path)
+    | None -> None
+  in
+  let resolution_opt =
+    match Xml.Path.resolve root a.path with
+    | Some r when a.selected = "" || content_of r = a.selected ->
+        Some (a.path, r)
+    | Some r -> (
+        match reanchored () with
+        | Some _ as moved -> moved
+        | None -> Some (a.path, r))
+    | None -> reanchored ()
+  in
+  match resolution_opt with
+  | None ->
+      Error
+        (Printf.sprintf "path %s does not resolve in %s (and the selection \
+                         was not found elsewhere)"
+           (Xml.Path.to_string a.path) a.file_name)
+  | Some (effective_path, resolution) ->
+      let source =
+        Printf.sprintf "%s#%s" a.file_name (Xml.Path.to_string effective_path)
+      in
+      let excerpt, display =
+        match resolution with
+        | Xml.Path.Resolved_element node ->
+            (Xml.Node.text_content node, Xml.Print.to_string_pretty node)
+        | Xml.Path.Resolved_attribute (_, v) -> (v, v)
+        | Xml.Path.Resolved_text text -> (text, text)
+      in
+      let context =
+        (* Highlight by showing the parent element's subtree. *)
+        let parent_path =
+          Option.value (Xml.Path.parent effective_path) ~default:Xml.Path.root
+        in
+        match Xml.Path.resolve_element root parent_path with
+        | Some parent -> Xml.Print.to_string_pretty parent
+        | None -> Xml.Print.to_string_pretty root
+      in
+      Ok
+        {
+          Mark.res_excerpt = excerpt;
+          res_context = context;
+          res_display = display;
+          res_source = source;
+        }
+
+let mark_module ?(module_name = "xml") ~open_document () =
+  {
+    Manager.module_name;
+    handles_type = type_name;
+    validate =
+      (fun fields -> Result.map (fun _ -> ()) (address_of_fields fields));
+    resolve =
+      (fun fields ->
+        let* a = address_of_fields fields in
+        resolve_address open_document a);
+  }

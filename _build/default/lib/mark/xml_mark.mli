@@ -1,0 +1,37 @@
+(** XML marks (paper Fig 8): [fileName], [xmlPath].
+
+    "An XML mark references an element within an XML file." Resolution
+    opens the document and highlights the addressed element (paper §3:
+    "opens the lab report and highlights the appropriate section of the
+    XML document"). *)
+
+type address = {
+  file_name : string;
+  path : Si_xmlk.Path.t;
+  selected : string;
+      (** text content at creation; lets resolution re-anchor when the
+          document is restructured and the path goes stale — the element
+          with matching content (preferring the original element name)
+          wins *)
+}
+
+val type_name : string
+(** ["xml"] *)
+
+val fields_of_address : address -> (string * string) list
+val address_of_fields : (string * string) list -> (address, string) result
+
+val mark_module :
+  ?module_name:string ->
+  open_document:(string -> (Si_xmlk.Node.t, string) result) ->
+  unit -> Manager.mark_module
+(** Resolution: excerpt = text content of the addressed element (or the
+    attribute/text value); context = the parent element pretty-printed;
+    display = the addressed element pretty-printed. *)
+
+val capture :
+  root:Si_xmlk.Node.t -> file_name:string -> Si_xmlk.Node.t ->
+  ((string * string) list, string) result
+(** Derive the fields for the user's currently selected element (the
+    XML-viewer side of mark creation): computes the element's path within
+    [root]. *)

@@ -1,0 +1,1 @@
+lib/metamodel/model.ml: Buffer Format Hashtbl List Option Printf Si_triple String Vocab

@@ -1,0 +1,1 @@
+lib/metamodel/model.mli: Format Si_triple

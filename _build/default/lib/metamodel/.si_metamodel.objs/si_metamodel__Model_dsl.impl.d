@@ -1,0 +1,1 @@
+lib/metamodel/model_dsl.ml: Buffer In_channel List Model Printf Si_triple String

@@ -1,0 +1,1 @@
+lib/metamodel/model_dsl.mli: Model Si_triple

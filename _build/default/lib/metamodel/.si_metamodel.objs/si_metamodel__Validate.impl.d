@@ -1,0 +1,1 @@
+lib/metamodel/validate.ml: Buffer Format List Model Printf Si_triple String Vocab

@@ -1,0 +1,1 @@
+lib/metamodel/validate.mli: Format Model

@@ -1,0 +1,1 @@
+lib/metamodel/vocab.ml: List String

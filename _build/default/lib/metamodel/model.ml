@@ -1,0 +1,370 @@
+module Trim = Si_triple.Trim
+module Triple = Si_triple.Triple
+
+type t = { trim : Trim.t; model_id : string; model_name : string }
+type construct_kind = Construct | Literal_construct | Mark_construct
+type construct = { construct_id : string; kind : construct_kind }
+type cardinality = { min_card : int; max_card : int option }
+
+type connector = {
+  connector_id : string;
+  conn_predicate : string;
+  conn_domain : construct;
+  conn_range : construct;
+  card : cardinality;
+}
+
+let any_card = { min_card = 0; max_card = None }
+let optional_card = { min_card = 0; max_card = Some 1 }
+let one_card = { min_card = 1; max_card = Some 1 }
+let at_least_one = { min_card = 1; max_card = None }
+
+let name t = t.model_name
+let id t = t.model_id
+let trim t = t.trim
+
+(* Model ids are derived from the name so they are stable across runs. *)
+let model_id_of_name model_name = "model:" ^ model_name
+
+let find trim ~name =
+  let model_id = model_id_of_name name in
+  match Trim.literal_of trim ~subject:model_id ~predicate:Vocab.rdfs_label with
+  | Some label when label = name -> Some { trim; model_id; model_name = name }
+  | Some _ | None -> None
+
+let define trim ~name =
+  match find trim ~name with
+  | Some m -> m
+  | None ->
+      let model_id = model_id_of_name name in
+      ignore
+        (Trim.add trim
+           (Triple.make model_id Vocab.rdf_type (Triple.resource Vocab.model)));
+      ignore
+        (Trim.add trim
+           (Triple.make model_id Vocab.rdfs_label (Triple.literal name)));
+      { trim; model_id; model_name = name }
+
+let all trim =
+  Trim.select ~predicate:Vocab.rdf_type
+    ~object_:(Triple.resource Vocab.model) trim
+  |> List.filter_map (fun (tr : Triple.t) ->
+         Option.map
+           (fun label -> { trim; model_id = tr.subject; model_name = label })
+           (Trim.literal_of trim ~subject:tr.subject
+              ~predicate:Vocab.rdfs_label))
+  |> List.sort (fun a b -> String.compare a.model_name b.model_name)
+
+(* ---------------------------------------------------------- constructs *)
+
+let kind_class = function
+  | Construct -> Vocab.construct
+  | Literal_construct -> Vocab.literal_construct
+  | Mark_construct -> Vocab.mark_construct
+
+let kind_of_class c =
+  if c = Vocab.construct then Some Construct
+  else if c = Vocab.literal_construct then Some Literal_construct
+  else if c = Vocab.mark_construct then Some Mark_construct
+  else None
+
+let construct_id_of_name m construct_name =
+  m.model_id ^ "/" ^ construct_name
+
+let find_construct m construct_name =
+  let construct_id = construct_id_of_name m construct_name in
+  match
+    Trim.resource_of m.trim ~subject:construct_id ~predicate:Vocab.rdf_type
+  with
+  | Some c -> (
+      match kind_of_class c with
+      | Some kind -> Some { construct_id; kind }
+      | None -> None)
+  | None -> None
+
+let make_construct m kind construct_name =
+  match find_construct m construct_name with
+  | Some existing ->
+      if existing.kind <> kind then
+        invalid_arg
+          (Printf.sprintf "Model: construct %S already exists with another kind"
+             construct_name);
+      existing
+  | None ->
+      let construct_id = construct_id_of_name m construct_name in
+      let add tr = ignore (Trim.add m.trim tr) in
+      add
+        (Triple.make construct_id Vocab.rdf_type
+           (Triple.resource (kind_class kind)));
+      add
+        (Triple.make construct_id Vocab.rdfs_label
+           (Triple.literal construct_name));
+      add (Triple.make construct_id Vocab.in_model (Triple.resource m.model_id));
+      { construct_id; kind }
+
+let construct m n = make_construct m Construct n
+let literal_construct m n = make_construct m Literal_construct n
+let mark_construct m n = make_construct m Mark_construct n
+
+let construct_name m c =
+  match
+    Trim.literal_of m.trim ~subject:c.construct_id ~predicate:Vocab.rdfs_label
+  with
+  | Some label -> label
+  | None -> c.construct_id
+
+let construct_of_id m construct_id =
+  match
+    Trim.resource_of m.trim ~subject:construct_id ~predicate:Vocab.rdf_type
+  with
+  | Some c -> (
+      match kind_of_class c with
+      | Some kind -> Some { construct_id; kind }
+      | None -> None)
+  | None -> None
+
+let constructs m =
+  Trim.select ~predicate:Vocab.in_model ~object_:(Triple.resource m.model_id)
+    m.trim
+  |> List.filter_map (fun (tr : Triple.t) -> construct_of_id m tr.subject)
+  |> List.sort (fun a b ->
+         String.compare (construct_name m a) (construct_name m b))
+
+(* ------------------------------------------------------- generalization *)
+
+let direct_supers m c =
+  Trim.select ~subject:c.construct_id ~predicate:Vocab.rdfs_subclass_of m.trim
+  |> List.filter_map (fun (tr : Triple.t) ->
+         match tr.object_ with
+         | Triple.Resource r -> construct_of_id m r
+         | Triple.Literal _ -> None)
+
+let superconstructs m c =
+  let seen = Hashtbl.create 8 in
+  Hashtbl.add seen c.construct_id ();
+  let rec walk frontier acc =
+    match frontier with
+    | [] -> List.rev acc
+    | x :: rest ->
+        let supers =
+          direct_supers m x
+          |> List.filter (fun s -> not (Hashtbl.mem seen s.construct_id))
+        in
+        List.iter (fun s -> Hashtbl.add seen s.construct_id ()) supers;
+        walk (rest @ supers) (List.rev_append supers acc)
+  in
+  walk [ c ] []
+
+let generalize m ~sub ~super =
+  ignore
+    (Trim.add m.trim
+       (Triple.make sub.construct_id Vocab.rdfs_subclass_of
+          (Triple.resource super.construct_id)))
+
+let is_subconstruct_of m ~sub ~super =
+  sub.construct_id = super.construct_id
+  || List.exists
+       (fun c -> c.construct_id = super.construct_id)
+       (superconstructs m sub)
+
+(* ----------------------------------------------------------- connectors *)
+
+let connector_id_of m ~domain ~name = domain ^ "#" ^ name ^ "@" ^ m.model_id
+
+let connector_of_id m connector_id =
+  match
+    ( Trim.literal_of m.trim ~subject:connector_id ~predicate:Vocab.predicate,
+      Trim.resource_of m.trim ~subject:connector_id ~predicate:Vocab.domain,
+      Trim.resource_of m.trim ~subject:connector_id ~predicate:Vocab.range )
+  with
+  | Some conn_predicate, Some domain_id, Some range_id -> (
+      match (construct_of_id m domain_id, construct_of_id m range_id) with
+      | Some conn_domain, Some conn_range ->
+          let min_card =
+            Trim.literal_of m.trim ~subject:connector_id
+              ~predicate:Vocab.min_card
+            |> Option.map int_of_string
+            |> Option.value ~default:0
+          in
+          let max_card =
+            Option.bind
+              (Trim.literal_of m.trim ~subject:connector_id
+                 ~predicate:Vocab.max_card)
+              int_of_string_opt
+          in
+          Some
+            {
+              connector_id;
+              conn_predicate;
+              conn_domain;
+              conn_range;
+              card = { min_card; max_card };
+            }
+      | _ -> None)
+  | _ -> None
+
+let connect m ~name ~from_ ~to_ ?(card = any_card) () =
+  let connector_id = connector_id_of m ~domain:from_.construct_id ~name in
+  match connector_of_id m connector_id with
+  | Some existing -> existing
+  | None ->
+      let add tr = ignore (Trim.add m.trim tr) in
+      add
+        (Triple.make connector_id Vocab.rdf_type
+           (Triple.resource Vocab.connector));
+      add (Triple.make connector_id Vocab.predicate (Triple.literal name));
+      add
+        (Triple.make connector_id Vocab.domain
+           (Triple.resource from_.construct_id));
+      add
+        (Triple.make connector_id Vocab.range
+           (Triple.resource to_.construct_id));
+      add
+        (Triple.make connector_id Vocab.in_model (Triple.resource m.model_id));
+      add
+        (Triple.make connector_id Vocab.min_card
+           (Triple.literal (string_of_int card.min_card)));
+      (match card.max_card with
+      | Some n ->
+          add
+            (Triple.make connector_id Vocab.max_card
+               (Triple.literal (string_of_int n)))
+      | None -> ());
+      {
+        connector_id;
+        conn_predicate = name;
+        conn_domain = from_;
+        conn_range = to_;
+        card;
+      }
+
+let connectors m =
+  Trim.select ~predicate:Vocab.in_model ~object_:(Triple.resource m.model_id)
+    m.trim
+  |> List.filter_map (fun (tr : Triple.t) ->
+         match
+           Trim.resource_of m.trim ~subject:tr.subject
+             ~predicate:Vocab.rdf_type
+         with
+         | Some c when c = Vocab.connector -> connector_of_id m tr.subject
+         | _ -> None)
+  |> List.sort (fun a b -> String.compare a.connector_id b.connector_id)
+
+let connectors_of m c =
+  let family = c :: superconstructs m c in
+  connectors m
+  |> List.filter (fun conn ->
+         List.exists
+           (fun fc -> fc.construct_id = conn.conn_domain.construct_id)
+           family)
+
+let find_connector m ~domain ~predicate =
+  List.find_opt
+    (fun conn -> conn.conn_predicate = predicate)
+    (connectors_of m domain)
+
+(* ------------------------------------------------------------ instances *)
+
+let new_instance m c ?id () =
+  let inst =
+    match id with
+    | Some i -> i
+    | None ->
+        Trim.new_id
+          ~prefix:(String.lowercase_ascii (construct_name m c) ^ "-")
+          m.trim
+  in
+  ignore
+    (Trim.add m.trim
+       (Triple.make inst Vocab.rdf_type (Triple.resource c.construct_id)));
+  inst
+
+let instance_type trim inst =
+  Trim.resource_of trim ~subject:inst ~predicate:Vocab.rdf_type
+
+let instances_of m c =
+  Trim.select ~predicate:Vocab.rdf_type
+    ~object_:(Triple.resource c.construct_id) m.trim
+  |> List.map (fun (tr : Triple.t) -> tr.subject)
+  |> List.sort String.compare
+
+let check_not_reserved pred =
+  if Vocab.is_reserved_predicate pred then
+    invalid_arg
+      (Printf.sprintf "Model: %S is a reserved metamodel predicate" pred)
+
+let set_property m inst pred obj =
+  check_not_reserved pred;
+  Trim.set m.trim ~subject:inst ~predicate:pred obj
+
+let add_property m inst pred obj =
+  check_not_reserved pred;
+  ignore (Trim.add m.trim (Triple.make inst pred obj))
+
+let property m inst pred = Trim.object_of m.trim ~subject:inst ~predicate:pred
+
+let properties m inst =
+  Trim.select ~subject:inst m.trim
+  |> List.filter (fun (tr : Triple.t) ->
+         not (Vocab.is_reserved_predicate tr.predicate))
+  |> List.map (fun (tr : Triple.t) -> (tr.predicate, tr.object_))
+  |> List.sort compare
+
+let delete_instance m inst =
+  let outgoing = Trim.remove_subject m.trim inst in
+  let incoming = Trim.select ~object_:(Triple.resource inst) m.trim in
+  List.iter (fun tr -> ignore (Trim.remove m.trim tr)) incoming;
+  outgoing + List.length incoming
+
+let conform m ~instance ~to_ =
+  ignore
+    (Trim.add m.trim
+       (Triple.make instance Vocab.conforms_to (Triple.resource to_)))
+
+let conforms_to trim inst =
+  Trim.select ~subject:inst ~predicate:Vocab.conforms_to trim
+  |> List.filter_map (fun (tr : Triple.t) ->
+         match tr.object_ with
+         | Triple.Resource r -> Some r
+         | Triple.Literal _ -> None)
+  |> List.sort String.compare
+
+(* ------------------------------------------------------------- display *)
+
+let pp ppf m =
+  Format.fprintf ppf "<model %s: %d constructs, %d connectors>" m.model_name
+    (List.length (constructs m))
+    (List.length (connectors m))
+
+let card_to_string { min_card; max_card } =
+  Printf.sprintf "%d..%s" min_card
+    (match max_card with Some n -> string_of_int n | None -> "*")
+
+let describe m =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "model %s\n" m.model_name);
+  List.iter
+    (fun c ->
+      let kind =
+        match c.kind with
+        | Construct -> "construct"
+        | Literal_construct -> "literal"
+        | Mark_construct -> "mark"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s %s\n" kind (construct_name m c));
+      List.iter
+        (fun s ->
+          Buffer.add_string buf
+            (Printf.sprintf "    isa %s\n" (construct_name m s)))
+        (direct_supers m c);
+      List.iter
+        (fun conn ->
+          if conn.conn_domain.construct_id = c.construct_id then
+            Buffer.add_string buf
+              (Printf.sprintf "    %s : %s [%s]\n" conn.conn_predicate
+                 (construct_name m conn.conn_range)
+                 (card_to_string conn.card)))
+        (connectors m))
+    (constructs m);
+  Buffer.contents buf

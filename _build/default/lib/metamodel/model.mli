@@ -1,0 +1,140 @@
+(** Data-model definition over the metamodel (paper §4.3).
+
+    "SLIM thus contains data-model-definition capability, in addition to
+    the normal schema-definition capability of a data manager." A model is
+    a set of {e constructs} (units of structure), {e literal constructs}
+    (primitive types), {e mark constructs} (delineating marks), and
+    {e connectors} (relationships between constructs, with cardinality).
+    Generalization and conformance connectors relate constructs to each
+    other and instances to types.
+
+    Everything a model says is stored as triples in a {!Si_triple.Trim.t},
+    using the RDFS-style vocabulary of {!Vocab} — the model is itself data,
+    explicit and queryable, which is what lets SLIM host many superimposed
+    models side by side. *)
+
+type t
+(** A handle on a model inside a triple manager. *)
+
+type construct_kind = Construct | Literal_construct | Mark_construct
+
+type construct = private { construct_id : string; kind : construct_kind }
+
+type cardinality = { min_card : int; max_card : int option }
+(** [max_card = None] means unbounded. *)
+
+type connector = private {
+  connector_id : string;
+  conn_predicate : string;
+  conn_domain : construct;
+  conn_range : construct;
+  card : cardinality;
+}
+
+val any_card : cardinality
+(** [0..*] *)
+
+val optional_card : cardinality
+(** [0..1] *)
+
+val one_card : cardinality
+(** [1..1] *)
+
+val at_least_one : cardinality
+(** [1..*] *)
+
+(** {1 Models} *)
+
+val define : Si_triple.Trim.t -> name:string -> t
+(** Creates the model resource (idempotent: returns the existing model of
+    that name if already defined). *)
+
+val find : Si_triple.Trim.t -> name:string -> t option
+val all : Si_triple.Trim.t -> t list
+val name : t -> string
+val id : t -> string
+val trim : t -> Si_triple.Trim.t
+
+(** {1 Constructs} *)
+
+val construct : t -> string -> construct
+(** Create (idempotently) a construct with the given name. *)
+
+val literal_construct : t -> string -> construct
+val mark_construct : t -> string -> construct
+val find_construct : t -> string -> construct option
+val constructs : t -> construct list
+(** All constructs of the model, sorted by name. *)
+
+val construct_name : t -> construct -> string
+
+(** {1 Connectors} *)
+
+val connect :
+  t -> name:string -> from_:construct -> to_:construct ->
+  ?card:cardinality -> unit -> connector
+(** Declares that instances of [from_] may carry property [name] whose
+    values are instances of [to_] (or literals, if [to_] is a literal
+    construct). Idempotent on (domain, name). *)
+
+val connectors : t -> connector list
+val connectors_of : t -> construct -> connector list
+(** Connectors applicable to a construct, including those inherited through
+    generalization. *)
+
+val find_connector : t -> domain:construct -> predicate:string ->
+  connector option
+(** Looks on the construct and its (transitive) superconstructs. *)
+
+(** {1 Generalization} *)
+
+val generalize : t -> sub:construct -> super:construct -> unit
+val superconstructs : t -> construct -> construct list
+(** Transitive, nearest first; cycle-safe. *)
+
+val is_subconstruct_of : t -> sub:construct -> super:construct -> bool
+(** Reflexive-transitive. *)
+
+(** {1 Instances}
+
+    Instance data lives in the same triple manager. An instance is a
+    resource typed ([rdf:type]) by a construct; its properties are plain
+    triples whose predicates are connector names. *)
+
+val new_instance : t -> construct -> ?id:string -> unit -> string
+val instance_type : Si_triple.Trim.t -> string -> string option
+(** The [rdf:type] object of a resource, if any. *)
+
+val instances_of : t -> construct -> string list
+(** Direct instances (not of subconstructs), sorted. *)
+
+val set_property : t -> string -> string -> Si_triple.Triple.obj -> unit
+(** [set_property m inst pred obj] — replaces existing values
+    (functional update). @raise Invalid_argument on reserved predicates. *)
+
+val add_property : t -> string -> string -> Si_triple.Triple.obj -> unit
+(** Adds without replacing (multi-valued properties). *)
+
+val property : t -> string -> string -> Si_triple.Triple.obj option
+val properties : t -> string -> (string * Si_triple.Triple.obj) list
+(** Non-reserved properties of an instance, sorted by predicate. *)
+
+val delete_instance : t -> string -> int
+(** Removes the instance's triples (outgoing and incoming references).
+    Returns the number of triples removed. *)
+
+(** {1 Conformance (schema-instance)} *)
+
+val conform : t -> instance:string -> to_:string -> unit
+(** Records a schema-instance conformance connector between two resources
+    (e.g. a row conforms to a table definition that is itself an instance
+    of a Table construct). *)
+
+val conforms_to : Si_triple.Trim.t -> string -> string list
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: name, construct count, connector count. *)
+
+val describe : t -> string
+(** Multi-line human-readable dump of the model: constructs with their
+    kinds, connectors with domains/ranges/cardinalities, generalizations. *)

@@ -1,0 +1,36 @@
+(** A textual model-definition language (the paper's "SLIM-ML", [24]).
+
+    §4.4/§6: DMIs should be generated "from high-level specification,
+    using techniques from domain-specific languages". This DSL is that
+    specification syntax; parsing it defines the model over the metamodel
+    (from which {!Si_slim.Generic_dmi} generates the interface). Example:
+
+    {v model library
+
+       literal String
+       construct Book
+       construct Reference
+       mark Citation
+
+       Reference isa Book
+
+       Book.title       : String    [1..1]
+       Book.writtenBy   : Author    [0..*]
+       Reference.shelf  : String    [0..1]
+       Author.name      : String    [1..1] v}
+
+    Constructs may be declared implicitly by appearing in a property line
+    (like [Author] above — it becomes a plain construct). Lines starting
+    with [#] are comments; blank lines are ignored. Cardinalities default
+    to [0..*] when omitted. *)
+
+val parse : Si_triple.Trim.t -> string -> (Model.t, string) result
+(** Defines the model described by the text into the triple manager.
+    Errors carry the line number. *)
+
+val parse_file : Si_triple.Trim.t -> string -> (Model.t, string) result
+
+val print : Model.t -> string
+(** The model back as DSL text (deterministic order: constructs sorted,
+    then generalizations, then properties). [parse] of the result
+    reproduces the model. *)

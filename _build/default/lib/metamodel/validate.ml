@@ -1,0 +1,164 @@
+module Trim = Si_triple.Trim
+module Triple = Si_triple.Triple
+
+type violation = {
+  resource : string;
+  predicate : string option;
+  problem : string;
+}
+
+type report = { checked : int; violations : violation list }
+
+let violation ?predicate resource problem = { resource; predicate; problem }
+
+(* The construct an instance is typed by, if it belongs to this model. *)
+let construct_of_instance m inst =
+  match Model.instance_type (Model.trim m) inst with
+  | None -> None
+  | Some type_id ->
+      List.find_opt
+        (fun c -> c.Model.construct_id = type_id)
+        (Model.constructs m)
+
+let check_property_value m conn inst obj =
+  let trim = Model.trim m in
+  let range = conn.Model.conn_range in
+  let pred = conn.Model.conn_predicate in
+  match (range.Model.kind, obj) with
+  | Model.Literal_construct, Triple.Literal _ -> []
+  | Model.Literal_construct, Triple.Resource r ->
+      [
+        violation ~predicate:pred inst
+          (Printf.sprintf "expected a literal %s, found resource <%s>"
+             (Model.construct_name m range)
+             r);
+      ]
+  | (Model.Construct | Model.Mark_construct), Triple.Literal l ->
+      [
+        violation ~predicate:pred inst
+          (Printf.sprintf "expected a %s resource, found literal %S"
+             (Model.construct_name m range)
+             l);
+      ]
+  | (Model.Construct | Model.Mark_construct), Triple.Resource r -> (
+      match Model.instance_type trim r with
+      | None ->
+          [
+            violation ~predicate:pred inst
+              (Printf.sprintf "dangling reference to <%s>" r);
+          ]
+      | Some type_id -> (
+          match
+            List.find_opt
+              (fun c -> c.Model.construct_id = type_id)
+              (Model.constructs m)
+          with
+          | None ->
+              [
+                violation ~predicate:pred inst
+                  (Printf.sprintf "<%s> is typed outside this model" r);
+              ]
+          | Some actual ->
+              if Model.is_subconstruct_of m ~sub:actual ~super:range then []
+              else
+                [
+                  violation ~predicate:pred inst
+                    (Printf.sprintf "expected a %s, found a %s (<%s>)"
+                       (Model.construct_name m range)
+                       (Model.construct_name m actual)
+                       r);
+                ]))
+
+let check_instance m inst =
+  let trim = Model.trim m in
+  match construct_of_instance m inst with
+  | None ->
+      [ violation inst "instance is not typed by a construct of this model" ]
+  | Some c ->
+      let applicable = Model.connectors_of m c in
+      let plain_props =
+        Trim.select ~subject:inst trim
+        |> List.filter (fun (tr : Triple.t) ->
+               not (Vocab.is_reserved_predicate tr.predicate))
+      in
+      (* Unknown properties + range checks. *)
+      let value_violations =
+        List.concat_map
+          (fun (tr : Triple.t) ->
+            match
+              List.find_opt
+                (fun conn -> conn.Model.conn_predicate = tr.predicate)
+                applicable
+            with
+            | None ->
+                [
+                  violation ~predicate:tr.predicate inst
+                    (Printf.sprintf
+                       "no connector %S on construct %s (or its supertypes)"
+                       tr.predicate (Model.construct_name m c));
+                ]
+            | Some conn -> check_property_value m conn inst tr.object_)
+          plain_props
+      in
+      (* Cardinalities for every applicable connector. *)
+      let cardinality_violations =
+        List.concat_map
+          (fun conn ->
+            let count =
+              List.length
+                (List.filter
+                   (fun (tr : Triple.t) ->
+                     tr.predicate = conn.Model.conn_predicate)
+                   plain_props)
+            in
+            let { Model.min_card; max_card } = conn.Model.card in
+            let too_few =
+              if count < min_card then
+                [
+                  violation ~predicate:conn.Model.conn_predicate inst
+                    (Printf.sprintf "%d value(s), at least %d required" count
+                       min_card);
+                ]
+              else []
+            in
+            let too_many =
+              match max_card with
+              | Some n when count > n ->
+                  [
+                    violation ~predicate:conn.Model.conn_predicate inst
+                      (Printf.sprintf "%d value(s), at most %d allowed" count n);
+                  ]
+              | Some _ | None -> []
+            in
+            too_few @ too_many)
+          applicable
+      in
+      value_violations @ cardinality_violations
+
+let check m =
+  let instances =
+    List.concat_map (fun c -> Model.instances_of m c) (Model.constructs m)
+    |> List.sort_uniq String.compare
+  in
+  {
+    checked = List.length instances;
+    violations = List.concat_map (check_instance m) instances;
+  }
+
+let is_valid m = (check m).violations = []
+
+let pp_violation ppf v =
+  match v.predicate with
+  | Some p -> Format.fprintf ppf "<%s>.%s: %s" v.resource p v.problem
+  | None -> Format.fprintf ppf "<%s>: %s" v.resource v.problem
+
+let report_to_string { checked; violations } =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d instance(s) checked, %d violation(s)\n" checked
+       (List.length violations));
+  List.iter
+    (fun v ->
+      Buffer.add_string buf (Format.asprintf "  %a\n" pp_violation v))
+    violations;
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(* The reserved RDF/RDFS-style vocabulary of the metamodel (paper §4.3:
+   "We represent the metamodel elements using RDF Schema").
+
+   Resources and predicates in the "mm:" / "rdf:" / "rdfs:" namespaces are
+   reserved: instance data never uses them as ordinary properties, and the
+   validator skips them when checking connectors. *)
+
+(* Classes of metamodel elements. *)
+let model = "mm:Model"
+let construct = "mm:Construct"
+let literal_construct = "mm:LiteralConstruct"
+let mark_construct = "mm:MarkConstruct"
+let connector = "mm:Connector"
+
+(* Predicates. *)
+let rdf_type = "rdf:type"                 (* element -> its class/construct *)
+let rdfs_label = "rdfs:label"             (* human-readable name *)
+let rdfs_subclass_of = "rdfs:subClassOf"  (* generalization connector *)
+let in_model = "mm:inModel"               (* construct/connector -> model *)
+let domain = "mm:domain"                  (* connector -> source construct *)
+let range = "mm:range"                    (* connector -> target construct *)
+let predicate = "mm:predicate"            (* connector -> instance predicate *)
+let min_card = "mm:minCard"
+let max_card = "mm:maxCard"               (* literal "n" or absent = unbounded *)
+let conforms_to = "mm:conformsTo"         (* schema-instance conformance *)
+
+let reserved_prefixes = [ "mm:"; "rdf:"; "rdfs:" ]
+
+let is_reserved_predicate p =
+  List.exists
+    (fun prefix ->
+      String.length p >= String.length prefix
+      && String.sub p 0 (String.length prefix) = prefix)
+    reserved_prefixes

@@ -1,0 +1,47 @@
+(** The reserved RDF/RDFS-style vocabulary of the metamodel (paper §4.3:
+    "We represent the metamodel elements using RDF Schema").
+
+    Resources and predicates in the [mm:]/[rdf:]/[rdfs:] namespaces are
+    reserved: instance data never uses them as ordinary properties, and
+    the validator skips them when checking connectors. *)
+
+(** {1 Classes of metamodel elements} *)
+
+val model : string
+val construct : string
+val literal_construct : string
+val mark_construct : string
+val connector : string
+
+(** {1 Predicates} *)
+
+val rdf_type : string
+(** element -> its class/construct *)
+
+val rdfs_label : string
+(** human-readable name *)
+
+val rdfs_subclass_of : string
+(** generalization connector *)
+
+val in_model : string
+(** construct/connector -> model *)
+
+val domain : string
+(** connector -> source construct *)
+
+val range : string
+(** connector -> target construct *)
+
+val predicate : string
+(** connector -> instance predicate name *)
+
+val min_card : string
+val max_card : string
+(** literal "n"; absent = unbounded *)
+
+val conforms_to : string
+(** schema-instance conformance *)
+
+val reserved_prefixes : string list
+val is_reserved_predicate : string -> bool

@@ -1,0 +1,1 @@
+lib/pdfdoc/pdfdoc.ml: Float List Option Printf Si_xmlk String

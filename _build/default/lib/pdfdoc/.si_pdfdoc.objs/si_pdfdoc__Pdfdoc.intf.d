@@ -1,0 +1,1 @@
+lib/pdfdoc/pdfdoc.mli: Si_xmlk

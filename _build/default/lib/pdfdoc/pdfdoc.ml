@@ -1,0 +1,191 @@
+module Xml = Si_xmlk
+
+type rect = { x : float; y : float; w : float; h : float }
+type text_span = { span_text : string; bbox : rect }
+
+type page = {
+  width : float;
+  height : float;
+  mutable span_list : text_span list;  (* reverse order *)
+}
+
+type t = { doc_title : string; mutable page_list : page list (* reverse *) }
+type region = { page : int; rect : rect }
+
+let create ?(title = "") () = { doc_title = title; page_list = [] }
+
+let add_page ?(width = 612.) ?(height = 792.) t =
+  let p = { width; height; span_list = [] } in
+  t.page_list <- p :: t.page_list;
+  p
+
+let add_span page ~text rect =
+  let s = { span_text = text; bbox = rect } in
+  page.span_list <- s :: page.span_list;
+  s
+
+let add_line page ?(x = 72.) ?(font_size = 11.) ~y text =
+  let w = font_size *. 0.55 *. float_of_int (String.length text) in
+  add_span page ~text { x; y; w; h = font_size *. 1.2 }
+
+let title t = t.doc_title
+let pages t = List.rev t.page_list
+let page_count t = List.length t.page_list
+let nth_page t n = if n < 1 then None else List.nth_opt (pages t) (n - 1)
+let page_size p = (p.width, p.height)
+let spans p = List.rev p.span_list
+let page_text p = String.concat "\n" (List.map (fun s -> s.span_text) (spans p))
+
+let same_line a b =
+  let overlap =
+    Float.min (a.bbox.y +. a.bbox.h) (b.bbox.y +. b.bbox.h)
+    -. Float.max a.bbox.y b.bbox.y
+  in
+  overlap > 0.5 *. Float.min a.bbox.h b.bbox.h
+
+let reading_order p =
+  List.stable_sort
+    (fun a b ->
+      if same_line a b then Float.compare a.bbox.x b.bbox.x
+      else Float.compare a.bbox.y b.bbox.y)
+    (spans p)
+let text t = String.concat "\n" (List.map page_text (pages t))
+
+let rect_intersects a b =
+  a.x < b.x +. b.w && b.x < a.x +. a.w && a.y < b.y +. b.h && b.y < a.y +. a.h
+
+let spans_in_region t { page; rect } =
+  match nth_page t page with
+  | None -> []
+  | Some p -> List.filter (fun s -> rect_intersects s.bbox rect) (spans p)
+
+let region_text t region =
+  match nth_page t region.page with
+  | None -> None
+  | Some _ ->
+      Some
+        (String.concat "\n"
+           (List.map (fun s -> s.span_text) (spans_in_region t region)))
+
+let bounding_region t ~page_number selected =
+  match (nth_page t page_number, selected) with
+  | None, _ | _, [] -> None
+  | Some _, first :: rest ->
+      let grow acc (s : text_span) =
+        let x0 = Float.min acc.x s.bbox.x in
+        let y0 = Float.min acc.y s.bbox.y in
+        let x1 = Float.max (acc.x +. acc.w) (s.bbox.x +. s.bbox.w) in
+        let y1 = Float.max (acc.y +. acc.h) (s.bbox.y +. s.bbox.h) in
+        { x = x0; y = y0; w = x1 -. x0; h = y1 -. y0 }
+      in
+      Some { page = page_number; rect = List.fold_left grow first.bbox rest }
+
+let contains_sub ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  nl > 0
+  &&
+  let rec scan i =
+    i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1))
+  in
+  scan 0
+
+let find_text t needle =
+  List.concat
+    (List.mapi
+       (fun i p ->
+         List.filter_map
+           (fun s ->
+             if contains_sub ~needle s.span_text then
+               Some { page = i + 1; rect = s.bbox }
+             else None)
+           (spans p))
+       (pages t))
+
+(* ----------------------------------------------------------------- XML *)
+
+let f2s = Printf.sprintf "%.2f"
+
+let rect_attrs r =
+  [ ("x", f2s r.x); ("y", f2s r.y); ("w", f2s r.w); ("h", f2s r.h) ]
+
+let to_xml t =
+  Xml.Node.element "pdf"
+    ~attrs:[ ("title", t.doc_title) ]
+    (List.map
+       (fun p ->
+         Xml.Node.element "page"
+           ~attrs:[ ("width", f2s p.width); ("height", f2s p.height) ]
+           (List.map
+              (fun s ->
+                Xml.Node.element "span" ~attrs:(rect_attrs s.bbox)
+                  [ Xml.Node.text s.span_text ])
+              (spans p)))
+       (pages t))
+
+let float_attr name node =
+  Option.bind (Xml.Node.attr name node) float_of_string_opt
+
+let rect_of_xml node =
+  match
+    ( float_attr "x" node, float_attr "y" node,
+      float_attr "w" node, float_attr "h" node )
+  with
+  | Some x, Some y, Some w, Some h -> Some { x; y; w; h }
+  | _ -> None
+
+let of_xml root =
+  match root with
+  | Xml.Node.Element { name = "pdf"; _ } ->
+      let t =
+        create ~title:(Option.value (Xml.Node.attr "title" root) ~default:"") ()
+      in
+      let load_page node =
+        let width = Option.value (float_attr "width" node) ~default:612. in
+        let height = Option.value (float_attr "height" node) ~default:792. in
+        let p = add_page ~width ~height t in
+        let rec load = function
+          | [] -> Ok ()
+          | span_node :: rest -> (
+              match rect_of_xml span_node with
+              | Some r ->
+                  let _ =
+                    add_span p ~text:(Xml.Node.text_content span_node) r
+                  in
+                  load rest
+              | None -> Error "span missing geometry")
+        in
+        load (Xml.Node.find_children "span" node)
+      in
+      let rec pages_loop = function
+        | [] -> Ok t
+        | p :: rest -> (
+            match load_page p with
+            | Ok () -> pages_loop rest
+            | Error msg -> Error msg)
+      in
+      pages_loop (Xml.Node.find_children "page" root)
+  | _ -> Error "expected a <pdf> root element"
+
+let save t path = Xml.Print.to_file path (to_xml t)
+
+let load path =
+  match Xml.Parse.file path with
+  | Error e -> Error (Xml.Parse.error_to_string e)
+  | Ok root -> of_xml (Xml.Node.strip_whitespace root)
+
+let equal a b =
+  let span_equal (x : text_span) (y : text_span) =
+    String.equal x.span_text y.span_text
+    (* Geometry goes through %.2f printing; compare at that precision. *)
+    && List.for_all2
+         (fun u v -> Float.abs (u -. v) < 0.005)
+         [ x.bbox.x; x.bbox.y; x.bbox.w; x.bbox.h ]
+         [ y.bbox.x; y.bbox.y; y.bbox.w; y.bbox.h ]
+  in
+  String.equal a.doc_title b.doc_title
+  && page_count a = page_count b
+  && List.for_all2
+       (fun p q ->
+         List.length (spans p) = List.length (spans q)
+         && List.for_all2 span_equal (spans p) (spans q))
+       (pages a) (pages b)

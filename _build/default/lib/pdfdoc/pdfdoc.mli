@@ -1,0 +1,79 @@
+(** Paginated documents with positioned text — the Adobe PDF stand-in.
+
+    A document is a sequence of fixed-size pages; each page carries text
+    spans with bounding boxes (the way PDF text extraction sees a page).
+    PDF marks address a page plus either a span index or a rectangular
+    region (every span intersecting the region is selected) — mirroring
+    Acrobat's highlight annotations. *)
+
+type rect = { x : float; y : float; w : float; h : float }
+(** Origin at the top-left of the page, y growing downward. *)
+
+type text_span = { span_text : string; bbox : rect }
+
+type page
+
+type t
+
+type region = { page : int; rect : rect }
+(** 1-based page number. *)
+
+(** {1 Construction} *)
+
+val create : ?title:string -> unit -> t
+val add_page : ?width:float -> ?height:float -> t -> page
+(** Default 612×792 (US Letter points). *)
+
+val add_span : page -> text:string -> rect -> text_span
+val add_line : page -> ?x:float -> ?font_size:float -> y:float -> string ->
+  text_span
+(** Convenience: one span whose box is estimated from the text length. *)
+
+(** {1 Reading} *)
+
+val title : t -> string
+val pages : t -> page list
+val page_count : t -> int
+val nth_page : t -> int -> page option
+(** 1-based. *)
+
+val page_size : page -> float * float
+val spans : page -> text_span list
+(** In insertion order (PDF "content order"). *)
+
+val reading_order : page -> text_span list
+(** Spans sorted top-to-bottom, then left-to-right — the order a reader
+    (or text extractor) sees, which for generators that emit columns or
+    out-of-order content differs from content order. Spans whose vertical
+    ranges overlap by more than half the smaller height count as the same
+    line. *)
+
+val page_text : page -> string
+(** Spans joined with ["\n"]. *)
+
+val text : t -> string
+(** All pages, joined with ["\n\f\n"]-style page breaks (["\n"] here). *)
+
+(** {1 Addressing} *)
+
+val rect_intersects : rect -> rect -> bool
+val spans_in_region : t -> region -> text_span list
+(** Spans whose boxes intersect the region, in content order. *)
+
+val region_text : t -> region -> string option
+(** Text of the region's spans; [None] if the page does not exist. *)
+
+val bounding_region : t -> page_number:int -> text_span list -> region option
+(** Smallest region covering the given spans — what mark creation stores
+    when the user selects spans. *)
+
+val find_text : t -> string -> region list
+(** A region per span containing the needle. *)
+
+(** {1 Persistence} *)
+
+val to_xml : t -> Si_xmlk.Node.t
+val of_xml : Si_xmlk.Node.t -> (t, string) result
+val save : t -> string -> unit
+val load : string -> (t, string) result
+val equal : t -> t -> bool

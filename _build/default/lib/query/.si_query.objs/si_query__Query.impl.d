@@ -1,0 +1,1 @@
+lib/query/query.ml: Buffer Hashtbl List Option Printf Si_triple String

@@ -1,0 +1,85 @@
+(** Declarative queries over a triple manager — the paper's §6 plan of
+    "augmenting such interfaces with query capabilities, in addition to the
+    current navigational access".
+
+    A query is a conjunction of triple patterns with shared variables
+    (evaluated by nested index lookups, not cross products), plus literal
+    filters and a projection:
+
+    {v select ?name ?mark
+       where {
+         ?s <rdf:type> <model:bundle-scrap/Scrap> .
+         ?s scrapName ?name .
+         ?s scrapMark ?h .
+         ?h markId ?mark
+       }
+       filter contains(?name, "Dopa") v}
+
+    Terms: [?x] variable, [<id>] resource, ["text"] literal; a bare word in
+    predicate position is the predicate name; [_] matches anything. *)
+
+type term =
+  | Var of string
+  | Resource of string
+  | Literal of string
+  | Wildcard
+
+type pattern = { subj : term; pred : term; obj : term }
+
+type filter =
+  | Equals of string * string        (** variable, literal value *)
+  | Contains of string * string
+  | Prefix of string * string
+  | Bound_to_resource of string      (** variable is a resource *)
+
+type order = Ascending of string | Descending of string
+(** [order by ?v] / [order by ?v desc] — lexicographic on the variable's
+    value (resources by id, literals by text; unbound sorts first). *)
+
+type t = {
+  select : string list;  (** projected variables, [[]] = all *)
+  patterns : pattern list;
+  filters : filter list;
+  order_by : order option;
+  limit : int option;
+}
+
+type binding = (string * Si_triple.Triple.obj) list
+(** Variable name -> value, for the projected variables. *)
+
+(** {1 Construction} *)
+
+val query :
+  ?select:string list -> ?filters:filter list -> ?order_by:order ->
+  ?limit:int -> pattern list -> t
+val pat : term -> term -> term -> pattern
+
+(** {1 Parsing} *)
+
+val parse : string -> (t, string) result
+(** The textual syntax above. [select] clause optional (defaults to all
+    variables); patterns separated by [.]; multiple [filter] clauses; then
+    optional [order by ?v \[desc\]] and [limit N]. *)
+
+val parse_exn : string -> t
+val to_string : t -> string
+
+(** {1 Evaluation} *)
+
+val optimize : Si_triple.Trim.t -> t -> t
+(** Join reordering: evaluates patterns most-selective-first. Each
+    pattern's selectivity is estimated by probing the store's indexes
+    with its constant fields; at each step the optimizer prefers patterns
+    whose variables are already bound by the patterns chosen so far
+    (avoiding cross products). Semantics are unchanged — [run] yields the
+    same bindings. *)
+
+val run : Si_triple.Trim.t -> t -> binding list
+(** All bindings, duplicates removed, in deterministic order: [order_by]
+    when present, the bindings' natural sort otherwise; truncated to
+    [limit]. *)
+
+val count : Si_triple.Trim.t -> t -> int
+val binding_to_string : binding -> string
+val variables : t -> string list
+(** All variables appearing in the patterns, sorted. *)

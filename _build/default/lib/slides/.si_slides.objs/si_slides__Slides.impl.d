@@ -1,0 +1,1 @@
+lib/slides/slides.ml: List Option Printf Si_xmlk String

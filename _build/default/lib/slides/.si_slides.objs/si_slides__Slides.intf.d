@@ -1,0 +1,1 @@
+lib/slides/slides.mli: Si_xmlk

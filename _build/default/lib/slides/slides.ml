@@ -1,0 +1,207 @@
+module Xml = Si_xmlk
+
+type geometry = { x : int; y : int; w : int; h : int }
+
+type shape_kind =
+  | Text_box of string
+  | Bullets of string list
+  | Picture of string
+
+type shape = { id : string; kind : shape_kind; geom : geometry }
+
+type slide = {
+  slide_title : string;
+  mutable shape_list : shape list;  (* reverse order *)
+}
+
+type t = { pres_title : string; mutable slide_list : slide list (* reverse *) }
+
+type address = { slide : int; shape_id : string; bullet : int option }
+
+let default_geom = { x = 0; y = 0; w = 400; h = 100 }
+
+let create ?(title = "") () = { pres_title = title; slide_list = [] }
+
+let add_slide t ~title =
+  let s = { slide_title = title; shape_list = [] } in
+  t.slide_list <- s :: t.slide_list;
+  s
+
+let find_shape slide id =
+  List.find_opt (fun sh -> String.equal sh.id id) slide.shape_list
+
+let add_shape slide ?(geom = default_geom) ~id kind =
+  match find_shape slide id with
+  | Some _ -> Error (Printf.sprintf "shape %S already on slide" id)
+  | None ->
+      let sh = { id; kind; geom } in
+      slide.shape_list <- sh :: slide.shape_list;
+      Ok sh
+
+let title t = t.pres_title
+let slides t = List.rev t.slide_list
+let slide_count t = List.length t.slide_list
+let nth_slide t n = if n < 1 then None else List.nth_opt (slides t) (n - 1)
+let slide_title s = s.slide_title
+let shapes s = List.rev s.shape_list
+
+let shape_text sh =
+  match sh.kind with
+  | Text_box s -> s
+  | Bullets items -> String.concat "\n" items
+  | Picture name -> name
+
+let slide_text s =
+  String.concat "\n" (s.slide_title :: List.map shape_text (shapes s))
+
+let resolve t { slide; shape_id; bullet } =
+  match nth_slide t slide with
+  | None -> None
+  | Some sl -> (
+      match find_shape sl shape_id with
+      | None -> None
+      | Some sh -> (
+          match (bullet, sh.kind) with
+          | None, _ -> Some (shape_text sh)
+          | Some i, Bullets items ->
+              if i < 1 then None else List.nth_opt items (i - 1)
+          | Some _, (Text_box _ | Picture _) -> None))
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  nl > 0
+  &&
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let find_text t needle =
+  List.concat
+    (List.mapi
+       (fun slide_i sl ->
+         List.concat_map
+           (fun sh ->
+             match sh.kind with
+             | Bullets items ->
+                 List.concat
+                   (List.mapi
+                      (fun bullet_i item ->
+                        if contains ~needle item then
+                          [ { slide = slide_i + 1; shape_id = sh.id;
+                              bullet = Some (bullet_i + 1) } ]
+                        else [])
+                      items)
+             | Text_box _ | Picture _ ->
+                 if contains ~needle (shape_text sh) then
+                   [ { slide = slide_i + 1; shape_id = sh.id; bullet = None } ]
+                 else [])
+           (shapes sl))
+       (slides t))
+
+(* ----------------------------------------------------------------- XML *)
+
+let geom_attrs g =
+  [
+    ("x", string_of_int g.x); ("y", string_of_int g.y);
+    ("w", string_of_int g.w); ("h", string_of_int g.h);
+  ]
+
+let shape_to_xml sh =
+  let attrs = ("id", sh.id) :: geom_attrs sh.geom in
+  match sh.kind with
+  | Text_box s ->
+      Xml.Node.element "textbox" ~attrs [ Xml.Node.text s ]
+  | Picture name -> Xml.Node.element "picture" ~attrs:(attrs @ [ ("alt", name) ]) []
+  | Bullets items ->
+      Xml.Node.element "bullets" ~attrs
+        (List.map (fun i -> Xml.Node.element "item" [ Xml.Node.text i ]) items)
+
+let to_xml t =
+  Xml.Node.element "presentation"
+    ~attrs:[ ("title", t.pres_title) ]
+    (List.map
+       (fun sl ->
+         Xml.Node.element "slide"
+           ~attrs:[ ("title", sl.slide_title) ]
+           (List.map shape_to_xml (shapes sl)))
+       (slides t))
+
+let int_attr name node = Option.bind (Xml.Node.attr name node) int_of_string_opt
+
+let geom_of_xml node =
+  match
+    (int_attr "x" node, int_attr "y" node, int_attr "w" node, int_attr "h" node)
+  with
+  | Some x, Some y, Some w, Some h -> { x; y; w; h }
+  | _ -> default_geom
+
+let shape_of_xml node =
+  match (node, Xml.Node.attr "id" node) with
+  | Xml.Node.Element { name = "textbox"; _ }, Some id ->
+      Ok { id; geom = geom_of_xml node; kind = Text_box (Xml.Node.text_content node) }
+  | Xml.Node.Element { name = "picture"; _ }, Some id ->
+      Ok
+        {
+          id;
+          geom = geom_of_xml node;
+          kind = Picture (Option.value (Xml.Node.attr "alt" node) ~default:"");
+        }
+  | Xml.Node.Element { name = "bullets"; _ }, Some id ->
+      let items =
+        List.map Xml.Node.text_content (Xml.Node.find_children "item" node)
+      in
+      Ok { id; geom = geom_of_xml node; kind = Bullets items }
+  | Xml.Node.Element { name; _ }, Some _ ->
+      Error (Printf.sprintf "unknown shape <%s>" name)
+  | Xml.Node.Element _, None -> Error "shape missing id"
+  | (Xml.Node.Text _ | Xml.Node.Cdata _ | Xml.Node.Comment _ | Xml.Node.Pi _), _
+    ->
+      Error "expected a shape element"
+
+let of_xml root =
+  match root with
+  | Xml.Node.Element { name = "presentation"; _ } ->
+      let t =
+        create ~title:(Option.value (Xml.Node.attr "title" root) ~default:"") ()
+      in
+      let load_slide node =
+        let sl =
+          add_slide t
+            ~title:(Option.value (Xml.Node.attr "title" node) ~default:"")
+        in
+        let rec load = function
+          | [] -> Ok ()
+          | child :: rest -> (
+              match shape_of_xml child with
+              | Error _ as e -> e
+              | Ok sh -> (
+                  match add_shape sl ~geom:sh.geom ~id:sh.id sh.kind with
+                  | Ok _ -> load rest
+                  | Error msg -> Error msg))
+        in
+        load (List.filter Xml.Node.is_element (Xml.Node.children node))
+      in
+      let rec slides_loop = function
+        | [] -> Ok t
+        | s :: rest -> (
+            match load_slide s with
+            | Ok () -> slides_loop rest
+            | Error msg -> Error msg)
+      in
+      slides_loop (Xml.Node.find_children "slide" root)
+  | _ -> Error "expected a <presentation> root element"
+
+let save t path = Xml.Print.to_file path (to_xml t)
+
+let load path =
+  match Xml.Parse.file path with
+  | Error e -> Error (Xml.Parse.error_to_string e)
+  | Ok root -> of_xml (Xml.Node.strip_whitespace root)
+
+let equal a b =
+  String.equal a.pres_title b.pres_title
+  && List.length a.slide_list = List.length b.slide_list
+  && List.for_all2
+       (fun x y ->
+         String.equal x.slide_title y.slide_title
+         && shapes x = shapes y)
+       (slides a) (slides b)

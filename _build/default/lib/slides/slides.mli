@@ -1,0 +1,64 @@
+(** Slide presentations — the PowerPoint stand-in.
+
+    A presentation is an ordered list of slides; each slide holds titled,
+    positioned shapes. PowerPoint marks address a shape by slide number and
+    shape id, optionally narrowing to one bullet. *)
+
+type geometry = { x : int; y : int; w : int; h : int }
+
+type shape_kind =
+  | Text_box of string
+  | Bullets of string list
+  | Picture of string  (** alt text / file name placeholder *)
+
+type shape = { id : string; kind : shape_kind; geom : geometry }
+
+type slide
+
+type t
+
+type address = { slide : int; shape_id : string; bullet : int option }
+(** [slide] is 1-based; [bullet], when present, is a 1-based index into a
+    [Bullets] shape. *)
+
+(** {1 Construction} *)
+
+val create : ?title:string -> unit -> t
+val add_slide : t -> title:string -> slide
+val add_shape : slide -> ?geom:geometry -> id:string -> shape_kind ->
+  (shape, string) result
+(** Fails on a duplicate shape id within the slide. *)
+
+(** {1 Reading} *)
+
+val title : t -> string
+val slides : t -> slide list
+val slide_count : t -> int
+val nth_slide : t -> int -> slide option
+(** 1-based. *)
+
+val slide_title : slide -> string
+val shapes : slide -> shape list
+val find_shape : slide -> string -> shape option
+
+val shape_text : shape -> string
+(** Text boxes yield their text; bullets join with ["\n"]; pictures yield
+    their placeholder name. *)
+
+val slide_text : slide -> string
+(** Title plus all shape text. *)
+
+val resolve : t -> address -> string option
+(** The text the address selects: a whole shape's text, or one bullet. *)
+
+val find_text : t -> string -> address list
+(** Addresses of every shape (narrowed to a bullet where possible) whose
+    text contains the needle. *)
+
+(** {1 Persistence} *)
+
+val to_xml : t -> Si_xmlk.Node.t
+val of_xml : Si_xmlk.Node.t -> (t, string) result
+val save : t -> string -> unit
+val load : string -> (t, string) result
+val equal : t -> t -> bool

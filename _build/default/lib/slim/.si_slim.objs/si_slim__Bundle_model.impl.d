@@ -1,0 +1,1 @@
+lib/slim/bundle_model.ml: Si_metamodel

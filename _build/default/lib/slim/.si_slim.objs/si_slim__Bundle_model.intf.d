@@ -1,0 +1,1 @@
+lib/slim/bundle_model.mli: Si_metamodel Si_triple

@@ -1,0 +1,1 @@
+lib/slim/dmi.ml: Bundle_model List Option Printf Si_metamodel Si_triple Si_xmlk String

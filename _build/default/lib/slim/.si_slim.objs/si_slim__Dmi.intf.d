@@ -1,0 +1,1 @@
+lib/slim/dmi.mli: Bundle_model Si_metamodel Si_triple Si_xmlk

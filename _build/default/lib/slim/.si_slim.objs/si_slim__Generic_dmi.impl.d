@@ -1,0 +1,1 @@
+lib/slim/generic_dmi.ml: Hashtbl List Option Printf Result Si_metamodel Si_triple String

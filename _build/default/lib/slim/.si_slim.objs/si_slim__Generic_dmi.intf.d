@@ -1,0 +1,1 @@
+lib/slim/generic_dmi.mli: Si_metamodel Si_triple

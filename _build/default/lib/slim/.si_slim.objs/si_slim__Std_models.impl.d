@@ -1,0 +1,1 @@
+lib/slim/std_models.ml: Bundle_model Fun Si_mapping Si_metamodel

@@ -1,0 +1,1 @@
+lib/slim/std_models.mli: Bundle_model Si_mapping Si_metamodel Si_triple

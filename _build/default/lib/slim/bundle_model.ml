@@ -1,0 +1,84 @@
+module Model = Si_metamodel.Model
+
+type t = {
+  model : Model.t;
+  slimpad : Model.construct;
+  bundle : Model.construct;
+  scrap : Model.construct;
+  mark_handle : Model.construct;
+  link : Model.construct;
+  decoration : Model.construct;
+  string_ : Model.construct;
+  coordinate : Model.construct;
+  number : Model.construct;
+}
+
+let pad_name = "padName"
+let root_bundle = "rootBundle"
+let bundle_name = "bundleName"
+let bundle_pos = "bundlePos"
+let bundle_width = "bundleWidth"
+let bundle_height = "bundleHeight"
+let bundle_content = "bundleContent"
+let nested_bundle = "nestedBundle"
+let scrap_name = "scrapName"
+let scrap_pos = "scrapPos"
+let scrap_mark = "scrapMark"
+let mark_id = "markId"
+let annotation = "annotation"
+let link_from = "linkFrom"
+let link_to = "linkTo"
+let link_label = "linkLabel"
+let is_template = "isTemplate"
+let bundle_decoration = "bundleDecoration"
+let decor_kind = "decorKind"
+let decor_pos = "decorPos"
+
+let install trim =
+  let model = Model.define trim ~name:"bundle-scrap" in
+  let slimpad = Model.construct model "SlimPad" in
+  let bundle = Model.construct model "Bundle" in
+  let scrap = Model.construct model "Scrap" in
+  let mark_handle = Model.mark_construct model "MarkHandle" in
+  let link = Model.construct model "Link" in
+  let decoration = Model.construct model "Decoration" in
+  let string_ = Model.literal_construct model "String" in
+  let coordinate = Model.literal_construct model "Coordinate" in
+  let number = Model.literal_construct model "Number" in
+  let conn name from_ to_ card =
+    ignore (Model.connect model ~name ~from_ ~to_ ~card ())
+  in
+  (* Fig 3 multiplicities. *)
+  conn pad_name slimpad string_ Model.one_card;
+  conn root_bundle slimpad bundle Model.one_card;
+  conn bundle_name bundle string_ Model.one_card;
+  conn bundle_pos bundle coordinate Model.optional_card;
+  conn bundle_width bundle number Model.optional_card;
+  conn bundle_height bundle number Model.optional_card;
+  conn bundle_content bundle scrap Model.any_card;
+  conn nested_bundle bundle bundle Model.any_card;
+  conn scrap_name scrap string_ Model.one_card;
+  conn scrap_pos scrap coordinate Model.optional_card;
+  conn scrap_mark scrap mark_handle Model.one_card;
+  conn mark_id mark_handle string_ Model.one_card;
+  (* §6 extensions. *)
+  conn annotation scrap string_ Model.any_card;
+  conn link_from link scrap Model.one_card;
+  conn link_to link scrap Model.one_card;
+  conn link_label link string_ Model.optional_card;
+  conn is_template bundle string_ Model.optional_card;
+  conn bundle_decoration bundle decoration Model.any_card;
+  conn decor_kind decoration string_ Model.one_card;
+  conn decor_pos decoration coordinate Model.optional_card;
+  {
+    model;
+    slimpad;
+    bundle;
+    scrap;
+    mark_handle;
+    link;
+    decoration;
+    string_;
+    coordinate;
+    number;
+  }

@@ -1,0 +1,71 @@
+(** The Bundle-Scrap model (paper Fig 3), defined over the metamodel.
+
+    "The model consists of four main entities. The top-level object is a
+    SlimPad, which designates a root bundle. Each Bundle has a label and
+    position, and can contain any number of Scraps or Bundles. A Scrap …
+    has a label and a MarkHandle object. A MarkHandle has a mark
+    identifier, which refers to a Mark object inside the Mark Manager."
+
+    The §6 extensions (annotations on scraps, links among scraps, bundle
+    templates) are modelled here too, as additional constructs and
+    connectors — the metamodel makes extending the model a data change. *)
+
+type t = {
+  model : Si_metamodel.Model.t;
+  slimpad : Si_metamodel.Model.construct;
+  bundle : Si_metamodel.Model.construct;
+  scrap : Si_metamodel.Model.construct;
+  mark_handle : Si_metamodel.Model.construct;  (** a mark construct *)
+  link : Si_metamodel.Model.construct;  (** §6: explicit links among scraps *)
+  decoration : Si_metamodel.Model.construct;
+      (** Fig 4's "gridlet": "simply a graphic element with scraps placed
+          near it" — positioned, mark-less furniture inside a bundle *)
+  string_ : Si_metamodel.Model.construct;
+  coordinate : Si_metamodel.Model.construct;
+  number : Si_metamodel.Model.construct;
+}
+
+val install : Si_triple.Trim.t -> t
+(** Defines (idempotently) the model named ["bundle-scrap"] in the triple
+    manager and returns handles on its constructs. *)
+
+(** {1 Connector predicates}
+
+    The property names used by instance triples — exactly the attribute
+    and association names of Fig 3 (plus the extension predicates). *)
+
+val pad_name : string
+val root_bundle : string
+val bundle_name : string
+val bundle_pos : string
+val bundle_width : string
+val bundle_height : string
+val bundle_content : string
+val nested_bundle : string
+val scrap_name : string
+val scrap_pos : string
+val scrap_mark : string
+val mark_id : string
+val annotation : string
+(** §6 extension: Scrap -> String, 0..* *)
+
+val link_from : string
+(** §6 extension: Link -> Scrap, 1..1 *)
+
+val link_to : string
+(** Link -> Scrap, 1..1 *)
+
+val link_label : string
+(** Link -> String, 0..1 *)
+
+val is_template : string
+(** §6 extension: Bundle -> String flag *)
+
+val bundle_decoration : string
+(** Bundle -> Decoration, 0..* *)
+
+val decor_kind : string
+(** Decoration -> String, 1..1 (e.g. "gridlet", "divider") *)
+
+val decor_pos : string
+(** Decoration -> Coordinate, 0..1 *)

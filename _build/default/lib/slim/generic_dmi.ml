@@ -1,0 +1,197 @@
+module Model = Si_metamodel.Model
+module Trim = Si_triple.Trim
+module Triple = Si_triple.Triple
+
+(* Generation happens at [for_model] time: the model's constructs and the
+   connectors applicable to each (including inherited ones) are compiled
+   into lookup tables, exactly the specialization a code-generating DMI
+   would bake in. The tables snapshot the model as of generation; evolving
+   the model requires regenerating the DMI (as it would with generated
+   code). *)
+type t = {
+  model : Model.t;
+  constructs_by_id : (string, Model.construct) Hashtbl.t;
+  connectors_by_construct : (string, (string * Model.connector) list) Hashtbl.t;
+      (* construct id -> (predicate, connector), inherited included *)
+}
+
+let for_model model =
+  let constructs_by_id = Hashtbl.create 16 in
+  let connectors_by_construct = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      Hashtbl.replace constructs_by_id c.Model.construct_id c;
+      Hashtbl.replace connectors_by_construct c.Model.construct_id
+        (List.map
+           (fun conn -> (conn.Model.conn_predicate, conn))
+           (Model.connectors_of model c)))
+    (Model.constructs model);
+  { model; constructs_by_id; connectors_by_construct }
+
+let operations g =
+  let constructs = Model.constructs g.model in
+  let creates, deletes =
+    List.filter_map
+      (fun c ->
+        match c.Model.kind with
+        | Model.Literal_construct -> None
+        | Model.Construct | Model.Mark_construct ->
+            Some (Model.construct_name g.model c))
+      constructs
+    |> fun names ->
+    ( List.map (fun n -> "Create_" ^ n) names,
+      List.map (fun n -> "Delete_" ^ n) names )
+  in
+  let updates =
+    List.concat_map
+      (fun conn ->
+        let domain = Model.construct_name g.model conn.Model.conn_domain in
+        [ Printf.sprintf "Update_%s_%s" domain conn.Model.conn_predicate ])
+      (Model.connectors g.model)
+  in
+  List.sort String.compare (creates @ deletes @ updates)
+
+let find_construct_checked g name =
+  match Model.find_construct g.model name with
+  | Some c -> Ok c
+  | None ->
+      Error
+        (Printf.sprintf "model %s has no construct %S" (Model.name g.model)
+           name)
+
+let create g construct_name =
+  match find_construct_checked g construct_name with
+  | Error _ as e -> e
+  | Ok c -> (
+      match c.Model.kind with
+      | Model.Literal_construct ->
+          Error
+            (Printf.sprintf "%S is a literal construct; literals have no \
+                             instances" construct_name)
+      | Model.Construct | Model.Mark_construct ->
+          Ok (Model.new_instance g.model c ()))
+
+(* The construct an instance of THIS model is typed by. *)
+let construct_of_instance g inst =
+  match Model.instance_type (Model.trim g.model) inst with
+  | None -> None
+  | Some type_id -> Hashtbl.find_opt g.constructs_by_id type_id
+
+let construct_of g inst =
+  Option.map (Model.construct_name g.model) (construct_of_instance g inst)
+
+let instance_checked g inst =
+  match construct_of_instance g inst with
+  | Some c -> Ok c
+  | None ->
+      Error
+        (Printf.sprintf "<%s> is not an instance of model %s" inst
+           (Model.name g.model))
+
+let delete g inst =
+  match instance_checked g inst with
+  | Error _ as e -> e
+  | Ok _ -> Ok (Model.delete_instance g.model inst)
+
+let instances g construct_name =
+  match find_construct_checked g construct_name with
+  | Error _ as e -> Result.map (fun _ -> []) e
+  | Ok c -> Ok (Model.instances_of g.model c)
+
+(* Checked property access: the connector must exist on the instance's
+   construct, and the value must fit its range. *)
+let connector_checked g inst pred =
+  match instance_checked g inst with
+  | Error _ as e -> e
+  | Ok c -> (
+      let applicable =
+        Option.value
+          (Hashtbl.find_opt g.connectors_by_construct c.Model.construct_id)
+          ~default:[]
+      in
+      match List.assoc_opt pred applicable with
+      | Some conn -> Ok conn
+      | None ->
+          Error
+            (Printf.sprintf "construct %s has no connector %S"
+               (Model.construct_name g.model c)
+               pred))
+
+let value_fits g conn value =
+  let range = conn.Model.conn_range in
+  match (range.Model.kind, value) with
+  | Model.Literal_construct, Triple.Literal _ -> Ok ()
+  | Model.Literal_construct, Triple.Resource r ->
+      Error
+        (Printf.sprintf "%s expects a literal %s, got resource <%s>"
+           conn.Model.conn_predicate
+           (Model.construct_name g.model range)
+           r)
+  | (Model.Construct | Model.Mark_construct), Triple.Literal l ->
+      Error
+        (Printf.sprintf "%s expects a %s resource, got literal %S"
+           conn.Model.conn_predicate
+           (Model.construct_name g.model range)
+           l)
+  | (Model.Construct | Model.Mark_construct), Triple.Resource r -> (
+      match construct_of_instance g r with
+      | None -> Error (Printf.sprintf "<%s> is not an instance of this model" r)
+      | Some actual ->
+          if Model.is_subconstruct_of g.model ~sub:actual ~super:range then
+            Ok ()
+          else
+            Error
+              (Printf.sprintf "%s expects a %s, <%s> is a %s"
+                 conn.Model.conn_predicate
+                 (Model.construct_name g.model range)
+                 r
+                 (Model.construct_name g.model actual)))
+
+let set g inst pred value =
+  match connector_checked g inst pred with
+  | Error _ as e -> e
+  | Ok conn -> (
+      match value_fits g conn value with
+      | Error _ as e -> e
+      | Ok () ->
+          Model.set_property g.model inst pred value;
+          Ok ())
+
+let current_count g inst pred =
+  List.length (Trim.select ~subject:inst ~predicate:pred (Model.trim g.model))
+
+let add g inst pred value =
+  match connector_checked g inst pred with
+  | Error _ as e -> e
+  | Ok conn -> (
+      match value_fits g conn value with
+      | Error _ as e -> e
+      | Ok () -> (
+          match conn.Model.card.Model.max_card with
+          | Some max when current_count g inst pred >= max ->
+              Error
+                (Printf.sprintf "%s allows at most %d value(s)" pred max)
+          | Some _ | None ->
+              Model.add_property g.model inst pred value;
+              Ok ()))
+
+let unset g inst pred =
+  match connector_checked g inst pred with
+  | Error _ as e -> Result.map (fun _ -> 0) e
+  | Ok _ ->
+      let trim = Model.trim g.model in
+      let doomed = Trim.select ~subject:inst ~predicate:pred trim in
+      List.iter (fun tr -> ignore (Trim.remove trim tr)) doomed;
+      Ok (List.length doomed)
+
+let get g inst pred = Model.property g.model inst pred
+
+let get_all g inst pred =
+  Trim.select ~subject:inst ~predicate:pred (Model.trim g.model)
+  |> List.map (fun (tr : Triple.t) -> tr.object_)
+
+let get_literal g inst pred =
+  Trim.literal_of (Model.trim g.model) ~subject:inst ~predicate:pred
+
+let get_resource g inst pred =
+  Trim.resource_of (Model.trim g.model) ~subject:inst ~predicate:pred

@@ -1,0 +1,76 @@
+module Model = Si_metamodel.Model
+
+type topic_map = {
+  tm : Model.t;
+  topic : Model.construct;
+  occurrence : Model.construct;
+  association : Model.construct;
+  tm_string : Model.construct;
+}
+
+let install_topic_map trim =
+  let tm = Model.define trim ~name:"topic-map" in
+  let topic = Model.construct tm "Topic" in
+  let occurrence = Model.construct tm "Occurrence" in
+  let association = Model.construct tm "Association" in
+  let tm_string = Model.literal_construct tm "String" in
+  let conn name from_ to_ card =
+    ignore (Model.connect tm ~name ~from_ ~to_ ~card ())
+  in
+  conn "topicName" topic tm_string Model.one_card;
+  conn "hasOccurrence" topic occurrence Model.any_card;
+  conn "occValue" occurrence tm_string Model.one_card;
+  conn "occRole" occurrence tm_string Model.optional_card;
+  conn "assocFrom" association topic Model.one_card;
+  conn "assocTo" association topic Model.one_card;
+  conn "assocType" association tm_string Model.optional_card;
+  { tm; topic; occurrence; association; tm_string }
+
+type xlink = {
+  xl : Model.t;
+  extended_link : Model.construct;
+  locator : Model.construct;
+  arc : Model.construct;
+  xl_string : Model.construct;
+}
+
+let install_xlink trim =
+  let xl = Model.define trim ~name:"xlink" in
+  let extended_link = Model.construct xl "ExtendedLink" in
+  let locator = Model.mark_construct xl "Locator" in
+  let arc = Model.construct xl "Arc" in
+  let xl_string = Model.literal_construct xl "String" in
+  let conn name from_ to_ card =
+    ignore (Model.connect xl ~name ~from_ ~to_ ~card ())
+  in
+  conn "linkTitle" extended_link xl_string Model.optional_card;
+  conn "hasLocator" extended_link locator Model.at_least_one;
+  conn "locatorHref" locator xl_string Model.one_card;
+  conn "locatorRole" locator xl_string Model.optional_card;
+  conn "hasArc" extended_link arc Model.any_card;
+  conn "arcFrom" arc locator Model.one_card;
+  conn "arcTo" arc locator Model.one_card;
+  { xl; extended_link; locator; arc; xl_string }
+
+let bundles_to_topics (bm : Bundle_model.t) (tmap : topic_map) =
+  Si_mapping.Mapping.create ~source:bm.Bundle_model.model ~target:tmap.tm
+  |> Fun.flip Si_mapping.Mapping.add_rule_exn
+       {
+         Si_mapping.Mapping.from_construct = "Bundle";
+         to_construct = "Topic";
+         property_map =
+           [
+             (Bundle_model.bundle_name, "topicName");
+             (Bundle_model.bundle_content, "hasOccurrence");
+           ];
+       }
+  |> Fun.flip Si_mapping.Mapping.add_rule_exn
+       {
+         Si_mapping.Mapping.from_construct = "Scrap";
+         to_construct = "Occurrence";
+         property_map = [ (Bundle_model.scrap_name, "occValue") ];
+       }
+(* Scrap-to-scrap Links are intentionally unmapped: an Association joins
+   Topics, but a Link joins Scraps, whose counterparts are Occurrences —
+   lifting the endpoints to the occurrences' parent topics is beyond
+   per-property rules (exactly the kind of mapping [4] motivates). *)

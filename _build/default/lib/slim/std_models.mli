@@ -1,0 +1,47 @@
+(** Ready-made superimposed models (paper §1, §4.3).
+
+    "We see models for information emerging that are inherently
+    superimposed including topic maps [3], RDF [12], and XLink [7]" —
+    and §4.3 positions the SLIM store as flexible enough to host them all.
+    This module defines a topic-map-style and an XLink-style model over
+    the metamodel, so they can live beside the Bundle-Scrap model in one
+    store, and provides the canonical Bundle-Scrap → topic map mapping. *)
+
+(** Topic maps (ISO 13250 flavour): topics with names, typed occurrences
+    (which can be marks into base documents), and binary associations. *)
+type topic_map = {
+  tm : Si_metamodel.Model.t;
+  topic : Si_metamodel.Model.construct;
+  occurrence : Si_metamodel.Model.construct;
+  association : Si_metamodel.Model.construct;
+  tm_string : Si_metamodel.Model.construct;
+}
+
+val install_topic_map : Si_triple.Trim.t -> topic_map
+(** Model name ["topic-map"]. Connectors: [topicName] (1..1),
+    [hasOccurrence] (0..many), [occValue] (1..1), [occRole] (0..1),
+    [assocFrom]/[assocTo] (1..1 each), [assocType] (0..1). *)
+
+(** XLink (W3C working-draft flavour): extended links over locators. *)
+type xlink = {
+  xl : Si_metamodel.Model.t;
+  extended_link : Si_metamodel.Model.construct;
+  locator : Si_metamodel.Model.construct;  (** a mark construct *)
+  arc : Si_metamodel.Model.construct;
+  xl_string : Si_metamodel.Model.construct;
+}
+
+val install_xlink : Si_triple.Trim.t -> xlink
+(** Model name ["xlink"]. Connectors: [linkTitle] (0..1), [hasLocator]
+    (1..many), [locatorHref] (1..1), [locatorRole] (0..1), [hasArc] (0..many),
+    [arcFrom]/[arcTo] (1..1 each). *)
+
+val bundles_to_topics :
+  Bundle_model.t -> topic_map -> Si_mapping.Mapping.t
+(** The canonical mapping: Bundle→Topic (bundleName→topicName,
+    bundleContent→hasOccurrence) and Scrap→Occurrence
+    (scrapName→occValue). Scrap-to-scrap Links are not mapped — an
+    Association joins Topics, and lifting link endpoints to the
+    occurrences' parent topics is beyond per-property rules (the
+    limitation that motivates richer mappings in the paper's [4]).
+    Apply with {!Si_mapping.Mapping.apply}. *)

@@ -1,0 +1,1 @@
+lib/slimpad/slimpad.ml: Buffer Hashtbl List Option Printf Si_mark Si_query Si_slim Si_triple Si_xmlk String

@@ -1,0 +1,1 @@
+lib/slimpad/slimpad.mli: Si_mark Si_slim Si_triple

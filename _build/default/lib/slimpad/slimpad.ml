@@ -1,0 +1,481 @@
+module Dmi = Si_slim.Dmi
+module Mark = Si_mark.Mark
+module Manager = Si_mark.Manager
+module Desktop = Si_mark.Desktop
+module Xml = Si_xmlk
+
+type t = { dmi : Dmi.t; marks : Manager.t; desktop : Desktop.t }
+
+let create ?store desktop =
+  let marks = Manager.create () in
+  Desktop.install_modules desktop marks;
+  { dmi = Dmi.create ?store (); marks; desktop }
+
+let dmi t = t.dmi
+let marks t = t.marks
+let desktop t = t.desktop
+let new_pad t name = Dmi.create_slimpad t.dmi ~pad_name:name
+
+let add_bundle t ~parent ~name ?pos () =
+  Dmi.create_bundle t.dmi ~name ?pos ~parent ()
+
+let add_scrap t ~parent ~name ~mark_type ~fields ?pos () =
+  match Manager.create_mark t.marks ~mark_type ~fields () with
+  | Error _ as e -> e
+  | Ok mark ->
+      let label = if name = "" then mark.Mark.excerpt else name in
+      Ok
+        (Dmi.create_scrap t.dmi ~name:label ?pos
+           ~mark_id:mark.Mark.mark_id ~parent ())
+
+let scrap_mark t scrap =
+  Manager.mark t.marks (Dmi.scrap_mark_id t.dmi scrap)
+
+let double_click t scrap =
+  Manager.resolve t.marks (Dmi.scrap_mark_id t.dmi scrap)
+
+let scrap_content t scrap =
+  Manager.resolve_with t.marks
+    (Dmi.scrap_mark_id t.dmi scrap)
+    Mark.Extract_content
+
+let scrap_in_place t scrap =
+  Manager.resolve_with t.marks
+    (Dmi.scrap_mark_id t.dmi scrap)
+    Mark.Display_in_place
+
+(* All scraps in a pad's bundle tree. *)
+let rec bundle_scraps_rec t bundle =
+  Dmi.scraps t.dmi bundle
+  @ List.concat_map (bundle_scraps_rec t) (Dmi.nested_bundles t.dmi bundle)
+
+let pad_scraps t pad = bundle_scraps_rec t (Dmi.root_bundle t.dmi pad)
+
+let drift_report t pad =
+  List.filter_map
+    (fun scrap ->
+      match Manager.check_drift t.marks (Dmi.scrap_mark_id t.dmi scrap) with
+      | Ok Manager.Unchanged -> None
+      | Ok drift -> Some (scrap, drift)
+      | Error msg -> Some (scrap, Manager.Unresolvable msg))
+    (pad_scraps t pad)
+
+let refresh_pad t pad =
+  List.fold_left
+    (fun stale (scrap, drift) ->
+      match drift with
+      | Manager.Changed _ -> (
+          match
+            Manager.refresh_excerpt t.marks (Dmi.scrap_mark_id t.dmi scrap)
+          with
+          | Ok _ -> stale + 1
+          | Error _ -> stale)
+      | Manager.Unchanged | Manager.Unresolvable _ -> stale)
+    0 (drift_report t pad)
+
+let contains_sub ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  nl = 0
+  || (nl <= hl
+     &&
+     let rec scan i =
+       i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1))
+     in
+     scan 0)
+
+let find_scraps t pad needle =
+  List.filter
+    (fun s -> contains_sub ~needle (Dmi.scrap_name t.dmi s))
+    (pad_scraps t pad)
+
+let query t text =
+  match Si_query.Query.parse text with
+  | Error _ as e -> e
+  | Ok q ->
+      Ok
+        (List.map Si_query.Query.binding_to_string
+           (Si_query.Query.run (Dmi.trim t.dmi) q))
+
+(* ------------------------------------------------------------ rendering *)
+
+let mark_source t scrap =
+  let mark_id = Dmi.scrap_mark_id t.dmi scrap in
+  match Manager.resolve t.marks mark_id with
+  | Ok res -> res.Mark.res_source
+  | Error _ -> (
+      match Manager.mark t.marks mark_id with
+      | Some m ->
+          Printf.sprintf "%s (unresolvable: %s)" m.Mark.mark_type
+            (Option.value (Mark.field m "fileName") ~default:"?")
+      | None -> "dangling mark " ^ mark_id)
+
+let pos_string = function
+  | Some { Dmi.x; y } -> Printf.sprintf " @(%d,%d)" x y
+  | None -> ""
+
+let render_scrap_line t scrap =
+  Printf.sprintf "Scrap %S%s -> %s"
+    (Dmi.scrap_name t.dmi scrap)
+    (pos_string (Dmi.scrap_pos t.dmi scrap))
+    (mark_source t scrap)
+
+let render_pad t pad =
+  let buf = Buffer.create 512 in
+  let line indent s =
+    Buffer.add_string buf (String.make (indent * 2) ' ');
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  let rec bundle indent b =
+    let size =
+      match Dmi.bundle_size t.dmi b with
+      | Some (w, h) -> Printf.sprintf " %dx%d" w h
+      | None -> ""
+    in
+    let template = if Dmi.is_template t.dmi b then " [template]" else "" in
+    line indent
+      (Printf.sprintf "Bundle %S%s%s%s"
+         (Dmi.bundle_name t.dmi b)
+         (pos_string (Dmi.bundle_pos t.dmi b))
+         size template);
+    List.iter
+      (fun s ->
+        line (indent + 1) (render_scrap_line t s);
+        List.iter
+          (fun a -> line (indent + 2) (Printf.sprintf "note: %s" a))
+          (Dmi.annotations t.dmi s))
+      (Dmi.scraps t.dmi b);
+    List.iter
+      (fun d ->
+        line (indent + 1)
+          (Printf.sprintf "[%s]%s"
+             (Dmi.decoration_kind t.dmi d)
+             (pos_string (Dmi.decoration_pos t.dmi d))))
+      (Dmi.decorations t.dmi b);
+    List.iter (bundle (indent + 1)) (Dmi.nested_bundles t.dmi b)
+  in
+  line 0 (Printf.sprintf "SLIMPad %S" (Dmi.pad_name t.dmi pad));
+  bundle 1 (Dmi.root_bundle t.dmi pad);
+  (* Links whose both ends live in this pad. *)
+  let scraps = pad_scraps t pad in
+  let local s = List.mem s scraps in
+  let links =
+    List.filter
+      (fun l ->
+        match Dmi.link_ends t.dmi l with
+        | Some (a, b) -> local a && local b
+        | None -> false)
+      (Dmi.links t.dmi)
+  in
+  if links <> [] then begin
+    line 0 "Links:";
+    List.iter
+      (fun l ->
+        match Dmi.link_ends t.dmi l with
+        | Some (a, b) ->
+            let label =
+              match Dmi.link_label t.dmi l with
+              | Some lb -> Printf.sprintf " --%s--> " lb
+              | None -> " --> "
+            in
+            line 1
+              (Printf.sprintf "%S%s%S"
+                 (Dmi.scrap_name t.dmi a)
+                 label
+                 (Dmi.scrap_name t.dmi b))
+        | None -> ())
+      links
+  end;
+  Buffer.contents buf
+
+let render_pad_html t pad =
+  let esc = Xml.Print.escape in
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add
+    "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+     <title>SLIMPad: %s</title>\n<style>\n\
+     body { font: 13px sans-serif; background: #f4f1e8; }\n\
+     .bundle { position: absolute; border: 1px solid #8a7; background: \
+     #fffef5; border-radius: 6px; padding: 4px; box-shadow: 2px 2px 4px \
+     #0002; }\n\
+     .bundle > h3 { margin: 0 0 4px 0; font-size: 12px; color: #575; }\n\
+     .scrap { position: absolute; background: #ffd; border: 1px solid \
+     #cc9; padding: 2px 6px; border-radius: 3px; white-space: pre; }\n\
+     .scrap .note { display: block; font-size: 10px; color: #a66; }\n\
+     .decoration { position: absolute; color: #aaa; font-size: 10px; }\n\
+     .flow { position: relative; margin: 4px; }\n\
+     .links { margin-top: 20px; color: #666; }\n\
+     </style></head>\n<body>\n<h1>SLIMPad &quot;%s&quot;</h1>\n"
+    (esc (Dmi.pad_name t.dmi pad))
+    (esc (Dmi.pad_name t.dmi pad));
+  (* Positioned children render absolutely; unpositioned ones flow. *)
+  let style_of pos (w, h) =
+    match pos with
+    | Some { Dmi.x; y } ->
+        Printf.sprintf "style=\"left:%dpx; top:%dpx;%s\"" x y
+          (match (w, h) with
+          | Some w, Some h ->
+              Printf.sprintf " width:%dpx; min-height:%dpx;" w h
+          | _ -> "")
+    | None ->
+        "style=\"position: static; display: inline-block; margin: 4px;\""
+  in
+  let rec bundle b =
+    let w, h =
+      match Dmi.bundle_size t.dmi b with
+      | Some (w, h) -> (Some w, Some h)
+      | None -> (None, None)
+    in
+    add "<div class=\"bundle\" %s>\n<h3>%s</h3>\n"
+      (style_of (Dmi.bundle_pos t.dmi b) (w, h))
+      (esc (Dmi.bundle_name t.dmi b));
+    add "<div class=\"flow\">\n";
+    List.iter
+      (fun s ->
+        let source =
+          match Manager.resolve t.marks (Dmi.scrap_mark_id t.dmi s) with
+          | Ok res ->
+              Printf.sprintf "%s — %s" res.Mark.res_source res.Mark.res_excerpt
+          | Error msg -> "unresolvable: " ^ msg
+        in
+        add "<span class=\"scrap\" %s title=\"%s\">%s"
+          (style_of (Dmi.scrap_pos t.dmi s) (None, None))
+          (esc source)
+          (esc (Dmi.scrap_name t.dmi s));
+        List.iter
+          (fun a -> add "<span class=\"note\">%s</span>" (esc a))
+          (Dmi.annotations t.dmi s);
+        add "</span>\n")
+      (Dmi.scraps t.dmi b);
+    List.iter
+      (fun d ->
+        add "<span class=\"decoration\" %s>[%s]</span>\n"
+          (style_of (Dmi.decoration_pos t.dmi d) (None, None))
+          (esc (Dmi.decoration_kind t.dmi d)))
+      (Dmi.decorations t.dmi b);
+    List.iter bundle (Dmi.nested_bundles t.dmi b);
+    add "</div></div>\n"
+  in
+  add "<div class=\"flow\">\n";
+  bundle (Dmi.root_bundle t.dmi pad);
+  add "</div>\n";
+  let scraps = pad_scraps t pad in
+  let links =
+    List.filter
+      (fun l ->
+        match Dmi.link_ends t.dmi l with
+        | Some (a, b) -> List.mem a scraps && List.mem b scraps
+        | None -> false)
+      (Dmi.links t.dmi)
+  in
+  if links <> [] then begin
+    add "<div class=\"links\"><h2>Links</h2><ul>\n";
+    List.iter
+      (fun l ->
+        match Dmi.link_ends t.dmi l with
+        | Some (a, b) ->
+            add "<li>%s &rarr; %s%s</li>\n"
+              (esc (Dmi.scrap_name t.dmi a))
+              (esc (Dmi.scrap_name t.dmi b))
+              (match Dmi.link_label t.dmi l with
+              | Some lb -> Printf.sprintf " <em>(%s)</em>" (esc lb)
+              | None -> "")
+        | None -> ())
+      links;
+    add "</ul></div>\n"
+  end;
+  add "</body></html>\n";
+  Buffer.contents buf
+
+(* ---------------------------------------------------------- persistence *)
+
+let save t path =
+  let combined =
+    Xml.Node.element "slimpad-store"
+      [
+        Si_triple.Trim.to_xml (Dmi.trim t.dmi);
+        Manager.to_xml t.marks;
+        Dmi.journal_to_xml t.dmi;
+      ]
+  in
+  Xml.Print.to_file path combined
+
+let load ?store desktop path =
+  match Xml.Parse.file path with
+  | Error e -> Error (Xml.Parse.error_to_string e)
+  | Ok root -> (
+      let root = Xml.Node.strip_whitespace root in
+      match root with
+      | Xml.Node.Element { name = "slimpad-store"; _ } -> (
+          match
+            ( Xml.Node.find_child "triples" root,
+              Xml.Node.find_child "marks" root )
+          with
+          | Some triples, Some marks_xml -> (
+              match Dmi.of_xml ?store triples with
+              | Error _ as e -> e
+              | Ok dmi -> (
+                  let marks = Manager.create () in
+                  Desktop.install_modules desktop marks;
+                  match Manager.of_xml marks marks_xml with
+                  | Error _ as e -> e
+                  | Ok () ->
+                      (* Older store files have no journal section. *)
+                      (match Xml.Node.find_child "journal" root with
+                      | Some j -> (
+                          match Dmi.load_journal dmi j with
+                          | Ok () -> ()
+                          | Error _ -> ())
+                      | None -> ());
+                      Ok { dmi; marks; desktop }))
+          | _ -> Error "missing <triples> or <marks> section")
+      | _ -> Error "expected a <slimpad-store> root element")
+
+let import_pad t ~from_file ?pad_name ?rename () =
+  (* Load the foreign store with a desktop-less manager: imported marks
+     are copied by value, never resolved here. *)
+  match load (Desktop.create ()) from_file with
+  | Error msg -> Error msg
+  | Ok other -> (
+      let src = other.dmi in
+      let pad =
+        match pad_name with
+        | Some name -> Dmi.find_pad src name
+        | None -> (
+            match Dmi.pads src with p :: _ -> Some p | [] -> None)
+      in
+      match pad with
+      | None ->
+          Error
+            (match pad_name with
+            | Some n -> Printf.sprintf "no pad named %S in %s" n from_file
+            | None -> Printf.sprintf "no pads in %s" from_file)
+      | Some src_pad ->
+          (* Copy a mark into this manager under a fresh id; remember the
+             mapping so scraps repoint correctly. *)
+          let mark_map = Hashtbl.create 16 in
+          let import_mark old_id =
+            match Hashtbl.find_opt mark_map old_id with
+            | Some fresh -> fresh
+            | None -> (
+                match Manager.mark other.marks old_id with
+                | None ->
+                    (* Dangling in the source; keep the dangling id. *)
+                    old_id
+                | Some m ->
+                    let fresh =
+                      match
+                        Manager.create_mark t.marks
+                          ~mark_type:m.Mark.mark_type ~fields:m.Mark.fields
+                          ~excerpt:m.Mark.excerpt ()
+                      with
+                      | Ok created -> created.Mark.mark_id
+                      | Error _ ->
+                          (* Type unsupported here or fields now invalid:
+                             keep the mark verbatim under a fresh id. *)
+                          let rec fresh_id n =
+                            let candidate =
+                              Printf.sprintf "imported-%s-%d" old_id n
+                            in
+                            if Manager.mark t.marks candidate = None then
+                              candidate
+                            else fresh_id (n + 1)
+                          in
+                          let id = fresh_id 0 in
+                          (match
+                             Manager.add_mark t.marks { m with Mark.mark_id = id }
+                           with
+                          | Ok () -> ()
+                          | Error _ -> ());
+                          id
+                    in
+                    Hashtbl.add mark_map old_id fresh;
+                    fresh)
+          in
+          (* Recursive structural copy; scrap_map feeds link rewiring. *)
+          let scrap_map = Hashtbl.create 32 in
+          let rec copy_bundle src_bundle ~parent =
+            let copy =
+              Dmi.create_bundle t.dmi
+                ~name:(Dmi.bundle_name src src_bundle)
+                ?pos:(Dmi.bundle_pos src src_bundle)
+                ?width:(Option.map fst (Dmi.bundle_size src src_bundle))
+                ?height:(Option.map snd (Dmi.bundle_size src src_bundle))
+                ~parent ()
+            in
+            if Dmi.is_template src src_bundle then
+              Dmi.set_template t.dmi copy true;
+            List.iter
+              (fun s ->
+                let copied =
+                  Dmi.create_scrap t.dmi ~name:(Dmi.scrap_name src s)
+                    ?pos:(Dmi.scrap_pos src s)
+                    ~mark_id:(import_mark (Dmi.scrap_mark_id src s))
+                    ~parent:copy ()
+                in
+                Hashtbl.add scrap_map (Dmi.scrap_id s) copied;
+                List.iter
+                  (Dmi.annotate_scrap t.dmi copied)
+                  (Dmi.annotations src s))
+              (Dmi.scraps src src_bundle);
+            List.iter
+              (fun d ->
+                ignore
+                  (Dmi.add_decoration t.dmi copy
+                     ~kind:(Dmi.decoration_kind src d)
+                     ?pos:(Dmi.decoration_pos src d) ()))
+              (Dmi.decorations src src_bundle);
+            List.iter
+              (fun nested -> ignore (copy_bundle nested ~parent:copy))
+              (Dmi.nested_bundles src src_bundle);
+            copy
+          in
+          let new_name =
+            match rename with
+            | Some n -> n
+            | None -> Dmi.pad_name src src_pad ^ " (imported)"
+          in
+          let new_pad = Dmi.create_slimpad t.dmi ~pad_name:new_name in
+          let new_root = Dmi.root_bundle t.dmi new_pad in
+          let src_root = Dmi.root_bundle src src_pad in
+          List.iter
+            (fun s ->
+              let copied =
+                Dmi.create_scrap t.dmi ~name:(Dmi.scrap_name src s)
+                  ?pos:(Dmi.scrap_pos src s)
+                  ~mark_id:(import_mark (Dmi.scrap_mark_id src s))
+                  ~parent:new_root ()
+              in
+              Hashtbl.add scrap_map (Dmi.scrap_id s) copied;
+              List.iter (Dmi.annotate_scrap t.dmi copied)
+                (Dmi.annotations src s))
+            (Dmi.scraps src src_root);
+          List.iter
+            (fun d ->
+              ignore
+                (Dmi.add_decoration t.dmi new_root
+                   ~kind:(Dmi.decoration_kind src d)
+                   ?pos:(Dmi.decoration_pos src d) ()))
+            (Dmi.decorations src src_root);
+          List.iter
+            (fun nested -> ignore (copy_bundle nested ~parent:new_root))
+            (Dmi.nested_bundles src src_root);
+          (* Links whose both ends were imported come along. *)
+          List.iter
+            (fun l ->
+              match Dmi.link_ends src l with
+              | Some (a, b) -> (
+                  match
+                    ( Hashtbl.find_opt scrap_map (Dmi.scrap_id a),
+                      Hashtbl.find_opt scrap_map (Dmi.scrap_id b) )
+                  with
+                  | Some a', Some b' ->
+                      ignore
+                        (Dmi.link_scraps t.dmi
+                           ?label:(Dmi.link_label src l)
+                           ~from_:a' ~to_:b' ())
+                  | _ -> ())
+              | None -> ())
+            (Dmi.links src);
+          Ok new_pad)

@@ -1,0 +1,114 @@
+(** The SLIMPad application (paper §3, Fig 4).
+
+    Binds the three architecture components together: the SLIM store
+    (through the Bundle-Scrap {!Si_slim.Dmi}), the {!Si_mark.Manager}, and
+    the {!Si_mark.Desktop} of base applications. Operations correspond to
+    user gestures: create a pad, drop a selection onto it as a scrap
+    ("creating a digital sticky-note, which comes with a digital wire"),
+    double-click a scrap to re-establish its context, annotate, link,
+    rearrange.
+
+    The pad renders as text — this build's stand-in for the Fig 4 window;
+    layout positions are preserved and shown, but not rasterized. *)
+
+type t
+
+val create : ?store:(module Si_triple.Store.S) -> Si_mark.Desktop.t -> t
+(** A fresh application over the given desktop: new SLIM store, new mark
+    manager with the desktop's seven mark modules installed. *)
+
+val dmi : t -> Si_slim.Dmi.t
+val marks : t -> Si_mark.Manager.t
+val desktop : t -> Si_mark.Desktop.t
+
+(** {1 Pads, bundles, scraps} *)
+
+val new_pad : t -> string -> Si_slim.Dmi.pad
+
+val add_bundle :
+  t -> parent:Si_slim.Dmi.bundle -> name:string ->
+  ?pos:Si_slim.Dmi.coordinate -> unit -> Si_slim.Dmi.bundle
+
+val add_scrap :
+  t -> parent:Si_slim.Dmi.bundle -> name:string -> mark_type:string ->
+  fields:(string * string) list -> ?pos:Si_slim.Dmi.coordinate -> unit ->
+  (Si_slim.Dmi.scrap, string) result
+(** Creates the mark with the Mark Manager (validating the address and
+    caching the excerpt), then the scrap holding its MarkHandle. The
+    scrap's label defaults to the mark's excerpt when [name] is [""] —
+    "a scrap's label and its mark's content may differ" but start equal. *)
+
+val scrap_mark : t -> Si_slim.Dmi.scrap -> Si_mark.Mark.t option
+
+(** {1 Resolution gestures (Fig 4, Fig 6)} *)
+
+val double_click : t -> Si_slim.Dmi.scrap -> (Si_mark.Mark.resolution, string) result
+(** "By clicking on the scrap, the mark is de-referenced and the original
+    information source … is displayed with the appropriate
+    [element] highlighted." *)
+
+val scrap_content : t -> Si_slim.Dmi.scrap -> (string, string) result
+(** The §6 "extract content" behaviour. *)
+
+val scrap_in_place : t -> Si_slim.Dmi.scrap -> (string, string) result
+(** The §6 "display in place" behaviour (independent viewing). *)
+
+(** {1 Consistency with the base layer} *)
+
+val drift_report :
+  t -> Si_slim.Dmi.pad -> (Si_slim.Dmi.scrap * Si_mark.Manager.drift) list
+(** Every scrap of the pad whose base element changed or vanished
+    (unchanged scraps are omitted). *)
+
+val refresh_pad : t -> Si_slim.Dmi.pad -> int
+(** Re-caches excerpts for all resolvable marks of the pad; returns how
+    many were stale. *)
+
+(** {1 Search & query} *)
+
+val find_scraps : t -> Si_slim.Dmi.pad -> string -> Si_slim.Dmi.scrap list
+(** Scraps of the pad whose label contains the needle. *)
+
+val query : t -> string -> (string list, string) result
+(** Run a {!Si_query.Query} text query against the SLIM store; returns
+    rendered bindings. *)
+
+(** {1 Rendering} *)
+
+val render_pad : t -> Si_slim.Dmi.pad -> string
+(** Tree rendering: bundles and scraps with positions, mark sources,
+    annotations, then the pad's links. *)
+
+val render_scrap_line : t -> Si_slim.Dmi.scrap -> string
+
+val render_pad_html : t -> Si_slim.Dmi.pad -> string
+(** A self-contained HTML page of the pad with bundles and scraps
+    absolutely positioned at their stored 2-D coordinates — the closest
+    this build gets to the Fig 4 window. Scraps carry their mark source
+    and current excerpt as hover titles; annotations render as side
+    notes. *)
+
+(** {1 Persistence}
+
+    One XML file holds both the superimposed information (triples) and the
+    marks, so a pad reloads whole. *)
+
+val save : t -> string -> unit
+val load : ?store:(module Si_triple.Store.S) -> Si_mark.Desktop.t -> string ->
+  (t, string) result
+
+(** {1 Sharing}
+
+    §2: "sharing bundles to establish collectively maintained, situated
+    awareness". Importing copies a pad from another store file into this
+    application: bundles, scraps, annotations, links, decorations, and the
+    marks they reference all get fresh ids here, so repeated imports and
+    id collisions are impossible. The source file is not modified. *)
+
+val import_pad :
+  t -> from_file:string -> ?pad_name:string -> ?rename:string -> unit ->
+  (Si_slim.Dmi.pad, string) result
+(** [pad_name] selects which pad of the file to import (default: its
+    first); [rename] names the copy (default: "<original> (imported)").
+    Marks whose types this desktop does not support still import (they
+    fail only on resolution, like any unsupported mark). *)

@@ -1,0 +1,1 @@
+lib/spreadsheet/cellref.ml: Char Format Printf String

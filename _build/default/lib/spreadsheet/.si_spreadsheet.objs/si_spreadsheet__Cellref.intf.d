@@ -1,0 +1,1 @@
+lib/spreadsheet/cellref.mli: Format

@@ -1,0 +1,1 @@
+lib/spreadsheet/formula.ml: Bool Buffer Cellref Float Format List Printf String Value

@@ -1,0 +1,1 @@
+lib/spreadsheet/formula.mli: Cellref Format Value

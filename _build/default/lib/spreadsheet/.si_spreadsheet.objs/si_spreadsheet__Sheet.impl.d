@@ -1,0 +1,1 @@
+lib/spreadsheet/sheet.ml: Cellref Formula Hashtbl List Option String Value

@@ -1,0 +1,1 @@
+lib/spreadsheet/sheet.mli: Cellref Formula Value

@@ -1,0 +1,1 @@
+lib/spreadsheet/value.ml: Bool Float Format Printf String

@@ -1,0 +1,1 @@
+lib/spreadsheet/value.mli: Format

@@ -1,0 +1,1 @@
+lib/spreadsheet/workbook.ml: Buffer Cellref Formula Hashtbl List Option Printf Result Sheet Si_xmlk String Value

@@ -1,0 +1,1 @@
+lib/spreadsheet/workbook.mli: Cellref Formula Sheet Si_xmlk Value

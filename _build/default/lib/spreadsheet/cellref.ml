@@ -1,0 +1,129 @@
+type cell = { col : int; row : int; abs_col : bool; abs_row : bool }
+type range = { top_left : cell; bottom_right : cell }
+
+let column_of_letters s =
+  let n = String.length s in
+  if n = 0 then None
+  else
+    let rec go i acc =
+      if i >= n then Some acc
+      else
+        match Char.uppercase_ascii s.[i] with
+        | 'A' .. 'Z' as c -> go (i + 1) ((acc * 26) + Char.code c - 64)
+        | _ -> None
+    in
+    go 0 0
+
+let letters_of_column col =
+  if col <= 0 then invalid_arg "Cellref.letters_of_column: non-positive";
+  let rec go col acc =
+    if col = 0 then acc
+    else
+      let rem = (col - 1) mod 26 in
+      go ((col - 1) / 26) (String.make 1 (Char.chr (65 + rem)) ^ acc)
+  in
+  go col ""
+
+let cell col row = { col; row; abs_col = false; abs_row = false }
+
+let cell_of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let eat_dollar () =
+    if !pos < n && s.[!pos] = '$' then begin
+      incr pos;
+      true
+    end
+    else false
+  in
+  let abs_col = eat_dollar () in
+  let col_start = !pos in
+  while
+    !pos < n
+    && match s.[!pos] with 'a' .. 'z' | 'A' .. 'Z' -> true | _ -> false
+  do
+    incr pos
+  done;
+  let col_letters = String.sub s col_start (!pos - col_start) in
+  let abs_row = eat_dollar () in
+  let row_start = !pos in
+  while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+    incr pos
+  done;
+  let row_digits = String.sub s row_start (!pos - row_start) in
+  if !pos <> n || col_letters = "" || row_digits = "" then None
+  else
+    match (column_of_letters col_letters, int_of_string_opt row_digits) with
+    | Some col, Some row when row >= 1 -> Some { col; row; abs_col; abs_row }
+    | _ -> None
+
+let cell_to_string { col; row; abs_col; abs_row } =
+  Printf.sprintf "%s%s%s%d"
+    (if abs_col then "$" else "")
+    (letters_of_column col)
+    (if abs_row then "$" else "")
+    row
+
+let cell_equal a b = a.col = b.col && a.row = b.row
+
+let range_of_cells a b =
+  let top_left =
+    { a with col = min a.col b.col; row = min a.row b.row }
+  and bottom_right =
+    { b with col = max a.col b.col; row = max a.row b.row }
+  in
+  { top_left; bottom_right }
+
+let of_string s =
+  match String.index_opt s ':' with
+  | None -> (
+      match cell_of_string s with
+      | Some c -> Some { top_left = c; bottom_right = c }
+      | None -> None)
+  | Some i -> (
+      let left = String.sub s 0 i in
+      let right = String.sub s (i + 1) (String.length s - i - 1) in
+      match (cell_of_string left, cell_of_string right) with
+      | Some a, Some b -> Some (range_of_cells a b)
+      | _ -> None)
+
+let of_string_exn s =
+  match of_string s with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Cellref.of_string_exn: %S" s)
+
+let is_single_cell { top_left; bottom_right } =
+  cell_equal top_left bottom_right
+
+let to_string r =
+  if is_single_cell r then cell_to_string r.top_left
+  else cell_to_string r.top_left ^ ":" ^ cell_to_string r.bottom_right
+
+let equal a b =
+  cell_equal a.top_left b.top_left && cell_equal a.bottom_right b.bottom_right
+
+let contains { top_left; bottom_right } c =
+  c.col >= top_left.col && c.col <= bottom_right.col && c.row >= top_left.row
+  && c.row <= bottom_right.row
+
+let intersects a b =
+  a.top_left.col <= b.bottom_right.col
+  && b.top_left.col <= a.bottom_right.col
+  && a.top_left.row <= b.bottom_right.row
+  && b.top_left.row <= a.bottom_right.row
+
+let width { top_left; bottom_right } = bottom_right.col - top_left.col + 1
+let height { top_left; bottom_right } = bottom_right.row - top_left.row + 1
+let size r = width r * height r
+
+let cells ({ top_left; bottom_right } : range) =
+  let acc = ref [] in
+  for row = bottom_right.row downto top_left.row do
+    for col = bottom_right.col downto top_left.col do
+      acc := cell col row :: !acc
+    done
+  done;
+  !acc
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)
+let pp_cell ppf c = Format.pp_print_string ppf (cell_to_string c)

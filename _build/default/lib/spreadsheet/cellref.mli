@@ -1,0 +1,59 @@
+(** A1-notation cell and range references.
+
+    This is the address vocabulary of Excel marks (Fig 8 of the paper:
+    [fileName], [sheetName], [range]). Columns are 1-based ([A] = 1), rows
+    are 1-based. Absolute markers ([$A$1]) are parsed and preserved but do
+    not affect identity. *)
+
+type cell = { col : int; row : int; abs_col : bool; abs_row : bool }
+type range = { top_left : cell; bottom_right : cell }
+(** Normalized: [top_left] is the minimum column and row of the two corners
+    regardless of how the range was written. *)
+
+(** {1 Columns} *)
+
+val column_of_letters : string -> int option
+(** ["A"] → 1, ["Z"] → 26, ["AA"] → 27 … Case-insensitive. *)
+
+val letters_of_column : int -> string
+(** @raise Invalid_argument on non-positive columns. *)
+
+(** {1 Cells} *)
+
+val cell : int -> int -> cell
+(** [cell col row], relative. *)
+
+val cell_of_string : string -> cell option
+(** Parses ["B12"], ["$B12"], ["B$12"], ["$B$12"]. *)
+
+val cell_to_string : cell -> string
+val cell_equal : cell -> cell -> bool
+(** Positional equality (ignores [$] markers). *)
+
+(** {1 Ranges} *)
+
+val range_of_cells : cell -> cell -> range
+(** Normalizes corner order. *)
+
+val of_string : string -> range option
+(** Parses ["A1"], ["A1:B3"], ["B3:A1"] (normalized). *)
+
+val of_string_exn : string -> range
+val to_string : range -> string
+(** Single-cell ranges print as the cell ("A1", not "A1:A1"). *)
+
+val equal : range -> range -> bool
+(** Positional equality. *)
+
+val is_single_cell : range -> bool
+val contains : range -> cell -> bool
+val intersects : range -> range -> bool
+val cells : range -> cell list
+(** Row-major enumeration of the cells in the range. *)
+
+val width : range -> int
+val height : range -> int
+val size : range -> int
+
+val pp : Format.formatter -> range -> unit
+val pp_cell : Format.formatter -> cell -> unit

@@ -1,0 +1,783 @@
+type ref_target = { sheet : string option; cell : Cellref.cell }
+type range_target = { sheet : string option; range : Cellref.range }
+
+type binop =
+  | Add | Sub | Mul | Div | Pow | Concat
+  | Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | Number of float
+  | Text of string
+  | Bool of bool
+  | Ref of ref_target
+  | Range of range_target
+  | Neg of expr
+  | Binary of binop * expr * expr
+  | Call of string * expr list
+
+(* ------------------------------------------------------------- lexing *)
+
+type token =
+  | Tnumber of float
+  | Tstring of string
+  | Tident of string      (* function name, TRUE/FALSE, or cell ref text *)
+  | Tsheet of string      (* sheet name followed by '!' *)
+  | Top of string
+  | Tlparen
+  | Trparen
+  | Tcomma
+  | Tcolon
+  | Teof
+
+exception Lex_error of string
+
+let tokenize input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let is_digit = function '0' .. '9' -> true | _ -> false in
+  let is_ident_char = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' | '.' -> true
+    | _ -> false
+  in
+  while !pos < n do
+    let c = input.[!pos] in
+    match c with
+    | ' ' | '\t' | '\n' | '\r' -> incr pos
+    | '(' -> push Tlparen; incr pos
+    | ')' -> push Trparen; incr pos
+    | ',' -> push Tcomma; incr pos
+    | ':' -> push Tcolon; incr pos
+    | '+' | '-' | '*' | '/' | '^' | '&' | '=' ->
+        push (Top (String.make 1 c));
+        incr pos
+    | '<' | '>' ->
+        let op =
+          if !pos + 1 < n && (input.[!pos + 1] = '=' ||
+                              (c = '<' && input.[!pos + 1] = '>'))
+          then String.sub input !pos 2
+          else String.make 1 c
+        in
+        pos := !pos + String.length op;
+        push (Top op)
+    | '"' ->
+        (* Doubled quotes escape a quote, as in spreadsheets. *)
+        let buf = Buffer.create 16 in
+        incr pos;
+        let rec scan () =
+          match peek () with
+          | None -> raise (Lex_error "unterminated string literal")
+          | Some '"' when !pos + 1 < n && input.[!pos + 1] = '"' ->
+              Buffer.add_char buf '"';
+              pos := !pos + 2;
+              scan ()
+          | Some '"' -> incr pos
+          | Some ch ->
+              Buffer.add_char buf ch;
+              incr pos;
+              scan ()
+        in
+        scan ();
+        push (Tstring (Buffer.contents buf))
+    | '\'' ->
+        (* Quoted sheet name: 'Lab Results'!A1 *)
+        let buf = Buffer.create 16 in
+        incr pos;
+        let rec scan () =
+          match peek () with
+          | None -> raise (Lex_error "unterminated sheet name")
+          | Some '\'' when !pos + 1 < n && input.[!pos + 1] = '\'' ->
+              Buffer.add_char buf '\'';
+              pos := !pos + 2;
+              scan ()
+          | Some '\'' -> incr pos
+          | Some ch ->
+              Buffer.add_char buf ch;
+              incr pos;
+              scan ()
+        in
+        scan ();
+        if peek () = Some '!' then begin
+          incr pos;
+          push (Tsheet (Buffer.contents buf))
+        end
+        else raise (Lex_error "sheet name must be followed by '!'")
+    | '0' .. '9' ->
+        let start = !pos in
+        while !pos < n && (is_digit input.[!pos] || input.[!pos] = '.') do
+          incr pos
+        done;
+        if !pos < n && (input.[!pos] = 'e' || input.[!pos] = 'E') then begin
+          incr pos;
+          if !pos < n && (input.[!pos] = '+' || input.[!pos] = '-') then
+            incr pos;
+          while !pos < n && is_digit input.[!pos] do
+            incr pos
+          done
+        end;
+        let s = String.sub input start (!pos - start) in
+        (match float_of_string_opt s with
+        | Some f -> push (Tnumber f)
+        | None -> raise (Lex_error (Printf.sprintf "bad number %S" s)))
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' | '$' ->
+        let start = !pos in
+        while !pos < n && is_ident_char input.[!pos] do
+          incr pos
+        done;
+        let s = String.sub input start (!pos - start) in
+        if peek () = Some '!' then begin
+          incr pos;
+          push (Tsheet s)
+        end
+        else push (Tident s)
+    | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c))
+  done;
+  List.rev (Teof :: !toks)
+
+(* ------------------------------------------------------------ parsing *)
+
+exception Syntax_error of string
+
+type parser_state = { mutable tokens : token list }
+
+let peek_tok st = match st.tokens with [] -> Teof | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expect st tok what =
+  if peek_tok st = tok then advance st
+  else raise (Syntax_error (Printf.sprintf "expected %s" what))
+
+(* An identifier is a cell reference iff it parses as one ("B12", "$A$1");
+   otherwise it is a name (function, TRUE/FALSE). *)
+let rec classify_ident st sheet name =
+  match Cellref.cell_of_string name with
+  | Some cell -> (
+      (* Possibly a range: A1:B3 *)
+      match peek_tok st with
+      | Tcolon -> (
+          advance st;
+          match peek_tok st with
+          | Tident name2 -> (
+              advance st;
+              match Cellref.cell_of_string name2 with
+              | Some cell2 ->
+                  Range { sheet; range = Cellref.range_of_cells cell cell2 }
+              | None ->
+                  raise
+                    (Syntax_error
+                       (Printf.sprintf "bad range end %S" name2)))
+          | _ -> raise (Syntax_error "expected a cell after ':'"))
+      | _ -> Ref { sheet; cell })
+  | None -> (
+      if sheet <> None then
+        raise (Syntax_error "a sheet prefix must qualify a cell or range");
+      match String.uppercase_ascii name with
+      | "TRUE" -> Bool true
+      | "FALSE" -> Bool false
+      | upper -> (
+          match peek_tok st with
+          | Tlparen ->
+              advance st;
+              let args =
+                if peek_tok st = Trparen then []
+                else
+                  let rec loop acc =
+                    let e = parse_comparison st in
+                    if peek_tok st = Tcomma then begin
+                      advance st;
+                      loop (e :: acc)
+                    end
+                    else List.rev (e :: acc)
+                  in
+                  loop []
+              in
+              expect st Trparen "')'";
+              Call (upper, args)
+          | _ ->
+              raise
+                (Syntax_error
+                   (Printf.sprintf "unknown identifier %S" name))))
+
+and parse_primary st =
+  match peek_tok st with
+  | Tnumber f ->
+      advance st;
+      Number f
+  | Tstring s ->
+      advance st;
+      Text s
+  | Tsheet sheet -> (
+      advance st;
+      match peek_tok st with
+      | Tident name ->
+          advance st;
+          classify_ident st (Some sheet) name
+      | _ -> raise (Syntax_error "expected a cell after sheet name"))
+  | Tident name ->
+      advance st;
+      classify_ident st None name
+  | Tlparen ->
+      advance st;
+      let e = parse_comparison st in
+      expect st Trparen "')'";
+      e
+  | Top "-" ->
+      advance st;
+      Neg (parse_unary st)
+  | Top "+" ->
+      advance st;
+      parse_unary st
+  | Teof -> raise (Syntax_error "unexpected end of formula")
+  | _ -> raise (Syntax_error "unexpected token")
+
+and parse_unary st = parse_primary st
+
+and parse_power st =
+  let base = parse_unary st in
+  match peek_tok st with
+  | Top "^" ->
+      advance st;
+      Binary (Pow, base, parse_power st)
+  | _ -> base
+
+and parse_mul st =
+  let rec loop left =
+    match peek_tok st with
+    | Top "*" ->
+        advance st;
+        loop (Binary (Mul, left, parse_power st))
+    | Top "/" ->
+        advance st;
+        loop (Binary (Div, left, parse_power st))
+    | _ -> left
+  in
+  loop (parse_power st)
+
+and parse_add st =
+  let rec loop left =
+    match peek_tok st with
+    | Top "+" ->
+        advance st;
+        loop (Binary (Add, left, parse_mul st))
+    | Top "-" ->
+        advance st;
+        loop (Binary (Sub, left, parse_mul st))
+    | _ -> left
+  in
+  loop (parse_mul st)
+
+and parse_concat st =
+  let rec loop left =
+    match peek_tok st with
+    | Top "&" ->
+        advance st;
+        loop (Binary (Concat, left, parse_add st))
+    | _ -> left
+  in
+  loop (parse_add st)
+
+and parse_comparison st =
+  let rec loop left =
+    match peek_tok st with
+    | Top "=" ->
+        advance st;
+        loop (Binary (Eq, left, parse_concat st))
+    | Top "<>" ->
+        advance st;
+        loop (Binary (Ne, left, parse_concat st))
+    | Top "<" ->
+        advance st;
+        loop (Binary (Lt, left, parse_concat st))
+    | Top "<=" ->
+        advance st;
+        loop (Binary (Le, left, parse_concat st))
+    | Top ">" ->
+        advance st;
+        loop (Binary (Gt, left, parse_concat st))
+    | Top ">=" ->
+        advance st;
+        loop (Binary (Ge, left, parse_concat st))
+    | _ -> left
+  in
+  loop (parse_concat st)
+
+let parse input =
+  match tokenize input with
+  | exception Lex_error msg -> Error msg
+  | tokens -> (
+      let st = { tokens } in
+      match parse_comparison st with
+      | exception Syntax_error msg -> Error msg
+      | expr ->
+          if peek_tok st = Teof then Ok expr
+          else Error "trailing input after formula")
+
+let parse_exn input =
+  match parse input with
+  | Ok e -> e
+  | Error msg -> invalid_arg ("Formula.parse_exn: " ^ msg)
+
+(* ----------------------------------------------------------- printing *)
+
+let binop_symbol = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Pow -> "^"
+  | Concat -> "&" | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<="
+  | Gt -> ">" | Ge -> ">="
+
+let precedence = function
+  | Eq | Ne | Lt | Le | Gt | Ge -> 1
+  | Concat -> 2
+  | Add | Sub -> 3
+  | Mul | Div -> 4
+  | Pow -> 5
+
+let sheet_prefix = function
+  | None -> ""
+  | Some s ->
+      let needs_quotes =
+        not
+          (String.for_all
+             (function
+               | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+               | _ -> false)
+             s)
+      in
+      if needs_quotes then
+        let escaped =
+          String.concat "''" (String.split_on_char '\'' s)
+        in
+        "'" ^ escaped ^ "'!"
+      else s ^ "!"
+
+let quote_string s = "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+
+let rec to_string_prec outer expr =
+  match expr with
+  | Number f -> Value.to_display (Value.Number f)
+  | Text s -> quote_string s
+  | Bool true -> "TRUE"
+  | Bool false -> "FALSE"
+  | Ref { sheet; cell } -> sheet_prefix sheet ^ Cellref.cell_to_string cell
+  | Range { sheet; range } -> sheet_prefix sheet ^ Cellref.to_string range
+  | Neg e -> "-" ^ to_string_prec 6 e
+  | Binary (op, l, r) ->
+      let p = precedence op in
+      (* [^] is right-associative; every other operator is left-associative. *)
+      let lp, rp = if op = Pow then (p + 1, p) else (p, p + 1) in
+      let body =
+        to_string_prec lp l ^ " " ^ binop_symbol op ^ " " ^ to_string_prec rp r
+      in
+      if p < outer then "(" ^ body ^ ")" else body
+  | Call (name, args) ->
+      name ^ "(" ^ String.concat ", " (List.map (to_string_prec 0) args) ^ ")"
+
+let to_string e = to_string_prec 0 e
+let equal a b = a = b
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let references expr =
+  let rec go acc = function
+    | Number _ | Text _ | Bool _ -> acc
+    | Ref { sheet; cell } ->
+        { sheet; range = Cellref.range_of_cells cell cell } :: acc
+    | Range rt -> rt :: acc
+    | Neg e -> go acc e
+    | Binary (_, l, r) -> go (go acc l) r
+    | Call (_, args) -> List.fold_left go acc args
+  in
+  List.rev (go [] expr)
+
+(* --------------------------------------------------------- evaluation *)
+
+type env = {
+  cell_value : string option -> Cellref.cell -> Value.t;
+  range_values : string option -> Cellref.range -> Value.t list;
+}
+
+let value_error e = Value.Error e
+
+(* Flatten arguments for aggregate functions: ranges contribute all their
+   cells, scalars contribute themselves. *)
+let rec arg_values env expr =
+  match expr with
+  | Range { sheet; range } -> env.range_values sheet range
+  | e -> [ eval env e ]
+
+and numeric_fold env ~init ~f args =
+  (* Aggregates skip Empty and Text, propagate Error. *)
+  let rec go acc count = function
+    | [] -> Ok (acc, count)
+    | Value.Error e :: _ -> Error e
+    | Value.Number x :: rest -> go (f acc x) (count + 1) rest
+    | Value.Bool b :: rest -> go (f acc (if b then 1. else 0.)) (count + 1) rest
+    | (Value.Empty | Value.Text _) :: rest -> go acc count rest
+  in
+  go init 0 (List.concat_map (arg_values env) args)
+
+and eval_function env name args =
+  let aggregate ~init ~f ~finish =
+    match numeric_fold env ~init ~f args with
+    | Error e -> value_error e
+    | Ok (acc, count) -> finish acc count
+  in
+  let unary_number f =
+    match args with
+    | [ e ] -> (
+        match Value.to_number (eval env e) with
+        | Some x -> f x
+        | None -> value_error Value.Bad_value)
+    | _ -> value_error Value.Bad_value
+  in
+  let unary_text f =
+    match args with
+    | [ e ] -> (
+        match eval env e with
+        | Value.Error er -> value_error er
+        | v -> f (Value.to_display v))
+    | _ -> value_error Value.Bad_value
+  in
+  match name with
+  | "SUM" -> aggregate ~init:0. ~f:( +. ) ~finish:(fun s _ -> Value.Number s)
+  | "PRODUCT" ->
+      aggregate ~init:1. ~f:( *. ) ~finish:(fun s _ -> Value.Number s)
+  | "COUNT" -> aggregate ~init:0. ~f:(fun a _ -> a) ~finish:(fun _ c ->
+      Value.Number (float_of_int c))
+  | "COUNTA" ->
+      let n =
+        List.concat_map (arg_values env) args
+        |> List.filter (fun v -> v <> Value.Empty)
+        |> List.length
+      in
+      Value.Number (float_of_int n)
+  | "AVERAGE" | "AVG" ->
+      aggregate ~init:0. ~f:( +. ) ~finish:(fun s c ->
+          if c = 0 then value_error Value.Div0
+          else Value.Number (s /. float_of_int c))
+  | "MIN" ->
+      aggregate ~init:infinity ~f:Float.min ~finish:(fun s c ->
+          if c = 0 then Value.Number 0. else Value.Number s)
+  | "MAX" ->
+      aggregate ~init:neg_infinity ~f:Float.max ~finish:(fun s c ->
+          if c = 0 then Value.Number 0. else Value.Number s)
+  | "MEDIAN" -> (
+      let rec collect acc = function
+        | [] -> Ok acc
+        | Value.Error e :: _ -> Error e
+        | Value.Number x :: rest -> collect (x :: acc) rest
+        | Value.Bool b :: rest ->
+            collect ((if b then 1. else 0.) :: acc) rest
+        | (Value.Empty | Value.Text _) :: rest -> collect acc rest
+      in
+      match collect [] (List.concat_map (arg_values env) args) with
+      | Error e -> value_error e
+      | Ok [] -> value_error Value.Bad_value
+      | Ok xs ->
+          let sorted = List.sort Float.compare xs in
+          let n = List.length sorted in
+          let nth = List.nth sorted in
+          if n mod 2 = 1 then Value.Number (nth (n / 2))
+          else Value.Number ((nth ((n / 2) - 1) +. nth (n / 2)) /. 2.))
+  | "IF" -> (
+      match args with
+      | [ cond; then_; else_ ] -> (
+          match eval env cond with
+          | Value.Error e -> value_error e
+          | Value.Bool b -> eval env (if b then then_ else else_)
+          | v -> (
+              match Value.to_number v with
+              | Some x -> eval env (if x <> 0. then then_ else else_)
+              | None -> value_error Value.Bad_value))
+      | _ -> value_error Value.Bad_value)
+  | "AND" | "OR" -> (
+      let is_and = name = "AND" in
+      let rec go = function
+        | [] -> Value.Bool is_and
+        | v :: rest -> (
+            match v with
+            | Value.Error e -> value_error e
+            | Value.Bool b ->
+                if b <> is_and then Value.Bool (not is_and) else go rest
+            | other -> (
+                match Value.to_number other with
+                | Some x ->
+                    let b = x <> 0. in
+                    if b <> is_and then Value.Bool (not is_and) else go rest
+                | None -> value_error Value.Bad_value))
+      in
+      go (List.concat_map (arg_values env) args))
+  | "NOT" -> (
+      match args with
+      | [ e ] -> (
+          match eval env e with
+          | Value.Bool b -> Value.Bool (not b)
+          | Value.Error er -> value_error er
+          | v -> (
+              match Value.to_number v with
+              | Some x -> Value.Bool (x = 0.)
+              | None -> value_error Value.Bad_value))
+      | _ -> value_error Value.Bad_value)
+  | "ABS" -> unary_number (fun x -> Value.Number (Float.abs x))
+  | "SQRT" ->
+      unary_number (fun x ->
+          if x < 0. then value_error Value.Bad_value
+          else Value.Number (Float.sqrt x))
+  | "ROUND" -> (
+      match args with
+      | [ _ ] -> unary_number (fun x -> Value.Number (Float.round x))
+      | [ e1; e2 ] -> (
+          match
+            (Value.to_number (eval env e1), Value.to_number (eval env e2))
+          with
+          | Some x, Some digits ->
+              let m = 10. ** Float.round digits in
+              Value.Number (Float.round (x *. m) /. m)
+          | _ -> value_error Value.Bad_value)
+      | _ -> value_error Value.Bad_value)
+  | "MOD" -> (
+      match args with
+      | [ e1; e2 ] -> (
+          match
+            (Value.to_number (eval env e1), Value.to_number (eval env e2))
+          with
+          | Some _, Some 0. -> value_error Value.Div0
+          | Some x, Some y -> Value.Number (Float.rem x y)
+          | _ -> value_error Value.Bad_value)
+      | _ -> value_error Value.Bad_value)
+  | "LEN" ->
+      unary_text (fun s -> Value.Number (float_of_int (String.length s)))
+  | "LEFT" | "RIGHT" -> (
+      let take s n =
+        let n = max 0 (min n (String.length s)) in
+        if name = "LEFT" then String.sub s 0 n
+        else String.sub s (String.length s - n) n
+      in
+      match args with
+      | [ e ] -> (
+          match eval env e with
+          | Value.Error er -> value_error er
+          | v -> Value.Text (take (Value.to_display v) 1))
+      | [ e1; e2 ] -> (
+          match (eval env e1, Value.to_number (eval env e2)) with
+          | Value.Error er, _ -> value_error er
+          | _, None -> value_error Value.Bad_value
+          | v, Some n -> Value.Text (take (Value.to_display v) (int_of_float n)))
+      | _ -> value_error Value.Bad_value)
+  | "MID" -> (
+      match args with
+      | [ e1; e2; e3 ] -> (
+          match
+            ( eval env e1,
+              Value.to_number (eval env e2),
+              Value.to_number (eval env e3) )
+          with
+          | Value.Error er, _, _ -> value_error er
+          | _, None, _ | _, _, None -> value_error Value.Bad_value
+          | v, Some start, Some len ->
+              let s = Value.to_display v in
+              let start = int_of_float start and len = int_of_float len in
+              if start < 1 || len < 0 then value_error Value.Bad_value
+              else
+                let from = min (start - 1) (String.length s) in
+                let len = min len (String.length s - from) in
+                Value.Text (String.sub s from len))
+      | _ -> value_error Value.Bad_value)
+  | "FIND" -> (
+      (* FIND(needle, haystack): 1-based position, case-sensitive;
+         #VALUE! when absent (as in Excel). *)
+      match args with
+      | [ e1; e2 ] -> (
+          match (eval env e1, eval env e2) with
+          | Value.Error er, _ | _, Value.Error er -> value_error er
+          | needle_v, hay_v -> (
+              let needle = Value.to_display needle_v in
+              let hay = Value.to_display hay_v in
+              let nl = String.length needle and hl = String.length hay in
+              let rec scan i =
+                if i + nl > hl then None
+                else if String.sub hay i nl = needle then Some i
+                else scan (i + 1)
+              in
+              match scan 0 with
+              | Some i -> Value.Number (float_of_int (i + 1))
+              | None -> value_error Value.Bad_value))
+      | _ -> value_error Value.Bad_value)
+  | "SUBSTITUTE" -> (
+      match args with
+      | [ e1; e2; e3 ] -> (
+          match (eval env e1, eval env e2, eval env e3) with
+          | Value.Error er, _, _ | _, Value.Error er, _ | _, _, Value.Error er
+            ->
+              value_error er
+          | v, old_v, new_v ->
+              let s = Value.to_display v in
+              let old_s = Value.to_display old_v in
+              let new_s = Value.to_display new_v in
+              if old_s = "" then Value.Text s
+              else
+                let buf = Buffer.create (String.length s) in
+                let ol = String.length old_s in
+                let rec go i =
+                  if i >= String.length s then Buffer.contents buf
+                  else if
+                    i + ol <= String.length s && String.sub s i ol = old_s
+                  then begin
+                    Buffer.add_string buf new_s;
+                    go (i + ol)
+                  end
+                  else begin
+                    Buffer.add_char buf s.[i];
+                    go (i + 1)
+                  end
+                in
+                Value.Text (go 0))
+      | _ -> value_error Value.Bad_value)
+  | "ISBLANK" -> (
+      match args with
+      | [ e ] -> Value.Bool (eval env e = Value.Empty)
+      | _ -> value_error Value.Bad_value)
+  | "ISNUMBER" -> (
+      match args with
+      | [ e ] ->
+          Value.Bool
+            (match eval env e with Value.Number _ -> true | _ -> false)
+      | _ -> value_error Value.Bad_value)
+  | "IFERROR" -> (
+      match args with
+      | [ e; fallback ] -> (
+          match eval env e with
+          | Value.Error _ -> eval env fallback
+          | v -> v)
+      | _ -> value_error Value.Bad_value)
+  | "UPPER" -> unary_text (fun s -> Value.Text (String.uppercase_ascii s))
+  | "LOWER" -> unary_text (fun s -> Value.Text (String.lowercase_ascii s))
+  | "TRIM" -> unary_text (fun s -> Value.Text (String.trim s))
+  | "VLOOKUP" -> (
+      (* VLOOKUP(needle, table_range, col_index): exact match down the
+         first column of the range, answer from the col_index-th column.
+         The table argument must be a syntactic range — its shape (width)
+         is needed to slice rows. Not-found is #VALUE! (no #N/A here). *)
+      match args with
+      | [ needle_e; Range { sheet; range }; col_e ] -> (
+          let needle = eval env needle_e in
+          match (needle, Value.to_number (eval env col_e)) with
+          | Value.Error e, _ -> value_error e
+          | _, None -> value_error Value.Bad_value
+          | needle, Some col_f ->
+              let col = int_of_float col_f in
+              let width = Cellref.width range in
+              if col < 1 || col > width then value_error Value.Bad_ref
+              else
+                let values = env.range_values sheet range in
+                let same a b =
+                  match (a, b) with
+                  | Value.Number x, Value.Number y -> Float.equal x y
+                  | Value.Text x, Value.Text y ->
+                      String.lowercase_ascii x = String.lowercase_ascii y
+                  | _ -> Value.equal a b
+                in
+                let rec rows = function
+                  | [] -> value_error Value.Bad_value
+                  | remaining ->
+                      let row = List.filteri (fun i _ -> i < width) remaining in
+                      let rest =
+                        List.filteri (fun i _ -> i >= width) remaining
+                      in
+                      (match row with
+                      | first :: _ when same first needle ->
+                          List.nth row (col - 1)
+                      | _ -> rows rest)
+                in
+                rows values)
+      | _ -> value_error Value.Bad_value)
+  | "REFERROR" ->
+      (* What a deleted reference is rewritten to (see Workbook row
+         deletion); always the #REF! error, as in Excel. *)
+      value_error Value.Bad_ref
+  | "CONCATENATE" | "CONCAT" ->
+      let rec go acc = function
+        | [] -> Value.Text acc
+        | Value.Error e :: _ -> value_error e
+        | v :: rest -> go (acc ^ Value.to_display v) rest
+      in
+      go "" (List.concat_map (arg_values env) args)
+  | _ -> value_error Value.Bad_name
+
+and eval env expr =
+  match expr with
+  | Number f -> Value.Number f
+  | Text s -> Value.Text s
+  | Bool b -> Value.Bool b
+  | Ref { sheet; cell } -> env.cell_value sheet cell
+  | Range _ ->
+      (* A bare range is not a scalar; only aggregates may consume it. *)
+      value_error Value.Bad_value
+  | Neg e -> (
+      match Value.to_number (eval env e) with
+      | Some x -> Value.Number (-.x)
+      | None -> (
+          match eval env e with
+          | Value.Error er -> value_error er
+          | _ -> value_error Value.Bad_value))
+  | Binary (op, l, r) -> eval_binary env op l r
+  | Call (name, args) -> eval_function env name args
+
+and eval_binary env op l r =
+  let lv = eval env l in
+  let rv = eval env r in
+  match (lv, rv) with
+  | Value.Error e, _ | _, Value.Error e -> value_error e
+  | _ -> (
+      match op with
+      | Concat -> Value.Text (Value.to_display lv ^ Value.to_display rv)
+      | Add | Sub | Mul | Div | Pow -> (
+          match (Value.to_number lv, Value.to_number rv) with
+          | Some x, Some y -> (
+              match op with
+              | Add -> Value.Number (x +. y)
+              | Sub -> Value.Number (x -. y)
+              | Mul -> Value.Number (x *. y)
+              | Div ->
+                  if y = 0. then value_error Value.Div0
+                  else Value.Number (x /. y)
+              | Pow -> Value.Number (x ** y)
+              | Concat | Eq | Ne | Lt | Le | Gt | Ge -> assert false)
+          | _ -> value_error Value.Bad_value)
+      | Eq | Ne | Lt | Le | Gt | Ge ->
+          let cmp =
+            match (lv, rv) with
+            | Value.Number x, Value.Number y -> Float.compare x y
+            | Value.Text x, Value.Text y ->
+                String.compare
+                  (String.lowercase_ascii x)
+                  (String.lowercase_ascii y)
+            | Value.Bool x, Value.Bool y -> Bool.compare x y
+            | _ -> (
+                match (Value.to_number lv, Value.to_number rv) with
+                | Some x, Some y -> Float.compare x y
+                | _ ->
+                    String.compare (Value.to_display lv)
+                      (Value.to_display rv))
+          in
+          let result =
+            match op with
+            | Eq -> cmp = 0
+            | Ne -> cmp <> 0
+            | Lt -> cmp < 0
+            | Le -> cmp <= 0
+            | Gt -> cmp > 0
+            | Ge -> cmp >= 0
+            | Add | Sub | Mul | Div | Pow | Concat -> assert false
+          in
+          Value.Bool result)
+
+let functions =
+  [
+    "SUM"; "PRODUCT"; "COUNT"; "COUNTA"; "AVERAGE"; "MIN"; "MAX"; "MEDIAN";
+    "IF"; "AND"; "OR"; "NOT"; "ABS"; "SQRT"; "ROUND"; "MOD"; "LEN"; "UPPER";
+    "LOWER"; "TRIM"; "CONCATENATE"; "LEFT"; "RIGHT"; "MID"; "FIND";
+    "SUBSTITUTE"; "ISBLANK"; "ISNUMBER"; "IFERROR"; "VLOOKUP"; "REFERROR";
+  ]

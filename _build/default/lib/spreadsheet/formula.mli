@@ -1,0 +1,61 @@
+(** Spreadsheet formulas: AST, parser, printer, evaluator.
+
+    The grammar is the classic spreadsheet expression language:
+
+    {v =SUM(B2:B9) * (1 + C1)   =IF(A1 >= 140, "high", "ok")
+       ='Lab Results'!B2 & " mmol/L" v}
+
+    Operator precedence, lowest to highest: comparisons ([= <> < <= > >=]),
+    concatenation ([&]), additive ([+ -]), multiplicative ([* /]), power
+    ([^], right-associative), unary minus. *)
+
+type ref_target = { sheet : string option; cell : Cellref.cell }
+type range_target = { sheet : string option; range : Cellref.range }
+
+type binop =
+  | Add | Sub | Mul | Div | Pow | Concat
+  | Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | Number of float
+  | Text of string
+  | Bool of bool
+  | Ref of ref_target
+  | Range of range_target
+  | Neg of expr
+  | Binary of binop * expr * expr
+  | Call of string * expr list
+
+val parse : string -> (expr, string) result
+(** Parses the formula body (without the leading [=]). *)
+
+val parse_exn : string -> expr
+val to_string : expr -> string
+(** Canonical rendering; [parse (to_string e)] yields [e] back (modulo
+    redundant parentheses in the input). *)
+
+val equal : expr -> expr -> bool
+val pp : Format.formatter -> expr -> unit
+
+val references : expr -> range_target list
+(** Every cell/range reference in the expression (cells widened to 1×1
+    ranges), in syntactic order. This is the formula's dependency set. *)
+
+(** {1 Evaluation} *)
+
+type env = {
+  cell_value : string option -> Cellref.cell -> Value.t;
+      (** Value of a (possibly sheet-qualified) cell. *)
+  range_values : string option -> Cellref.range -> Value.t list;
+      (** Values of all cells of a range, row-major. *)
+}
+
+val eval : env -> expr -> Value.t
+(** Evaluation never raises: type mismatches yield [Error Bad_value],
+    unknown functions [Error Bad_name], division by zero [Error Div0].
+    Errors propagate through operators and through most functions
+    (aggregations skip empty cells but propagate error cells). *)
+
+val functions : string list
+(** Names of the built-in functions (uppercase), for documentation and
+    error messages. *)

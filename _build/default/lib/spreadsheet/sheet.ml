@@ -1,0 +1,96 @@
+type content = Literal of Value.t | Formula of Formula.expr
+
+type t = {
+  mutable sheet_name : string;
+  cells : (int * int, content) Hashtbl.t;  (* key: (row, col) *)
+}
+
+let create sheet_name = { sheet_name; cells = Hashtbl.create 64 }
+let name t = t.sheet_name
+let rename t new_name = t.sheet_name <- new_name
+let key (c : Cellref.cell) = (c.row, c.col)
+
+let set_value t cell v =
+  if v = Value.Empty then Hashtbl.remove t.cells (key cell)
+  else Hashtbl.replace t.cells (key cell) (Literal v)
+
+let set_formula t cell e = Hashtbl.replace t.cells (key cell) (Formula e)
+let clear t cell = Hashtbl.remove t.cells (key cell)
+
+let classify_literal s =
+  match float_of_string_opt (String.trim s) with
+  | Some f -> Value.Number f
+  | None -> (
+      match String.uppercase_ascii (String.trim s) with
+      | "TRUE" -> Value.Bool true
+      | "FALSE" -> Value.Bool false
+      | _ -> Value.Text s)
+
+let set_input t cell s =
+  if s = "" then clear t cell
+  else if s.[0] = '=' then
+    let body = String.sub s 1 (String.length s - 1) in
+    match Formula.parse body with
+    | Ok e -> set_formula t cell e
+    | Error _ -> set_value t cell (Value.Text s)
+  else set_value t cell (classify_literal s)
+
+let content t cell = Hashtbl.find_opt t.cells (key cell)
+
+let input t cell =
+  match content t cell with
+  | None -> ""
+  | Some (Literal v) -> Value.to_display v
+  | Some (Formula e) -> "=" ^ Formula.to_string e
+
+let is_blank t cell = content t cell = None
+let cell_count t = Hashtbl.length t.cells
+
+let used_range t =
+  Hashtbl.fold
+    (fun (row, col) _ acc ->
+      match acc with
+      | None -> Some (Cellref.range_of_cells (Cellref.cell col row) (Cellref.cell col row))
+      | Some r ->
+          Some
+            (Cellref.range_of_cells
+               (Cellref.cell (min r.Cellref.top_left.col col)
+                  (min r.Cellref.top_left.row row))
+               (Cellref.cell
+                  (max r.Cellref.bottom_right.col col)
+                  (max r.Cellref.bottom_right.row row))))
+    t.cells None
+
+let sorted_bindings t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.cells []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let iter f t =
+  List.iter
+    (fun ((row, col), c) -> f (Cellref.cell col row) c)
+    (sorted_bindings t)
+
+let fold f t init =
+  List.fold_left
+    (fun acc ((row, col), c) -> f (Cellref.cell col row) c acc)
+    init (sorted_bindings t)
+
+let copy t = { sheet_name = t.sheet_name; cells = Hashtbl.copy t.cells }
+
+let remap axis t f =
+  let bindings = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.cells [] in
+  Hashtbl.reset t.cells;
+  List.iter
+    (fun ((row, col), content) ->
+      let moved =
+        match axis with
+        | `Rows -> Option.map (fun row' -> (row', col)) (f row)
+        | `Cols -> Option.map (fun col' -> (row, col')) (f col)
+      in
+      match moved with
+      | Some key -> Hashtbl.replace t.cells key content
+      | None -> ())
+    bindings
+
+let remap_rows t f = remap `Rows t f
+let remap_cols t f = remap `Cols t f

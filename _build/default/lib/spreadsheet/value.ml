@@ -1,0 +1,53 @@
+type error_kind = Div0 | Bad_value | Bad_ref | Bad_name | Cycle
+
+type t =
+  | Empty
+  | Number of float
+  | Text of string
+  | Bool of bool
+  | Error of error_kind
+
+let number f = Number f
+let text s = Text s
+
+let error_code = function
+  | Div0 -> "#DIV/0!"
+  | Bad_value -> "#VALUE!"
+  | Bad_ref -> "#REF!"
+  | Bad_name -> "#NAME?"
+  | Cycle -> "#CYCLE!"
+
+let float_display f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else
+    (* Shortest representation that still round-trips. *)
+    let s = Printf.sprintf "%.12g" f in
+    s
+
+let to_display = function
+  | Empty -> ""
+  | Number f -> float_display f
+  | Text s -> s
+  | Bool true -> "TRUE"
+  | Bool false -> "FALSE"
+  | Error e -> error_code e
+
+let to_number = function
+  | Number f -> Some f
+  | Bool true -> Some 1.
+  | Bool false -> Some 0.
+  | Empty -> Some 0.
+  | Text s -> float_of_string_opt (String.trim s)
+  | Error _ -> None
+
+let equal a b =
+  match (a, b) with
+  | Empty, Empty -> true
+  | Number x, Number y -> Float.equal x y
+  | Text x, Text y -> String.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | Error x, Error y -> x = y
+  | (Empty | Number _ | Text _ | Bool _ | Error _), _ -> false
+
+let pp ppf v = Format.pp_print_string ppf (to_display v)

@@ -1,0 +1,30 @@
+(** Spreadsheet cell values. *)
+
+type error_kind =
+  | Div0        (** division by zero: [#DIV/0!] *)
+  | Bad_value   (** type mismatch: [#VALUE!] *)
+  | Bad_ref     (** reference outside any sheet: [#REF!] *)
+  | Bad_name    (** unknown function or sheet: [#NAME?] *)
+  | Cycle       (** circular dependency: [#CYCLE!] *)
+
+type t =
+  | Empty
+  | Number of float
+  | Text of string
+  | Bool of bool
+  | Error of error_kind
+
+val number : float -> t
+val text : string -> t
+
+val to_display : t -> string
+(** What a cell shows: numbers drop a trailing [.0], booleans render as
+    [TRUE]/[FALSE], errors as [#DIV/0!]-style codes, [Empty] as [""]. *)
+
+val to_number : t -> float option
+(** Numeric coercion: numbers as-is, booleans as 0/1, numeric-looking text
+    parsed, [Empty] as 0. [None] for errors and non-numeric text. *)
+
+val equal : t -> t -> bool
+val error_code : error_kind -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,572 @@
+module Xml = Si_xmlk
+
+type t = {
+  mutable sheet_list : Sheet.t list;
+  mutable names : (string * (string * Cellref.range)) list;
+      (* defined name -> (sheet name, range) *)
+}
+
+let create ?(sheet_names = [ "Sheet1" ]) () =
+  { sheet_list = List.map Sheet.create sheet_names; names = [] }
+
+let sheets wb = wb.sheet_list
+let sheet_names wb = List.map Sheet.name wb.sheet_list
+
+let sheet wb name =
+  List.find_opt (fun s -> String.equal (Sheet.name s) name) wb.sheet_list
+
+let sheet_exn wb name =
+  match sheet wb name with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Workbook: no sheet %S" name)
+
+let add_sheet wb name =
+  match sheet wb name with
+  | Some _ -> Error (Printf.sprintf "sheet %S already exists" name)
+  | None ->
+      let s = Sheet.create name in
+      wb.sheet_list <- wb.sheet_list @ [ s ];
+      Ok s
+
+let remove_sheet wb name =
+  let before = List.length wb.sheet_list in
+  wb.sheet_list <-
+    List.filter (fun s -> not (String.equal (Sheet.name s) name)) wb.sheet_list;
+  List.length wb.sheet_list < before
+
+let default_sheet wb =
+  match wb.sheet_list with
+  | s :: _ -> s
+  | [] -> invalid_arg "Workbook: no sheets"
+
+let resolve_sheet wb = function
+  | Some name -> sheet_exn wb name
+  | None -> default_sheet wb
+
+let parse_cell_exn address =
+  match Cellref.cell_of_string address with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Workbook: bad cell address %S" address)
+
+let set wb ?sheet_name address input =
+  Sheet.set_input (resolve_sheet wb sheet_name) (parse_cell_exn address) input
+
+let input wb ?sheet_name address =
+  Sheet.input (resolve_sheet wb sheet_name) (parse_cell_exn address)
+
+(* ---------------------------------------------------------- evaluation *)
+
+(* Evaluation memoizes per call and carries an "in progress" flag per cell
+   for cycle detection: re-entering a cell that is being evaluated yields
+   Error Cycle. *)
+type eval_state = {
+  wb : t;
+  memo : (string * int * int, Value.t) Hashtbl.t;
+  in_progress : (string * int * int, unit) Hashtbl.t;
+}
+
+let rec eval_cell st sheet_name (cell : Cellref.cell) =
+  match sheet st.wb sheet_name with
+  | None -> Value.Error Value.Bad_ref
+  | Some s -> (
+      let k = (sheet_name, cell.row, cell.col) in
+      match Hashtbl.find_opt st.memo k with
+      | Some v -> v
+      | None ->
+          if Hashtbl.mem st.in_progress k then Value.Error Value.Cycle
+          else begin
+            Hashtbl.add st.in_progress k ();
+            let v =
+              match Sheet.content s cell with
+              | None -> Value.Empty
+              | Some (Sheet.Literal v) -> v
+              | Some (Sheet.Formula e) -> eval_formula st sheet_name e
+            in
+            Hashtbl.remove st.in_progress k;
+            Hashtbl.replace st.memo k v;
+            v
+          end)
+
+and eval_formula st sheet_name expr =
+  let env =
+    {
+      Formula.cell_value =
+        (fun sheet_opt cell ->
+          eval_cell st (Option.value sheet_opt ~default:sheet_name) cell);
+      Formula.range_values =
+        (fun sheet_opt range ->
+          let target = Option.value sheet_opt ~default:sheet_name in
+          List.map (eval_cell st target) (Cellref.cells range));
+    }
+  in
+  Formula.eval env expr
+
+let fresh_state wb =
+  { wb; memo = Hashtbl.create 64; in_progress = Hashtbl.create 16 }
+
+let value wb ?sheet_name address =
+  let s = resolve_sheet wb sheet_name in
+  eval_cell (fresh_state wb) (Sheet.name s) (parse_cell_exn address)
+
+let display wb ?sheet_name address =
+  Value.to_display (value wb ?sheet_name address)
+
+let range_values wb ?sheet_name range =
+  let s = resolve_sheet wb sheet_name in
+  let st = fresh_state wb in
+  List.map (eval_cell st (Sheet.name s)) (Cellref.cells range)
+
+let precedents wb ?sheet_name address =
+  let s = resolve_sheet wb sheet_name in
+  match Sheet.content s (parse_cell_exn address) with
+  | Some (Sheet.Formula e) -> Formula.references e
+  | Some (Sheet.Literal _) | None -> []
+
+(* --------------------------------------------------------- defined names *)
+
+let valid_defined_name s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+         | _ -> false)
+       s
+  (* "A1"-shaped names would be ambiguous with cell references. *)
+  && Cellref.cell_of_string s = None
+
+let lookup_name wb name = List.assoc_opt name wb.names
+
+let define_name wb ~name ~sheet_name range =
+  if not (valid_defined_name name) then
+    Error (Printf.sprintf "%S is not a valid defined name" name)
+  else if lookup_name wb name <> None then
+    Error (Printf.sprintf "name %S already defined" name)
+  else if sheet wb sheet_name = None then
+    Error (Printf.sprintf "no sheet %S" sheet_name)
+  else begin
+    wb.names <- (name, (sheet_name, range)) :: wb.names;
+    Ok ()
+  end
+
+let defined_names wb =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) wb.names
+
+let remove_name wb name =
+  if lookup_name wb name <> None then begin
+    wb.names <- List.remove_assoc name wb.names;
+    true
+  end
+  else false
+
+(* ------------------------------------------------------ structural edits *)
+
+(* Which axis a structural edit moves. *)
+type axis = Rows | Cols
+
+let axis_of (c : Cellref.cell) = function
+  | Rows -> c.Cellref.row
+  | Cols -> c.Cellref.col
+
+let with_axis (c : Cellref.cell) axis v =
+  match axis with
+  | Rows -> { c with Cellref.row = v }
+  | Cols -> { c with Cellref.col = v }
+
+(* Rewrites of formula references when rows/columns of [target_sheet]
+   move. [shift i] returns the new index, or None when deleted. *)
+let adjust_formula ~axis ~target_sheet ~formula_sheet ~shift expr =
+  let targets sheet_opt =
+    String.equal
+      (Option.value sheet_opt ~default:formula_sheet)
+      target_sheet
+  in
+  let ref_error = Formula.Call ("REFERROR", []) in
+  let shift_cell (c : Cellref.cell) =
+    Option.map (with_axis c axis) (shift (axis_of c axis))
+  in
+  (* A range survives if any row/column of it survives: corners clamp
+     inward. *)
+  let shift_range (r : Cellref.range) =
+    let rec first_surviving i limit step =
+      if i = limit + step then None
+      else
+        match shift i with
+        | Some i' -> Some i'
+        | None -> first_surviving (i + step) limit step
+    in
+    let lo = axis_of r.Cellref.top_left axis in
+    let hi = axis_of r.Cellref.bottom_right axis in
+    match (first_surviving lo hi 1, first_surviving hi lo (-1)) with
+    | Some lo', Some hi' when lo' <= hi' ->
+        Some
+          (Cellref.range_of_cells
+             (with_axis r.Cellref.top_left axis lo')
+             (with_axis r.Cellref.bottom_right axis hi'))
+    | _ -> None
+  in
+  let rec go expr =
+    match expr with
+    | Formula.Ref { sheet; cell } when targets sheet -> (
+        match shift_cell cell with
+        | Some cell -> Formula.Ref { sheet; cell }
+        | None -> ref_error)
+    | Formula.Range { sheet; range } when targets sheet -> (
+        match shift_range range with
+        | Some range -> Formula.Range { sheet; range }
+        | None -> ref_error)
+    | Formula.Ref _ | Formula.Range _ | Formula.Number _ | Formula.Text _
+    | Formula.Bool _ ->
+        expr
+    | Formula.Neg e -> Formula.Neg (go e)
+    | Formula.Binary (op, l, r) -> Formula.Binary (op, go l, go r)
+    | Formula.Call (f, args) -> Formula.Call (f, List.map go args)
+  in
+  go expr
+
+let apply_structural_edit wb ~axis ~sheet_name ~shift =
+  match sheet wb sheet_name with
+  | None -> Error (Printf.sprintf "no sheet %S" sheet_name)
+  | Some target ->
+      (* 1. Move the cells of the edited sheet. *)
+      (match axis with
+      | Rows -> Sheet.remap_rows target shift
+      | Cols -> Sheet.remap_cols target shift);
+      (* 2. Rewrite formulas everywhere that reference the edited sheet. *)
+      List.iter
+        (fun s ->
+          let updates =
+            Sheet.fold
+              (fun cell content acc ->
+                match content with
+                | Sheet.Formula e ->
+                    let e' =
+                      adjust_formula ~axis ~target_sheet:sheet_name
+                        ~formula_sheet:(Sheet.name s) ~shift e
+                    in
+                    (cell, e') :: acc
+                | Sheet.Literal _ -> acc)
+              s []
+          in
+          List.iter (fun (cell, e) -> Sheet.set_formula s cell e) updates)
+        wb.sheet_list;
+      (* 3. Defined names on the edited sheet follow (a fully deleted name
+         is dropped). *)
+      wb.names <-
+        List.filter_map
+          (fun (name, (ns, range)) ->
+            if not (String.equal ns sheet_name) then Some (name, (ns, range))
+            else
+              let fake =
+                Formula.Range { Formula.sheet = Some sheet_name; range }
+              in
+              match
+                adjust_formula ~axis ~target_sheet:sheet_name
+                  ~formula_sheet:sheet_name ~shift fake
+              with
+              | Formula.Range { range; _ } -> Some (name, (ns, range))
+              | _ -> None)
+          wb.names;
+      Ok ()
+
+type structural_op = Insert | Delete
+
+let structural_edit wb ~axis ~op ~what ?sheet_name ~at ~count () =
+  if at < 1 || count < 1 then
+    Error (Printf.sprintf "%s: at and count must be >= 1" what)
+  else
+    let sheet_name =
+      match sheet_name with
+      | Some s -> s
+      | None -> Sheet.name (default_sheet wb)
+    in
+    let shift =
+      match op with
+      | Insert -> fun i -> if i >= at then Some (i + count) else Some i
+      | Delete ->
+          fun i ->
+            if i < at then Some i
+            else if i < at + count then None
+            else Some (i - count)
+    in
+    apply_structural_edit wb ~axis ~sheet_name ~shift
+
+let insert_rows wb ?sheet_name ~at ~count () =
+  structural_edit wb ~axis:Rows ~op:Insert ~what:"insert_rows" ?sheet_name
+    ~at ~count ()
+
+let delete_rows wb ?sheet_name ~at ~count () =
+  structural_edit wb ~axis:Rows ~op:Delete ~what:"delete_rows" ?sheet_name
+    ~at ~count ()
+
+let insert_cols wb ?sheet_name ~at ~count () =
+  structural_edit wb ~axis:Cols ~op:Insert ~what:"insert_cols" ?sheet_name
+    ~at ~count ()
+
+let delete_cols wb ?sheet_name ~at ~count () =
+  structural_edit wb ~axis:Cols ~op:Delete ~what:"delete_cols" ?sheet_name
+    ~at ~count ()
+
+(* ----------------------------------------------------------------- CSV *)
+
+let parse_csv text =
+  (* Returns rows of fields. Handles quoted fields with doubled quotes and
+     embedded newlines; accepts both \n and \r\n. *)
+  let n = String.length text in
+  let rows = ref [] and row = ref [] and buf = Buffer.create 32 in
+  let flush_field () =
+    row := Buffer.contents buf :: !row;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  let rec plain i =
+    if i >= n then begin
+      if Buffer.length buf > 0 || !row <> [] then flush_row ();
+      ()
+    end
+    else
+      match text.[i] with
+      | ',' ->
+          flush_field ();
+          plain (i + 1)
+      | '\r' when i + 1 < n && text.[i + 1] = '\n' ->
+          flush_row ();
+          plain (i + 2)
+      | '\n' ->
+          flush_row ();
+          plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          plain (i + 1)
+  and quoted i =
+    if i >= n then begin
+      (* Unterminated quote: tolerate, treat as field end. *)
+      flush_row ()
+    end
+    else
+      match text.[i] with
+      | '"' when i + 1 < n && text.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  in
+  plain 0;
+  List.rev !rows
+
+let quote_csv_field s =
+  let needs_quoting =
+    String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+  in
+  if needs_quoting then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let import_csv wb ~sheet_name text =
+  match add_sheet wb sheet_name with
+  | Error _ as e -> e
+  | Ok s ->
+      List.iteri
+        (fun row_i fields ->
+          List.iteri
+            (fun col_i field ->
+              if field <> "" then
+                Sheet.set_input s (Cellref.cell (col_i + 1) (row_i + 1)) field)
+            fields)
+        (parse_csv text);
+      Ok ()
+
+let export_csv wb ~sheet_name ~evaluate =
+  match sheet wb sheet_name with
+  | None -> None
+  | Some s ->
+      let cell_text cell =
+        if evaluate then
+          Value.to_display
+            (eval_cell (fresh_state wb) sheet_name cell)
+        else Sheet.input s cell
+      in
+      (match Sheet.used_range s with
+      | None -> Some ""
+      | Some r ->
+          let rows =
+            List.init (Cellref.height r) (fun i ->
+                let row = r.Cellref.top_left.row + i in
+                List.init (Cellref.width r) (fun j ->
+                    let col = r.Cellref.top_left.col + j in
+                    quote_csv_field (cell_text (Cellref.cell col row)))
+                |> String.concat ",")
+          in
+          Some (String.concat "\n" rows ^ "\n"))
+
+(* ----------------------------------------------------------------- XML *)
+
+let to_xml wb =
+  let sheet_to_xml s =
+    let cells =
+      Sheet.fold
+        (fun cell content acc ->
+          let kind, body =
+            match content with
+            | Sheet.Formula e -> ("formula", Formula.to_string e)
+            | Sheet.Literal (Value.Number _ as v) ->
+                ("number", Value.to_display v)
+            | Sheet.Literal (Value.Bool _ as v) -> ("bool", Value.to_display v)
+            | Sheet.Literal (Value.Text s) -> ("text", s)
+            | Sheet.Literal (Value.Error _ as v) ->
+                ("error", Value.to_display v)
+            | Sheet.Literal Value.Empty -> ("text", "")
+          in
+          Xml.Node.element "cell"
+            ~attrs:
+              [
+                ("ref", Cellref.cell_to_string cell); ("type", kind);
+              ]
+            [ Xml.Node.text body ]
+          :: acc)
+        s []
+    in
+    Xml.Node.element "sheet"
+      ~attrs:[ ("name", Sheet.name s) ]
+      (List.rev cells)
+  in
+  let name_to_xml (name, (sheet_name, range)) =
+    Xml.Node.element "name"
+      ~attrs:
+        [
+          ("name", name); ("sheet", sheet_name);
+          ("range", Cellref.to_string range);
+        ]
+      []
+  in
+  Xml.Node.element "workbook"
+    (List.map sheet_to_xml wb.sheet_list
+    @ List.map name_to_xml (defined_names wb))
+
+let error_of_code = function
+  | "#DIV/0!" -> Some Value.Div0
+  | "#VALUE!" -> Some Value.Bad_value
+  | "#REF!" -> Some Value.Bad_ref
+  | "#NAME?" -> Some Value.Bad_name
+  | "#CYCLE!" -> Some Value.Cycle
+  | _ -> None
+
+let of_xml root =
+  match root with
+  | Xml.Node.Element { name = "workbook"; _ } -> (
+      let wb = { sheet_list = []; names = [] } in
+      let load_cell s node =
+        match
+          ( Xml.Node.attr "ref" node,
+            Xml.Node.attr "type" node,
+            Xml.Node.text_content node )
+        with
+        | Some address, Some kind, body -> (
+            match Cellref.cell_of_string address with
+            | None -> Error (Printf.sprintf "bad cell ref %S" address)
+            | Some cell -> (
+                match kind with
+                | "formula" -> (
+                    match Formula.parse body with
+                    | Ok e ->
+                        Sheet.set_formula s cell e;
+                        Ok ()
+                    | Error msg ->
+                        Error (Printf.sprintf "bad formula at %s: %s" address msg))
+                | "number" -> (
+                    match float_of_string_opt body with
+                    | Some f ->
+                        Sheet.set_value s cell (Value.Number f);
+                        Ok ()
+                    | None -> Error (Printf.sprintf "bad number at %s" address))
+                | "bool" ->
+                    Sheet.set_value s cell
+                      (Value.Bool (String.uppercase_ascii body = "TRUE"));
+                    Ok ()
+                | "error" -> (
+                    match error_of_code body with
+                    | Some e ->
+                        Sheet.set_value s cell (Value.Error e);
+                        Ok ()
+                    | None -> Error (Printf.sprintf "bad error code at %s" address))
+                | "text" ->
+                    Sheet.set_value s cell (Value.Text body);
+                    Ok ()
+                | other -> Error (Printf.sprintf "unknown cell type %S" other)))
+        | _ -> Error "cell missing ref or type attribute"
+      in
+      let load_sheet node =
+        match Xml.Node.attr "name" node with
+        | None -> Error "sheet missing name attribute"
+        | Some name -> (
+            match add_sheet wb name with
+            | Error _ as e -> e |> Result.map (fun _ -> ())
+            | Ok s ->
+                let rec cells = function
+                  | [] -> Ok ()
+                  | c :: rest -> (
+                      match load_cell s c with
+                      | Ok () -> cells rest
+                      | Error _ as e -> e)
+                in
+                cells (Xml.Node.find_children "cell" node))
+      in
+      let load_name node =
+        match
+          ( Xml.Node.attr "name" node,
+            Xml.Node.attr "sheet" node,
+            Option.bind (Xml.Node.attr "range" node) Cellref.of_string )
+        with
+        | Some name, Some sheet_name, Some range ->
+            define_name wb ~name ~sheet_name range
+        | _ -> Error "malformed <name> element"
+      in
+      let rec load = function
+        | [] -> Ok wb
+        | s :: rest -> (
+            match load_sheet s with
+            | Ok () -> load rest
+            | Error msg -> Error msg)
+      in
+      let rec load_names = function
+        | [] -> Ok wb
+        | n :: rest -> (
+            match load_name n with
+            | Ok () -> load_names rest
+            | Error msg -> Error msg)
+      in
+      match load (Xml.Node.find_children "sheet" root) with
+      | Ok _ -> load_names (Xml.Node.find_children "name" root)
+      | Error _ as e -> e)
+  | _ -> Error "expected a <workbook> root element"
+
+let save wb path = Xml.Print.to_file path (to_xml wb)
+
+let load path =
+  match Xml.Parse.file path with
+  | Error e -> Error (Xml.Parse.error_to_string e)
+  | Ok root -> of_xml (Xml.Node.strip_whitespace root)
+
+let equal a b =
+  let sheet_equal x y =
+    String.equal (Sheet.name x) (Sheet.name y)
+    && Sheet.cell_count x = Sheet.cell_count y
+    && Sheet.fold
+         (fun cell _ acc -> acc && Sheet.input x cell = Sheet.input y cell)
+         x true
+  in
+  List.length a.sheet_list = List.length b.sheet_list
+  && List.for_all2 sheet_equal a.sheet_list b.sheet_list
+  && List.map
+       (fun (n, (s, r)) -> (n, s, Cellref.to_string r))
+       (defined_names a)
+     = List.map
+         (fun (n, (s, r)) -> (n, s, Cellref.to_string r))
+         (defined_names b)

@@ -1,0 +1,120 @@
+(** A workbook: ordered, named sheets plus the formula evaluation engine.
+
+    This substrate stands in for Microsoft Excel as a base application. The
+    pieces the superimposed architecture relies on (paper §1, §4.2): the
+    workbook can report the "current selection" as an address
+    ([sheet name + A1 range]), and can return to that address — resolving an
+    Excel mark opens the file, activates the sheet and selects the range. *)
+
+type t
+
+val create : ?sheet_names:string list -> unit -> t
+(** A workbook with the given sheets (default [["Sheet1"]]). *)
+
+(** {1 Sheets} *)
+
+val add_sheet : t -> string -> (Sheet.t, string) result
+(** Fails on duplicate names. *)
+
+val sheet : t -> string -> Sheet.t option
+val sheet_exn : t -> string -> Sheet.t
+val sheets : t -> Sheet.t list
+val sheet_names : t -> string list
+val remove_sheet : t -> string -> bool
+val default_sheet : t -> Sheet.t
+(** The first sheet. *)
+
+(** {1 Cell access}
+
+    [sheet_name] defaults to the first sheet. *)
+
+val set : t -> ?sheet_name:string -> string -> string -> unit
+(** [set wb "B2" "=SUM(A1:A9)"] — address parsed as A1 notation.
+    @raise Invalid_argument on a bad address or unknown sheet. *)
+
+val input : t -> ?sheet_name:string -> string -> string
+(** The raw input of a cell (see {!Sheet.input}). *)
+
+val value : t -> ?sheet_name:string -> string -> Value.t
+(** Evaluated value, with cross-sheet references, memoization within the
+    call, and cycle detection (a cell participating in a reference cycle
+    evaluates to [Error Cycle]). Unknown sheets in references yield
+    [Error Bad_ref]. *)
+
+val display : t -> ?sheet_name:string -> string -> string
+(** [Value.to_display] of {!value}. *)
+
+val range_values : t -> ?sheet_name:string -> Cellref.range -> Value.t list
+val precedents : t -> ?sheet_name:string -> string -> Formula.range_target list
+(** Direct dependencies of a cell's formula ([[]] for literals/blank). *)
+
+(** {1 Defined names}
+
+    Named ranges, as in Excel's Insert > Name. A mark that addresses a
+    defined name instead of a literal range survives structural edits,
+    because {!insert_rows}/{!delete_rows} keep names up to date. *)
+
+val define_name :
+  t -> name:string -> sheet_name:string -> Cellref.range ->
+  (unit, string) result
+(** Fails on a duplicate name or unknown sheet. Names are case-sensitive
+    identifiers (letters, digits, underscores; not starting with a digit). *)
+
+val lookup_name : t -> string -> (string * Cellref.range) option
+(** (sheet name, range). *)
+
+val defined_names : t -> (string * (string * Cellref.range)) list
+(** Sorted by name. *)
+
+val remove_name : t -> string -> bool
+
+(** {1 Structural edits}
+
+    Row insertion/deletion with full reference adjustment: cell contents
+    shift, formula references in {e every} sheet that point at the edited
+    sheet are rewritten, and defined names follow. Deleting rows that a
+    reference points into turns that reference into [#REF!] (the
+    [REFERROR()] formula), as Excel does. *)
+
+val insert_rows :
+  t -> ?sheet_name:string -> at:int -> count:int -> unit ->
+  (unit, string) result
+(** Inserts [count] blank rows before row [at] (1-based). *)
+
+val delete_rows :
+  t -> ?sheet_name:string -> at:int -> count:int -> unit ->
+  (unit, string) result
+(** Deletes rows [at .. at+count-1]. *)
+
+val insert_cols :
+  t -> ?sheet_name:string -> at:int -> count:int -> unit ->
+  (unit, string) result
+(** Inserts [count] blank columns before column [at] (1-based; column 1 is
+    [A]). *)
+
+val delete_cols :
+  t -> ?sheet_name:string -> at:int -> count:int -> unit ->
+  (unit, string) result
+
+(** {1 CSV}
+
+    Minimal RFC-4180: comma separator, double-quote quoting with doubled
+    quotes inside. Every parsed field goes through {!Sheet.set_input}, so
+    numeric fields become numbers and [=...] fields become formulas. *)
+
+val import_csv : t -> sheet_name:string -> string -> (unit, string) result
+(** Creates (or fails on existing) sheet [sheet_name] and fills it from the
+    CSV text, anchored at A1. *)
+
+val export_csv : t -> sheet_name:string -> evaluate:bool -> string option
+(** Evaluated values ([evaluate:true]) or raw inputs, over the used range. *)
+
+(** {1 Persistence (XML)} *)
+
+val to_xml : t -> Si_xmlk.Node.t
+val of_xml : Si_xmlk.Node.t -> (t, string) result
+val save : t -> string -> unit
+val load : string -> (t, string) result
+
+val equal : t -> t -> bool
+(** Same sheets (order-sensitive) with the same cell inputs. *)

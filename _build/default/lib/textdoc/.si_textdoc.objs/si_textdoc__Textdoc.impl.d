@@ -1,0 +1,1 @@
+lib/textdoc/textdoc.ml: Array Format In_channel List Printf String

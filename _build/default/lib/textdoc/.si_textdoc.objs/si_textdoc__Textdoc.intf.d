@@ -1,0 +1,1 @@
+lib/textdoc/textdoc.mli: Format

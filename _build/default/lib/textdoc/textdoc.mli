@@ -1,0 +1,75 @@
+(** Plain-text base documents.
+
+    The simplest base-source substrate: a text file with line/column and
+    character-span addressing. Its marks ("text marks") address a [span];
+    the substrate also supports re-anchoring a stale span after the
+    underlying file has been edited, by searching for the remembered
+    excerpt. *)
+
+type t
+(** An immutable text document with a precomputed line index. *)
+
+type span = { offset : int; length : int }
+(** A character span, [offset] 0-based, in bytes of the document text. *)
+
+type position = { line : int; column : int }
+(** 1-based line and column. *)
+
+(** {1 Construction} *)
+
+val of_string : string -> t
+val of_lines : string list -> t
+(** Joins with ["\n"]. *)
+
+val from_file : string -> (t, string) result
+val to_string : t -> string
+val length : t -> int
+
+(** {1 Lines} *)
+
+val line_count : t -> int
+val line : t -> int -> string option
+(** [line doc n] returns the [n]-th line, 1-based, without the newline. *)
+
+val line_exn : t -> int -> string
+val lines : t -> string list
+val line_span : t -> int -> span option
+(** Span covering the [n]-th line (newline excluded). *)
+
+(** {1 Spans} *)
+
+val span_valid : t -> span -> bool
+val extract : t -> span -> string option
+(** The text covered by the span; [None] if out of bounds. *)
+
+val extract_exn : t -> span -> string
+val position_of_offset : t -> int -> position option
+val offset_of_position : t -> position -> int option
+val span_of_positions : t -> start:position -> stop:position -> span option
+(** Inclusive start, exclusive stop. *)
+
+val positions_of_span : t -> span -> (position * position) option
+
+(** {1 Search} *)
+
+val find_all : t -> string -> span list
+(** All (possibly overlapping) occurrences, leftmost-first. The empty needle
+    yields []. *)
+
+val find_first : ?from:int -> t -> string -> span option
+
+val context : t -> span -> lines_around:int -> string
+(** The lines containing the span plus [lines_around] lines on each side —
+    what a viewer would show when a mark is resolved "in context". *)
+
+(** {1 Re-anchoring}
+
+    A mark stores the excerpt it covered at creation time. When the base
+    document changes, [reanchor] relocates the excerpt: the occurrence
+    closest to the stale offset wins. *)
+
+val reanchor : t -> excerpt:string -> stale_offset:int -> span option
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_span : Format.formatter -> span -> unit

@@ -1,0 +1,1 @@
+lib/triple/rdf_xml.ml: List Printf Result Si_xmlk String Trim Triple

@@ -1,0 +1,1 @@
+lib/triple/rdf_xml.mli: Si_xmlk Store Trim

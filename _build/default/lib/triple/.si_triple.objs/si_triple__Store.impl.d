@@ -1,0 +1,1 @@
+lib/triple/store.ml: Fun Hashtbl List Mutex String Triple

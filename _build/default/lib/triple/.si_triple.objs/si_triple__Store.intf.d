@@ -1,0 +1,1 @@
+lib/triple/store.mli: Triple

@@ -1,0 +1,1 @@
+lib/triple/trim.ml: Hashtbl List Printf Queue Si_xmlk Store String Triple

@@ -1,0 +1,1 @@
+lib/triple/trim.mli: Si_xmlk Store Triple

@@ -1,0 +1,1 @@
+lib/triple/triple.ml: Format Hashtbl Printf String

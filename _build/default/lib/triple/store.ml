@@ -1,0 +1,215 @@
+module type S = sig
+  type t
+
+  val create : unit -> t
+  val name : string
+  val add : t -> Triple.t -> bool
+  val remove : t -> Triple.t -> bool
+  val mem : t -> Triple.t -> bool
+  val size : t -> int
+  val clear : t -> unit
+
+  val select :
+    ?subject:string -> ?predicate:string -> ?object_:Triple.obj -> t ->
+    Triple.t list
+
+  val iter : (Triple.t -> unit) -> t -> unit
+  val fold : (Triple.t -> 'a -> 'a) -> t -> 'a -> 'a
+  val to_list : t -> Triple.t list
+  val add_all : t -> Triple.t list -> unit
+end
+
+let matches ?subject ?predicate ?object_ (t : Triple.t) =
+  (match subject with None -> true | Some s -> String.equal s t.subject)
+  && (match predicate with
+     | None -> true
+     | Some p -> String.equal p t.predicate)
+  && match object_ with None -> true | Some o -> Triple.obj_equal o t.object_
+
+module List_store = struct
+  type t = { mutable triples : Triple.t list; mutable count : int }
+
+  let name = "list"
+  let create () = { triples = []; count = 0 }
+  let mem t triple = List.exists (Triple.equal triple) t.triples
+
+  let add t triple =
+    if mem t triple then false
+    else begin
+      t.triples <- triple :: t.triples;
+      t.count <- t.count + 1;
+      true
+    end
+
+  let remove t triple =
+    if mem t triple then begin
+      t.triples <- List.filter (fun x -> not (Triple.equal triple x)) t.triples;
+      t.count <- t.count - 1;
+      true
+    end
+    else false
+
+  let size t = t.count
+
+  let clear t =
+    t.triples <- [];
+    t.count <- 0
+
+  let select ?subject ?predicate ?object_ t =
+    List.filter (matches ?subject ?predicate ?object_) t.triples
+
+  let iter f t = List.iter f t.triples
+  let fold f t init = List.fold_left (fun acc x -> f x acc) init t.triples
+  let to_list t = t.triples
+  let add_all t triples = List.iter (fun x -> ignore (add t x)) triples
+end
+
+module Indexed_store = struct
+  (* Primary set plus three secondary indexes. Index buckets may contain
+     stale entries after a removal (and duplicates after a remove + re-add);
+     they are cleaned lazily at query time. Each bucket remembers the
+     removal stamp at which it was last cleaned, so stores that never (or
+     rarely) remove pay nothing on select. *)
+  type bucket = { mutable items : Triple.t list; mutable cleaned_at : int }
+
+  type t = {
+    all : (Triple.t, unit) Hashtbl.t;
+    by_subject : (string, bucket) Hashtbl.t;
+    by_predicate : (string, bucket) Hashtbl.t;
+    by_object : (Triple.obj, bucket) Hashtbl.t;
+    mutable removal_stamp : int;
+  }
+
+  let name = "indexed"
+
+  let create () =
+    {
+      all = Hashtbl.create 256;
+      by_subject = Hashtbl.create 64;
+      by_predicate = Hashtbl.create 64;
+      by_object = Hashtbl.create 64;
+      removal_stamp = 0;
+    }
+
+  let mem t triple = Hashtbl.mem t.all triple
+
+  let bucket t table key =
+    match Hashtbl.find_opt table key with
+    | Some b -> b
+    | None ->
+        let b = { items = []; cleaned_at = t.removal_stamp } in
+        Hashtbl.add table key b;
+        b
+
+  let add t triple =
+    if mem t triple then false
+    else begin
+      Hashtbl.add t.all triple ();
+      let push table key =
+        let b = bucket t table key in
+        b.items <- triple :: b.items
+      in
+      push t.by_subject triple.Triple.subject;
+      push t.by_predicate triple.Triple.predicate;
+      push t.by_object triple.Triple.object_;
+      true
+    end
+
+  let remove t triple =
+    if mem t triple then begin
+      Hashtbl.remove t.all triple;
+      (* Indexes are cleaned lazily in [live_bucket]. *)
+      t.removal_stamp <- t.removal_stamp + 1;
+      true
+    end
+    else false
+
+  let size t = Hashtbl.length t.all
+
+  let clear t =
+    Hashtbl.reset t.all;
+    Hashtbl.reset t.by_subject;
+    Hashtbl.reset t.by_predicate;
+    Hashtbl.reset t.by_object;
+    t.removal_stamp <- 0
+
+  (* Live triples of a bucket. Fast path: no removal since the bucket was
+     last cleaned, so its items are exact. Slow path: filter out stale
+     entries and deduplicate (a triple removed and later re-added appears
+     twice — the stale copy is indistinguishable from the live one), then
+     write the clean list back. *)
+  let live_bucket t table key =
+    match Hashtbl.find_opt table key with
+    | None -> []
+    | Some b ->
+        if b.cleaned_at = t.removal_stamp then b.items
+        else begin
+          let seen = Hashtbl.create 16 in
+          let live =
+            List.filter
+              (fun triple ->
+                Hashtbl.mem t.all triple
+                && not (Hashtbl.mem seen triple)
+                && begin
+                     Hashtbl.add seen triple ();
+                     true
+                   end)
+              b.items
+          in
+          b.items <- live;
+          b.cleaned_at <- t.removal_stamp;
+          live
+        end
+
+  let select ?subject ?predicate ?object_ t =
+    match (subject, predicate, object_) with
+    | None, None, None -> Hashtbl.fold (fun k () acc -> k :: acc) t.all []
+    | Some s, _, _ ->
+        List.filter
+          (matches ?predicate ?object_)
+          (live_bucket t t.by_subject s)
+    | None, _, Some o ->
+        List.filter (matches ?predicate) (live_bucket t t.by_object o)
+    | None, Some p, None -> live_bucket t t.by_predicate p
+
+  let iter f t = Hashtbl.iter (fun k () -> f k) t.all
+  let fold f t init = Hashtbl.fold (fun k () acc -> f k acc) t.all init
+  let to_list t = Hashtbl.fold (fun k () acc -> k :: acc) t.all []
+  let add_all t triples = List.iter (fun x -> ignore (add t x)) triples
+end
+
+module Locked (Base : S) = struct
+  type t = { base : Base.t; lock : Mutex.t }
+
+  let name = "locked-" ^ Base.name
+  let create () = { base = Base.create (); lock = Mutex.create () }
+
+  let locked t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> f t.base)
+
+  let add t triple = locked t (fun s -> Base.add s triple)
+  let remove t triple = locked t (fun s -> Base.remove s triple)
+  let mem t triple = locked t (fun s -> Base.mem s triple)
+  let size t = locked t Base.size
+  let clear t = locked t Base.clear
+
+  let select ?subject ?predicate ?object_ t =
+    locked t (fun s -> Base.select ?subject ?predicate ?object_ s)
+
+  (* Iteration holds the lock for its whole duration: callbacks must not
+     re-enter the store. *)
+  let iter f t = locked t (Base.iter f)
+  let fold f t init = locked t (fun s -> Base.fold f s init)
+  let to_list t = locked t Base.to_list
+  let add_all t triples = locked t (fun s -> Base.add_all s triples)
+end
+
+module Locked_indexed = Locked (Indexed_store)
+
+let implementations =
+  [
+    (List_store.name, (module List_store : S));
+    (Indexed_store.name, (module Indexed_store : S));
+    (Locked_indexed.name, (module Locked_indexed : S));
+  ]

@@ -1,0 +1,61 @@
+(** Triple-store interface and the two implementations.
+
+    TRIM's storage layer. The paper's prototype favoured a lightweight
+    structure ({!List_store}); §6 reports that "some data sets are quite
+    large and we are developing alternative implementation mechanisms" —
+    {!Indexed_store} is that alternative: three hash indexes (by subject,
+    by predicate, by object). Both expose the same set semantics
+    (duplicate triples are not stored twice). *)
+
+module type S = sig
+  type t
+
+  val create : unit -> t
+  val name : string
+  (** Implementation name, for benchmarks and logs. *)
+
+  val add : t -> Triple.t -> bool
+  (** [false] when the triple was already present. *)
+
+  val remove : t -> Triple.t -> bool
+  (** [false] when the triple was absent. *)
+
+  val mem : t -> Triple.t -> bool
+  val size : t -> int
+  val clear : t -> unit
+
+  val select :
+    ?subject:string -> ?predicate:string -> ?object_:Triple.obj -> t ->
+    Triple.t list
+  (** The paper's TRIM query: "selection, where one or more of the triple
+      fields is fixed, and the result is a set of triples". With no field
+      fixed, returns everything. Order is unspecified. *)
+
+  val iter : (Triple.t -> unit) -> t -> unit
+  val fold : (Triple.t -> 'a -> 'a) -> t -> 'a -> 'a
+  val to_list : t -> Triple.t list
+  val add_all : t -> Triple.t list -> unit
+end
+
+module List_store : S
+(** Unindexed, list-backed. O(n) everything; tiny footprint — the
+    "keep it lightweight" choice for small superimposed layers. *)
+
+module Indexed_store : S
+(** Hash-indexed on each field. [select] uses the most selective fixed
+    field's index, then filters. *)
+
+module Locked (Base : S) : S
+(** [Base] behind a mutex: every operation is atomic with respect to
+    other domains, so one store can back concurrently shared superimposed
+    information (the §2 "collectively maintained, situated awareness"
+    setting, multi-domain edition). Composite read-modify-write sequences
+    still need external coordination (see {!Trim.transaction}). The name
+    is ["locked-" ^ Base.name]. *)
+
+module Locked_indexed : S
+(** [Locked (Indexed_store)], the implementation shared stores should
+    use. *)
+
+val implementations : (string * (module S)) list
+(** [list], [indexed], and [locked-indexed]. *)

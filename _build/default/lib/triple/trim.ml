@@ -1,0 +1,227 @@
+module Xml = Si_xmlk
+
+type pack = Pack : (module Store.S with type t = 'a) * 'a -> pack
+
+(* The undo log records inverse operations, newest first. *)
+type undo = Undo_add of Triple.t | Undo_remove of Triple.t
+
+type t = {
+  pack : pack;
+  mutable counter : int;
+  mutable txn : undo list option;  (* Some log while a transaction runs *)
+}
+
+let create ?(store = (module Store.Indexed_store : Store.S)) () =
+  let (module S) = store in
+  { pack = Pack ((module S), S.create ()); counter = 0; txn = None }
+
+let create_lightweight () = create ~store:(module Store.List_store) ()
+
+let store_name t =
+  let (Pack ((module S), _)) = t.pack in
+  S.name
+
+let record t undo =
+  match t.txn with
+  | Some log -> t.txn <- Some (undo :: log)
+  | None -> ()
+
+let add t triple =
+  let (Pack ((module S), s)) = t.pack in
+  let added = S.add s triple in
+  if added then record t (Undo_add triple);
+  added
+
+let remove t triple =
+  let (Pack ((module S), s)) = t.pack in
+  let removed = S.remove s triple in
+  if removed then record t (Undo_remove triple);
+  removed
+
+let in_transaction t = t.txn <> None
+
+let rollback t log =
+  let (Pack ((module S), s)) = t.pack in
+  List.iter
+    (function
+      | Undo_add triple -> ignore (S.remove s triple)
+      | Undo_remove triple -> ignore (S.add s triple))
+    log
+
+let transaction t body =
+  if in_transaction t then
+    invalid_arg "Trim.transaction: transactions do not nest";
+  t.txn <- Some [];
+  let finish () =
+    match t.txn with
+    | Some log ->
+        t.txn <- None;
+        log
+    | None -> []
+  in
+  match body () with
+  | Ok _ as result ->
+      ignore (finish ());
+      Ok result
+  | Error _ as result ->
+      rollback t (finish ());
+      Ok result
+  | exception exn ->
+      rollback t (finish ());
+      Error exn
+
+let mem t triple =
+  let (Pack ((module S), s)) = t.pack in
+  S.mem s triple
+
+let size t =
+  let (Pack ((module S), s)) = t.pack in
+  S.size s
+
+let clear t =
+  let (Pack ((module S), s)) = t.pack in
+  S.clear s
+
+let to_list t =
+  let (Pack ((module S), s)) = t.pack in
+  S.to_list s
+
+let add_all t triples =
+  let (Pack ((module S), s)) = t.pack in
+  S.add_all s triples
+
+let select ?subject ?predicate ?object_ t =
+  let (Pack ((module S), s)) = t.pack in
+  S.select ?subject ?predicate ?object_ s
+
+let objects_of t ~subject ~predicate =
+  List.map
+    (fun (tr : Triple.t) -> tr.object_)
+    (select ~subject ~predicate t)
+
+let object_of t ~subject ~predicate =
+  match objects_of t ~subject ~predicate with [] -> None | o :: _ -> Some o
+
+let literal_of t ~subject ~predicate =
+  match object_of t ~subject ~predicate with
+  | Some (Triple.Literal s) -> Some s
+  | Some (Triple.Resource _) | None -> None
+
+let resource_of t ~subject ~predicate =
+  match object_of t ~subject ~predicate with
+  | Some (Triple.Resource r) -> Some r
+  | Some (Triple.Literal _) | None -> None
+
+let set t ~subject ~predicate object_ =
+  List.iter (fun tr -> ignore (remove t tr)) (select ~subject ~predicate t);
+  ignore (add t (Triple.make subject predicate object_))
+
+let remove_subject t subject =
+  let doomed = select ~subject t in
+  List.iter (fun tr -> ignore (remove t tr)) doomed;
+  List.length doomed
+
+let new_id ?(prefix = "r") t =
+  let rec fresh () =
+    t.counter <- t.counter + 1;
+    let id = Printf.sprintf "%s%d" prefix t.counter in
+    if select ~subject:id t = [] then id else fresh ()
+  in
+  fresh ()
+
+(* Breadth-first closure from a root resource. *)
+let traverse t root =
+  let seen = Hashtbl.create 32 in
+  let order = ref [] in
+  let triples = ref [] in
+  let queue = Queue.create () in
+  Hashtbl.add seen root ();
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let subject = Queue.pop queue in
+    order := subject :: !order;
+    let outgoing = select ~subject t in
+    triples := List.rev_append outgoing !triples;
+    List.iter
+      (fun (tr : Triple.t) ->
+        match tr.object_ with
+        | Triple.Resource r ->
+            if not (Hashtbl.mem seen r) then begin
+              Hashtbl.add seen r ();
+              Queue.add r queue
+            end
+        | Triple.Literal _ -> ())
+      outgoing
+  done;
+  (List.rev !order, List.rev !triples)
+
+let view t root = snd (traverse t root)
+let reachable_resources t root = fst (traverse t root)
+
+let subjects t =
+  List.sort_uniq String.compare
+    (List.map (fun (tr : Triple.t) -> tr.subject) (to_list t))
+
+let predicates t =
+  List.sort_uniq String.compare
+    (List.map (fun (tr : Triple.t) -> tr.predicate) (to_list t))
+
+(* ------------------------------------------------------------------ XML *)
+
+let triple_to_xml (tr : Triple.t) =
+  let obj =
+    match tr.object_ with
+    | Triple.Resource r -> Xml.Node.element "r" [ Xml.Node.text r ]
+    | Triple.Literal l -> Xml.Node.element "l" [ Xml.Node.text l ]
+  in
+  Xml.Node.element "t"
+    ~attrs:[ ("s", tr.subject); ("p", tr.predicate) ]
+    [ obj ]
+
+let to_xml t =
+  let sorted = List.sort Triple.compare (to_list t) in
+  Xml.Node.element "triples"
+    ~attrs:[ ("count", string_of_int (size t)) ]
+    (List.map triple_to_xml sorted)
+
+let triple_of_xml node =
+  match (Xml.Node.attr "s" node, Xml.Node.attr "p" node, Xml.Node.children node)
+  with
+  | Some s, Some p, children -> (
+      let payload = List.filter Xml.Node.is_element children in
+      match payload with
+      | [ Xml.Node.Element { name = "r"; _ } as r ] ->
+          Ok (Triple.make s p (Triple.Resource (Xml.Node.text_content r)))
+      | [ Xml.Node.Element { name = "l"; _ } as l ] ->
+          Ok (Triple.make s p (Triple.Literal (Xml.Node.text_content l)))
+      | _ -> Error "a <t> element needs exactly one <r> or <l> child")
+  | _ -> Error "a <t> element needs s and p attributes"
+
+let of_xml ?store root =
+  match root with
+  | Xml.Node.Element { name = "triples"; _ } ->
+      let t = create ?store () in
+      let rec load = function
+        | [] -> Ok t
+        | node :: rest -> (
+            match triple_of_xml node with
+            | Ok triple ->
+                ignore (add t triple);
+                load rest
+            | Error _ as e -> e)
+      in
+      load (Xml.Node.find_children "t" root)
+  | _ -> Error "expected a <triples> root element"
+
+let save t path = Xml.Print.to_file path (to_xml t)
+
+let load ?store path =
+  match Xml.Parse.file path with
+  | Error e -> Error (Xml.Parse.error_to_string e)
+  | Ok root -> of_xml ?store (Xml.Node.strip_whitespace root)
+
+let equal_contents a b =
+  size a = size b
+  && List.equal Triple.equal
+       (List.sort Triple.compare (to_list a))
+       (List.sort Triple.compare (to_list b))

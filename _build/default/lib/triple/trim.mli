@@ -1,0 +1,105 @@
+(** TRIM — the Triple Manager (paper §4.4).
+
+    "To manage triples, we use the TRIM (Triple Manager) sub-component,
+    which handles basic operations over the triple representation. Through
+    TRIM, the DMI can create, remove, persist (through XML files), query,
+    and create simple views over the underlying triples."
+
+    A [Trim.t] wraps one of the {!Store} implementations (chosen at
+    creation) and adds id generation, reachability views and XML
+    persistence. *)
+
+type t
+
+val create : ?store:(module Store.S) -> unit -> t
+(** Defaults to {!Store.Indexed_store}. *)
+
+val create_lightweight : unit -> t
+(** Uses {!Store.List_store} — the paper's small-footprint prototype
+    choice. *)
+
+val store_name : t -> string
+
+(** {1 Basic operations} *)
+
+val add : t -> Triple.t -> bool
+val remove : t -> Triple.t -> bool
+val mem : t -> Triple.t -> bool
+val size : t -> int
+val clear : t -> unit
+val to_list : t -> Triple.t list
+val add_all : t -> Triple.t list -> unit
+
+val select :
+  ?subject:string -> ?predicate:string -> ?object_:Triple.obj -> t ->
+  Triple.t list
+(** Selection query: fix one or more fields. *)
+
+val object_of : t -> subject:string -> predicate:string -> Triple.obj option
+(** Convenience: the object of the (unique) matching triple; [None] when
+    absent, the first one when several match. *)
+
+val literal_of : t -> subject:string -> predicate:string -> string option
+val resource_of : t -> subject:string -> predicate:string -> string option
+val objects_of : t -> subject:string -> predicate:string -> Triple.obj list
+
+val set : t -> subject:string -> predicate:string -> Triple.obj -> unit
+(** Functional-property update: removes existing triples with this subject
+    and predicate, then adds the new one. *)
+
+val remove_subject : t -> string -> int
+(** Remove every triple whose subject is the resource; returns how many. *)
+
+(** {1 Transactions}
+
+    Multi-triple updates (a DMI operation touches several triples) can be
+    made all-or-nothing: inside [transaction], every [add]/[remove] on
+    this manager is recorded, and if the body returns [Error] or raises,
+    the store is rolled back to its state at entry. *)
+
+val transaction :
+  t -> (unit -> ('a, 'e) result) -> (('a, 'e) result, exn) result
+(** [Ok (Ok v)] — committed; [Ok (Error e)] — body failed, rolled back;
+    [Error exn] — body raised, rolled back (the exception is returned,
+    not re-raised). Transactions do not nest:
+    @raise Invalid_argument when called inside an active transaction. *)
+
+val in_transaction : t -> bool
+
+(** {1 Id generation} *)
+
+val new_id : ?prefix:string -> t -> string
+(** Fresh resource id, unique within this manager (and not currently a
+    subject in the store). Default prefix ["r"]. *)
+
+(** {1 Views}
+
+    "A view is specified by selecting a resource (such as a Bundle id),
+    where all triples that can be reached from this resource are
+    returned." *)
+
+val view : t -> string -> Triple.t list
+(** All triples reachable from the resource: its own triples, plus
+    (transitively) the triples of every resource appearing as an object.
+    Cycle-safe. Order: breadth-first from the root. *)
+
+val reachable_resources : t -> string -> string list
+(** The resources visited by {!view}, root first, breadth-first. *)
+
+(** {1 Introspection} *)
+
+val subjects : t -> string list
+(** Distinct subjects, sorted. *)
+
+val predicates : t -> string list
+(** Distinct predicates, sorted. *)
+
+(** {1 Persistence (XML files, as in the paper)} *)
+
+val to_xml : t -> Si_xmlk.Node.t
+val of_xml : ?store:(module Store.S) -> Si_xmlk.Node.t -> (t, string) result
+val save : t -> string -> unit
+val load : ?store:(module Store.S) -> string -> (t, string) result
+
+val equal_contents : t -> t -> bool
+(** Same triple set, regardless of store implementation. *)

@@ -1,0 +1,41 @@
+type obj = Resource of string | Literal of string
+
+type t = { subject : string; predicate : string; object_ : obj }
+
+let make subject predicate object_ = { subject; predicate; object_ }
+let resource id = Resource id
+let literal s = Literal s
+
+let obj_equal a b =
+  match (a, b) with
+  | Resource x, Resource y | Literal x, Literal y -> String.equal x y
+  | (Resource _ | Literal _), _ -> false
+
+let equal a b =
+  String.equal a.subject b.subject
+  && String.equal a.predicate b.predicate
+  && obj_equal a.object_ b.object_
+
+let compare a b =
+  let c = String.compare a.subject b.subject in
+  if c <> 0 then c
+  else
+    let c = String.compare a.predicate b.predicate in
+    if c <> 0 then c
+    else
+      match (a.object_, b.object_) with
+      | Resource x, Resource y | Literal x, Literal y -> String.compare x y
+      | Resource _, Literal _ -> -1
+      | Literal _, Resource _ -> 1
+
+let hash t = Hashtbl.hash t
+
+let obj_to_string = function
+  | Resource id -> "<" ^ id ^ ">"
+  | Literal s -> "\"" ^ s ^ "\""
+
+let to_string t =
+  Printf.sprintf "(<%s> %s %s)" t.subject t.predicate (obj_to_string t.object_)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let pp_obj ppf o = Format.pp_print_string ppf (obj_to_string o)

@@ -1,0 +1,27 @@
+(** RDF-style triples — the unit of the SLIM store's generic representation.
+
+    The paper (§4.3): "a triple is composed of a property, a resource, and a
+    value". Here: [subject] (a resource id), [predicate] (a property name),
+    and [object_], which is either another resource or a literal string. *)
+
+type obj =
+  | Resource of string
+  | Literal of string
+
+type t = { subject : string; predicate : string; object_ : obj }
+
+val make : string -> string -> obj -> t
+val resource : string -> obj
+val literal : string -> obj
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val obj_equal : obj -> obj -> bool
+val obj_to_string : obj -> string
+(** Resources print as [<id>], literals as ["text"]. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_obj : Format.formatter -> obj -> unit
+val to_string : t -> string

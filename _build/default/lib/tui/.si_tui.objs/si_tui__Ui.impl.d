@@ -1,0 +1,1 @@
+lib/tui/ui.ml: List Option Printf Set Si_mark Si_slim Si_slimpad String

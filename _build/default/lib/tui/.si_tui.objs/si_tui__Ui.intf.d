@@ -1,0 +1,1 @@
+lib/tui/ui.mli: Si_slim Si_slimpad

@@ -1,0 +1,331 @@
+module Dmi = Si_slim.Dmi
+module Slimpad = Si_slimpad.Slimpad
+module Mark = Si_mark.Mark
+module Manager = Si_mark.Manager
+
+type row =
+  | Bundle_row of { bundle : Dmi.bundle; depth : int; expanded : bool }
+  | Scrap_row of { scrap : Dmi.scrap; depth : int }
+  | Decoration_row of { decoration : Dmi.decoration; depth : int }
+
+type mode =
+  | Browse
+  | Input of { prompt : string; buffer : string; action : input_action }
+
+and input_action = Rename | Annotate | Search
+
+type event =
+  | Up
+  | Down
+  | Page_down
+  | Page_up
+  | Toggle
+  | Activate
+  | Extract
+  | In_place
+  | Start_rename
+  | Start_annotate
+  | Start_link
+  | Start_search
+  | Next_match
+  | Refresh_drift
+  | Char of char
+  | Backspace
+  | Commit
+  | Cancel
+  | Quit
+
+module Ids = Set.Make (String)
+
+type t = {
+  app : Slimpad.t;
+  pad : Dmi.pad;
+  cursor : int;
+  collapsed : Ids.t;  (* bundle ids folded shut *)
+  ui_mode : mode;
+  detail_lines : string list;
+  status_line : string;
+  search_term : string;
+  stale : Ids.t;  (* scrap ids flagged by drift detection *)
+  link_from : Dmi.scrap option;  (* armed link source *)
+  done_ : bool;
+}
+
+let make app pad =
+  {
+    app;
+    pad;
+    cursor = 0;
+    collapsed = Ids.empty;
+    ui_mode = Browse;
+    detail_lines = [];
+    status_line = "q quit  enter resolve  space fold  e extract  i in-place  \
+                   r rename  a annotate  l link  / search  d drift";
+    search_term = "";
+    stale = Ids.empty;
+    link_from = None;
+    done_ = false;
+  }
+
+let dmi t = Slimpad.dmi t.app
+
+let rows t =
+  let d = dmi t in
+  let rec bundle depth b acc =
+    let expanded = not (Ids.mem (Dmi.bundle_id b) t.collapsed) in
+    let acc = Bundle_row { bundle = b; depth; expanded } :: acc in
+    if not expanded then acc
+    else
+      let acc =
+        List.fold_left
+          (fun acc s -> Scrap_row { scrap = s; depth = depth + 1 } :: acc)
+          acc (Dmi.scraps d b)
+      in
+      let acc =
+        List.fold_left
+          (fun acc dec ->
+            Decoration_row { decoration = dec; depth = depth + 1 } :: acc)
+          acc (Dmi.decorations d b)
+      in
+      List.fold_left
+        (fun acc nested -> bundle (depth + 1) nested acc)
+        acc (Dmi.nested_bundles d b)
+  in
+  List.rev (bundle 0 (Dmi.root_bundle d t.pad) [])
+
+let cursor t = t.cursor
+let pending_link t = t.link_from
+let mode t = t.ui_mode
+let detail t = t.detail_lines
+let status t = t.status_line
+let finished t = t.done_
+
+let clamp_cursor t =
+  let n = List.length (rows t) in
+  { t with cursor = max 0 (min t.cursor (n - 1)) }
+
+let selected t = List.nth_opt (rows t) (cursor (clamp_cursor t))
+
+let with_status t fmt = Printf.ksprintf (fun s -> { t with status_line = s }) fmt
+
+let move t delta = clamp_cursor { t with cursor = t.cursor + delta }
+
+let toggle t =
+  match selected t with
+  | Some (Bundle_row { bundle; _ }) ->
+      let id = Dmi.bundle_id bundle in
+      let collapsed =
+        if Ids.mem id t.collapsed then Ids.remove id t.collapsed
+        else Ids.add id t.collapsed
+      in
+      clamp_cursor { t with collapsed }
+  | Some (Scrap_row _ | Decoration_row _) | None ->
+      with_status t "only bundles fold"
+
+let resolve_selected t behaviour label =
+  match selected t with
+  | Some (Scrap_row { scrap; _ }) -> (
+      match Slimpad.double_click t.app scrap with
+      | Ok res ->
+          let body = Mark.apply_behaviour behaviour res in
+          {
+            t with
+            detail_lines =
+              (Printf.sprintf "[%s] %s" label res.Mark.res_source
+              :: String.split_on_char '\n' body);
+            status_line =
+              Printf.sprintf "%s resolved via %s" label res.Mark.res_source;
+          }
+      | Error msg -> with_status t "resolve failed: %s" msg)
+  | Some (Bundle_row _ | Decoration_row _) | None ->
+      with_status t "select a scrap to resolve"
+
+let start_input t action prompt initial =
+  { t with ui_mode = Input { prompt; buffer = initial; action } }
+
+let commit_input t action buffer =
+  let t = { t with ui_mode = Browse } in
+  match action with
+  | Search ->
+      if buffer = "" then with_status t "empty search"
+      else begin
+        let t = { t with search_term = buffer } in
+        (* Jump to the next matching scrap after the cursor, wrapping. *)
+        let hits =
+          Slimpad.find_scraps t.app t.pad buffer
+          |> List.map Dmi.scrap_id
+        in
+        let all = rows t in
+        let matches i =
+          match List.nth_opt all i with
+          | Some (Scrap_row { scrap; _ }) ->
+              List.mem (Dmi.scrap_id scrap) hits
+          | _ -> false
+        in
+        let n = List.length all in
+        let rec scan i steps =
+          if steps > n then with_status t "no match for %S" buffer
+          else if matches (i mod n) then
+            { t with cursor = i mod n; status_line = "match" }
+          else scan (i + 1) (steps + 1)
+        in
+        scan (t.cursor + 1) 0
+      end
+  | Rename -> (
+      match selected t with
+      | Some (Bundle_row { bundle; _ }) ->
+          Dmi.update_bundle_name (dmi t) bundle buffer;
+          with_status t "renamed bundle"
+      | Some (Scrap_row { scrap; _ }) ->
+          Dmi.update_scrap_name (dmi t) scrap buffer;
+          with_status t "renamed scrap"
+      | Some (Decoration_row _) | None -> with_status t "nothing to rename")
+  | Annotate -> (
+      match selected t with
+      | Some (Scrap_row { scrap; _ }) ->
+          Dmi.annotate_scrap (dmi t) scrap buffer;
+          with_status t "annotated"
+      | _ -> with_status t "annotations attach to scraps")
+
+let refresh_drift t =
+  let report = Slimpad.drift_report t.app t.pad in
+  let stale =
+    List.fold_left
+      (fun acc (s, _) -> Ids.add (Dmi.scrap_id s) acc)
+      Ids.empty report
+  in
+  let t = { t with stale } in
+  with_status t "%d stale scrap(s)" (List.length report)
+
+let page = 10
+
+let handle t event =
+  if t.done_ then t
+  else
+    match (t.ui_mode, event) with
+    | _, Quit -> { t with done_ = true }
+    | Input { prompt; buffer; action }, Char c ->
+        {
+          t with
+          ui_mode =
+            Input { prompt; buffer = buffer ^ String.make 1 c; action };
+        }
+    | Input { prompt; buffer; action }, Backspace ->
+        let buffer =
+          if buffer = "" then ""
+          else String.sub buffer 0 (String.length buffer - 1)
+        in
+        { t with ui_mode = Input { prompt; buffer; action } }
+    | Input { buffer; action; _ }, Commit -> commit_input t action buffer
+    | Input _, Cancel -> { t with ui_mode = Browse; status_line = "cancelled" }
+    | Input _, _ -> t  (* navigation is ignored while typing *)
+    | Browse, Up -> move t (-1)
+    | Browse, Down -> move t 1
+    | Browse, Page_up -> move t (-page)
+    | Browse, Page_down -> move t page
+    | Browse, Toggle -> toggle t
+    | Browse, Activate -> resolve_selected t Mark.Navigate "navigate"
+    | Browse, Extract -> resolve_selected t Mark.Extract_content "extract"
+    | Browse, In_place -> resolve_selected t Mark.Display_in_place "in-place"
+    | Browse, Start_rename -> (
+        match selected t with
+        | Some (Bundle_row { bundle; _ }) ->
+            start_input t Rename "rename: " (Dmi.bundle_name (dmi t) bundle)
+        | Some (Scrap_row { scrap; _ }) ->
+            start_input t Rename "rename: " (Dmi.scrap_name (dmi t) scrap)
+        | Some (Decoration_row _) | None -> with_status t "nothing to rename")
+    | Browse, Start_annotate -> (
+        match selected t with
+        | Some (Scrap_row _) -> start_input t Annotate "note: " ""
+        | _ -> with_status t "annotations attach to scraps")
+    | Browse, Start_link -> (
+        match (t.link_from, selected t) with
+        | None, Some (Scrap_row { scrap; _ }) ->
+            {
+              (with_status t "link armed from %S; select the target and \
+                              press l again" (Dmi.scrap_name (dmi t) scrap))
+              with
+              link_from = Some scrap;
+            }
+        | None, _ -> with_status t "links start at a scrap"
+        | Some source, Some (Scrap_row { scrap; _ })
+          when Dmi.scrap_id scrap <> Dmi.scrap_id source ->
+            ignore (Dmi.link_scraps (dmi t) ~from_:source ~to_:scrap ());
+            { (with_status t "linked") with link_from = None }
+        | Some _, Some (Scrap_row _) ->
+            with_status t "a scrap cannot link to itself"
+        | Some _, _ -> with_status t "select a target scrap")
+    | Browse, Start_search -> start_input t Search "/" ""
+    | Browse, Next_match ->
+        if t.search_term = "" then with_status t "no previous search"
+        else commit_input { t with ui_mode = Browse } Search t.search_term
+    | Browse, Refresh_drift -> refresh_drift t
+    | Browse, Cancel ->
+        if t.link_from <> None then
+          { (with_status t "link cancelled") with link_from = None }
+        else t
+    | Browse, (Char _ | Backspace | Commit) -> t
+
+(* ------------------------------------------------------------ rendering *)
+
+let truncate width s =
+  if String.length s <= width then s else String.sub s 0 (max 0 width)
+
+let pad_to width s =
+  let s = truncate width s in
+  s ^ String.make (width - String.length s) ' '
+
+let row_line t i row =
+  let d = dmi t in
+  let marker = if i = cursor (clamp_cursor t) then "> " else "  " in
+  let indent depth = String.make (depth * 2) ' ' in
+  match row with
+  | Bundle_row { bundle; depth; expanded } ->
+      Printf.sprintf "%s%s%s %s%s" marker (indent depth)
+        (if expanded then "[-]" else "[+]")
+        (Dmi.bundle_name d bundle)
+        (if Dmi.is_template d bundle then " {template}" else "")
+  | Scrap_row { scrap; depth } ->
+      let notes = List.length (Dmi.annotations d scrap) in
+      Printf.sprintf "%s%s* %s%s%s" marker (indent depth)
+        (Dmi.scrap_name d scrap)
+        (if notes > 0 then Printf.sprintf " (%d note%s)" notes
+             (if notes = 1 then "" else "s")
+         else "")
+        (if Ids.mem (Dmi.scrap_id scrap) t.stale then " !stale" else "")
+  | Decoration_row { decoration; depth } ->
+      Printf.sprintf "%s%s[%s]" marker (indent depth)
+        (Dmi.decoration_kind d decoration)
+
+let render t ~width ~height =
+  let t = clamp_cursor t in
+  let tree_width = (width * 45 / 100) - 1 in
+  let detail_width = width - tree_width - 3 in
+  let body_height = max 0 (height - 2) in
+  let all_rows = rows t in
+  (* Scroll the tree pane so the cursor stays visible. *)
+  let first = max 0 (min t.cursor (List.length all_rows - body_height)) in
+  let visible =
+    List.filteri (fun i _ -> i >= first && i < first + body_height) all_rows
+  in
+  let tree_lines =
+    List.mapi (fun i row -> row_line t (first + i) row) visible
+  in
+  let title =
+    Printf.sprintf "SLIMPad %S" (Dmi.pad_name (dmi t) t.pad)
+  in
+  let body =
+    List.init body_height (fun i ->
+        let left = Option.value (List.nth_opt tree_lines i) ~default:"" in
+        let right = Option.value (List.nth_opt t.detail_lines i) ~default:"" in
+        pad_to tree_width left ^ " | " ^ truncate detail_width right)
+  in
+  let bottom =
+    match t.ui_mode with
+    | Input { prompt; buffer; _ } -> prompt ^ buffer ^ "_"
+    | Browse -> t.status_line
+  in
+  (* Exactly [height] lines, even on degenerate terminals. *)
+  if height <= 0 then []
+  else if height = 1 then [ truncate width bottom ]
+  else (truncate width title :: body) @ [ truncate width bottom ]

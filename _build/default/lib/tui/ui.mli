@@ -1,0 +1,76 @@
+(** The interactive SLIMPad UI, as a pure state machine.
+
+    The original SLIMPad is a GUI (Fig 4); this is its terminal
+    counterpart: a tree pane over one pad (bundles expand/collapse,
+    scraps resolve), a detail pane showing the last resolution, and modal
+    line input for renaming, annotating, and searching. The state machine
+    is pure — {!handle} maps an event to a new state, {!render} produces
+    a frame as text lines — so the whole interaction is unit-testable;
+    [bin/slimpad_tui] wraps it in a notty event loop. *)
+
+type row =
+  | Bundle_row of { bundle : Si_slim.Dmi.bundle; depth : int; expanded : bool }
+  | Scrap_row of { scrap : Si_slim.Dmi.scrap; depth : int }
+  | Decoration_row of { decoration : Si_slim.Dmi.decoration; depth : int }
+
+type mode =
+  | Browse
+  | Input of { prompt : string; buffer : string; action : input_action }
+
+and input_action = Rename | Annotate | Search
+
+type event =
+  | Up
+  | Down
+  | Page_down
+  | Page_up
+  | Toggle  (** expand/collapse the bundle under the cursor *)
+  | Activate  (** double-click: resolve the scrap under the cursor *)
+  | Extract  (** the extract-content behaviour into the detail pane *)
+  | In_place  (** the display-in-place behaviour *)
+  | Start_rename
+  | Start_annotate
+  | Start_link
+      (** first press arms a link from the selected scrap; second press
+          completes it to the (different) selected scrap *)
+  | Start_search
+  | Next_match
+  | Refresh_drift  (** run drift detection; stale scraps get flagged *)
+  | Char of char  (** typing in input mode *)
+  | Backspace
+  | Commit  (** Enter in input mode *)
+  | Cancel  (** Escape *)
+  | Quit
+
+type t
+
+val make : Si_slimpad.Slimpad.t -> Si_slim.Dmi.pad -> t
+
+val rows : t -> row list
+(** The visible tree rows, in display order (collapsed bundles hide their
+    subtrees). The pad's root bundle is always first. *)
+
+val cursor : t -> int
+(** Index into {!rows}. *)
+
+val selected : t -> row option
+val mode : t -> mode
+val detail : t -> string list
+(** The detail pane's current contents (empty until a resolution). *)
+
+val status : t -> string
+(** One-line status/message bar. *)
+
+val pending_link : t -> Si_slim.Dmi.scrap option
+(** The armed link source, between the two [Start_link] presses. *)
+
+val finished : t -> bool
+(** True after {!event} [Quit]. *)
+
+val handle : t -> event -> t
+(** Total: unknown/inapplicable events leave the state unchanged (with a
+    status message where that helps). *)
+
+val render : t -> width:int -> height:int -> string list
+(** A full frame as [height] lines of at most [width] characters: tree
+    pane left, detail pane right, status bar last. Pure. *)

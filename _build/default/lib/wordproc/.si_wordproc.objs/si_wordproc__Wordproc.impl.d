@@ -1,0 +1,1 @@
+lib/wordproc/wordproc.ml: Buffer Hashtbl List Option Printf Si_xmlk String

@@ -1,0 +1,1 @@
+lib/wordproc/wordproc.mli: Si_xmlk

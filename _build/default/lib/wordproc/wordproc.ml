@@ -1,0 +1,323 @@
+module Xml = Si_xmlk
+
+type run = { text : string; bold : bool; italic : bool }
+type block = Heading of int * run list | Paragraph of run list
+type span = { para : int; offset : int; length : int }
+
+type t = {
+  mutable doc_title : string;
+  mutable doc_author : string;
+  mutable block_list : block list;  (* reverse order *)
+  marks : (string, span) Hashtbl.t;
+}
+
+let create ?(title = "") ?(author = "") () =
+  { doc_title = title; doc_author = author; block_list = []; marks = Hashtbl.create 8 }
+
+let plain_run text = { text; bold = false; italic = false }
+let run ?(bold = false) ?(italic = false) text = { text; bold; italic }
+let append_block t b = t.block_list <- b :: t.block_list
+let append_paragraph t s = append_block t (Paragraph [ plain_run s ])
+
+let append_heading t level s =
+  if level < 1 || level > 6 then invalid_arg "Wordproc: heading level";
+  append_block t (Heading (level, [ plain_run s ]))
+
+let of_paragraphs paras =
+  let t = create () in
+  List.iter (append_paragraph t) paras;
+  t
+
+let title t = t.doc_title
+let author t = t.doc_author
+let blocks t = List.rev t.block_list
+let block_count t = List.length t.block_list
+
+let block t n = if n < 1 then None else List.nth_opt (blocks t) (n - 1)
+
+let runs_of_block = function Heading (_, rs) | Paragraph rs -> rs
+
+let block_plain b =
+  String.concat "" (List.map (fun r -> r.text) (runs_of_block b))
+
+let block_text t n = Option.map block_plain (block t n)
+let plain_text t = String.concat "\n" (List.map block_plain (blocks t))
+
+let word_count t =
+  plain_text t
+  |> String.split_on_char '\n'
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.filter (fun w -> String.trim w <> "")
+  |> List.length
+
+let span_valid t { para; offset; length } =
+  offset >= 0 && length >= 0
+  &&
+  match block_text t para with
+  | Some text -> offset + length <= String.length text
+  | None -> false
+
+let extract t span =
+  if span_valid t span then
+    Option.map
+      (fun text -> String.sub text span.offset span.length)
+      (block_text t span.para)
+  else None
+
+let find_in_text text needle para =
+  let n = String.length needle in
+  if n = 0 then []
+  else
+    let limit = String.length text - n in
+    let rec scan i acc =
+      if i > limit then List.rev acc
+      else if String.sub text i n = needle then
+        scan (i + 1) ({ para; offset = i; length = n } :: acc)
+      else scan (i + 1) acc
+    in
+    scan 0 []
+
+let find_all t needle =
+  List.concat
+    (List.mapi
+       (fun i b -> find_in_text (block_plain b) needle (i + 1))
+       (blocks t))
+
+let find_first t needle =
+  match find_all t needle with [] -> None | s :: _ -> Some s
+
+let add_bookmark t ~name span =
+  if Hashtbl.mem t.marks name then
+    Error (Printf.sprintf "bookmark %S already exists" name)
+  else if not (span_valid t span) then Error "invalid span"
+  else begin
+    Hashtbl.add t.marks name span;
+    Ok ()
+  end
+
+let bookmark t name = Hashtbl.find_opt t.marks name
+
+let bookmarks t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.marks []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let remove_bookmark t name =
+  if Hashtbl.mem t.marks name then begin
+    Hashtbl.remove t.marks name;
+    true
+  end
+  else false
+
+(* ---------------------------------------------------------- rendering *)
+
+let run_to_markdown r =
+  match (r.bold, r.italic) with
+  | true, true -> "***" ^ r.text ^ "***"
+  | true, false -> "**" ^ r.text ^ "**"
+  | false, true -> "*" ^ r.text ^ "*"
+  | false, false -> r.text
+
+let to_markdown t =
+  blocks t
+  |> List.map (function
+       | Heading (level, rs) ->
+           String.make level '#' ^ " "
+           ^ String.concat "" (List.map run_to_markdown rs)
+       | Paragraph rs -> String.concat "" (List.map run_to_markdown rs))
+  |> String.concat "\n\n"
+
+(* ------------------------------------------------------------ editing *)
+
+(* Replace within one string; returns the new string and the list of
+   (position, delta) edits in left-to-right order. *)
+let replace_in_text text ~search ~replace =
+  let sl = String.length search in
+  if sl = 0 then (text, [])
+  else begin
+    let buf = Buffer.create (String.length text) in
+    let edits = ref [] in
+    let count = ref 0 in
+    let i = ref 0 in
+    let n = String.length text in
+    while !i < n do
+      if !i + sl <= n && String.sub text !i sl = search then begin
+        edits := (!i, String.length replace - sl) :: !edits;
+        incr count;
+        Buffer.add_string buf replace;
+        i := !i + sl
+      end
+      else begin
+        Buffer.add_char buf text.[!i];
+        incr i
+      end
+    done;
+    (Buffer.contents buf, List.rev !edits)
+  end
+
+let replace_all t ~search ~replace =
+  let total = ref 0 in
+  (* Per block: rewrite each run, recording edits at block-text offsets so
+     bookmarks can follow. *)
+  let block_edits = Hashtbl.create 8 in
+  (* block_list is newest-first; mapi preserves that order. *)
+  t.block_list <-
+    List.mapi
+      (fun rev_index block ->
+           let block_number = List.length t.block_list - rev_index in
+           let runs = runs_of_block block in
+           let offset = ref 0 in
+           let edits = ref [] in
+           let runs' =
+             List.map
+               (fun r ->
+                 let text', run_edits =
+                   replace_in_text r.text ~search ~replace
+                 in
+                 total := !total + List.length run_edits;
+                 edits :=
+                   !edits
+                   @ List.map
+                       (fun (pos, delta) -> (!offset + pos, delta))
+                       run_edits;
+                 offset := !offset + String.length r.text;
+                 { r with text = text' })
+               runs
+           in
+           if !edits <> [] then Hashtbl.replace block_edits block_number !edits;
+           match block with
+           | Heading (level, _) -> Heading (level, runs')
+           | Paragraph _ -> Paragraph runs')
+      t.block_list;
+  (* Adjust bookmarks. An edit at [pos] replacing [sl] chars with delta:
+     spans strictly after shift; spans overlapping [pos, pos+sl) drop. *)
+  let sl = String.length search in
+  let dropped = ref [] in
+  Hashtbl.iter
+    (fun name span ->
+      match Hashtbl.find_opt block_edits span.para with
+      | None -> ()
+      | Some edits ->
+          let overlaps =
+            List.exists
+              (fun (pos, _) ->
+                pos < span.offset + span.length && span.offset < pos + sl)
+              edits
+          in
+          if overlaps then dropped := name :: !dropped
+          else
+            let shift =
+              List.fold_left
+                (fun acc (pos, delta) ->
+                  if pos + sl <= span.offset then acc + delta else acc)
+                0 edits
+            in
+            Hashtbl.replace t.marks name
+              { span with offset = span.offset + shift })
+    (Hashtbl.copy t.marks);
+  List.iter (Hashtbl.remove t.marks) !dropped;
+  (!total, List.sort String.compare !dropped)
+
+(* -------------------------------------------------------------- XML *)
+
+let run_to_xml r =
+  let attrs =
+    (if r.bold then [ ("bold", "true") ] else [])
+    @ if r.italic then [ ("italic", "true") ] else []
+  in
+  Xml.Node.element "run" ~attrs [ Xml.Node.text r.text ]
+
+let block_to_xml = function
+  | Heading (level, rs) ->
+      Xml.Node.element "heading"
+        ~attrs:[ ("level", string_of_int level) ]
+        (List.map run_to_xml rs)
+  | Paragraph rs -> Xml.Node.element "para" (List.map run_to_xml rs)
+
+let to_xml t =
+  let bookmark_to_xml (name, (s : span)) =
+    Xml.Node.element "bookmark"
+      ~attrs:
+        [
+          ("name", name);
+          ("para", string_of_int s.para);
+          ("offset", string_of_int s.offset);
+          ("length", string_of_int s.length);
+        ]
+      []
+  in
+  Xml.Node.element "document"
+    ~attrs:[ ("title", t.doc_title); ("author", t.doc_author) ]
+    (List.map block_to_xml (blocks t)
+    @ List.map bookmark_to_xml (bookmarks t))
+
+let run_of_xml node =
+  {
+    text = Xml.Node.text_content node;
+    bold = Xml.Node.attr "bold" node = Some "true";
+    italic = Xml.Node.attr "italic" node = Some "true";
+  }
+
+let int_attr name node =
+  Option.bind (Xml.Node.attr name node) int_of_string_opt
+
+let of_xml root =
+  match root with
+  | Xml.Node.Element { name = "document"; _ } ->
+      let t =
+        create
+          ~title:(Option.value (Xml.Node.attr "title" root) ~default:"")
+          ~author:(Option.value (Xml.Node.attr "author" root) ~default:"")
+          ()
+      in
+      let rec load = function
+        | [] -> Ok t
+        | node :: rest -> (
+            match node with
+            | Xml.Node.Element { name = "para"; _ } ->
+                append_block t
+                  (Paragraph
+                     (List.map run_of_xml (Xml.Node.find_children "run" node)));
+                load rest
+            | Xml.Node.Element { name = "heading"; _ } -> (
+                match int_attr "level" node with
+                | Some level when level >= 1 && level <= 6 ->
+                    append_block t
+                      (Heading
+                         ( level,
+                           List.map run_of_xml
+                             (Xml.Node.find_children "run" node) ));
+                    load rest
+                | Some _ | None -> Error "bad heading level")
+            | Xml.Node.Element { name = "bookmark"; _ } -> (
+                match
+                  ( Xml.Node.attr "name" node,
+                    int_attr "para" node,
+                    int_attr "offset" node,
+                    int_attr "length" node )
+                with
+                | Some name, Some para, Some offset, Some length -> (
+                    match add_bookmark t ~name { para; offset; length } with
+                    | Ok () -> load rest
+                    | Error msg -> Error msg)
+                | _ -> Error "bad bookmark")
+            | Xml.Node.Element { name; _ } ->
+                Error (Printf.sprintf "unexpected element <%s>" name)
+            | Xml.Node.Text _ | Xml.Node.Cdata _ | Xml.Node.Comment _
+            | Xml.Node.Pi _ ->
+                load rest)
+      in
+      load (Xml.Node.children root)
+  | _ -> Error "expected a <document> root element"
+
+let save t path = Xml.Print.to_file path (to_xml t)
+
+let load path =
+  match Xml.Parse.file path with
+  | Error e -> Error (Xml.Parse.error_to_string e)
+  | Ok root -> of_xml (Xml.Node.strip_whitespace root)
+
+let equal a b =
+  String.equal a.doc_title b.doc_title
+  && String.equal a.doc_author b.doc_author
+  && blocks a = blocks b
+  && bookmarks a = bookmarks b

@@ -1,0 +1,94 @@
+(** Word-processor documents — the Microsoft Word stand-in.
+
+    A document is a sequence of blocks (headings and paragraphs) made of
+    styled runs, plus named bookmarks. Word marks address either a
+    character span inside a paragraph or a bookmark; both forms are
+    supported here (paper §3 lists Word documents among SLIMPad's base
+    types). *)
+
+type run = { text : string; bold : bool; italic : bool }
+
+type block =
+  | Heading of int * run list  (** level (1..6), content *)
+  | Paragraph of run list
+
+type span = { para : int; offset : int; length : int }
+(** [para] is the 1-based block index; [offset]/[length] are character
+    positions within that block's plain text. *)
+
+type t
+
+(** {1 Construction} *)
+
+val create : ?title:string -> ?author:string -> unit -> t
+val plain_run : string -> run
+val run : ?bold:bool -> ?italic:bool -> string -> run
+val append_block : t -> block -> unit
+val append_paragraph : t -> string -> unit
+(** Convenience: a paragraph with one plain run. *)
+
+val append_heading : t -> int -> string -> unit
+val of_paragraphs : string list -> t
+
+(** {1 Reading} *)
+
+val title : t -> string
+val author : t -> string
+val blocks : t -> block list
+val block_count : t -> int
+val block : t -> int -> block option
+(** 1-based. *)
+
+val block_text : t -> int -> string option
+(** Plain text of a block (runs concatenated). *)
+
+val plain_text : t -> string
+(** All blocks joined with ["\n"]. *)
+
+val word_count : t -> int
+
+(** {1 Spans} *)
+
+val span_valid : t -> span -> bool
+val extract : t -> span -> string option
+val find_all : t -> string -> span list
+(** Occurrences within single blocks, in document order. *)
+
+val find_first : t -> string -> span option
+
+(** {1 Bookmarks}
+
+    A bookmark names a span, like Word's Insert > Bookmark. *)
+
+val add_bookmark : t -> name:string -> span -> (unit, string) result
+(** Fails on a duplicate name or an invalid span. *)
+
+val bookmark : t -> string -> span option
+val bookmarks : t -> (string * span) list
+(** Sorted by name. *)
+
+val remove_bookmark : t -> string -> bool
+
+(** {1 Rendering} *)
+
+val to_markdown : t -> string
+(** Markdown-flavoured rendering: headings as [#]-prefixed lines, bold
+    runs wrapped in [**], italic in [*] (bold-italic in [***]). *)
+
+(** {1 Editing} *)
+
+val replace_all : t -> search:string -> replace:string -> int * string list
+(** Replace every occurrence of [search] {e within individual runs}
+    (styled-boundary-crossing matches are not found — a real word
+    processor would merge runs first). Returns the replacement count and
+    the names of bookmarks that were dropped because their span
+    overlapped a replacement; bookmarks positioned after a replacement in
+    the same block shift to stay on their text. *)
+
+(** {1 Persistence} *)
+
+val to_xml : t -> Si_xmlk.Node.t
+val of_xml : Si_xmlk.Node.t -> (t, string) result
+val save : t -> string -> unit
+val load : string -> (t, string) result
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/workload/atc.ml: Hashtbl List Option Printf Result Rng Si_mark Si_slim Si_slimpad Si_spreadsheet

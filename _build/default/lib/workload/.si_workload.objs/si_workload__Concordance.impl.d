@@ -1,0 +1,1 @@
+lib/workload/concordance.ml: List Printf Result Si_mark Si_slim Si_slimpad Si_textdoc String

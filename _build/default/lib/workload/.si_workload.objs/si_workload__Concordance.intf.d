@@ -1,0 +1,1 @@
+lib/workload/concordance.mli: Si_mark Si_slim Si_slimpad

@@ -1,0 +1,1 @@
+lib/workload/icu.ml: List Option Printf Result Rng Si_mark Si_slim Si_slimpad Si_spreadsheet Si_textdoc Si_xmlk

@@ -1,0 +1,1 @@
+lib/workload/icu.mli: Si_mark Si_slim Si_slimpad

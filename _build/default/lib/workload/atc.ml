@@ -1,0 +1,106 @@
+module Desktop = Si_mark.Desktop
+module Dmi = Si_slim.Dmi
+module Slimpad = Si_slimpad.Slimpad
+module Wb = Si_spreadsheet.Workbook
+
+type spec = {
+  flights_file : string;
+  flights_sheet : string;
+  sectors : (string * string list) list;
+}
+
+let airlines = [ "UAL"; "DAL"; "AAL"; "SWA"; "ASA"; "QXE" ]
+let fixes = [ "BTG"; "OLM"; "UBG"; "HQM"; "YKM"; "DSD" ]
+let sector_names = [ "North"; "South"; "Coastal" ]
+
+let build_desktop ?(flights = 12) ~seed desk =
+  let rng = Rng.create seed in
+  let flights_file = "flights.xls" in
+  let flights_sheet = "Strips" in
+  let wb = Wb.create ~sheet_names:[ flights_sheet ] () in
+  let set a v = Wb.set wb ~sheet_name:flights_sheet a v in
+  set "A1" "Callsign";
+  set "B1" "Type";
+  set "C1" "Altitude";
+  set "D1" "Fix";
+  set "E1" "ETA";
+  let assignments = Hashtbl.create 8 in
+  for i = 1 to flights do
+    let callsign =
+      Printf.sprintf "%s%d" (Rng.pick rng airlines) (100 + Rng.int rng 900)
+    in
+    let row = string_of_int (i + 1) in
+    set ("A" ^ row) callsign;
+    set ("B" ^ row) (Rng.pick rng [ "B738"; "A320"; "E175"; "DH8D" ]);
+    set ("C" ^ row) (string_of_int ((180 + Rng.int rng 180) * 100));
+    set ("D" ^ row) (Rng.pick rng fixes);
+    set ("E" ^ row)
+      (Printf.sprintf "%02d:%02d" (Rng.int rng 24) (Rng.int rng 60));
+    let sector = Rng.pick rng sector_names in
+    let existing =
+      Option.value (Hashtbl.find_opt assignments sector) ~default:[]
+    in
+    Hashtbl.replace assignments sector (existing @ [ (callsign, i + 1) ])
+  done;
+  Desktop.add_workbook desk flights_file wb;
+  {
+    flights_file;
+    flights_sheet;
+    sectors =
+      List.filter_map
+        (fun name ->
+          Option.map
+            (fun flights -> (name, List.map fst flights))
+            (Hashtbl.find_opt assignments name))
+        sector_names;
+  }
+
+(* Row of a callsign in the flights sheet, looked up by value. *)
+let row_of_callsign wb sheet callsign =
+  let rec scan row =
+    if row > 2000 then None
+    else
+      let display = Wb.display wb ~sheet_name:sheet ("A" ^ string_of_int row) in
+      if display = callsign then Some row
+      else if display = "" then None
+      else scan (row + 1)
+  in
+  scan 2
+
+let must = function
+  | Ok v -> v
+  | Error msg -> failwith ("Atc.build_board: " ^ msg)
+
+let build_board app spec =
+  let t = Slimpad.dmi app in
+  let desk = Slimpad.desktop app in
+  let wb = Result.get_ok (Desktop.open_workbook desk spec.flights_file) in
+  let pad = Slimpad.new_pad app "Sector Board" in
+  let root = Dmi.root_bundle t pad in
+  List.iteri
+    (fun i (sector, callsigns) ->
+      let bundle =
+        Slimpad.add_bundle app ~parent:root ~name:(sector ^ " sector")
+          ~pos:{ Dmi.x = 10 + (i * 260); y = 10 }
+          ()
+      in
+      List.iteri
+        (fun j callsign ->
+          match row_of_callsign wb spec.flights_sheet callsign with
+          | None -> failwith ("Atc.build_board: lost flight " ^ callsign)
+          | Some row ->
+              ignore
+                (must
+                   (Slimpad.add_scrap app ~parent:bundle ~name:callsign
+                      ~mark_type:"excel"
+                      ~fields:
+                        [
+                          ("fileName", spec.flights_file);
+                          ("sheetName", spec.flights_sheet);
+                          ("range", Printf.sprintf "A%d:E%d" row row);
+                        ]
+                      ~pos:{ Dmi.x = 15 + (i * 260); y = 30 + (j * 18) }
+                      ())))
+        callsigns)
+    spec.sectors;
+  pad

@@ -1,0 +1,21 @@
+(** The air-traffic-control workload (paper §2).
+
+    "Reports of observations from other, analogous domains such as air
+    traffic control suggest that bundle use may be common outside the
+    medical area" [9, 10, 15] — flight progress strips grouped by sector.
+    One spreadsheet of flights; a pad with one bundle per sector whose
+    scraps mark the flights' rows (the digital flight strips).
+    Deterministic in [seed]. *)
+
+type spec = {
+  flights_file : string;
+  flights_sheet : string;
+  sectors : (string * string list) list;
+      (** sector name -> callsigns of the flights it controls *)
+}
+
+val build_desktop : ?flights:int -> seed:int -> Si_mark.Desktop.t -> spec
+(** Default 12 flights across 3 sectors. *)
+
+val build_board : Si_slimpad.Slimpad.t -> spec -> Si_slim.Dmi.pad
+(** The controller's board pad: a bundle per sector, a scrap per strip. *)

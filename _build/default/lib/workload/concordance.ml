@@ -1,0 +1,85 @@
+module Desktop = Si_mark.Desktop
+module Dmi = Si_slim.Dmi
+module Slimpad = Si_slimpad.Slimpad
+module Td = Si_textdoc.Textdoc
+
+let play_file = "hamlet-iii-i.txt"
+
+(* Hamlet, Act III Scene i — public domain. *)
+let play_text =
+  String.concat "\n"
+    [
+      "To be, or not to be, that is the question:";
+      "Whether 'tis nobler in the mind to suffer";
+      "The slings and arrows of outrageous fortune,";
+      "Or to take arms against a sea of troubles";
+      "And by opposing end them. To die-to sleep,";
+      "No more; and by a sleep to say we end";
+      "The heart-ache and the thousand natural shocks";
+      "That flesh is heir to: 'tis a consummation";
+      "Devoutly to be wish'd. To die, to sleep;";
+      "To sleep, perchance to dream-ay, there's the rub:";
+      "For in that sleep of death what dreams may come,";
+      "When we have shuffled off this mortal coil,";
+      "Must give us pause-there's the respect";
+      "That makes calamity of so long life.";
+      "For who would bear the whips and scorns of time,";
+      "Th'oppressor's wrong, the proud man's contumely,";
+      "The pangs of dispriz'd love, the law's delay,";
+      "The insolence of office, and the spurns";
+      "That patient merit of th'unworthy takes,";
+      "When he himself might his quietus make";
+      "With a bare bodkin? Who would fardels bear,";
+      "To grunt and sweat under a weary life,";
+      "But that the dread of something after death,";
+      "The undiscovere'd country, from whose bourn";
+      "No traveller returns, puzzles the will,";
+      "And makes us rather bear those ills we have";
+      "Than fly to others that we know not of?";
+      "Thus conscience doth make cowards of us all,";
+      "And thus the native hue of resolution";
+      "Is sicklied o'er with the pale cast of thought,";
+      "And enterprises of great pith and moment";
+      "With this regard their currents turn awry";
+      "And lose the name of action.";
+    ]
+
+let install_play desk = Desktop.add_text desk play_file (Td.of_string play_text)
+
+let must = function
+  | Ok v -> v
+  | Error msg -> failwith ("Concordance.build: " ^ msg)
+
+let build app ~terms =
+  let t = Slimpad.dmi app in
+  let desk = Slimpad.desktop app in
+  let doc = Result.get_ok (Desktop.open_text desk play_file) in
+  let pad = Slimpad.new_pad app "Concordance" in
+  let root = Dmi.root_bundle t pad in
+  List.iteri
+    (fun i term ->
+      let bundle =
+        Slimpad.add_bundle app ~parent:root ~name:term
+          ~pos:{ Dmi.x = 10 + (i * 170); y = 10 }
+          ()
+      in
+      List.iteri
+        (fun j span ->
+          let line =
+            match Td.position_of_offset doc span.Td.offset with
+            | Some p -> p.Td.line
+            | None -> 0
+          in
+          let fields =
+            must (Si_mark.Text_mark.capture doc ~file_name:play_file span)
+          in
+          ignore
+            (must
+               (Slimpad.add_scrap app ~parent:bundle
+                  ~name:(Printf.sprintf "%s (line %d)" term line)
+                  ~mark_type:"text" ~fields
+                  ~pos:{ Dmi.x = 15 + (i * 170); y = 30 + (j * 16) }
+                  ())))
+        (Td.find_all doc term))
+    terms;
+  pad

@@ -1,0 +1,21 @@
+(** The concordance workload (paper §1).
+
+    "Consider a concordance for the works of Shakespeare. For a given
+    term, we can find out every line (in a play) where the term is used."
+    Builds exactly that as superimposed information: one bundle per term,
+    one scrap per occurrence, each scrap a text mark into the play with
+    play-act-scene-line-style context. *)
+
+val play_file : string
+(** ["hamlet-iii-i.txt"] — the embedded public-domain text. *)
+
+val play_text : string
+(** Hamlet III.i ("To be, or not to be…"), public domain. *)
+
+val install_play : Si_mark.Desktop.t -> unit
+
+val build :
+  Si_slimpad.Slimpad.t -> terms:string list -> Si_slim.Dmi.pad
+(** A pad named ["Concordance"] over the installed play: per term a bundle
+    whose scraps are the term's occurrences, labelled "term (line N)".
+    Terms with no occurrence get an empty bundle. *)

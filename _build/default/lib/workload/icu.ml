@@ -1,0 +1,224 @@
+module Desktop = Si_mark.Desktop
+module Dmi = Si_slim.Dmi
+module Slimpad = Si_slimpad.Slimpad
+module Wb = Si_spreadsheet.Workbook
+module Cellref = Si_spreadsheet.Cellref
+module Xml = Si_xmlk
+
+type patient = {
+  name : string;
+  meds_range : string;
+  labs_file : string;
+  note_file : string;
+  problems : string list;
+  todos : string list;
+}
+
+type spec = { patients : patient list; meds_file : string; meds_sheet : string }
+
+let first_names =
+  [ "John"; "Mary"; "Robert"; "Susan"; "James"; "Linda"; "Michael"; "Carol";
+    "David"; "Ruth"; "Thomas"; "Helen" ]
+
+let last_names =
+  [ "Smith"; "Johnson"; "Nguyen"; "Garcia"; "Miller"; "Chen"; "Brown";
+    "Martinez"; "Olsen"; "Kim"; "Baker"; "Rossi" ]
+
+let drugs =
+  [ ("Dopamine", "5 mcg/kg/min"); ("Norepinephrine", "0.1 mcg/kg/min");
+    ("Fentanyl", "50 mcg/h"); ("Midazolam", "2 mg/h");
+    ("Vancomycin", "1 g q12h"); ("Piperacillin", "4.5 g q8h");
+    ("Insulin", "2 u/h"); ("Heparin", "800 u/h"); ("Furosemide", "20 mg");
+    ("Propofol", "30 mcg/kg/min") ]
+
+let problems_pool =
+  [ "septic shock"; "acute renal failure"; "ARDS"; "GI bleed"; "pneumonia";
+    "atrial fibrillation"; "DKA"; "pancreatitis"; "CHF exacerbation";
+    "respiratory failure" ]
+
+let todos_pool =
+  [ "wean pressors"; "renal consult"; "repeat lactate"; "chest x-ray";
+    "family meeting"; "extubate if stable"; "culture results"; "adjust tube feeds" ]
+
+let lab_tests =
+  [ ("Na", 135., 146., "mmol/L"); ("K", 3.4, 5.2, "mmol/L");
+    ("Cl", 96., 108., "mmol/L"); ("HCO3", 20., 29., "mmol/L");
+    ("BUN", 8., 45., "mg/dL"); ("Cr", 0.6, 3.5, "mg/dL");
+    ("WBC", 4., 22., "10^9/L"); ("Hgb", 7., 15., "g/dL");
+    ("Lactate", 0.5, 6., "mmol/L"); ("Glucose", 70., 280., "mg/dL") ]
+
+
+(* Deterministic distinct picks: rotate the pool by a random offset. *)
+let picks rng n pool =
+  let len = List.length pool in
+  let offset = Rng.int rng len in
+  List.init (min n len) (fun i -> List.nth pool ((offset + i) mod len))
+
+let build_desktop ?(patients = 4) ?(meds_per_patient = 3)
+    ?(labs_per_patient = 6) ~seed desk =
+  let rng = Rng.create seed in
+  let meds_file = "medications.xls" in
+  let meds_sheet = "Medications" in
+  let wb = Wb.create ~sheet_names:[ meds_sheet ] () in
+  Wb.set wb ~sheet_name:meds_sheet "A1" "Patient";
+  Wb.set wb ~sheet_name:meds_sheet "B1" "Drug";
+  Wb.set wb ~sheet_name:meds_sheet "C1" "Dose";
+  let next_row = ref 2 in
+  let patient_list =
+    List.init patients (fun i ->
+        let name =
+          Printf.sprintf "%s %s" (Rng.pick rng first_names)
+            (List.nth last_names (i mod List.length last_names))
+        in
+        (* Medication rows for this patient. *)
+        let first_row = !next_row in
+        let meds = picks rng meds_per_patient drugs in
+        List.iter
+          (fun (drug, dose) ->
+            let row = string_of_int !next_row in
+            Wb.set wb ~sheet_name:meds_sheet ("A" ^ row) name;
+            Wb.set wb ~sheet_name:meds_sheet ("B" ^ row) drug;
+            Wb.set wb ~sheet_name:meds_sheet ("C" ^ row) dose;
+            incr next_row)
+          meds;
+        let meds_range =
+          Printf.sprintf "A%d:C%d" first_row (!next_row - 1)
+        in
+        (* Lab report XML. *)
+        let labs_file = Printf.sprintf "labs-%02d.xml" (i + 1) in
+        let results =
+          picks rng labs_per_patient lab_tests
+          |> List.map (fun (test, lo, hi, units) ->
+                 let value = lo +. Rng.float rng (hi -. lo) in
+                 Xml.Node.element "result"
+                   ~attrs:[ ("test", test); ("units", units) ]
+                   [ Xml.Node.text (Printf.sprintf "%.1f" value) ])
+        in
+        let report =
+          Xml.Node.element "report"
+            [
+              Xml.Node.element "patient" [ Xml.Node.text name ];
+              Xml.Node.element "panel"
+                ~attrs:[ ("name", "morning-draw") ]
+                results;
+            ]
+        in
+        Desktop.add_xml desk labs_file report;
+        (* Clinical note. *)
+        let problems = picks rng (2 + Rng.int rng 2) problems_pool in
+        let todos = picks rng (1 + Rng.int rng 3) todos_pool in
+        let note_file = Printf.sprintf "note-%02d.txt" (i + 1) in
+        Desktop.add_text desk note_file
+          (Si_textdoc.Textdoc.of_lines
+             ([ Printf.sprintf "Patient: %s" name; "Problems:" ]
+             @ List.map (fun p -> "  - " ^ p) problems
+             @ [ "Plan:" ]
+             @ List.map (fun td -> "  * " ^ td) todos));
+        { name; meds_range; labs_file; note_file; problems; todos })
+  in
+  Desktop.add_workbook desk meds_file wb;
+  { patients = patient_list; meds_file; meds_sheet }
+
+let must = function
+  | Ok v -> v
+  | Error msg -> failwith ("Icu.build_worksheet: " ^ msg)
+
+let build_worksheet app spec =
+  let t = Slimpad.dmi app in
+  let desk = Slimpad.desktop app in
+  let pad = Slimpad.new_pad app "Rounds" in
+  let root = Dmi.root_bundle t pad in
+  List.iteri
+    (fun i patient ->
+      let row_y = 10 + (i * 160) in
+      let bundle =
+        Slimpad.add_bundle app ~parent:root ~name:patient.name
+          ~pos:{ Dmi.x = 10; y = row_y } ()
+      in
+      Dmi.resize_bundle t bundle ~width:760 ~height:150;
+      (* Column 2: problems, marked into the note text. *)
+      let note = Result.get_ok (Desktop.open_text desk patient.note_file) in
+      List.iteri
+        (fun j problem ->
+          let span =
+            Option.get (Si_textdoc.Textdoc.find_first note problem)
+          in
+          let fields =
+            must
+              (Si_mark.Text_mark.capture note ~file_name:patient.note_file
+                 span)
+          in
+          ignore
+            (must
+               (Slimpad.add_scrap app ~parent:bundle ~name:problem
+                  ~mark_type:"text" ~fields
+                  ~pos:{ Dmi.x = 150; y = row_y + 20 + (j * 18) }
+                  ())))
+        patient.problems;
+      (* Column 3a: medications, marked into the shared workbook. *)
+      let _med_scrap =
+        must
+          (Slimpad.add_scrap app ~parent:bundle ~name:"Medications"
+             ~mark_type:"excel"
+             ~fields:
+               [
+                 ("fileName", spec.meds_file);
+                 ("sheetName", spec.meds_sheet);
+                 ("range", patient.meds_range);
+               ]
+             ~pos:{ Dmi.x = 340; y = row_y + 20 }
+             ())
+      in
+      (* Column 3b: lab results, one nested bundle of XML-marked scraps
+         (the 'Electrolyte' bundle of Fig 4). *)
+      let labs_bundle =
+        Slimpad.add_bundle app ~parent:bundle ~name:"Labs"
+          ~pos:{ Dmi.x = 520; y = row_y + 20 }
+          ()
+      in
+      let report = Result.get_ok (Desktop.open_xml desk patient.labs_file) in
+      let results =
+        match Xml.Node.find_child "panel" report with
+        | Some panel -> Xml.Node.find_children "result" panel
+        | None -> []
+      in
+      List.iteri
+        (fun j result ->
+          let fields =
+            must
+              (Si_mark.Xml_mark.capture ~root:report
+                 ~file_name:patient.labs_file result)
+          in
+          let label =
+            Printf.sprintf "%s %s"
+              (Option.value (Xml.Node.attr "test" result) ~default:"?")
+              (Xml.Node.text_content result)
+          in
+          ignore
+            (must
+               (Slimpad.add_scrap app ~parent:labs_bundle ~name:label
+                  ~mark_type:"xml" ~fields
+                  ~pos:{ Dmi.x = 530 + (j mod 2 * 90);
+                         y = row_y + 35 + (j / 2 * 16) }
+                  ())))
+        results;
+      (* Column 4: to-do list, marked into the note's plan section. *)
+      List.iteri
+        (fun j todo ->
+          let span = Option.get (Si_textdoc.Textdoc.find_first note todo) in
+          let fields =
+            must
+              (Si_mark.Text_mark.capture note ~file_name:patient.note_file
+                 span)
+          in
+          let scrap =
+            must
+              (Slimpad.add_scrap app ~parent:bundle ~name:("TODO: " ^ todo)
+                 ~mark_type:"text" ~fields
+                 ~pos:{ Dmi.x = 640; y = row_y + 20 + (j * 18) }
+                 ())
+          in
+          Dmi.annotate_scrap t scrap "to-do")
+        patient.todos)
+    spec.patients;
+  pad

@@ -1,0 +1,39 @@
+(** The intensive-care workload (paper §2, Fig 2; §3, Fig 4).
+
+    The paper's field data — residents' worksheets from an ICU — is
+    proprietary; this generator synthesizes the same {e shape}: per
+    patient, a row on the worksheet with (1) identification, (2) a problem
+    list, (3) selected labs and vital signs, (4) a to-do list; the
+    worksheet is a bundle of per-patient bundles whose scraps mark into a
+    medication spreadsheet, per-patient XML lab reports, and free-text
+    notes. Deterministic in [seed]. *)
+
+type patient = {
+  name : string;
+  meds_range : string;  (** A1 range of the patient's rows in the workbook *)
+  labs_file : string;
+  note_file : string;
+  problems : string list;
+  todos : string list;
+}
+
+type spec = {
+  patients : patient list;
+  meds_file : string;
+  meds_sheet : string;
+}
+
+val build_desktop :
+  ?patients:int -> ?meds_per_patient:int -> ?labs_per_patient:int ->
+  seed:int -> Si_mark.Desktop.t -> spec
+(** Populates the desktop with the medication workbook, one lab-report XML
+    and one clinical note per patient. Defaults: 4 patients, 3 meds, 6
+    labs. *)
+
+val build_worksheet : Si_slimpad.Slimpad.t -> spec -> Si_slim.Dmi.pad
+(** The resident's worksheet (Fig 2 bottom): a pad whose root holds one
+    bundle per patient; each patient bundle holds problem scraps (text
+    marks into the note), medication scraps (Excel marks), a nested lab
+    bundle (XML marks), and to-do scraps (text marks), 2-D positions laid
+    out in worksheet rows. Raises [Failure] if a mark cannot be created —
+    a bug, since the generator made the documents. *)

@@ -1,0 +1,25 @@
+(* Deterministic PRNG (splitmix64-style) so workloads are reproducible
+   across runs and platforms without touching the global Random state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int bound))
+
+let pick t items =
+  match items with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth items (int t (List.length items))
+
+let float t bound = Float.of_int (int t 10_000) /. 10_000. *. bound
+let bool t = int t 2 = 0

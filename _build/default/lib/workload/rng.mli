@@ -1,0 +1,19 @@
+(** Deterministic PRNG (splitmix64-style), so workloads are reproducible
+    across runs and platforms without touching the global [Random]
+    state. *)
+
+type t
+
+val create : int -> t
+val next : t -> int64
+val int : t -> int -> int
+(** Uniform in [\[0, bound)]. @raise Invalid_argument on non-positive
+    bounds. *)
+
+val pick : t -> 'a list -> 'a
+(** @raise Invalid_argument on the empty list. *)
+
+val float : t -> float -> float
+(** Uniform-ish in [\[0, bound)], quantized to 1/10000. *)
+
+val bool : t -> bool

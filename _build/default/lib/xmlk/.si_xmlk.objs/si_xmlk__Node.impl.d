@@ -1,0 +1,1 @@
+lib/xmlk/node.ml: Buffer Format List String

@@ -1,0 +1,1 @@
+lib/xmlk/node.mli: Format

@@ -1,0 +1,1 @@
+lib/xmlk/parse.ml: Buffer Char In_channel List Node Printf String

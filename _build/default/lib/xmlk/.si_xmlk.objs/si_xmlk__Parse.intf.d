@@ -1,0 +1,1 @@
+lib/xmlk/parse.mli: Node

@@ -1,0 +1,1 @@
+lib/xmlk/path.ml: Char Format List Node Printf String

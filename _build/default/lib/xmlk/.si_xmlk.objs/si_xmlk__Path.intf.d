@@ -1,0 +1,1 @@
+lib/xmlk/path.mli: Format Node

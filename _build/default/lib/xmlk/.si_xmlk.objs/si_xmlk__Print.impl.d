@@ -1,0 +1,1 @@
+lib/xmlk/print.ml: Buffer List Node Out_channel String

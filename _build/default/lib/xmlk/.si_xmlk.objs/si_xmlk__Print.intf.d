@@ -1,0 +1,1 @@
+lib/xmlk/print.mli: Node

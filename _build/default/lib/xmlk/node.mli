@@ -1,0 +1,106 @@
+(** XML document tree.
+
+    This is the DOM used across the repository: by the XML base-source
+    substrate (XML marks address into these trees), by TRIM persistence, and
+    by the RDF/XML-style serialization of the SLIM store. *)
+
+type t =
+  | Element of element
+  | Text of string
+  | Cdata of string
+  | Comment of string
+  | Pi of string * string  (** processing instruction: target, content *)
+
+and element = {
+  name : string;
+  attrs : (string * string) list;
+  children : t list;
+}
+
+(** {1 Construction} *)
+
+val element : ?attrs:(string * string) list -> string -> t list -> t
+(** [element name children] builds an element node. Attribute order is
+    preserved. *)
+
+val text : string -> t
+val cdata : string -> t
+val comment : string -> t
+
+(** {1 Accessors} *)
+
+val name : t -> string option
+(** Element name, [None] for non-element nodes. *)
+
+val attr : string -> t -> string option
+(** [attr key node] returns the attribute value, if [node] is an element
+    carrying [key]. *)
+
+val attr_exn : string -> t -> string
+(** Like {!attr} but raises [Not_found]. *)
+
+val children : t -> t list
+(** Child nodes of an element; [[]] for other nodes. *)
+
+val child_elements : t -> element list
+(** Element children only, in document order. *)
+
+val find_child : string -> t -> t option
+(** First child element with the given name. *)
+
+val find_children : string -> t -> t list
+(** All child elements with the given name, in document order. *)
+
+val text_content : t -> string
+(** Concatenation of all text and CDATA in the subtree, in document order. *)
+
+val is_element : t -> bool
+val is_whitespace : t -> bool
+(** [true] for text nodes that contain only XML whitespace. *)
+
+(** {1 Traversal} *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over the subtree rooted at the node (including it). *)
+
+val iter : (t -> unit) -> t -> unit
+val descendants : t -> t list
+(** All nodes of the subtree in pre-order, including the root. *)
+
+val descendant_elements : t -> element list
+val size : t -> int
+(** Number of nodes in the subtree. *)
+
+val depth : t -> int
+(** Height of the subtree: a leaf has depth 1. *)
+
+(** {1 Editing} *)
+
+val map_children : (t list -> t list) -> t -> t
+(** Replace an element's child list; identity on non-elements. *)
+
+val set_attr : string -> string -> t -> t
+(** Add or replace one attribute; identity on non-elements. *)
+
+val strip_whitespace : t -> t
+(** Remove whitespace-only text nodes recursively (useful after parsing
+    pretty-printed input). *)
+
+val normalize : t -> t
+(** Merge adjacent text-node children and drop empty text nodes, recursively
+    (the DOM "normalize" operation). Two trees that serialize identically
+    compare equal after normalization. *)
+
+(** {1 Comparison} *)
+
+val equal : t -> t -> bool
+(** Structural equality. Attribute {e order} is ignored; everything else,
+    including whitespace text nodes, is significant. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer (single line, escaped). *)
+
+(**/**)
+
+val escape : string -> string
+(* Shared with {!Print.escape}; use that one. *)

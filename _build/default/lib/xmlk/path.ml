@@ -1,0 +1,220 @@
+type step = { name : string option; index : int }
+type target = Element_target | Attribute_target of string | Text_target
+type t = { steps : step list; target : target }
+
+type resolution =
+  | Resolved_element of Node.t
+  | Resolved_attribute of string * string
+  | Resolved_text of string
+
+let root = { steps = [ { name = None; index = 1 } ]; target = Element_target }
+
+let step_to_string { name; index } =
+  let base = match name with None -> "*" | Some n -> n in
+  if index = 1 then base else Printf.sprintf "%s[%d]" base index
+
+let to_string { steps; target } =
+  let body = String.concat "/" (List.map step_to_string steps) in
+  let suffix =
+    match target with
+    | Element_target -> ""
+    | Attribute_target a -> "/@" ^ a
+    | Text_target -> "/text()"
+  in
+  "/" ^ body ^ suffix
+
+let valid_name s =
+  s <> ""
+  && (match s.[0] with
+     | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true
+     | c -> Char.code c >= 0x80)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' ->
+             true
+         | c -> Char.code c >= 0x80)
+       s
+
+let parse_step s =
+  match String.index_opt s '[' with
+  | None ->
+      if s = "*" then Ok { name = None; index = 1 }
+      else if valid_name s then Ok { name = Some s; index = 1 }
+      else Error (Printf.sprintf "malformed step %S" s)
+  | Some bracket ->
+      if String.length s = 0 || s.[String.length s - 1] <> ']' then
+        Error (Printf.sprintf "malformed step %S" s)
+      else
+        let name = String.sub s 0 bracket in
+        let digits =
+          String.sub s (bracket + 1) (String.length s - bracket - 2)
+        in
+        (match int_of_string_opt digits with
+        | Some index when index >= 1 && (name = "*" || valid_name name) ->
+            Ok { name = (if name = "*" then None else Some name); index }
+        | Some _ | None -> Error (Printf.sprintf "malformed step %S" s))
+
+let of_string input =
+  if String.length input = 0 || input.[0] <> '/' then
+    Error "a path must start with '/'"
+  else
+    let parts =
+      String.split_on_char '/' (String.sub input 1 (String.length input - 1))
+    in
+    let rec build acc = function
+      | [] ->
+          if acc = [] then Error "empty path"
+          else Ok { steps = List.rev acc; target = Element_target }
+      | [ "text()" ] when acc <> [] ->
+          Ok { steps = List.rev acc; target = Text_target }
+      | [ last ]
+        when String.length last > 1 && last.[0] = '@' && acc <> [] ->
+          let attribute = String.sub last 1 (String.length last - 1) in
+          Ok { steps = List.rev acc; target = Attribute_target attribute }
+      | part :: rest -> (
+          match parse_step part with
+          | Ok step -> build (step :: acc) rest
+          | Error _ as e -> e)
+    in
+    build [] parts
+
+let of_string_exn input =
+  match of_string input with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Path.of_string_exn: " ^ msg)
+
+let equal a b = a = b
+let pp ppf p = Format.pp_print_string ppf (to_string p)
+
+let step_matches step (e : Node.element) =
+  match step.name with None -> true | Some n -> String.equal n e.name
+
+(* Select the [index]-th element child of [node] matching [step]. *)
+let select_child node step =
+  let rec scan remaining = function
+    | [] -> None
+    | (Node.Element e as c) :: rest ->
+        if step_matches step e then
+          if remaining = 1 then Some c else scan (remaining - 1) rest
+        else scan remaining rest
+    | _ :: rest -> scan remaining rest
+  in
+  scan step.index (Node.children node)
+
+let resolve document path =
+  let walk_root step =
+    match document with
+    | Node.Element e when step_matches step e && step.index = 1 ->
+        Some document
+    | _ -> None
+  in
+  let rec walk node = function
+    | [] -> Some node
+    | step :: rest -> (
+        match select_child node step with
+        | Some child -> walk child rest
+        | None -> None)
+  in
+  let element =
+    match path.steps with
+    | [] -> None
+    | first :: rest -> (
+        match walk_root first with
+        | Some node -> walk node rest
+        | None -> None)
+  in
+  match (element, path.target) with
+  | None, _ -> None
+  | Some node, Element_target -> Some (Resolved_element node)
+  | Some node, Text_target -> Some (Resolved_text (Node.text_content node))
+  | Some node, Attribute_target a -> (
+      match Node.attr a node with
+      | Some v -> Some (Resolved_attribute (a, v))
+      | None -> None)
+
+let resolve_element document path =
+  match resolve document { path with target = Element_target } with
+  | Some (Resolved_element node) -> Some node
+  | Some (Resolved_attribute _ | Resolved_text _) | None -> None
+
+(* Index of [child] among same-named element siblings inside [children]
+   (physical equality), 1-based. *)
+let sibling_index children child =
+  let target_name =
+    match child with Node.Element e -> e.name | _ -> assert false
+  in
+  let rec scan count = function
+    | [] -> None
+    | (Node.Element e as c) :: rest ->
+        if String.equal e.name target_name then
+          if c == child then Some (count + 1) else scan (count + 1) rest
+        else scan count rest
+    | _ :: rest -> scan count rest
+  in
+  scan 0 children
+
+let path_of ~root:document target_node =
+  if not (Node.is_element target_node) then None
+  else
+    let rec search node acc =
+      if node == target_node then Some (List.rev acc)
+      else
+        let children = Node.children node in
+        let rec try_children = function
+          | [] -> None
+          | (Node.Element _ as c) :: rest -> (
+              match sibling_index children c with
+              | None -> try_children rest
+              | Some index ->
+                  let step = { name = Node.name c; index } in
+                  (match search c (step :: acc) with
+                  | Some _ as found -> found
+                  | None -> try_children rest))
+          | _ :: rest -> try_children rest
+        in
+        try_children children
+    in
+    match document with
+    | Node.Element e ->
+        let first = { name = Some e.name; index = 1 } in
+        (match search document [ first ] with
+        | Some steps -> Some { steps; target = Element_target }
+        | None -> None)
+    | _ -> None
+
+let all_element_paths document =
+  match document with
+  | Node.Element e ->
+      let first = { name = Some e.name; index = 1 } in
+      let rec walk node steps acc =
+        let here = ({ steps = List.rev steps; target = Element_target }, node) in
+        let children = Node.children node in
+        let _, acc =
+          List.fold_left
+            (fun (counts, acc) c ->
+              match c with
+              | Node.Element ce ->
+                  let n =
+                    match List.assoc_opt ce.name counts with
+                    | Some n -> n + 1
+                    | None -> 1
+                  in
+                  let counts = (ce.name, n) :: List.remove_assoc ce.name counts in
+                  let step = { name = Some ce.name; index = n } in
+                  (counts, walk c (step :: steps) acc)
+              | _ -> (counts, acc))
+            ([], acc) children
+        in
+        here :: acc
+      in
+      List.rev (walk document [ first ] [])
+  | _ -> []
+
+let parent path =
+  match path.target with
+  | Attribute_target _ | Text_target ->
+      Some { path with target = Element_target }
+  | Element_target -> (
+      match List.rev path.steps with
+      | [] | [ _ ] -> None
+      | _ :: rest -> Some { steps = List.rev rest; target = Element_target })

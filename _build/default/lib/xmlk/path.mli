@@ -1,0 +1,55 @@
+(** Slash-path addressing into XML trees — the paper's "xmlPath" (Fig 8).
+
+    A path is a sequence of child steps starting at the document root, each
+    selecting the [i]-th child element with a given name (1-based, among
+    same-named siblings), optionally ending at an attribute or at the text
+    content:
+
+    {v /report/panel[2]/result[1]        element
+       /report/panel[2]/result/@units    attribute
+       /report/patient/text()            text content v}
+
+    A step with no explicit index means [\[1\]]; [*] matches any element
+    name. The first step names (and checks) the root element itself. *)
+
+type step = { name : string option; index : int }
+(** [name = None] encodes [*]. [index] is 1-based. *)
+
+type target = Element_target | Attribute_target of string | Text_target
+
+type t = { steps : step list; target : target }
+
+type resolution =
+  | Resolved_element of Node.t
+  | Resolved_attribute of string * string  (** name, value *)
+  | Resolved_text of string
+
+val root : t
+(** The path ["/*"]: the document root element. *)
+
+val of_string : string -> (t, string) result
+val of_string_exn : string -> t
+val to_string : t -> string
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val resolve : Node.t -> t -> resolution option
+(** [resolve root path] walks the path down from the document root element.
+    Returns [None] when a step selects a missing child (or the root name
+    does not match). *)
+
+val resolve_element : Node.t -> t -> Node.t option
+(** Like {!resolve} but only for element targets. *)
+
+val path_of : root:Node.t -> Node.t -> t option
+(** Compute the path of a node found {e physically} inside [root] — the mark
+    module uses this when the user selects an element. [None] when the node
+    is not a subterm of [root] or is not an element. *)
+
+val all_element_paths : Node.t -> (t * Node.t) list
+(** Every element of the tree with its path, in document order. Useful for
+    enumeration-style mark creation and for tests. *)
+
+val parent : t -> t option
+(** Drop the last step (or demote an attribute/text target to its element).
+    [None] for the root path. *)

@@ -1,0 +1,38 @@
+  $ slimpad init ws --scenario icu --seed 7
+  $ ls ws | sort | head -4
+  $ ls ws | grep -c .
+  $ slimpad pads ws
+  $ slimpad stats ws | head -4
+  $ slimpad show ws | head -5
+  $ slimpad resolve ws "GI bleed" -b extract
+  $ slimpad resolve ws "Medications" -b extract | head -1
+  $ slimpad add-bundle ws "Consults"
+  $ slimpad add-scrap ws --parent Consults --type xml \
+  >   -f fileName=labs-01.xml -f 'xmlPath=/report/patient' --name "patient"
+  $ slimpad annotate ws "patient" "follow up tomorrow"
+  $ slimpad show ws | grep -A 1 'Scrap "patient"'
+  $ sed -i 's|>5 mcg/kg/min|>7.5 mcg/kg/min|' ws/medications.xls.workbook.xml
+  $ slimpad drift ws | cut -c1-40
+  $ slimpad drift ws --refresh | tail -1
+  $ slimpad drift ws
+  $ sed -i 's/GI bleed/GI hemorrhage/' ws/note-01.txt
+  $ slimpad drift ws
+  $ slimpad drift ws --refresh | tail -1
+  $ slimpad history ws --last 3 | cut -c1-46
+  $ slimpad query ws 'select ?n where { ?s scrapName ?n } filter prefix(?n, "TODO")' | tail -1
+  $ slimpad init ws2 --scenario concordance > /dev/null
+  $ slimpad import ws ws2/pad.xml --as "Borrowed concordance"
+  $ slimpad pads ws
+  $ cp ws2/hamlet-iii-i.txt ws/
+  $ slimpad resolve ws --pad "Borrowed concordance" "conscience (line 28)" -b extract
+  $ slimpad validate ws | head -1
+  $ slimpad template ws --pad Rounds "Consults"
+  $ slimpad instantiate ws --pad Rounds "Consults" "Consults (bed 9)"
+  $ slimpad show ws --pad Rounds | grep -c "Consults"
+  $ slimpad export-html ws --pad Rounds -o ws-rounds.html > /dev/null
+  $ head -1 ws-rounds.html
+  $ grep -c 'class="scrap"' ws-rounds.html
+  $ slimpad model ws | head -3
+  $ slimpad resolve ws "no such scrap"
+  $ slimpad query ws 'select nonsense'
+  $ slimpad init ws

@@ -1,0 +1,1 @@
+test/test_generic_dmi.ml: Alcotest List Option Re Result Si_metamodel Si_slim Si_triple

@@ -1,0 +1,1 @@
+test/test_htmldoc.ml: Alcotest Htmldoc List Option Printf QCheck QCheck_alcotest Result Selector Si_htmldoc Si_mark Si_xmlk String

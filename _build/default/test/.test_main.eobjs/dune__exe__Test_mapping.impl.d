@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Format Fun List Option Printf QCheck QCheck_alcotest Re Result Si_mapping Si_metamodel Si_triple

@@ -1,0 +1,1 @@
+test/test_metamodel.ml: Alcotest List Model Model_dsl Option Printf QCheck QCheck_alcotest Re Result Si_metamodel Si_slim Si_triple String Validate

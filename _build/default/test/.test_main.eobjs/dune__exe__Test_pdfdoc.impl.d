@@ -1,0 +1,1 @@
+test/test_pdfdoc.ml: Alcotest Filename List Option Pdfdoc Printf QCheck QCheck_alcotest Result Si_pdfdoc Si_xmlk String Sys

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest List Printf QCheck QCheck_alcotest Si_query Si_triple

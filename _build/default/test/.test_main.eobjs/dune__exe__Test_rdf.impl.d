@@ -1,0 +1,1 @@
+test/test_rdf.ml: Alcotest Filename List Option QCheck QCheck_alcotest Re Result Si_mapping Si_metamodel Si_slim Si_triple Si_xmlk String Sys

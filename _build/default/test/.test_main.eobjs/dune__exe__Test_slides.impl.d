@@ -1,0 +1,1 @@
+test/test_slides.ml: Alcotest Filename List Option Result Si_slides Si_xmlk Slides Sys

@@ -1,0 +1,1 @@
+test/test_slim.ml: Alcotest Bundle_model Dmi Filename List Option Printf QCheck QCheck_alcotest Result Si_metamodel Si_slim Si_triple Sys

@@ -1,0 +1,1 @@
+test/test_slimpad.ml: Alcotest Filename List Option Out_channel Printf Re Result Si_htmldoc Si_mark Si_metamodel Si_slim Si_slimpad Si_spreadsheet Si_triple Si_xmlk Slimpad Sys

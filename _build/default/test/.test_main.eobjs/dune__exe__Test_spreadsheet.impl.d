@@ -1,0 +1,1 @@
+test/test_spreadsheet.ml: Alcotest Cellref Filename Formula List Option Printf QCheck QCheck_alcotest Result Sheet Si_spreadsheet Si_xmlk String Sys Value Workbook

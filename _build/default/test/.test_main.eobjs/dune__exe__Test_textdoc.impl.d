@@ -1,0 +1,1 @@
+test/test_textdoc.ml: Alcotest List Option QCheck QCheck_alcotest Si_textdoc String Textdoc

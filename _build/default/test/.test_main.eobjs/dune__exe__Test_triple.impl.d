@@ -1,0 +1,1 @@
+test/test_triple.ml: Alcotest Array Domain Filename List Option Printf QCheck QCheck_alcotest Result Si_metamodel Si_slim Si_triple Si_xmlk Store String Sys Trim Triple

@@ -1,0 +1,1 @@
+test/test_tui.ml: Alcotest List Printf QCheck QCheck_alcotest Re Result Si_mark Si_slim Si_slimpad Si_spreadsheet Si_textdoc Si_tui Si_xmlk String Ui

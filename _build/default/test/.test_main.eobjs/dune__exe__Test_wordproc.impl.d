@@ -1,0 +1,1 @@
+test/test_wordproc.ml: Alcotest Filename List Option QCheck QCheck_alcotest Result Si_wordproc Si_xmlk String Sys Wordproc

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Atc Concordance Icu List Re Si_mark Si_metamodel Si_slim Si_slimpad Si_workload

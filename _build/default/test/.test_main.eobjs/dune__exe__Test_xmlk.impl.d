@@ -1,0 +1,1 @@
+test/test_xmlk.ml: Alcotest List Node Option Parse Path Print QCheck QCheck_alcotest Re Si_xmlk String

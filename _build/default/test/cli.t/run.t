@@ -1,0 +1,142 @@
+The slimpad CLI, end to end on a generated workspace.
+
+  $ slimpad init ws --scenario icu --seed 7
+  initialized ICU rounds worksheet in ws
+
+The workspace holds the base documents plus the pad store:
+
+  $ ls ws | sort | head -4
+  labs-01.xml
+  labs-02.xml
+  labs-03.xml
+  labs-04.xml
+  $ ls ws | grep -c .
+  10
+
+  $ slimpad pads ws
+  Rounds (9 bundles, 47 scraps)
+
+  $ slimpad stats ws | head -4
+  store implementation : indexed
+  triples              : 547
+  pads                 : 1
+  marks                : 47
+
+The pad renders with positions and live mark sources:
+
+  $ slimpad show ws | head -5
+  SLIMPad "Rounds"
+    Bundle "Rounds"
+      Bundle "Susan Smith" @(10,10) 760x150
+        Scrap "GI bleed" @(150,30) -> note-01.txt:3
+        Scrap "pneumonia" @(150,48) -> note-01.txt:4
+
+Double-clicking a scrap re-establishes its context in the base document:
+
+  $ slimpad resolve ws "GI bleed" -b extract
+  GI bleed
+
+  $ slimpad resolve ws "Medications" -b extract | head -1
+  error: 4 scraps match "Medications"; be more specific
+
+Structural edits through the CLI persist:
+
+  $ slimpad add-bundle ws "Consults"
+  created bundle "Consults"
+  $ slimpad add-scrap ws --parent Consults --type xml \
+  >   -f fileName=labs-01.xml -f 'xmlPath=/report/patient' --name "patient"
+  created scrap "patient" -> Scrap "patient" -> labs-01.xml#/report/patient
+  $ slimpad annotate ws "patient" "follow up tomorrow"
+  $ slimpad show ws | grep -A 1 'Scrap "patient"'
+        Scrap "patient" -> labs-01.xml#/report/patient
+          note: follow up tomorrow
+
+The base layer changes; the pad notices. An in-place edit of a marked
+value in the workbook is reported as changed, and refresh re-caches it:
+
+  $ sed -i 's|>5 mcg/kg/min|>7.5 mcg/kg/min|' ws/medications.xls.workbook.xml
+  $ slimpad drift ws | cut -c1-40
+  changed  Medications: "Michael Nguyen\tP
+  $ slimpad drift ws --refresh | tail -1
+  refreshed 1 scrap(s)
+  $ slimpad drift ws
+  all scraps current
+
+Replacing marked text outright (the selection itself is gone from the
+note) leaves the mark broken, which drift reports but cannot repair:
+
+  $ sed -i 's/GI bleed/GI hemorrhage/' ws/note-01.txt
+  $ slimpad drift ws
+  broken   GI bleed: span 35+8 invalid in note-01.txt and excerpt not found
+  $ slimpad drift ws --refresh | tail -1
+  refreshed 0 scrap(s)
+
+The pad carries its construction history (the DMI journal):
+
+  $ slimpad history ws --last 3 | cut -c1-46
+    65  create_bundle          bundle-1     bund
+    66  create_scrap           scrap-1      scra
+    67  annotate_scrap         scrap-1      note
+
+Queries over the superimposed layer:
+
+  $ slimpad query ws 'select ?n where { ?s scrapName ?n } filter prefix(?n, "TODO")' | tail -1
+  (6 rows)
+
+Sharing: a colleague's pad imports as a copy with live wires:
+
+  $ slimpad init ws2 --scenario concordance > /dev/null
+  $ slimpad import ws ws2/pad.xml --as "Borrowed concordance"
+  imported pad "Borrowed concordance"
+  $ slimpad pads ws
+  Borrowed concordance (5 bundles, 10 scraps)
+  Rounds (10 bundles, 48 scraps)
+
+(Its marks point at the play, which lives in the other workspace — they
+resolve once that document is present here:)
+
+  $ cp ws2/hamlet-iii-i.txt ws/
+  $ slimpad resolve ws --pad "Borrowed concordance" "conscience (line 28)" -b extract
+  conscience
+
+Conformance checking (schema-later):
+
+  $ slimpad validate ws | head -1
+  133 instance(s) checked, 0 violation(s)
+
+Templates stamp out recurring structure (§6):
+
+  $ slimpad template ws --pad Rounds "Consults"
+  Consults is now a template
+  $ slimpad instantiate ws --pad Rounds "Consults" "Consults (bed 9)"
+  instantiated "Consults (bed 9)" from "Consults"
+  $ slimpad show ws --pad Rounds | grep -c "Consults"
+  2
+
+The pad exports as a standalone HTML page with the 2-D layout:
+
+  $ slimpad export-html ws --pad Rounds -o ws-rounds.html > /dev/null
+  $ head -1 ws-rounds.html
+  <!DOCTYPE html>
+  $ grep -c 'class="scrap"' ws-rounds.html
+  49
+
+The Bundle-Scrap model itself is inspectable as SLIM-ML:
+
+  $ slimpad model ws | head -3
+  model bundle-scrap
+  
+  construct Bundle
+
+
+Unknown documents and malformed queries fail cleanly:
+
+  $ slimpad resolve ws "no such scrap"
+  error: no scrap matching "no such scrap"
+  [1]
+  $ slimpad query ws 'select nonsense'
+  error: expected '{'
+  [1]
+  $ slimpad init ws
+  error: ws exists and is not empty
+  [1]

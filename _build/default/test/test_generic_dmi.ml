@@ -1,0 +1,217 @@
+(* Tests for the automatically generated (interpreted) DMI (paper §4.4/§6:
+   "automatic generation of customized data manipulation interfaces"). *)
+
+module Model = Si_metamodel.Model
+module Trim = Si_triple.Trim
+module Triple = Si_triple.Triple
+module G = Si_slim.Generic_dmi
+
+let check = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let err = function
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error msg -> msg
+
+(* A library-catalogue model: a fresh domain to prove the generator is not
+   Bundle-Scrap-specific. *)
+let catalogue () =
+  let trim = Trim.create () in
+  let m = Model.define trim ~name:"catalogue" in
+  let book = Model.construct m "Book" in
+  let author = Model.construct m "Author" in
+  let reference = Model.construct m "Reference" in
+  let str = Model.literal_construct m "String" in
+  Model.generalize m ~sub:reference ~super:book;
+  let conn name from_ to_ card =
+    ignore (Model.connect m ~name ~from_ ~to_ ~card ())
+  in
+  conn "title" book str Model.one_card;
+  conn "writtenBy" book author Model.any_card;
+  conn "authorName" author str Model.one_card;
+  conn "shelf" reference str Model.optional_card;
+  (trim, m)
+
+let test_operations_surface () =
+  let _, m = catalogue () in
+  let g = G.for_model m in
+  let ops = G.operations g in
+  check_bool "create ops" true
+    (List.mem "Create_Book" ops && List.mem "Create_Author" ops);
+  check_bool "no create for literals" true
+    (not (List.mem "Create_String" ops));
+  check_bool "update ops named by connector" true
+    (List.mem "Update_Book_title" ops && List.mem "Update_Reference_shelf" ops);
+  check_bool "delete ops" true (List.mem "Delete_Reference" ops)
+
+let test_create_and_type () =
+  let _, m = catalogue () in
+  let g = G.for_model m in
+  let b = ok (G.create g "Book") in
+  check "typed" "Book" (Option.get (G.construct_of g b));
+  Alcotest.(check (list string)) "listed" [ b ] (ok (G.instances g "Book"));
+  check_bool "unknown construct" true
+    (Result.is_error (G.create g "Spaceship"));
+  check_bool "literal construct rejected" true
+    (Result.is_error (G.create g "String"))
+
+let test_checked_set () =
+  let _, m = catalogue () in
+  let g = G.for_model m in
+  let b = ok (G.create g "Book") in
+  let a = ok (G.create g "Author") in
+  ok (G.set g b "title" (Triple.literal "Cognition in the Wild"));
+  check "read back" "Cognition in the Wild"
+    (Option.get (G.get_literal g b "title"));
+  ok (G.set g b "writtenBy" (Triple.resource a));
+  check "resource read back" a (Option.get (G.get_resource g b "writtenBy"));
+  (* Wrong kinds rejected. *)
+  check_bool "resource where literal" true
+    (Result.is_error (G.set g b "title" (Triple.resource a)));
+  check_bool "literal where resource" true
+    (Result.is_error (G.set g b "writtenBy" (Triple.literal "x")));
+  (* Wrong range construct rejected. *)
+  let b2 = ok (G.create g "Book") in
+  check_bool "book is not an author" true
+    (Result.is_error (G.set g b "writtenBy" (Triple.resource b2)));
+  (* Unknown predicate rejected. *)
+  let msg = err (G.set g b "publisher" (Triple.literal "MIT Press")) in
+  check_bool "names the construct" true
+    (let re = Re.compile (Re.str "Book") in
+     Re.execp re msg)
+
+let test_inherited_connector_usable () =
+  let _, m = catalogue () in
+  let g = G.for_model m in
+  let r = ok (G.create g "Reference") in
+  (* Reference inherits title from Book, and adds shelf. *)
+  ok (G.set g r "title" (Triple.literal "OED"));
+  ok (G.set g r "shelf" (Triple.literal "R2"));
+  check "inherited" "OED" (Option.get (G.get_literal g r "title"));
+  (* But a plain Book has no shelf. *)
+  let b = ok (G.create g "Book") in
+  check_bool "shelf not on Book" true
+    (Result.is_error (G.set g b "shelf" (Triple.literal "R1")));
+  (* Subconstruct instance satisfies a Book-ranged connector. *)
+  let a = ok (G.create g "Author") in
+  ignore a;
+  check_bool "reference usable where book expected" true
+    (Result.is_ok (G.set g b "writtenBy" (Triple.resource a)))
+
+let test_add_cardinality () =
+  let _, m = catalogue () in
+  let g = G.for_model m in
+  let b = ok (G.create g "Book") in
+  let a1 = ok (G.create g "Author") in
+  let a2 = ok (G.create g "Author") in
+  ok (G.add g b "writtenBy" (Triple.resource a1));
+  ok (G.add g b "writtenBy" (Triple.resource a2));
+  check_int "two authors" 2 (List.length (G.get_all g b "writtenBy"));
+  (* title is 1..1: the second add must be refused. *)
+  ok (G.add g b "title" (Triple.literal "first"));
+  let msg = err (G.add g b "title" (Triple.literal "second")) in
+  check_bool "max card message" true
+    (let re = Re.compile (Re.str "at most 1") in
+     Re.execp re msg);
+  (* set replaces without tripping the cardinality check. *)
+  ok (G.set g b "title" (Triple.literal "replaced"));
+  check "replaced" "replaced" (Option.get (G.get_literal g b "title"))
+
+let test_unset_delete () =
+  let _, m = catalogue () in
+  let g = G.for_model m in
+  let b = ok (G.create g "Book") in
+  ok (G.set g b "title" (Triple.literal "t"));
+  check_int "unset removes" 1 (ok (G.unset g b "title"));
+  check_bool "gone" true (G.get g b "title" = None);
+  check_int "unset again" 0 (ok (G.unset g b "title"));
+  let removed = ok (G.delete g b) in
+  check_bool "delete removes the typing triple" true (removed >= 1);
+  check_bool "no longer an instance" true (G.construct_of g b = None);
+  check_bool "operations on deleted fail" true
+    (Result.is_error (G.set g b "title" (Triple.literal "x")))
+
+let test_generated_equals_handwritten () =
+  (* Drive the Bundle-Scrap model through the generated DMI and read the
+     result back through the hand-written one: both views agree. *)
+  let hand = Si_slim.Dmi.create () in
+  let g = G.for_model (Si_slim.Dmi.model hand).Si_slim.Bundle_model.model in
+  let pad = ok (G.create g "SlimPad") in
+  ok (G.set g pad "padName" (Triple.literal "generated"));
+  let root = ok (G.create g "Bundle") in
+  ok (G.set g root "bundleName" (Triple.literal "generated"));
+  ok (G.set g pad "rootBundle" (Triple.resource root));
+  let scrap = ok (G.create g "Scrap") in
+  ok (G.set g scrap "scrapName" (Triple.literal "from the generator"));
+  let handle = ok (G.create g "MarkHandle") in
+  ok (G.set g handle "markId" (Triple.literal "mark-1"));
+  ok (G.set g scrap "scrapMark" (Triple.resource handle));
+  ok (G.add g root "bundleContent" (Triple.resource scrap));
+  (* Hand-written view over the same store. *)
+  let pad_h = Option.get (Si_slim.Dmi.find_pad hand "generated") in
+  let root_h = Si_slim.Dmi.root_bundle hand pad_h in
+  (match Si_slim.Dmi.scraps hand root_h with
+  | [ s ] ->
+      check "scrap name via hand-written DMI" "from the generator"
+        (Si_slim.Dmi.scrap_name hand s);
+      check "mark id via hand-written DMI" "mark-1"
+        (Si_slim.Dmi.scrap_mark_id hand s)
+  | l -> Alcotest.failf "expected 1 scrap, got %d" (List.length l));
+  (* And the store is conformant. *)
+  check_int "valid" 0
+    (List.length
+       (Si_slim.Dmi.validate hand).Si_metamodel.Validate.violations)
+
+let test_snapshot_semantics () =
+  (* The generator snapshots the model at generation time (like generated
+     code would): a connector added afterwards is invisible until the DMI
+     is regenerated. *)
+  let trim, m = catalogue () in
+  ignore trim;
+  let g = G.for_model m in
+  let b = ok (G.create g "Book") in
+  let str = Option.get (Model.find_construct m "String") in
+  let book_c = Option.get (Model.find_construct m "Book") in
+  ignore
+    (Model.connect m ~name:"isbn" ~from_:book_c ~to_:str
+       ~card:Model.optional_card ());
+  check_bool "stale DMI refuses" true
+    (Result.is_error (G.set g b "isbn" (Triple.literal "978-0")));
+  let g2 = G.for_model m in
+  check_bool "regenerated DMI accepts" true
+    (Result.is_ok (G.set g2 b "isbn" (Triple.literal "978-0")))
+
+let test_two_models_one_generator_each () =
+  let trim = Trim.create () in
+  let m1 = Model.define trim ~name:"a" in
+  let c1 = Model.construct m1 "Thing" in
+  ignore c1;
+  let m2 = Model.define trim ~name:"b" in
+  let c2 = Model.construct m2 "Thing" in
+  ignore c2;
+  let g1 = G.for_model m1 and g2 = G.for_model m2 in
+  let i1 = ok (G.create g1 "Thing") in
+  (* Instances belong to their own model's construct. *)
+  check_bool "i1 visible to g1" true (G.construct_of g1 i1 = Some "Thing");
+  check_bool "i1 invisible to g2" true (G.construct_of g2 i1 = None);
+  check_bool "delete across models refused" true
+    (Result.is_error (G.delete g2 i1))
+
+let suite =
+  [
+    ("operation surface (Fig 10 style)", `Quick, test_operations_surface);
+    ("create & typing", `Quick, test_create_and_type);
+    ("checked set", `Quick, test_checked_set);
+    ("inherited connectors", `Quick, test_inherited_connector_usable);
+    ("add & max cardinality", `Quick, test_add_cardinality);
+    ("unset & delete", `Quick, test_unset_delete);
+    ("generated DMI = hand-written DMI", `Quick,
+     test_generated_equals_handwritten);
+    ("snapshot semantics", `Quick, test_snapshot_semantics);
+    ("model isolation", `Quick, test_two_models_one_generator_each);
+  ]

@@ -1,0 +1,363 @@
+(* Tests for the tolerant HTML parser (the web-browser stand-in). *)
+
+open Si_htmldoc
+module Node = Si_xmlk.Node
+module Path = Si_xmlk.Path
+
+let check = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let node_testable = Alcotest.testable Node.pp Node.equal
+
+let test_well_formed () =
+  let root = Htmldoc.parse "<html><body><p>hello</p></body></html>" in
+  Alcotest.check node_testable "clean"
+    (Node.element "html"
+       [ Node.element "body" [ Node.element "p" [ Node.text "hello" ] ] ])
+    root
+
+let test_case_insensitive_tags () =
+  let root = Htmldoc.parse "<HTML><Body><P>x</p></BODY></html>" in
+  check "lowered" "html" (Option.get (Node.name root));
+  check_bool "body found" true (Node.find_child "body" root <> None)
+
+let test_void_elements () =
+  let root = Htmldoc.parse "<p>line one<br>line two<img src=\"x.png\"></p>" in
+  check_int "children" 4 (List.length (Node.children root));
+  (match Node.find_child "img" root with
+  | Some img -> check "src" "x.png" (Node.attr_exn "src" img)
+  | None -> Alcotest.fail "img missing")
+
+let test_self_closing () =
+  let root = Htmldoc.parse "<div><span/>after</div>" in
+  check_int "span empty" 0
+    (List.length (Node.children (Option.get (Node.find_child "span" root))))
+
+let test_implied_p_close () =
+  let root = Htmldoc.parse "<body><p>one<p>two<p>three</body>" in
+  check_int "three paragraphs" 3 (List.length (Node.find_children "p" root))
+
+let test_implied_li_close () =
+  let root = Htmldoc.parse "<ul><li>a<li>b<li>c</ul>" in
+  let items = Node.find_children "li" root in
+  check_int "three items" 3 (List.length items);
+  check "first" "a" (Node.text_content (List.hd items))
+
+let test_table_soup () =
+  let root =
+    Htmldoc.parse
+      "<table><tr><td>Na<td>140<tr><td>K<td>4.2</table>"
+  in
+  let rows = Node.find_children "tr" root in
+  check_int "two rows" 2 (List.length rows);
+  check_int "two cells" 2 (List.length (Node.find_children "td" (List.hd rows)))
+
+let test_unmatched_close_ignored () =
+  let root = Htmldoc.parse "<div>a</span>b</div>" in
+  check "text" "ab" (Node.text_content root);
+  check "tag" "div" (Option.get (Node.name root))
+
+let test_unclosed_at_eof () =
+  let root = Htmldoc.parse "<div><em>never closed" in
+  check "nested text survives" "never closed" (Node.text_content root)
+
+let test_attributes_varieties () =
+  let root =
+    Htmldoc.parse
+      "<input type=text value='single' checked disabled=\"disabled\">"
+  in
+  check "unquoted" "text" (Node.attr_exn "type" root);
+  check "single quoted" "single" (Node.attr_exn "value" root);
+  check "bare attr" "" (Node.attr_exn "checked" root);
+  check "double quoted" "disabled" (Node.attr_exn "disabled" root)
+
+let test_entities_decoded () =
+  let root = Htmldoc.parse "<p>a &lt; b &amp;&nbsp;c &#65;&unknown;</p>" in
+  check "decoded" "a < b & c A&unknown;" (Node.text_content root)
+
+let test_comments_and_doctype () =
+  let root =
+    Htmldoc.parse "<!DOCTYPE html><!-- top --><html><body>x</body></html>"
+  in
+  check "root" "html" (Option.get (Node.name root));
+  check "text" "x" (Node.text_content root)
+
+let test_script_raw_text () =
+  let root =
+    Htmldoc.parse "<html><script>if (a < b) { x = \"<div>\"; }</script></html>"
+  in
+  let script = Option.get (Node.find_child "script" root) in
+  check "raw body" "if (a < b) { x = \"<div>\"; }" (Node.text_content script)
+
+let test_multiple_roots_wrapped () =
+  let root = Htmldoc.parse "<p>a</p><p>b</p>" in
+  check "wrapped" "html" (Option.get (Node.name root));
+  check_int "two" 2 (List.length (Node.find_children "p" root))
+
+let lab_page =
+  Htmldoc.parse
+    "<html><head><title> Lab Report </title></head><body>\
+     <h1 id=\"top\">Results</h1>\
+     <table id=\"electrolytes\"><tr><td>Na</td><td>140</td></tr>\
+     <tr><td>K</td><td>4.2</td></tr></table>\
+     <a name=\"notes\"></a><p>See <a href=\"guide.html\">the guideline</a>.</p>\
+     </body></html>"
+
+let test_title () =
+  check "title" "Lab Report" (Option.get (Htmldoc.title lab_page));
+  check_bool "no title" true (Htmldoc.title (Htmldoc.parse "<p>x</p>") = None)
+
+let test_element_by_id () =
+  let table = Option.get (Htmldoc.element_by_id lab_page "electrolytes") in
+  check "found table" "table" (Option.get (Node.name table));
+  check_bool "missing id" true (Htmldoc.element_by_id lab_page "nope" = None)
+
+let test_anchors () =
+  let names = List.map fst (Htmldoc.anchors lab_page) in
+  Alcotest.(check (list string)) "anchors" [ "top"; "electrolytes"; "notes" ]
+    names
+
+let test_links () =
+  (match Htmldoc.links lab_page with
+  | [ (href, text) ] ->
+      check "href" "guide.html" href;
+      check "text" "the guideline" text
+  | l -> Alcotest.failf "expected 1 link, got %d" (List.length l))
+
+let test_elements_by_tag () =
+  check_int "td count" 4 (List.length (Htmldoc.elements_by_tag lab_page "td"))
+
+let test_to_text () =
+  let text = Htmldoc.to_text lab_page in
+  check_bool "has results" true
+    (List.exists (fun l -> l = "Results") (String.split_on_char '\n' text));
+  (* Block structure: table rows become lines. *)
+  check_bool "rows on separate lines" true
+    (List.exists (fun l -> l = "Na140") (String.split_on_char '\n' text)
+    || List.exists (fun l -> l = "Na 140") (String.split_on_char '\n' text));
+  check_bool "script excluded" true
+    (Htmldoc.to_text (Htmldoc.parse "<p>a</p><script>secret</script>")
+    |> String.split_on_char '\n'
+    |> List.for_all (fun l -> l <> "secret"))
+
+let test_xml_path_addressing () =
+  (* HTML marks reuse slash paths over the parsed DOM. *)
+  let path = Path.of_string_exn "/html/body/table/tr[2]/td[2]" in
+  match Path.resolve lab_page path with
+  | Some (Path.Resolved_element n) -> check "K value" "4.2" (Node.text_content n)
+  | _ -> Alcotest.fail "path did not resolve"
+
+let test_is_void () =
+  check_bool "br" true (Htmldoc.is_void "br");
+  check_bool "div" false (Htmldoc.is_void "div")
+
+let test_outline () =
+  let page =
+    Htmldoc.parse
+      "<body><h1>One</h1><p>x</p><h2>One.A</h2><h3>One.A.i</h3>\
+       <h2>One.B</h2><h1>Two</h1><h3>Two (deep)</h3></body>"
+  in
+  let rec render entries =
+    List.map
+      (fun (e : Htmldoc.outline_entry) ->
+        Printf.sprintf "%d:%s%s" e.Htmldoc.level e.Htmldoc.heading
+          (match render e.Htmldoc.children with
+          | [] -> ""
+          | kids -> "(" ^ String.concat " " kids ^ ")"))
+      entries
+  in
+  Alcotest.(check (list string))
+    "outline"
+    [ "1:One(2:One.A(3:One.A.i) 2:One.B)"; "1:Two(3:Two (deep))" ]
+    (render (Htmldoc.outline page));
+  check_bool "no headings" true (Htmldoc.outline (Htmldoc.parse "<p>x</p>") = [])
+
+(* ------------------------------------------------------- CSS selectors *)
+
+let selector_page =
+  Htmldoc.parse
+    "<html><body>\
+     <div class=\"panel warn\" id=\"top\"><p class=\"lead\">alpha</p>\
+     <ul><li>one</li><li class=\"hot\">two</li></ul></div>\
+     <div class=\"panel\"><p>beta</p>\
+     <span data-role=\"badge\">b1</span></div>\
+     <p class=\"lead\">gamma</p>\
+     <input type=\"submit\" value=\"Go\">\
+     </body></html>"
+
+let q s =
+  match Selector.query selector_page s with
+  | Ok nodes -> List.map Node.text_content nodes
+  | Error e -> Alcotest.failf "selector %S failed: %s" s e
+
+let test_selector_basic () =
+  Alcotest.(check (list string)) "by tag" [ "alpha"; "beta"; "gamma" ]
+    (q "p");
+  Alcotest.(check (list string)) "by class" [ "alpha"; "gamma" ] (q ".lead");
+  Alcotest.(check (list string)) "by id" [ "alphaonetwo" ] (q "#top");
+  Alcotest.(check (list string)) "tag+class" [ "alpha"; "gamma" ] (q "p.lead");
+  Alcotest.(check (list string)) "two classes" [ "alphaonetwo" ]
+    (q "div.panel.warn");
+  Alcotest.(check (list string)) "star" [ "two" ] (q "*.hot")
+
+let test_selector_attributes () =
+  Alcotest.(check (list string)) "presence" [ "b1" ] (q "[data-role]");
+  Alcotest.(check (list string)) "equality" [ "" ] (q "input[type=submit]");
+  Alcotest.(check (list string)) "no match" [] (q "[type=reset]")
+
+let test_selector_combinators () =
+  Alcotest.(check (list string)) "descendant" [ "alpha" ] (q "#top p");
+  Alcotest.(check (list string)) "deep descendant" [ "one"; "two" ]
+    (q "div li");
+  Alcotest.(check (list string)) "child" [ "one"; "two" ] (q "ul > li");
+  (* p is a grandchild of body via div, but also a direct child (gamma). *)
+  Alcotest.(check (list string)) "child excludes grandchildren" [ "gamma" ]
+    (q "body > p");
+  Alcotest.(check (list string)) "three levels" [ "two" ]
+    (q "div.warn ul > li.hot")
+
+let test_selector_alternation () =
+  Alcotest.(check (list string)) "comma" [ "alpha"; "two"; "gamma" ]
+    (q "p.lead, li.hot");
+  (* A node matching two alternatives appears once. *)
+  Alcotest.(check (list string)) "dedup" [ "alpha"; "beta"; "gamma" ]
+    (q "p, p")
+
+let test_selector_parse_roundtrip () =
+  List.iter
+    (fun s ->
+      let t = Selector.parse_exn s in
+      check ("roundtrip " ^ s) s (Selector.to_string (Selector.parse_exn (Selector.to_string t))))
+    [ "p"; ".lead"; "#top"; "p.lead"; "div.panel.warn"; "[data-role]";
+      "input[type=submit]"; "#top p"; "ul > li"; "p.lead, li.hot" ]
+
+let test_selector_errors () =
+  List.iter
+    (fun s ->
+      match Selector.parse s with
+      | Ok _ -> Alcotest.failf "expected selector error on %S" s
+      | Error _ -> ())
+    [ ""; ">"; "> p"; "#"; "."; "["; "[attr"; "p,," ]
+
+let test_selector_mark () =
+  (* End to end through the Mark Manager. *)
+  let desk = Si_mark.Desktop.create () in
+  Si_mark.Desktop.add_html desk "sel.html"
+    "<html><body><ul><li>one</li><li class=\"hot\">two</li></ul></body></html>";
+  let mgr = Si_mark.Manager.create () in
+  Si_mark.Desktop.install_modules desk mgr;
+  let root = Result.get_ok (Si_mark.Desktop.open_html desk "sel.html") in
+  let fields =
+    match
+      Si_mark.Html_mark.capture_selector root ~file_name:"sel.html"
+        "ul > li.hot"
+    with
+    | Ok f -> f
+    | Error e -> Alcotest.fail e
+  in
+  match Si_mark.Manager.create_mark mgr ~mark_type:"html" ~fields () with
+  | Error e -> Alcotest.fail e
+  | Ok mark ->
+      check "selector excerpt" "two"
+        (Result.get_ok
+           (Si_mark.Manager.resolve_with mgr mark.Si_mark.Mark.mark_id
+              Si_mark.Mark.Extract_content));
+      check_bool "bad selector capture" true
+        (Result.is_error
+           (Si_mark.Html_mark.capture_selector root ~file_name:"sel.html"
+              ".nothing-here"))
+
+(* Property: selector results are sound — every selected node matches its
+   selector given its true ancestor chain, and select is stable across
+   repeated runs. *)
+let gen_soup =
+  QCheck.Gen.(
+    let* n = int_range 0 25 in
+    let* parts =
+      list_size (return n)
+        (oneofl
+           [ "<div class=\"a\">"; "<div class=\"b\" id=\"x\">"; "<p>";
+             "</div>"; "</p>"; "<ul><li>i"; "</ul>"; "text ";
+             "<span data-k=\"v\">s</span>" ])
+    in
+    return (String.concat "" parts))
+
+let prop_selector_sound =
+  QCheck.Test.make ~name:"selected nodes really match" ~count:150
+    (QCheck.make
+       QCheck.Gen.(pair gen_soup (oneofl [ "div"; ".a"; "#x"; "div p";
+                                           "ul > li"; "[data-k]"; "div.a, p" ]))
+       ~print:(fun (soup, sel) -> sel ^ " @ " ^ soup))
+    (fun (soup, sel_text) ->
+      let root = Htmldoc.parse soup in
+      let sel = Selector.parse_exn sel_text in
+      let selected = Selector.select root sel in
+      (* Recompute each node's ancestors and re-check the match. *)
+      let ancestors_of target =
+        let rec find path node =
+          if node == target then Some path
+          else
+            List.fold_left
+              (fun acc child ->
+                match acc with
+                | Some _ -> acc
+                | None -> find (node :: path) child)
+              None (Node.children node)
+        in
+        find [] root
+      in
+      List.for_all
+        (fun n ->
+          match ancestors_of n with
+          | Some ancestors -> Selector.matches_element ~ancestors n sel
+          | None -> false)
+        selected
+      && Selector.select root sel = selected)
+
+let selector_props = List.map QCheck_alcotest.to_alcotest [ prop_selector_sound ]
+
+let test_never_raises () =
+  (* Torture inputs: the parser must always return something. *)
+  List.iter
+    (fun s -> ignore (Htmldoc.parse s))
+    [
+      ""; "<"; "<>"; "</"; "</x"; "<x"; "<x "; "<x a"; "<x a="; "<x a='";
+      "<<<<"; "&"; "&;"; "&#xZZ;"; "<!--"; "<!"; "<script>never closed";
+      "</closes-nothing>"; "<p></p></p></p>"; "<a b=c d='e' f=\"g\" h>";
+    ]
+
+let suite =
+  [
+    ("well-formed input", `Quick, test_well_formed);
+    ("case-insensitive tags", `Quick, test_case_insensitive_tags);
+    ("void elements", `Quick, test_void_elements);
+    ("self-closing syntax", `Quick, test_self_closing);
+    ("implied <p> close", `Quick, test_implied_p_close);
+    ("implied <li> close", `Quick, test_implied_li_close);
+    ("table soup", `Quick, test_table_soup);
+    ("unmatched close ignored", `Quick, test_unmatched_close_ignored);
+    ("unclosed at EOF", `Quick, test_unclosed_at_eof);
+    ("attribute varieties", `Quick, test_attributes_varieties);
+    ("entities decoded", `Quick, test_entities_decoded);
+    ("comments & doctype", `Quick, test_comments_and_doctype);
+    ("script raw text", `Quick, test_script_raw_text);
+    ("multiple roots wrapped", `Quick, test_multiple_roots_wrapped);
+    ("title", `Quick, test_title);
+    ("element_by_id", `Quick, test_element_by_id);
+    ("anchors", `Quick, test_anchors);
+    ("links", `Quick, test_links);
+    ("elements_by_tag", `Quick, test_elements_by_tag);
+    ("to_text", `Quick, test_to_text);
+    ("xml-path addressing works on HTML", `Quick, test_xml_path_addressing);
+    ("is_void", `Quick, test_is_void);
+    ("outline", `Quick, test_outline);
+    ("selectors: basic", `Quick, test_selector_basic);
+    ("selectors: attributes", `Quick, test_selector_attributes);
+    ("selectors: combinators", `Quick, test_selector_combinators);
+    ("selectors: alternation", `Quick, test_selector_alternation);
+    ("selectors: parse round-trip", `Quick, test_selector_parse_roundtrip);
+    ("selectors: parse errors", `Quick, test_selector_errors);
+    ("selectors: as mark addresses", `Quick, test_selector_mark);
+    ("parser never raises", `Quick, test_never_raises);
+  ]
+  @ selector_props

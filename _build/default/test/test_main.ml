@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "superimposed"
+    [
+      ("xmlk", Test_xmlk.suite);
+      ("textdoc", Test_textdoc.suite);
+      ("spreadsheet", Test_spreadsheet.suite);
+      ("wordproc", Test_wordproc.suite);
+      ("slides", Test_slides.suite);
+      ("pdfdoc", Test_pdfdoc.suite);
+      ("htmldoc", Test_htmldoc.suite);
+      ("triple", Test_triple.suite);
+      ("metamodel", Test_metamodel.suite);
+      ("mark", Test_mark.suite);
+      ("slim", Test_slim.suite);
+      ("mapping", Test_mapping.suite);
+      ("query", Test_query.suite);
+      ("slimpad", Test_slimpad.suite);
+      ("generic-dmi", Test_generic_dmi.suite);
+      ("rdf & models", Test_rdf.suite);
+      ("robustness", Test_robustness.suite);
+      ("workload", Test_workload.suite);
+      ("tui", Test_tui.suite);
+    ]

@@ -1,0 +1,350 @@
+(* Tests for cross-model mappings (paper §4.3 / [4]; experiment E6). *)
+
+module Model = Si_metamodel.Model
+module Trim = Si_triple.Trim
+module Triple = Si_triple.Triple
+module Mapping = Si_mapping.Mapping
+
+let check = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Source: the Bundle-Scrap shape. Target: a topic-map-like model (topics
+   with occurrences), as in the paper's flexibility discussion. *)
+let worlds () =
+  let trim = Trim.create () in
+  let bs = Model.define trim ~name:"bundle-scrap-mini" in
+  let bundle = Model.construct bs "Bundle" in
+  let scrap = Model.construct bs "Scrap" in
+  let str = Model.literal_construct bs "String" in
+  let _ = Model.connect bs ~name:"bundleName" ~from_:bundle ~to_:str () in
+  let _ = Model.connect bs ~name:"bundleContent" ~from_:bundle ~to_:scrap () in
+  let _ = Model.connect bs ~name:"scrapName" ~from_:scrap ~to_:str () in
+  let _ = Model.connect bs ~name:"scrapNote" ~from_:scrap ~to_:str () in
+  let tm = Model.define trim ~name:"topicmap" in
+  let topic = Model.construct tm "Topic" in
+  let occurrence = Model.construct tm "Occurrence" in
+  let tstr = Model.literal_construct tm "String" in
+  let _ = Model.connect tm ~name:"topicName" ~from_:topic ~to_:tstr () in
+  let _ = Model.connect tm ~name:"hasOccurrence" ~from_:topic ~to_:occurrence () in
+  let _ = Model.connect tm ~name:"occValue" ~from_:occurrence ~to_:tstr () in
+  (* Instance data in the source model. *)
+  let b = Model.new_instance bs bundle () in
+  Model.set_property bs b "bundleName" (Triple.literal "John Smith");
+  let s1 = Model.new_instance bs scrap () in
+  Model.set_property bs s1 "scrapName" (Triple.literal "Dopamine");
+  Model.set_property bs s1 "scrapNote" (Triple.literal "check dose");
+  let s2 = Model.new_instance bs scrap () in
+  Model.set_property bs s2 "scrapName" (Triple.literal "Fentanyl");
+  Model.add_property bs b "bundleContent" (Triple.resource s1);
+  Model.add_property bs b "bundleContent" (Triple.resource s2);
+  (trim, bs, tm, b, s1)
+
+let standard_mapping bs tm =
+  Mapping.create ~source:bs ~target:tm
+  |> Fun.flip Mapping.add_rule_exn
+       {
+         Mapping.from_construct = "Bundle";
+         to_construct = "Topic";
+         property_map =
+           [ ("bundleName", "topicName"); ("bundleContent", "hasOccurrence") ];
+       }
+  |> Fun.flip Mapping.add_rule_exn
+       {
+         Mapping.from_construct = "Scrap";
+         to_construct = "Occurrence";
+         property_map = [ ("scrapName", "occValue") ];
+       }
+
+let test_rule_validation () =
+  let _, bs, tm, _, _ = worlds () in
+  let m = Mapping.create ~source:bs ~target:tm in
+  check_bool "unknown source construct" true
+    (Result.is_error
+       (Mapping.add_rule m
+          { Mapping.from_construct = "Nope"; to_construct = "Topic";
+            property_map = [] }));
+  check_bool "unknown target construct" true
+    (Result.is_error
+       (Mapping.add_rule m
+          { Mapping.from_construct = "Bundle"; to_construct = "Nope";
+            property_map = [] }));
+  check_bool "unknown target predicate" true
+    (Result.is_error
+       (Mapping.add_rule m
+          { Mapping.from_construct = "Bundle"; to_construct = "Topic";
+            property_map = [ ("bundleName", "noSuchConnector") ] }));
+  check_bool "good rule" true
+    (Result.is_ok
+       (Mapping.add_rule m
+          { Mapping.from_construct = "Bundle"; to_construct = "Topic";
+            property_map = [ ("bundleName", "topicName") ] }))
+
+let test_apply () =
+  let trim, bs, tm, b, s1 = worlds () in
+  let report = Mapping.apply (standard_mapping bs tm) in
+  check_int "instances" 3 report.Mapping.instances_mapped;
+  (* bundleName + 2 bundleContent + 2 scrapName = 5 mapped;
+     scrapNote dropped. *)
+  check_int "properties mapped" 5 report.Mapping.properties_mapped;
+  check_int "dropped" 1 report.Mapping.properties_dropped;
+  check_int "dangling" 0 report.Mapping.dangling_rewrites;
+  (* The topic really exists with a rewritten reference. *)
+  let topic = List.assoc b report.Mapping.correspondence in
+  check "topic name" "John Smith"
+    (Option.get (Trim.literal_of trim ~subject:topic ~predicate:"topicName"));
+  let occ1 = List.assoc s1 report.Mapping.correspondence in
+  check_bool "occurrence reachable from topic" true
+    (List.exists
+       (fun (tr : Triple.t) -> tr.object_ = Triple.Resource occ1)
+       (Trim.select ~subject:topic ~predicate:"hasOccurrence" trim));
+  (* Target instances conform to their sources (provenance). *)
+  Alcotest.(check (list string)) "conformance" [ b ]
+    (Model.conforms_to trim topic);
+  (* The materialized topic map is valid in its own model. *)
+  check_int "target model valid" 0
+    (List.length (Si_metamodel.Validate.check tm).Si_metamodel.Validate.violations)
+
+let test_apply_dangling () =
+  let _, bs, tm, b, _ = worlds () in
+  (* Reference to an unmapped resource: a Bundle pointing at itself via a
+     property whose rule exists, but whose referent has no counterpart
+     (remove the Scrap rule). *)
+  let m =
+    Mapping.create ~source:bs ~target:tm
+    |> Fun.flip Mapping.add_rule_exn
+         {
+           Mapping.from_construct = "Bundle";
+           to_construct = "Topic";
+           property_map =
+             [ ("bundleName", "topicName"); ("bundleContent", "hasOccurrence") ];
+         }
+  in
+  let report = Mapping.apply m in
+  check_int "dangling counted" 2 report.Mapping.dangling_rewrites;
+  check_bool "bundle still mapped" true
+    (List.mem_assoc b report.Mapping.correspondence)
+
+let test_schema_to_model () =
+  (* Promote relational Tables (instances) into constructs of a fresh
+     model — the paper's schema-to-model direction. *)
+  let trim = Trim.create () in
+  let rel = Model.define trim ~name:"relational" in
+  let table = Model.construct rel "Table" in
+  let str = Model.literal_construct rel "String" in
+  let _ = Model.connect rel ~name:"tableName" ~from_:table ~to_:str () in
+  let employees = Model.new_instance rel table () in
+  Model.set_property rel employees "tableName" (Triple.literal "Employees");
+  let depts = Model.new_instance rel table () in
+  Model.set_property rel depts "tableName" (Triple.literal "Departments");
+  let target = Model.define trim ~name:"promoted" in
+  let created =
+    match
+      Mapping.schema_to_model ~source:rel ~instance_construct:"Table"
+        ~name_predicate:"tableName" ~target
+    with
+    | Ok cs -> cs
+    | Error e -> Alcotest.fail e
+  in
+  check_int "two constructs" 2 (List.length created);
+  check_bool "Employees is now a construct" true
+    (Model.find_construct target "Employees" <> None);
+  check_bool "provenance recorded" true
+    (Model.conforms_to trim
+       (Option.get (Model.find_construct target "Employees"))
+       .Model.construct_id
+    = [ employees ]);
+  check_bool "unknown construct" true
+    (Result.is_error
+       (Mapping.schema_to_model ~source:rel ~instance_construct:"Nope"
+          ~name_predicate:"tableName" ~target))
+
+(* ----------------------------------------------------- schema diff *)
+
+module Schema_diff = Si_mapping.Schema_diff
+
+let v1 trim =
+  let m = Model.define trim ~name:"v1" in
+  let s = Model.literal_construct m "String" in
+  let a = Model.construct m "A" in
+  let b = Model.construct m "B" in
+  Model.generalize m ~sub:b ~super:a;
+  ignore (Model.connect m ~name:"name" ~from_:a ~to_:s ~card:Model.one_card ());
+  ignore (Model.connect m ~name:"drop" ~from_:a ~to_:s ());
+  m
+
+let test_diff_empty () =
+  let trim = Trim.create () in
+  let m = v1 trim in
+  Alcotest.(check (list string)) "self diff" []
+    (List.map Schema_diff.change_to_string (Schema_diff.diff m m));
+  check_bool "compatible" true
+    (Schema_diff.is_backward_compatible (Schema_diff.diff m m))
+
+let test_diff_changes () =
+  let trim = Trim.create () in
+  let old_m = v1 trim in
+  let new_m =
+    let m = Model.define trim ~name:"v2" in
+    let s = Model.literal_construct m "String" in
+    let a = Model.construct m "A" in
+    (* B removed, C added; name's cardinality widened; drop removed; a new
+       optional connector and a new required one. *)
+    let c = Model.construct m "C" in
+    ignore c;
+    ignore (Model.connect m ~name:"name" ~from_:a ~to_:s ~card:Model.any_card ());
+    ignore
+      (Model.connect m ~name:"note" ~from_:a ~to_:s ~card:Model.optional_card ());
+    ignore
+      (Model.connect m ~name:"must" ~from_:a ~to_:s ~card:Model.one_card ());
+    m
+  in
+  let changes = Schema_diff.diff old_m new_m in
+  let strings = List.map Schema_diff.change_to_string changes in
+  Alcotest.(check (list string))
+    "changes"
+    [
+      "+ A.must (min 1)"; "+ A.note (min 0)"; "+ construct C";
+      "- A.drop"; "- B isa A"; "- construct B";
+      "~ A.name cardinality: 1..1 -> 0..*";
+    ]
+    (List.sort compare strings);
+  check_bool "breaking" false (Schema_diff.is_backward_compatible changes)
+
+let test_diff_compatible_additions () =
+  let trim = Trim.create () in
+  let old_m = v1 trim in
+  let new_m =
+    let m = Model.define trim ~name:"v1plus" in
+    let s = Model.literal_construct m "String" in
+    let a = Model.construct m "A" in
+    let b = Model.construct m "B" in
+    Model.generalize m ~sub:b ~super:a;
+    ignore (Model.connect m ~name:"name" ~from_:a ~to_:s ~card:Model.one_card ());
+    ignore (Model.connect m ~name:"drop" ~from_:a ~to_:s ());
+    (* Purely additive, optional. *)
+    let extra = Model.construct m "Extra" in
+    Model.generalize m ~sub:extra ~super:a;
+    ignore
+      (Model.connect m ~name:"tag" ~from_:a ~to_:s ~card:Model.optional_card ());
+    m
+  in
+  let changes = Schema_diff.diff old_m new_m in
+  check_bool "nonempty" true (changes <> []);
+  check_bool "compatible" true (Schema_diff.is_backward_compatible changes)
+
+let test_diff_rekind_and_range () =
+  let trim = Trim.create () in
+  let old_m = v1 trim in
+  let new_m =
+    let m = Model.define trim ~name:"v3" in
+    let s = Model.literal_construct m "String" in
+    let a = Model.construct m "A" in
+    (* B is now a literal construct; name now ranges over B. *)
+    let b = Model.literal_construct m "B" in
+    ignore (Model.connect m ~name:"name" ~from_:a ~to_:b ~card:Model.one_card ());
+    ignore (Model.connect m ~name:"drop" ~from_:a ~to_:s ());
+    m
+  in
+  let strings =
+    List.map Schema_diff.change_to_string (Schema_diff.diff old_m new_m)
+  in
+  check_bool "rekind reported" true
+    (List.mem "~ construct B: construct -> literal" strings);
+  check_bool "range change reported" true
+    (List.mem "~ A.name range: String -> B" strings)
+
+let test_report_rendering () =
+  let _, bs, tm, _, _ = worlds () in
+  let report = Mapping.apply (standard_mapping bs tm) in
+  let text = Format.asprintf "%a" Mapping.pp_report report in
+  check_bool "mentions counts" true
+    (let re = Re.compile (Re.str "mapped 3 instance(s)") in
+     Re.execp re text)
+
+(* Property: whatever valid source instances look like, applying the
+   standard mapping yields a target store that validates in its own
+   model. *)
+let prop_apply_yields_valid_target =
+  QCheck.Test.make ~name:"mapping output is always model-valid" ~count:60
+    QCheck.(pair (int_range 0 6) (int_range 0 12))
+    (fun (bundles, scraps) ->
+      let trim = Trim.create () in
+      let bs = Model.define trim ~name:"src-prop" in
+      let bundle = Model.construct bs "Bundle" in
+      let scrap = Model.construct bs "Scrap" in
+      let str = Model.literal_construct bs "String" in
+      ignore (Model.connect bs ~name:"bundleName" ~from_:bundle ~to_:str ());
+      ignore
+        (Model.connect bs ~name:"bundleContent" ~from_:bundle ~to_:scrap ());
+      ignore (Model.connect bs ~name:"scrapName" ~from_:scrap ~to_:str ());
+      let tm = Model.define trim ~name:"tgt-prop" in
+      let topic = Model.construct tm "Topic" in
+      let occurrence = Model.construct tm "Occurrence" in
+      let tstr = Model.literal_construct tm "String" in
+      ignore
+        (Model.connect tm ~name:"topicName" ~from_:topic ~to_:tstr
+           ~card:Model.optional_card ());
+      ignore
+        (Model.connect tm ~name:"hasOccurrence" ~from_:topic ~to_:occurrence ());
+      ignore
+        (Model.connect tm ~name:"occValue" ~from_:occurrence ~to_:tstr
+           ~card:Model.optional_card ());
+      let scrap_ids =
+        List.init scraps (fun i ->
+            let s = Model.new_instance bs scrap () in
+            Model.set_property bs s "scrapName"
+              (Triple.literal (Printf.sprintf "s%d" i));
+            s)
+      in
+      List.iteri
+        (fun i _ ->
+          let b = Model.new_instance bs bundle () in
+          Model.set_property bs b "bundleName"
+            (Triple.literal (Printf.sprintf "b%d" i));
+          List.iteri
+            (fun j s ->
+              if (i + j) mod 3 = 0 then
+                Model.add_property bs b "bundleContent" (Triple.resource s))
+            scrap_ids)
+        (List.init bundles Fun.id);
+      let mapping =
+        Mapping.create ~source:bs ~target:tm
+        |> Fun.flip Mapping.add_rule_exn
+             {
+               Mapping.from_construct = "Bundle";
+               to_construct = "Topic";
+               property_map =
+                 [
+                   ("bundleName", "topicName");
+                   ("bundleContent", "hasOccurrence");
+                 ];
+             }
+        |> Fun.flip Mapping.add_rule_exn
+             {
+               Mapping.from_construct = "Scrap";
+               to_construct = "Occurrence";
+               property_map = [ ("scrapName", "occValue") ];
+             }
+      in
+      let report = Mapping.apply mapping in
+      report.Mapping.instances_mapped = bundles + scraps
+      && (Si_metamodel.Validate.check tm).Si_metamodel.Validate.violations
+         = [])
+
+let props =
+  List.map QCheck_alcotest.to_alcotest [ prop_apply_yields_valid_target ]
+
+let suite =
+  [
+    ("rule validation", `Quick, test_rule_validation);
+    ("apply model-to-model", `Quick, test_apply);
+    ("dangling rewrites counted", `Quick, test_apply_dangling);
+    ("schema-to-model promotion", `Quick, test_schema_to_model);
+    ("diff: identity", `Quick, test_diff_empty);
+    ("diff: changes reported", `Quick, test_diff_changes);
+    ("diff: compatible additions", `Quick, test_diff_compatible_additions);
+    ("diff: rekind & range", `Quick, test_diff_rekind_and_range);
+    ("report rendering", `Quick, test_report_rendering);
+  ]
+  @ props

@@ -1,0 +1,608 @@
+(* Tests for the Mark Manager and the seven mark modules
+   (paper §4.2, Figs 6–8; experiments F6, F7, F8, E5). *)
+
+open Si_mark
+
+let check = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+(* A desktop with one document of every kind. *)
+let fixture () =
+  let desk = Desktop.create () in
+  (* Spreadsheet: the medication list of Fig 4. *)
+  let wb =
+    Si_spreadsheet.Workbook.create ~sheet_names:[ "Medications" ] ()
+  in
+  let set a v = Si_spreadsheet.Workbook.set wb ~sheet_name:"Medications" a v in
+  set "A1" "Drug";
+  set "B1" "Dose";
+  set "A2" "Dopamine";
+  set "B2" "5";
+  set "A3" "Fentanyl";
+  set "B3" "0.05";
+  Desktop.add_workbook desk "meds.xls" wb;
+  (* XML: the lab report. *)
+  let labs =
+    Si_xmlk.Parse.node_exn
+      "<report><patient>John Smith</patient><panel name=\"electrolytes\">\
+       <result test=\"Na\" units=\"mmol/L\">140</result>\
+       <result test=\"K\" units=\"mmol/L\">4.2</result></panel></report>"
+  in
+  Desktop.add_xml desk "labs.xml" labs;
+  (* Text note. *)
+  Desktop.add_text desk "note.txt"
+    (Si_textdoc.Textdoc.of_lines
+       [ "Patient: John Smith"; "Plan: wean pressors"; "Call renal." ]);
+  (* Word document. *)
+  let word = Si_wordproc.Wordproc.create ~title:"Admission Note" () in
+  Si_wordproc.Wordproc.append_paragraph word
+    "Admitted with sepsis and acute renal failure.";
+  let dx = Option.get (Si_wordproc.Wordproc.find_first word "sepsis") in
+  (match Si_wordproc.Wordproc.add_bookmark word ~name:"dx" dx with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  Desktop.add_word desk "admission.doc" word;
+  (* Slides. *)
+  let deck = Si_slides.Slides.create ~title:"Morning Report" () in
+  let s1 = Si_slides.Slides.add_slide deck ~title:"Case" in
+  let _ =
+    Si_slides.Slides.add_shape s1 ~id:"problems"
+      (Si_slides.Slides.Bullets [ "Septic shock"; "ARF" ])
+  in
+  Desktop.add_slides desk "rounds.ppt" deck;
+  (* PDF. *)
+  let pdf = Si_pdfdoc.Pdfdoc.create ~title:"Guideline" () in
+  let p1 = Si_pdfdoc.Pdfdoc.add_page pdf in
+  let _ = Si_pdfdoc.Pdfdoc.add_line p1 ~y:100. "MAP >= 65 mmHg" in
+  Desktop.add_pdf desk "guideline.pdf" pdf;
+  (* HTML. *)
+  Desktop.add_html desk "wiki.html"
+    "<html><head><title>Sepsis</title></head><body>\
+     <h1 id=\"tx\">Treatment</h1><p>Start antibiotics early.</p></body></html>";
+  let mgr = Manager.create () in
+  Desktop.install_modules desk mgr;
+  (desk, mgr)
+
+(* ------------------------------------------------- registry behaviour *)
+
+let test_registry () =
+  let _, mgr = fixture () in
+  Alcotest.(check (list string))
+    "module names"
+    [ "excel"; "html"; "pdf"; "slides"; "text"; "word"; "xml" ]
+    (Manager.module_names mgr);
+  Alcotest.(check (list string))
+    "supported types"
+    [ "excel"; "html"; "pdf"; "slides"; "text"; "word"; "xml" ]
+    (Manager.supported_types mgr);
+  check_bool "duplicate rejected" true
+    (Result.is_error
+       (Manager.register mgr
+          {
+            Manager.module_name = "excel";
+            handles_type = "excel";
+            validate = (fun _ -> Ok ());
+            resolve = (fun _ -> Error "stub");
+          }))
+
+let test_unknown_type_rejected () =
+  let _, mgr = fixture () in
+  check_bool "create fails" true
+    (Result.is_error
+       (Manager.create_mark mgr ~mark_type:"hologram" ~fields:[] ()))
+
+(* ------------------------------------------------- per-type round trips *)
+
+(* F7: for every base type — capture fields from a selection, create the
+   mark, resolve it, and get the element's content back. *)
+
+let test_excel_mark () =
+  let desk, mgr = fixture () in
+  let wb = ok (Desktop.open_workbook desk "meds.xls") in
+  let fields =
+    Excel_mark.capture wb ~file_name:"meds.xls" ~sheet_name:"Medications"
+      ~range:(Si_spreadsheet.Cellref.of_string_exn "A2:B2")
+  in
+  let mark = ok (Manager.create_mark mgr ~mark_type:"excel" ~fields ()) in
+  check "excerpt cached" "Dopamine\t5" mark.Mark.excerpt;
+  let res = ok (Manager.resolve mgr mark.Mark.mark_id) in
+  check "excerpt" "Dopamine\t5" res.Mark.res_excerpt;
+  check_bool "context shows selection brackets" true
+    (let re = Re.compile (Re.str "[Dopamine]\t[5]") in
+     Re.execp re res.Mark.res_context);
+  check "source" "meds.xls!Medications!A2:B2" res.Mark.res_source
+
+let test_excel_mark_fields_fig8 () =
+  (* Fig 8 exactly: markId, fileName, sheetName, range. *)
+  let _, mgr = fixture () in
+  let fields =
+    [ ("fileName", "meds.xls"); ("sheetName", "Medications"); ("range", "B2") ]
+  in
+  let mark = ok (Manager.create_mark mgr ~mark_type:"excel" ~fields ()) in
+  check "fileName" "meds.xls" (Mark.field_exn mark "fileName");
+  check "sheetName" "Medications" (Mark.field_exn mark "sheetName");
+  check "range" "B2" (Mark.field_exn mark "range");
+  check "resolves to the cell" "5"
+    (ok (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content))
+
+let test_excel_bad_addresses () =
+  let _, mgr = fixture () in
+  let try_fields fields =
+    Result.is_error (Manager.create_mark mgr ~mark_type:"excel" ~fields ())
+  in
+  check_bool "bad range" true
+    (try_fields
+       [ ("fileName", "meds.xls"); ("sheetName", "Medications");
+         ("range", "ZZZ") ]);
+  check_bool "missing field" true
+    (try_fields [ ("fileName", "meds.xls"); ("range", "A1") ]);
+  check_bool "unknown sheet" true
+    (try_fields
+       [ ("fileName", "meds.xls"); ("sheetName", "Nope"); ("range", "A1") ]);
+  check_bool "unknown file" true
+    (try_fields
+       [ ("fileName", "gone.xls"); ("sheetName", "Medications");
+         ("range", "A1") ])
+
+let test_excel_mark_defined_name () =
+  (* A mark addressing a defined name survives row insertion in the base
+     workbook, while a literal-range mark goes stale — the Excel analogue
+     of text-mark re-anchoring. *)
+  let desk, mgr = fixture () in
+  let wb = ok (Desktop.open_workbook desk "meds.xls") in
+  (match
+     Si_spreadsheet.Workbook.define_name wb ~name:"Fentanyl_row"
+       ~sheet_name:"Medications"
+       (Si_spreadsheet.Cellref.of_string_exn "A3:B3")
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let name_fields =
+    ok (Excel_mark.capture_name wb ~file_name:"meds.xls" "Fentanyl_row")
+  in
+  let by_name =
+    ok (Manager.create_mark mgr ~mark_type:"excel" ~fields:name_fields ())
+  in
+  let by_range =
+    ok
+      (Manager.create_mark mgr ~mark_type:"excel"
+         ~fields:
+           [ ("fileName", "meds.xls"); ("sheetName", "Medications");
+             ("range", "A3:B3") ]
+         ())
+  in
+  check "both see fentanyl" "Fentanyl\t0.05"
+    (ok (Manager.resolve_with mgr by_name.Mark.mark_id Mark.Extract_content));
+  (* Two rows inserted above: the named mark follows, the range mark now
+     reads the wrong (empty) cells. *)
+  (match
+     Si_spreadsheet.Workbook.insert_rows wb ~sheet_name:"Medications" ~at:2
+       ~count:2 ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check "named mark follows the rows" "Fentanyl\t0.05"
+    (ok (Manager.resolve_with mgr by_name.Mark.mark_id Mark.Extract_content));
+  check "range mark is stale" "\t"
+    (ok (Manager.resolve_with mgr by_range.Mark.mark_id Mark.Extract_content));
+  (* Drift detection flags exactly the stale one. *)
+  check_bool "named unchanged" true
+    (ok (Manager.check_drift mgr by_name.Mark.mark_id) = Manager.Unchanged);
+  (match ok (Manager.check_drift mgr by_range.Mark.mark_id) with
+  | Manager.Changed _ -> ()
+  | _ -> Alcotest.fail "expected the range mark to report drift");
+  (* Unknown names fail at capture and at resolution. *)
+  check_bool "capture unknown name" true
+    (Result.is_error (Excel_mark.capture_name wb ~file_name:"meds.xls" "Nope"));
+  ignore (Si_spreadsheet.Workbook.remove_name wb "Fentanyl_row");
+  check_bool "resolution after name removal" true
+    (Result.is_error (Manager.resolve mgr by_name.Mark.mark_id))
+
+let test_xml_mark () =
+  let desk, mgr = fixture () in
+  let root = ok (Desktop.open_xml desk "labs.xml") in
+  (* Select the K result element (second result of the panel). *)
+  let node =
+    Option.get
+      (Si_xmlk.Path.resolve_element root
+         (Si_xmlk.Path.of_string_exn "/report/panel/result[2]"))
+  in
+  let fields = ok (Xml_mark.capture ~root ~file_name:"labs.xml" node) in
+  check "xmlPath field (Fig 8)" "/report/panel/result[2]"
+    (List.assoc "xmlPath" fields);
+  let mark = ok (Manager.create_mark mgr ~mark_type:"xml" ~fields ()) in
+  let res = ok (Manager.resolve mgr mark.Mark.mark_id) in
+  check "excerpt" "4.2" res.Mark.res_excerpt;
+  check_bool "context is the panel" true
+    (let re = Re.compile (Re.str "electrolytes") in
+     Re.execp re res.Mark.res_context);
+  check "source" "labs.xml#/report/panel/result[2]" res.Mark.res_source
+
+let test_xml_mark_attribute_target () =
+  let _, mgr = fixture () in
+  let fields =
+    [ ("fileName", "labs.xml"); ("xmlPath", "/report/panel/@name") ]
+  in
+  let mark = ok (Manager.create_mark mgr ~mark_type:"xml" ~fields ()) in
+  check "attribute excerpt" "electrolytes"
+    (ok (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content))
+
+let test_xml_mark_reanchor () =
+  (* The lab report gets restructured: a new panel is prepended, so the
+     stored path points at the wrong element — but the mark remembers the
+     selection and re-anchors on content. *)
+  let desk, mgr = fixture () in
+  let root = ok (Desktop.open_xml desk "labs.xml") in
+  let node =
+    Option.get
+      (Si_xmlk.Path.resolve_element root
+         (Si_xmlk.Path.of_string_exn "/report/panel/result[2]"))
+  in
+  let fields = ok (Xml_mark.capture ~root ~file_name:"labs.xml" node) in
+  let mark = ok (Manager.create_mark mgr ~mark_type:"xml" ~fields ()) in
+  Desktop.add_xml desk "labs.xml"
+    (Si_xmlk.Parse.node_exn
+       "<report><panel name=\"cbc\"><result test=\"WBC\">12</result>\
+        <result test=\"Hgb\">9.1</result></panel>\
+        <panel name=\"electrolytes\">\
+        <result test=\"Na\">140</result>\
+        <result test=\"K\">4.2</result></panel></report>");
+  let res = ok (Manager.resolve mgr mark.Mark.mark_id) in
+  check "re-anchored on content" "4.2" res.Mark.res_excerpt;
+  check_bool "source shows effective path" true
+    (let re = Re.compile (Re.str "result[2]") in
+     Re.execp re res.Mark.res_source);
+  (* If the content vanishes entirely, resolution fails with a clear
+     message. *)
+  Desktop.add_xml desk "labs.xml" (Si_xmlk.Parse.node_exn "<report/>");
+  check_bool "gone" true (Result.is_error (Manager.resolve mgr mark.Mark.mark_id))
+
+let test_text_mark_and_reanchor () =
+  let desk, mgr = fixture () in
+  let doc = ok (Desktop.open_text desk "note.txt") in
+  let span = Option.get (Si_textdoc.Textdoc.find_first doc "wean pressors") in
+  let fields = ok (Text_mark.capture doc ~file_name:"note.txt" span) in
+  let mark = ok (Manager.create_mark mgr ~mark_type:"text" ~fields ()) in
+  check "excerpt" "wean pressors"
+    (ok (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content));
+  (* The note gets edited: a line is inserted before the plan. *)
+  Desktop.add_text desk "note.txt"
+    (Si_textdoc.Textdoc.of_lines
+       [
+         "Patient: John Smith"; "Overnight: afebrile";
+         "Plan: wean pressors"; "Call renal.";
+       ]);
+  check "still resolves after edit" "wean pressors"
+    (ok (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content))
+
+let test_word_mark_span_and_bookmark () =
+  let desk, mgr = fixture () in
+  let doc = ok (Desktop.open_word desk "admission.doc") in
+  let span = Option.get (Si_wordproc.Wordproc.find_first doc "renal failure") in
+  let span_fields =
+    ok (Word_mark.capture_span doc ~file_name:"admission.doc" span)
+  in
+  let m1 =
+    ok (Manager.create_mark mgr ~mark_type:"word" ~fields:span_fields ())
+  in
+  check "span excerpt" "renal failure"
+    (ok (Manager.resolve_with mgr m1.Mark.mark_id Mark.Extract_content));
+  let bm_fields =
+    ok (Word_mark.capture_bookmark doc ~file_name:"admission.doc" "dx")
+  in
+  let m2 =
+    ok (Manager.create_mark mgr ~mark_type:"word" ~fields:bm_fields ())
+  in
+  check "bookmark excerpt" "sepsis"
+    (ok (Manager.resolve_with mgr m2.Mark.mark_id Mark.Extract_content));
+  let res = ok (Manager.resolve mgr m2.Mark.mark_id) in
+  check_bool "context carries title" true
+    (let re = Re.compile (Re.str "Admission Note") in
+     Re.execp re res.Mark.res_context)
+
+let test_slides_mark () =
+  let desk, mgr = fixture () in
+  let deck = ok (Desktop.open_slides desk "rounds.ppt") in
+  let fields =
+    ok
+      (Slides_mark.capture deck ~file_name:"rounds.ppt"
+         { Si_slides.Slides.slide = 1; shape_id = "problems"; bullet = Some 2 })
+  in
+  let mark = ok (Manager.create_mark mgr ~mark_type:"slides" ~fields ()) in
+  check "bullet excerpt" "ARF"
+    (ok (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content));
+  check_bool "bad capture" true
+    (Result.is_error
+       (Slides_mark.capture deck ~file_name:"rounds.ppt"
+          { Si_slides.Slides.slide = 9; shape_id = "problems"; bullet = None }))
+
+let test_pdf_mark () =
+  let desk, mgr = fixture () in
+  let pdf = ok (Desktop.open_pdf desk "guideline.pdf") in
+  let page = Option.get (Si_pdfdoc.Pdfdoc.nth_page pdf 1) in
+  let fields =
+    ok
+      (Pdf_mark.capture pdf ~file_name:"guideline.pdf" ~page_number:1
+         (Si_pdfdoc.Pdfdoc.spans page))
+  in
+  let mark = ok (Manager.create_mark mgr ~mark_type:"pdf" ~fields ()) in
+  check "excerpt" "MAP >= 65 mmHg"
+    (ok (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content));
+  (* A region that selects nothing errors out. *)
+  check_bool "empty region" true
+    (Result.is_error
+       (Manager.create_mark mgr ~mark_type:"pdf"
+          ~fields:
+            [ ("fileName", "guideline.pdf"); ("page", "1"); ("x", "0");
+              ("y", "500"); ("w", "10"); ("h", "10") ]
+          ()))
+
+let test_html_mark () =
+  let desk, mgr = fixture () in
+  let root = ok (Desktop.open_html desk "wiki.html") in
+  let fields = ok (Html_mark.capture_anchor root ~file_name:"wiki.html" "tx") in
+  let mark = ok (Manager.create_mark mgr ~mark_type:"html" ~fields ()) in
+  check "anchor excerpt" "Treatment"
+    (ok (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content));
+  let res = ok (Manager.resolve mgr mark.Mark.mark_id) in
+  check "source has fragment" "wiki.html#tx" res.Mark.res_source;
+  check_bool "context has page title" true
+    (let re = Re.compile (Re.str "Sepsis") in
+     Re.execp re res.Mark.res_context);
+  (* Node-path addressing too. *)
+  let p =
+    Option.get
+      (Si_xmlk.Path.resolve_element root
+         (Si_xmlk.Path.of_string_exn "/html/body/p"))
+  in
+  let fields2 = ok (Html_mark.capture_node ~root ~file_name:"wiki.html" p) in
+  let m2 = ok (Manager.create_mark mgr ~mark_type:"html" ~fields:fields2 ()) in
+  check "node excerpt" "Start antibiotics early."
+    (ok (Manager.resolve_with mgr m2.Mark.mark_id Mark.Extract_content))
+
+(* ------------------------------------------- F6: the three behaviours *)
+
+let test_behaviours () =
+  let _, mgr = fixture () in
+  let fields =
+    [ ("fileName", "labs.xml"); ("xmlPath", "/report/panel/result[1]") ]
+  in
+  let mark = ok (Manager.create_mark mgr ~mark_type:"xml" ~fields ()) in
+  let res = ok (Manager.resolve mgr mark.Mark.mark_id) in
+  (* Extract content: just the element's content. *)
+  check "extract" "140" (Mark.apply_behaviour Mark.Extract_content res);
+  (* Navigate (simultaneous viewing): the element in context. *)
+  check_bool "navigate shows siblings" true
+    (let re = Re.compile (Re.str "4.2") in
+     Re.execp re (Mark.apply_behaviour Mark.Navigate res));
+  (* Display in place (independent viewing): self-contained rendering. *)
+  check_bool "display is self-contained markup" true
+    (let re = Re.compile (Re.str "<result") in
+     Re.execp re (Mark.apply_behaviour Mark.Display_in_place res))
+
+let test_multiple_resolvers_per_type () =
+  (* §5 (Monikers comparison): "one manager for Excel can display Excel
+     Marks in context and another act as an in-place viewer". *)
+  let desk, mgr = fixture () in
+  Manager.register_exn mgr
+    (Excel_mark.mark_module ~module_name:"excel-inplace"
+       ~open_workbook:(Desktop.open_workbook desk) ());
+  let fields =
+    [ ("fileName", "meds.xls"); ("sheetName", "Medications"); ("range", "A3") ]
+  in
+  let mark = ok (Manager.create_mark mgr ~mark_type:"excel" ~fields ()) in
+  let via_default = ok (Manager.resolve mgr mark.Mark.mark_id) in
+  let via_named =
+    ok (Manager.resolve ~module_name:"excel-inplace" mgr mark.Mark.mark_id)
+  in
+  check "same element" via_default.Mark.res_excerpt via_named.Mark.res_excerpt;
+  check_int "two modules for excel" 2
+    (List.length (Manager.modules_for_type mgr "excel"));
+  check_bool "wrong module for type" true
+    (Result.is_error
+       (Manager.resolve ~module_name:"xml" mgr mark.Mark.mark_id))
+
+(* --------------------------------------------------------- E5: extension *)
+
+let test_extensibility_new_type () =
+  (* Adding a brand-new base type touches no existing module: register a
+     "fortune" mark type from the outside and use it alongside the rest. *)
+  let _, mgr = fixture () in
+  let fortunes = [ ("f1", "You will write many tests.") ] in
+  Manager.register_exn mgr
+    {
+      Manager.module_name = "fortune";
+      handles_type = "fortune";
+      validate =
+        (fun fields ->
+          Result.map (fun _ -> ()) (Fields.get fields "key"));
+      resolve =
+        (fun fields ->
+          match Fields.get fields "key" with
+          | Error _ as e -> e
+          | Ok key -> (
+              match List.assoc_opt key fortunes with
+              | Some text ->
+                  Ok
+                    {
+                      Mark.res_excerpt = text;
+                      res_context = text;
+                      res_display = text;
+                      res_source = "fortune:" ^ key;
+                    }
+              | None -> Error ("no fortune " ^ key)));
+    };
+  let mark =
+    ok
+      (Manager.create_mark mgr ~mark_type:"fortune"
+         ~fields:[ ("key", "f1") ] ())
+  in
+  check "resolves" "You will write many tests."
+    (ok (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content));
+  check_int "eight types now" 8 (List.length (Manager.supported_types mgr))
+
+(* ------------------------------------------------------- drift detection *)
+
+let test_drift () =
+  let desk, mgr = fixture () in
+  let fields =
+    [ ("fileName", "meds.xls"); ("sheetName", "Medications"); ("range", "B2") ]
+  in
+  let mark = ok (Manager.create_mark mgr ~mark_type:"excel" ~fields ()) in
+  check_bool "unchanged" true
+    (ok (Manager.check_drift mgr mark.Mark.mark_id) = Manager.Unchanged);
+  (* The base document changes under the mark. *)
+  let wb = ok (Desktop.open_workbook desk "meds.xls") in
+  Si_spreadsheet.Workbook.set wb ~sheet_name:"Medications" "B2" "10";
+  (match ok (Manager.check_drift mgr mark.Mark.mark_id) with
+  | Manager.Changed { was; now } ->
+      check "was" "5" was;
+      check "now" "10" now
+  | _ -> Alcotest.fail "expected Changed");
+  (* Refresh re-caches. *)
+  let refreshed = ok (Manager.refresh_excerpt mgr mark.Mark.mark_id) in
+  check "refreshed" "10" refreshed.Mark.excerpt;
+  check_bool "unchanged again" true
+    (ok (Manager.check_drift mgr mark.Mark.mark_id) = Manager.Unchanged)
+
+let test_drift_unresolvable () =
+  let desk, mgr = fixture () in
+  let fields =
+    [ ("fileName", "labs.xml"); ("xmlPath", "/report/panel/result[2]") ]
+  in
+  let mark = ok (Manager.create_mark mgr ~mark_type:"xml" ~fields ()) in
+  (* The document is replaced by one where the path no longer resolves. *)
+  Desktop.add_xml desk "labs.xml" (Si_xmlk.Parse.node_exn "<report/>");
+  (match ok (Manager.check_drift mgr mark.Mark.mark_id) with
+  | Manager.Unresolvable _ -> ()
+  | _ -> Alcotest.fail "expected Unresolvable")
+
+(* ----------------------------------------------------------- storage *)
+
+let test_mark_storage () =
+  let _, mgr = fixture () in
+  let fields =
+    [ ("fileName", "labs.xml"); ("xmlPath", "/report/patient") ]
+  in
+  let mark = ok (Manager.create_mark mgr ~mark_type:"xml" ~fields ()) in
+  check_int "count" 1 (Manager.mark_count mgr);
+  check_bool "lookup" true (Manager.mark mgr mark.Mark.mark_id <> None);
+  check_bool "remove" true (Manager.remove_mark mgr mark.Mark.mark_id);
+  check_bool "gone" true (Manager.mark mgr mark.Mark.mark_id = None);
+  check_bool "remove again" false (Manager.remove_mark mgr mark.Mark.mark_id)
+
+let test_persistence () =
+  let desk, mgr = fixture () in
+  let make mark_type fields =
+    ok (Manager.create_mark mgr ~mark_type ~fields ())
+  in
+  let m1 =
+    make "excel"
+      [ ("fileName", "meds.xls"); ("sheetName", "Medications"); ("range", "B3") ]
+  in
+  let _ =
+    make "xml" [ ("fileName", "labs.xml"); ("xmlPath", "/report/patient") ]
+  in
+  let path = Filename.temp_file "marks" ".xml" in
+  Manager.save mgr path;
+  (* A fresh manager with the same desktop modules loads the marks. *)
+  let mgr2 = Manager.create () in
+  Desktop.install_modules desk mgr2;
+  (match Manager.load_into mgr2 path with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Sys.remove path;
+  check_int "loaded" 2 (Manager.mark_count mgr2);
+  check "mark equal across managers" "0.05"
+    (ok (Manager.resolve_with mgr2 m1.Mark.mark_id Mark.Extract_content));
+  (* Freshly created marks in the loaded manager do not collide with
+     loaded ids. *)
+  let m3 =
+    ok
+      (Manager.create_mark mgr2 ~mark_type:"xml"
+         ~fields:[ ("fileName", "labs.xml"); ("xmlPath", "/report") ]
+         ())
+  in
+  check_bool "no id collision" true
+    (m3.Mark.mark_id <> m1.Mark.mark_id
+    && Manager.mark_count mgr2 = 3)
+
+let test_marks_of_unsupported_type_kept () =
+  let _, mgr = fixture () in
+  let alien =
+    Mark.make ~id:"alien-1" ~mark_type:"hologram"
+      ~fields:[ ("coords", "1,2,3") ] ()
+  in
+  check_bool "stored" true (Result.is_ok (Manager.add_mark mgr alien));
+  check_bool "resolution fails gracefully" true
+    (Result.is_error (Manager.resolve mgr "alien-1"))
+
+let test_mark_xml_roundtrip () =
+  let mark =
+    Mark.make ~id:"m1" ~mark_type:"excel"
+      ~fields:[ ("fileName", "a.xls"); ("range", "A1") ]
+      ~excerpt:"42" ()
+  in
+  match Mark.of_xml (Mark.to_xml mark) with
+  | Ok m2 -> check_bool "equal" true (Mark.equal mark m2)
+  | Error e -> Alcotest.fail e
+
+(* Property: every mark type's address fields survive the generic XML
+   encoding (the Mark Manager "generically stores" all marks). *)
+let gen_fields =
+  QCheck.Gen.(
+    list_size (int_range 1 5)
+      (pair
+         (oneofl [ "fileName"; "range"; "xmlPath"; "page"; "anchor" ])
+         (string_size (int_range 0 10) ~gen:(oneofl [ 'a'; '<'; '&'; '"' ]))))
+
+let prop_mark_xml_roundtrip =
+  QCheck.Test.make ~name:"mark XML round-trip preserves fields" ~count:200
+    (QCheck.make gen_fields ~print:(fun f ->
+         String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) f)))
+    (fun fields ->
+      (* Duplicate keys collapse in assoc semantics; dedupe first. *)
+      let fields = List.sort_uniq (fun (a, _) (b, _) -> compare a b) fields in
+      let mark =
+        Mark.make ~id:"m" ~mark_type:"t" ~fields ~excerpt:"e" ()
+      in
+      match Mark.of_xml (Mark.to_xml mark) with
+      | Ok m2 -> Mark.equal mark m2
+      | Error _ -> false)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_mark_xml_roundtrip ]
+
+let suite =
+  [
+    ("registry", `Quick, test_registry);
+    ("unknown type rejected", `Quick, test_unknown_type_rejected);
+    ("excel mark round-trip (F7)", `Quick, test_excel_mark);
+    ("excel mark fields exactly Fig 8", `Quick, test_excel_mark_fields_fig8);
+    ("excel bad addresses", `Quick, test_excel_bad_addresses);
+    ("excel defined-name marks survive row edits", `Quick,
+     test_excel_mark_defined_name);
+    ("xml mark round-trip (F7/F8)", `Quick, test_xml_mark);
+    ("xml mark attribute target", `Quick, test_xml_mark_attribute_target);
+    ("xml mark re-anchoring on content", `Quick, test_xml_mark_reanchor);
+    ("text mark + re-anchoring", `Quick, test_text_mark_and_reanchor);
+    ("word mark: span & bookmark", `Quick, test_word_mark_span_and_bookmark);
+    ("slides mark", `Quick, test_slides_mark);
+    ("pdf mark", `Quick, test_pdf_mark);
+    ("html mark: anchor & node path", `Quick, test_html_mark);
+    ("three viewing behaviours (F6)", `Quick, test_behaviours);
+    ("multiple resolvers per type", `Quick, test_multiple_resolvers_per_type);
+    ("extensibility: new type from outside (E5)", `Quick,
+     test_extensibility_new_type);
+    ("drift detection", `Quick, test_drift);
+    ("drift: unresolvable", `Quick, test_drift_unresolvable);
+    ("mark storage", `Quick, test_mark_storage);
+    ("manager persistence", `Quick, test_persistence);
+    ("unsupported types kept", `Quick, test_marks_of_unsupported_type_kept);
+    ("mark XML round-trip", `Quick, test_mark_xml_roundtrip);
+  ]
+  @ props

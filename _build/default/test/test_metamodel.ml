@@ -1,0 +1,468 @@
+(* Tests for the metamodel: model definition, generalization, instances,
+   conformance validation. *)
+
+open Si_metamodel
+module Trim = Si_triple.Trim
+module Triple = Si_triple.Triple
+
+let check = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A miniature relational model, as the paper's §4.3 example: "in the
+   relational model, tables, attributes, keys and domains are constructs". *)
+let relational trim =
+  let m = Model.define trim ~name:"relational" in
+  let table = Model.construct m "Table" in
+  let attribute = Model.construct m "Attribute" in
+  let string_ = Model.literal_construct m "String" in
+  let _ =
+    Model.connect m ~name:"tableName" ~from_:table ~to_:string_
+      ~card:Model.one_card ()
+  in
+  let _ =
+    Model.connect m ~name:"hasAttribute" ~from_:table ~to_:attribute
+      ~card:Model.at_least_one ()
+  in
+  let _ =
+    Model.connect m ~name:"attrName" ~from_:attribute ~to_:string_
+      ~card:Model.one_card ()
+  in
+  (m, table, attribute, string_)
+
+let test_define_idempotent () =
+  let trim = Trim.create () in
+  let m1 = Model.define trim ~name:"m" in
+  let m2 = Model.define trim ~name:"m" in
+  check "same id" (Model.id m1) (Model.id m2);
+  check_int "one model" 1 (List.length (Model.all trim));
+  check_bool "find" true (Model.find trim ~name:"m" <> None);
+  check_bool "find missing" true (Model.find trim ~name:"nope" = None)
+
+let test_two_models_coexist () =
+  (* The flexibility claim: multiple superimposed models in one store. *)
+  let trim = Trim.create () in
+  let m1, _, _, _ = relational trim in
+  let m2 = Model.define trim ~name:"topicmap" in
+  let _ = Model.construct m2 "Topic" in
+  check_int "two models" 2 (List.length (Model.all trim));
+  check_int "relational constructs" 3 (List.length (Model.constructs m1));
+  check_int "topicmap constructs" 1 (List.length (Model.constructs m2))
+
+let test_constructs () =
+  let trim = Trim.create () in
+  let m, table, _, string_ = relational trim in
+  check_bool "kinds" true
+    (table.Model.kind = Model.Construct
+    && string_.Model.kind = Model.Literal_construct);
+  let mark = Model.mark_construct m "Mark" in
+  check_bool "mark kind" true (mark.Model.kind = Model.Mark_construct);
+  check "name" "Table" (Model.construct_name m table);
+  check_bool "find" true (Model.find_construct m "Table" = Some table);
+  check_bool "idempotent" true (Model.construct m "Table" = table);
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument
+       "Model: construct \"Table\" already exists with another kind")
+    (fun () -> ignore (Model.literal_construct m "Table"))
+
+let test_connectors () =
+  let trim = Trim.create () in
+  let m, table, attribute, string_ = relational trim in
+  check_int "three connectors" 3 (List.length (Model.connectors m));
+  let conn =
+    Option.get (Model.find_connector m ~domain:table ~predicate:"hasAttribute")
+  in
+  check_bool "range" true
+    (conn.Model.conn_range.Model.construct_id = attribute.Model.construct_id);
+  check_bool "card" true (conn.Model.card = Model.at_least_one);
+  check_bool "absent connector" true
+    (Model.find_connector m ~domain:attribute ~predicate:"hasAttribute" = None);
+  (* Idempotent on (domain, name). *)
+  let again =
+    Model.connect m ~name:"hasAttribute" ~from_:table ~to_:string_ ()
+  in
+  check_bool "idempotent keeps original range" true
+    (again.Model.conn_range.Model.construct_id = attribute.Model.construct_id)
+
+let test_generalization () =
+  let trim = Trim.create () in
+  let m = Model.define trim ~name:"g" in
+  let base = Model.construct m "Element" in
+  let mid = Model.construct m "Container" in
+  let leaf = Model.construct m "Bundle" in
+  Model.generalize m ~sub:mid ~super:base;
+  Model.generalize m ~sub:leaf ~super:mid;
+  let supers = Model.superconstructs m leaf in
+  Alcotest.(check (list string))
+    "transitive, nearest first" [ "Container"; "Element" ]
+    (List.map (Model.construct_name m) supers);
+  check_bool "reflexive" true (Model.is_subconstruct_of m ~sub:leaf ~super:leaf);
+  check_bool "transitive" true
+    (Model.is_subconstruct_of m ~sub:leaf ~super:base);
+  check_bool "not reverse" false
+    (Model.is_subconstruct_of m ~sub:base ~super:leaf)
+
+let test_generalization_cycle_safe () =
+  let trim = Trim.create () in
+  let m = Model.define trim ~name:"c" in
+  let a = Model.construct m "A" in
+  let b = Model.construct m "B" in
+  Model.generalize m ~sub:a ~super:b;
+  Model.generalize m ~sub:b ~super:a;
+  (* Must terminate. *)
+  check_int "supers of a" 1 (List.length (Model.superconstructs m a))
+
+let test_inherited_connectors () =
+  let trim = Trim.create () in
+  let m = Model.define trim ~name:"inh" in
+  let base = Model.construct m "Named" in
+  let leaf = Model.construct m "Scrap" in
+  let string_ = Model.literal_construct m "String" in
+  Model.generalize m ~sub:leaf ~super:base;
+  let _ = Model.connect m ~name:"label" ~from_:base ~to_:string_ () in
+  check_bool "inherited lookup" true
+    (Model.find_connector m ~domain:leaf ~predicate:"label" <> None);
+  check_int "connectors_of includes inherited" 1
+    (List.length (Model.connectors_of m leaf))
+
+let test_instances () =
+  let trim = Trim.create () in
+  let m, table, _, _ = relational trim in
+  let employees = Model.new_instance m table () in
+  Model.set_property m employees "tableName" (Triple.literal "Employees");
+  check "property" "Employees"
+    (match Model.property m employees "tableName" with
+    | Some (Triple.Literal s) -> s
+    | _ -> "?");
+  check_bool "typed" true
+    (Model.instance_type trim employees = Some table.Model.construct_id);
+  Alcotest.(check (list string))
+    "instances_of" [ employees ]
+    (Model.instances_of m table);
+  (* set_property replaces. *)
+  Model.set_property m employees "tableName" (Triple.literal "Staff");
+  check_int "single value" 1
+    (List.length (Model.properties m employees));
+  (* add_property accumulates. *)
+  Model.add_property m employees "note" (Triple.literal "a");
+  Model.add_property m employees "note" (Triple.literal "b");
+  check_int "multi-valued" 3 (List.length (Model.properties m employees))
+
+let test_reserved_predicates_rejected () =
+  let trim = Trim.create () in
+  let m, table, _, _ = relational trim in
+  let inst = Model.new_instance m table () in
+  Alcotest.check_raises "rdf:type is reserved"
+    (Invalid_argument "Model: \"rdf:type\" is a reserved metamodel predicate")
+    (fun () -> Model.set_property m inst "rdf:type" (Triple.literal "x"))
+
+let test_delete_instance () =
+  let trim = Trim.create () in
+  let m, table, attribute, _ = relational trim in
+  let t = Model.new_instance m table () in
+  let a = Model.new_instance m attribute () in
+  Model.set_property m t "hasAttribute" (Triple.resource a);
+  Model.set_property m a "attrName" (Triple.literal "id");
+  let removed = Model.delete_instance m a in
+  check_bool "removed outgoing and incoming" true (removed >= 3);
+  check_bool "no dangling incoming" true
+    (Trim.select ~object_:(Triple.resource a) trim = [])
+
+let test_conformance_links () =
+  let trim = Trim.create () in
+  let m, table, _, _ = relational trim in
+  let schema_table = Model.new_instance m table () in
+  Model.conform m ~instance:"row-1" ~to_:schema_table;
+  Alcotest.(check (list string))
+    "conforms_to" [ schema_table ]
+    (Model.conforms_to trim "row-1")
+
+let test_describe () =
+  let trim = Trim.create () in
+  let m, _, _, _ = relational trim in
+  let text = Model.describe m in
+  check_bool "mentions Table" true
+    (List.exists
+       (fun line -> line = "  construct Table")
+       (String.split_on_char '\n' text));
+  check_bool "mentions cardinality" true
+    (List.exists
+       (fun line -> line = "    hasAttribute : Attribute [1..*]")
+       (String.split_on_char '\n' text))
+
+(* ---------------------------------------------------------- validation *)
+
+let valid_world () =
+  let trim = Trim.create () in
+  let m, table, attribute, _ = relational trim in
+  let t = Model.new_instance m table () in
+  let a = Model.new_instance m attribute () in
+  Model.set_property m t "tableName" (Triple.literal "Employees");
+  Model.set_property m t "hasAttribute" (Triple.resource a);
+  Model.set_property m a "attrName" (Triple.literal "id");
+  (trim, m, table, attribute, t, a)
+
+let test_validate_ok () =
+  let _, m, _, _, _, _ = valid_world () in
+  let report = Validate.check m in
+  check_int "checked" 2 report.Validate.checked;
+  check_bool "valid" true (Validate.is_valid m)
+
+let test_validate_unknown_property () =
+  let _, m, _, _, t, _ = valid_world () in
+  Model.set_property m t "frobnicate" (Triple.literal "x");
+  let vs = Validate.check_instance m t in
+  check_int "one violation" 1 (List.length vs);
+  check_bool "names predicate" true
+    ((List.hd vs).Validate.predicate = Some "frobnicate")
+
+let test_validate_range_literal_vs_resource () =
+  let _, m, _, _, t, a = valid_world () in
+  (* Literal where a resource is required. *)
+  Model.add_property m t "hasAttribute" (Triple.literal "not-a-ref");
+  (* Resource where a literal is required. *)
+  Model.set_property m a "attrName" (Triple.resource t);
+  let report = Validate.check m in
+  check_int "two violations" 2 (List.length report.Validate.violations)
+
+let test_validate_wrong_construct () =
+  let _, m, table, _, t, _ = valid_world () in
+  let other = Model.new_instance m table () in
+  Model.set_property m other "tableName" (Triple.literal "Other");
+  (* hasAttribute must point at an Attribute, not a Table... *)
+  Model.add_property m t "hasAttribute" (Triple.resource other);
+  let vs = Validate.check_instance m t in
+  check_int "one violation" 1 (List.length vs)
+
+let test_validate_dangling () =
+  let _, m, _, _, t, _ = valid_world () in
+  Model.add_property m t "hasAttribute" (Triple.resource "ghost");
+  let vs = Validate.check_instance m t in
+  check_int "dangling" 1 (List.length vs)
+
+let test_validate_cardinality () =
+  let trim = Trim.create () in
+  let m, table, _, _ = relational trim in
+  let t = Model.new_instance m table () in
+  (* Missing tableName [1..1] and hasAttribute [1..many]. *)
+  let vs = Validate.check_instance m t in
+  check_int "two too-few" 2 (List.length vs);
+  Model.set_property m t "tableName" (Triple.literal "A");
+  Model.add_property m t "tableName" (Triple.literal "B") |> ignore;
+  let vs = Validate.check_instance m t in
+  (* Now: tableName has 2 values (max 1) and hasAttribute still missing. *)
+  check_int "too-many + too-few" 2 (List.length vs)
+
+let test_validate_subconstruct_accepted () =
+  let trim = Trim.create () in
+  let m = Model.define trim ~name:"sub" in
+  let element = Model.construct m "Element" in
+  let bundle = Model.construct m "Bundle" in
+  let pad = Model.construct m "Pad" in
+  Model.generalize m ~sub:bundle ~super:element;
+  let _ =
+    Model.connect m ~name:"holds" ~from_:pad ~to_:element ~card:Model.any_card ()
+  in
+  let p = Model.new_instance m pad () in
+  let b = Model.new_instance m bundle () in
+  Model.set_property m p "holds" (Triple.resource b);
+  check_bool "subconstruct satisfies range" true (Validate.is_valid m)
+
+let test_report_rendering () =
+  let _, m, _, _, t, _ = valid_world () in
+  Model.set_property m t "bogus" (Triple.literal "x");
+  let text = Validate.report_to_string (Validate.check m) in
+  check_bool "mentions count" true
+    (String.length text > 0
+    && String.sub text 0 1 = "2" (* "2 instance(s) checked..." *));
+  check_bool "mentions predicate" true
+    (let re = Re.compile (Re.str "bogus") in
+     Re.execp re text)
+
+(* ------------------------------------------------------ SLIM-ML DSL *)
+
+let library_dsl =
+  "model library\n\
+   # a catalogue\n\
+   literal String\n\
+   construct Book\n\
+   construct Reference\n\
+   mark Citation\n\
+   \n\
+   Reference isa Book\n\
+   \n\
+   Book.title : String [1..1]\n\
+   Book.writtenBy : Author [0..*]\n\
+   Reference.shelf : String [0..1]\n\
+   Author.name : String [1..1]\n"
+
+let test_dsl_parse () =
+  let trim = Trim.create () in
+  let m =
+    match Model_dsl.parse trim library_dsl with
+    | Ok m -> m
+    | Error e -> Alcotest.fail e
+  in
+  check "name" "library" (Model.name m);
+  (* Author was declared implicitly by its property lines. *)
+  check_int "constructs" 5 (List.length (Model.constructs m));
+  let book = Option.get (Model.find_construct m "Book") in
+  let reference = Option.get (Model.find_construct m "Reference") in
+  let citation = Option.get (Model.find_construct m "Citation") in
+  check_bool "kinds" true
+    (citation.Model.kind = Model.Mark_construct
+    && (Option.get (Model.find_construct m "String")).Model.kind
+       = Model.Literal_construct);
+  check_bool "generalization" true
+    (Model.is_subconstruct_of m ~sub:reference ~super:book);
+  let title =
+    Option.get (Model.find_connector m ~domain:book ~predicate:"title")
+  in
+  check_bool "cardinality" true (title.Model.card = Model.one_card);
+  check_bool "inherited property usable" true
+    (Model.find_connector m ~domain:reference ~predicate:"title" <> None)
+
+let test_dsl_default_cardinality () =
+  let trim = Trim.create () in
+  let m =
+    match Model_dsl.parse trim "model m\nA.knows : A\n" with
+    | Ok m -> m
+    | Error e -> Alcotest.fail e
+  in
+  let a = Option.get (Model.find_construct m "A") in
+  let knows = Option.get (Model.find_connector m ~domain:a ~predicate:"knows") in
+  check_bool "defaults to 0..*" true (knows.Model.card = Model.any_card)
+
+let test_dsl_errors () =
+  let fails text expected_line =
+    match Model_dsl.parse (Trim.create ()) text with
+    | Ok _ -> Alcotest.failf "expected parse failure on %S" text
+    | Error msg ->
+        check_bool
+          (Printf.sprintf "%S mentions line %d" text expected_line)
+          true
+          (let re =
+             Re.compile (Re.str (Printf.sprintf "line %d" expected_line))
+           in
+           Re.execp re msg || expected_line = 0)
+  in
+  fails "" 0;
+  fails "construct X\n" 0 (* no model line *);
+  fails "model m\nmodel n\n" 0 (* duplicate model *);
+  fails "model m\nbogus line here\n" 2;
+  fails "model m\nA.p : B [1..x]\n" 2;
+  fails "model m\nA.p : B [3..1]\n" 2;
+  fails "model m\n123bad : C\n" 2
+
+let test_dsl_print_roundtrip () =
+  let trim = Trim.create () in
+  let m =
+    match Model_dsl.parse trim library_dsl with
+    | Ok m -> m
+    | Error e -> Alcotest.fail e
+  in
+  let printed = Model_dsl.print m in
+  let trim2 = Trim.create () in
+  let m2 =
+    match Model_dsl.parse trim2 printed with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "reparse failed: %s\n%s" e printed
+  in
+  check_int "same constructs" (List.length (Model.constructs m))
+    (List.length (Model.constructs m2));
+  check_int "same connectors" (List.length (Model.connectors m))
+    (List.length (Model.connectors m2));
+  (* Printing the reparse is a fixed point. *)
+  check "fixed point" printed (Model_dsl.print m2)
+
+let test_dsl_drives_generic_dmi () =
+  (* The full §4.4 pipeline: DSL text -> model -> generated DMI -> data ->
+     validation. *)
+  let trim = Trim.create () in
+  let m =
+    match Model_dsl.parse trim library_dsl with
+    | Ok m -> m
+    | Error e -> Alcotest.fail e
+  in
+  let g = Si_slim.Generic_dmi.for_model m in
+  let book = Result.get_ok (Si_slim.Generic_dmi.create g "Book") in
+  (match
+     Si_slim.Generic_dmi.set g book "title"
+       (Si_triple.Triple.literal "Cognition in the Wild")
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let author = Result.get_ok (Si_slim.Generic_dmi.create g "Author") in
+  (match
+     Si_slim.Generic_dmi.set g author "name"
+       (Si_triple.Triple.literal "Hutchins")
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match
+     Si_slim.Generic_dmi.add g book "writtenBy"
+       (Si_triple.Triple.resource author)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check_int "valid" 0
+    (List.length (Validate.check m).Validate.violations)
+
+(* Property: models survive TRIM persistence (model = data). *)
+let prop_model_persists =
+  QCheck.Test.make ~name:"model definitions survive XML persistence" ~count:50
+    QCheck.(int_range 1 8)
+    (fun n ->
+      let trim = Trim.create () in
+      let m = Model.define trim ~name:"p" in
+      let string_ = Model.literal_construct m "String" in
+      let cs =
+        List.init n (fun i -> Model.construct m (Printf.sprintf "C%d" i))
+      in
+      List.iter
+        (fun c ->
+          ignore (Model.connect m ~name:"label" ~from_:c ~to_:string_ ()))
+        cs;
+      match Trim.of_xml (Trim.to_xml trim) with
+      | Error _ -> false
+      | Ok trim2 -> (
+          match Model.find trim2 ~name:"p" with
+          | None -> false
+          | Some m2 ->
+              List.length (Model.constructs m2)
+              = List.length (Model.constructs m)
+              && List.length (Model.connectors m2) = n))
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_model_persists ]
+
+let suite =
+  [
+    ("define is idempotent", `Quick, test_define_idempotent);
+    ("two models coexist", `Quick, test_two_models_coexist);
+    ("constructs", `Quick, test_constructs);
+    ("connectors", `Quick, test_connectors);
+    ("generalization", `Quick, test_generalization);
+    ("generalization cycle-safe", `Quick, test_generalization_cycle_safe);
+    ("inherited connectors", `Quick, test_inherited_connectors);
+    ("instances & properties", `Quick, test_instances);
+    ("reserved predicates rejected", `Quick, test_reserved_predicates_rejected);
+    ("delete_instance", `Quick, test_delete_instance);
+    ("conformance links", `Quick, test_conformance_links);
+    ("describe", `Quick, test_describe);
+    ("validate: clean model", `Quick, test_validate_ok);
+    ("validate: unknown property", `Quick, test_validate_unknown_property);
+    ("validate: literal/resource mismatch", `Quick,
+     test_validate_range_literal_vs_resource);
+    ("validate: wrong construct", `Quick, test_validate_wrong_construct);
+    ("validate: dangling reference", `Quick, test_validate_dangling);
+    ("validate: cardinality", `Quick, test_validate_cardinality);
+    ("validate: subconstruct accepted", `Quick,
+     test_validate_subconstruct_accepted);
+    ("report rendering", `Quick, test_report_rendering);
+    ("dsl: parse", `Quick, test_dsl_parse);
+    ("dsl: default cardinality", `Quick, test_dsl_default_cardinality);
+    ("dsl: errors carry line numbers", `Quick, test_dsl_errors);
+    ("dsl: print round-trip", `Quick, test_dsl_print_roundtrip);
+    ("dsl: drives the generated DMI", `Quick, test_dsl_drives_generic_dmi);
+  ]
+  @ props

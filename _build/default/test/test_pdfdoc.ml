@@ -1,0 +1,217 @@
+(* Tests for the paginated-document substrate (the PDF stand-in). *)
+
+open Si_pdfdoc
+
+let check = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let guideline () =
+  let d = Pdfdoc.create ~title:"Sepsis Guideline" () in
+  let p1 = Pdfdoc.add_page d in
+  let _ = Pdfdoc.add_line p1 ~y:72. "Surviving Sepsis: 2001 Update" in
+  let _ = Pdfdoc.add_line p1 ~y:100. "Initial resuscitation targets" in
+  let _ = Pdfdoc.add_line p1 ~y:120. "MAP >= 65 mmHg" in
+  let _ = Pdfdoc.add_line p1 ~y:140. "Urine output >= 0.5 mL/kg/h" in
+  let p2 = Pdfdoc.add_page d in
+  let _ = Pdfdoc.add_line p2 ~y:72. "Vasopressor selection" in
+  let _ = Pdfdoc.add_line p2 ~y:100. "Norepinephrine is first line" in
+  d
+
+let test_structure () =
+  let d = guideline () in
+  check "title" "Sepsis Guideline" (Pdfdoc.title d);
+  check_int "pages" 2 (Pdfdoc.page_count d);
+  let p1 = Option.get (Pdfdoc.nth_page d 1) in
+  check_int "spans" 4 (List.length (Pdfdoc.spans p1));
+  check_bool "size" true (Pdfdoc.page_size p1 = (612., 792.));
+  check_bool "no page 3" true (Pdfdoc.nth_page d 3 = None)
+
+let test_text () =
+  let d = guideline () in
+  let p2 = Option.get (Pdfdoc.nth_page d 2) in
+  check "page text" "Vasopressor selection\nNorepinephrine is first line"
+    (Pdfdoc.page_text p2);
+  check_bool "doc text has all pages" true
+    (String.length (Pdfdoc.text d) > String.length (Pdfdoc.page_text p2))
+
+let test_rect_intersects () =
+  let a = { Pdfdoc.x = 0.; y = 0.; w = 10.; h = 10. } in
+  let b = { Pdfdoc.x = 5.; y = 5.; w = 10.; h = 10. } in
+  let c = { Pdfdoc.x = 20.; y = 0.; w = 5.; h = 5. } in
+  let touch = { Pdfdoc.x = 10.; y = 0.; w = 5.; h = 5. } in
+  check_bool "overlap" true (Pdfdoc.rect_intersects a b);
+  check_bool "disjoint" false (Pdfdoc.rect_intersects a c);
+  (* Edge-touching boxes do not count as intersecting (strict overlap). *)
+  check_bool "touching" false (Pdfdoc.rect_intersects a touch)
+
+let test_region_selection () =
+  let d = guideline () in
+  (* A region over the vertical band 95..145 on page 1 catches the three
+     lower lines. *)
+  let region =
+    { Pdfdoc.page = 1; rect = { Pdfdoc.x = 0.; y = 95.; w = 612.; h = 50. } }
+  in
+  let selected = Pdfdoc.spans_in_region d region in
+  check_int "three lines" 3 (List.length selected);
+  check "region text"
+    "Initial resuscitation targets\nMAP >= 65 mmHg\nUrine output >= 0.5 mL/kg/h"
+    (Option.get (Pdfdoc.region_text d region));
+  check_bool "missing page" true
+    (Pdfdoc.region_text d { region with page = 9 } = None);
+  check_bool "empty region" true
+    (Pdfdoc.spans_in_region d
+       { Pdfdoc.page = 1; rect = { Pdfdoc.x = 0.; y = 700.; w = 10.; h = 10. } }
+    = [])
+
+let test_bounding_region () =
+  let d = guideline () in
+  let p1 = Option.get (Pdfdoc.nth_page d 1) in
+  let selected = List.filteri (fun i _ -> i >= 2) (Pdfdoc.spans p1) in
+  let region = Option.get (Pdfdoc.bounding_region d ~page_number:1 selected) in
+  (* The bounding region must select back at least the chosen spans. *)
+  let reselected = Pdfdoc.spans_in_region d region in
+  check_bool "covers selection" true
+    (List.for_all (fun s -> List.memq s reselected) selected);
+  check_bool "no spans -> none" true
+    (Pdfdoc.bounding_region d ~page_number:1 [] = None);
+  check_bool "bad page -> none" true
+    (Pdfdoc.bounding_region d ~page_number:7 selected = None)
+
+let test_reading_order () =
+  let d = Pdfdoc.create () in
+  let p = Pdfdoc.add_page d in
+  (* Emitted out of order: right cell of line 1, then line 2, then left
+     cell of line 1 (as PDF generators often do). *)
+  let right1 =
+    Pdfdoc.add_span p ~text:"right1" { Pdfdoc.x = 300.; y = 100.; w = 80.; h = 12. }
+  in
+  let line2 =
+    Pdfdoc.add_span p ~text:"line2" { Pdfdoc.x = 72.; y = 130.; w = 80.; h = 12. }
+  in
+  let left1 =
+    Pdfdoc.add_span p ~text:"left1"
+      { Pdfdoc.x = 72.; y = 101.5; w = 80.; h = 12. }
+  in
+  (* Content order is insertion order... *)
+  Alcotest.(check (list string))
+    "content order" [ "right1"; "line2"; "left1" ]
+    (List.map (fun s -> s.Pdfdoc.span_text) (Pdfdoc.spans p));
+  (* ...reading order sorts by line then x (the slightly offset left1 is
+     on the same visual line as right1). *)
+  Alcotest.(check (list string))
+    "reading order" [ "left1"; "right1"; "line2" ]
+    (List.map (fun s -> s.Pdfdoc.span_text) (Pdfdoc.reading_order p));
+  ignore (right1, line2, left1)
+
+let test_find_text () =
+  let d = guideline () in
+  (match Pdfdoc.find_text d "Norepinephrine" with
+  | [ r ] -> check_int "page" 2 r.Pdfdoc.page
+  | hits -> Alcotest.failf "expected 1 hit, got %d" (List.length hits));
+  check_int "two >= hits" 2 (List.length (Pdfdoc.find_text d ">="));
+  check_bool "absent" true (Pdfdoc.find_text d "dopamine" = [])
+
+let test_xml_roundtrip () =
+  let d = guideline () in
+  let d2 =
+    match Pdfdoc.of_xml (Pdfdoc.to_xml d) with
+    | Ok x -> x
+    | Error e -> Alcotest.fail e
+  in
+  check_bool "equal" true (Pdfdoc.equal d d2);
+  check "text preserved" (Pdfdoc.text d) (Pdfdoc.text d2)
+
+let test_xml_file_roundtrip () =
+  let d = guideline () in
+  let path = Filename.temp_file "pdf" ".xml" in
+  Pdfdoc.save d path;
+  let d2 = match Pdfdoc.load path with Ok x -> x | Error e -> Alcotest.fail e in
+  Sys.remove path;
+  check_bool "file roundtrip" true (Pdfdoc.equal d d2)
+
+let test_xml_rejects_garbage () =
+  check_bool "bad root" true
+    (Result.is_error (Pdfdoc.of_xml (Si_xmlk.Node.element "doc" [])));
+  let bad_span =
+    Si_xmlk.Node.element "pdf"
+      [
+        Si_xmlk.Node.element "page"
+          [ Si_xmlk.Node.element "span" [ Si_xmlk.Node.text "no geometry" ] ];
+      ]
+  in
+  check_bool "span without box" true (Result.is_error (Pdfdoc.of_xml bad_span))
+
+(* Properties. *)
+
+let gen_rect =
+  QCheck.Gen.(
+    let* x = float_bound_inclusive 500. in
+    let* y = float_bound_inclusive 700. in
+    let* w = float_bound_inclusive 200. in
+    let* h = float_bound_inclusive 50. in
+    return { Pdfdoc.x; y; w = w +. 1.; h = h +. 1. })
+
+let gen_doc =
+  QCheck.Gen.(
+    let* npages = int_range 1 3 in
+    let* spans_per_page = list_size (return npages) (int_range 0 6) in
+    let d = Pdfdoc.create () in
+    let* () =
+      List.fold_left
+        (fun acc count ->
+          let* () = acc in
+          let p = Pdfdoc.add_page d in
+          let rec add i =
+            if i >= count then return ()
+            else
+              let* r = gen_rect in
+              let _ = Pdfdoc.add_span p ~text:(Printf.sprintf "span-%d" i) r in
+              add (i + 1)
+          in
+          add 0)
+        (return ()) spans_per_page
+    in
+    return d)
+
+let arbitrary_doc = QCheck.make gen_doc ~print:Pdfdoc.text
+
+let prop_xml_roundtrip =
+  QCheck.Test.make ~name:"pdfdoc XML round-trip" ~count:100 arbitrary_doc
+    (fun d ->
+      match Pdfdoc.of_xml (Pdfdoc.to_xml d) with
+      | Ok d2 -> Pdfdoc.equal d d2
+      | Error _ -> false)
+
+let prop_whole_page_region_selects_all =
+  QCheck.Test.make ~name:"whole-page region selects every span" ~count:100
+    arbitrary_doc (fun d ->
+      List.mapi (fun i p -> (i + 1, p)) (Pdfdoc.pages d)
+      |> List.for_all (fun (number, p) ->
+             let region =
+               {
+                 Pdfdoc.page = number;
+                 rect = { Pdfdoc.x = -1e6; y = -1e6; w = 2e6; h = 2e6 };
+               }
+             in
+             List.length (Pdfdoc.spans_in_region d region)
+             = List.length (Pdfdoc.spans p)))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_xml_roundtrip; prop_whole_page_region_selects_all ]
+
+let suite =
+  [
+    ("structure", `Quick, test_structure);
+    ("text extraction", `Quick, test_text);
+    ("rect intersection", `Quick, test_rect_intersects);
+    ("region selection", `Quick, test_region_selection);
+    ("bounding region", `Quick, test_bounding_region);
+    ("reading order", `Quick, test_reading_order);
+    ("find_text", `Quick, test_find_text);
+    ("xml round-trip", `Quick, test_xml_roundtrip);
+    ("xml file round-trip", `Quick, test_xml_file_roundtrip);
+    ("xml rejects garbage", `Quick, test_xml_rejects_garbage);
+  ]
+  @ props

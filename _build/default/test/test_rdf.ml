@@ -1,0 +1,266 @@
+(* Tests for the RDF/XML interoperability serialization (paper §4.3) and
+   for the standard superimposed models (topic map, XLink). *)
+
+module Trim = Si_triple.Trim
+module Triple = Si_triple.Triple
+module Rdf = Si_triple.Rdf_xml
+module Model = Si_metamodel.Model
+
+let check = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let sample () =
+  let trim = Trim.create () in
+  Trim.add_all trim
+    [
+      Triple.make "b1" "bundleName" (Triple.literal "John Smith");
+      Triple.make "b1" "bundleContent" (Triple.resource "s1");
+      Triple.make "b1" "bundleContent" (Triple.resource "s2");
+      Triple.make "s1" "scrapName" (Triple.literal "Na 140");
+      Triple.make "s2" "scrapName" (Triple.literal "K 4.2 <high?>");
+    ];
+  trim
+
+(* ----------------------------------------------------------- RDF/XML *)
+
+let test_shape () =
+  let node = ok (Rdf.to_xml (sample ())) in
+  check "root" "rdf:RDF" (Option.get (Si_xmlk.Node.name node));
+  check "namespace" Rdf.rdf_namespace
+    (Si_xmlk.Node.attr_exn "xmlns:rdf" node);
+  let descriptions = Si_xmlk.Node.find_children "rdf:Description" node in
+  check_int "one description per subject" 3 (List.length descriptions);
+  (* The b1 description groups all three properties. *)
+  let b1 =
+    List.find
+      (fun d -> Si_xmlk.Node.attr "rdf:about" d = Some "b1")
+      descriptions
+  in
+  check_int "b1 properties" 3
+    (List.length (Si_xmlk.Node.child_elements b1));
+  (* Resources as rdf:resource attributes, literals as text. *)
+  let content = Si_xmlk.Node.find_children "bundleContent" b1 in
+  check_bool "resource attr" true
+    (List.for_all
+       (fun c -> Si_xmlk.Node.attr "rdf:resource" c <> None)
+       content)
+
+let test_roundtrip () =
+  let trim = sample () in
+  let trim2 = ok (Rdf.of_xml (ok (Rdf.to_xml trim))) in
+  check_bool "equal contents" true (Trim.equal_contents trim trim2)
+
+let test_string_roundtrip_with_escaping () =
+  let trim = sample () in
+  let text = ok (Rdf.to_string trim) in
+  check_bool "escaped" true
+    (let re = Re.compile (Re.str "&lt;high?&gt;") in
+     Re.execp re text);
+  let trim2 = ok (Rdf.of_string text) in
+  check_bool "round trip through text" true (Trim.equal_contents trim trim2)
+
+let test_bad_predicate_rejected () =
+  let trim = Trim.create () in
+  ignore
+    (Trim.add trim (Triple.make "a" "has space" (Triple.literal "x")));
+  check_bool "rejected" true (Result.is_error (Rdf.to_xml trim));
+  let trim2 = Trim.create () in
+  ignore (Trim.add trim2 (Triple.make "a" "1starts-with-digit" (Triple.literal "x")));
+  check_bool "digit start rejected" true (Result.is_error (Rdf.to_xml trim2))
+
+let test_model_exports_as_rdf () =
+  (* The whole metamodel vocabulary ("represented using RDF Schema")
+     serializes: model + schema + instance in one RDF document. *)
+  let t = Si_slim.Dmi.create () in
+  let pad = Si_slim.Dmi.create_slimpad t ~pad_name:"P" in
+  let root = Si_slim.Dmi.root_bundle t pad in
+  let _ = Si_slim.Dmi.create_scrap t ~name:"s" ~mark_id:"m" ~parent:root () in
+  let trim = Si_slim.Dmi.trim t in
+  let trim2 = ok (Rdf.of_xml (ok (Rdf.to_xml trim))) in
+  check_bool "model+instances round-trip" true
+    (Trim.equal_contents trim trim2);
+  (* The reloaded store still works as a SLIM store. *)
+  let t2 = ok (Si_slim.Dmi.of_xml (Trim.to_xml trim2)) in
+  check_bool "pad survives" true (Si_slim.Dmi.find_pad t2 "P" <> None)
+
+let test_file_roundtrip () =
+  let trim = sample () in
+  let path = Filename.temp_file "rdf" ".xml" in
+  ok (Rdf.save trim path);
+  let trim2 = ok (Rdf.load path) in
+  Sys.remove path;
+  check_bool "file round-trip" true (Trim.equal_contents trim trim2)
+
+let test_rejects_garbage () =
+  check_bool "wrong root" true
+    (Result.is_error (Rdf.of_xml (Si_xmlk.Node.element "triples" [])));
+  check_bool "description without about" true
+    (Result.is_error
+       (Rdf.of_xml
+          (Si_xmlk.Node.element "rdf:RDF"
+             [ Si_xmlk.Node.element "rdf:Description" [] ])))
+
+(* Property: any TRIM store with XML-safe predicates survives RDF/XML. *)
+let gen_store =
+  QCheck.Gen.(
+    let* n = int_range 0 40 in
+    let* triples =
+      list_size (return n)
+        (let* s = int_range 0 10 in
+         let* p = oneofl [ "name"; "content"; "rdf:type"; "mm:inModel" ] in
+         let* o =
+           oneof
+             [
+               map (fun i -> Triple.resource ("r" ^ string_of_int i))
+                 (int_range 0 10);
+               map (fun s -> Triple.literal s)
+                 (string_size (int_range 0 10)
+                    ~gen:(oneofl [ 'a'; '<'; '&'; '"'; ' ' ]));
+             ]
+         in
+         return (Triple.make ("r" ^ string_of_int s) p o))
+    in
+    let trim = Trim.create () in
+    Trim.add_all trim triples;
+    return trim)
+
+let prop_rdf_roundtrip =
+  QCheck.Test.make ~name:"RDF/XML round-trip" ~count:200
+    (QCheck.make gen_store ~print:(fun t ->
+         String.concat ";" (List.map Triple.to_string (Trim.to_list t))))
+    (fun trim ->
+      match Rdf.to_xml trim with
+      | Error _ -> false
+      | Ok node -> (
+          match Rdf.of_xml node with
+          | Ok trim2 -> Trim.equal_contents trim trim2
+          | Error _ -> false))
+
+(* ------------------------------------------------- standard models *)
+
+let test_topic_map_model () =
+  let trim = Trim.create () in
+  let tmap = Si_slim.Std_models.install_topic_map trim in
+  let t1 = Model.new_instance tmap.Si_slim.Std_models.tm
+      tmap.Si_slim.Std_models.topic () in
+  Model.set_property tmap.Si_slim.Std_models.tm t1 "topicName"
+    (Triple.literal "Sepsis");
+  let o = Model.new_instance tmap.Si_slim.Std_models.tm
+      tmap.Si_slim.Std_models.occurrence () in
+  Model.set_property tmap.Si_slim.Std_models.tm o "occValue"
+    (Triple.literal "guideline.pdf p.1");
+  Model.add_property tmap.Si_slim.Std_models.tm t1 "hasOccurrence"
+    (Triple.resource o);
+  check_int "valid topic map" 0
+    (List.length
+       (Si_metamodel.Validate.check tmap.Si_slim.Std_models.tm)
+       .Si_metamodel.Validate.violations)
+
+let test_xlink_model () =
+  let trim = Trim.create () in
+  let x = Si_slim.Std_models.install_xlink trim in
+  let link = Model.new_instance x.Si_slim.Std_models.xl
+      x.Si_slim.Std_models.extended_link () in
+  let l1 = Model.new_instance x.Si_slim.Std_models.xl
+      x.Si_slim.Std_models.locator () in
+  let l2 = Model.new_instance x.Si_slim.Std_models.xl
+      x.Si_slim.Std_models.locator () in
+  let m = x.Si_slim.Std_models.xl in
+  Model.set_property m l1 "locatorHref" (Triple.literal "a.html#top");
+  Model.set_property m l2 "locatorHref" (Triple.literal "b.xml#/r/p");
+  Model.add_property m link "hasLocator" (Triple.resource l1);
+  Model.add_property m link "hasLocator" (Triple.resource l2);
+  let arc = Model.new_instance m x.Si_slim.Std_models.arc () in
+  Model.set_property m arc "arcFrom" (Triple.resource l1);
+  Model.set_property m arc "arcTo" (Triple.resource l2);
+  Model.add_property m link "hasArc" (Triple.resource arc);
+  check_int "valid xlink" 0
+    (List.length
+       (Si_metamodel.Validate.check m).Si_metamodel.Validate.violations)
+
+let test_three_models_coexist () =
+  (* The flexibility claim, end to end: Bundle-Scrap, topic map and XLink
+     in ONE triple store, each independently valid. *)
+  let dmi = Si_slim.Dmi.create () in
+  let trim = Si_slim.Dmi.trim dmi in
+  let tmap = Si_slim.Std_models.install_topic_map trim in
+  let x = Si_slim.Std_models.install_xlink trim in
+  let pad = Si_slim.Dmi.create_slimpad dmi ~pad_name:"P" in
+  ignore pad;
+  let t1 = Model.new_instance tmap.Si_slim.Std_models.tm
+      tmap.Si_slim.Std_models.topic () in
+  Model.set_property tmap.Si_slim.Std_models.tm t1 "topicName"
+    (Triple.literal "T");
+  ignore x;
+  check_int "three models" 3 (List.length (Model.all trim));
+  check_int "bundle-scrap valid" 0
+    (List.length (Si_slim.Dmi.validate dmi).Si_metamodel.Validate.violations);
+  check_int "topic map valid" 0
+    (List.length
+       (Si_metamodel.Validate.check tmap.Si_slim.Std_models.tm)
+       .Si_metamodel.Validate.violations)
+
+let test_pad_to_topic_map () =
+  (* End to end: build a pad through the DMI, map it to the topic map,
+     check the result is a valid topic map with the right content. *)
+  let dmi = Si_slim.Dmi.create () in
+  let pad = Si_slim.Dmi.create_slimpad dmi ~pad_name:"Rounds" in
+  let root = Si_slim.Dmi.root_bundle dmi pad in
+  let smith =
+    Si_slim.Dmi.create_bundle dmi ~name:"John Smith" ~parent:root ()
+  in
+  let _ =
+    Si_slim.Dmi.create_scrap dmi ~name:"Dopamine 5" ~mark_id:"m1"
+      ~parent:smith ()
+  in
+  let trim = Si_slim.Dmi.trim dmi in
+  let tmap = Si_slim.Std_models.install_topic_map trim in
+  let mapping =
+    Si_slim.Std_models.bundles_to_topics (Si_slim.Dmi.model dmi) tmap
+  in
+  let report = Si_mapping.Mapping.apply mapping in
+  (* Root bundle + smith bundle + 1 scrap = 3 instances. *)
+  check_int "instances mapped" 3 report.Si_mapping.Mapping.instances_mapped;
+  (* The smith topic carries its occurrence. *)
+  let topics = Model.instances_of tmap.Si_slim.Std_models.tm
+      tmap.Si_slim.Std_models.topic in
+  check_int "two topics" 2 (List.length topics);
+  let smith_topic =
+    List.find
+      (fun t ->
+        Trim.literal_of trim ~subject:t ~predicate:"topicName"
+        = Some "John Smith")
+      topics
+  in
+  check_int "occurrence attached" 1
+    (List.length
+       (Trim.select ~subject:smith_topic ~predicate:"hasOccurrence" trim));
+  check_int "mapped topic map is valid" 0
+    (List.length
+       (Si_metamodel.Validate.check tmap.Si_slim.Std_models.tm)
+       .Si_metamodel.Validate.violations)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_rdf_roundtrip ]
+
+let suite =
+  [
+    ("rdf/xml: shape", `Quick, test_shape);
+    ("rdf/xml: round-trip", `Quick, test_roundtrip);
+    ("rdf/xml: escaping", `Quick, test_string_roundtrip_with_escaping);
+    ("rdf/xml: bad predicates rejected", `Quick, test_bad_predicate_rejected);
+    ("rdf/xml: model+schema+instance export", `Quick,
+     test_model_exports_as_rdf);
+    ("rdf/xml: file round-trip", `Quick, test_file_roundtrip);
+    ("rdf/xml: rejects garbage", `Quick, test_rejects_garbage);
+    ("models: topic map", `Quick, test_topic_map_model);
+    ("models: xlink", `Quick, test_xlink_model);
+    ("models: three models coexist", `Quick, test_three_models_coexist);
+    ("models: pad -> topic map (E6 end-to-end)", `Quick,
+     test_pad_to_topic_map);
+  ]
+  @ props

@@ -1,0 +1,198 @@
+(* Failure-injection tests: corrupt, truncated and adversarial inputs must
+   produce Error values (or parse-tolerant results for HTML), never
+   exceptions. The superimposed layer lives on files owned by other
+   applications (paper §1: data "outside the box"), so malformed input is
+   a normal condition, not an edge case. *)
+
+module Trim = Si_triple.Trim
+module Dmi = Si_slim.Dmi
+module Desktop = Si_mark.Desktop
+module Slimpad = Si_slimpad.Slimpad
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A well-formed store file to mutilate. *)
+let store_file () =
+  let t = Dmi.create () in
+  let pad = Dmi.create_slimpad t ~pad_name:"P" in
+  let root = Dmi.root_bundle t pad in
+  for i = 1 to 5 do
+    ignore
+      (Dmi.create_scrap t
+         ~name:(Printf.sprintf "s%d" i)
+         ~mark_id:(Printf.sprintf "m%d" i)
+         ~parent:root ())
+  done;
+  Si_xmlk.Print.to_string ~decl:true (Dmi.to_xml t)
+
+let no_exception f =
+  match f () with _ -> true | exception _ -> false
+
+let test_truncated_store_files () =
+  let full = store_file () in
+  let n = String.length full in
+  (* Cut the document at many points; every prefix must load cleanly or
+     fail cleanly. *)
+  List.iter
+    (fun fraction ->
+      let len = n * fraction / 100 in
+      let mutilated = String.sub full 0 len in
+      check_bool
+        (Printf.sprintf "truncated at %d%%" fraction)
+        true
+        (no_exception (fun () -> ignore (Dmi.of_xml
+           (match Si_xmlk.Parse.node mutilated with
+            | Ok r -> r
+            | Error _ -> Si_xmlk.Node.element "garbage" [])))))
+    [ 0; 10; 25; 50; 75; 90; 99 ];
+  (* A prefix is (almost) never a valid XML document. *)
+  check_bool "90% truncation fails to parse" true
+    (Result.is_error (Si_xmlk.Parse.node (String.sub full 0 (n * 9 / 10))))
+
+let test_bitflipped_store_files () =
+  let full = store_file () in
+  (* Corrupt single characters at various positions; parsing/loading must
+     not raise. *)
+  List.iter
+    (fun pos ->
+      let bytes = Bytes.of_string full in
+      Bytes.set bytes (pos mod String.length full) '\000';
+      let corrupted = Bytes.to_string bytes in
+      check_bool
+        (Printf.sprintf "corrupted at %d" pos)
+        true
+        (no_exception (fun () ->
+             match Si_xmlk.Parse.node corrupted with
+             | Ok root -> ignore (Dmi.of_xml root)
+             | Error _ -> ())))
+    [ 3; 50; 200; 500; 900 ]
+
+let test_wrong_document_kinds () =
+  (* Loading one format's file as another fails with Error, not raise. *)
+  let workbook_xml =
+    Si_spreadsheet.Workbook.to_xml (Si_spreadsheet.Workbook.create ())
+  in
+  check_bool "workbook as wordproc" true
+    (Result.is_error (Si_wordproc.Wordproc.of_xml workbook_xml));
+  check_bool "workbook as slides" true
+    (Result.is_error (Si_slides.Slides.of_xml workbook_xml));
+  check_bool "workbook as pdf" true
+    (Result.is_error (Si_pdfdoc.Pdfdoc.of_xml workbook_xml));
+  check_bool "workbook as trim" true
+    (Result.is_error (Trim.of_xml workbook_xml));
+  check_bool "workbook as rdf" true
+    (Result.is_error (Si_triple.Rdf_xml.of_xml workbook_xml))
+
+let test_missing_files () =
+  check_bool "textdoc" true
+    (Result.is_error (Si_textdoc.Textdoc.from_file "/nonexistent/f.txt"));
+  check_bool "workbook" true
+    (Result.is_error (Si_spreadsheet.Workbook.load "/nonexistent/f.xml"));
+  check_bool "trim" true (Result.is_error (Trim.load "/nonexistent/f.xml"));
+  check_bool "slimpad" true
+    (Result.is_error
+       (Slimpad.load (Desktop.create ()) "/nonexistent/pad.xml"))
+
+let test_store_semantic_garbage () =
+  (* Well-formed XML with semantically broken content: loads as triples
+     (TRIM is schema-less) and the validator reports the breakage. *)
+  let broken =
+    Si_xmlk.Parse.node_exn
+      "<triples count=\"2\">\
+       <t s=\"scrap-1\" p=\"rdf:type\"><r>model:bundle-scrap/Scrap</r></t>\
+       <t s=\"scrap-1\" p=\"scrapName\"><r>not-a-literal</r></t>\
+       </triples>"
+  in
+  match Dmi.of_xml broken with
+  | Error e -> Alcotest.failf "should load (schema-later): %s" e
+  | Ok t ->
+      let report = Dmi.validate t in
+      check_bool "violations reported" true
+        (report.Si_metamodel.Validate.violations <> [])
+
+let test_marks_file_with_duplicate_ids () =
+  let dup =
+    Si_xmlk.Parse.node_exn
+      "<marks count=\"2\">\
+       <mark id=\"m1\" type=\"text\"><field name=\"fileName\">a</field></mark>\
+       <mark id=\"m1\" type=\"text\"><field name=\"fileName\">b</field></mark>\
+       </marks>"
+  in
+  let mgr = Si_mark.Manager.create () in
+  check_bool "duplicate ids rejected" true
+    (Result.is_error (Si_mark.Manager.of_xml mgr dup))
+
+let test_adversarial_formulas () =
+  (* Deeply nested and pathological formulas parse or fail, never raise,
+     and evaluation terminates. *)
+  let deep n = String.concat "" (List.init n (fun _ -> "(")) ^ "1"
+               ^ String.concat "" (List.init n (fun _ -> ")")) in
+  check_bool "deep parens parse" true
+    (no_exception (fun () -> ignore (Si_spreadsheet.Formula.parse (deep 500))));
+  let wb = Si_spreadsheet.Workbook.create () in
+  (* A 300-cell dependency chain evaluates without stack trouble. *)
+  Si_spreadsheet.Workbook.set wb "A1" "1";
+  for i = 2 to 300 do
+    Si_spreadsheet.Workbook.set wb
+      (Printf.sprintf "A%d" i)
+      (Printf.sprintf "=A%d + 1" (i - 1))
+  done;
+  Alcotest.(check string) "chain" "300" (Si_spreadsheet.Workbook.display wb "A300");
+  (* Self-referential ranges terminate with #CYCLE!. *)
+  Si_spreadsheet.Workbook.set wb "B1" "=SUM(A1:B9)";
+  check_bool "cyclic range terminates" true
+    (no_exception (fun () ->
+         ignore (Si_spreadsheet.Workbook.display wb "B1")))
+
+let test_huge_flat_xml () =
+  (* 20k siblings: parser and path machinery stay iterative enough. *)
+  let doc =
+    "<r>" ^ String.concat "" (List.init 20_000 (fun i ->
+        Printf.sprintf "<e i=\"%d\"/>" i)) ^ "</r>"
+  in
+  let root = Si_xmlk.Parse.node_exn doc in
+  check_int "all parsed" 20_000 (List.length (Si_xmlk.Node.children root));
+  let p = Si_xmlk.Path.of_string_exn "/r/e[19999]" in
+  check_bool "path into the deep end" true
+    (Si_xmlk.Path.resolve_element root p <> None)
+
+let test_html_pathological_nesting () =
+  (* 5k unclosed nested divs must not blow the stack at parse, text
+     extraction, or printing. *)
+  let soup = String.concat "" (List.init 5_000 (fun _ -> "<div>x")) in
+  check_bool "survives" true
+    (no_exception (fun () ->
+         let doc = Si_htmldoc.Htmldoc.parse soup in
+         ignore (Si_htmldoc.Htmldoc.to_text doc)))
+
+let test_query_pathological () =
+  let trim = Trim.create () in
+  for i = 0 to 99 do
+    ignore
+      (Trim.add trim
+         (Si_triple.Triple.make "hub" "spoke"
+            (Si_triple.Triple.resource (Printf.sprintf "n%d" i))))
+  done;
+  (* A 3-way self-join on a hub fans out to 10^6 candidate rows; it must
+     complete (and dedupe) without raising. *)
+  let q =
+    Si_query.Query.parse_exn
+      "select ?a where { <hub> spoke ?a . <hub> spoke ?b . <hub> spoke ?c }"
+  in
+  check_int "deduped" 100 (List.length (Si_query.Query.run trim q))
+
+let suite =
+  [
+    ("truncated store files", `Quick, test_truncated_store_files);
+    ("bit-flipped store files", `Quick, test_bitflipped_store_files);
+    ("wrong document kinds", `Quick, test_wrong_document_kinds);
+    ("missing files", `Quick, test_missing_files);
+    ("semantic garbage is validated, not crashed on", `Quick,
+     test_store_semantic_garbage);
+    ("duplicate mark ids rejected", `Quick, test_marks_file_with_duplicate_ids);
+    ("adversarial formulas", `Quick, test_adversarial_formulas);
+    ("huge flat XML", `Quick, test_huge_flat_xml);
+    ("pathological HTML nesting", `Quick, test_html_pathological_nesting);
+    ("pathological query join", `Quick, test_query_pathological);
+  ]

@@ -1,0 +1,142 @@
+(* Tests for the presentation substrate (the PowerPoint stand-in). *)
+
+open Si_slides
+
+let check = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let rounds_deck () =
+  let p = Slides.create ~title:"Morning Report" () in
+  let s1 = Slides.add_slide p ~title:"Case: J. Smith" in
+  let _ =
+    Slides.add_shape s1 ~id:"summary"
+      (Slides.Text_box "62M, sepsis, day 3 of pressors")
+  in
+  let _ =
+    Slides.add_shape s1 ~id:"problems"
+      (Slides.Bullets [ "Septic shock"; "Acute renal failure"; "Anemia" ])
+  in
+  let s2 = Slides.add_slide p ~title:"Plan" in
+  let _ = Slides.add_shape s2 ~id:"todo" (Slides.Bullets [ "Wean pressors"; "Renal consult" ]) in
+  let _ = Slides.add_shape s2 ~id:"cxr" (Slides.Picture "chest-xray.png") in
+  p
+
+let test_structure () =
+  let p = rounds_deck () in
+  check "title" "Morning Report" (Slides.title p);
+  check_int "slides" 2 (Slides.slide_count p);
+  let s1 = Option.get (Slides.nth_slide p 1) in
+  check "slide title" "Case: J. Smith" (Slides.slide_title s1);
+  check_int "shapes" 2 (List.length (Slides.shapes s1));
+  check_bool "missing slide" true (Slides.nth_slide p 3 = None)
+
+let test_duplicate_shape_id () =
+  let p = Slides.create () in
+  let s = Slides.add_slide p ~title:"t" in
+  check_bool "first" true (Result.is_ok (Slides.add_shape s ~id:"x" (Slides.Text_box "a")));
+  check_bool "dup" true (Result.is_error (Slides.add_shape s ~id:"x" (Slides.Text_box "b")))
+
+let test_text_extraction () =
+  let p = rounds_deck () in
+  let s1 = Option.get (Slides.nth_slide p 1) in
+  check "bullets text" "Septic shock\nAcute renal failure\nAnemia"
+    (Slides.shape_text (Option.get (Slides.find_shape s1 "problems")));
+  check "slide text"
+    "Case: J. Smith\n62M, sepsis, day 3 of pressors\nSeptic shock\nAcute renal failure\nAnemia"
+    (Slides.slide_text s1)
+
+let test_resolve () =
+  let p = rounds_deck () in
+  check "whole shape" "Wean pressors\nRenal consult"
+    (Option.get
+       (Slides.resolve p { slide = 2; shape_id = "todo"; bullet = None }));
+  check "single bullet" "Renal consult"
+    (Option.get
+       (Slides.resolve p { slide = 2; shape_id = "todo"; bullet = Some 2 }));
+  check_bool "bullet out of range" true
+    (Slides.resolve p { slide = 2; shape_id = "todo"; bullet = Some 5 } = None);
+  check_bool "bullet on textbox" true
+    (Slides.resolve p { slide = 1; shape_id = "summary"; bullet = Some 1 }
+    = None);
+  check_bool "bad slide" true
+    (Slides.resolve p { slide = 9; shape_id = "todo"; bullet = None } = None);
+  check_bool "bad shape" true
+    (Slides.resolve p { slide = 1; shape_id = "nope"; bullet = None } = None)
+
+let test_find_text () =
+  let p = rounds_deck () in
+  (* Search is case-sensitive: "renal" only hits the problem list. *)
+  (match Slides.find_text p "renal" with
+  | [ a1 ] ->
+      check_int "hit 1 slide" 1 a1.Slides.slide;
+      check "hit 1 shape" "problems" a1.Slides.shape_id;
+      check_bool "hit 1 bullet" true (a1.Slides.bullet = Some 2)
+  | hits -> Alcotest.failf "expected 1 hit, got %d" (List.length hits));
+  (match Slides.find_text p "Renal" with
+  | [ a2 ] ->
+      check_int "hit 2 slide" 2 a2.Slides.slide;
+      check_bool "hit 2 bullet" true (a2.Slides.bullet = Some 2)
+  | hits -> Alcotest.failf "expected 1 Renal hit, got %d" (List.length hits));
+  check_bool "picture matched by name" true
+    (List.length (Slides.find_text p "xray") = 1);
+  check_bool "no hits" true (Slides.find_text p "dialysis" = [])
+
+let test_xml_roundtrip () =
+  let p = rounds_deck () in
+  let p2 =
+    match Slides.of_xml (Slides.to_xml p) with
+    | Ok x -> x
+    | Error e -> Alcotest.fail e
+  in
+  check_bool "equal" true (Slides.equal p p2);
+  check "resolve after roundtrip" "Renal consult"
+    (Option.get
+       (Slides.resolve p2 { slide = 2; shape_id = "todo"; bullet = Some 2 }))
+
+let test_xml_file_roundtrip () =
+  let p = rounds_deck () in
+  let path = Filename.temp_file "deck" ".xml" in
+  Slides.save p path;
+  let p2 = match Slides.load path with Ok x -> x | Error e -> Alcotest.fail e in
+  Sys.remove path;
+  check_bool "file roundtrip" true (Slides.equal p p2)
+
+let test_xml_rejects_garbage () =
+  check_bool "bad root" true
+    (Result.is_error (Slides.of_xml (Si_xmlk.Node.element "deck" [])));
+  let missing_id =
+    Si_xmlk.Node.element "presentation"
+      [
+        Si_xmlk.Node.element "slide"
+          [ Si_xmlk.Node.element "textbox" [ Si_xmlk.Node.text "x" ] ];
+      ]
+  in
+  check_bool "shape without id" true (Result.is_error (Slides.of_xml missing_id))
+
+let test_geometry_preserved () =
+  let p = Slides.create () in
+  let s = Slides.add_slide p ~title:"g" in
+  let geom = { Slides.x = 10; y = 20; w = 300; h = 150 } in
+  let _ = Slides.add_shape s ~geom ~id:"box" (Slides.Text_box "t") in
+  let p2 =
+    match Slides.of_xml (Slides.to_xml p) with
+    | Ok x -> x
+    | Error e -> Alcotest.fail e
+  in
+  let s2 = Option.get (Slides.nth_slide p2 1) in
+  let sh = Option.get (Slides.find_shape s2 "box") in
+  check_bool "geometry" true (sh.Slides.geom = geom)
+
+let suite =
+  [
+    ("structure", `Quick, test_structure);
+    ("duplicate shape ids", `Quick, test_duplicate_shape_id);
+    ("text extraction", `Quick, test_text_extraction);
+    ("address resolution", `Quick, test_resolve);
+    ("find_text", `Quick, test_find_text);
+    ("xml round-trip", `Quick, test_xml_roundtrip);
+    ("xml file round-trip", `Quick, test_xml_file_roundtrip);
+    ("xml rejects garbage", `Quick, test_xml_rejects_garbage);
+    ("geometry preserved", `Quick, test_geometry_preserved);
+  ]

@@ -1,0 +1,363 @@
+(* Integration tests for the SLIMPad application: app -> SLIM store -> TRIM
+   and app -> Mark Manager -> base applications (paper Fig 5; experiments
+   F1, F4, F5). *)
+
+open Si_slimpad
+module Dmi = Si_slim.Dmi
+module Desktop = Si_mark.Desktop
+module Manager = Si_mark.Manager
+
+let check = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+(* A desktop with the Fig 4 documents. *)
+let fig4_desktop () =
+  let desk = Desktop.create () in
+  let wb = Si_spreadsheet.Workbook.create ~sheet_names:[ "Medications" ] () in
+  let set a v = Si_spreadsheet.Workbook.set wb ~sheet_name:"Medications" a v in
+  set "A1" "Drug";
+  set "B1" "Dose";
+  set "A2" "Dopamine";
+  set "B2" "5";
+  set "A3" "Fentanyl";
+  set "B3" "0.05";
+  Desktop.add_workbook desk "meds.xls" wb;
+  Desktop.add_xml desk "labs.xml"
+    (Si_xmlk.Parse.node_exn
+       "<report><panel name=\"electrolytes\">\
+        <result test=\"Na\">140</result><result test=\"K\">4.2</result>\
+        </panel></report>");
+  desk
+
+let fig4_app () =
+  let desk = fig4_desktop () in
+  let app = Slimpad.create desk in
+  let pad = Slimpad.new_pad app "Rounds" in
+  let root = Dmi.root_bundle (Slimpad.dmi app) pad in
+  let smith = Slimpad.add_bundle app ~parent:root ~name:"John Smith"
+      ~pos:{ Dmi.x = 10; y = 10 } () in
+  let dopa =
+    ok
+      (Slimpad.add_scrap app ~parent:smith ~name:"Dopamine 5"
+         ~mark_type:"excel"
+         ~fields:
+           [ ("fileName", "meds.xls"); ("sheetName", "Medications");
+             ("range", "A2:B2") ]
+         ~pos:{ Dmi.x = 20; y = 30 }
+         ())
+  in
+  let electro =
+    Slimpad.add_bundle app ~parent:smith ~name:"Electrolyte"
+      ~pos:{ Dmi.x = 20; y = 80 } ()
+  in
+  let k =
+    ok
+      (Slimpad.add_scrap app ~parent:electro ~name:"4.2" ~mark_type:"xml"
+         ~fields:
+           [ ("fileName", "labs.xml");
+             ("xmlPath", "/report/panel/result[2]") ]
+         ())
+  in
+  (app, pad, smith, dopa, electro, k)
+
+let test_add_scrap_creates_mark () =
+  let app, _, _, dopa, _, _ = fig4_app () in
+  let mark = Option.get (Slimpad.scrap_mark app dopa) in
+  check "mark type" "excel" mark.Si_mark.Mark.mark_type;
+  check "mark cached the selection" "Dopamine\t5" mark.Si_mark.Mark.excerpt;
+  check_int "two marks in manager" 2 (Manager.mark_count (Slimpad.marks app))
+
+let test_add_scrap_default_label () =
+  let app, _, smith, _, _, _ = fig4_app () in
+  let s =
+    ok
+      (Slimpad.add_scrap app ~parent:smith ~name:"" ~mark_type:"excel"
+         ~fields:
+           [ ("fileName", "meds.xls"); ("sheetName", "Medications");
+             ("range", "B3") ]
+         ())
+  in
+  check "label defaults to excerpt" "0.05"
+    (Dmi.scrap_name (Slimpad.dmi app) s)
+
+let test_add_scrap_bad_mark () =
+  let app, _, smith, _, _, _ = fig4_app () in
+  check_bool "bad address refused" true
+    (Result.is_error
+       (Slimpad.add_scrap app ~parent:smith ~name:"x" ~mark_type:"excel"
+          ~fields:[ ("fileName", "meds.xls") ]
+          ()))
+
+let test_double_click () =
+  (* "By clicking on the scrap, the mark is de-referenced and the original
+     information source, the medication list, is displayed with the
+     appropriate medication highlighted." *)
+  let app, _, _, dopa, _, k = fig4_app () in
+  let res = ok (Slimpad.double_click app dopa) in
+  check_bool "medication highlighted in context" true
+    (let re = Re.compile (Re.str "[Dopamine]") in
+     Re.execp re res.Si_mark.Mark.res_context);
+  let res_k = ok (Slimpad.double_click app k) in
+  check "xml scrap content" "4.2" res_k.Si_mark.Mark.res_excerpt;
+  check "extract behaviour" "4.2" (ok (Slimpad.scrap_content app k));
+  check_bool "in-place behaviour is markup" true
+    (let re = Re.compile (Re.str "<result") in
+     Re.execp re (ok (Slimpad.scrap_in_place app k)))
+
+let test_label_and_content_differ () =
+  (* "Note that a scrap's label and its mark's content may differ." *)
+  let app, _, _, dopa, _, _ = fig4_app () in
+  Dmi.update_scrap_name (Slimpad.dmi app) dopa "pressor #1";
+  check "label" "pressor #1" (Dmi.scrap_name (Slimpad.dmi app) dopa);
+  check "content unchanged" "Dopamine\t5" (ok (Slimpad.scrap_content app dopa))
+
+let test_drift_and_refresh () =
+  let app, pad, _, _, _, _ = fig4_app () in
+  check_int "clean pad" 0 (List.length (Slimpad.drift_report app pad));
+  (* The medication list changes under the pad. *)
+  let wb = ok (Desktop.open_workbook (Slimpad.desktop app) "meds.xls") in
+  Si_spreadsheet.Workbook.set wb ~sheet_name:"Medications" "B2" "10";
+  (match Slimpad.drift_report app pad with
+  | [ (_, Manager.Changed { was; now }) ] ->
+      check "was" "Dopamine\t5" was;
+      check "now" "Dopamine\t10" now
+  | l -> Alcotest.failf "expected one Changed, got %d entries" (List.length l));
+  check_int "refresh fixes one" 1 (Slimpad.refresh_pad app pad);
+  check_int "clean again" 0 (List.length (Slimpad.drift_report app pad))
+
+let test_find_scraps () =
+  let app, pad, _, _, _, _ = fig4_app () in
+  check_int "find nested" 1 (List.length (Slimpad.find_scraps app pad "4.2"));
+  check_int "find by prefix" 1
+    (List.length (Slimpad.find_scraps app pad "Dopa"));
+  check_int "none" 0 (List.length (Slimpad.find_scraps app pad "insulin"))
+
+let test_query_through_app () =
+  let app, _, _, _, _, _ = fig4_app () in
+  let rows =
+    ok
+      (Slimpad.query app
+         "select ?n where { ?s scrapName ?n . ?s scrapMark ?h }")
+  in
+  check_int "two scraps" 2 (List.length rows);
+  check_bool "bad query reported" true (Result.is_error (Slimpad.query app "("))
+
+let test_render () =
+  let app, pad, _, _, _, _ = fig4_app () in
+  let text = Slimpad.render_pad app pad in
+  let has s =
+    let re = Re.compile (Re.str s) in
+    Re.execp re text
+  in
+  check_bool "pad header" true (has "SLIMPad \"Rounds\"");
+  check_bool "bundle with position" true (has "Bundle \"John Smith\" @(10,10)");
+  check_bool "nested bundle" true (has "Bundle \"Electrolyte\"");
+  check_bool "scrap with source" true
+    (has "Scrap \"Dopamine 5\" @(20,30) -> meds.xls!Medications!A2:B2");
+  check_bool "xml scrap source" true
+    (has "labs.xml#/report/panel/result[2]")
+
+let test_render_annotations_and_links () =
+  let app, pad, _, dopa, _, k = fig4_app () in
+  Dmi.annotate_scrap (Slimpad.dmi app) dopa "check dose";
+  ignore
+    (Dmi.link_scraps (Slimpad.dmi app) ~label:"related" ~from_:dopa ~to_:k ());
+  let text = Slimpad.render_pad app pad in
+  let has s =
+    let re = Re.compile (Re.str s) in
+    Re.execp re text
+  in
+  check_bool "annotation" true (has "note: check dose");
+  check_bool "link" true (has "\"Dopamine 5\" --related--> \"4.2\"")
+
+let test_save_load_combined () =
+  let app, pad, _, _, _, _ = fig4_app () in
+  Dmi.annotate_scrap (Slimpad.dmi app)
+    (List.hd (Slimpad.find_scraps app pad "Dopamine"))
+    "note";
+  let path = Filename.temp_file "pad" ".xml" in
+  Slimpad.save app path;
+  let app2 = ok (Slimpad.load (fig4_desktop ()) path) in
+  Sys.remove path;
+  let pad2 = Option.get (Dmi.find_pad (Slimpad.dmi app2) "Rounds") in
+  check "same rendering" (Slimpad.render_pad app pad)
+    (Slimpad.render_pad app2 pad2);
+  (* Marks still resolve against the fresh desktop. *)
+  let dopa2 = List.hd (Slimpad.find_scraps app2 pad2 "Dopamine") in
+  check "resolves after reload" "Dopamine\t5"
+    (ok (Slimpad.scrap_content app2 dopa2))
+
+let test_load_rejects_garbage () =
+  let path = Filename.temp_file "bad" ".xml" in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "<not-a-store/>");
+  check_bool "bad file" true
+    (Result.is_error (Slimpad.load (Desktop.create ()) path));
+  Sys.remove path
+
+let test_render_html () =
+  let app, pad, _, dopa, _, k = fig4_app () in
+  Dmi.annotate_scrap (Slimpad.dmi app) dopa "check dose";
+  ignore
+    (Dmi.link_scraps (Slimpad.dmi app) ~label:"related" ~from_:dopa ~to_:k ());
+  ignore
+    (Dmi.add_decoration (Slimpad.dmi app)
+       (Dmi.root_bundle (Slimpad.dmi app) pad)
+       ~kind:"gridlet" ~pos:{ Dmi.x = 5; y = 5 } ());
+  let html = Slimpad.render_pad_html app pad in
+  let has s =
+    let re = Re.compile (Re.str s) in
+    Re.execp re html
+  in
+  check_bool "is a document" true (has "<!DOCTYPE html>");
+  check_bool "positioned bundle" true (has "left:10px; top:10px;");
+  check_bool "scrap label" true (has ">Dopamine 5");
+  check_bool "mark source in title" true (has "meds.xls!Medications!A2:B2");
+  check_bool "annotation" true (has "check dose");
+  check_bool "decoration" true (has "[gridlet]");
+  check_bool "link section" true (has "related");
+  (* It parses as HTML with the expected structure. *)
+  let dom = Si_htmldoc.Htmldoc.parse html in
+  check_int "bundle divs" 3
+    (List.length
+       (Result.get_ok (Si_htmldoc.Selector.query dom "div.bundle")));
+  check_int "scrap spans" 2
+    (List.length (Result.get_ok (Si_htmldoc.Selector.query dom "span.scrap")))
+
+let test_import_pad () =
+  (* Doctor A saves a pad; doctor B imports it next to their own — fresh
+     ids, live marks, annotations and links intact. *)
+  let app_a, pad_a, _, dopa, _, k = fig4_app () in
+  Dmi.annotate_scrap (Slimpad.dmi app_a) dopa "verify with pharmacy";
+  ignore (Dmi.link_scraps (Slimpad.dmi app_a) ~label:"rel" ~from_:dopa ~to_:k ());
+  let path = Filename.temp_file "shared" ".xml" in
+  Slimpad.save app_a path;
+  let app_b, pad_b, _, _, _, _ = fig4_app () in
+  let imported =
+    match Slimpad.import_pad app_b ~from_file:path () with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  Sys.remove path;
+  let t = Slimpad.dmi app_b in
+  check "named" "Rounds (imported)" (Dmi.pad_name t imported);
+  check_int "two pads now" 2 (List.length (Dmi.pads t));
+  (* The copy has the full structure... *)
+  check_bool "structure copied" true
+    (Dmi.bundle_descendant_count t (Dmi.root_bundle t imported) = (3, 2));
+  (* ...with fresh scraps whose marks resolve against B's desktop. *)
+  let dopa_b = List.hd (Slimpad.find_scraps app_b imported "Dopamine") in
+  check "mark resolves" "Dopamine\t5" (ok (Slimpad.scrap_content app_b dopa_b));
+  Alcotest.(check (list string))
+    "annotation came along" [ "verify with pharmacy" ]
+    (Dmi.annotations t dopa_b);
+  check_int "link came along" 1
+    (List.length (Dmi.links_of_scrap t dopa_b));
+  (* B's own pad is untouched and B's marks are distinct objects. *)
+  check_int "own pad intact" 2
+    (List.length (Slimpad.find_scraps app_b pad_b ""));
+  check_bool "no mark id collision" true
+    (Dmi.scrap_mark_id t dopa_b
+    <> Dmi.scrap_mark_id (Slimpad.dmi app_a)
+         (List.hd (Slimpad.find_scraps app_a pad_a "Dopamine")));
+  (* Importing twice just makes another copy. *)
+  let path2 = Filename.temp_file "shared" ".xml" in
+  Slimpad.save app_a path2;
+  (match Slimpad.import_pad app_b ~from_file:path2 ~rename:"third" () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Sys.remove path2;
+  check_int "three pads" 3 (List.length (Dmi.pads t));
+  check_int "store still conformant" 0
+    (List.length (Dmi.validate t).Si_metamodel.Validate.violations)
+
+let test_import_pad_errors () =
+  let app, _, _, _, _, _ = fig4_app () in
+  check_bool "missing file" true
+    (Result.is_error (Slimpad.import_pad app ~from_file:"/nonexistent" ()));
+  let path = Filename.temp_file "shared" ".xml" in
+  Slimpad.save app path;
+  check_bool "unknown pad name" true
+    (Result.is_error
+       (Slimpad.import_pad app ~from_file:path ~pad_name:"Nope" ()));
+  Sys.remove path
+
+let test_store_implementation_invariance () =
+  (* The application behaves identically over every store implementation
+     (modulo resource-id allocation, which is also deterministic). *)
+  let build store =
+    let desk = fig4_desktop () in
+    let app = Slimpad.create ~store desk in
+    let pad = Slimpad.new_pad app "P" in
+    let root = Dmi.root_bundle (Slimpad.dmi app) pad in
+    let b = Slimpad.add_bundle app ~parent:root ~name:"B" () in
+    let s =
+      ok
+        (Slimpad.add_scrap app ~parent:b ~name:"s" ~mark_type:"excel"
+           ~fields:
+             [ ("fileName", "meds.xls"); ("sheetName", "Medications");
+               ("range", "B2") ]
+           ())
+    in
+    Dmi.annotate_scrap (Slimpad.dmi app) s "n";
+    Slimpad.render_pad app pad
+  in
+  let renders =
+    List.map
+      (fun (_, store) -> build store)
+      Si_triple.Store.implementations
+  in
+  match renders with
+  | first :: rest ->
+      List.iteri
+        (fun i other ->
+          check (Printf.sprintf "impl %d renders identically" (i + 1)) first
+            other)
+        rest
+  | [] -> Alcotest.fail "no implementations"
+
+let test_dangling_mark_rendering () =
+  let app, pad, smith, _, _, _ = fig4_app () in
+  (* A scrap whose mark was removed behind its back renders as dangling. *)
+  let s =
+    ok
+      (Slimpad.add_scrap app ~parent:smith ~name:"will dangle"
+         ~mark_type:"excel"
+         ~fields:
+           [ ("fileName", "meds.xls"); ("sheetName", "Medications");
+             ("range", "A1") ]
+         ())
+  in
+  let mark_id = Dmi.scrap_mark_id (Slimpad.dmi app) s in
+  ignore (Manager.remove_mark (Slimpad.marks app) mark_id);
+  let text = Slimpad.render_pad app pad in
+  check_bool "dangling shown" true
+    (let re = Re.compile (Re.str "dangling mark") in
+     Re.execp re text)
+
+let suite =
+  [
+    ("add_scrap creates the mark (F5)", `Quick, test_add_scrap_creates_mark);
+    ("default label = excerpt", `Quick, test_add_scrap_default_label);
+    ("bad mark refused", `Quick, test_add_scrap_bad_mark);
+    ("double-click re-establishes context (F4)", `Quick, test_double_click);
+    ("label and content may differ", `Quick, test_label_and_content_differ);
+    ("drift & refresh", `Quick, test_drift_and_refresh);
+    ("find_scraps", `Quick, test_find_scraps);
+    ("query through the app", `Quick, test_query_through_app);
+    ("render pad (F4)", `Quick, test_render);
+    ("render annotations & links", `Quick, test_render_annotations_and_links);
+    ("save/load combined store (F5)", `Quick, test_save_load_combined);
+    ("load rejects garbage", `Quick, test_load_rejects_garbage);
+    ("render HTML (2-D layout)", `Quick, test_render_html);
+    ("import pad (sharing, §2)", `Quick, test_import_pad);
+    ("import pad errors", `Quick, test_import_pad_errors);
+    ("store-implementation invariance", `Quick,
+     test_store_implementation_invariance);
+    ("dangling marks rendered", `Quick, test_dangling_mark_rendering);
+  ]

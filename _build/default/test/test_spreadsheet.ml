@@ -1,0 +1,837 @@
+(* Tests for the spreadsheet substrate (the Excel stand-in). *)
+
+open Si_spreadsheet
+
+let check = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let value_testable = Alcotest.testable Value.pp Value.equal
+
+(* ------------------------------------------------------------- cellref *)
+
+let test_column_letters () =
+  let cases = [ ("A", 1); ("Z", 26); ("AA", 27); ("AZ", 52); ("BA", 53);
+                ("ZZ", 702); ("AAA", 703) ] in
+  List.iter
+    (fun (s, n) ->
+      check_int ("col " ^ s) n (Option.get (Cellref.column_of_letters s));
+      check ("letters " ^ s) s (Cellref.letters_of_column n))
+    cases;
+  check_bool "lowercase ok" true (Cellref.column_of_letters "aa" = Some 27);
+  check_bool "empty" true (Cellref.column_of_letters "" = None);
+  check_bool "digit" true (Cellref.column_of_letters "A1" = None)
+
+let test_cell_parse () =
+  let c = Option.get (Cellref.cell_of_string "B12") in
+  check_int "col" 2 c.col;
+  check_int "row" 12 c.row;
+  check_bool "rel" true ((not c.abs_col) && not c.abs_row);
+  let a = Option.get (Cellref.cell_of_string "$AB$3") in
+  check_int "abs col" 28 a.col;
+  check_bool "abs flags" true (a.abs_col && a.abs_row);
+  check "print abs" "$AB$3" (Cellref.cell_to_string a);
+  List.iter
+    (fun s -> check_bool ("reject " ^ s) true (Cellref.cell_of_string s = None))
+    [ ""; "12"; "B"; "B0"; "1B"; "B-2"; "B1C"; "$"; "$$A$1" ]
+
+let test_range_parse () =
+  let r = Cellref.of_string_exn "B3:A1" in
+  check "normalized" "A1:B3" (Cellref.to_string r);
+  check_int "width" 2 (Cellref.width r);
+  check_int "height" 3 (Cellref.height r);
+  check_int "size" 6 (Cellref.size r);
+  let single = Cellref.of_string_exn "C4" in
+  check_bool "single" true (Cellref.is_single_cell single);
+  check "single prints as cell" "C4" (Cellref.to_string single)
+
+let test_range_contains () =
+  let r = Cellref.of_string_exn "B2:D5" in
+  check_bool "inside" true (Cellref.contains r (Cellref.cell 3 4));
+  check_bool "corner" true (Cellref.contains r (Cellref.cell 2 2));
+  check_bool "outside col" false (Cellref.contains r (Cellref.cell 5 3));
+  check_bool "outside row" false (Cellref.contains r (Cellref.cell 3 6))
+
+let test_range_intersects () =
+  let r1 = Cellref.of_string_exn "A1:C3" in
+  let r2 = Cellref.of_string_exn "C3:E5" in
+  let r3 = Cellref.of_string_exn "D4:E5" in
+  check_bool "touching" true (Cellref.intersects r1 r2);
+  check_bool "disjoint" false (Cellref.intersects r1 r3)
+
+let test_range_cells_row_major () =
+  let r = Cellref.of_string_exn "A1:B2" in
+  let names = List.map Cellref.cell_to_string (Cellref.cells r) in
+  Alcotest.(check (list string)) "row major" [ "A1"; "B1"; "A2"; "B2" ] names
+
+(* ------------------------------------------------------------- formula *)
+
+let roundtrip src =
+  let e = Formula.parse_exn src in
+  let printed = Formula.to_string e in
+  let e2 = Formula.parse_exn printed in
+  check_bool ("reparse " ^ src) true (Formula.equal e e2);
+  printed
+
+let test_formula_parse_print () =
+  check "sum" "SUM(B2:B9) * (1 + C1)" (roundtrip "SUM(B2:B9)*(1+C1)");
+  check "if" "IF(A1 >= 140, \"high\", \"ok\")"
+    (roundtrip "IF(A1>=140,\"high\",\"ok\")");
+  check "sheet" "Labs!B2 & \" mmol/L\"" (roundtrip "Labs!B2&\" mmol/L\"");
+  check "quoted sheet" "'Lab Results'!B2" (roundtrip "'Lab Results'!B2");
+  check "power right assoc" "2 ^ 3 ^ 2" (roundtrip "2^3^2");
+  check "neg" "-A1 + 3" (roundtrip "-A1+3");
+  check "nested call" "MAX(1, MIN(2, 3))" (roundtrip "MAX(1,MIN(2,3))");
+  (* Left-associativity makes the input's parentheses redundant; the
+     canonical form drops them and the AST still round-trips. *)
+  check "cmp chain parens" "1 < 2 = TRUE" (roundtrip "(1<2)=TRUE")
+
+let test_formula_parse_errors () =
+  List.iter
+    (fun src ->
+      match Formula.parse src with
+      | Ok _ -> Alcotest.failf "expected parse error on %S" src
+      | Error _ -> ())
+    [ ""; "1+"; "(1"; "SUM(1,"; "\"unterminated"; "nonsense"; "A1:"; "1 2";
+      "Sheet1!SUM(A1)"; "'Open!A1" ]
+
+let test_formula_references () =
+  let e = Formula.parse_exn "SUM(A1:B2) + Labs!C3 * 2 - IF(D4, 1, E5)" in
+  let refs =
+    Formula.references e
+    |> List.map (fun (rt : Formula.range_target) ->
+           (Option.value rt.sheet ~default:"", Cellref.to_string rt.range))
+  in
+  Alcotest.(check (list (pair string string)))
+    "references"
+    [ ("", "A1:B2"); ("Labs", "C3"); ("", "D4"); ("", "E5") ]
+    refs
+
+(* A fixed environment for pure-formula evaluation tests. *)
+let static_env =
+  let table =
+    [ ("A1", Value.Number 10.); ("A2", Value.Number 20.);
+      ("A3", Value.Text "x"); ("B1", Value.Bool true);
+      ("C1", Value.Text "12.5"); ("D1", Value.Empty) ]
+  in
+  {
+    Formula.cell_value =
+      (fun _ cell ->
+        match List.assoc_opt (Cellref.cell_to_string cell) table with
+        | Some v -> v
+        | None -> Value.Empty);
+    Formula.range_values =
+      (fun _ range ->
+        List.map
+          (fun c ->
+            match List.assoc_opt (Cellref.cell_to_string c) table with
+            | Some v -> v
+            | None -> Value.Empty)
+          (Cellref.cells range));
+  }
+
+let eval src = Formula.eval static_env (Formula.parse_exn src)
+
+let test_eval_arithmetic () =
+  Alcotest.check value_testable "add" (Value.Number 30.) (eval "A1 + A2");
+  Alcotest.check value_testable "precedence" (Value.Number 50.)
+    (eval "A1 + A2 * 2");
+  Alcotest.check value_testable "power" (Value.Number 512.) (eval "2^3^2");
+  Alcotest.check value_testable "neg" (Value.Number (-10.)) (eval "-A1");
+  Alcotest.check value_testable "div0" (Value.Error Value.Div0) (eval "1/0");
+  Alcotest.check value_testable "text coercion" (Value.Number 13.5)
+    (eval "C1 + 1");
+  Alcotest.check value_testable "bool coercion" (Value.Number 11.)
+    (eval "A1 + B1");
+  Alcotest.check value_testable "bad value" (Value.Error Value.Bad_value)
+    (eval "A3 + 1")
+
+let test_eval_comparison_concat () =
+  Alcotest.check value_testable "lt" (Value.Bool true) (eval "A1 < A2");
+  Alcotest.check value_testable "eq text ci" (Value.Bool true)
+    (eval "\"ABC\" = \"abc\"");
+  Alcotest.check value_testable "ne" (Value.Bool false) (eval "A1 <> 10");
+  Alcotest.check value_testable "concat" (Value.Text "10x") (eval "A1 & A3");
+  Alcotest.check value_testable "concat empty" (Value.Text "10")
+    (eval "A1 & D1")
+
+let test_eval_aggregates () =
+  Alcotest.check value_testable "sum skips text/empty" (Value.Number 31.)
+    (eval "SUM(A1:B3)" (* 10 + 20 + TRUE *));
+  Alcotest.check value_testable "count" (Value.Number 3.)
+    (eval "COUNT(A1:B3)");
+  Alcotest.check value_testable "counta" (Value.Number 4.)
+    (eval "COUNTA(A1:B3)");
+  Alcotest.check value_testable "average" (Value.Number 15.)
+    (eval "AVERAGE(A1:A2)");
+  Alcotest.check value_testable "min" (Value.Number 1.) (eval "MIN(A1:B3)");
+  Alcotest.check value_testable "max" (Value.Number 20.) (eval "MAX(A1:B3)");
+  Alcotest.check value_testable "median" (Value.Number 15.)
+    (eval "MEDIAN(A1:A2)");
+  Alcotest.check value_testable "sum of scalars" (Value.Number 6.)
+    (eval "SUM(1, 2, 3)");
+  Alcotest.check value_testable "avg empty range" (Value.Error Value.Div0)
+    (eval "AVERAGE(D1:D9)")
+
+let test_eval_logic () =
+  Alcotest.check value_testable "if true" (Value.Text "big")
+    (eval "IF(A2 > A1, \"big\", \"small\")");
+  Alcotest.check value_testable "if numeric cond" (Value.Number 1.)
+    (eval "IF(A1, 1, 2)");
+  Alcotest.check value_testable "and" (Value.Bool false)
+    (eval "AND(TRUE, A1 > 100)");
+  Alcotest.check value_testable "or" (Value.Bool true)
+    (eval "OR(FALSE, B1)");
+  Alcotest.check value_testable "not" (Value.Bool false) (eval "NOT(B1)")
+
+let test_eval_scalar_functions () =
+  Alcotest.check value_testable "abs" (Value.Number 10.) (eval "ABS(0-A1)");
+  Alcotest.check value_testable "sqrt" (Value.Number 4.) (eval "SQRT(16)");
+  Alcotest.check value_testable "sqrt neg" (Value.Error Value.Bad_value)
+    (eval "SQRT(0-1)");
+  Alcotest.check value_testable "round digits" (Value.Number 3.14)
+    (eval "ROUND(3.14159, 2)");
+  Alcotest.check value_testable "mod" (Value.Number 1.) (eval "MOD(10, 3)");
+  Alcotest.check value_testable "mod zero" (Value.Error Value.Div0)
+    (eval "MOD(10, 0)");
+  Alcotest.check value_testable "len" (Value.Number 5.)
+    (eval "LEN(\"hello\")");
+  Alcotest.check value_testable "upper" (Value.Text "AB") (eval "UPPER(\"ab\")");
+  Alcotest.check value_testable "concatenate" (Value.Text "10-20")
+    (eval "CONCATENATE(A1, \"-\", A2)");
+  Alcotest.check value_testable "unknown fn" (Value.Error Value.Bad_name)
+    (eval "FROBNICATE(1)")
+
+let test_eval_text_functions () =
+  Alcotest.check value_testable "left" (Value.Text "Dop")
+    (eval "LEFT(\"Dopamine\", 3)");
+  Alcotest.check value_testable "left default" (Value.Text "D")
+    (eval "LEFT(\"Dopamine\")");
+  Alcotest.check value_testable "left overlong" (Value.Text "ab")
+    (eval "LEFT(\"ab\", 99)");
+  Alcotest.check value_testable "right" (Value.Text "ine")
+    (eval "RIGHT(\"Dopamine\", 3)");
+  Alcotest.check value_testable "mid" (Value.Text "pam")
+    (eval "MID(\"Dopamine\", 3, 3)");
+  Alcotest.check value_testable "mid clamps" (Value.Text "e")
+    (eval "MID(\"Dopamine\", 8, 10)");
+  Alcotest.check value_testable "mid bad start" (Value.Error Value.Bad_value)
+    (eval "MID(\"x\", 0, 1)");
+  Alcotest.check value_testable "find" (Value.Number 3.)
+    (eval "FIND(\"pa\", \"Dopamine\")");
+  Alcotest.check value_testable "find missing" (Value.Error Value.Bad_value)
+    (eval "FIND(\"z\", \"Dopamine\")");
+  Alcotest.check value_testable "substitute" (Value.Text "dog dog")
+    (eval "SUBSTITUTE(\"cat cat\", \"cat\", \"dog\")");
+  Alcotest.check value_testable "substitute empty old" (Value.Text "abc")
+    (eval "SUBSTITUTE(\"abc\", \"\", \"x\")")
+
+let test_eval_predicates_and_iferror () =
+  Alcotest.check value_testable "isblank true" (Value.Bool true)
+    (eval "ISBLANK(D1)");
+  Alcotest.check value_testable "isblank false" (Value.Bool false)
+    (eval "ISBLANK(A1)");
+  Alcotest.check value_testable "isnumber" (Value.Bool true)
+    (eval "ISNUMBER(A1)");
+  Alcotest.check value_testable "isnumber text" (Value.Bool false)
+    (eval "ISNUMBER(A3)");
+  Alcotest.check value_testable "iferror passthrough" (Value.Number 10.)
+    (eval "IFERROR(A1, 0)");
+  Alcotest.check value_testable "iferror catches" (Value.Number 0.)
+    (eval "IFERROR(1/0, 0)");
+  Alcotest.check value_testable "iferror catches name" (Value.Text "n/a")
+    (eval "IFERROR(NOSUCH(1), \"n/a\")")
+
+let test_eval_error_propagation () =
+  Alcotest.check value_testable "through arith" (Value.Error Value.Div0)
+    (eval "(1/0) + 1");
+  Alcotest.check value_testable "through cmp" (Value.Error Value.Div0)
+    (eval "(1/0) = 1");
+  Alcotest.check value_testable "through sum" (Value.Error Value.Div0)
+    (eval "SUM(1, 1/0)");
+  Alcotest.check value_testable "if propagates cond" (Value.Error Value.Div0)
+    (eval "IF(1/0, 1, 2)")
+
+(* ------------------------------------------------------------ workbook *)
+
+let med_workbook () =
+  let wb = Workbook.create ~sheet_names:[ "Medications"; "Labs" ] () in
+  Workbook.set wb ~sheet_name:"Medications" "A1" "Drug";
+  Workbook.set wb ~sheet_name:"Medications" "B1" "Dose mg";
+  Workbook.set wb ~sheet_name:"Medications" "A2" "Dopamine";
+  Workbook.set wb ~sheet_name:"Medications" "B2" "5";
+  Workbook.set wb ~sheet_name:"Medications" "A3" "Fentanyl";
+  Workbook.set wb ~sheet_name:"Medications" "B3" "0.05";
+  Workbook.set wb ~sheet_name:"Medications" "B5" "=SUM(B2:B3)";
+  Workbook.set wb ~sheet_name:"Labs" "A1" "Na";
+  Workbook.set wb ~sheet_name:"Labs" "B1" "140";
+  Workbook.set wb ~sheet_name:"Labs" "A2" "K";
+  Workbook.set wb ~sheet_name:"Labs" "B2" "4.2";
+  wb
+
+let test_workbook_basic () =
+  let wb = med_workbook () in
+  check "literal" "Dopamine" (Workbook.display wb ~sheet_name:"Medications" "A2");
+  check "formula" "5.05" (Workbook.display wb ~sheet_name:"Medications" "B5");
+  check "blank" "" (Workbook.display wb ~sheet_name:"Labs" "Z99");
+  check "input shows formula" "=SUM(B2:B3)"
+    (Workbook.input wb ~sheet_name:"Medications" "B5")
+
+let test_workbook_cross_sheet () =
+  let wb = med_workbook () in
+  Workbook.set wb ~sheet_name:"Medications" "C1" "=Labs!B1 + Labs!B2";
+  check "cross sheet" "144.2"
+    (Workbook.display wb ~sheet_name:"Medications" "C1");
+  Workbook.set wb ~sheet_name:"Medications" "C2" "=SUM(Labs!B1:B2)";
+  check "cross sheet range" "144.2"
+    (Workbook.display wb ~sheet_name:"Medications" "C2");
+  Workbook.set wb ~sheet_name:"Medications" "C3" "=Nowhere!A1";
+  check "unknown sheet" "#REF!"
+    (Workbook.display wb ~sheet_name:"Medications" "C3")
+
+let test_workbook_chained_formulas () =
+  let wb = Workbook.create () in
+  Workbook.set wb "A1" "1";
+  Workbook.set wb "A2" "=A1 + 1";
+  Workbook.set wb "A3" "=A2 + 1";
+  Workbook.set wb "A4" "=A3 + 1";
+  check "chain" "4" (Workbook.display wb "A4");
+  Workbook.set wb "A1" "10";
+  check "recomputed" "13" (Workbook.display wb "A4")
+
+let test_workbook_cycles () =
+  let wb = Workbook.create () in
+  Workbook.set wb "A1" "=B1";
+  Workbook.set wb "B1" "=A1";
+  check "direct cycle" "#CYCLE!" (Workbook.display wb "A1");
+  Workbook.set wb "C1" "=C1 + 1";
+  check "self cycle" "#CYCLE!" (Workbook.display wb "C1");
+  Workbook.set wb "D1" "=SUM(D1:D2)";
+  check "cycle via range" "#CYCLE!" (Workbook.display wb "D1");
+  (* A cell depending on a cyclic cell sees the error. *)
+  Workbook.set wb "E1" "=A1 + 1";
+  check "downstream of cycle" "#CYCLE!" (Workbook.display wb "E1")
+
+let test_workbook_sheets () =
+  let wb = Workbook.create () in
+  check_bool "add" true (Result.is_ok (Workbook.add_sheet wb "S2"));
+  check_bool "dup" true (Result.is_error (Workbook.add_sheet wb "S2"));
+  Alcotest.(check (list string)) "names" [ "Sheet1"; "S2" ]
+    (Workbook.sheet_names wb);
+  check_bool "remove" true (Workbook.remove_sheet wb "S2");
+  check_bool "remove missing" false (Workbook.remove_sheet wb "S2")
+
+let test_sheet_input_classification () =
+  let wb = Workbook.create () in
+  Workbook.set wb "A1" "42";
+  Workbook.set wb "A2" "hello";
+  Workbook.set wb "A3" "TRUE";
+  Workbook.set wb "A4" "=1+";
+  Workbook.set wb "A5" "  3.5 ";
+  Alcotest.check value_testable "number" (Value.Number 42.)
+    (Workbook.value wb "A1");
+  Alcotest.check value_testable "text" (Value.Text "hello")
+    (Workbook.value wb "A2");
+  Alcotest.check value_testable "bool" (Value.Bool true)
+    (Workbook.value wb "A3");
+  (* A malformed formula is kept as its text, like a spreadsheet would
+     show. *)
+  Alcotest.check value_testable "bad formula kept" (Value.Text "=1+")
+    (Workbook.value wb "A4");
+  Alcotest.check value_testable "trimmed number" (Value.Number 3.5)
+    (Workbook.value wb "A5");
+  Workbook.set wb "A1" "";
+  check_bool "cleared" true (Workbook.value wb "A1" = Value.Empty)
+
+let test_used_range () =
+  let wb = Workbook.create () in
+  let s = Workbook.default_sheet wb in
+  check_bool "empty" true (Sheet.used_range s = None);
+  Workbook.set wb "B2" "1";
+  Workbook.set wb "D7" "2";
+  check "used" "B2:D7" (Cellref.to_string (Option.get (Sheet.used_range s)));
+  check_int "count" 2 (Sheet.cell_count s)
+
+let test_precedents () =
+  let wb = med_workbook () in
+  let refs = Workbook.precedents wb ~sheet_name:"Medications" "B5" in
+  check_int "one ref" 1 (List.length refs);
+  check "ref" "B2:B3"
+    (Cellref.to_string (List.hd refs).Formula.range)
+
+(* ------------------------------------------- defined names & row edits *)
+
+let test_defined_names () =
+  let wb = med_workbook () in
+  let range = Cellref.of_string_exn "A2:B3" in
+  check_bool "define" true
+    (Result.is_ok
+       (Workbook.define_name wb ~name:"DrugTable" ~sheet_name:"Medications"
+          range));
+  check_bool "lookup" true
+    (Workbook.lookup_name wb "DrugTable" = Some ("Medications", range));
+  check_bool "duplicate" true
+    (Result.is_error
+       (Workbook.define_name wb ~name:"DrugTable" ~sheet_name:"Labs" range));
+  check_bool "unknown sheet" true
+    (Result.is_error
+       (Workbook.define_name wb ~name:"Other" ~sheet_name:"Nope" range));
+  check_bool "cell-shaped name rejected" true
+    (Result.is_error
+       (Workbook.define_name wb ~name:"A1" ~sheet_name:"Labs" range));
+  check_bool "bad chars rejected" true
+    (Result.is_error
+       (Workbook.define_name wb ~name:"has space" ~sheet_name:"Labs" range));
+  check_int "listed" 1 (List.length (Workbook.defined_names wb));
+  check_bool "remove" true (Workbook.remove_name wb "DrugTable");
+  check_bool "remove again" false (Workbook.remove_name wb "DrugTable")
+
+let test_names_persist () =
+  let wb = med_workbook () in
+  let range = Cellref.of_string_exn "B2:B3" in
+  (match Workbook.define_name wb ~name:"Doses" ~sheet_name:"Medications" range
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let wb2 =
+    match Workbook.of_xml (Workbook.to_xml wb) with
+    | Ok w -> w
+    | Error e -> Alcotest.fail e
+  in
+  check_bool "equal incl. names" true (Workbook.equal wb wb2);
+  check_bool "name survives" true
+    (Workbook.lookup_name wb2 "Doses" = Some ("Medications", range))
+
+let test_insert_rows () =
+  let wb = med_workbook () in
+  (* Insert 2 rows above the Fentanyl row (row 3) of Medications. *)
+  (match Workbook.insert_rows wb ~sheet_name:"Medications" ~at:3 ~count:2 ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check "shifted literal" "Fentanyl"
+    (Workbook.display wb ~sheet_name:"Medications" "A5");
+  check "vacated" "" (Workbook.display wb ~sheet_name:"Medications" "A3");
+  check "unshifted" "Dopamine"
+    (Workbook.display wb ~sheet_name:"Medications" "A2");
+  (* The SUM(B2:B3) formula moved from B5 to B7 and its range widened to
+     follow the shifted bottom row. *)
+  check "formula moved and rewritten" "=SUM(B2:B5)"
+    (Workbook.input wb ~sheet_name:"Medications" "B7");
+  check "still sums" "5.05"
+    (Workbook.display wb ~sheet_name:"Medications" "B7")
+
+let test_insert_rows_cross_sheet () =
+  let wb = med_workbook () in
+  Workbook.set wb ~sheet_name:"Labs" "C1" "=Medications!B2 + 1";
+  (match Workbook.insert_rows wb ~sheet_name:"Medications" ~at:1 ~count:3 ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check "cross-sheet ref rewritten" "=Medications!B5 + 1"
+    (Workbook.input wb ~sheet_name:"Labs" "C1");
+  check "still evaluates" "6" (Workbook.display wb ~sheet_name:"Labs" "C1");
+  (* Labs' own cells did not move. *)
+  check "labs untouched" "Na" (Workbook.display wb ~sheet_name:"Labs" "A1")
+
+let test_delete_rows () =
+  let wb = med_workbook () in
+  (* Delete the Dopamine row (row 2). *)
+  (match Workbook.delete_rows wb ~sheet_name:"Medications" ~at:2 ~count:1 ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check "shifted up" "Fentanyl"
+    (Workbook.display wb ~sheet_name:"Medications" "A2");
+  (* SUM(B2:B3) shrank to the surviving row and moved up. *)
+  check "range clamped" "=SUM(B2)"
+    (Workbook.input wb ~sheet_name:"Medications" "B4");
+  check "sum of survivor" "0.05"
+    (Workbook.display wb ~sheet_name:"Medications" "B4")
+
+let test_delete_rows_ref_error () =
+  let wb = Workbook.create () in
+  Workbook.set wb "A1" "10";
+  Workbook.set wb "B1" "=A2";
+  Workbook.set wb "A2" "5";
+  (match Workbook.delete_rows wb ~at:2 ~count:1 () with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check "deleted ref is REFERROR" "=REFERROR()" (Workbook.input wb "B1");
+  check "evaluates to #REF!" "#REF!" (Workbook.display wb "B1")
+
+let test_row_edit_adjusts_names () =
+  let wb = med_workbook () in
+  (match
+     Workbook.define_name wb ~name:"Doses" ~sheet_name:"Medications"
+       (Cellref.of_string_exn "B2:B3")
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Workbook.insert_rows wb ~sheet_name:"Medications" ~at:2 ~count:1 ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check_bool "name shifted" true
+    (Workbook.lookup_name wb "Doses"
+    = Some ("Medications", Cellref.of_string_exn "B3:B4"));
+  (* Deleting the whole named region drops the name. *)
+  (match Workbook.delete_rows wb ~sheet_name:"Medications" ~at:3 ~count:2 ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check_bool "name dropped" true (Workbook.lookup_name wb "Doses" = None)
+
+let test_insert_cols () =
+  let wb = med_workbook () in
+  (* Insert a column before B (doses shift to C). *)
+  (match Workbook.insert_cols wb ~sheet_name:"Medications" ~at:2 ~count:1 ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check "dose moved" "5" (Workbook.display wb ~sheet_name:"Medications" "C2");
+  check "vacated" "" (Workbook.display wb ~sheet_name:"Medications" "B2");
+  check "drug stayed" "Dopamine"
+    (Workbook.display wb ~sheet_name:"Medications" "A2");
+  check "formula rewritten" "=SUM(C2:C3)"
+    (Workbook.input wb ~sheet_name:"Medications" "C5");
+  check "still sums" "5.05"
+    (Workbook.display wb ~sheet_name:"Medications" "C5")
+
+let test_delete_cols () =
+  let wb = med_workbook () in
+  (* Delete column A (drug names); doses shift to A. *)
+  (match Workbook.delete_cols wb ~sheet_name:"Medications" ~at:1 ~count:1 ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check "doses now in A" "5"
+    (Workbook.display wb ~sheet_name:"Medications" "A2");
+  check "formula follows" "=SUM(A2:A3)"
+    (Workbook.input wb ~sheet_name:"Medications" "A5")
+
+let test_vlookup () =
+  let wb = med_workbook () in
+  Workbook.set wb ~sheet_name:"Labs" "D1"
+    "=VLOOKUP(\"Fentanyl\", Medications!A2:B3, 2)";
+  check "exact lookup" "0.05" (Workbook.display wb ~sheet_name:"Labs" "D1");
+  Workbook.set wb ~sheet_name:"Labs" "D2"
+    "=VLOOKUP(\"fentanyl\", Medications!A2:B3, 2)";
+  check "case-insensitive" "0.05"
+    (Workbook.display wb ~sheet_name:"Labs" "D2");
+  Workbook.set wb ~sheet_name:"Labs" "D3"
+    "=VLOOKUP(\"Insulin\", Medications!A2:B3, 2)";
+  check "not found" "#VALUE!" (Workbook.display wb ~sheet_name:"Labs" "D3");
+  Workbook.set wb ~sheet_name:"Labs" "D4"
+    "=VLOOKUP(\"Fentanyl\", Medications!A2:B3, 5)";
+  check "column out of range" "#REF!"
+    (Workbook.display wb ~sheet_name:"Labs" "D4");
+  Workbook.set wb ~sheet_name:"Labs" "D5" "=VLOOKUP(\"x\", 3, 1)";
+  check "non-range table" "#VALUE!"
+    (Workbook.display wb ~sheet_name:"Labs" "D5")
+
+let test_row_edit_validation () =
+  let wb = med_workbook () in
+  check_bool "bad at" true
+    (Result.is_error (Workbook.insert_rows wb ~at:0 ~count:1 ()));
+  check_bool "bad count" true
+    (Result.is_error (Workbook.delete_rows wb ~at:1 ~count:0 ()));
+  check_bool "bad sheet" true
+    (Result.is_error
+       (Workbook.insert_rows wb ~sheet_name:"Nope" ~at:1 ~count:1 ()))
+
+(* --------------------------------------------------------------- CSV *)
+
+let test_csv_import () =
+  let wb = Workbook.create ~sheet_names:[] () in
+  let csv = "Drug,Dose\nDopamine,5\n\"Nor, epi\",\"0.1\"\n" in
+  (match Workbook.import_csv wb ~sheet_name:"Meds" csv with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check "plain" "Drug" (Workbook.display wb ~sheet_name:"Meds" "A1");
+  check "quoted comma" "Nor, epi" (Workbook.display wb ~sheet_name:"Meds" "A3");
+  Alcotest.check value_testable "number field" (Value.Number 5.)
+    (Workbook.value wb ~sheet_name:"Meds" "B2")
+
+let test_csv_quotes_and_newlines () =
+  let wb = Workbook.create ~sheet_names:[] () in
+  let csv = "a,\"x\"\"y\"\n\"multi\nline\",b\n" in
+  (match Workbook.import_csv wb ~sheet_name:"S" csv with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check "escaped quote" "x\"y" (Workbook.display wb ~sheet_name:"S" "B1");
+  check "embedded newline" "multi\nline"
+    (Workbook.display wb ~sheet_name:"S" "A2")
+
+let test_csv_export_roundtrip () =
+  let wb = Workbook.create ~sheet_names:[] () in
+  let csv = "h1,h2\n1,two\n3,\"a,b\"\n" in
+  (match Workbook.import_csv wb ~sheet_name:"S" csv with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let out = Option.get (Workbook.export_csv wb ~sheet_name:"S" ~evaluate:true) in
+  check "roundtrip" csv out
+
+let test_csv_evaluated_export () =
+  let wb = Workbook.create ~sheet_names:[] () in
+  (match Workbook.import_csv wb ~sheet_name:"S" "1,=A1+1\n" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check "evaluated" "1,2\n"
+    (Option.get (Workbook.export_csv wb ~sheet_name:"S" ~evaluate:true));
+  check "raw" "1,=A1 + 1\n"
+    (Option.get (Workbook.export_csv wb ~sheet_name:"S" ~evaluate:false))
+
+(* --------------------------------------------------------------- XML *)
+
+let test_xml_roundtrip () =
+  let wb = med_workbook () in
+  Workbook.set wb ~sheet_name:"Labs" "C1" "=B1 > 135";
+  let xml = Workbook.to_xml wb in
+  let wb2 =
+    match Workbook.of_xml xml with
+    | Ok w -> w
+    | Error e -> Alcotest.fail e
+  in
+  check_bool "equal" true (Workbook.equal wb wb2);
+  check "formula survives" "5.05"
+    (Workbook.display wb2 ~sheet_name:"Medications" "B5");
+  check "bool formula survives" "TRUE"
+    (Workbook.display wb2 ~sheet_name:"Labs" "C1")
+
+let test_xml_file_roundtrip () =
+  let wb = med_workbook () in
+  let path = Filename.temp_file "workbook" ".xml" in
+  Workbook.save wb path;
+  let wb2 =
+    match Workbook.load path with Ok w -> w | Error e -> Alcotest.fail e
+  in
+  Sys.remove path;
+  check_bool "file roundtrip" true (Workbook.equal wb wb2)
+
+let test_xml_rejects_garbage () =
+  let bad = Si_xmlk.Node.element "not-a-workbook" [] in
+  check_bool "bad root" true (Result.is_error (Workbook.of_xml bad))
+
+(* ------------------------------------------------------ property tests *)
+
+let gen_cell =
+  QCheck.Gen.(
+    let* col = int_range 1 80 in
+    let* row = int_range 1 500 in
+    return (Cellref.cell col row))
+
+let prop_cell_roundtrip =
+  QCheck.Test.make ~name:"cell A1 round-trip" ~count:500
+    (QCheck.make gen_cell ~print:Cellref.cell_to_string) (fun c ->
+      match Cellref.cell_of_string (Cellref.cell_to_string c) with
+      | Some c2 -> Cellref.cell_equal c c2
+      | None -> false)
+
+let prop_column_roundtrip =
+  QCheck.Test.make ~name:"column letters round-trip" ~count:500
+    QCheck.(int_range 1 20000) (fun n ->
+      Cellref.column_of_letters (Cellref.letters_of_column n) = Some n)
+
+let prop_range_normalized =
+  QCheck.Test.make ~name:"ranges normalize and contain their cells"
+    ~count:300
+    (QCheck.make
+       QCheck.Gen.(pair gen_cell gen_cell)
+       ~print:(fun (a, b) ->
+         Cellref.cell_to_string a ^ ":" ^ Cellref.cell_to_string b))
+    (fun (a, b) ->
+      let r = Cellref.range_of_cells a b in
+      let cells = Cellref.cells r in
+      List.length cells = Cellref.size r
+      && List.for_all (Cellref.contains r) cells)
+
+let gen_formula =
+  QCheck.Gen.(
+    sized_size (int_range 0 8) @@ fix (fun self n ->
+        if n <= 0 then
+          oneof
+            [
+              map (fun f -> Formula.Number (float_of_int f)) (int_range 0 999);
+              map (fun c -> Formula.Ref { sheet = None; cell = c }) gen_cell;
+              map (fun s -> Formula.Text s)
+                (string_size (int_range 0 6) ~gen:(oneofl [ 'a'; '"'; ' ' ]));
+              return (Formula.Bool true);
+            ]
+        else
+          let sub = self (n / 2) in
+          oneof
+            [
+              (let* op =
+                 oneofl
+                   Formula.[ Add; Sub; Mul; Div; Pow; Concat; Eq; Lt; Ge ]
+               in
+               let* l = sub and* r = sub in
+               return (Formula.Binary (op, l, r)));
+              map (fun e -> Formula.Neg e) sub;
+              (let* name = oneofl [ "SUM"; "MIN"; "IF"; "CONCATENATE" ] in
+               let* args = list_size (int_range 1 3) sub in
+               return (Formula.Call (name, args)));
+              (let* c1 = gen_cell and* c2 = gen_cell in
+               return
+                 (Formula.Range
+                    { sheet = Some "Labs";
+                      range = Cellref.range_of_cells c1 c2 }));
+            ]))
+
+let prop_formula_roundtrip =
+  QCheck.Test.make ~name:"formula print/parse round-trip" ~count:300
+    (QCheck.make gen_formula ~print:Formula.to_string) (fun e ->
+      match Formula.parse (Formula.to_string e) with
+      | Ok e2 -> Formula.equal e e2
+      | Error _ -> false)
+
+let prop_eval_total =
+  QCheck.Test.make ~name:"evaluation is total (never raises)" ~count:300
+    (QCheck.make gen_formula ~print:Formula.to_string) (fun e ->
+      let _ = Formula.eval static_env e in
+      true)
+
+(* A random small workbook with literals and formulas over them. *)
+let gen_workbook =
+  QCheck.Gen.(
+    let* values =
+      list_size (int_range 1 15)
+        (triple (int_range 1 6) (int_range 1 12) (int_range 0 99))
+    in
+    let* formulas = list_size (int_range 0 5) (int_range 1 12) in
+    let wb = Workbook.create () in
+    List.iter
+      (fun (col, row, v) ->
+        Workbook.set wb
+          (Cellref.cell_to_string (Cellref.cell col row))
+          (string_of_int v))
+      values;
+    List.iteri
+      (fun i row ->
+        Workbook.set wb
+          (Cellref.cell_to_string (Cellref.cell (7 + i) row))
+          (Printf.sprintf "=SUM(A1:F%d) + B%d" row row))
+      formulas;
+    return wb)
+
+let snapshot wb =
+  (* Evaluated view of a fixed region, independent of structure. *)
+  List.init 14 (fun r ->
+      List.init 12 (fun c ->
+          Workbook.display wb
+            (Cellref.cell_to_string (Cellref.cell (c + 1) (r + 1))))
+      |> String.concat "\t")
+  |> String.concat "\n"
+
+let prop_insert_delete_inverse =
+  QCheck.Test.make ~name:"insert_rows then delete_rows is the identity"
+    ~count:100
+    (QCheck.make
+       QCheck.Gen.(triple gen_workbook (int_range 1 10) (int_range 1 3))
+       ~print:(fun (wb, at, count) ->
+         Printf.sprintf "at=%d count=%d\n%s" at count (snapshot wb)))
+    (fun (wb, at, count) ->
+      let before = snapshot wb in
+      (match Workbook.insert_rows wb ~at ~count () with
+      | Ok () -> ()
+      | Error e -> failwith e);
+      (match Workbook.delete_rows wb ~at ~count () with
+      | Ok () -> ()
+      | Error e -> failwith e);
+      snapshot wb = before)
+
+let prop_insert_preserves_formula_values =
+  QCheck.Test.make
+    ~name:"insert_rows preserves every formula's value" ~count:100
+    (QCheck.make
+       QCheck.Gen.(triple gen_workbook (int_range 1 10) (int_range 1 3))
+       ~print:(fun (wb, at, count) ->
+         Printf.sprintf "at=%d count=%d\n%s" at count (snapshot wb)))
+    (fun (wb, at, count) ->
+      (* Record formula cells and their values, keyed by content so the
+         shifted position can be found afterwards. *)
+      let sheet = Workbook.default_sheet wb in
+      let formulas_before =
+        Sheet.fold
+          (fun cell content acc ->
+            match content with
+            | Sheet.Formula _ ->
+                (cell, Workbook.display wb (Cellref.cell_to_string cell))
+                :: acc
+            | Sheet.Literal _ -> acc)
+          sheet []
+      in
+      (match Workbook.insert_rows wb ~at ~count () with
+      | Ok () -> ()
+      | Error e -> failwith e);
+      List.for_all
+        (fun ((cell : Cellref.cell), value) ->
+          let moved =
+            if cell.Cellref.row >= at then
+              { cell with Cellref.row = cell.Cellref.row + count }
+            else cell
+          in
+          Workbook.display wb (Cellref.cell_to_string moved) = value)
+        formulas_before)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_cell_roundtrip;
+      prop_column_roundtrip;
+      prop_range_normalized;
+      prop_formula_roundtrip;
+      prop_eval_total;
+      prop_insert_delete_inverse;
+      prop_insert_preserves_formula_values;
+    ]
+
+let suite =
+  [
+    ("cellref: column letters", `Quick, test_column_letters);
+    ("cellref: cell parse/print", `Quick, test_cell_parse);
+    ("cellref: range parse/normalize", `Quick, test_range_parse);
+    ("cellref: contains", `Quick, test_range_contains);
+    ("cellref: intersects", `Quick, test_range_intersects);
+    ("cellref: cells row-major", `Quick, test_range_cells_row_major);
+    ("formula: parse/print", `Quick, test_formula_parse_print);
+    ("formula: parse errors", `Quick, test_formula_parse_errors);
+    ("formula: references", `Quick, test_formula_references);
+    ("eval: arithmetic", `Quick, test_eval_arithmetic);
+    ("eval: comparison & concat", `Quick, test_eval_comparison_concat);
+    ("eval: aggregates", `Quick, test_eval_aggregates);
+    ("eval: logic", `Quick, test_eval_logic);
+    ("eval: scalar functions", `Quick, test_eval_scalar_functions);
+    ("eval: text functions", `Quick, test_eval_text_functions);
+    ("eval: predicates & IFERROR", `Quick, test_eval_predicates_and_iferror);
+    ("eval: error propagation", `Quick, test_eval_error_propagation);
+    ("workbook: basics", `Quick, test_workbook_basic);
+    ("workbook: cross-sheet", `Quick, test_workbook_cross_sheet);
+    ("workbook: chained formulas", `Quick, test_workbook_chained_formulas);
+    ("workbook: cycles", `Quick, test_workbook_cycles);
+    ("workbook: sheet management", `Quick, test_workbook_sheets);
+    ("workbook: input classification", `Quick, test_sheet_input_classification);
+    ("workbook: used range", `Quick, test_used_range);
+    ("workbook: precedents", `Quick, test_precedents);
+    ("names: define/lookup/remove", `Quick, test_defined_names);
+    ("names: persist", `Quick, test_names_persist);
+    ("rows: insert shifts cells & formulas", `Quick, test_insert_rows);
+    ("rows: insert rewrites cross-sheet refs", `Quick,
+     test_insert_rows_cross_sheet);
+    ("rows: delete clamps ranges", `Quick, test_delete_rows);
+    ("rows: delete makes #REF!", `Quick, test_delete_rows_ref_error);
+    ("rows: names follow edits", `Quick, test_row_edit_adjusts_names);
+    ("cols: insert shifts cells & formulas", `Quick, test_insert_cols);
+    ("cols: delete", `Quick, test_delete_cols);
+    ("vlookup", `Quick, test_vlookup);
+    ("rows: argument validation", `Quick, test_row_edit_validation);
+    ("csv: import", `Quick, test_csv_import);
+    ("csv: quotes & newlines", `Quick, test_csv_quotes_and_newlines);
+    ("csv: export round-trip", `Quick, test_csv_export_roundtrip);
+    ("csv: evaluated vs raw export", `Quick, test_csv_evaluated_export);
+    ("xml: round-trip", `Quick, test_xml_roundtrip);
+    ("xml: file round-trip", `Quick, test_xml_file_roundtrip);
+    ("xml: rejects garbage", `Quick, test_xml_rejects_garbage);
+  ]
+  @ props

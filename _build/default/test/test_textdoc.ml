@@ -1,0 +1,193 @@
+(* Tests for the plain-text base-document substrate. *)
+
+open Si_textdoc
+
+let check = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let doc =
+  Textdoc.of_lines
+    [
+      "Patient: John Smith";
+      "Problems: sepsis, ARF";
+      "Na 140  K 4.2";
+      "Plan: wean pressors";
+    ]
+
+let test_lines () =
+  check_int "line count" 4 (Textdoc.line_count doc);
+  check "line 1" "Patient: John Smith" (Textdoc.line_exn doc 1);
+  check "line 4" "Plan: wean pressors" (Textdoc.line_exn doc 4);
+  check_bool "line 0" true (Textdoc.line doc 0 = None);
+  check_bool "line 5" true (Textdoc.line doc 5 = None)
+
+let test_empty_doc () =
+  let empty = Textdoc.of_string "" in
+  check_int "one empty line" 1 (Textdoc.line_count empty);
+  check "that line" "" (Textdoc.line_exn empty 1);
+  check_int "length" 0 (Textdoc.length empty)
+
+let test_trailing_newline () =
+  let d = Textdoc.of_string "a\nb\n" in
+  check_int "count" 3 (Textdoc.line_count d);
+  check "last is empty" "" (Textdoc.line_exn d 3)
+
+let test_extract () =
+  let span = { Textdoc.offset = 9; length = 10 } in
+  check "extract" "John Smith" (Textdoc.extract_exn doc span);
+  check_bool "oob" true
+    (Textdoc.extract doc { offset = 0; length = 10_000 } = None);
+  check_bool "negative" true
+    (Textdoc.extract doc { offset = -1; length = 3 } = None)
+
+let test_line_span () =
+  let span = Option.get (Textdoc.line_span doc 3) in
+  check "line 3 via span" "Na 140  K 4.2" (Textdoc.extract_exn doc span)
+
+let test_positions () =
+  let pos = Option.get (Textdoc.position_of_offset doc 9) in
+  check_int "line" 1 pos.line;
+  check_int "col" 10 pos.column;
+  let off = Option.get (Textdoc.offset_of_position doc pos) in
+  check_int "inverse" 9 off;
+  (* First char of line 2. *)
+  let off2 =
+    Option.get (Textdoc.offset_of_position doc { line = 2; column = 1 })
+  in
+  check "line 2 starts" "P" (String.make 1 (Textdoc.to_string doc).[off2]);
+  check_bool "column past end rejected" true
+    (Textdoc.offset_of_position doc { line = 1; column = 100 } = None)
+
+let test_span_of_positions () =
+  let span =
+    Option.get
+      (Textdoc.span_of_positions doc
+         ~start:{ line = 3; column = 1 }
+         ~stop:{ line = 3; column = 7 })
+  in
+  check "Na 140" "Na 140" (Textdoc.extract_exn doc span)
+
+let test_find () =
+  let hits = Textdoc.find_all doc "s" in
+  check_bool "several" true (List.length hits > 3);
+  let first = Option.get (Textdoc.find_first doc "sepsis") in
+  check "found" "sepsis" (Textdoc.extract_exn doc first);
+  check_bool "absent" true (Textdoc.find_first doc "dialysis" = None);
+  check_bool "empty needle" true (Textdoc.find_all doc "" = [])
+
+let test_find_overlapping () =
+  let d = Textdoc.of_string "aaaa" in
+  check_int "overlaps" 3 (List.length (Textdoc.find_all d "aa"))
+
+let test_context () =
+  let span = Option.get (Textdoc.find_first doc "K 4.2") in
+  let ctx = Textdoc.context doc span ~lines_around:1 in
+  check "context"
+    "Problems: sepsis, ARF\nNa 140  K 4.2\nPlan: wean pressors" ctx;
+  let ctx0 = Textdoc.context doc span ~lines_around:0 in
+  check "tight context" "Na 140  K 4.2" ctx0
+
+let test_reanchor () =
+  (* The document gains a line; the old span offset is stale. *)
+  let edited =
+    Textdoc.of_lines
+      [
+        "ADMISSION NOTE";
+        "Patient: John Smith";
+        "Problems: sepsis, ARF";
+        "Na 140  K 4.2";
+        "Plan: wean pressors";
+      ]
+  in
+  let stale = Option.get (Textdoc.find_first doc "K 4.2") in
+  let fresh =
+    Option.get
+      (Textdoc.reanchor edited ~excerpt:"K 4.2" ~stale_offset:stale.offset)
+  in
+  check "reanchored" "K 4.2" (Textdoc.extract_exn edited fresh);
+  check_bool "moved" true (fresh.offset <> stale.offset);
+  check_bool "gone" true
+    (Textdoc.reanchor edited ~excerpt:"vanished" ~stale_offset:0 = None)
+
+let test_reanchor_nearest () =
+  let d = Textdoc.of_string "x marker y marker z" in
+  let second =
+    Option.get (Textdoc.reanchor d ~excerpt:"marker" ~stale_offset:12)
+  in
+  check_int "nearest occurrence" 11 second.offset;
+  let first =
+    Option.get (Textdoc.reanchor d ~excerpt:"marker" ~stale_offset:0)
+  in
+  check_int "first occurrence" 2 first.offset
+
+(* Property tests. *)
+
+let gen_doc =
+  QCheck.Gen.(
+    let* n = int_range 0 12 in
+    let* ls =
+      list_size (return n)
+        (string_size (int_range 0 20) ~gen:(oneofl [ 'a'; 'b'; ' '; 'x' ]))
+    in
+    return (Textdoc.of_lines ls))
+
+let arbitrary_doc =
+  QCheck.make gen_doc ~print:(fun d -> String.escaped (Textdoc.to_string d))
+
+let prop_offsets_roundtrip =
+  QCheck.Test.make ~name:"offset -> position -> offset" ~count:200
+    QCheck.(pair arbitrary_doc small_nat)
+    (fun (d, k) ->
+      let len = Textdoc.length d in
+      let off = if len = 0 then 0 else k mod (len + 1) in
+      match Textdoc.position_of_offset d off with
+      | None -> false
+      | Some pos -> Textdoc.offset_of_position d pos = Some off)
+
+let prop_lines_rejoin =
+  QCheck.Test.make ~name:"lines rejoin to contents" ~count:200 arbitrary_doc
+    (fun d ->
+      String.concat "\n" (Textdoc.lines d) = Textdoc.to_string d)
+
+let prop_line_spans_tile =
+  QCheck.Test.make ~name:"line spans extract the lines" ~count:200
+    arbitrary_doc (fun d ->
+      List.init (Textdoc.line_count d) (fun i -> i + 1)
+      |> List.for_all (fun n ->
+             match Textdoc.line_span d n with
+             | None -> false
+             | Some s -> Textdoc.extract d s = Textdoc.line d n))
+
+let prop_find_all_correct =
+  QCheck.Test.make ~name:"find_all returns exactly the matches" ~count:200
+    QCheck.(pair arbitrary_doc (string_of_size (QCheck.Gen.int_range 1 3)))
+    (fun (d, needle) ->
+      let hits = Textdoc.find_all d needle in
+      List.for_all (fun s -> Textdoc.extract d s = Some needle) hits)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_offsets_roundtrip;
+      prop_lines_rejoin;
+      prop_line_spans_tile;
+      prop_find_all_correct;
+    ]
+
+let suite =
+  [
+    ("lines & bounds", `Quick, test_lines);
+    ("empty document", `Quick, test_empty_doc);
+    ("trailing newline", `Quick, test_trailing_newline);
+    ("extract spans", `Quick, test_extract);
+    ("line_span", `Quick, test_line_span);
+    ("positions", `Quick, test_positions);
+    ("span_of_positions", `Quick, test_span_of_positions);
+    ("find", `Quick, test_find);
+    ("find overlapping", `Quick, test_find_overlapping);
+    ("context lines", `Quick, test_context);
+    ("reanchor after edit", `Quick, test_reanchor);
+    ("reanchor picks nearest", `Quick, test_reanchor_nearest);
+  ]
+  @ props

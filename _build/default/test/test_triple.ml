@@ -1,0 +1,516 @@
+(* Tests for TRIM: triples, both store implementations, views,
+   persistence. *)
+
+open Si_triple
+
+let check = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let triple_testable = Alcotest.testable Triple.pp Triple.equal
+
+let t1 = Triple.make "b1" "bundleName" (Triple.literal "John Smith")
+let t2 = Triple.make "b1" "bundleContent" (Triple.resource "s1")
+let t3 = Triple.make "s1" "scrapName" (Triple.literal "Dopamine")
+let t4 = Triple.make "s1" "scrapMark" (Triple.resource "m1")
+let t5 = Triple.make "m1" "markId" (Triple.literal "excel-001")
+
+let sample = [ t1; t2; t3; t4; t5 ]
+
+(* ------------------------------------------------------------- triples *)
+
+let test_triple_basics () =
+  check "to_string" "(<b1> bundleName \"John Smith\")" (Triple.to_string t1);
+  check "resource obj" "<s1>" (Triple.obj_to_string (Triple.resource "s1"));
+  check_bool "equal" true (Triple.equal t1 (Triple.make "b1" "bundleName" (Triple.literal "John Smith")));
+  check_bool "literal <> resource" false
+    (Triple.obj_equal (Triple.literal "x") (Triple.resource "x"));
+  check_bool "compare orders" true (Triple.compare t1 t2 <> 0);
+  check_int "compare self" 0 (Triple.compare t1 t1)
+
+(* ------------------------------------- store behaviour, per implementation *)
+
+let store_tests (module S : Store.S) =
+  let prefix = S.name in
+  let make () =
+    let s = S.create () in
+    S.add_all s sample;
+    s
+  in
+  let test_set_semantics () =
+    let s = make () in
+    check_int "size" 5 (S.size s);
+    check_bool "re-add" false (S.add s t1);
+    check_int "still 5" 5 (S.size s);
+    check_bool "mem" true (S.mem s t3);
+    check_bool "remove" true (S.remove s t3);
+    check_bool "gone" false (S.mem s t3);
+    check_bool "remove again" false (S.remove s t3);
+    check_int "4 left" 4 (S.size s);
+    S.clear s;
+    check_int "cleared" 0 (S.size s)
+  in
+  let test_select () =
+    let s = make () in
+    let sort = List.sort Triple.compare in
+    Alcotest.(check (list triple_testable))
+      "by subject" (sort [ t1; t2 ])
+      (sort (S.select ~subject:"b1" s));
+    Alcotest.(check (list triple_testable))
+      "by predicate" [ t3 ]
+      (S.select ~predicate:"scrapName" s);
+    Alcotest.(check (list triple_testable))
+      "by object" [ t4 ]
+      (S.select ~object_:(Triple.resource "m1") s);
+    Alcotest.(check (list triple_testable))
+      "subject+predicate" [ t2 ]
+      (S.select ~subject:"b1" ~predicate:"bundleContent" s);
+    Alcotest.(check (list triple_testable))
+      "all three" [ t5 ]
+      (S.select ~subject:"m1" ~predicate:"markId"
+         ~object_:(Triple.literal "excel-001") s);
+    check_int "no filter = all" 5 (List.length (S.select s));
+    check_bool "no match" true (S.select ~subject:"zz" s = []);
+    check_bool "mismatched combo" true
+      (S.select ~subject:"b1" ~predicate:"markId" s = [])
+  in
+  let test_select_after_remove () =
+    let s = make () in
+    ignore (S.remove s t2);
+    check_bool "removed not selected (subject)" true
+      (not (List.exists (Triple.equal t2) (S.select ~subject:"b1" s)));
+    check_bool "removed not selected (predicate)" true
+      (S.select ~predicate:"bundleContent" s = []);
+    check_bool "removed not selected (object)" true
+      (S.select ~object_:(Triple.resource "s1") s = [])
+  in
+  let test_readd_no_duplicates () =
+    (* Regression: remove + re-add must not make select return the triple
+       twice (stale index entries). *)
+    let s = make () in
+    ignore (S.remove s t1);
+    ignore (S.add s t1);
+    check_int "subject select once" 1
+      (List.length (S.select ~subject:"b1" ~predicate:"bundleName" s));
+    check_int "predicate select once" 1
+      (List.length (S.select ~predicate:"bundleName" s));
+    check_int "object select once" 1
+      (List.length (S.select ~object_:(Triple.literal "John Smith") s))
+  in
+  let test_fold_iter () =
+    let s = make () in
+    check_int "fold count" 5 (S.fold (fun _ n -> n + 1) s 0);
+    let n = ref 0 in
+    S.iter (fun _ -> incr n) s;
+    check_int "iter count" 5 !n;
+    check_int "to_list" 5 (List.length (S.to_list s))
+  in
+  [
+    (prefix ^ ": set semantics", `Quick, test_set_semantics);
+    (prefix ^ ": selection query", `Quick, test_select);
+    (prefix ^ ": selection after removal", `Quick, test_select_after_remove);
+    (prefix ^ ": re-add has no duplicates", `Quick, test_readd_no_duplicates);
+    (prefix ^ ": fold & iter", `Quick, test_fold_iter);
+  ]
+
+(* ------------------------------------------------- parallel (domains) *)
+
+let test_parallel_adds () =
+  (* Four domains hammer one locked store with disjoint triples; nothing
+     is lost and nothing crashes. *)
+  let module S = Store.Locked_indexed in
+  let s = S.create () in
+  let per_domain = 500 in
+  let worker d () =
+    for i = 0 to per_domain - 1 do
+      ignore
+        (S.add s
+           (Triple.make
+              (Printf.sprintf "d%d-r%d" d i)
+              "p"
+              (Triple.literal (string_of_int i))));
+      (* Interleave reads to stress select under contention. *)
+      if i mod 50 = 0 then ignore (S.select ~predicate:"p" s)
+    done
+  in
+  let domains = List.init 4 (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join domains;
+  check_int "all triples present" (4 * per_domain) (S.size s);
+  check_int "select sees everything" (4 * per_domain)
+    (List.length (S.select ~predicate:"p" s))
+
+let test_parallel_mixed_ops () =
+  let module S = Store.Locked_indexed in
+  let s = S.create () in
+  let triples d =
+    List.init 200 (fun i ->
+        Triple.make (Printf.sprintf "d%d-r%d" d i) "p" (Triple.literal "v"))
+  in
+  (* Two adders, one remover chasing the first adder, one reader. *)
+  let adder d () = List.iter (fun t -> ignore (S.add s t)) (triples d) in
+  let remover () = List.iter (fun t -> ignore (S.remove s t)) (triples 0) in
+  let reader () =
+    for _ = 1 to 200 do
+      ignore (S.select ~predicate:"p" s);
+      ignore (S.size s)
+    done
+  in
+  let domains =
+    [
+      Domain.spawn (adder 0); Domain.spawn (adder 1); Domain.spawn remover;
+      Domain.spawn reader;
+    ]
+  in
+  List.iter Domain.join domains;
+  (* Adder 1's triples are definitely all present; adder 0's may or may
+     not have been removed, but the store must be consistent. *)
+  let remaining = S.select ~predicate:"p" s in
+  check_bool "adder-1 intact" true
+    (List.for_all
+       (fun t -> List.exists (Triple.equal t) remaining)
+       (triples 1));
+  check_int "size agrees with select" (S.size s) (List.length remaining)
+
+(* ---------------------------------------------------------------- TRIM *)
+
+let make_trim () =
+  let trim = Trim.create () in
+  Trim.add_all trim sample;
+  trim
+
+let test_trim_accessors () =
+  let trim = make_trim () in
+  check "literal_of" "John Smith"
+    (Option.get (Trim.literal_of trim ~subject:"b1" ~predicate:"bundleName"));
+  check "resource_of" "m1"
+    (Option.get (Trim.resource_of trim ~subject:"s1" ~predicate:"scrapMark"));
+  check_bool "literal_of on resource" true
+    (Trim.literal_of trim ~subject:"s1" ~predicate:"scrapMark" = None);
+  check_bool "absent" true
+    (Trim.object_of trim ~subject:"zz" ~predicate:"zz" = None)
+
+let test_trim_set () =
+  let trim = make_trim () in
+  Trim.set trim ~subject:"b1" ~predicate:"bundleName"
+    (Triple.literal "Jane Doe");
+  check "updated" "Jane Doe"
+    (Option.get (Trim.literal_of trim ~subject:"b1" ~predicate:"bundleName"));
+  check_int "no duplicate" 1
+    (List.length (Trim.select ~subject:"b1" ~predicate:"bundleName" trim))
+
+let test_trim_remove_subject () =
+  let trim = make_trim () in
+  check_int "removed 2" 2 (Trim.remove_subject trim "s1");
+  check_int "left" 3 (Trim.size trim);
+  check_int "removed 0" 0 (Trim.remove_subject trim "s1")
+
+let test_new_id () =
+  let trim = make_trim () in
+  let a = Trim.new_id ~prefix:"x" trim in
+  let b = Trim.new_id ~prefix:"x" trim in
+  check_bool "distinct" true (a <> b);
+  (* Ids never collide with existing subjects. *)
+  ignore (Trim.add trim (Triple.make "x3" "p" (Triple.literal "v")));
+  let c = Trim.new_id ~prefix:"x" trim in
+  check_bool "skips occupied" true (c <> "x3" && c <> a && c <> b)
+
+let test_view () =
+  let trim = make_trim () in
+  (* Unrelated triple must not appear in the view. *)
+  ignore (Trim.add trim (Triple.make "other" "p" (Triple.literal "v")));
+  let view = Trim.view trim "b1" in
+  check_int "reachable triples" 5 (List.length view);
+  check_bool "contains nested mark" true (List.exists (Triple.equal t5) view);
+  check_bool "excludes unrelated" true
+    (not (List.exists (fun (tr : Triple.t) -> tr.subject = "other") view));
+  Alcotest.(check (list string))
+    "bfs order" [ "b1"; "s1"; "m1" ]
+    (Trim.reachable_resources trim "b1")
+
+let test_view_cycle_safe () =
+  let trim = Trim.create () in
+  Trim.add_all trim
+    [
+      Triple.make "a" "next" (Triple.resource "b");
+      Triple.make "b" "next" (Triple.resource "a");
+      Triple.make "b" "name" (Triple.literal "bee");
+    ];
+  check_int "cycle view" 3 (List.length (Trim.view trim "a"));
+  Alcotest.(check (list string)) "cycle resources" [ "a"; "b" ]
+    (Trim.reachable_resources trim "a")
+
+let test_view_of_leaf () =
+  let trim = make_trim () in
+  check_int "leaf has no outgoing" 0 (List.length (Trim.view trim "nowhere"));
+  Alcotest.(check (list string)) "root only" [ "nowhere" ]
+    (Trim.reachable_resources trim "nowhere")
+
+let test_subjects_predicates () =
+  let trim = make_trim () in
+  Alcotest.(check (list string)) "subjects" [ "b1"; "m1"; "s1" ]
+    (Trim.subjects trim);
+  Alcotest.(check (list string))
+    "predicates"
+    [ "bundleContent"; "bundleName"; "markId"; "scrapMark"; "scrapName" ]
+    (Trim.predicates trim)
+
+let test_transaction_commit () =
+  let trim = make_trim () in
+  let result =
+    Trim.transaction trim (fun () ->
+        ignore (Trim.add trim (Triple.make "x" "p" (Triple.literal "1")));
+        Trim.set trim ~subject:"b1" ~predicate:"bundleName"
+          (Triple.literal "renamed");
+        Ok 42)
+  in
+  check_bool "committed" true (result = Ok (Ok 42));
+  check_int "size" 6 (Trim.size trim);
+  check "set survived" "renamed"
+    (Option.get (Trim.literal_of trim ~subject:"b1" ~predicate:"bundleName"))
+
+let test_transaction_rollback_on_error () =
+  let trim = make_trim () in
+  let before = List.sort Triple.compare (Trim.to_list trim) in
+  let result =
+    Trim.transaction trim (fun () ->
+        ignore (Trim.add trim (Triple.make "x" "p" (Triple.literal "1")));
+        ignore (Trim.remove_subject trim "s1");
+        Trim.set trim ~subject:"b1" ~predicate:"bundleName"
+          (Triple.literal "renamed");
+        Error "changed my mind")
+  in
+  check_bool "body error surfaced" true (result = Ok (Error "changed my mind"));
+  check_bool "store restored" true
+    (List.sort Triple.compare (Trim.to_list trim) = before)
+
+let test_transaction_rollback_on_exception () =
+  let trim = make_trim () in
+  let before = List.sort Triple.compare (Trim.to_list trim) in
+  let result =
+    Trim.transaction trim (fun () ->
+        ignore (Trim.add trim (Triple.make "x" "p" (Triple.literal "1")));
+        failwith "boom")
+  in
+  (match result with
+  | Error (Failure msg) when msg = "boom" -> ()
+  | _ -> Alcotest.fail "expected the exception back");
+  check_bool "store restored" true
+    (List.sort Triple.compare (Trim.to_list trim) = before);
+  check_bool "transaction closed" false (Trim.in_transaction trim)
+
+let test_transaction_no_nesting () =
+  let trim = make_trim () in
+  let result =
+    Trim.transaction trim (fun () ->
+        match Trim.transaction trim (fun () -> Ok ()) with
+        | _ -> Ok ())
+  in
+  (match result with
+  | Error (Invalid_argument _) -> ()
+  | _ -> Alcotest.fail "expected nesting rejection");
+  check_bool "outer rolled back and closed" false (Trim.in_transaction trim)
+
+let test_dmi_atomically () =
+  let dmi = Si_slim.Dmi.create () in
+  let pad = Si_slim.Dmi.create_slimpad dmi ~pad_name:"P" in
+  let root = Si_slim.Dmi.root_bundle dmi pad in
+  let triples = Si_slim.Dmi.triple_count dmi in
+  let journal = Si_slim.Dmi.journal_length dmi in
+  (* A failed multi-step operation leaves no trace — triples or journal. *)
+  let result =
+    Si_slim.Dmi.atomically dmi (fun () ->
+        let b = Si_slim.Dmi.create_bundle dmi ~name:"temp" ~parent:root () in
+        let _ =
+          Si_slim.Dmi.create_scrap dmi ~name:"s" ~mark_id:"m" ~parent:b ()
+        in
+        Error "abort")
+  in
+  check_bool "aborted" true (result = Error "abort");
+  check_int "triples restored" triples (Si_slim.Dmi.triple_count dmi);
+  check_int "journal restored" journal (Si_slim.Dmi.journal_length dmi);
+  check_int "no bundles appeared" 0
+    (List.length (Si_slim.Dmi.nested_bundles dmi root));
+  (* A successful one commits. *)
+  let result =
+    Si_slim.Dmi.atomically dmi (fun () ->
+        Ok (Si_slim.Dmi.create_bundle dmi ~name:"kept" ~parent:root ()))
+  in
+  check_bool "committed" true (Result.is_ok result);
+  check_int "bundle kept" 1
+    (List.length (Si_slim.Dmi.nested_bundles dmi root));
+  check_int "store valid" 0
+    (List.length
+       (Si_slim.Dmi.validate dmi).Si_metamodel.Validate.violations)
+
+let test_xml_roundtrip () =
+  let trim = make_trim () in
+  let trim2 =
+    match Trim.of_xml (Trim.to_xml trim) with
+    | Ok x -> x
+    | Error e -> Alcotest.fail e
+  in
+  check_bool "equal" true (Trim.equal_contents trim trim2)
+
+let test_xml_roundtrip_across_stores () =
+  let light = Trim.create_lightweight () in
+  Trim.add_all light sample;
+  let indexed =
+    match Trim.of_xml ~store:(module Store.Indexed_store) (Trim.to_xml light)
+    with
+    | Ok x -> x
+    | Error e -> Alcotest.fail e
+  in
+  check "store" "indexed" (Trim.store_name indexed);
+  check_bool "contents equal across implementations" true
+    (Trim.equal_contents light indexed)
+
+let test_file_roundtrip () =
+  let trim = make_trim () in
+  let path = Filename.temp_file "triples" ".xml" in
+  Trim.save trim path;
+  let trim2 =
+    match Trim.load path with Ok x -> x | Error e -> Alcotest.fail e
+  in
+  Sys.remove path;
+  check_bool "file roundtrip" true (Trim.equal_contents trim trim2)
+
+let test_xml_rejects_garbage () =
+  check_bool "bad root" true
+    (Result.is_error (Trim.of_xml (Si_xmlk.Node.element "nope" [])));
+  let bad =
+    Si_xmlk.Node.element "triples"
+      [ Si_xmlk.Node.element "t" ~attrs:[ ("s", "a") ] [] ]
+  in
+  check_bool "missing predicate" true (Result.is_error (Trim.of_xml bad))
+
+(* ------------------------------------------------------ property tests *)
+
+let gen_obj =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun s -> Triple.resource ("r" ^ string_of_int s)) (int_range 0 20);
+        map (fun s -> Triple.literal s)
+          (string_size (int_range 0 8) ~gen:(oneofl [ 'a'; 'b'; '<'; '&' ]));
+      ])
+
+let gen_triple =
+  QCheck.Gen.(
+    let* s = int_range 0 20 in
+    let* p = oneofl [ "name"; "content"; "mark"; "next" ] in
+    let* o = gen_obj in
+    return (Triple.make ("r" ^ string_of_int s) p o))
+
+let gen_triples = QCheck.Gen.(list_size (int_range 0 60) gen_triple)
+
+let arbitrary_triples =
+  QCheck.make gen_triples ~print:(fun l ->
+      String.concat "; " (List.map Triple.to_string l))
+
+let prop_stores_agree =
+  QCheck.Test.make ~name:"list and indexed stores agree on select" ~count:200
+    arbitrary_triples (fun triples ->
+      let ls = Store.List_store.create () in
+      let is = Store.Indexed_store.create () in
+      Store.List_store.add_all ls triples;
+      Store.Indexed_store.add_all is triples;
+      let sort = List.sort Triple.compare in
+      Store.List_store.size ls = Store.Indexed_store.size is
+      && List.for_all
+           (fun (tr : Triple.t) ->
+             sort (Store.List_store.select ~subject:tr.subject ls)
+             = sort (Store.Indexed_store.select ~subject:tr.subject is)
+             && sort (Store.List_store.select ~predicate:tr.predicate ls)
+                = sort (Store.Indexed_store.select ~predicate:tr.predicate is)
+             && sort (Store.List_store.select ~object_:tr.object_ ls)
+                = sort (Store.Indexed_store.select ~object_:tr.object_ is))
+           triples)
+
+let prop_stores_agree_after_removal =
+  QCheck.Test.make ~name:"stores agree after removals" ~count:200
+    QCheck.(pair arbitrary_triples (list_of_size (QCheck.Gen.int_range 0 20) QCheck.small_nat))
+    (fun (triples, kill_indexes) ->
+      let ls = Store.List_store.create () in
+      let is = Store.Indexed_store.create () in
+      Store.List_store.add_all ls triples;
+      Store.Indexed_store.add_all is triples;
+      let arr = Array.of_list triples in
+      List.iter
+        (fun i ->
+          if Array.length arr > 0 then begin
+            let victim = arr.(i mod Array.length arr) in
+            ignore (Store.List_store.remove ls victim);
+            ignore (Store.Indexed_store.remove is victim)
+          end)
+        kill_indexes;
+      let sort = List.sort Triple.compare in
+      sort (Store.List_store.to_list ls)
+      = sort (Store.Indexed_store.to_list is)
+      && List.for_all
+           (fun (tr : Triple.t) ->
+             sort (Store.List_store.select ~subject:tr.subject ls)
+             = sort (Store.Indexed_store.select ~subject:tr.subject is))
+           triples)
+
+let prop_xml_roundtrip =
+  QCheck.Test.make ~name:"TRIM XML round-trip" ~count:200 arbitrary_triples
+    (fun triples ->
+      let trim = Trim.create () in
+      Trim.add_all trim triples;
+      match Trim.of_xml (Trim.to_xml trim) with
+      | Ok trim2 -> Trim.equal_contents trim trim2
+      | Error _ -> false)
+
+let prop_view_is_sound =
+  QCheck.Test.make ~name:"view triples all reachable, subjects in closure"
+    ~count:200 arbitrary_triples (fun triples ->
+      let trim = Trim.create () in
+      Trim.add_all trim triples;
+      match Trim.subjects trim with
+      | [] -> true
+      | root :: _ ->
+          let resources = Trim.reachable_resources trim root in
+          Trim.view trim root
+          |> List.for_all (fun (tr : Triple.t) ->
+                 List.mem tr.subject resources))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_stores_agree;
+      prop_stores_agree_after_removal;
+      prop_xml_roundtrip;
+      prop_view_is_sound;
+    ]
+
+let suite =
+  [ ("triple basics", `Quick, test_triple_basics) ]
+  @ store_tests (module Store.List_store)
+  @ store_tests (module Store.Indexed_store)
+  @ store_tests (module Store.Locked_indexed)
+  @ [
+      ("locked: parallel adds across domains", `Quick, test_parallel_adds);
+      ("locked: parallel mixed operations", `Quick, test_parallel_mixed_ops);
+    ]
+  @ [
+      ("trim: typed accessors", `Quick, test_trim_accessors);
+      ("trim: set replaces", `Quick, test_trim_set);
+      ("trim: remove_subject", `Quick, test_trim_remove_subject);
+      ("trim: id generation", `Quick, test_new_id);
+      ("trim: reachability view", `Quick, test_view);
+      ("trim: view is cycle-safe", `Quick, test_view_cycle_safe);
+      ("trim: view of unknown resource", `Quick, test_view_of_leaf);
+      ("trim: subjects & predicates", `Quick, test_subjects_predicates);
+      ("trim: transaction commit", `Quick, test_transaction_commit);
+      ("trim: rollback on Error", `Quick, test_transaction_rollback_on_error);
+      ("trim: rollback on exception", `Quick,
+       test_transaction_rollback_on_exception);
+      ("trim: no nested transactions", `Quick, test_transaction_no_nesting);
+      ("dmi: atomically", `Quick, test_dmi_atomically);
+      ("trim: XML round-trip", `Quick, test_xml_roundtrip);
+      ("trim: XML round-trip across stores", `Quick,
+       test_xml_roundtrip_across_stores);
+      ("trim: file round-trip", `Quick, test_file_roundtrip);
+      ("trim: XML rejects garbage", `Quick, test_xml_rejects_garbage);
+    ]
+  @ props

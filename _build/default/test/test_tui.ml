@@ -1,0 +1,300 @@
+(* Tests for the interactive SLIMPad's pure state machine. *)
+
+open Si_tui
+module Dmi = Si_slim.Dmi
+module Desktop = Si_mark.Desktop
+module Slimpad = Si_slimpad.Slimpad
+
+let check = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* The Fig 4 pad again, over a live desktop. *)
+let fixture () =
+  let desk = Desktop.create () in
+  let wb = Si_spreadsheet.Workbook.create ~sheet_names:[ "Medications" ] () in
+  let set a v = Si_spreadsheet.Workbook.set wb ~sheet_name:"Medications" a v in
+  set "A2" "Dopamine";
+  set "B2" "5";
+  Desktop.add_workbook desk "meds.xls" wb;
+  Desktop.add_xml desk "labs.xml"
+    (Si_xmlk.Parse.node_exn
+       "<report><result test=\"K\">4.2</result></report>");
+  let app = Slimpad.create desk in
+  let pad = Slimpad.new_pad app "Rounds" in
+  let root = Dmi.root_bundle (Slimpad.dmi app) pad in
+  let smith = Slimpad.add_bundle app ~parent:root ~name:"John Smith" () in
+  let dopa =
+    Result.get_ok
+      (Slimpad.add_scrap app ~parent:smith ~name:"Dopamine 5"
+         ~mark_type:"excel"
+         ~fields:
+           [ ("fileName", "meds.xls"); ("sheetName", "Medications");
+             ("range", "A2:B2") ]
+         ())
+  in
+  let labs = Slimpad.add_bundle app ~parent:smith ~name:"Labs" () in
+  let k =
+    Result.get_ok
+      (Slimpad.add_scrap app ~parent:labs ~name:"K 4.2" ~mark_type:"xml"
+         ~fields:[ ("fileName", "labs.xml"); ("xmlPath", "/report/result") ]
+         ())
+  in
+  ignore (Dmi.add_decoration (Slimpad.dmi app) labs ~kind:"gridlet" ());
+  (app, pad, smith, dopa, k)
+
+let drive ui events = List.fold_left Ui.handle ui events
+
+let row_names app row =
+  let d = Slimpad.dmi app in
+  match row with
+  | Ui.Bundle_row { bundle; _ } -> "B:" ^ Dmi.bundle_name d bundle
+  | Ui.Scrap_row { scrap; _ } -> "S:" ^ Dmi.scrap_name d scrap
+  | Ui.Decoration_row { decoration; _ } ->
+      "D:" ^ Dmi.decoration_kind d decoration
+
+let test_rows_flatten_tree () =
+  let app, pad, _, _, _ = fixture () in
+  let ui = Ui.make app pad in
+  Alcotest.(check (list string))
+    "rows"
+    [ "B:Rounds"; "B:John Smith"; "S:Dopamine 5"; "B:Labs"; "S:K 4.2";
+      "D:gridlet" ]
+    (List.map (row_names app) (Ui.rows ui))
+
+let test_cursor_moves_and_clamps () =
+  let app, pad, _, _, _ = fixture () in
+  let ui = Ui.make app pad in
+  check_int "start" 0 (Ui.cursor ui);
+  let ui = drive ui [ Ui.Down; Ui.Down ] in
+  check_int "down twice" 2 (Ui.cursor ui);
+  let ui = drive ui [ Ui.Up; Ui.Up; Ui.Up; Ui.Up ] in
+  check_int "clamped at top" 0 (Ui.cursor ui);
+  let ui = drive ui [ Ui.Page_down; Ui.Page_down ] in
+  check_int "clamped at bottom" 5 (Ui.cursor ui)
+
+let test_fold_collapses_subtree () =
+  let app, pad, _, _, _ = fixture () in
+  let ui = Ui.make app pad in
+  (* Collapse "John Smith" (row 1). *)
+  let ui = drive ui [ Ui.Down; Ui.Toggle ] in
+  Alcotest.(check (list string))
+    "collapsed" [ "B:Rounds"; "B:John Smith" ]
+    (List.map (row_names app) (Ui.rows ui));
+  (* Expand again. *)
+  let ui = drive ui [ Ui.Toggle ] in
+  check_int "expanded" 6 (List.length (Ui.rows ui));
+  (* Folding a scrap is a no-op with a message. *)
+  let ui = drive ui [ Ui.Down; Ui.Toggle ] in
+  check "message" "only bundles fold" (Ui.status ui)
+
+let test_activate_resolves () =
+  let app, pad, _, _, _ = fixture () in
+  let ui = Ui.make app pad in
+  (* Move to the Dopamine scrap and activate. *)
+  let ui = drive ui [ Ui.Down; Ui.Down; Ui.Activate ] in
+  check_bool "detail filled" true (Ui.detail ui <> []);
+  check_bool "detail mentions the source" true
+    (let re = Re.compile (Re.str "meds.xls!Medications!A2:B2") in
+     Re.execp re (String.concat "\n" (Ui.detail ui)));
+  (* Extract shows just the content. *)
+  let ui = drive ui [ Ui.Extract ] in
+  check_bool "extract body" true
+    (List.exists (fun l -> l = "Dopamine\t5") (Ui.detail ui));
+  (* Activating a bundle only warns. *)
+  let ui = drive ui [ Ui.Up; Ui.Activate ] in
+  check "bundle warning" "select a scrap to resolve" (Ui.status ui)
+
+let test_rename_flow () =
+  let app, pad, _, dopa, _ = fixture () in
+  let ui = Ui.make app pad in
+  let ui = drive ui [ Ui.Down; Ui.Down; Ui.Start_rename ] in
+  (match Ui.mode ui with
+  | Ui.Input { buffer; _ } -> check "prefilled" "Dopamine 5" buffer
+  | Ui.Browse -> Alcotest.fail "expected input mode");
+  (* Backspace twice, type "10", commit. *)
+  let ui =
+    drive ui
+      [ Ui.Backspace; Ui.Char '1'; Ui.Char '0'; Ui.Commit ]
+  in
+  check_bool "back to browse" true (Ui.mode ui = Ui.Browse);
+  check "renamed in store" "Dopamine 10"
+    (Dmi.scrap_name (Slimpad.dmi app) dopa)
+
+let test_input_mode_swallows_navigation () =
+  let app, pad, _, _, _ = fixture () in
+  let ui = drive (Ui.make app pad) [ Ui.Down; Ui.Down; Ui.Start_annotate ] in
+  let before = Ui.cursor ui in
+  let ui = drive ui [ Ui.Down; Ui.Up; Ui.Page_down ] in
+  check_int "cursor frozen" before (Ui.cursor ui);
+  (* Cancel restores browse mode without a note. *)
+  let ui = drive ui [ Ui.Cancel ] in
+  check_bool "browse" true (Ui.mode ui = Ui.Browse);
+  check "cancelled" "cancelled" (Ui.status ui)
+
+let test_annotate_flow () =
+  let app, pad, _, dopa, _ = fixture () in
+  let ui = drive (Ui.make app pad) [ Ui.Down; Ui.Down; Ui.Start_annotate ] in
+  let ui =
+    drive ui [ Ui.Char 'h'; Ui.Char 'i'; Ui.Commit ]
+  in
+  check "status" "annotated" (Ui.status ui);
+  Alcotest.(check (list string))
+    "stored" [ "hi" ]
+    (Dmi.annotations (Slimpad.dmi app) dopa);
+  (* Annotating a bundle refuses. *)
+  let ui = drive ui [ Ui.Up; Ui.Up; Ui.Start_annotate ] in
+  check "refused" "annotations attach to scraps" (Ui.status ui)
+
+let test_search_flow () =
+  let app, pad, _, _, _ = fixture () in
+  let ui = drive (Ui.make app pad) [ Ui.Start_search ] in
+  let ui = drive ui [ Ui.Char 'K'; Ui.Commit ] in
+  (* Cursor lands on the "K 4.2" scrap (row 4). *)
+  check_int "found" 4 (Ui.cursor ui);
+  (* Next match wraps around to the same single hit. *)
+  let ui = drive ui [ Ui.Next_match ] in
+  check_int "wrapped" 4 (Ui.cursor ui);
+  (* Missing term reports. *)
+  let ui = drive ui [ Ui.Start_search; Ui.Char 'z'; Ui.Char 'z'; Ui.Commit ] in
+  check "no match" "no match for \"zz\"" (Ui.status ui);
+  let ui2 = drive (Ui.make app pad) [ Ui.Next_match ] in
+  check "no previous" "no previous search" (Ui.status ui2)
+
+let test_link_flow () =
+  let app, pad, _, dopa, k = fixture () in
+  let t = Slimpad.dmi app in
+  (* Arm on the Dopamine scrap (row 2), move to K 4.2 (row 4), complete. *)
+  let ui = drive (Ui.make app pad) [ Ui.Down; Ui.Down; Ui.Start_link ] in
+  check_bool "armed" true (Ui.pending_link ui <> None);
+  let ui = drive ui [ Ui.Down; Ui.Down; Ui.Start_link ] in
+  check "status" "linked" (Ui.status ui);
+  check_bool "disarmed" true (Ui.pending_link ui = None);
+  (match Dmi.links t with
+  | [ l ] -> check_bool "ends" true (Dmi.link_ends t l = Some (dopa, k))
+  | l -> Alcotest.failf "expected 1 link, got %d" (List.length l));
+  (* Self-link refused; bundles refused; cancel disarms. *)
+  let ui = drive ui [ Ui.Start_link; Ui.Start_link ] in
+  check "self refused" "a scrap cannot link to itself" (Ui.status ui);
+  let ui = drive ui [ Ui.Cancel ] in
+  check_bool "cancel disarms" true (Ui.pending_link ui = None);
+  let ui2 = drive (Ui.make app pad) [ Ui.Start_link ] in
+  check "bundle refused" "links start at a scrap" (Ui.status ui2)
+
+let test_drift_flags_rows () =
+  let app, pad, _, _, _ = fixture () in
+  let ui = Ui.make app pad in
+  let ui = drive ui [ Ui.Refresh_drift ] in
+  check "clean" "0 stale scrap(s)" (Ui.status ui);
+  (* Change the base workbook; the row renders with a stale flag. *)
+  let wb = Result.get_ok (Desktop.open_workbook (Slimpad.desktop app) "meds.xls") in
+  Si_spreadsheet.Workbook.set wb ~sheet_name:"Medications" "B2" "10";
+  let ui = drive ui [ Ui.Refresh_drift ] in
+  check "one stale" "1 stale scrap(s)" (Ui.status ui);
+  let frame = String.concat "\n" (Ui.render ui ~width:100 ~height:20) in
+  check_bool "stale marker rendered" true
+    (let re = Re.compile (Re.str "!stale") in
+     Re.execp re frame)
+
+let test_render_geometry () =
+  let app, pad, _, _, _ = fixture () in
+  let ui = Ui.make app pad in
+  let width = 80 and height = 14 in
+  let lines = Ui.render ui ~width ~height in
+  check_int "exact height" height (List.length lines);
+  check_bool "width bound" true
+    (List.for_all (fun l -> String.length l <= width) lines);
+  check_bool "title" true
+    (String.length (List.hd lines) > 0 && String.sub (List.hd lines) 0 7 = "SLIMPad");
+  (* The cursor marker appears exactly once. *)
+  let frame = String.concat "\n" lines in
+  check_bool "cursor marker" true
+    (let re = Re.compile (Re.str "> ") in
+     Re.execp re frame)
+
+let test_render_small_terminal () =
+  let app, pad, _, _, _ = fixture () in
+  let ui = Ui.make app pad in
+  (* Degenerate sizes must not raise. *)
+  List.iter
+    (fun (w, h) ->
+      let lines = Ui.render ui ~width:w ~height:h in
+      check_int (Printf.sprintf "height %dx%d" w h) h (List.length lines))
+    [ (10, 3); (5, 2); (200, 50) ]
+
+let test_scroll_keeps_cursor_visible () =
+  (* A pad with many scraps scrolls. *)
+  let desk = Desktop.create () in
+  Desktop.add_text desk "n.txt" (Si_textdoc.Textdoc.of_string "x");
+  let app = Slimpad.create desk in
+  let pad = Slimpad.new_pad app "big" in
+  let root = Dmi.root_bundle (Slimpad.dmi app) pad in
+  for i = 1 to 30 do
+    ignore
+      (Result.get_ok
+         (Slimpad.add_scrap app ~parent:root
+            ~name:(Printf.sprintf "scrap-%02d" i)
+            ~mark_type:"text"
+            ~fields:
+              [ ("fileName", "n.txt"); ("offset", "0"); ("length", "1") ]
+            ()))
+  done;
+  let ui = Ui.make app pad in
+  let ui = drive ui (List.init 25 (fun _ -> Ui.Down)) in
+  let frame = String.concat "\n" (Ui.render ui ~width:60 ~height:10) in
+  check_bool "cursor row visible after scrolling" true
+    (let re = Re.compile (Re.str "> ") in
+     Re.execp re frame)
+
+let test_quit () =
+  let app, pad, _, _, _ = fixture () in
+  let ui = drive (Ui.make app pad) [ Ui.Quit ] in
+  check_bool "finished" true (Ui.finished ui);
+  (* Events after quit are inert. *)
+  let ui = drive ui [ Ui.Down; Ui.Activate ] in
+  check_bool "still finished" true (Ui.finished ui);
+  check_int "cursor untouched" 0 (Ui.cursor ui)
+
+(* Property: any event sequence keeps the UI within bounds and never
+   raises. *)
+let gen_event =
+  QCheck.Gen.oneofl
+    [ Ui.Up; Ui.Down; Ui.Page_up; Ui.Page_down; Ui.Toggle; Ui.Activate;
+      Ui.Extract; Ui.In_place; Ui.Start_rename; Ui.Start_annotate;
+      Ui.Start_link; Ui.Start_search; Ui.Next_match; Ui.Refresh_drift;
+      Ui.Char 'x';
+      Ui.Backspace; Ui.Commit; Ui.Cancel ]
+
+let prop_ui_total =
+  QCheck.Test.make ~name:"UI survives arbitrary event sequences" ~count:60
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 60) (QCheck.make gen_event))
+    (fun events ->
+      let app, pad, _, _, _ = fixture () in
+      let ui = drive (Ui.make app pad) events in
+      let rows = Ui.rows ui in
+      let lines = Ui.render ui ~width:72 ~height:18 in
+      Ui.cursor ui >= 0
+      && Ui.cursor ui <= max 0 (List.length rows)
+      && List.length lines = 18)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_ui_total ]
+
+let suite =
+  [
+    ("rows flatten the tree", `Quick, test_rows_flatten_tree);
+    ("cursor moves & clamps", `Quick, test_cursor_moves_and_clamps);
+    ("fold/unfold bundles", `Quick, test_fold_collapses_subtree);
+    ("activate resolves into detail pane", `Quick, test_activate_resolves);
+    ("rename flow", `Quick, test_rename_flow);
+    ("input mode swallows navigation", `Quick,
+     test_input_mode_swallows_navigation);
+    ("annotate flow", `Quick, test_annotate_flow);
+    ("search flow", `Quick, test_search_flow);
+    ("link flow", `Quick, test_link_flow);
+    ("drift flags rows", `Quick, test_drift_flags_rows);
+    ("render geometry", `Quick, test_render_geometry);
+    ("render small terminals", `Quick, test_render_small_terminal);
+    ("scroll keeps cursor visible", `Quick, test_scroll_keeps_cursor_visible);
+    ("quit", `Quick, test_quit);
+  ]
+  @ props

@@ -1,0 +1,218 @@
+(* Tests for the word-processor substrate (the Word stand-in). *)
+
+open Si_wordproc
+
+let check = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let admission_note () =
+  let d = Wordproc.create ~title:"Admission Note" ~author:"Dr. Gorman" () in
+  Wordproc.append_heading d 1 "History of Present Illness";
+  Wordproc.append_paragraph d
+    "62 year old male admitted with sepsis and acute renal failure.";
+  Wordproc.append_heading d 2 "Assessment";
+  Wordproc.append_block d
+    (Wordproc.Paragraph
+       [
+         Wordproc.plain_run "Patient remains ";
+         Wordproc.run ~bold:true "critically ill";
+         Wordproc.plain_run " on pressors.";
+       ]);
+  d
+
+let test_structure () =
+  let d = admission_note () in
+  check "title" "Admission Note" (Wordproc.title d);
+  check "author" "Dr. Gorman" (Wordproc.author d);
+  check_int "blocks" 4 (Wordproc.block_count d);
+  check "heading text" "History of Present Illness"
+    (Option.get (Wordproc.block_text d 1));
+  check "styled para joins runs" "Patient remains critically ill on pressors."
+    (Option.get (Wordproc.block_text d 4));
+  check_bool "missing block" true (Wordproc.block_text d 5 = None);
+  check_bool "block 0" true (Wordproc.block_text d 0 = None)
+
+let test_plain_text_and_words () =
+  let d = Wordproc.of_paragraphs [ "one two"; "three" ] in
+  check "plain" "one two\nthree" (Wordproc.plain_text d);
+  check_int "words" 3 (Wordproc.word_count d);
+  check_int "empty doc words" 0 (Wordproc.word_count (Wordproc.create ()))
+
+let test_heading_level_validation () =
+  let d = Wordproc.create () in
+  Alcotest.check_raises "level 0" (Invalid_argument "Wordproc: heading level")
+    (fun () -> Wordproc.append_heading d 0 "x");
+  Alcotest.check_raises "level 7" (Invalid_argument "Wordproc: heading level")
+    (fun () -> Wordproc.append_heading d 7 "x")
+
+let test_spans () =
+  let d = admission_note () in
+  let span = Option.get (Wordproc.find_first d "sepsis") in
+  check_int "para" 2 span.para;
+  check "extract" "sepsis" (Option.get (Wordproc.extract d span));
+  check_bool "invalid para" false
+    (Wordproc.span_valid d { para = 9; offset = 0; length = 1 });
+  check_bool "overlong" false
+    (Wordproc.span_valid d { para = 1; offset = 0; length = 10_000 })
+
+let test_find_all () =
+  let d = Wordproc.of_paragraphs [ "ab ab"; "ab" ] in
+  let hits = Wordproc.find_all d "ab" in
+  check_int "three hits" 3 (List.length hits);
+  let paras = List.map (fun (s : Wordproc.span) -> s.para) hits in
+  Alcotest.(check (list int)) "document order" [ 1; 1; 2 ] paras;
+  check_bool "none" true (Wordproc.find_all d "zz" = [])
+
+let test_bookmarks () =
+  let d = admission_note () in
+  let span = Option.get (Wordproc.find_first d "critically ill") in
+  (match Wordproc.add_bookmark d ~name:"assessment-key" span with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check_bool "lookup" true (Wordproc.bookmark d "assessment-key" = Some span);
+  check_bool "duplicate rejected" true
+    (Result.is_error (Wordproc.add_bookmark d ~name:"assessment-key" span));
+  check_bool "invalid span rejected" true
+    (Result.is_error
+       (Wordproc.add_bookmark d ~name:"bad"
+          { para = 99; offset = 0; length = 1 }));
+  check_int "listed" 1 (List.length (Wordproc.bookmarks d));
+  check_bool "remove" true (Wordproc.remove_bookmark d "assessment-key");
+  check_bool "remove again" false (Wordproc.remove_bookmark d "assessment-key")
+
+let test_to_markdown () =
+  let d = admission_note () in
+  let md = Wordproc.to_markdown d in
+  let lines = String.split_on_char '\n' md in
+  check_bool "h1" true (List.mem "# History of Present Illness" lines);
+  check_bool "h2" true (List.mem "## Assessment" lines);
+  check_bool "bold run" true
+    (List.mem "Patient remains **critically ill** on pressors." lines);
+  (* Bold-italic nesting. *)
+  let d2 = Wordproc.create () in
+  Wordproc.append_block d2
+    (Wordproc.Paragraph [ Wordproc.run ~bold:true ~italic:true "both" ]);
+  check "bold italic" "***both***" (Wordproc.to_markdown d2)
+
+let test_replace_all () =
+  let d = Wordproc.of_paragraphs [ "the cat sat"; "cat and cat" ] in
+  let count, dropped = Wordproc.replace_all d ~search:"cat" ~replace:"dog" in
+  check_int "three replaced" 3 count;
+  check_bool "no bookmarks dropped" true (dropped = []);
+  check "para 1" "the dog sat" (Option.get (Wordproc.block_text d 1));
+  check "para 2" "dog and dog" (Option.get (Wordproc.block_text d 2));
+  let count2, _ = Wordproc.replace_all d ~search:"zebra" ~replace:"x" in
+  check_int "no hits" 0 count2
+
+let test_replace_adjusts_bookmarks () =
+  let d = Wordproc.of_paragraphs [ "alpha beta gamma" ] in
+  (* Bookmark on "gamma" (offset 11); "beta" on 6; replace "alpha" with a
+     longer word: gamma shifts, beta shifts, a bookmark ON alpha drops. *)
+  let bm name needle =
+    let span = Option.get (Wordproc.find_first d needle) in
+    Result.get_ok (Wordproc.add_bookmark d ~name span)
+  in
+  bm "on-alpha" "alpha";
+  bm "on-beta" "beta";
+  bm "on-gamma" "gamma";
+  let count, dropped =
+    Wordproc.replace_all d ~search:"alpha" ~replace:"alphabet"
+  in
+  check_int "one" 1 count;
+  Alcotest.(check (list string)) "alpha bookmark dropped" [ "on-alpha" ]
+    dropped;
+  let extract name =
+    Option.get (Wordproc.extract d (Option.get (Wordproc.bookmark d name)))
+  in
+  check "beta still on beta" "beta" (extract "on-beta");
+  check "gamma still on gamma" "gamma" (extract "on-gamma")
+
+let test_replace_styled_runs_independent () =
+  let d = Wordproc.create () in
+  Wordproc.append_block d
+    (Wordproc.Paragraph
+       [ Wordproc.plain_run "warm "; Wordproc.run ~bold:true "warm" ]);
+  let count, _ = Wordproc.replace_all d ~search:"warm" ~replace:"hot" in
+  check_int "both runs hit" 2 count;
+  check "styles kept" "hot **hot**" (Wordproc.to_markdown d)
+
+let test_xml_roundtrip () =
+  let d = admission_note () in
+  let span = Option.get (Wordproc.find_first d "sepsis") in
+  (match Wordproc.add_bookmark d ~name:"dx" span with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let d2 =
+    match Wordproc.of_xml (Wordproc.to_xml d) with
+    | Ok x -> x
+    | Error e -> Alcotest.fail e
+  in
+  check_bool "equal" true (Wordproc.equal d d2);
+  check_bool "bookmark survived" true (Wordproc.bookmark d2 "dx" = Some span)
+
+let test_xml_file_roundtrip () =
+  let d = admission_note () in
+  let path = Filename.temp_file "note" ".xml" in
+  Wordproc.save d path;
+  let d2 =
+    match Wordproc.load path with Ok x -> x | Error e -> Alcotest.fail e
+  in
+  Sys.remove path;
+  check_bool "file roundtrip" true (Wordproc.equal d d2)
+
+let test_xml_rejects_garbage () =
+  check_bool "bad root" true
+    (Result.is_error (Wordproc.of_xml (Si_xmlk.Node.element "nope" [])));
+  let bad_heading =
+    Si_xmlk.Node.element "document"
+      [ Si_xmlk.Node.element "heading" ~attrs:[ ("level", "9") ] [] ]
+  in
+  check_bool "bad heading" true (Result.is_error (Wordproc.of_xml bad_heading))
+
+(* Properties. *)
+
+let gen_doc =
+  QCheck.Gen.(
+    let* paras =
+      list_size (int_range 0 8)
+        (string_size (int_range 0 30) ~gen:(oneofl [ 'a'; 'b'; ' '; 'x' ]))
+    in
+    return (Wordproc.of_paragraphs paras))
+
+let arbitrary_doc = QCheck.make gen_doc ~print:Wordproc.plain_text
+
+let prop_xml_roundtrip =
+  QCheck.Test.make ~name:"wordproc XML round-trip" ~count:200 arbitrary_doc
+    (fun d ->
+      match Wordproc.of_xml (Wordproc.to_xml d) with
+      | Ok d2 -> Wordproc.equal d d2
+      | Error _ -> false)
+
+let prop_find_extract =
+  QCheck.Test.make ~name:"find_all spans extract the needle" ~count:200
+    QCheck.(pair arbitrary_doc (string_of_size (QCheck.Gen.int_range 1 3)))
+    (fun (d, needle) ->
+      Wordproc.find_all d needle
+      |> List.for_all (fun s -> Wordproc.extract d s = Some needle))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest [ prop_xml_roundtrip; prop_find_extract ]
+
+let suite =
+  [
+    ("structure", `Quick, test_structure);
+    ("plain text & word count", `Quick, test_plain_text_and_words);
+    ("heading level validation", `Quick, test_heading_level_validation);
+    ("spans", `Quick, test_spans);
+    ("find_all", `Quick, test_find_all);
+    ("bookmarks", `Quick, test_bookmarks);
+    ("to_markdown", `Quick, test_to_markdown);
+    ("replace_all", `Quick, test_replace_all);
+    ("replace adjusts bookmarks", `Quick, test_replace_adjusts_bookmarks);
+    ("replace per styled run", `Quick, test_replace_styled_runs_independent);
+    ("xml round-trip", `Quick, test_xml_roundtrip);
+    ("xml file round-trip", `Quick, test_xml_file_roundtrip);
+    ("xml rejects garbage", `Quick, test_xml_rejects_garbage);
+  ]
+  @ props
