@@ -6,11 +6,15 @@
    the paper states qualitatively (§6): the space and interpretation cost
    of the generic triple representation (E1, E2), the lightweight list
    store vs the indexed "alternative implementation mechanism" (E3), TRIM
-   query/view cost (E4), mapping cost (E6), and declarative query vs
-   navigational access (E7). EXPERIMENTS.md maps each group back to the
+   query/view cost (E4), mapping cost (E6), declarative query vs
+   navigational access (E7), and the compound-indexed query path with
+   concurrent stores (E10). EXPERIMENTS.md maps each group back to the
    paper's claims.
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe
+   Machine-readable results: dune exec bench/main.exe -- --json out.json
+   writes one JSON entry per test: {"group", "name", "ns_per_run"}
+   (ns_per_run is the OLS estimate, null when bechamel produced none). *)
 
 open Bechamel
 open Toolkit
@@ -23,6 +27,10 @@ module Triple = Si_triple.Triple
 module Store = Si_triple.Store
 
 (* ------------------------------------------------------------- runner *)
+
+(* Per-test OLS estimates, accumulated across groups so --json can dump
+   them at the end: (group, test name, ns/run if estimated). *)
+let recorded : (string * string * float option) list ref = ref []
 
 let run_group ~name tests =
   Printf.printf "\n== %s ==\n%!" name;
@@ -50,9 +58,45 @@ let run_group ~name tests =
   |> List.iter (fun (test_name, ols_result) ->
          match Analyze.OLS.estimates ols_result with
          | Some (t :: _) ->
+             recorded := (name, test_name, Some t) :: !recorded;
              Printf.printf "  %-58s %s/run\n%!" test_name (humanize t)
          | Some [] | None ->
+             recorded := (name, test_name, None) :: !recorded;
              Printf.printf "  %-58s (no estimate)\n%!" test_name)
+
+(* Minimal JSON writer (no external dependency): a flat array of
+   {"group", "name", "ns_per_run"} objects, one per bench test. The format
+   is documented in EXPERIMENTS.md ("Recording results"). *)
+let write_json path =
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 32 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  in
+  let entry (group, name, ns) =
+    let value =
+      match ns with
+      | Some v when Float.is_finite v -> Printf.sprintf "%.2f" v
+      | Some _ | None -> "null"
+    in
+    Printf.sprintf "  {\"group\": \"%s\", \"name\": \"%s\", \"ns_per_run\": %s}"
+      (escape group) (escape name) value
+  in
+  let oc = open_out path in
+  output_string oc "[\n";
+  output_string oc (String.concat ",\n" (List.rev_map entry !recorded));
+  output_string oc "\n]\n";
+  close_out oc;
+  Printf.printf "\nwrote %d bench results to %s\n" (List.length !recorded) path
 
 let staged = Staged.stage
 
@@ -461,6 +505,115 @@ let query_tests () =
       (staged (fun () -> Si_query.Query.run trim optimized));
   ]
 
+(* --------------------------- E10: compound-indexed query path (this PR) *)
+
+(* A fixture with wide subjects — 100 subjects x 100 predicates — so the
+   bound subject+predicate lookup has something to win: the pair-index
+   bucket holds exactly 1 triple where the single-key subject bucket holds
+   100 to post-filter. *)
+let wide_triples ~subjects ~predicates =
+  List.concat_map
+    (fun s ->
+      List.init predicates (fun p ->
+          Triple.make
+            (Printf.sprintf "subj-%d" s)
+            (Printf.sprintf "pred-%d" p)
+            (Triple.literal (Printf.sprintf "v-%d-%d" s p))))
+    (List.init subjects Fun.id)
+
+let compound_path_tests () =
+  let triples = wide_triples ~subjects:100 ~predicates:100 in
+  List.concat_map
+    (fun (impl_name, (module S : Store.S)) ->
+      let filled = S.create () in
+      S.add_all filled triples;
+      let s = "subj-50" and p = "pred-50" in
+      let o = Triple.literal "v-50-50" in
+      [
+        Test.make
+          ~name:(Printf.sprintf "select-sp:%s" impl_name)
+          (staged (fun () -> S.select ~subject:s ~predicate:p filled));
+        (* The seed's single-key path: subject bucket, then post-filter on
+           the predicate — what select-sp used to cost. *)
+        Test.make
+          ~name:(Printf.sprintf "select-sp-postfilter:%s" impl_name)
+          (staged (fun () ->
+               List.filter
+                 (fun (tr : Triple.t) -> String.equal tr.predicate p)
+                 (S.select ~subject:s filled)));
+        Test.make
+          ~name:(Printf.sprintf "select-po:%s" impl_name)
+          (staged (fun () -> S.select ~predicate:p ~object_:o filled));
+        Test.make
+          ~name:(Printf.sprintf "count-sp:%s" impl_name)
+          (staged (fun () -> S.count ~subject:s ~predicate:p filled));
+        Test.make
+          ~name:(Printf.sprintf "exists-subject:%s" impl_name)
+          (staged (fun () -> S.exists ~subject:s filled));
+      ])
+    Store.implementations
+
+(* Multi-domain throughput: 4 domains hammer one shared store with a
+   mixed add/select workload on disjoint subjects. The sharded store's
+   subject-hashed locks let the domains proceed in parallel; the single
+   global lock serializes them. *)
+let concurrent_throughput_tests () =
+  let ops_per_domain = 1_000 in
+  let mixed (module S : Store.S) () =
+    let s = S.create () in
+    let worker d () =
+      for i = 0 to ops_per_domain - 1 do
+        let subject = Printf.sprintf "d%d-r%d" d (i mod 97) in
+        ignore
+          (S.add s
+             (Triple.make subject "p" (Triple.literal (string_of_int i))));
+        if i mod 10 = 0 then ignore (S.select ~subject s);
+        if i mod 100 = 0 then ignore (S.exists ~subject s)
+      done
+    in
+    let domains = List.init 4 (fun d -> Domain.spawn (worker d)) in
+    List.iter Domain.join domains
+  in
+  List.filter_map
+    (fun (impl_name, store) ->
+      (* Only thread-safe stores participate. *)
+      if impl_name = "locked-indexed" || impl_name = "sharded" then
+        Some
+          (Test.make
+             ~name:(Printf.sprintf "mixed-4-domains:%s" impl_name)
+             (staged (mixed store)))
+      else None)
+    Store.implementations
+
+(* Early-terminating limit: limit 1 must cost a fraction of the full scan
+   on the same join. *)
+let limit_tests () =
+  let t, _, _, _ = build_world 1_000 in
+  let trim = Dmi.trim t in
+  let full =
+    Si_query.Query.parse_exn
+      "select ?n where { ?s <rdf:type> <model:bundle-scrap/Scrap> . ?s \
+       scrapName ?n }"
+  in
+  let limited =
+    Si_query.Query.parse_exn
+      "select ?n where { ?s <rdf:type> <model:bundle-scrap/Scrap> . ?s \
+       scrapName ?n } limit 1"
+  in
+  let topk =
+    Si_query.Query.parse_exn
+      "select ?n where { ?s <rdf:type> <model:bundle-scrap/Scrap> . ?s \
+       scrapName ?n } order by ?n limit 5"
+  in
+  [
+    Test.make ~name:"query:full-scan"
+      (staged (fun () -> Si_query.Query.run trim full));
+    Test.make ~name:"query:limit-1"
+      (staged (fun () -> Si_query.Query.run trim limited));
+    Test.make ~name:"query:order-by-top-5"
+      (staged (fun () -> Si_query.Query.run trim topk));
+  ]
+
 (* ------------------------------------------ application-level benches *)
 
 let application_tests () =
@@ -597,6 +750,14 @@ let registry_report () =
     (String.concat ", " (Manager.module_names mgr))
 
 let () =
+  let json_path =
+    let rec find = function
+      | "--json" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find (Array.to_list Sys.argv)
+  in
   Printf.printf "superimposed-information benchmarks (paper: ICDE 2001)\n";
   space_report ();
   registry_report ();
@@ -609,8 +770,13 @@ let () =
   run_group ~name:"F6 viewing behaviours" (behaviour_tests ());
   run_group ~name:"E6 model-to-model mapping" (mapping_tests ());
   run_group ~name:"E7 query vs navigation" (query_tests ());
+  run_group ~name:"E10 compound-indexed query path" (compound_path_tests ());
+  run_group ~name:"E10 concurrent store throughput"
+    (concurrent_throughput_tests ());
+  run_group ~name:"E10 early-terminating limit" (limit_tests ());
   run_group ~name:"E9 persistence & RDF serialization" (persistence_tests ());
   run_group ~name:"application-level (ICU worksheet, 6 patients)"
     (application_tests ());
   run_group ~name:"substrate parsers" (substrate_tests ());
+  (match json_path with Some path -> write_json path | None -> ());
   Printf.printf "\nbench: done\n"

@@ -343,8 +343,9 @@ let pattern_variables p =
   let add acc = function Var v -> v :: acc | _ -> acc in
   add (add (add [] p.subj) p.pred) p.obj
 
-(* Estimated result size of a pattern taken in isolation: probe the store
-   with whatever fields are constant. *)
+(* Result size of a pattern taken in isolation: probe the store's index
+   cardinalities with whatever fields are constant — no triple list is
+   materialized. *)
 let estimate trim p =
   let subject = match p.subj with Resource r -> Some r | _ -> None in
   let predicate =
@@ -358,7 +359,7 @@ let estimate trim p =
   in
   match (subject, predicate, object_) with
   | None, None, None -> Trim.size trim
-  | _ -> List.length (Trim.select ?subject ?predicate ?object_ trim)
+  | _ -> Trim.count_select ?subject ?predicate ?object_ trim
 
 let optimize trim t =
   let remaining = ref (List.map (fun p -> (p, estimate trim p)) t.patterns) in
@@ -398,29 +399,60 @@ let optimize trim t =
   done;
   { t with patterns = List.rev !chosen }
 
-let subst env = function
-  | Var v -> (
-      match List.assoc_opt v env with
-      | Some (Triple.Resource r) -> Resource r
-      | Some (Triple.Literal l) -> Literal l
-      | None -> Var v)
-  | t -> t
+(* Allocation-free substring check: does [l] contain [s]? The naive
+   [String.sub] loop allocated a fresh string per candidate position. *)
+let contains_substring l s =
+  let nl = String.length s and hl = String.length l in
+  nl = 0
+  ||
+  let rec matches_at i j = j = nl || (l.[i + j] = s.[j] && matches_at i (j + 1)) in
+  let rec scan i = i + nl <= hl && (matches_at i 0 || scan (i + 1)) in
+  scan 0
 
-let term_matches env term (value : Triple.obj) =
-  match (subst env term, value) with
-  | Wildcard, _ | Var _, _ -> true
-  | Resource r, Triple.Resource r' -> String.equal r r'
-  | Literal l, Triple.Literal l' -> String.equal l l'
-  | Resource _, Triple.Literal _ | Literal _, Triple.Resource _ -> false
+(* Raised to abandon the search once [limit] distinct bindings exist and no
+   ordering is requested. *)
+exception Enough
 
-let bind env term (value : Triple.obj) =
-  match term with
-  | Var v when not (List.mem_assoc v env) -> (v, value) :: env
-  | _ -> env
-
+(* The executor streams bindings instead of materializing every
+   intermediate environment list: patterns are matched depth-first, the
+   (mutable, hashtable-backed) environment is extended on the way down and
+   restored on the way back up, and each complete environment that passes
+   the filters is emitted to a mode-specific sink. Sinks:
+   - no order_by, no limit: accumulate distinct bindings, sort at the end;
+   - no order_by, limit n:  accumulate distinct bindings and raise [Enough]
+     after the n-th — the store is not enumerated further;
+   - order_by, no limit:    accumulate distinct bindings, sort by key;
+   - order_by, limit n:     bounded top-k — keep only the current best n,
+     so memory stays O(n + distinct-seen) instead of O(results). *)
 let run trim t =
-  let match_pattern env p =
-    let s = subst env p.subj and pr = subst env p.pred and o = subst env p.obj in
+  let keep = if t.select = [] then variables t else t.select in
+  let env : (string, Triple.obj) Hashtbl.t = Hashtbl.create 16 in
+  let subst = function
+    | Var v -> (
+        match Hashtbl.find_opt env v with
+        | Some (Triple.Resource r) -> Resource r
+        | Some (Triple.Literal l) -> Literal l
+        | None -> Var v)
+    | t -> t
+  in
+  (* [term] is already substituted: ground terms compare, variables and
+     wildcards match anything. *)
+  let term_matches term (value : Triple.obj) =
+    match (term, value) with
+    | Wildcard, _ | Var _, _ -> true
+    | Resource r, Triple.Resource r' -> String.equal r r'
+    | Literal l, Triple.Literal l' -> String.equal l l'
+    | Resource _, Triple.Literal _ | Literal _, Triple.Resource _ -> false
+  in
+  let bind term (value : Triple.obj) added =
+    match term with
+    | Var v when not (Hashtbl.mem env v) ->
+        Hashtbl.add env v value;
+        v :: added
+    | _ -> added
+  in
+  let iter_pattern p k =
+    let s = subst p.subj and pr = subst p.pred and o = subst p.obj in
     let subject = match s with Resource r -> Some r | _ -> None in
     let predicate =
       match pr with Literal l -> Some l | Resource r -> Some r | _ -> None
@@ -431,29 +463,27 @@ let run trim t =
       | Literal l -> Some (Triple.Literal l)
       | _ -> None
     in
-    Trim.select ?subject ?predicate ?object_ trim
-    |> List.filter_map (fun (tr : Triple.t) ->
-           (* Subject positions only ever hold resources. *)
-           let sub_obj = Triple.Resource tr.subject in
-           let pred_obj = Triple.Literal tr.predicate in
-           if
-             term_matches env p.subj sub_obj
-             && term_matches env p.pred pred_obj
-             && term_matches env p.obj tr.object_
-           then
-             Some
-               (bind (bind (bind env p.subj sub_obj) p.pred pred_obj) p.obj
-                  tr.object_)
-           else None)
+    List.iter
+      (fun (tr : Triple.t) ->
+        (* Subject positions only ever hold resources. *)
+        let sub_obj = Triple.Resource tr.subject in
+        let pred_obj = Triple.Literal tr.predicate in
+        if
+          term_matches s sub_obj
+          && term_matches pr pred_obj
+          && term_matches o tr.object_
+        then begin
+          let added =
+            bind p.obj tr.object_ (bind p.pred pred_obj (bind p.subj sub_obj []))
+          in
+          k ();
+          List.iter (Hashtbl.remove env) added
+        end)
+      (Trim.select ?subject ?predicate ?object_ trim)
   in
-  let envs =
-    List.fold_left
-      (fun envs p -> List.concat_map (fun env -> match_pattern env p) envs)
-      [ [] ] t.patterns
-  in
-  let passes_filter env f =
+  let passes_filter f =
     let literal_of v =
-      match List.assoc_opt v env with
+      match Hashtbl.find_opt env v with
       | Some (Triple.Literal l) -> Some l
       | Some (Triple.Resource r) -> Some r
       | None -> None
@@ -463,58 +493,104 @@ let run trim t =
     | Contains (v, s) -> (
         match literal_of v with
         | None -> false
-        | Some l ->
-            let nl = String.length s and hl = String.length l in
-            nl = 0
-            ||
-            let rec scan i =
-              i + nl <= hl && (String.sub l i nl = s || scan (i + 1))
-            in
-            scan 0)
+        | Some l -> contains_substring l s)
     | Prefix (v, s) -> (
         match literal_of v with
         | None -> false
         | Some l ->
-            String.length l >= String.length s
-            && String.sub l 0 (String.length s) = s)
+            let nl = String.length s in
+            String.length l >= nl
+            &&
+            let rec eq i = i = nl || (l.[i] = s.[i] && eq (i + 1)) in
+            eq 0)
     | Bound_to_resource v -> (
-        match List.assoc_opt v env with
+        match Hashtbl.find_opt env v with
         | Some (Triple.Resource _) -> true
         | _ -> false)
   in
-  let filtered =
-    List.filter (fun env -> List.for_all (passes_filter env) t.filters) envs
+  let seen : (binding, unit) Hashtbl.t = Hashtbl.create 64 in
+  let search emit =
+    let rec go = function
+      | [] ->
+          if List.for_all passes_filter t.filters then begin
+            let b =
+              List.filter_map
+                (fun v -> Option.map (fun o -> (v, o)) (Hashtbl.find_opt env v))
+                keep
+            in
+            if not (Hashtbl.mem seen b) then begin
+              Hashtbl.add seen b ();
+              emit b
+            end
+          end
+      | p :: rest -> iter_pattern p (fun () -> go rest)
+    in
+    go t.patterns
   in
-  let projected =
-    let keep = if t.select = [] then variables t else t.select in
-    List.map
-      (fun env ->
-        List.filter_map
-          (fun v -> Option.map (fun o -> (v, o)) (List.assoc_opt v env))
-          keep)
-      filtered
-  in
-  let deduped = List.sort_uniq compare projected in
-  let ordered =
-    match t.order_by with
-    | None -> deduped
-    | Some order ->
-        let v, flip =
-          match order with Ascending v -> (v, 1) | Descending v -> (v, -1)
-        in
-        let key binding =
-          match List.assoc_opt v binding with
-          | Some (Triple.Literal l) -> Some l
-          | Some (Triple.Resource r) -> Some r
-          | None -> None
-        in
-        List.stable_sort
-          (fun a b -> flip * compare (key a) (key b))
-          deduped
-  in
-  match t.limit with
-  | None -> ordered
-  | Some n -> List.filteri (fun i _ -> i < n) ordered
+  match t.order_by with
+  | None -> (
+      match t.limit with
+      | Some 0 -> []
+      | Some n ->
+          let out = ref [] and taken = ref 0 in
+          (try
+             search (fun b ->
+                 out := b :: !out;
+                 incr taken;
+                 if !taken >= n then raise Enough)
+           with Enough -> ());
+          List.sort compare !out
+      | None ->
+          let out = ref [] in
+          search (fun b -> out := b :: !out);
+          List.sort compare !out)
+  | Some order ->
+      let v, flip =
+        match order with Ascending v -> (v, 1) | Descending v -> (v, -1)
+      in
+      let key binding =
+        match List.assoc_opt v binding with
+        | Some (Triple.Literal l) -> Some l
+        | Some (Triple.Resource r) -> Some r
+        | None -> None
+      in
+      (* Ordering key first, natural order as the tiebreak — equivalent to
+         the dedup-sort-then-stable-sort of the list-based executor. *)
+      let cmp a b =
+        let c = flip * compare (key a) (key b) in
+        if c <> 0 then c else compare a b
+      in
+      let rec insert b = function
+        | [] -> [ b ]
+        | x :: rest -> if cmp b x < 0 then b :: x :: rest else x :: insert b rest
+      in
+      (match t.limit with
+      | Some 0 -> []
+      | Some n ->
+          (* Bounded top-k: [best] holds at most [n] bindings, sorted. *)
+          let best = ref [] and blen = ref 0 and worst = ref None in
+          search (fun b ->
+              if !blen < n then begin
+                best := insert b !best;
+                incr blen;
+                if !blen = n then
+                  worst := Some (List.nth !best (n - 1))
+              end
+              else
+                match !worst with
+                | Some w when cmp b w < 0 ->
+                    let rec drop_last = function
+                      | [] | [ _ ] -> []
+                      | x :: rest -> x :: drop_last rest
+                    in
+                    best := drop_last (insert b !best);
+                    worst := Some (List.nth !best (n - 1))
+                | _ -> ());
+          !best
+      | None ->
+          let out = ref [] in
+          search (fun b -> out := b :: !out);
+          List.sort cmp !out)
 
 let count trim t = List.length (run trim t)
 

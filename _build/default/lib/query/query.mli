@@ -68,16 +68,29 @@ val to_string : t -> string
 
 val optimize : Si_triple.Trim.t -> t -> t
 (** Join reordering: evaluates patterns most-selective-first. Each
-    pattern's selectivity is estimated by probing the store's indexes
-    with its constant fields; at each step the optimizer prefers patterns
-    whose variables are already bound by the patterns chosen so far
-    (avoiding cross products). Semantics are unchanged — [run] yields the
-    same bindings. *)
+    pattern's true cardinality is read from the store's index bucket
+    sizes ({!Si_triple.Trim.count_select} — no triple lists are
+    materialized); at each step the optimizer prefers patterns whose
+    variables are already bound by the patterns chosen so far (avoiding
+    cross products). Semantics are unchanged — [run] yields the same
+    bindings. *)
 
 val run : Si_triple.Trim.t -> t -> binding list
-(** All bindings, duplicates removed, in deterministic order: [order_by]
-    when present, the bindings' natural sort otherwise; truncated to
-    [limit]. *)
+(** Evaluates by streaming: patterns are joined depth-first with
+    hashtable-backed bindings and hashtable duplicate elimination —
+    intermediate results are never materialized as lists.
+
+    Result order and truncation:
+    - no [limit]: all distinct bindings, sorted by [order_by] when
+      present, their natural order otherwise;
+    - [order_by] + [limit n]: the first [n] bindings of the full sorted
+      result, found by bounded top-[k] selection (memory O(n), not
+      O(results));
+    - [limit n] without [order_by]: evaluation stops as soon as [n]
+      distinct bindings exist — the store is not enumerated further.
+      {e Which} [n] bindings are returned is unspecified (they are some
+      [n] of the full result, returned sorted); add [order_by] when a
+      specific prefix is wanted. *)
 
 val count : Si_triple.Trim.t -> t -> int
 val binding_to_string : binding -> string

@@ -1,1 +1,1 @@
-lib/triple/store.ml: Fun Hashtbl List Mutex String Triple
+lib/triple/store.ml: Array Fun Hashtbl List Mutex String Triple

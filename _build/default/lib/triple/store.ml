@@ -13,6 +13,12 @@ module type S = sig
     ?subject:string -> ?predicate:string -> ?object_:Triple.obj -> t ->
     Triple.t list
 
+  val count :
+    ?subject:string -> ?predicate:string -> ?object_:Triple.obj -> t -> int
+
+  val exists :
+    ?subject:string -> ?predicate:string -> ?object_:Triple.obj -> t -> bool
+
   val iter : (Triple.t -> unit) -> t -> unit
   val fold : (Triple.t -> 'a -> 'a) -> t -> 'a -> 'a
   val to_list : t -> Triple.t list
@@ -58,6 +64,19 @@ module List_store = struct
   let select ?subject ?predicate ?object_ t =
     List.filter (matches ?subject ?predicate ?object_) t.triples
 
+  let count ?subject ?predicate ?object_ t =
+    match (subject, predicate, object_) with
+    | None, None, None -> t.count
+    | _ ->
+        List.fold_left
+          (fun n tr -> if matches ?subject ?predicate ?object_ tr then n + 1 else n)
+          0 t.triples
+
+  let exists ?subject ?predicate ?object_ t =
+    match (subject, predicate, object_) with
+    | None, None, None -> t.count > 0
+    | _ -> List.exists (matches ?subject ?predicate ?object_) t.triples
+
   let iter f t = List.iter f t.triples
   let fold f t init = List.fold_left (fun acc x -> f x acc) init t.triples
   let to_list t = t.triples
@@ -65,8 +84,11 @@ module List_store = struct
 end
 
 module Indexed_store = struct
-  (* Primary set plus three secondary indexes. Index buckets may contain
-     stale entries after a removal (and duplicates after a remove + re-add);
+  (* Primary set plus five secondary indexes: one per field, and two
+     compound pair indexes (subject+predicate and predicate+object) so that
+     the hot bound-SP / bound-PO lookups hit an exact bucket instead of
+     post-filtering a single-key bucket. Index buckets may contain stale
+     entries after a removal (and duplicates after a remove + re-add);
      they are cleaned lazily at query time. Each bucket remembers the
      removal stamp at which it was last cleaned, so stores that never (or
      rarely) remove pay nothing on select. *)
@@ -77,6 +99,8 @@ module Indexed_store = struct
     by_subject : (string, bucket) Hashtbl.t;
     by_predicate : (string, bucket) Hashtbl.t;
     by_object : (Triple.obj, bucket) Hashtbl.t;
+    by_sp : (string * string, bucket) Hashtbl.t;
+    by_po : (string * Triple.obj, bucket) Hashtbl.t;
     mutable removal_stamp : int;
   }
 
@@ -88,6 +112,8 @@ module Indexed_store = struct
       by_subject = Hashtbl.create 64;
       by_predicate = Hashtbl.create 64;
       by_object = Hashtbl.create 64;
+      by_sp = Hashtbl.create 64;
+      by_po = Hashtbl.create 64;
       removal_stamp = 0;
     }
 
@@ -112,13 +138,16 @@ module Indexed_store = struct
       push t.by_subject triple.Triple.subject;
       push t.by_predicate triple.Triple.predicate;
       push t.by_object triple.Triple.object_;
+      push t.by_sp (triple.Triple.subject, triple.Triple.predicate);
+      push t.by_po (triple.Triple.predicate, triple.Triple.object_);
       true
     end
 
   let remove t triple =
     if mem t triple then begin
       Hashtbl.remove t.all triple;
-      (* Indexes are cleaned lazily in [live_bucket]. *)
+      (* Indexes (including the pair indexes) are cleaned lazily in
+         [live_bucket]. *)
       t.removal_stamp <- t.removal_stamp + 1;
       true
     end
@@ -131,6 +160,8 @@ module Indexed_store = struct
     Hashtbl.reset t.by_subject;
     Hashtbl.reset t.by_predicate;
     Hashtbl.reset t.by_object;
+    Hashtbl.reset t.by_sp;
+    Hashtbl.reset t.by_po;
     t.removal_stamp <- 0
 
   (* Live triples of a bucket. Fast path: no removal since the bucket was
@@ -164,13 +195,49 @@ module Indexed_store = struct
   let select ?subject ?predicate ?object_ t =
     match (subject, predicate, object_) with
     | None, None, None -> Hashtbl.fold (fun k () acc -> k :: acc) t.all []
-    | Some s, _, _ ->
+    | Some s, Some p, Some o ->
+        let tr = Triple.make s p o in
+        if Hashtbl.mem t.all tr then [ tr ] else []
+    | Some s, Some p, None -> live_bucket t t.by_sp (s, p)
+    | Some s, None, Some o ->
         List.filter
-          (matches ?predicate ?object_)
+          (fun (tr : Triple.t) -> Triple.obj_equal o tr.object_)
           (live_bucket t t.by_subject s)
-    | None, _, Some o ->
-        List.filter (matches ?predicate) (live_bucket t t.by_object o)
+    | Some s, None, None -> live_bucket t t.by_subject s
+    | None, Some p, Some o -> live_bucket t t.by_po (p, o)
     | None, Some p, None -> live_bucket t t.by_predicate p
+    | None, None, Some o -> live_bucket t t.by_object o
+
+  let count ?subject ?predicate ?object_ t =
+    match (subject, predicate, object_) with
+    | None, None, None -> Hashtbl.length t.all
+    | Some s, Some p, Some o ->
+        if Hashtbl.mem t.all (Triple.make s p o) then 1 else 0
+    | Some s, Some p, None -> List.length (live_bucket t t.by_sp (s, p))
+    | Some s, None, Some o ->
+        List.fold_left
+          (fun n (tr : Triple.t) ->
+            if Triple.obj_equal o tr.object_ then n + 1 else n)
+          0
+          (live_bucket t t.by_subject s)
+    | Some s, None, None -> List.length (live_bucket t t.by_subject s)
+    | None, Some p, Some o -> List.length (live_bucket t t.by_po (p, o))
+    | None, Some p, None -> List.length (live_bucket t t.by_predicate p)
+    | None, None, Some o -> List.length (live_bucket t t.by_object o)
+
+  let exists ?subject ?predicate ?object_ t =
+    match (subject, predicate, object_) with
+    | None, None, None -> Hashtbl.length t.all > 0
+    | Some s, Some p, Some o -> Hashtbl.mem t.all (Triple.make s p o)
+    | Some s, Some p, None -> live_bucket t t.by_sp (s, p) <> []
+    | Some s, None, Some o ->
+        List.exists
+          (fun (tr : Triple.t) -> Triple.obj_equal o tr.object_)
+          (live_bucket t t.by_subject s)
+    | Some s, None, None -> live_bucket t t.by_subject s <> []
+    | None, Some p, Some o -> live_bucket t t.by_po (p, o) <> []
+    | None, Some p, None -> live_bucket t t.by_predicate p <> []
+    | None, None, Some o -> live_bucket t t.by_object o <> []
 
   let iter f t = Hashtbl.iter (fun k () -> f k) t.all
   let fold f t init = Hashtbl.fold (fun k () acc -> f k acc) t.all init
@@ -197,6 +264,12 @@ module Locked (Base : S) = struct
   let select ?subject ?predicate ?object_ t =
     locked t (fun s -> Base.select ?subject ?predicate ?object_ s)
 
+  let count ?subject ?predicate ?object_ t =
+    locked t (fun s -> Base.count ?subject ?predicate ?object_ s)
+
+  let exists ?subject ?predicate ?object_ t =
+    locked t (fun s -> Base.exists ?subject ?predicate ?object_ s)
+
   (* Iteration holds the lock for its whole duration: callbacks must not
      re-enter the store. *)
   let iter f t = locked t (Base.iter f)
@@ -207,9 +280,103 @@ end
 
 module Locked_indexed = Locked (Indexed_store)
 
+module Sharded_store = struct
+  (* [shard_count] indexed stores, each behind its own mutex, with triples
+     placed by a hash of their subject. Writes and subject-bound reads touch
+     exactly one shard, so concurrent domains working on different subjects
+     proceed in parallel instead of serializing on one global lock.
+     Operations that cannot be routed by subject (predicate- or object-bound
+     selects, [size], [to_list], ...) visit the shards one at a time, locking
+     each in turn; they see a consistent snapshot of every individual shard
+     but not of the store as a whole — same caveat as any store without a
+     global lock. Locks are never nested, so the store cannot deadlock. *)
+  module B = Indexed_store
+
+  let shard_count = 8
+
+  type t = { shards : B.t array; locks : Mutex.t array }
+
+  let name = "sharded"
+
+  let create () =
+    {
+      shards = Array.init shard_count (fun _ -> B.create ());
+      locks = Array.init shard_count (fun _ -> Mutex.create ());
+    }
+
+  let shard_of subject = Hashtbl.hash subject land max_int mod shard_count
+
+  let with_shard t i f =
+    Mutex.lock t.locks.(i);
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.locks.(i))
+      (fun () -> f t.shards.(i))
+
+  let add t triple =
+    with_shard t (shard_of triple.Triple.subject) (fun s -> B.add s triple)
+
+  let remove t triple =
+    with_shard t (shard_of triple.Triple.subject) (fun s -> B.remove s triple)
+
+  let mem t triple =
+    with_shard t (shard_of triple.Triple.subject) (fun s -> B.mem s triple)
+
+  let fold_shards t f init =
+    let acc = ref init in
+    for i = 0 to shard_count - 1 do
+      acc := with_shard t i (fun s -> f !acc s)
+    done;
+    !acc
+
+  let size t = fold_shards t (fun n s -> n + B.size s) 0
+  let clear t = fold_shards t (fun () s -> B.clear s) ()
+
+  let select ?subject ?predicate ?object_ t =
+    match subject with
+    | Some s ->
+        with_shard t (shard_of s) (fun sh ->
+            B.select ~subject:s ?predicate ?object_ sh)
+    | None ->
+        List.concat
+          (List.init shard_count (fun i ->
+               with_shard t i (fun sh -> B.select ?predicate ?object_ sh)))
+
+  let count ?subject ?predicate ?object_ t =
+    match subject with
+    | Some s ->
+        with_shard t (shard_of s) (fun sh ->
+            B.count ~subject:s ?predicate ?object_ sh)
+    | None ->
+        fold_shards t (fun n sh -> n + B.count ?predicate ?object_ sh) 0
+
+  let exists ?subject ?predicate ?object_ t =
+    match subject with
+    | Some s ->
+        with_shard t (shard_of s) (fun sh ->
+            B.exists ~subject:s ?predicate ?object_ sh)
+    | None ->
+        let rec scan i =
+          i < shard_count
+          && (with_shard t i (fun sh -> B.exists ?predicate ?object_ sh)
+             || scan (i + 1))
+        in
+        scan 0
+
+  (* Per-shard locking: callbacks must not re-enter the store. *)
+  let iter f t = fold_shards t (fun () s -> B.iter f s) ()
+  let fold f t init = fold_shards t (fun acc s -> B.fold f s acc) init
+
+  let to_list t =
+    List.concat
+      (List.init shard_count (fun i -> with_shard t i (fun s -> B.to_list s)))
+
+  let add_all t triples = List.iter (fun x -> ignore (add t x)) triples
+end
+
 let implementations =
   [
     (List_store.name, (module List_store : S));
     (Indexed_store.name, (module Indexed_store : S));
     (Locked_indexed.name, (module Locked_indexed : S));
+    (Sharded_store.name, (module Sharded_store : S));
   ]

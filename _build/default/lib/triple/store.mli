@@ -1,11 +1,14 @@
-(** Triple-store interface and the two implementations.
+(** Triple-store interface and its implementations.
 
     TRIM's storage layer. The paper's prototype favoured a lightweight
     structure ({!List_store}); §6 reports that "some data sets are quite
     large and we are developing alternative implementation mechanisms" —
-    {!Indexed_store} is that alternative: three hash indexes (by subject,
-    by predicate, by object). Both expose the same set semantics
-    (duplicate triples are not stored twice). *)
+    {!Indexed_store} is that alternative: hash indexes on each field plus
+    compound subject+predicate and predicate+object pair indexes, so the
+    hot bound-SP / bound-PO lookups resolve to an exact bucket.
+    {!Sharded_store} spreads an indexed store over subject-hashed shards
+    for concurrent multi-domain workloads. All implementations expose the
+    same set semantics (duplicate triples are not stored twice). *)
 
 module type S = sig
   type t
@@ -31,6 +34,22 @@ module type S = sig
       fields is fixed, and the result is a set of triples". With no field
       fixed, returns everything. Order is unspecified. *)
 
+  val count :
+    ?subject:string -> ?predicate:string -> ?object_:Triple.obj -> t -> int
+  (** [count ?subject ?predicate ?object_ t] is
+      [List.length (select ?subject ?predicate ?object_ t)] without
+      materializing the result list. Indexed implementations answer from
+      bucket sizes; the query optimizer uses this for real cardinality
+      estimates. *)
+
+  val exists :
+    ?subject:string -> ?predicate:string -> ?object_:Triple.obj -> t -> bool
+  (** [exists ?subject ?predicate ?object_ t] is
+      [select ?subject ?predicate ?object_ t <> []] without materializing
+      or walking the whole result: implementations short-circuit on the
+      first match. The hot case is [exists ~subject] (is this id in
+      use?). *)
+
   val iter : (Triple.t -> unit) -> t -> unit
   val fold : (Triple.t -> 'a -> 'a) -> t -> 'a -> 'a
   val to_list : t -> Triple.t list
@@ -42,8 +61,13 @@ module List_store : S
     "keep it lightweight" choice for small superimposed layers. *)
 
 module Indexed_store : S
-(** Hash-indexed on each field. [select] uses the most selective fixed
-    field's index, then filters. *)
+(** Hash-indexed on each field and on the (subject, predicate) and
+    (predicate, object) pairs. A [select] with bound subject+predicate or
+    predicate+object hits its pair bucket directly with no post-filter;
+    other combinations use the most selective single-field index. Buckets
+    are cleaned lazily after removals (stale and duplicate entries are
+    purged the next time the bucket is read), so removal-free workloads
+    never pay a cleaning cost. *)
 
 module Locked (Base : S) : S
 (** [Base] behind a mutex: every operation is atomic with respect to
@@ -55,7 +79,17 @@ module Locked (Base : S) : S
 
 module Locked_indexed : S
 (** [Locked (Indexed_store)], the implementation shared stores should
-    use. *)
+    use when contention is low. *)
+
+module Sharded_store : S
+(** An {!Indexed_store} per shard, subject-hashed, each shard behind its
+    own mutex. Writes and subject-bound reads lock exactly one shard, so
+    domains working on different subjects proceed in parallel instead of
+    serializing on one global lock ({!Locked_indexed}'s bottleneck).
+    Cross-shard reads (predicate- or object-bound [select], [size],
+    [to_list]) lock shards one at a time: each shard is observed
+    atomically, the whole-store view is not. Locks never nest, so the
+    store cannot deadlock. *)
 
 val implementations : (string * (module S)) list
-(** [list], [indexed], and [locked-indexed]. *)
+(** [list], [indexed], [locked-indexed], and [sharded]. *)

@@ -94,6 +94,14 @@ let select ?subject ?predicate ?object_ t =
   let (Pack ((module S), s)) = t.pack in
   S.select ?subject ?predicate ?object_ s
 
+let count_select ?subject ?predicate ?object_ t =
+  let (Pack ((module S), s)) = t.pack in
+  S.count ?subject ?predicate ?object_ s
+
+let exists ?subject ?predicate ?object_ t =
+  let (Pack ((module S), s)) = t.pack in
+  S.exists ?subject ?predicate ?object_ s
+
 let objects_of t ~subject ~predicate =
   List.map
     (fun (tr : Triple.t) -> tr.object_)
@@ -125,7 +133,7 @@ let new_id ?(prefix = "r") t =
   let rec fresh () =
     t.counter <- t.counter + 1;
     let id = Printf.sprintf "%s%d" prefix t.counter in
-    if select ~subject:id t = [] then id else fresh ()
+    if not (exists ~subject:id t) then id else fresh ()
   in
   fresh ()
 

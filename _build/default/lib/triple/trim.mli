@@ -35,6 +35,18 @@ val select :
   Triple.t list
 (** Selection query: fix one or more fields. *)
 
+val count_select :
+  ?subject:string -> ?predicate:string -> ?object_:Triple.obj -> t -> int
+(** [count_select ... t] is [List.length (select ... t)] without
+    materializing the triples — indexed stores answer from bucket sizes.
+    Used by {!Si_query.Query.optimize} for real cardinality estimates. *)
+
+val exists :
+  ?subject:string -> ?predicate:string -> ?object_:Triple.obj -> t -> bool
+(** [exists ... t] is [select ... t <> []] without allocating the result
+    list; stores short-circuit on the first match. [exists ~subject] is
+    the fast emptiness probe {!new_id} uses. *)
+
 val object_of : t -> subject:string -> predicate:string -> Triple.obj option
 (** Convenience: the object of the (unique) matching triple; [None] when
     absent, the first one when several match. *)

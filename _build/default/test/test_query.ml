@@ -292,6 +292,134 @@ let test_optimize_avoids_cross_products () =
   Alcotest.(check (list string)) "results" [ "excel-2" ]
     (literal_values "m" (run trim optimized))
 
+(* A store wrapper that counts [select] calls, to observe how much of the
+   store the executor actually enumerates. *)
+let select_calls = ref 0
+
+module Counting_store = struct
+  module B = Si_triple.Store.List_store
+
+  type t = B.t
+
+  let name = "counting"
+  let create = B.create
+  let add = B.add
+  let remove = B.remove
+  let mem = B.mem
+  let size = B.size
+  let clear = B.clear
+
+  let select ?subject ?predicate ?object_ s =
+    incr select_calls;
+    B.select ?subject ?predicate ?object_ s
+
+  let count = B.count
+  let exists = B.exists
+  let iter = B.iter
+  let fold = B.fold
+  let to_list = B.to_list
+  let add_all = B.add_all
+end
+
+let test_limit_stops_enumerating () =
+  (* A 2-pattern join over 100 subjects: the full run probes the store
+     once for the first pattern plus once per candidate subject; limit 1
+     must stop after the first complete binding. *)
+  let trim = Trim.create ~store:(module Counting_store : Si_triple.Store.S) () in
+  for i = 0 to 99 do
+    ignore
+      (Trim.add trim
+         (Triple.make (Printf.sprintf "s%d" i) "p1"
+            (Triple.literal (Printf.sprintf "a%d" i))));
+    ignore
+      (Trim.add trim
+         (Triple.make (Printf.sprintf "s%d" i) "p2"
+            (Triple.literal (Printf.sprintf "b%d" i))))
+  done;
+  let q limit =
+    query ?limit
+      [
+        pat (Var "s") (Literal "p1") (Var "a");
+        pat (Var "s") (Literal "p2") (Var "b");
+      ]
+  in
+  select_calls := 0;
+  let full = run trim (q None) in
+  let full_calls = !select_calls in
+  check_int "full results" 100 (List.length full);
+  select_calls := 0;
+  let limited = run trim (q (Some 1)) in
+  let limited_calls = !select_calls in
+  check_int "limited results" 1 (List.length limited);
+  check_bool
+    (Printf.sprintf "limit-1 store accesses (%d) << full scan (%d)"
+       limited_calls full_calls)
+    true
+    (limited_calls <= 3 && full_calls >= 100);
+  check_bool "limited bindings come from the full result" true
+    (List.for_all (fun b -> List.mem b full) limited)
+
+let test_limit_without_order_is_distinct_subset () =
+  let trim = world () in
+  let full = run trim (parse_exn "select ?n where { ?s scrapName ?n }") in
+  let two = run trim (parse_exn "select ?n where { ?s scrapName ?n } limit 2") in
+  check_int "two results" 2 (List.length two);
+  check_bool "distinct" true
+    (List.length (List.sort_uniq compare two) = List.length two);
+  check_bool "subset of the full result" true
+    (List.for_all (fun b -> List.mem b full) two)
+
+let test_contains_edge_cases () =
+  let trim = Trim.create () in
+  Trim.add_all trim
+    [
+      Triple.make "s1" "name" (Triple.literal "abc");
+      Triple.make "s2" "name" (Triple.literal "aab");
+      Triple.make "s3" "name" (Triple.literal "xyzabc");
+      Triple.make "s4" "name" (Triple.literal "ababa");
+      Triple.make "s5" "name" (Triple.literal "");
+    ];
+  let n needle =
+    count trim
+      (query
+         [ pat (Var "s") (Literal "name") (Var "n") ]
+         ~filters:[ Contains ("n", needle) ])
+  in
+  check_int "empty needle matches all" 5 (n "");
+  check_int "needle at start and middle" 2 (n "abc");
+  check_int "overlapping needle" 1 (n "aba");
+  check_int "needle at very end" 1 (n "zabc");
+  check_int "whole-string needle" 1 (n "xyzabc");
+  check_int "needle longer than any value" 0 (n "xyzabcd");
+  check_int "absent needle" 0 (n "q")
+
+(* Property: order_by + limit k is exactly the first k of the full ordered
+   result (the bounded top-k selection must agree with a full sort). *)
+let prop_topk_matches_full_sort =
+  QCheck.Test.make ~name:"order_by + limit = take k of full ordered result"
+    ~count:150
+    QCheck.(triple (int_range 0 40) (int_range 0 8) bool)
+    (fun (n, k, descending) ->
+      let trim = Trim.create () in
+      for i = 0 to n - 1 do
+        ignore
+          (Trim.add trim
+             (Triple.make
+                (Printf.sprintf "r%d" (i mod 7))
+                "p"
+                (Triple.literal (Printf.sprintf "v%d" (i mod 11)))))
+      done;
+      let order = if descending then Descending "o" else Ascending "o" in
+      let base = [ pat (Var "s") (Literal "p") (Var "o") ] in
+      let full = run trim (query base ~order_by:order) in
+      let topk = run trim (query base ~order_by:order ~limit:k) in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: rest -> x :: take (n - 1) rest
+      in
+      topk = take k full)
+
 (* Property: a query of one pattern with all variables returns exactly the
    store's triples. *)
 let prop_select_all =
@@ -358,7 +486,7 @@ let prop_optimize_preserves =
 
 let props =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_select_all; prop_optimize_preserves ]
+    [ prop_select_all; prop_optimize_preserves; prop_topk_matches_full_sort ]
 
 let suite =
   [
@@ -380,6 +508,10 @@ let suite =
     ("optimize: no cross products", `Quick, test_optimize_avoids_cross_products);
     ("order by & limit", `Quick, test_order_by_and_limit);
     ("order + filter + limit", `Quick, test_order_with_filter_combined);
+    ("limit stops enumerating the store", `Quick, test_limit_stops_enumerating);
+    ("limit without order: distinct subset", `Quick,
+     test_limit_without_order_is_distinct_subset);
+    ("contains filter edge cases", `Quick, test_contains_edge_cases);
     ("binding rendering", `Quick, test_binding_to_string);
   ]
   @ props

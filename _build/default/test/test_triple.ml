@@ -97,6 +97,60 @@ let store_tests (module S : Store.S) =
     check_int "object select once" 1
       (List.length (S.select ~object_:(Triple.literal "John Smith") s))
   in
+  let test_pair_index_stale () =
+    (* Regression for the compound indexes: remove then re-add must leave
+       the subject+predicate and predicate+object buckets with exactly one
+       live copy; remove without re-add must leave them empty. *)
+    let s = make () in
+    ignore (S.remove s t2);
+    ignore (S.add s t2);
+    check_int "sp once after re-add" 1
+      (List.length (S.select ~subject:"b1" ~predicate:"bundleContent" s));
+    check_int "po once after re-add" 1
+      (List.length
+         (S.select ~predicate:"bundleContent" ~object_:(Triple.resource "s1") s));
+    check_int "count sp once" 1
+      (S.count ~subject:"b1" ~predicate:"bundleContent" s);
+    check_int "count po once" 1
+      (S.count ~predicate:"bundleContent" ~object_:(Triple.resource "s1") s);
+    ignore (S.remove s t4);
+    check_bool "sp empty after remove" true
+      (S.select ~subject:"s1" ~predicate:"scrapMark" s = []);
+    check_bool "po empty after remove" true
+      (S.select ~predicate:"scrapMark" ~object_:(Triple.resource "m1") s = []);
+    check_bool "exists sp false after remove" false
+      (S.exists ~subject:"s1" ~predicate:"scrapMark" s);
+    check_bool "exists po false after remove" false
+      (S.exists ~predicate:"scrapMark" ~object_:(Triple.resource "m1") s)
+  in
+  let test_count_exists () =
+    let s = make () in
+    check_int "count all" 5 (S.count s);
+    check_int "count subject" 2 (S.count ~subject:"b1" s);
+    check_int "count sp" 1 (S.count ~subject:"b1" ~predicate:"bundleName" s);
+    check_int "count po" 1
+      (S.count ~predicate:"bundleContent" ~object_:(Triple.resource "s1") s);
+    check_int "count spo" 1
+      (S.count ~subject:"m1" ~predicate:"markId"
+         ~object_:(Triple.literal "excel-001") s);
+    check_int "count miss" 0 (S.count ~subject:"zz" s);
+    check_int "count mismatched combo" 0
+      (S.count ~subject:"b1" ~predicate:"markId" s);
+    check_bool "exists subject" true (S.exists ~subject:"s1" s);
+    check_bool "exists sp" true (S.exists ~subject:"s1" ~predicate:"scrapName" s);
+    check_bool "exists po" true
+      (S.exists ~predicate:"scrapMark" ~object_:(Triple.resource "m1") s);
+    check_bool "exists all" true (S.exists s);
+    check_bool "exists miss" false (S.exists ~subject:"zz" s);
+    ignore (S.remove s t3);
+    check_int "count tracks removal" 0
+      (S.count ~subject:"s1" ~predicate:"scrapName" s);
+    check_bool "exists tracks removal" false
+      (S.exists ~subject:"s1" ~predicate:"scrapName" s);
+    S.clear s;
+    check_bool "exists on empty" false (S.exists s);
+    check_int "count on empty" 0 (S.count s)
+  in
   let test_fold_iter () =
     let s = make () in
     check_int "fold count" 5 (S.fold (fun _ n -> n + 1) s 0);
@@ -110,6 +164,9 @@ let store_tests (module S : Store.S) =
     (prefix ^ ": selection query", `Quick, test_select);
     (prefix ^ ": selection after removal", `Quick, test_select_after_remove);
     (prefix ^ ": re-add has no duplicates", `Quick, test_readd_no_duplicates);
+    (prefix ^ ": pair indexes survive remove/re-add", `Quick,
+     test_pair_index_stale);
+    (prefix ^ ": count & exists", `Quick, test_count_exists);
     (prefix ^ ": fold & iter", `Quick, test_fold_iter);
   ]
 
@@ -171,6 +228,105 @@ let test_parallel_mixed_ops () =
        (triples 1));
   check_int "size agrees with select" (S.size s) (List.length remaining)
 
+let test_sharded_parallel_adds () =
+  (* Four domains hammer the sharded store with disjoint triples; nothing
+     is lost and nothing crashes. *)
+  let module S = Store.Sharded_store in
+  let s = S.create () in
+  let per_domain = 500 in
+  let worker d () =
+    for i = 0 to per_domain - 1 do
+      ignore
+        (S.add s
+           (Triple.make
+              (Printf.sprintf "d%d-r%d" d i)
+              "p"
+              (Triple.literal (string_of_int i))));
+      (* Interleave cross-shard and single-shard reads under contention. *)
+      if i mod 50 = 0 then ignore (S.select ~predicate:"p" s);
+      if i mod 25 = 0 then
+        ignore (S.exists ~subject:(Printf.sprintf "d%d-r%d" d (i / 2)) s)
+    done
+  in
+  let domains = List.init 4 (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join domains;
+  check_int "all triples present" (4 * per_domain) (S.size s);
+  check_int "select sees everything" (4 * per_domain)
+    (List.length (S.select ~predicate:"p" s));
+  check_int "count agrees" (4 * per_domain) (S.count ~predicate:"p" s)
+
+let test_sharded_parallel_mixed_ops () =
+  (* 5 domains, mixed add/remove/select: two adders, a remover chasing the
+     first adder, a cross-shard reader, and a subject-bound reader. *)
+  let module S = Store.Sharded_store in
+  let s = S.create () in
+  let triples d =
+    List.init 200 (fun i ->
+        Triple.make (Printf.sprintf "d%d-r%d" d i) "p" (Triple.literal "v"))
+  in
+  let adder d () = List.iter (fun t -> ignore (S.add s t)) (triples d) in
+  let remover () = List.iter (fun t -> ignore (S.remove s t)) (triples 0) in
+  let reader () =
+    for _ = 1 to 200 do
+      ignore (S.select ~predicate:"p" s);
+      ignore (S.size s)
+    done
+  in
+  let point_reader () =
+    for i = 1 to 200 do
+      let subject = Printf.sprintf "d1-r%d" (i mod 200) in
+      ignore (S.select ~subject ~predicate:"p" s);
+      ignore (S.exists ~subject s)
+    done
+  in
+  let domains =
+    [
+      Domain.spawn (adder 0); Domain.spawn (adder 1); Domain.spawn remover;
+      Domain.spawn reader; Domain.spawn point_reader;
+    ]
+  in
+  List.iter Domain.join domains;
+  (* Adder 1's triples are definitely all present; adder 0's may or may
+     not have been removed, but the store must be consistent. *)
+  let remaining = S.select ~predicate:"p" s in
+  check_bool "adder-1 intact" true
+    (List.for_all
+       (fun t -> List.exists (Triple.equal t) remaining)
+       (triples 1));
+  check_int "size agrees with select" (S.size s) (List.length remaining);
+  check_int "count agrees with select" (S.count ~predicate:"p" s)
+    (List.length remaining)
+
+let test_sharded_stale_pair_after_domains () =
+  (* Remove + re-add races across domains must not leave duplicate pair
+     bucket entries: every surviving subject+predicate bucket holds the
+     triple exactly once. *)
+  let module S = Store.Sharded_store in
+  let s = S.create () in
+  let triples =
+    List.init 100 (fun i ->
+        Triple.make (Printf.sprintf "r%d" i) "p" (Triple.literal "v"))
+  in
+  List.iter (fun t -> ignore (S.add s t)) triples;
+  let churn () =
+    List.iter
+      (fun t ->
+        ignore (S.remove s t);
+        ignore (S.add s t))
+      triples
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn churn) in
+  List.iter Domain.join domains;
+  List.iter
+    (fun (t : Triple.t) ->
+      check_int
+        (Printf.sprintf "sp bucket of %s has one entry" t.subject)
+        1
+        (List.length (S.select ~subject:t.subject ~predicate:"p" s)))
+    triples;
+  check_int "po bucket consistent" (S.size s)
+    (List.length (S.select ~predicate:"p" ~object_:(Triple.literal "v") s))
+
 (* ---------------------------------------------------------------- TRIM *)
 
 let make_trim () =
@@ -203,6 +359,23 @@ let test_trim_remove_subject () =
   check_int "removed 2" 2 (Trim.remove_subject trim "s1");
   check_int "left" 3 (Trim.size trim);
   check_int "removed 0" 0 (Trim.remove_subject trim "s1")
+
+let test_trim_count_exists () =
+  let trim = make_trim () in
+  check_int "count_select all" 5 (Trim.count_select trim);
+  check_int "count_select subject" 2 (Trim.count_select ~subject:"b1" trim);
+  check_int "count_select sp" 1
+    (Trim.count_select ~subject:"s1" ~predicate:"scrapName" trim);
+  check_int "count_select miss" 0 (Trim.count_select ~subject:"zz" trim);
+  check_bool "exists subject" true (Trim.exists ~subject:"b1" trim);
+  check_bool "exists sp" true
+    (Trim.exists ~subject:"s1" ~predicate:"scrapMark" trim);
+  check_bool "exists miss" false (Trim.exists ~subject:"zz" trim);
+  ignore (Trim.remove trim t3);
+  check_int "count_select tracks removal" 0
+    (Trim.count_select ~subject:"s1" ~predicate:"scrapName" trim);
+  check_bool "exists tracks removal" false
+    (Trim.exists ~subject:"s1" ~predicate:"scrapName" trim)
 
 let test_new_id () =
   let trim = make_trim () in
@@ -452,6 +625,78 @@ let prop_stores_agree_after_removal =
              = sort (Store.Indexed_store.select ~subject:tr.subject is))
            triples)
 
+(* Cross-implementation conformance: a random interleaved add/remove
+   sequence must leave every registered implementation (list, indexed,
+   locked-indexed, sharded) with identical contents and identical answers
+   for every bound-position select/count/exists probe — including the
+   remove -> re-add cases that exercise stale pair-index cleaning. *)
+let gen_op =
+  QCheck.Gen.(
+    let* t = gen_triple in
+    let* add = bool in
+    return (if add then `Add t else `Remove t))
+
+let arbitrary_ops =
+  QCheck.make
+    QCheck.Gen.(list_size (int_range 0 80) gen_op)
+    ~print:(fun ops ->
+      String.concat "; "
+        (List.map
+           (function
+             | `Add t -> "add " ^ Triple.to_string t
+             | `Remove t -> "remove " ^ Triple.to_string t)
+           ops))
+
+let prop_all_stores_conform =
+  QCheck.Test.make
+    ~name:"all registered stores agree on random op sequences" ~count:150
+    arbitrary_ops (fun ops ->
+      let probes = List.map (function `Add t | `Remove t -> t) ops in
+      let snapshot (module S : Store.S) =
+        let s = S.create () in
+        List.iter
+          (function
+            | `Add t -> ignore (S.add s t)
+            | `Remove t -> ignore (S.remove s t))
+          ops;
+        let sort = List.sort Triple.compare in
+        let per_probe (tr : Triple.t) =
+          let selects =
+            [
+              sort (S.select ~subject:tr.subject s);
+              sort (S.select ~predicate:tr.predicate s);
+              sort (S.select ~object_:tr.object_ s);
+              sort (S.select ~subject:tr.subject ~predicate:tr.predicate s);
+              sort (S.select ~predicate:tr.predicate ~object_:tr.object_ s);
+              sort
+                (S.select ~subject:tr.subject ~predicate:tr.predicate
+                   ~object_:tr.object_ s);
+            ]
+          in
+          let counts =
+            [
+              S.count ~subject:tr.subject s;
+              S.count ~subject:tr.subject ~predicate:tr.predicate s;
+              S.count ~predicate:tr.predicate ~object_:tr.object_ s;
+            ]
+          in
+          let exists =
+            [
+              S.exists ~subject:tr.subject s;
+              S.exists ~subject:tr.subject ~predicate:tr.predicate s;
+              S.exists ~predicate:tr.predicate ~object_:tr.object_ s;
+            ]
+          in
+          (selects, counts, exists)
+        in
+        (S.size s, sort (S.to_list s), List.map per_probe probes)
+      in
+      match Store.implementations with
+      | [] -> true
+      | (_, first) :: rest ->
+          let reference = snapshot first in
+          List.for_all (fun (_, impl) -> snapshot impl = reference) rest)
+
 let prop_xml_roundtrip =
   QCheck.Test.make ~name:"TRIM XML round-trip" ~count:200 arbitrary_triples
     (fun triples ->
@@ -479,6 +724,7 @@ let props =
     [
       prop_stores_agree;
       prop_stores_agree_after_removal;
+      prop_all_stores_conform;
       prop_xml_roundtrip;
       prop_view_is_sound;
     ]
@@ -488,14 +734,22 @@ let suite =
   @ store_tests (module Store.List_store)
   @ store_tests (module Store.Indexed_store)
   @ store_tests (module Store.Locked_indexed)
+  @ store_tests (module Store.Sharded_store)
   @ [
       ("locked: parallel adds across domains", `Quick, test_parallel_adds);
       ("locked: parallel mixed operations", `Quick, test_parallel_mixed_ops);
+      ("sharded: parallel adds across domains", `Quick,
+       test_sharded_parallel_adds);
+      ("sharded: parallel mixed operations", `Quick,
+       test_sharded_parallel_mixed_ops);
+      ("sharded: pair indexes survive concurrent churn", `Quick,
+       test_sharded_stale_pair_after_domains);
     ]
   @ [
       ("trim: typed accessors", `Quick, test_trim_accessors);
       ("trim: set replaces", `Quick, test_trim_set);
       ("trim: remove_subject", `Quick, test_trim_remove_subject);
+      ("trim: count_select & exists", `Quick, test_trim_count_exists);
       ("trim: id generation", `Quick, test_new_id);
       ("trim: reachability view", `Quick, test_view);
       ("trim: view is cycle-safe", `Quick, test_view_cycle_safe);
