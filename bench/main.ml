@@ -32,11 +32,20 @@ module Store = Si_triple.Store
    them at the end: (group, test name, ns/run if estimated). *)
 let recorded : (string * string * float option) list ref = ref []
 
+(* --smoke: a fast sanity pass (CI runs it on every push) — tiny quota,
+   same tests, same JSON shape; the numbers are noise, the exercise is
+   the point. *)
+let smoke = ref false
+
 let run_group ~name tests =
   Printf.printf "\n== %s ==\n%!" name;
   let cfg =
-    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.3) ~kde:None
-      ~stabilize:false ()
+    if !smoke then
+      Benchmark.cfg ~limit:50 ~quota:(Time.millisecond 20.) ~kde:None
+        ~stabilize:false ()
+    else
+      Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.3) ~kde:None
+        ~stabilize:false ()
   in
   let raw =
     Benchmark.all cfg
@@ -388,7 +397,7 @@ let mark_tests () =
         (staged (fun () ->
              match Manager.resolve mgr mark_id with
              | Ok _ -> ()
-             | Error e -> failwith e)))
+             | Error e -> failwith (Manager.resolve_error_to_string e))))
     marks
   @ [
       Test.make ~name:"create:excel"
@@ -416,7 +425,7 @@ let behaviour_tests () =
         (staged (fun () ->
              match Manager.resolve_with mgr xml_mark behaviour with
              | Ok _ -> ()
-             | Error e -> failwith e)))
+             | Error e -> failwith (Manager.resolve_error_to_string e))))
     [
       ("navigate", Mark.Navigate);
       ("extract", Mark.Extract_content);
@@ -749,16 +758,68 @@ let registry_report () =
   Printf.printf "\n== F7: registered mark modules ==\n  %s\n"
     (String.concat ", " (Manager.module_names mgr))
 
+(* --------------------- E11: resilient resolution under faults ---------- *)
+
+(* One breaker-guarded sweep over a flaky and a healthy mark per run. The
+   desktop's note.txt fails at the given rate (deterministic injection,
+   seed 7). At 0% this measures the resilient layer's overhead over plain
+   Manager.resolve; at 10% / 50% it adds the cost of retries, breaker
+   trips, and degraded (cached-excerpt) outcomes. *)
+let resilience_tests () =
+  let make_case rate =
+    let desk = fig4_desktop () in
+    let faults =
+      Si_workload.Faults.create ~seed:7 ~only:[ "note.txt" ]
+        (Si_workload.Faults.Fail_rate rate)
+    in
+    let mgr = Manager.create () in
+    Desktop.install_modules ~wrap:(Si_workload.Faults.wrap faults) desk mgr;
+    (* Excerpts supplied up front: creation must not depend on the flaky
+       opener, only resolution does. *)
+    let mk mark_type fields excerpt =
+      match Manager.create_mark mgr ~mark_type ~fields ~excerpt () with
+      | Ok m -> m.Mark.mark_id
+      | Error e -> failwith e
+    in
+    let flaky =
+      mk "text"
+        [ ("fileName", "note.txt"); ("offset", "26"); ("length", "13");
+          ("selected", "wean pressors") ]
+        "wean pressors"
+    in
+    let healthy =
+      mk "xml"
+        [ ("fileName", "labs.xml"); ("xmlPath", "/report/panel/result[2]") ]
+        "4.2"
+    in
+    let resilient = Si_mark.Resilient.create () in
+    Test.make
+      ~name:
+        (Printf.sprintf "resolve sweep @ %2d%% faults"
+           (int_of_float (rate *. 100.)))
+      (staged (fun () ->
+           List.iter
+             (fun id ->
+               match Si_mark.Resilient.resolve resilient mgr id with
+               | Ok _ -> ()
+               | Error e -> failwith (Manager.resolve_error_to_string e))
+             [ flaky; healthy ]))
+  in
+  List.map make_case [ 0.0; 0.1; 0.5 ]
+
 let () =
+  let argv = Array.to_list Sys.argv in
   let json_path =
     let rec find = function
       | "--json" :: path :: _ -> Some path
       | _ :: rest -> find rest
       | [] -> None
     in
-    find (Array.to_list Sys.argv)
+    find argv
   in
-  Printf.printf "superimposed-information benchmarks (paper: ICDE 2001)\n";
+  smoke := List.mem "--smoke" argv;
+  Printf.printf "superimposed-information benchmarks (paper: ICDE 2001)%s\n"
+    (if !smoke then " [smoke mode]" else "");
   space_report ();
   registry_report ();
   run_group ~name:"E3 store scaling (list vs indexed)" (store_scaling_tests ());
@@ -775,6 +836,8 @@ let () =
     (concurrent_throughput_tests ());
   run_group ~name:"E10 early-terminating limit" (limit_tests ());
   run_group ~name:"E9 persistence & RDF serialization" (persistence_tests ());
+  run_group ~name:"E11 resilient resolution under faults"
+    (resilience_tests ());
   run_group ~name:"application-level (ICU worksheet, 6 patients)"
     (application_tests ());
   run_group ~name:"substrate parsers" (substrate_tests ());

@@ -9,12 +9,21 @@ module Mark = Si_mark.Mark
 module Dmi = Si_slim.Dmi
 module Slimpad = Si_slimpad.Slimpad
 
-let with_workspace dir f =
-  match Workspace.open_workspace dir with
+let with_workspace ?wrap dir f =
+  match Workspace.open_workspace ?wrap dir with
   | Error msg ->
       Printf.eprintf "error: %s\n" msg;
       1
   | Ok app -> f app
+
+(* Persist, then continue — a failed save is a hard error, and the
+   atomic-write protocol guarantees the previous store file survives it. *)
+let saved dir app k =
+  match Workspace.save_workspace dir app with
+  | Ok () -> k ()
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
 
 let find_pad_or_first app = function
   | Some name -> (
@@ -99,9 +108,9 @@ let cmd_init dir scenario seed =
                      (Result.get_ok (Desktop.open_text desk name))))
         | _ -> ())
       (Desktop.document_names desk);
-    Workspace.save_workspace dir app;
-    Printf.printf "initialized %s in %s\n" built dir;
-    0
+    saved dir app (fun () ->
+        Printf.printf "initialized %s in %s\n" built dir;
+        0)
   end
 
 let cmd_show dir pad_name =
@@ -137,9 +146,9 @@ let cmd_docs dir =
 let cmd_add_pad dir name =
   with_workspace dir (fun app ->
       let _ = Slimpad.new_pad app name in
-      Workspace.save_workspace dir app;
-      Printf.printf "created pad %S\n" name;
-      0)
+      saved dir app (fun () ->
+          Printf.printf "created pad %S\n" name;
+          0))
 
 let cmd_add_bundle dir pad_name parent name =
   with_workspace dir (fun app ->
@@ -157,9 +166,9 @@ let cmd_add_bundle dir pad_name parent name =
         | Some p -> find_bundle app pad p
       in
       let _ = Slimpad.add_bundle app ~parent ~name () in
-      Workspace.save_workspace dir app;
-      Printf.printf "created bundle %S\n" name;
-      0)
+      saved dir app (fun () ->
+          Printf.printf "created bundle %S\n" name;
+          0))
 
 let parse_field s =
   match String.index_opt s '=' with
@@ -193,11 +202,11 @@ let cmd_add_scrap dir pad_name parent name mark_type fields =
       let* scrap =
         Slimpad.add_scrap app ~parent ~name ~mark_type ~fields ()
       in
-      Workspace.save_workspace dir app;
-      Printf.printf "created scrap %S -> %s\n"
-        (Dmi.scrap_name (Slimpad.dmi app) scrap)
-        (Slimpad.render_scrap_line app scrap);
-      0)
+      saved dir app (fun () ->
+          Printf.printf "created scrap %S -> %s\n"
+            (Dmi.scrap_name (Slimpad.dmi app) scrap)
+            (Slimpad.render_scrap_line app scrap);
+          0))
 
 let behaviour_of_string = function
   | "navigate" -> Ok Mark.Navigate
@@ -233,8 +242,7 @@ let cmd_annotate dir pad_name label text =
       let* pad = find_pad_or_first app pad_name in
       let* scrap = find_scrap app pad label in
       Dmi.annotate_scrap (Slimpad.dmi app) scrap text;
-      Workspace.save_workspace dir app;
-      0)
+      saved dir app (fun () -> 0))
 
 let cmd_link dir pad_name from_label to_label label =
   with_workspace dir (fun app ->
@@ -249,8 +257,7 @@ let cmd_link dir pad_name from_label to_label label =
       let* from_ = find_scrap app pad from_label in
       let* to_ = find_scrap app pad to_label in
       let _ = Dmi.link_scraps (Slimpad.dmi app) ?label ~from_ ~to_ () in
-      Workspace.save_workspace dir app;
-      0)
+      saved dir app (fun () -> 0))
 
 let cmd_drift dir pad_name refresh =
   with_workspace dir (fun app ->
@@ -272,16 +279,20 @@ let cmd_drift dir pad_name refresh =
             | Manager.Changed { was; now } ->
                 Printf.printf "changed  %s: %S -> %S\n"
                   (Dmi.scrap_name t scrap) was now
-            | Manager.Unresolvable msg ->
-                Printf.printf "broken   %s: %s\n" (Dmi.scrap_name t scrap) msg
+            | Manager.Unresolvable err ->
+                Printf.printf "broken   %s: %s\n" (Dmi.scrap_name t scrap)
+                  (Manager.resolve_error_to_string err)
+            | Manager.Quarantined err ->
+                Printf.printf "quarantined %s: %s\n" (Dmi.scrap_name t scrap)
+                  (Manager.resolve_error_to_string err)
             | Manager.Unchanged -> ())
           report;
-      if refresh then begin
+      if refresh then
         let n = Slimpad.refresh_pad app pad in
-        Workspace.save_workspace dir app;
-        Printf.printf "refreshed %d scrap(s)\n" n
-      end;
-      0)
+        saved dir app (fun () ->
+            Printf.printf "refreshed %d scrap(s)\n" n;
+            0)
+      else 0)
 
 let cmd_query dir text =
   with_workspace dir (fun app ->
@@ -307,10 +318,10 @@ let cmd_import dir file pad_name rename =
           Printf.eprintf "error: %s\n" msg;
           1
       | Ok pad ->
-          Workspace.save_workspace dir app;
-          Printf.printf "imported pad %S\n"
-            (Dmi.pad_name (Slimpad.dmi app) pad);
-          0)
+          saved dir app (fun () ->
+              Printf.printf "imported pad %S\n"
+                (Dmi.pad_name (Slimpad.dmi app) pad);
+              0))
 
 let cmd_template dir pad_name bundle_name off =
   with_workspace dir (fun app ->
@@ -324,10 +335,10 @@ let cmd_template dir pad_name bundle_name off =
       let* pad = find_pad_or_first app pad_name in
       let* bundle = find_bundle app pad bundle_name in
       Dmi.set_template (Slimpad.dmi app) bundle (not off);
-      Workspace.save_workspace dir app;
-      Printf.printf "%s is %s a template\n" bundle_name
-        (if off then "no longer" else "now");
-      0)
+      saved dir app (fun () ->
+          Printf.printf "%s is %s a template\n" bundle_name
+            (if off then "no longer" else "now");
+          0))
 
 let cmd_instantiate dir pad_name template_name new_name parent =
   with_workspace dir (fun app ->
@@ -349,11 +360,11 @@ let cmd_instantiate dir pad_name template_name new_name parent =
         Dmi.instantiate_template (Slimpad.dmi app) ~template ~name:new_name
           ~parent
       in
-      Workspace.save_workspace dir app;
-      Printf.printf "instantiated %S from %S\n"
-        (Dmi.bundle_name (Slimpad.dmi app) copy)
-        template_name;
-      0)
+      saved dir app (fun () ->
+          Printf.printf "instantiated %S from %S\n"
+            (Dmi.bundle_name (Slimpad.dmi app) copy)
+            template_name;
+          0))
 
 let cmd_export_html dir pad_name out =
   with_workspace dir (fun app ->
@@ -394,6 +405,61 @@ let cmd_history dir last =
             e.Dmi.target e.Dmi.detail)
         entries;
       0)
+
+let cmd_health dir pad_name inject_rate inject_source seed passes =
+  let wrap =
+    (* Optional scripted outage, for demonstrating and exercising the
+       breakers from the command line. *)
+    match inject_rate with
+    | None -> None
+    | Some rate ->
+        let only =
+          match inject_source with [] -> None | l -> Some l
+        in
+        Some
+          (Si_workload.Faults.wrap
+             (Si_workload.Faults.create ~seed ?only
+                (Si_workload.Faults.Fail_rate rate)))
+  in
+  with_workspace ?wrap dir (fun app ->
+      match find_pad_or_first app pad_name with
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          1
+      | Ok pad ->
+          (* Extra passes drive the breakers through their lifecycle
+             (trip, cool down, probe) before the reported sweep. *)
+          for _ = 2 to passes do
+            ignore (Slimpad.pad_health app pad)
+          done;
+          let h = Slimpad.pad_health app pad in
+          Printf.printf "scraps: %d fresh, %d degraded, %d quarantined, %d dangling\n"
+            h.Slimpad.fresh h.Slimpad.degraded h.Slimpad.quarantined
+            h.Slimpad.dangling;
+          (match Slimpad.health app with
+          | [] -> print_endline "breakers: (no base source touched yet)"
+          | infos ->
+              print_endline "breakers:";
+              List.iter
+                (fun (i : Si_mark.Resilient.breaker_info) ->
+                  Printf.printf
+                    "  %-28s %-9s ok=%d fail=%d consecutive=%d rejected=%d probe-failures=%d%s\n"
+                    i.Si_mark.Resilient.source
+                    (Si_mark.Resilient.state_to_string
+                       i.Si_mark.Resilient.state)
+                    i.Si_mark.Resilient.total_successes
+                    i.Si_mark.Resilient.total_failures
+                    i.Si_mark.Resilient.consecutive_failures
+                    i.Si_mark.Resilient.rejected
+                    i.Si_mark.Resilient.probe_failures
+                    (if
+                       Si_mark.Resilient.quarantined (Slimpad.resilient app)
+                         i.Si_mark.Resilient.source
+                     then " QUARANTINED"
+                     else ""))
+                infos);
+          if h.Slimpad.quarantined > 0 || h.Slimpad.dangling > 0 then 1
+          else 0)
 
 let cmd_stats dir =
   with_workspace dir (fun app ->
@@ -570,6 +636,33 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Workspace statistics")
     Term.(const cmd_stats $ dir_arg)
 
+let health_cmd =
+  let inject_rate =
+    Arg.(value & opt (some float) None & info [ "inject-rate" ] ~docv:"P"
+         ~doc:"Inject base-source faults with probability P (0..1), for \
+               exercising the breakers.")
+  in
+  let inject_source =
+    Arg.(value & opt_all string [] & info [ "inject-source" ] ~docv:"NAME"
+         ~doc:"Restrict injection to this document (repeatable; default: \
+               every document).")
+  in
+  let seed =
+    Arg.(value & opt int 2001 & info [ "seed" ] ~docv:"N"
+         ~doc:"Fault-injection seed (same seed: same outage replay).")
+  in
+  let passes =
+    Arg.(value & opt int 1 & info [ "passes" ] ~docv:"N"
+         ~doc:"Resolution sweeps over the pad before reporting (extra \
+               passes drive breakers through trip/cool-down/probe).")
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:"Resolve every scrap through the resilient path and report \
+             per-source circuit-breaker state")
+    Term.(const cmd_health $ dir_arg $ pad_opt $ inject_rate
+          $ inject_source $ seed $ passes)
+
 let import_cmd =
   let file =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"FILE"
@@ -645,8 +738,8 @@ let main =
     [
       init_cmd; show_cmd; pads_cmd; docs_cmd; add_pad_cmd; add_bundle_cmd;
       add_scrap_cmd; resolve_cmd; annotate_cmd; link_cmd; drift_cmd;
-      query_cmd; validate_cmd; stats_cmd; history_cmd; model_cmd; import_cmd; export_html_cmd;
-      template_cmd; instantiate_cmd;
+      query_cmd; validate_cmd; stats_cmd; health_cmd; history_cmd; model_cmd;
+      import_cmd; export_html_cmd; template_cmd; instantiate_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

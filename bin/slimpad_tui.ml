@@ -102,4 +102,8 @@ let () =
           loop term (Ui.make app pad);
           Term.release term;
           (* Persist edits made through the TUI. *)
-          Workspace.save_workspace dir app)
+          (match Workspace.save_workspace dir app with
+          | Ok () -> ()
+          | Error msg ->
+              Printf.eprintf "error: %s\n" msg;
+              exit 1))

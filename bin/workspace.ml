@@ -37,6 +37,10 @@ let load_desktop dir =
         problems := Printf.sprintf "%s: %s" entry msg :: !problems
       in
       if entry = "pad.xml" then ()
+      else if Si_xmlk.Print.is_temp_path entry then
+        (* Leftover from a crash mid-save: the real file was never
+           replaced, so the temp copy is garbage — never load it. *)
+        ()
       else if ends_with ~suffix:".workbook.xml" entry then
         match Si_spreadsheet.Workbook.load path with
         | Ok wb -> Desktop.add_workbook desk (logical entry ".workbook.xml") wb
@@ -68,11 +72,11 @@ let load_desktop dir =
     entries;
   (desk, List.rev !problems)
 
-let open_workspace dir =
+let open_workspace ?resilient ?wrap dir =
   let desk, problems = load_desktop dir in
   List.iter (Printf.eprintf "warning: %s\n") problems;
   let store = pad_store dir in
-  if Sys.file_exists store then Slimpad.load desk store
-  else Ok (Slimpad.create desk)
+  if Sys.file_exists store then Slimpad.load ?resilient ?wrap desk store
+  else Ok (Slimpad.create ?resilient ?wrap desk)
 
 let save_workspace dir app = Slimpad.save app (pad_store dir)

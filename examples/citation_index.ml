@@ -107,7 +107,7 @@ let () =
             | Some mark_id -> (
                 match Manager.resolve marks mark_id with
                 | Ok res -> res.Mark.res_display
-                | Error e -> "<" ^ e ^ ">")
+                | Error e -> "<" ^ Manager.resolve_error_to_string e ^ ">")
             | None -> "<no href>")
         | _ -> "<unbound>"
       in

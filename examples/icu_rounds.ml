@@ -66,10 +66,10 @@ let () =
           Printf.printf "  %s: %s -> %s\n"
             (Dmi.scrap_name t scrap)
             was now
-      | Si_mark.Manager.Unresolvable msg ->
+      | Si_mark.Manager.Unresolvable err | Si_mark.Manager.Quarantined err ->
           Printf.printf "  %s: unresolvable (%s)\n"
             (Dmi.scrap_name t scrap)
-            msg
+            (Si_mark.Manager.resolve_error_to_string err)
       | Si_mark.Manager.Unchanged -> ())
     (Slimpad.drift_report app pad);
   Printf.printf "refreshed %d stale scrap(s)\n" (Slimpad.refresh_pad app pad);
@@ -105,7 +105,7 @@ let () =
   (* The weekend hand-off (§6): save the pad, reload it as the covering
      doctor, every wire still live. *)
   let path = Filename.temp_file "rounds" ".xml" in
-  Slimpad.save app path;
+  ok (Slimpad.save app path);
   let weekend = ok (Slimpad.load desk path) in
   Sys.remove path;
   let pad2 = Option.get (Dmi.find_pad (Slimpad.dmi weekend) "Rounds") in

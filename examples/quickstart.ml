@@ -85,7 +85,7 @@ let () =
 
   (* 6. Persistence round-trip. *)
   let path = Filename.temp_file "quickstart" ".xml" in
-  Slimpad.save app path;
+  ok (Slimpad.save app path);
   let app2 = ok (Slimpad.load desk path) in
   Sys.remove path;
   let pad2 = Option.get (Dmi.find_pad (Slimpad.dmi app2) "Evil Plan") in

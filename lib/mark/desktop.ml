@@ -54,18 +54,28 @@ let document_names t =
     ]
   |> List.sort compare
 
-let install_modules t mgr =
+type opener_wrap = {
+  wrap :
+    'a. (string -> ('a, string) result) -> string -> ('a, string) result;
+}
+
+let install_modules ?wrap t mgr =
+  (* The wrap slips under every module's opener, so one combinator (e.g. a
+     fault injector) governs access to every kind of base document. *)
+  let w opener =
+    match wrap with None -> opener | Some { wrap } -> wrap opener
+  in
   Manager.register_exn mgr
-    (Excel_mark.mark_module ~open_workbook:(open_workbook t) ());
+    (Excel_mark.mark_module ~open_workbook:(w (open_workbook t)) ());
   Manager.register_exn mgr
-    (Xml_mark.mark_module ~open_document:(open_xml t) ());
+    (Xml_mark.mark_module ~open_document:(w (open_xml t)) ());
   Manager.register_exn mgr
-    (Text_mark.mark_module ~open_document:(open_text t) ());
+    (Text_mark.mark_module ~open_document:(w (open_text t)) ());
   Manager.register_exn mgr
-    (Word_mark.mark_module ~open_document:(open_word t) ());
+    (Word_mark.mark_module ~open_document:(w (open_word t)) ());
   Manager.register_exn mgr
-    (Slides_mark.mark_module ~open_presentation:(open_slides t) ());
+    (Slides_mark.mark_module ~open_presentation:(w (open_slides t)) ());
   Manager.register_exn mgr
-    (Pdf_mark.mark_module ~open_document:(open_pdf t) ());
+    (Pdf_mark.mark_module ~open_document:(w (open_pdf t)) ());
   Manager.register_exn mgr
-    (Html_mark.mark_module ~open_page:(open_html t) ())
+    (Html_mark.mark_module ~open_page:(w (open_html t)) ())

@@ -39,7 +39,16 @@ val document_names : t -> (string * string) list
 
 (** {1 Mark modules} *)
 
-val install_modules : t -> Manager.t -> unit
+type opener_wrap = {
+  wrap :
+    'a. (string -> ('a, string) result) -> string -> ('a, string) result;
+}
+(** A combinator slipped under every mark module's opener — the hook the
+    deterministic fault-injection harness ([Si_workload.Faults]) plugs
+    into, and the seam for any other cross-cutting access policy. *)
+
+val install_modules : ?wrap:opener_wrap -> t -> Manager.t -> unit
 (** Registers the seven standard mark modules (excel, xml, text, word,
-    slides, pdf, html), each resolving against this desktop.
+    slides, pdf, html), each resolving against this desktop. When [wrap]
+    is given, every module's opener goes through it.
     @raise Invalid_argument if one of those module names is taken. *)

@@ -125,13 +125,28 @@ let remove_mark t id =
 
 let mark_count t = Hashtbl.length t.marks
 
+type resolve_error =
+  | Unknown_mark of string
+  | No_module of { mark_type : string; detail : string }
+  | Resolution_failed of { source : string; detail : string }
+
+let resolve_error_to_string = function
+  | Unknown_mark id -> Printf.sprintf "no mark %S" id
+  | No_module { detail; _ } -> detail
+  | Resolution_failed { detail; _ } -> detail
+
 let resolve ?module_name t id =
   match mark t id with
-  | None -> Error (Printf.sprintf "no mark %S" id)
+  | None -> Error (Unknown_mark id)
   | Some m -> (
       match find_module ?module_name t m.Mark.mark_type with
-      | Error _ as e -> e
-      | Ok mm -> mm.resolve m.Mark.fields)
+      | Error detail ->
+          Error (No_module { mark_type = m.Mark.mark_type; detail })
+      | Ok mm -> (
+          match mm.resolve m.Mark.fields with
+          | Ok _ as ok -> ok
+          | Error detail ->
+              Error (Resolution_failed { source = Mark.source m; detail })))
 
 let resolve_with ?module_name t id behaviour =
   Result.map (Mark.apply_behaviour behaviour) (resolve ?module_name t id)
@@ -139,22 +154,23 @@ let resolve_with ?module_name t id behaviour =
 type drift =
   | Unchanged
   | Changed of { was : string; now : string }
-  | Unresolvable of string
+  | Unresolvable of resolve_error
+  | Quarantined of resolve_error
 
 let check_drift t id =
   match mark t id with
-  | None -> Error (Printf.sprintf "no mark %S" id)
+  | None -> Error (Unknown_mark id)
   | Some m -> (
       match resolve t id with
       | Ok res ->
           if String.equal res.Mark.res_excerpt m.Mark.excerpt then
             Ok Unchanged
           else Ok (Changed { was = m.Mark.excerpt; now = res.Mark.res_excerpt })
-      | Error msg -> Ok (Unresolvable msg))
+      | Error e -> Ok (Unresolvable e))
 
 let refresh_excerpt t id =
   match mark t id with
-  | None -> Error (Printf.sprintf "no mark %S" id)
+  | None -> Error (Unknown_mark id)
   | Some m -> (
       match resolve t id with
       | Error _ as e -> e
@@ -171,20 +187,29 @@ let to_xml t =
 let of_xml t root =
   match root with
   | Xml.Node.Element { name = "marks"; _ } ->
+      (* All-or-nothing: stage into a side table so a mid-file error (bad
+         mark, duplicate id) leaves the manager exactly as it was. *)
+      let staged = Hashtbl.create 64 in
       let rec load = function
-        | [] -> Ok ()
+        | [] ->
+            Hashtbl.iter (fun id m -> Hashtbl.add t.marks id m) staged;
+            Ok ()
         | node :: rest -> (
             match Mark.of_xml node with
             | Error _ as e -> e
-            | Ok m -> (
-                match add_mark t m with
-                | Ok () -> load rest
-                | Error _ as e -> e))
+            | Ok m ->
+                let id = m.Mark.mark_id in
+                if Hashtbl.mem t.marks id || Hashtbl.mem staged id then
+                  Error (Printf.sprintf "mark %S already exists" id)
+                else begin
+                  Hashtbl.add staged id m;
+                  load rest
+                end)
       in
       load (Xml.Node.find_children "mark" root)
   | _ -> Error "expected a <marks> root element"
 
-let save t path = Xml.Print.to_file path (to_xml t)
+let save t path = Xml.Print.to_file_atomic path (to_xml t)
 
 let load_into t path =
   match Xml.Parse.file path with

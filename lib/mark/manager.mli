@@ -39,6 +39,12 @@ val module_names : t -> string list
 val modules_for_type : t -> string -> mark_module list
 val supported_types : t -> string list
 
+val find_module :
+  ?module_name:string -> t -> string -> (mark_module, string) result
+(** The module that handles a mark type ([module_name] selects a specific
+    registration) — the dispatch {!resolve} uses, exposed so layered
+    resolvers ({!Resilient}) can drive the module directly. *)
+
 (** {1 Mark creation and storage} *)
 
 val create_mark :
@@ -63,23 +69,46 @@ val mark_count : t -> int
 
 (** {1 Resolution} *)
 
-val resolve : ?module_name:string -> t -> string -> (Mark.resolution, string) result
+type resolve_error =
+  | Unknown_mark of string
+      (** The superimposed layer holds no mark with this id. *)
+  | No_module of { mark_type : string; detail : string }
+      (** The mark exists but no registered module interprets its type
+          (or the named module does not). *)
+  | Resolution_failed of { source : string; detail : string }
+      (** The mark and module are fine; the base source
+          ({!Mark.source}) failed to produce the element — the only
+          variant a retry or degraded fallback can help with. *)
+
+val resolve_error_to_string : resolve_error -> string
+
+val resolve :
+  ?module_name:string -> t -> string -> (Mark.resolution, resolve_error) result
 (** [resolve mgr mark_id] finds the mark, dispatches to a module handling
     its type ([module_name] selects a specific one), and drives the base
     application to the element. *)
 
 val resolve_with :
-  ?module_name:string -> t -> string -> Mark.behaviour -> (string, string) result
+  ?module_name:string -> t -> string -> Mark.behaviour ->
+  (string, resolve_error) result
 (** Resolution narrowed to one viewing behaviour. *)
 
-type drift = Unchanged | Changed of { was : string; now : string } | Unresolvable of string
+type drift =
+  | Unchanged
+  | Changed of { was : string; now : string }
+  | Unresolvable of resolve_error
+  | Quarantined of resolve_error
+      (** Produced by {!Resilient.check_drift} for marks that stayed
+          unresolvable across a whole breaker probe window; plain
+          {!check_drift} never returns it. *)
 
-val check_drift : t -> string -> (drift, string) result
+val check_drift : t -> string -> (drift, resolve_error) result
 (** Compare the excerpt cached at creation with the element's current
     content (§3: redundancy "is a problem … if it introduces errors during
-    transcription"; this detects base-side divergence). *)
+    transcription"; this detects base-side divergence). The outer error is
+    only ever [Unknown_mark]. *)
 
-val refresh_excerpt : t -> string -> (Mark.t, string) result
+val refresh_excerpt : t -> string -> (Mark.t, resolve_error) result
 (** Re-resolve and overwrite the cached excerpt. *)
 
 (** {1 Persistence} *)
@@ -88,7 +117,12 @@ val to_xml : t -> Si_xmlk.Node.t
 (** Marks only; modules are code and must be re-registered. *)
 
 val of_xml : t -> Si_xmlk.Node.t -> (unit, string) result
-(** Loads marks into an existing manager (keeping its modules). *)
+(** Loads marks into an existing manager (keeping its modules).
+    All-or-nothing: on any error (malformed mark, duplicate id — within
+    the file or against marks already present) the manager is left
+    unchanged. *)
 
-val save : t -> string -> unit
+val save : t -> string -> (unit, string) result
+(** Crash-safe: temp file + rename ({!Si_xmlk.Print.to_file_atomic}). *)
+
 val load_into : t -> string -> (unit, string) result

@@ -19,6 +19,14 @@ let field_exn t name =
       invalid_arg
         (Printf.sprintf "Mark %s has no field %S" t.mark_id name)
 
+(* The base source a mark lives on. Every standard module addresses its
+   document through a "fileName" field; marks without one are grouped per
+   type. Resilience (breakers, health reports) keys on this. *)
+let source t =
+  match field t "fileName" with
+  | Some f -> f
+  | None -> "<" ^ t.mark_type ^ ">"
+
 let equal a b =
   String.equal a.mark_id b.mark_id
   && String.equal a.mark_type b.mark_type

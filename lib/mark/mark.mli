@@ -26,6 +26,12 @@ val make :
 
 val field : t -> string -> string option
 val field_exn : t -> string -> string
+
+val source : t -> string
+(** The base source the mark addresses: its ["fileName"] field (every
+    standard module has one), or ["<type>"] for fileless mark types.
+    The resilience layer keys circuit breakers on this. *)
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 

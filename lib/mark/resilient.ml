@@ -1,0 +1,285 @@
+(* Resilient base-source access: circuit breakers, bounded retries with
+   deterministic backoff, per-call budgets, and degraded-mode resolution
+   falling back to the excerpt cached at mark-creation time.
+
+   The codebase is deterministic (no wall clock in the data path), so all
+   "time" here is virtual and measured in attempts: a breaker's cool-down
+   elapses as calls are rejected, and backoff delays are bookkeeping units
+   charged against the per-call budget rather than sleeps. *)
+
+type config = {
+  failure_threshold : int;
+  cooldown : int;
+  max_attempts : int;
+  backoff_base : int;
+  backoff_cap : int;
+  call_budget : int;
+  quarantine_probes : int;
+  jitter : int -> int;
+}
+
+(* The same splitmix64 stream as Si_workload.Rng — reimplemented here
+   because the workload library sits above this one in the dependency
+   order. Two streams with the same seed replay the same jitter. *)
+let deterministic_jitter ~seed =
+  let state = ref (Int64.of_int seed) in
+  fun bound ->
+    if bound <= 0 then 0
+    else begin
+      state := Int64.add !state 0x9E3779B97F4A7C15L;
+      let z = !state in
+      let z =
+        Int64.mul
+          (Int64.logxor z (Int64.shift_right_logical z 30))
+          0xBF58476D1CE4E5B9L
+      in
+      let z =
+        Int64.mul
+          (Int64.logxor z (Int64.shift_right_logical z 27))
+          0x94D049BB133111EBL
+      in
+      let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+      Int64.to_int (Int64.rem (Int64.logand z Int64.max_int) (Int64.of_int bound))
+    end
+
+let default_config () =
+  {
+    failure_threshold = 3;
+    cooldown = 8;
+    max_attempts = 3;
+    backoff_base = 1;
+    backoff_cap = 8;
+    call_budget = 16;
+    quarantine_probes = 2;
+    jitter = deterministic_jitter ~seed:2001;
+  }
+
+type fault =
+  | Attempts_exhausted of {
+      source : string;
+      detail : string;
+      attempts : int;
+      backoffs : int list;
+    }
+  | Breaker_open of { source : string; cooldown_left : int }
+  | Budget_exhausted of { source : string; attempts : int; spent : int }
+
+type outcome =
+  | Fresh of Mark.resolution
+  | Degraded of { excerpt : string; fault : fault }
+
+let fault_to_string = function
+  | Attempts_exhausted { source; detail; attempts; _ } ->
+      Printf.sprintf "%s failed %d attempt(s): %s" source attempts detail
+  | Breaker_open { source; cooldown_left } ->
+      Printf.sprintf "%s circuit open (%d call(s) until probe)" source
+        cooldown_left
+  | Budget_exhausted { source; attempts; spent } ->
+      Printf.sprintf "%s exhausted call budget (%d attempt(s), %d unit(s))"
+        source attempts spent
+
+type breaker_state = Closed | Open | Half_open
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type breaker = {
+  b_source : string;
+  mutable b_state : breaker_state;
+  mutable b_consecutive : int;
+  mutable b_cooldown_left : int;
+  mutable b_probe_failures : int;
+  mutable b_failures : int;
+  mutable b_successes : int;
+  mutable b_rejected : int;
+}
+
+type t = { cfg : config; breakers : (string, breaker) Hashtbl.t }
+
+let create ?config () =
+  let cfg = match config with Some c -> c | None -> default_config () in
+  { cfg; breakers = Hashtbl.create 8 }
+
+let config t = t.cfg
+
+let breaker t source =
+  match Hashtbl.find_opt t.breakers source with
+  | Some b -> b
+  | None ->
+      let b =
+        {
+          b_source = source;
+          b_state = Closed;
+          b_consecutive = 0;
+          b_cooldown_left = 0;
+          b_probe_failures = 0;
+          b_failures = 0;
+          b_successes = 0;
+          b_rejected = 0;
+        }
+      in
+      Hashtbl.add t.breakers source b;
+      b
+
+let record_success b =
+  b.b_successes <- b.b_successes + 1;
+  b.b_consecutive <- 0;
+  b.b_probe_failures <- 0;
+  b.b_state <- Closed
+
+let record_failure t b =
+  b.b_failures <- b.b_failures + 1;
+  b.b_consecutive <- b.b_consecutive + 1;
+  match b.b_state with
+  | Half_open ->
+      (* A failed probe reopens the breaker for another cool-down. *)
+      b.b_probe_failures <- b.b_probe_failures + 1;
+      b.b_state <- Open;
+      b.b_cooldown_left <- t.cfg.cooldown
+  | Closed when b.b_consecutive >= t.cfg.failure_threshold ->
+      b.b_state <- Open;
+      b.b_cooldown_left <- t.cfg.cooldown
+  | Closed | Open -> ()
+
+(* One managed call against [source]. [f ()] drives the base application;
+   the result is either the value or the fault that kept it away. *)
+let guarded t ~source f =
+  let c = t.cfg in
+  let b = breaker t source in
+  let probe () =
+    (* Half-open: a single unretried attempt decides the breaker. *)
+    match f () with
+    | Ok v ->
+        record_success b;
+        Ok v
+    | Error detail ->
+        record_failure t b;
+        Error (Attempts_exhausted { source; detail; attempts = 1; backoffs = [] })
+  in
+  match b.b_state with
+  | Open when b.b_cooldown_left > 0 ->
+      b.b_cooldown_left <- b.b_cooldown_left - 1;
+      b.b_rejected <- b.b_rejected + 1;
+      Error (Breaker_open { source; cooldown_left = b.b_cooldown_left })
+  | Open ->
+      b.b_state <- Half_open;
+      probe ()
+  | Half_open -> probe ()
+  | Closed ->
+      (* Retry loop: every attempt costs one budget unit, every scheduled
+         backoff delay costs its length. *)
+      let rec go attempt spent backoffs =
+        if spent + 1 > c.call_budget then
+          Error
+            (Budget_exhausted { source; attempts = attempt - 1; spent })
+        else
+          match f () with
+          | Ok v ->
+              record_success b;
+              Ok v
+          | Error detail ->
+              record_failure t b;
+              if b.b_state = Open || attempt >= c.max_attempts then
+                (* Tripped mid-call (stop hammering a dying source) or out
+                   of attempts. *)
+                Error
+                  (Attempts_exhausted
+                     { source; detail; attempts = attempt;
+                       backoffs = List.rev backoffs })
+              else
+                let base =
+                  min c.backoff_cap (c.backoff_base lsl (attempt - 1))
+                in
+                let delay = base + c.jitter (base + 1) in
+                go (attempt + 1) (spent + 1 + delay) (delay :: backoffs)
+      in
+      go 1 0 []
+
+let resolve ?module_name t mgr id =
+  match Manager.mark mgr id with
+  | None -> Error (Manager.Unknown_mark id)
+  | Some m -> (
+      match Manager.find_module ?module_name mgr m.Mark.mark_type with
+      | Error detail ->
+          Error (Manager.No_module { mark_type = m.Mark.mark_type; detail })
+      | Ok mm -> (
+          let source = Mark.source m in
+          match guarded t ~source (fun () -> mm.Manager.resolve m.Mark.fields)
+          with
+          | Ok res -> Ok (Fresh res)
+          | Error fault -> Ok (Degraded { excerpt = m.Mark.excerpt; fault })))
+
+let quarantined t source =
+  match Hashtbl.find_opt t.breakers source with
+  | Some b -> b.b_probe_failures >= t.cfg.quarantine_probes
+  | None -> false
+
+let check_drift t mgr id =
+  match Manager.mark mgr id with
+  | None -> Error (Manager.Unknown_mark id)
+  | Some m -> (
+      match resolve t mgr id with
+      | Error e -> Ok (Manager.Unresolvable e)
+      | Ok (Fresh res) ->
+          if String.equal res.Mark.res_excerpt m.Mark.excerpt then
+            Ok Manager.Unchanged
+          else
+            Ok
+              (Manager.Changed
+                 { was = m.Mark.excerpt; now = res.Mark.res_excerpt })
+      | Ok (Degraded { fault; _ }) ->
+          let source = Mark.source m in
+          let e =
+            Manager.Resolution_failed
+              { source; detail = fault_to_string fault }
+          in
+          Ok
+            (if quarantined t source then Manager.Quarantined e
+             else Manager.Unresolvable e))
+
+let wrap_module t (mm : Manager.mark_module) =
+  {
+    mm with
+    Manager.resolve =
+      (fun fields ->
+        let source =
+          match List.assoc_opt "fileName" fields with
+          | Some f -> f
+          | None -> "<" ^ mm.Manager.handles_type ^ ">"
+        in
+        match guarded t ~source (fun () -> mm.Manager.resolve fields) with
+        | Ok _ as ok -> ok
+        | Error fault -> Error (fault_to_string fault));
+  }
+
+type breaker_info = {
+  source : string;
+  state : breaker_state;
+  consecutive_failures : int;
+  total_failures : int;
+  total_successes : int;
+  rejected : int;
+  probe_failures : int;
+}
+
+let info b =
+  {
+    source = b.b_source;
+    state = b.b_state;
+    consecutive_failures = b.b_consecutive;
+    total_failures = b.b_failures;
+    total_successes = b.b_successes;
+    rejected = b.b_rejected;
+    probe_failures = b.b_probe_failures;
+  }
+
+let health t =
+  Hashtbl.fold (fun _ b acc -> info b :: acc) t.breakers []
+  |> List.sort (fun a b -> String.compare a.source b.source)
+
+let breaker_for_source t source =
+  Option.map info (Hashtbl.find_opt t.breakers source)
+
+let reset t = Hashtbl.reset t.breakers

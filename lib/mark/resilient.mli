@@ -1,0 +1,130 @@
+(** Resilient base-source access.
+
+    The paper's premise is that superimposed information lives on base
+    documents "outside the box" (§1, §4.2): owned by other applications,
+    possibly closed, moved, or restructured. The plain {!Manager.resolve}
+    turns any base-source hiccup into a hard error; this layer treats
+    base-source failure as a first-class, managed state instead:
+
+    - a per-base-source {e circuit breaker} (closed → open after N
+      consecutive failures → half-open probe after a cool-down measured in
+      rejected attempts — the codebase is deterministic, so virtual time is
+      counted in calls, not seconds);
+    - {e retry} with capped exponential backoff and deterministic jitter,
+      so a transient fault is retried a bounded, reproducible number of
+      times;
+    - a per-call {e attempt/budget} cap, so a pad refresh over a thousand
+      marks cannot stall on one dead source;
+    - {e graceful degradation}: when the breaker is open or retries are
+      exhausted, resolution returns a typed {!outcome.Degraded} carrying
+      the excerpt cached at mark-creation time plus the underlying
+      {!fault} — never an exception, never data loss. *)
+
+(** {1 Policy} *)
+
+type config = {
+  failure_threshold : int;
+      (** Consecutive failures that trip a closed breaker open. *)
+  cooldown : int;
+      (** Calls fast-failed while open before the next call may probe
+          (half-open). Virtual time, measured in attempts. *)
+  max_attempts : int;  (** Resolution attempts per call while closed. *)
+  backoff_base : int;  (** First retry delay, in virtual backoff units. *)
+  backoff_cap : int;  (** Ceiling for the exponential delay. *)
+  call_budget : int;
+      (** Total units (attempts + backoff delays) one call may spend. *)
+  quarantine_probes : int;
+      (** Consecutive failed half-open probes after which the source's
+          marks are reported {!Manager.drift.Quarantined}. *)
+  jitter : int -> int;
+      (** [jitter bound] in [\[0, bound)], added to each backoff delay.
+          Must be deterministic for reproducible schedules; see
+          {!deterministic_jitter}. *)
+}
+
+val deterministic_jitter : seed:int -> int -> int
+(** A fresh deterministic jitter stream (splitmix64, the same generator as
+    [Si_workload.Rng]). Two streams with the same seed replay the same
+    schedule. *)
+
+val default_config : unit -> config
+(** threshold 3, cooldown 8, 3 attempts, backoff 1..8 capped, budget 16,
+    2 probes, jitter seeded at 2001. Each call returns a config with a
+    fresh jitter stream, so separate {!create}s replay identically. *)
+
+(** {1 Outcomes} *)
+
+type fault =
+  | Attempts_exhausted of {
+      source : string;
+      detail : string;  (** the last underlying error *)
+      attempts : int;
+      backoffs : int list;  (** the delays actually scheduled, in order *)
+    }
+  | Breaker_open of { source : string; cooldown_left : int }
+      (** Fast-failed without touching the base source. *)
+  | Budget_exhausted of { source : string; attempts : int; spent : int }
+
+type outcome =
+  | Fresh of Mark.resolution  (** The base source answered. *)
+  | Degraded of { excerpt : string; fault : fault }
+      (** The base source did not; [excerpt] is the content cached at
+          mark-creation time (zero data loss). *)
+
+val fault_to_string : fault -> string
+
+(** {1 The layer} *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Fresh breakers, all closed. *)
+
+val config : t -> config
+
+val resolve :
+  ?module_name:string -> t -> Manager.t -> string ->
+  (outcome, Manager.resolve_error) result
+(** Like {!Manager.resolve} but managed: breaker consulted first, then
+    bounded retries, then degradation. [Error] is reserved for
+    superimposed-layer problems ([Unknown_mark], [No_module]) — base-source
+    trouble always comes back [Ok (Degraded _)]. *)
+
+val check_drift :
+  t -> Manager.t -> string -> (Manager.drift, Manager.resolve_error) result
+(** Like {!Manager.check_drift}, through the managed path. A mark whose
+    source has failed [quarantine_probes] consecutive half-open probes is
+    reported [Quarantined] rather than [Unresolvable]: the source is not
+    just flickering, it has stayed dead across a whole probe window. *)
+
+val wrap_module : t -> Manager.mark_module -> Manager.mark_module
+(** A mark module whose [resolve] goes through this layer's breaker and
+    retry policy (same module name and type). At this level there is no
+    stored mark, hence no cached excerpt: degraded outcomes surface as
+    [Error (fault_to_string fault)]. *)
+
+(** {1 Observability} *)
+
+type breaker_state = Closed | Open | Half_open
+
+type breaker_info = {
+  source : string;
+  state : breaker_state;
+  consecutive_failures : int;
+  total_failures : int;
+  total_successes : int;
+  rejected : int;  (** calls fast-failed while the breaker was open *)
+  probe_failures : int;  (** consecutive failed half-open probes *)
+}
+
+val health : t -> breaker_info list
+(** One entry per base source seen so far, sorted by source. *)
+
+val breaker_for_source : t -> string -> breaker_info option
+val quarantined : t -> string -> bool
+(** Whether a source is past the quarantine threshold. *)
+
+val reset : t -> unit
+(** Forget all breaker state (e.g. after the operator fixed the source). *)
+
+val state_to_string : breaker_state -> string

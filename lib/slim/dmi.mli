@@ -220,6 +220,8 @@ val validate : t -> Si_metamodel.Validate.report
 val to_xml : t -> Si_xmlk.Node.t
 val of_xml : ?store:(module Si_triple.Store.S) -> Si_xmlk.Node.t ->
   (t, string) result
-val save : t -> string -> unit
+val save : t -> string -> (unit, string) result
+(** Crash-safe (temp file + rename, via {!Si_triple.Trim.save}). *)
+
 val load : ?store:(module Si_triple.Store.S) -> string -> (t, string) result
 val equal_contents : t -> t -> bool

@@ -2,18 +2,31 @@ module Dmi = Si_slim.Dmi
 module Mark = Si_mark.Mark
 module Manager = Si_mark.Manager
 module Desktop = Si_mark.Desktop
+module Resilient = Si_mark.Resilient
 module Xml = Si_xmlk
 
-type t = { dmi : Dmi.t; marks : Manager.t; desktop : Desktop.t }
+type t = {
+  dmi : Dmi.t;
+  marks : Manager.t;
+  desktop : Desktop.t;
+  resilient : Resilient.t;
+}
 
-let create ?store desktop =
+let make_resilient = function
+  | Some r -> r
+  | None -> Resilient.create ()
+
+let create ?store ?resilient ?wrap desktop =
   let marks = Manager.create () in
-  Desktop.install_modules desktop marks;
-  { dmi = Dmi.create ?store (); marks; desktop }
+  Desktop.install_modules ?wrap desktop marks;
+  { dmi = Dmi.create ?store (); marks; desktop;
+    resilient = make_resilient resilient }
 
 let dmi t = t.dmi
 let marks t = t.marks
 let desktop t = t.desktop
+let resilient t = t.resilient
+let health t = Resilient.health t.resilient
 let new_pad t name = Dmi.create_slimpad t.dmi ~pad_name:name
 
 let add_bundle t ~parent ~name ?pos () =
@@ -31,18 +44,27 @@ let add_scrap t ~parent ~name ~mark_type ~fields ?pos () =
 let scrap_mark t scrap =
   Manager.mark t.marks (Dmi.scrap_mark_id t.dmi scrap)
 
+let string_error r = Result.map_error Manager.resolve_error_to_string r
+
 let double_click t scrap =
-  Manager.resolve t.marks (Dmi.scrap_mark_id t.dmi scrap)
+  string_error (Manager.resolve t.marks (Dmi.scrap_mark_id t.dmi scrap))
 
 let scrap_content t scrap =
-  Manager.resolve_with t.marks
-    (Dmi.scrap_mark_id t.dmi scrap)
-    Mark.Extract_content
+  string_error
+    (Manager.resolve_with t.marks
+       (Dmi.scrap_mark_id t.dmi scrap)
+       Mark.Extract_content)
 
 let scrap_in_place t scrap =
-  Manager.resolve_with t.marks
-    (Dmi.scrap_mark_id t.dmi scrap)
-    Mark.Display_in_place
+  string_error
+    (Manager.resolve_with t.marks
+       (Dmi.scrap_mark_id t.dmi scrap)
+       Mark.Display_in_place)
+
+(* The managed path: breaker-guarded, retried, degrading to the cached
+   excerpt instead of erroring when the base source is away. *)
+let resolve_scrap t scrap =
+  Resilient.resolve t.resilient t.marks (Dmi.scrap_mark_id t.dmi scrap)
 
 (* All scraps in a pad's bundle tree. *)
 let rec bundle_scraps_rec t bundle =
@@ -54,10 +76,13 @@ let pad_scraps t pad = bundle_scraps_rec t (Dmi.root_bundle t.dmi pad)
 let drift_report t pad =
   List.filter_map
     (fun scrap ->
-      match Manager.check_drift t.marks (Dmi.scrap_mark_id t.dmi scrap) with
+      match
+        Resilient.check_drift t.resilient t.marks
+          (Dmi.scrap_mark_id t.dmi scrap)
+      with
       | Ok Manager.Unchanged -> None
       | Ok drift -> Some (scrap, drift)
-      | Error msg -> Some (scrap, Manager.Unresolvable msg))
+      | Error e -> Some (scrap, Manager.Unresolvable e))
     (pad_scraps t pad)
 
 let refresh_pad t pad =
@@ -70,8 +95,34 @@ let refresh_pad t pad =
           with
           | Ok _ -> stale + 1
           | Error _ -> stale)
-      | Manager.Unchanged | Manager.Unresolvable _ -> stale)
+      (* Degraded and quarantined scraps keep their cached excerpt — never
+         overwrite good data with a failure. *)
+      | Manager.Unchanged | Manager.Unresolvable _ | Manager.Quarantined _ ->
+          stale)
     0 (drift_report t pad)
+
+type pad_health = {
+  fresh : int;  (** resolved against the live base source *)
+  degraded : int;  (** served from the cached excerpt *)
+  quarantined : int;  (** unresolvable across a whole probe window *)
+  dangling : int;  (** scrap points at no stored mark *)
+}
+
+let pad_health t pad =
+  List.fold_left
+    (fun h scrap ->
+      match
+        Resilient.check_drift t.resilient t.marks
+          (Dmi.scrap_mark_id t.dmi scrap)
+      with
+      | Ok (Manager.Unchanged | Manager.Changed _) ->
+          { h with fresh = h.fresh + 1 }
+      | Ok (Manager.Quarantined _) ->
+          { h with quarantined = h.quarantined + 1 }
+      | Ok (Manager.Unresolvable _) -> { h with degraded = h.degraded + 1 }
+      | Error _ -> { h with dangling = h.dangling + 1 })
+    { fresh = 0; degraded = 0; quarantined = 0; dangling = 0 }
+    (pad_scraps t pad)
 
 let contains_sub ~needle haystack =
   let nl = String.length needle and hl = String.length haystack in
@@ -100,8 +151,14 @@ let query t text =
 
 let mark_source t scrap =
   let mark_id = Dmi.scrap_mark_id t.dmi scrap in
-  match Manager.resolve t.marks mark_id with
-  | Ok res -> res.Mark.res_source
+  match Resilient.resolve t.resilient t.marks mark_id with
+  | Ok (Resilient.Fresh res) -> res.Mark.res_source
+  | Ok (Resilient.Degraded { excerpt; fault }) ->
+      (* Degraded scraps render distinctly: the cached excerpt is served,
+         flagged with the fault that kept the base source away. *)
+      Printf.sprintf "DEGRADED cached %S (%s)" excerpt
+        (Resilient.fault_to_string fault)
+  | Error (Manager.Unknown_mark _) -> "dangling mark " ^ mark_id
   | Error _ -> (
       match Manager.mark t.marks mark_id with
       | Some m ->
@@ -202,6 +259,8 @@ let render_pad_html t pad =
      .bundle > h3 { margin: 0 0 4px 0; font-size: 12px; color: #575; }\n\
      .scrap { position: absolute; background: #ffd; border: 1px solid \
      #cc9; padding: 2px 6px; border-radius: 3px; white-space: pre; }\n\
+     .scrap.degraded { background: #fde8e8; border: 1px dashed #c66; \
+     color: #733; }\n\
      .scrap .note { display: block; font-size: 10px; color: #a66; }\n\
      .decoration { position: absolute; color: #aaa; font-size: 10px; }\n\
      .flow { position: relative; margin: 4px; }\n\
@@ -233,13 +292,23 @@ let render_pad_html t pad =
     add "<div class=\"flow\">\n";
     List.iter
       (fun s ->
-        let source =
-          match Manager.resolve t.marks (Dmi.scrap_mark_id t.dmi s) with
-          | Ok res ->
-              Printf.sprintf "%s — %s" res.Mark.res_source res.Mark.res_excerpt
-          | Error msg -> "unresolvable: " ^ msg
+        let css, source =
+          match Resilient.resolve t.resilient t.marks
+                  (Dmi.scrap_mark_id t.dmi s)
+          with
+          | Ok (Resilient.Fresh res) ->
+              ( "scrap",
+                Printf.sprintf "%s — %s" res.Mark.res_source
+                  res.Mark.res_excerpt )
+          | Ok (Resilient.Degraded { excerpt; fault }) ->
+              ( "scrap degraded",
+                Printf.sprintf "degraded — cached: %s — %s" excerpt
+                  (Resilient.fault_to_string fault) )
+          | Error e ->
+              ( "scrap degraded",
+                "unresolvable: " ^ Manager.resolve_error_to_string e )
         in
-        add "<span class=\"scrap\" %s title=\"%s\">%s"
+        add "<span class=\"%s\" %s title=\"%s\">%s" css
           (style_of (Dmi.scrap_pos t.dmi s) (None, None))
           (esc source)
           (esc (Dmi.scrap_name t.dmi s));
@@ -299,9 +368,9 @@ let save t path =
         Dmi.journal_to_xml t.dmi;
       ]
   in
-  Xml.Print.to_file path combined
+  Xml.Print.to_file_atomic path combined
 
-let load ?store desktop path =
+let load ?store ?resilient ?wrap desktop path =
   match Xml.Parse.file path with
   | Error e -> Error (Xml.Parse.error_to_string e)
   | Ok root -> (
@@ -317,7 +386,7 @@ let load ?store desktop path =
               | Error _ as e -> e
               | Ok dmi -> (
                   let marks = Manager.create () in
-                  Desktop.install_modules desktop marks;
+                  Desktop.install_modules ?wrap desktop marks;
                   match Manager.of_xml marks marks_xml with
                   | Error _ as e -> e
                   | Ok () ->
@@ -328,7 +397,9 @@ let load ?store desktop path =
                           | Ok () -> ()
                           | Error _ -> ())
                       | None -> ());
-                      Ok { dmi; marks; desktop }))
+                      Ok
+                        { dmi; marks; desktop;
+                          resilient = make_resilient resilient }))
           | _ -> Error "missing <triples> or <marks> section")
       | _ -> Error "expected a <slimpad-store> root element")
 

@@ -13,13 +13,21 @@
 
 type t
 
-val create : ?store:(module Si_triple.Store.S) -> Si_mark.Desktop.t -> t
+val create :
+  ?store:(module Si_triple.Store.S) ->
+  ?resilient:Si_mark.Resilient.t ->
+  ?wrap:Si_mark.Desktop.opener_wrap ->
+  Si_mark.Desktop.t -> t
 (** A fresh application over the given desktop: new SLIM store, new mark
-    manager with the desktop's seven mark modules installed. *)
+    manager with the desktop's seven mark modules installed. [resilient]
+    supplies the breaker/retry policy guarding base-source access
+    (default {!Si_mark.Resilient.create}[ ()]); [wrap] interposes on
+    every document opener — fault injection plugs in here. *)
 
 val dmi : t -> Si_slim.Dmi.t
 val marks : t -> Si_mark.Manager.t
 val desktop : t -> Si_mark.Desktop.t
+val resilient : t -> Si_mark.Resilient.t
 
 (** {1 Pads, bundles, scraps} *)
 
@@ -53,6 +61,14 @@ val scrap_content : t -> Si_slim.Dmi.scrap -> (string, string) result
 val scrap_in_place : t -> Si_slim.Dmi.scrap -> (string, string) result
 (** The §6 "display in place" behaviour (independent viewing). *)
 
+val resolve_scrap :
+  t -> Si_slim.Dmi.scrap ->
+  (Si_mark.Resilient.outcome, Si_mark.Manager.resolve_error) result
+(** The managed resolution path: breaker-guarded and retried, degrading
+    to the mark's cached excerpt ({!Si_mark.Resilient.Degraded}) when the
+    base source stays away. [Error] is reserved for marks that cannot be
+    attempted at all (unknown id, no module for the type). *)
+
 (** {1 Consistency with the base layer} *)
 
 val drift_report :
@@ -62,7 +78,21 @@ val drift_report :
 
 val refresh_pad : t -> Si_slim.Dmi.pad -> int
 (** Re-caches excerpts for all resolvable marks of the pad; returns how
-    many were stale. *)
+    many were stale. Degraded and quarantined scraps keep their cached
+    excerpt — a base-source outage never erases good data. *)
+
+type pad_health = {
+  fresh : int;  (** resolved against the live base source *)
+  degraded : int;  (** served from the cached excerpt *)
+  quarantined : int;  (** unresolvable across a whole probe window *)
+  dangling : int;  (** scrap points at no stored mark *)
+}
+
+val pad_health : t -> Si_slim.Dmi.pad -> pad_health
+(** One resolution sweep over the pad, bucketed by outcome. *)
+
+val health : t -> Si_mark.Resilient.breaker_info list
+(** Per-base-source circuit-breaker state, sorted by source. *)
 
 (** {1 Search & query} *)
 
@@ -93,9 +123,16 @@ val render_pad_html : t -> Si_slim.Dmi.pad -> string
     One XML file holds both the superimposed information (triples) and the
     marks, so a pad reloads whole. *)
 
-val save : t -> string -> unit
-val load : ?store:(module Si_triple.Store.S) -> Si_mark.Desktop.t -> string ->
-  (t, string) result
+val save : t -> string -> (unit, string) result
+(** Crash-safe: written via a temp file renamed into place
+    ({!Si_xmlk.Print.to_file_atomic}); a crash mid-write never leaves a
+    torn store file behind. *)
+
+val load :
+  ?store:(module Si_triple.Store.S) ->
+  ?resilient:Si_mark.Resilient.t ->
+  ?wrap:Si_mark.Desktop.opener_wrap ->
+  Si_mark.Desktop.t -> string -> (t, string) result
 
 (** {1 Sharing}
 

@@ -221,7 +221,7 @@ let of_xml ?store root =
       load (Xml.Node.find_children "t" root)
   | _ -> Error "expected a <triples> root element"
 
-let save t path = Xml.Print.to_file path (to_xml t)
+let save t path = Xml.Print.to_file_atomic path (to_xml t)
 
 let load ?store path =
   match Xml.Parse.file path with

@@ -110,7 +110,11 @@ val predicates : t -> string list
 
 val to_xml : t -> Si_xmlk.Node.t
 val of_xml : ?store:(module Store.S) -> Si_xmlk.Node.t -> (t, string) result
-val save : t -> string -> unit
+val save : t -> string -> (unit, string) result
+(** Crash-safe: written via a temp file renamed into place
+    ({!Si_xmlk.Print.to_file_atomic}); a crash mid-write never leaves a
+    torn store file. I/O trouble is an [Error], not an exception. *)
+
 val load : ?store:(module Store.S) -> string -> (t, string) result
 
 val equal_contents : t -> t -> bool

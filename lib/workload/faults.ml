@@ -1,0 +1,54 @@
+(* Deterministic fault injection: a combinator under the document openers.
+   Schedules are seeded by Rng, so an outage scripted in a test or bench
+   replays identically across runs and platforms. *)
+
+module Desktop = Si_mark.Desktop
+
+type schedule = Healthy | Fail_rate of float | Fail_first of int | Dead
+
+type t = {
+  sched : schedule;
+  seed : int;
+  mutable rng : Rng.t;
+  only : string list option;
+  mutable calls : int;
+  mutable injected : int;
+}
+
+let create ?(seed = 2001) ?only sched =
+  { sched; seed; rng = Rng.create seed; only; calls = 0; injected = 0 }
+
+let schedule t = t.sched
+let calls t = t.calls
+let injected t = t.injected
+
+let reset t =
+  t.rng <- Rng.create t.seed;
+  t.calls <- 0;
+  t.injected <- 0
+
+let applies t name =
+  match t.only with None -> true | Some names -> List.mem name names
+
+(* Decide the fate of call number [t.calls] (already incremented). *)
+let should_fail t =
+  match t.sched with
+  | Healthy -> false
+  | Dead -> true
+  | Fail_first n -> t.calls <= n
+  | Fail_rate p -> Rng.float t.rng 1.0 < p
+
+let wrap_opener t opener name =
+  if not (applies t name) then opener name
+  else begin
+    t.calls <- t.calls + 1;
+    if should_fail t then begin
+      t.injected <- t.injected + 1;
+      Error
+        (Printf.sprintf "injected fault: %s unavailable (call %d)" name
+           t.calls)
+    end
+    else opener name
+  end
+
+let wrap t = { Desktop.wrap = (fun opener name -> wrap_opener t opener name) }

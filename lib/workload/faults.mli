@@ -1,0 +1,46 @@
+(** Deterministic fault injection for base-source access.
+
+    A failure-injecting document-opener combinator that plugs under every
+    mark module's opener (via {!Si_mark.Desktop.install_modules}'s [wrap]
+    hook), so tests and benchmarks can script base-source outages — the
+    paper's documents are "outside the box" and may be closed, moved, or
+    deleted at any time — without touching the modules themselves.
+    Everything is seeded by {!Rng}, so a scripted outage replays exactly. *)
+
+type schedule =
+  | Healthy  (** Pass-through (counts calls, injects nothing). *)
+  | Fail_rate of float
+      (** Each call fails with this probability (seeded coin) —
+          a flaky, transiently-faulty source. *)
+  | Fail_first of int
+      (** The first [n] calls fail, then the source recovers — an outage
+          with a scripted end, e.g. for driving a breaker's half-open
+          probe back to closed. *)
+  | Dead  (** Every call fails — the source is permanently gone. *)
+
+type t
+
+val create : ?seed:int -> ?only:string list -> schedule -> t
+(** [only] restricts injection to the named documents (default: every
+    document); calls to other names pass straight through, uncounted.
+    Default [seed] 2001. *)
+
+val schedule : t -> schedule
+val calls : t -> int
+(** Opener calls that reached this injector (post-[only] filter). *)
+
+val injected : t -> int
+(** How many of those were failed. *)
+
+val reset : t -> unit
+(** Zero the counters and re-seed the coin (same seed: same replay). *)
+
+val wrap : t -> Si_mark.Desktop.opener_wrap
+(** The combinator to pass to [Desktop.install_modules ~wrap]. Injected
+    failures read ["injected fault: …"] and are indistinguishable from
+    real opener errors to the code under test. *)
+
+val wrap_opener :
+  t -> (string -> ('a, string) result) -> string -> ('a, string) result
+(** The same combinator over a single opener, for tests that build mark
+    modules directly. *)

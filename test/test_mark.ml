@@ -11,6 +11,13 @@ let ok = function
   | Ok v -> v
   | Error msg -> Alcotest.failf "unexpected error: %s" msg
 
+(* Same, for the typed resolution errors. *)
+let okr = function
+  | Ok v -> v
+  | Error e ->
+      Alcotest.failf "unexpected error: %s"
+        (Manager.resolve_error_to_string e)
+
 (* A desktop with one document of every kind. *)
 let fixture () =
   let desk = Desktop.create () in
@@ -110,7 +117,7 @@ let test_excel_mark () =
   in
   let mark = ok (Manager.create_mark mgr ~mark_type:"excel" ~fields ()) in
   check "excerpt cached" "Dopamine\t5" mark.Mark.excerpt;
-  let res = ok (Manager.resolve mgr mark.Mark.mark_id) in
+  let res = okr (Manager.resolve mgr mark.Mark.mark_id) in
   check "excerpt" "Dopamine\t5" res.Mark.res_excerpt;
   check_bool "context shows selection brackets" true
     (let re = Re.compile (Re.str "[Dopamine]\t[5]") in
@@ -128,7 +135,7 @@ let test_excel_mark_fields_fig8 () =
   check "sheetName" "Medications" (Mark.field_exn mark "sheetName");
   check "range" "B2" (Mark.field_exn mark "range");
   check "resolves to the cell" "5"
-    (ok (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content))
+    (okr (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content))
 
 let test_excel_bad_addresses () =
   let _, mgr = fixture () in
@@ -177,7 +184,7 @@ let test_excel_mark_defined_name () =
          ())
   in
   check "both see fentanyl" "Fentanyl\t0.05"
-    (ok (Manager.resolve_with mgr by_name.Mark.mark_id Mark.Extract_content));
+    (okr (Manager.resolve_with mgr by_name.Mark.mark_id Mark.Extract_content));
   (* Two rows inserted above: the named mark follows, the range mark now
      reads the wrong (empty) cells. *)
   (match
@@ -187,13 +194,13 @@ let test_excel_mark_defined_name () =
   | Ok () -> ()
   | Error e -> Alcotest.fail e);
   check "named mark follows the rows" "Fentanyl\t0.05"
-    (ok (Manager.resolve_with mgr by_name.Mark.mark_id Mark.Extract_content));
+    (okr (Manager.resolve_with mgr by_name.Mark.mark_id Mark.Extract_content));
   check "range mark is stale" "\t"
-    (ok (Manager.resolve_with mgr by_range.Mark.mark_id Mark.Extract_content));
+    (okr (Manager.resolve_with mgr by_range.Mark.mark_id Mark.Extract_content));
   (* Drift detection flags exactly the stale one. *)
   check_bool "named unchanged" true
-    (ok (Manager.check_drift mgr by_name.Mark.mark_id) = Manager.Unchanged);
-  (match ok (Manager.check_drift mgr by_range.Mark.mark_id) with
+    (okr (Manager.check_drift mgr by_name.Mark.mark_id) = Manager.Unchanged);
+  (match okr (Manager.check_drift mgr by_range.Mark.mark_id) with
   | Manager.Changed _ -> ()
   | _ -> Alcotest.fail "expected the range mark to report drift");
   (* Unknown names fail at capture and at resolution. *)
@@ -216,7 +223,7 @@ let test_xml_mark () =
   check "xmlPath field (Fig 8)" "/report/panel/result[2]"
     (List.assoc "xmlPath" fields);
   let mark = ok (Manager.create_mark mgr ~mark_type:"xml" ~fields ()) in
-  let res = ok (Manager.resolve mgr mark.Mark.mark_id) in
+  let res = okr (Manager.resolve mgr mark.Mark.mark_id) in
   check "excerpt" "4.2" res.Mark.res_excerpt;
   check_bool "context is the panel" true
     (let re = Re.compile (Re.str "electrolytes") in
@@ -230,7 +237,7 @@ let test_xml_mark_attribute_target () =
   in
   let mark = ok (Manager.create_mark mgr ~mark_type:"xml" ~fields ()) in
   check "attribute excerpt" "electrolytes"
-    (ok (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content))
+    (okr (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content))
 
 let test_xml_mark_reanchor () =
   (* The lab report gets restructured: a new panel is prepended, so the
@@ -252,7 +259,7 @@ let test_xml_mark_reanchor () =
         <panel name=\"electrolytes\">\
         <result test=\"Na\">140</result>\
         <result test=\"K\">4.2</result></panel></report>");
-  let res = ok (Manager.resolve mgr mark.Mark.mark_id) in
+  let res = okr (Manager.resolve mgr mark.Mark.mark_id) in
   check "re-anchored on content" "4.2" res.Mark.res_excerpt;
   check_bool "source shows effective path" true
     (let re = Re.compile (Re.str "result[2]") in
@@ -269,7 +276,7 @@ let test_text_mark_and_reanchor () =
   let fields = ok (Text_mark.capture doc ~file_name:"note.txt" span) in
   let mark = ok (Manager.create_mark mgr ~mark_type:"text" ~fields ()) in
   check "excerpt" "wean pressors"
-    (ok (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content));
+    (okr (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content));
   (* The note gets edited: a line is inserted before the plan. *)
   Desktop.add_text desk "note.txt"
     (Si_textdoc.Textdoc.of_lines
@@ -278,7 +285,7 @@ let test_text_mark_and_reanchor () =
          "Plan: wean pressors"; "Call renal.";
        ]);
   check "still resolves after edit" "wean pressors"
-    (ok (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content))
+    (okr (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content))
 
 let test_word_mark_span_and_bookmark () =
   let desk, mgr = fixture () in
@@ -291,7 +298,7 @@ let test_word_mark_span_and_bookmark () =
     ok (Manager.create_mark mgr ~mark_type:"word" ~fields:span_fields ())
   in
   check "span excerpt" "renal failure"
-    (ok (Manager.resolve_with mgr m1.Mark.mark_id Mark.Extract_content));
+    (okr (Manager.resolve_with mgr m1.Mark.mark_id Mark.Extract_content));
   let bm_fields =
     ok (Word_mark.capture_bookmark doc ~file_name:"admission.doc" "dx")
   in
@@ -299,8 +306,8 @@ let test_word_mark_span_and_bookmark () =
     ok (Manager.create_mark mgr ~mark_type:"word" ~fields:bm_fields ())
   in
   check "bookmark excerpt" "sepsis"
-    (ok (Manager.resolve_with mgr m2.Mark.mark_id Mark.Extract_content));
-  let res = ok (Manager.resolve mgr m2.Mark.mark_id) in
+    (okr (Manager.resolve_with mgr m2.Mark.mark_id Mark.Extract_content));
+  let res = okr (Manager.resolve mgr m2.Mark.mark_id) in
   check_bool "context carries title" true
     (let re = Re.compile (Re.str "Admission Note") in
      Re.execp re res.Mark.res_context)
@@ -315,7 +322,7 @@ let test_slides_mark () =
   in
   let mark = ok (Manager.create_mark mgr ~mark_type:"slides" ~fields ()) in
   check "bullet excerpt" "ARF"
-    (ok (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content));
+    (okr (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content));
   check_bool "bad capture" true
     (Result.is_error
        (Slides_mark.capture deck ~file_name:"rounds.ppt"
@@ -332,7 +339,7 @@ let test_pdf_mark () =
   in
   let mark = ok (Manager.create_mark mgr ~mark_type:"pdf" ~fields ()) in
   check "excerpt" "MAP >= 65 mmHg"
-    (ok (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content));
+    (okr (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content));
   (* A region that selects nothing errors out. *)
   check_bool "empty region" true
     (Result.is_error
@@ -348,8 +355,8 @@ let test_html_mark () =
   let fields = ok (Html_mark.capture_anchor root ~file_name:"wiki.html" "tx") in
   let mark = ok (Manager.create_mark mgr ~mark_type:"html" ~fields ()) in
   check "anchor excerpt" "Treatment"
-    (ok (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content));
-  let res = ok (Manager.resolve mgr mark.Mark.mark_id) in
+    (okr (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content));
+  let res = okr (Manager.resolve mgr mark.Mark.mark_id) in
   check "source has fragment" "wiki.html#tx" res.Mark.res_source;
   check_bool "context has page title" true
     (let re = Re.compile (Re.str "Sepsis") in
@@ -363,7 +370,7 @@ let test_html_mark () =
   let fields2 = ok (Html_mark.capture_node ~root ~file_name:"wiki.html" p) in
   let m2 = ok (Manager.create_mark mgr ~mark_type:"html" ~fields:fields2 ()) in
   check "node excerpt" "Start antibiotics early."
-    (ok (Manager.resolve_with mgr m2.Mark.mark_id Mark.Extract_content))
+    (okr (Manager.resolve_with mgr m2.Mark.mark_id Mark.Extract_content))
 
 (* ------------------------------------------- F6: the three behaviours *)
 
@@ -373,7 +380,7 @@ let test_behaviours () =
     [ ("fileName", "labs.xml"); ("xmlPath", "/report/panel/result[1]") ]
   in
   let mark = ok (Manager.create_mark mgr ~mark_type:"xml" ~fields ()) in
-  let res = ok (Manager.resolve mgr mark.Mark.mark_id) in
+  let res = okr (Manager.resolve mgr mark.Mark.mark_id) in
   (* Extract content: just the element's content. *)
   check "extract" "140" (Mark.apply_behaviour Mark.Extract_content res);
   (* Navigate (simultaneous viewing): the element in context. *)
@@ -396,9 +403,9 @@ let test_multiple_resolvers_per_type () =
     [ ("fileName", "meds.xls"); ("sheetName", "Medications"); ("range", "A3") ]
   in
   let mark = ok (Manager.create_mark mgr ~mark_type:"excel" ~fields ()) in
-  let via_default = ok (Manager.resolve mgr mark.Mark.mark_id) in
+  let via_default = okr (Manager.resolve mgr mark.Mark.mark_id) in
   let via_named =
-    ok (Manager.resolve ~module_name:"excel-inplace" mgr mark.Mark.mark_id)
+    okr (Manager.resolve ~module_name:"excel-inplace" mgr mark.Mark.mark_id)
   in
   check "same element" via_default.Mark.res_excerpt via_named.Mark.res_excerpt;
   check_int "two modules for excel" 2
@@ -443,7 +450,7 @@ let test_extensibility_new_type () =
          ~fields:[ ("key", "f1") ] ())
   in
   check "resolves" "You will write many tests."
-    (ok (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content));
+    (okr (Manager.resolve_with mgr mark.Mark.mark_id Mark.Extract_content));
   check_int "eight types now" 8 (List.length (Manager.supported_types mgr))
 
 (* ------------------------------------------------------- drift detection *)
@@ -455,20 +462,20 @@ let test_drift () =
   in
   let mark = ok (Manager.create_mark mgr ~mark_type:"excel" ~fields ()) in
   check_bool "unchanged" true
-    (ok (Manager.check_drift mgr mark.Mark.mark_id) = Manager.Unchanged);
+    (okr (Manager.check_drift mgr mark.Mark.mark_id) = Manager.Unchanged);
   (* The base document changes under the mark. *)
   let wb = ok (Desktop.open_workbook desk "meds.xls") in
   Si_spreadsheet.Workbook.set wb ~sheet_name:"Medications" "B2" "10";
-  (match ok (Manager.check_drift mgr mark.Mark.mark_id) with
+  (match okr (Manager.check_drift mgr mark.Mark.mark_id) with
   | Manager.Changed { was; now } ->
       check "was" "5" was;
       check "now" "10" now
   | _ -> Alcotest.fail "expected Changed");
   (* Refresh re-caches. *)
-  let refreshed = ok (Manager.refresh_excerpt mgr mark.Mark.mark_id) in
+  let refreshed = okr (Manager.refresh_excerpt mgr mark.Mark.mark_id) in
   check "refreshed" "10" refreshed.Mark.excerpt;
   check_bool "unchanged again" true
-    (ok (Manager.check_drift mgr mark.Mark.mark_id) = Manager.Unchanged)
+    (okr (Manager.check_drift mgr mark.Mark.mark_id) = Manager.Unchanged)
 
 let test_drift_unresolvable () =
   let desk, mgr = fixture () in
@@ -478,7 +485,7 @@ let test_drift_unresolvable () =
   let mark = ok (Manager.create_mark mgr ~mark_type:"xml" ~fields ()) in
   (* The document is replaced by one where the path no longer resolves. *)
   Desktop.add_xml desk "labs.xml" (Si_xmlk.Parse.node_exn "<report/>");
-  (match ok (Manager.check_drift mgr mark.Mark.mark_id) with
+  (match okr (Manager.check_drift mgr mark.Mark.mark_id) with
   | Manager.Unresolvable _ -> ()
   | _ -> Alcotest.fail "expected Unresolvable")
 
@@ -509,7 +516,7 @@ let test_persistence () =
     make "xml" [ ("fileName", "labs.xml"); ("xmlPath", "/report/patient") ]
   in
   let path = Filename.temp_file "marks" ".xml" in
-  Manager.save mgr path;
+  ok (Manager.save mgr path);
   (* A fresh manager with the same desktop modules loads the marks. *)
   let mgr2 = Manager.create () in
   Desktop.install_modules desk mgr2;
@@ -519,7 +526,7 @@ let test_persistence () =
   Sys.remove path;
   check_int "loaded" 2 (Manager.mark_count mgr2);
   check "mark equal across managers" "0.05"
-    (ok (Manager.resolve_with mgr2 m1.Mark.mark_id Mark.Extract_content));
+    (okr (Manager.resolve_with mgr2 m1.Mark.mark_id Mark.Extract_content));
   (* Freshly created marks in the loaded manager do not collide with
      loaded ids. *)
   let m3 =

@@ -413,7 +413,7 @@ let test_triples_visible () =
 let test_save_load () =
   let t, _, _, _, _, _, _, _, _ = rounds () in
   let path = Filename.temp_file "slimstore" ".xml" in
-  Dmi.save t path;
+  (match Dmi.save t path with Ok () -> () | Error e -> Alcotest.fail e);
   let t2 = match Dmi.load path with Ok x -> x | Error e -> Alcotest.fail e in
   Sys.remove path;
   check_bool "contents equal" true (Dmi.equal_contents t t2);

@@ -181,7 +181,7 @@ let test_save_load_combined () =
     (List.hd (Slimpad.find_scraps app pad "Dopamine"))
     "note";
   let path = Filename.temp_file "pad" ".xml" in
-  Slimpad.save app path;
+  ok (Slimpad.save app path);
   let app2 = ok (Slimpad.load (fig4_desktop ()) path) in
   Sys.remove path;
   let pad2 = Option.get (Dmi.find_pad (Slimpad.dmi app2) "Rounds") in
@@ -236,7 +236,7 @@ let test_import_pad () =
   Dmi.annotate_scrap (Slimpad.dmi app_a) dopa "verify with pharmacy";
   ignore (Dmi.link_scraps (Slimpad.dmi app_a) ~label:"rel" ~from_:dopa ~to_:k ());
   let path = Filename.temp_file "shared" ".xml" in
-  Slimpad.save app_a path;
+  ok (Slimpad.save app_a path);
   let app_b, pad_b, _, _, _, _ = fig4_app () in
   let imported =
     match Slimpad.import_pad app_b ~from_file:path () with
@@ -267,7 +267,7 @@ let test_import_pad () =
          (List.hd (Slimpad.find_scraps app_a pad_a "Dopamine")));
   (* Importing twice just makes another copy. *)
   let path2 = Filename.temp_file "shared" ".xml" in
-  Slimpad.save app_a path2;
+  ok (Slimpad.save app_a path2);
   (match Slimpad.import_pad app_b ~from_file:path2 ~rename:"third" () with
   | Ok _ -> ()
   | Error e -> Alcotest.fail e);
@@ -281,7 +281,7 @@ let test_import_pad_errors () =
   check_bool "missing file" true
     (Result.is_error (Slimpad.import_pad app ~from_file:"/nonexistent" ()));
   let path = Filename.temp_file "shared" ".xml" in
-  Slimpad.save app path;
+  ok (Slimpad.save app path);
   check_bool "unknown pad name" true
     (Result.is_error
        (Slimpad.import_pad app ~from_file:path ~pad_name:"Nope" ()));

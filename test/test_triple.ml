@@ -540,7 +540,7 @@ let test_xml_roundtrip_across_stores () =
 let test_file_roundtrip () =
   let trim = make_trim () in
   let path = Filename.temp_file "triples" ".xml" in
-  Trim.save trim path;
+  (match Trim.save trim path with Ok () -> () | Error e -> Alcotest.fail e);
   let trim2 =
     match Trim.load path with Ok x -> x | Error e -> Alcotest.fail e
   in
