@@ -807,6 +807,98 @@ let resilience_tests () =
   in
   List.map make_case [ 0.0; 0.1; 0.5 ]
 
+(* ------------------------ E12: journaled persistence (WAL) ------------- *)
+
+(* The cost of making ONE mutation durable, as the pad grows. The
+   whole-file path re-serializes the entire store per save (O(pad));
+   the WAL appends two framed records (O(change)). Each run toggles a
+   probe triple — add then remove — and persists after each op, so both
+   paths do identical logical work and leave the store unchanged. *)
+let wal_mutation_tests () =
+  let sizes = [ 100; 1_000; 10_000 ] in
+  let fill trim n =
+    for i = 1 to n do
+      ignore
+        (Trim.add trim
+           (Triple.make
+              (Printf.sprintf "r%d" i)
+              "scrapName"
+              (Triple.literal (Printf.sprintf "scrap %d" i))))
+    done
+  in
+  let probe = Triple.make "probe" "scrapName" (Triple.literal "probe") in
+  let whole_file n =
+    let trim = Trim.create () in
+    fill trim n;
+    let path = Filename.temp_file "bench_whole" ".xml" in
+    Test.make
+      ~name:(Printf.sprintf "whole-file save per mutation @ %d" n)
+      (staged (fun () ->
+           ignore (Trim.add trim probe);
+           Result.get_ok (Trim.save trim path);
+           ignore (Trim.remove trim probe);
+           Result.get_ok (Trim.save trim path)))
+  in
+  let journaled n =
+    let path = Filename.temp_file "bench_wal" ".wal" in
+    Sys.remove path;
+    let { Si_triple.Durable.durable; _ } =
+      Result.get_ok
+        (Si_triple.Durable.open_ ~policy:Si_wal.Log.Immediate path)
+    in
+    fill (Si_triple.Durable.trim durable) n;
+    let trim = Si_triple.Durable.trim durable in
+    Test.make
+      ~name:(Printf.sprintf "wal append per mutation @ %d" n)
+      (staged (fun () ->
+           ignore (Trim.add trim probe);
+           ignore (Trim.remove trim probe)))
+  in
+  List.concat_map (fun n -> [ whole_file n; journaled n ]) sizes
+
+(* Recovery (open: read, verify CRCs, replay) against log length, and
+   compaction (snapshot + log truncate) against store size. *)
+let wal_recovery_tests () =
+  let log_of_length n =
+    let path = Filename.temp_file "bench_recover" ".wal" in
+    Sys.remove path;
+    let { Si_triple.Durable.durable; _ } =
+      Result.get_ok (Si_triple.Durable.open_ path)
+    in
+    let trim = Si_triple.Durable.trim durable in
+    for i = 1 to n do
+      ignore
+        (Trim.add trim
+           (Triple.make
+              (Printf.sprintf "r%d" i)
+              "scrapName"
+              (Triple.literal (Printf.sprintf "scrap %d" i))))
+    done;
+    Result.get_ok (Si_triple.Durable.close durable);
+    path
+  in
+  let recover n =
+    let path = log_of_length n in
+    Test.make
+      ~name:(Printf.sprintf "recovery (open+replay) @ %d records" n)
+      (staged (fun () ->
+           let { Si_triple.Durable.durable; _ } =
+             Result.get_ok (Si_triple.Durable.open_ path)
+           in
+           Result.get_ok (Si_triple.Durable.close durable)))
+  in
+  let compact n =
+    let path = log_of_length n in
+    let { Si_triple.Durable.durable; _ } =
+      Result.get_ok (Si_triple.Durable.open_ path)
+    in
+    Test.make
+      ~name:(Printf.sprintf "compaction (checkpoint) @ %d triples" n)
+      (staged (fun () ->
+           Result.get_ok (Si_triple.Durable.checkpoint durable)))
+  in
+  List.concat_map (fun n -> [ recover n; compact n ]) [ 100; 1_000; 10_000 ]
+
 let () =
   let argv = Array.to_list Sys.argv in
   let json_path =
@@ -838,6 +930,10 @@ let () =
   run_group ~name:"E9 persistence & RDF serialization" (persistence_tests ());
   run_group ~name:"E11 resilient resolution under faults"
     (resilience_tests ());
+  run_group ~name:"E12 journaled persistence: mutate+persist"
+    (wal_mutation_tests ());
+  run_group ~name:"E12 journaled persistence: recovery & compaction"
+    (wal_recovery_tests ());
   run_group ~name:"application-level (ICU worksheet, 6 patients)"
     (application_tests ());
   run_group ~name:"substrate parsers" (substrate_tests ());

@@ -56,7 +56,7 @@ let find_bundle app pad name =
 
 (* ------------------------------------------------------------ commands *)
 
-let cmd_init dir scenario seed =
+let cmd_init dir scenario seed wal =
   if Sys.file_exists dir && Array.length (Sys.readdir dir) > 0 then begin
     Printf.eprintf "error: %s exists and is not empty\n" dir;
     1
@@ -108,9 +108,19 @@ let cmd_init dir scenario seed =
                      (Result.get_ok (Desktop.open_text desk name))))
         | _ -> ())
       (Desktop.document_names desk);
-    saved dir app (fun () ->
-        Printf.printf "initialized %s in %s\n" built dir;
-        0)
+    if wal then
+      match Slimpad.enable_wal app (Workspace.wal_path dir) with
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          1
+      | Ok () ->
+          Printf.printf "initialized %s in %s (journaled persistence)\n"
+            built dir;
+          0
+    else
+      saved dir app (fun () ->
+          Printf.printf "initialized %s in %s\n" built dir;
+          0)
   end
 
 let cmd_show dir pad_name =
@@ -488,6 +498,71 @@ let cmd_stats dir =
         (List.length (Desktop.document_names (Slimpad.desktop app)));
       0)
 
+(* ------------------------------------------------- journaled persistence *)
+
+let cmd_wal_enable dir =
+  with_workspace dir (fun app ->
+      match Slimpad.persistence app with
+      | Slimpad.Journaled ->
+          Printf.printf "workspace is already journaled\n";
+          0
+      | Slimpad.Whole_file -> (
+          match Slimpad.enable_wal app (Workspace.wal_path dir) with
+          | Error msg ->
+              Printf.eprintf "error: %s\n" msg;
+              1
+          | Ok () ->
+              (* The whole-file store is superseded by the snapshot the
+                 conversion just cut; leaving it would shadow nothing
+                 (the log wins on open) but would go stale. *)
+              let store = Workspace.pad_store dir in
+              if Sys.file_exists store then Sys.remove store;
+              Printf.printf
+                "enabled journaled persistence; state snapshot in pad.wal.snap\n";
+              0))
+
+let cmd_wal_inspect dir =
+  match Si_wal.Log.inspect (Workspace.wal_path dir) with
+  | Error e ->
+      Printf.eprintf "error: %s\n" (Si_wal.Log.error_to_string e);
+      1
+  | Ok info ->
+      Printf.printf "generation     %d\n" info.Si_wal.Log.info_generation;
+      Printf.printf "records        %d\n" info.Si_wal.Log.info_records;
+      Printf.printf "log bytes      %d\n" info.Si_wal.Log.info_log_bytes;
+      (match info.Si_wal.Log.info_snapshot_bytes with
+      | Some n -> Printf.printf "snapshot bytes %d\n" n
+      | None -> Printf.printf "snapshot       none\n");
+      if info.Si_wal.Log.info_torn_bytes > 0 then
+        Printf.printf "torn bytes     %d (a recovery will truncate these)\n"
+          info.Si_wal.Log.info_torn_bytes;
+      if info.Si_wal.Log.info_stale_log then
+        Printf.printf
+          "stale log      yes (superseded by snapshot; a recovery will \
+           discard it)\n";
+      0
+
+let cmd_wal_compact dir =
+  with_workspace dir (fun app ->
+      match Slimpad.wal app with
+      | None ->
+          Printf.eprintf
+            "error: workspace is not journaled (run wal-enable first)\n";
+          1
+      | Some log -> (
+          let before = Si_wal.Log.record_count log in
+          match Slimpad.wal_compact app with
+          | Error msg ->
+              Printf.eprintf "error: %s\n" msg;
+              1
+          | Ok () ->
+              Printf.printf
+                "compacted: folded %d record(s) into the generation-%d \
+                 snapshot\n"
+                before
+                (Si_wal.Log.generation log);
+              0))
+
 (* -------------------------------------------------------------- cmdliner *)
 
 open Cmdliner
@@ -514,9 +589,15 @@ let init_cmd =
     Arg.(value & opt int 2001 & info [ "seed" ] ~docv:"N"
          ~doc:"Workload generator seed.")
   in
+  let wal =
+    Arg.(value & flag
+         & info [ "wal" ]
+             ~doc:"Use journaled persistence (a write-ahead log in pad.wal) \
+                   instead of the whole-file pad.xml.")
+  in
   Cmd.v
     (Cmd.info "init" ~doc:"Create a workspace with a generated scenario")
-    Term.(const cmd_init $ new_dir_arg $ scenario $ seed)
+    Term.(const cmd_init $ new_dir_arg $ scenario $ seed $ wal)
 
 let show_cmd =
   Cmd.v
@@ -731,6 +812,24 @@ let history_cmd =
        ~doc:"The pad's construction history (the DMI operation journal)")
     Term.(const cmd_history $ dir_arg $ last)
 
+let wal_enable_cmd =
+  Cmd.v
+    (Cmd.info "wal-enable"
+       ~doc:"Convert a workspace to journaled persistence (write-ahead log)")
+    Term.(const cmd_wal_enable $ dir_arg)
+
+let wal_inspect_cmd =
+  Cmd.v
+    (Cmd.info "wal-inspect"
+       ~doc:"Examine a workspace's write-ahead log and snapshot (read-only)")
+    Term.(const cmd_wal_inspect $ dir_arg)
+
+let wal_compact_cmd =
+  Cmd.v
+    (Cmd.info "wal-compact"
+       ~doc:"Fold the log into a fresh snapshot and truncate it")
+    Term.(const cmd_wal_compact $ dir_arg)
+
 let main =
   Cmd.group
     (Cmd.info "slimpad" ~version:"1.0"
@@ -740,6 +839,7 @@ let main =
       add_scrap_cmd; resolve_cmd; annotate_cmd; link_cmd; drift_cmd;
       query_cmd; validate_cmd; stats_cmd; health_cmd; history_cmd; model_cmd;
       import_cmd; export_html_cmd; template_cmd; instantiate_cmd;
+      wal_enable_cmd; wal_inspect_cmd; wal_compact_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -10,12 +10,21 @@
      *.txt            plain text
      *.html           HTML page
      *.xml            any other XML document
-     pad.xml          the SLIMPad store (triples + marks + journal) *)
+     pad.xml          the SLIMPad store (triples + marks + journal)
+
+   A workspace in journaled mode holds pad.wal (+ pad.wal.snap) instead
+   of pad.xml; when a log is present it wins, and opening performs WAL
+   recovery. *)
 
 module Desktop = Si_mark.Desktop
 module Slimpad = Si_slimpad.Slimpad
 
 let pad_store dir = Filename.concat dir "pad.xml"
+let wal_path dir = Filename.concat dir "pad.wal"
+
+let wal_present dir =
+  Sys.file_exists (wal_path dir)
+  || Sys.file_exists (Si_wal.Log.snapshot_path (wal_path dir))
 
 let ends_with ~suffix s =
   let ls = String.length suffix and l = String.length s in
@@ -75,8 +84,26 @@ let load_desktop dir =
 let open_workspace ?resilient ?wrap dir =
   let desk, problems = load_desktop dir in
   List.iter (Printf.eprintf "warning: %s\n") problems;
-  let store = pad_store dir in
-  if Sys.file_exists store then Slimpad.load ?resilient ?wrap desk store
-  else Ok (Slimpad.create ?resilient ?wrap desk)
+  if wal_present dir then
+    match Slimpad.open_wal ?resilient ?wrap desk (wal_path dir) with
+    | Error _ as e -> e
+    | Ok (app, rc) ->
+        if rc.Slimpad.truncated_bytes > 0 then
+          Printf.eprintf
+            "warning: wal: dropped a torn tail of %d byte(s); store \
+             recovered to the last complete record\n"
+            rc.Slimpad.truncated_bytes;
+        if rc.Slimpad.reset_log then
+          Printf.eprintf
+            "warning: wal: discarded a log superseded by its snapshot \
+             (interrupted compaction)\n";
+        Ok app
+  else
+    let store = pad_store dir in
+    if Sys.file_exists store then Slimpad.load ?resilient ?wrap desk store
+    else Ok (Slimpad.create ?resilient ?wrap desk)
 
-let save_workspace dir app = Slimpad.save app (pad_store dir)
+let save_workspace dir app =
+  match Slimpad.persistence app with
+  | Slimpad.Journaled -> Slimpad.wal_sync app
+  | Slimpad.Whole_file -> Slimpad.save app (pad_store dir)

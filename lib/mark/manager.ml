@@ -7,14 +7,25 @@ type mark_module = {
   resolve : (string * string) list -> (Mark.resolution, string) result;
 }
 
+type change = Mark_put of Mark.t | Mark_removed of string
+
 type t = {
   modules : (string, mark_module) Hashtbl.t;  (* by module_name *)
   marks : (string, Mark.t) Hashtbl.t;  (* by mark id *)
   mutable counter : int;
+  mutable observer : (change -> unit) option;
 }
 
 let create () =
-  { modules = Hashtbl.create 8; marks = Hashtbl.create 64; counter = 0 }
+  {
+    modules = Hashtbl.create 8;
+    marks = Hashtbl.create 64;
+    counter = 0;
+    observer = None;
+  }
+
+let on_change t f = t.observer <- Some f
+let notify t change = match t.observer with Some f -> f change | None -> ()
 
 let register t m =
   if Hashtbl.mem t.modules m.module_name then
@@ -84,6 +95,7 @@ let create_mark t ~mark_type ~fields ?excerpt () =
               Mark.make ~id:(new_mark_id t) ~mark_type ~fields ~excerpt ()
             in
             Hashtbl.add t.marks mark.Mark.mark_id mark;
+            notify t (Mark_put mark);
             Ok mark
           in
           match excerpt with
@@ -102,8 +114,13 @@ let add_mark t mark =
     Error (Printf.sprintf "mark %S already exists" mark.Mark.mark_id)
   else begin
     Hashtbl.add t.marks mark.Mark.mark_id mark;
+    notify t (Mark_put mark);
     Ok ()
   end
+
+let put_mark t mark =
+  Hashtbl.replace t.marks mark.Mark.mark_id mark;
+  notify t (Mark_put mark)
 
 let mark t id = Hashtbl.find_opt t.marks id
 
@@ -119,6 +136,7 @@ let marks t =
 let remove_mark t id =
   if Hashtbl.mem t.marks id then begin
     Hashtbl.remove t.marks id;
+    notify t (Mark_removed id);
     true
   end
   else false
@@ -177,6 +195,7 @@ let refresh_excerpt t id =
       | Ok res ->
           let updated = { m with Mark.excerpt = res.Mark.res_excerpt } in
           Hashtbl.replace t.marks id updated;
+          notify t (Mark_put updated);
           Ok updated)
 
 let to_xml t =
@@ -192,7 +211,11 @@ let of_xml t root =
       let staged = Hashtbl.create 64 in
       let rec load = function
         | [] ->
-            Hashtbl.iter (fun id m -> Hashtbl.add t.marks id m) staged;
+            Hashtbl.iter
+              (fun id m ->
+                Hashtbl.add t.marks id m;
+                notify t (Mark_put m))
+              staged;
             Ok ()
         | node :: rest -> (
             match Mark.of_xml node with

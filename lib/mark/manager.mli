@@ -64,8 +64,29 @@ val mark_exn : t -> string -> Mark.t
 val marks : t -> Mark.t list
 (** Sorted by id. *)
 
+val put_mark : t -> Mark.t -> unit
+(** Store a mark unconditionally, replacing any existing mark with the
+    same id. The WAL replay path uses this ([Mark_put] records carry
+    both additions and excerpt refreshes). *)
+
 val remove_mark : t -> string -> bool
 val mark_count : t -> int
+
+(** {1 Change observation}
+
+    The hook behind journaled persistence: every effective change to the
+    stored mark set — creation, {!add_mark}/{!put_mark}, excerpt refresh,
+    removal, marks committed by {!of_xml} — is reported exactly once,
+    after it has been applied. Registered modules are code, not state,
+    and are not reported. *)
+
+type change =
+  | Mark_put of Mark.t  (** Added or replaced (upsert semantics). *)
+  | Mark_removed of string
+
+val on_change : t -> (change -> unit) -> unit
+(** Install the observer (at most one; a second call replaces the
+    first). The observer must not mutate this manager. *)
 
 (** {1 Resolution} *)
 

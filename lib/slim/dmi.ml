@@ -11,11 +11,17 @@ type journal_entry = {
   detail : string;
 }
 
+type journal_event =
+  | Journal_logged of journal_entry
+  | Journal_cleared
+  | Journal_truncated_to of int
+
 type t = {
   trim : Trim.t;
   bm : B.t;
   mutable journal_rev : journal_entry list;
   mutable journal_seq : int;
+  mutable journal_observer : (journal_event -> unit) option;
 }
 type pad = Pad of string
 type bundle = Bundle of string
@@ -25,7 +31,18 @@ type coordinate = { x : int; y : int }
 
 let create ?store () =
   let trim = Trim.create ?store () in
-  { trim; bm = B.install trim; journal_rev = []; journal_seq = 0 }
+  {
+    trim;
+    bm = B.install trim;
+    journal_rev = [];
+    journal_seq = 0;
+    journal_observer = None;
+  }
+
+let on_journal t f = t.journal_observer <- Some f
+
+let notify_journal t ev =
+  match t.journal_observer with Some f -> f ev | None -> ()
 
 let trim t = t.trim
 let model t = t.bm
@@ -34,13 +51,18 @@ let triple_count t = Trim.size t.trim
 (* Record one mutating operation. *)
 let journal_log t op target detail =
   t.journal_seq <- t.journal_seq + 1;
-  t.journal_rev <- { seq = t.journal_seq; op; target; detail } :: t.journal_rev
+  let entry = { seq = t.journal_seq; op; target; detail } in
+  t.journal_rev <- entry :: t.journal_rev;
+  notify_journal t (Journal_logged entry)
 
 let atomically t body =
   let saved_rev = t.journal_rev and saved_seq = t.journal_seq in
   let restore () =
     t.journal_rev <- saved_rev;
-    t.journal_seq <- saved_seq
+    t.journal_seq <- saved_seq;
+    (* Journal entries logged by the failed body were already observed
+       (and possibly written ahead); tell the observer they are gone. *)
+    notify_journal t (Journal_truncated_to saved_seq)
   in
   match Trim.transaction t.trim body with
   | Ok (Ok _ as ok) -> ok
@@ -56,7 +78,39 @@ let journal_length t = List.length t.journal_rev
 
 let clear_journal t =
   t.journal_rev <- [];
-  t.journal_seq <- 0
+  t.journal_seq <- 0;
+  notify_journal t Journal_cleared
+
+(* Replay-side primitives: restore journal state without notifying the
+   observer (the WAL already holds these events). *)
+
+let append_journal_entry t entry =
+  t.journal_rev <- entry :: t.journal_rev;
+  if entry.seq > t.journal_seq then t.journal_seq <- entry.seq
+
+let truncate_journal_to t seq =
+  t.journal_rev <- List.filter (fun e -> e.seq <= seq) t.journal_rev;
+  t.journal_seq <- seq
+
+(* WAL record codec for journal entries, built on the same field-list
+   encoding as every other Si_wal payload. *)
+
+let journal_record_tag = "j"
+
+let journal_entry_to_record e =
+  Si_wal.Record.encode_fields
+    [ journal_record_tag; string_of_int e.seq; e.op; e.target; e.detail ]
+
+let journal_entry_of_record payload =
+  match Si_wal.Record.decode_fields payload with
+  | Error _ as e -> e
+  | Ok [ tag; seq; op; target; detail ] when tag = journal_record_tag -> (
+      match int_of_string_opt seq with
+      | Some seq -> Ok { seq; op; target; detail }
+      | None -> Error (Printf.sprintf "journal record has bad seq %S" seq))
+  | Ok (tag :: _) ->
+      Error (Printf.sprintf "not a journal record (tag %S)" tag)
+  | Ok [] -> Error "empty journal record"
 
 (* ------------------------------------------------------------------ ids *)
 
@@ -528,7 +582,13 @@ let of_xml ?store root =
   match Trim.of_xml ?store root with
   | Error _ as e -> e
   | Ok trim ->
-      Ok { trim; bm = B.install trim; journal_rev = []; journal_seq = 0 }
+      Ok {
+        trim;
+        bm = B.install trim;
+        journal_rev = [];
+        journal_seq = 0;
+        journal_observer = None;
+      }
 
 let save t path = Trim.save t.trim path
 
@@ -536,6 +596,12 @@ let load ?store path =
   match Trim.load ?store path with
   | Error _ as e -> e
   | Ok trim ->
-      Ok { trim; bm = B.install trim; journal_rev = []; journal_seq = 0 }
+      Ok {
+        trim;
+        bm = B.install trim;
+        journal_rev = [];
+        journal_seq = 0;
+        journal_observer = None;
+      }
 
 let equal_contents a b = Trim.equal_contents a.trim b.trim

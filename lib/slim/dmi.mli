@@ -210,6 +210,40 @@ val load_journal : t -> Si_xmlk.Node.t -> (unit, string) result
     element (as written by {!journal_to_xml}); later operations append
     after the loaded history. *)
 
+(** {2 Journal observation and WAL encoding}
+
+    Journaled persistence subscribes to journal changes the same way it
+    subscribes to triple mutations ({!Si_triple.Trim.on_mutate}):
+    every event is reported once, after it happened.
+    [Journal_truncated_to n] is emitted when {!atomically} rolls back —
+    entries with [seq > n] were discarded. *)
+
+type journal_event =
+  | Journal_logged of journal_entry
+  | Journal_cleared
+  | Journal_truncated_to of int
+
+val on_journal : t -> (journal_event -> unit) -> unit
+(** Install the observer (at most one; a second call replaces the
+    first). The observer must not mutate this DMI. *)
+
+val append_journal_entry : t -> journal_entry -> unit
+(** Replay-side: append an entry exactly as recorded (the sequence
+    counter advances to cover it). Does not notify {!on_journal}. *)
+
+val truncate_journal_to : t -> int -> unit
+(** Replay-side inverse of [Journal_truncated_to]: drop entries with
+    [seq] greater than the argument. Does not notify {!on_journal}. *)
+
+val journal_record_tag : string
+(** ["j"] — first field of an encoded journal entry record. *)
+
+val journal_entry_to_record : journal_entry -> string
+(** Encode for the write-ahead log, using the same
+    {!Si_wal.Record.encode_fields} codec as triple and mark records. *)
+
+val journal_entry_of_record : string -> (journal_entry, string) result
+
 (** {1 Conformance & persistence} *)
 
 val validate : t -> Si_metamodel.Validate.report

@@ -4,13 +4,21 @@ module Manager = Si_mark.Manager
 module Desktop = Si_mark.Desktop
 module Resilient = Si_mark.Resilient
 module Xml = Si_xmlk
+module Durable = Si_triple.Durable
+module Log = Si_wal.Log
+module Record = Si_wal.Record
+
+type wal_state = { log : Log.t; mutable trouble : string option }
 
 type t = {
   dmi : Dmi.t;
   marks : Manager.t;
   desktop : Desktop.t;
   resilient : Resilient.t;
+  mutable wal : wal_state option;
 }
+
+type persistence = Whole_file | Journaled
 
 let make_resilient = function
   | Some r -> r
@@ -20,7 +28,7 @@ let create ?store ?resilient ?wrap desktop =
   let marks = Manager.create () in
   Desktop.install_modules ?wrap desktop marks;
   { dmi = Dmi.create ?store (); marks; desktop;
-    resilient = make_resilient resilient }
+    resilient = make_resilient resilient; wal = None }
 
 let dmi t = t.dmi
 let marks t = t.marks
@@ -359,49 +367,215 @@ let render_pad_html t pad =
 
 (* ---------------------------------------------------------- persistence *)
 
-let save t path =
-  let combined =
-    Xml.Node.element "slimpad-store"
-      [
-        Si_triple.Trim.to_xml (Dmi.trim t.dmi);
-        Manager.to_xml t.marks;
-        Dmi.journal_to_xml t.dmi;
-      ]
-  in
-  Xml.Print.to_file_atomic path combined
+let store_xml t =
+  Xml.Node.element "slimpad-store"
+    [
+      Si_triple.Trim.to_xml (Dmi.trim t.dmi);
+      Manager.to_xml t.marks;
+      Dmi.journal_to_xml t.dmi;
+    ]
+
+let save t path = Xml.Print.to_file_atomic path (store_xml t)
+
+let of_store_root ?store ?resilient ?wrap desktop root =
+  match root with
+  | Xml.Node.Element { name = "slimpad-store"; _ } -> (
+      match
+        ( Xml.Node.find_child "triples" root,
+          Xml.Node.find_child "marks" root )
+      with
+      | Some triples, Some marks_xml -> (
+          match Dmi.of_xml ?store triples with
+          | Error _ as e -> e
+          | Ok dmi -> (
+              let marks = Manager.create () in
+              Desktop.install_modules ?wrap desktop marks;
+              match Manager.of_xml marks marks_xml with
+              | Error _ as e -> e
+              | Ok () ->
+                  (* Older store files have no journal section. *)
+                  (match Xml.Node.find_child "journal" root with
+                  | Some j -> (
+                      match Dmi.load_journal dmi j with
+                      | Ok () -> ()
+                      | Error _ -> ())
+                  | None -> ());
+                  Ok
+                    { dmi; marks; desktop;
+                      resilient = make_resilient resilient; wal = None }))
+      | _ -> Error "missing <triples> or <marks> section")
+  | _ -> Error "expected a <slimpad-store> root element"
 
 let load ?store ?resilient ?wrap desktop path =
   match Xml.Parse.file path with
   | Error e -> Error (Xml.Parse.error_to_string e)
-  | Ok root -> (
-      let root = Xml.Node.strip_whitespace root in
-      match root with
-      | Xml.Node.Element { name = "slimpad-store"; _ } -> (
-          match
-            ( Xml.Node.find_child "triples" root,
-              Xml.Node.find_child "marks" root )
-          with
-          | Some triples, Some marks_xml -> (
-              match Dmi.of_xml ?store triples with
-              | Error _ as e -> e
-              | Ok dmi -> (
-                  let marks = Manager.create () in
-                  Desktop.install_modules ?wrap desktop marks;
-                  match Manager.of_xml marks marks_xml with
-                  | Error _ as e -> e
-                  | Ok () ->
-                      (* Older store files have no journal section. *)
-                      (match Xml.Node.find_child "journal" root with
-                      | Some j -> (
-                          match Dmi.load_journal dmi j with
-                          | Ok () -> ()
-                          | Error _ -> ())
-                      | None -> ());
-                      Ok
-                        { dmi; marks; desktop;
-                          resilient = make_resilient resilient }))
-          | _ -> Error "missing <triples> or <marks> section")
-      | _ -> Error "expected a <slimpad-store> root element")
+  | Ok root ->
+      of_store_root ?store ?resilient ?wrap desktop
+        (Xml.Node.strip_whitespace root)
+
+(* ------------------------------------------------------ journaled mode *)
+
+(* One WAL carries three interleaved record streams, all in the shared
+   field-list encoding and distinguished by their first field: triple
+   ops ("+" / "-" / "x", the Durable codec), marks ("m+" / "m-"), and
+   journal events ("j" / "jx" / "jt"). The snapshot payload is the same
+   <slimpad-store> document the whole-file path writes. *)
+
+let persistence t = match t.wal with None -> Whole_file | Some _ -> Journaled
+let wal t = Option.map (fun st -> st.log) t.wal
+
+let wal_append st payload =
+  match Log.append st.log payload with
+  | Ok () -> ()
+  | Error e ->
+      if st.trouble = None then st.trouble <- Some (Log.error_to_string e)
+
+let install_hooks t st =
+  Si_triple.Trim.on_mutate (Dmi.trim t.dmi) (fun op ->
+      wal_append st (Durable.encode_op op));
+  Manager.on_change t.marks (function
+    | Manager.Mark_put m -> wal_append st (Mark.to_record m)
+    | Manager.Mark_removed id ->
+        wal_append st (Record.encode_fields [ "m-"; id ]));
+  Dmi.on_journal t.dmi (function
+    | Dmi.Journal_logged e -> wal_append st (Dmi.journal_entry_to_record e)
+    | Dmi.Journal_cleared -> wal_append st (Record.encode_fields [ "jx" ])
+    | Dmi.Journal_truncated_to n ->
+        wal_append st (Record.encode_fields [ "jt"; string_of_int n ]));
+  t.wal <- Some st
+
+let apply_record t payload =
+  match Record.decode_fields payload with
+  | Error e -> Error (Printf.sprintf "undecodable record: %s" e)
+  | Ok (("+" | "-" | "x") :: _) ->
+      Result.map
+        (Durable.apply_op (Dmi.trim t.dmi))
+        (Durable.decode_op payload)
+  | Ok (tag :: _) when tag = Mark.record_tag ->
+      Result.map (Manager.put_mark t.marks) (Mark.of_record payload)
+  | Ok [ "m-"; id ] ->
+      ignore (Manager.remove_mark t.marks id);
+      Ok ()
+  | Ok (tag :: _) when tag = Dmi.journal_record_tag ->
+      Result.map
+        (Dmi.append_journal_entry t.dmi)
+        (Dmi.journal_entry_of_record payload)
+  | Ok [ "jx" ] ->
+      Dmi.clear_journal t.dmi;
+      Ok ()
+  | Ok [ "jt"; n ] -> (
+      match int_of_string_opt n with
+      | Some n ->
+          Dmi.truncate_journal_to t.dmi n;
+          Ok ()
+      | None -> Error (Printf.sprintf "bad journal truncation seq %S" n))
+  | Ok (tag :: _) -> Error (Printf.sprintf "unknown record tag %S" tag)
+  | Ok [] -> Error "empty record"
+
+type wal_recovery = {
+  replayed : int;
+  truncated_bytes : int;
+  reset_log : bool;
+  from_snapshot : bool;
+}
+
+let open_wal ?store ?resilient ?wrap ?policy desktop path =
+  match Log.open_ ?policy path with
+  | Error e -> Error (Log.error_to_string e)
+  | Ok (log, recovery) -> (
+      let closing e =
+        ignore (Log.close log);
+        Error e
+      in
+      let app_result =
+        match recovery.Log.snapshot with
+        | None -> Ok (create ?store ?resilient ?wrap desktop)
+        | Some xml -> (
+            match Xml.Parse.node xml with
+            | Error e ->
+                Error
+                  (Printf.sprintf "wal: bad snapshot payload: %s"
+                     (Xml.Parse.error_to_string e))
+            | Ok root ->
+                of_store_root ?store ?resilient ?wrap desktop
+                  (Xml.Node.strip_whitespace root))
+      in
+      match app_result with
+      | Error e -> closing e
+      | Ok app -> (
+          (* Replay the tail before installing hooks: recovered records
+             must not be re-appended. *)
+          let rec replay i = function
+            | [] -> Ok i
+            | payload :: rest -> (
+                match apply_record app payload with
+                | Ok () -> replay (i + 1) rest
+                | Error e -> Error (Printf.sprintf "wal: record %d: %s" i e))
+          in
+          match replay 0 recovery.Log.records with
+          | Error e -> closing e
+          | Ok replayed ->
+              install_hooks app { log; trouble = None };
+              Ok
+                ( app,
+                  {
+                    replayed;
+                    truncated_bytes = recovery.Log.truncated_bytes;
+                    reset_log = recovery.Log.reset_log;
+                    from_snapshot = recovery.Log.snapshot <> None;
+                  } )))
+
+let snapshot_payload t = Xml.Print.to_string (store_xml t)
+
+let enable_wal ?policy t path =
+  match t.wal with
+  | Some _ -> Error "pad is already in journaled mode"
+  | None ->
+      if Sys.file_exists path || Sys.file_exists (Log.snapshot_path path) then
+        Error (Printf.sprintf "a write-ahead log already exists at %s" path)
+      else (
+        match Log.open_ ?policy path with
+        | Error e -> Error (Log.error_to_string e)
+        | Ok (log, _) -> (
+            match Log.cut_snapshot log (snapshot_payload t) with
+            | Error e ->
+                ignore (Log.close log);
+                Error (Log.error_to_string e)
+            | Ok () ->
+                install_hooks t { log; trouble = None };
+                Ok ()))
+
+let wal_state_result t =
+  match t.wal with
+  | None -> Error "pad is not in journaled mode"
+  | Some st -> (
+      match st.trouble with
+      | Some e ->
+          st.trouble <- None;
+          Error e
+      | None -> Ok st)
+
+let lift = Result.map_error Log.error_to_string
+
+let wal_sync t =
+  Result.bind (wal_state_result t) (fun st -> lift (Log.sync st.log))
+
+let wal_compact t =
+  Result.bind (wal_state_result t) (fun st ->
+      lift (Log.cut_snapshot st.log (snapshot_payload t)))
+
+let wal_close t =
+  match wal_state_result t with
+  | Error _ as e ->
+      (match t.wal with
+      | Some st ->
+          ignore (Log.close st.log);
+          t.wal <- None
+      | None -> ());
+      e
+  | Ok st ->
+      t.wal <- None;
+      lift (Log.close st.log)
 
 let import_pad t ~from_file ?pad_name ?rename () =
   (* Load the foreign store with a desktop-less manager: imported marks

@@ -149,3 +149,61 @@ val import_pad :
     first); [rename] names the copy (default: "<original> (imported)").
     Marks whose types this desktop does not support still import (they
     fail only on resolution, like any unsupported mark). *)
+
+(** {1 Journaled persistence (write-ahead log)}
+
+    The incremental alternative to {!save}: every mutation — triple
+    operations, mark changes, journal events — is appended to a
+    {!Si_wal.Log} as it happens, so persisting is O(changes), not
+    O(pad size). One log interleaves the three record streams in the
+    shared {!Si_wal.Record.encode_fields} codec (triple ops use the
+    {!Si_triple.Durable} tags, marks {!Si_mark.Mark.record_tag}, journal
+    events {!Si_slim.Dmi.journal_record_tag}); the snapshot payload is
+    the same [<slimpad-store>] document {!save} writes, so the two
+    persistence formats share both codecs end to end. *)
+
+type persistence = Whole_file | Journaled
+
+val persistence : t -> persistence
+(** Which path {e this} application persists through. [create] and
+    [load] give [Whole_file]; [open_wal] and [enable_wal] switch to
+    [Journaled]. *)
+
+type wal_recovery = {
+  replayed : int;  (** Tail records applied on top of the snapshot. *)
+  truncated_bytes : int;  (** Torn-tail bytes dropped during recovery. *)
+  reset_log : bool;
+      (** A log made stale by an interrupted compaction was discarded. *)
+  from_snapshot : bool;
+}
+
+val open_wal :
+  ?store:(module Si_triple.Store.S) ->
+  ?resilient:Si_mark.Resilient.t ->
+  ?wrap:Si_mark.Desktop.opener_wrap ->
+  ?policy:Si_wal.Log.sync_policy ->
+  Si_mark.Desktop.t -> string -> (t * wal_recovery, string) result
+(** Open (creating if absent) a journaled pad at the given WAL path:
+    recover [snapshot + tail], then journal every further mutation.
+    Mid-log corruption or an undecodable record is a hard error — never
+    a silent partial replay. *)
+
+val enable_wal : ?policy:Si_wal.Log.sync_policy -> t -> string -> (unit, string) result
+(** Convert a whole-file application to journaled persistence: cut a
+    snapshot of the current state at the given WAL path and start
+    journaling. Fails if a log already exists there. *)
+
+val wal_sync : t -> (unit, string) result
+(** Flush batched records; on success everything acknowledged so far
+    survives a process crash. Also surfaces any append error since the
+    last call (appends happen inside observer hooks and cannot return
+    one directly). *)
+
+val wal_compact : t -> (unit, string) result
+(** Cut a fresh snapshot and truncate the log. Idempotent with respect
+    to the recovered state. *)
+
+val wal_close : t -> (unit, string) result
+(** Flush and close the log; the application reverts to [Whole_file]. *)
+
+val wal : t -> Si_wal.Log.t option

@@ -1,0 +1,138 @@
+module Xml = Si_xmlk
+module Log = Si_wal.Log
+module Record = Si_wal.Record
+
+type t = {
+  trim : Trim.t;
+  log : Log.t;
+  mutable trouble : string option;
+      (* First append failure since the last [sync]; appends run inside
+         the Trim observer and have no result channel of their own. *)
+}
+
+type opened = {
+  durable : t;
+  replayed : int;
+  truncated_bytes : int;
+  reset_log : bool;
+}
+
+(* ------------------------------------------------------------- codec *)
+
+let obj_fields = function
+  | Triple.Resource r -> [ "r"; r ]
+  | Triple.Literal l -> [ "l"; l ]
+
+let encode_op = function
+  | Trim.Op_add tr ->
+      Record.encode_fields
+        (("+" :: [ tr.Triple.subject; tr.Triple.predicate ])
+        @ obj_fields tr.Triple.object_)
+  | Trim.Op_remove tr ->
+      Record.encode_fields
+        (("-" :: [ tr.Triple.subject; tr.Triple.predicate ])
+        @ obj_fields tr.Triple.object_)
+  | Trim.Op_clear -> Record.encode_fields [ "x" ]
+
+let triple_of_fields s p kind v =
+  match kind with
+  | "r" -> Ok (Triple.make s p (Triple.Resource v))
+  | "l" -> Ok (Triple.make s p (Triple.Literal v))
+  | _ -> Error (Printf.sprintf "unknown object kind %S" kind)
+
+let decode_op payload =
+  match Record.decode_fields payload with
+  | Error _ as e -> e
+  | Ok [ "x" ] -> Ok Trim.Op_clear
+  | Ok [ "+"; s; p; kind; v ] ->
+      Result.map (fun tr -> Trim.Op_add tr) (triple_of_fields s p kind v)
+  | Ok [ "-"; s; p; kind; v ] ->
+      Result.map (fun tr -> Trim.Op_remove tr) (triple_of_fields s p kind v)
+  | Ok (tag :: _) -> Error (Printf.sprintf "unknown triple op tag %S" tag)
+  | Ok [] -> Error "empty operation record"
+
+let apply_op trim = function
+  | Trim.Op_add tr -> ignore (Trim.add trim tr)
+  | Trim.Op_remove tr -> ignore (Trim.remove trim tr)
+  | Trim.Op_clear -> Trim.clear trim
+
+(* ------------------------------------------------------- open / close *)
+
+let snapshot_of_trim trim = Xml.Print.to_string (Trim.to_xml trim)
+
+let trim_of_snapshot ?store xml =
+  match Xml.Parse.node xml with
+  | Error e -> Error (Xml.Parse.error_to_string e)
+  | Ok root -> Trim.of_xml ?store (Xml.Node.strip_whitespace root)
+
+let open_ ?store ?policy path =
+  match Log.open_ ?policy path with
+  | Error e -> Error (Log.error_to_string e)
+  | Ok (log, recovery) -> (
+      let closing e =
+        ignore (Log.close log);
+        Error e
+      in
+      let trim_result =
+        match recovery.Log.snapshot with
+        | None -> Ok (Trim.create ?store ())
+        | Some xml -> trim_of_snapshot ?store xml
+      in
+      match trim_result with
+      | Error e -> closing (Printf.sprintf "wal: bad snapshot payload: %s" e)
+      | Ok trim -> (
+          let rec replay i = function
+            | [] -> Ok i
+            | payload :: rest -> (
+                match decode_op payload with
+                | Ok op ->
+                    apply_op trim op;
+                    replay (i + 1) rest
+                | Error e ->
+                    Error
+                      (Printf.sprintf "wal: undecodable record %d: %s" i e))
+          in
+          match replay 0 recovery.Log.records with
+          | Error e -> closing e
+          | Ok replayed ->
+              let t = { trim; log; trouble = None } in
+              Trim.on_mutate trim (fun op ->
+                  match Log.append t.log (encode_op op) with
+                  | Ok () -> ()
+                  | Error e ->
+                      if t.trouble = None then
+                        t.trouble <- Some (Log.error_to_string e));
+              Ok
+                {
+                  durable = t;
+                  replayed;
+                  truncated_bytes = recovery.Log.truncated_bytes;
+                  reset_log = recovery.Log.reset_log;
+                }))
+
+let trim t = t.trim
+let log t = t.log
+
+let check_trouble t =
+  match t.trouble with
+  | Some e ->
+      t.trouble <- None;
+      Error e
+  | None -> Ok ()
+
+let lift = Result.map_error Log.error_to_string
+
+let sync t =
+  match check_trouble t with Error _ as e -> e | Ok () -> lift (Log.sync t.log)
+
+let checkpoint t =
+  match check_trouble t with
+  | Error _ as e -> e
+  | Ok () -> lift (Log.cut_snapshot t.log (snapshot_of_trim t.trim))
+
+let close t =
+  match check_trouble t with
+  | Error e ->
+      ignore (Log.close t.log);
+      Error e
+  | Ok () -> lift (Log.close t.log)

@@ -1,0 +1,62 @@
+(** Journaled TRIM: a {!Trim.t} whose every mutation is appended to a
+    {!Si_wal.Log} before being acknowledged.
+
+    Where {!Trim.save} rewrites the whole triple set per call, a durable
+    manager pays O(1) per mutation: each effective add/remove/clear
+    becomes one WAL record (group-committed per the log's sync policy),
+    and {!checkpoint} cuts a snapshot so the log never grows without
+    bound. {!open_} recovers the store from [snapshot + tail], so a
+    process crash loses at most the un-flushed batch — nothing once
+    {!sync} has returned. *)
+
+type t
+
+type opened = {
+  durable : t;
+  replayed : int;  (** Tail records applied on top of the snapshot. *)
+  truncated_bytes : int;  (** Torn-tail bytes dropped during recovery. *)
+  reset_log : bool;  (** A stale log from an interrupted compaction was discarded. *)
+}
+
+val open_ :
+  ?store:(module Store.S) ->
+  ?policy:Si_wal.Log.sync_policy ->
+  string ->
+  (opened, string) result
+(** [open_ path] opens (creating if needed) the log at [path] and
+    rebuilds the manager it describes. Corruption before the tail —
+    including a record that fails to decode — is a hard error, never a
+    partial replay. *)
+
+val trim : t -> Trim.t
+(** The live manager. Mutate it through the normal {!Trim} API; every
+    effective mutation is journaled via {!Trim.on_mutate} (installing
+    another observer on this trim would disconnect the journal). *)
+
+val log : t -> Si_wal.Log.t
+
+val sync : t -> (unit, string) result
+(** Flush batched records; on success everything acknowledged so far
+    survives a process crash. Also surfaces any append error that
+    occurred since the last call — appends happen inside the observer
+    hook and cannot return one directly. *)
+
+val checkpoint : t -> (unit, string) result
+(** Compact: write the current triple set as a snapshot and truncate
+    the log. Idempotent with respect to the recovered state. *)
+
+val close : t -> (unit, string) result
+
+(** {1 Record codec}
+
+    One WAL record per mutation, encoded with {!Si_wal.Record.encode_fields}:
+    tag ["+"] / ["-"] followed by subject, predicate, object kind
+    (["r"]|["l"]) and value; ["x"] for clear. Shared with the slimpad
+    journaled store, which interleaves these with mark and journal
+    records. *)
+
+val encode_op : Trim.op -> string
+val decode_op : string -> (Trim.op, string) result
+
+val apply_op : Trim.t -> Trim.op -> unit
+(** Replay one decoded operation (no-ops are ignored). *)

@@ -5,15 +5,26 @@ type pack = Pack : (module Store.S with type t = 'a) * 'a -> pack
 (* The undo log records inverse operations, newest first. *)
 type undo = Undo_add of Triple.t | Undo_remove of Triple.t
 
+type op = Op_add of Triple.t | Op_remove of Triple.t | Op_clear
+
 type t = {
   pack : pack;
   mutable counter : int;
   mutable txn : undo list option;  (* Some log while a transaction runs *)
+  mutable observer : (op -> unit) option;
 }
 
 let create ?(store = (module Store.Indexed_store : Store.S)) () =
   let (module S) = store in
-  { pack = Pack ((module S), S.create ()); counter = 0; txn = None }
+  {
+    pack = Pack ((module S), S.create ());
+    counter = 0;
+    txn = None;
+    observer = None;
+  }
+
+let on_mutate t f = t.observer <- Some f
+let notify t op = match t.observer with Some f -> f op | None -> ()
 
 let create_lightweight () = create ~store:(module Store.List_store) ()
 
@@ -29,23 +40,34 @@ let record t undo =
 let add t triple =
   let (Pack ((module S), s)) = t.pack in
   let added = S.add s triple in
-  if added then record t (Undo_add triple);
+  if added then begin
+    record t (Undo_add triple);
+    notify t (Op_add triple)
+  end;
   added
 
 let remove t triple =
   let (Pack ((module S), s)) = t.pack in
   let removed = S.remove s triple in
-  if removed then record t (Undo_remove triple);
+  if removed then begin
+    record t (Undo_remove triple);
+    notify t (Op_remove triple)
+  end;
   removed
 
 let in_transaction t = t.txn <> None
 
+(* Rollback goes through the store directly (the undo ops must not be
+   re-recorded), but the observer still has to see the inverse
+   mutations, or a journal fed by it would diverge from the store. *)
 let rollback t log =
   let (Pack ((module S), s)) = t.pack in
   List.iter
     (function
-      | Undo_add triple -> ignore (S.remove s triple)
-      | Undo_remove triple -> ignore (S.add s triple))
+      | Undo_add triple ->
+          if S.remove s triple then notify t (Op_remove triple)
+      | Undo_remove triple ->
+          if S.add s triple then notify t (Op_add triple))
     log
 
 let transaction t body =
@@ -80,15 +102,22 @@ let size t =
 
 let clear t =
   let (Pack ((module S), s)) = t.pack in
-  S.clear s
+  S.clear s;
+  notify t Op_clear
 
 let to_list t =
   let (Pack ((module S), s)) = t.pack in
   S.to_list s
 
 let add_all t triples =
-  let (Pack ((module S), s)) = t.pack in
-  S.add_all s triples
+  match t.observer with
+  | Some _ ->
+      (* The observer must see each effective insertion, so take the
+         per-triple path (the bulk store op is List.iter add anyway). *)
+      List.iter (fun triple -> ignore (add t triple)) triples
+  | None ->
+      let (Pack ((module S), s)) = t.pack in
+      S.add_all s triples
 
 let select ?subject ?predicate ?object_ t =
   let (Pack ((module S), s)) = t.pack in

@@ -78,6 +78,24 @@ val transaction :
 
 val in_transaction : t -> bool
 
+(** {1 Mutation observation}
+
+    The hook behind journaled persistence ({!Durable} and the slimpad
+    WAL mode): every effective store mutation — through any public entry
+    point, including transaction rollbacks (which emit the inverse
+    operations) and [add_all] — is reported exactly once, after it has
+    been applied. No-op calls (adding a present triple, removing an
+    absent one) are not reported. *)
+
+type op =
+  | Op_add of Triple.t
+  | Op_remove of Triple.t
+  | Op_clear  (** The store was emptied wholesale. *)
+
+val on_mutate : t -> (op -> unit) -> unit
+(** Install the observer (at most one; a second call replaces the
+    first). The observer must not mutate this manager. *)
+
 (** {1 Id generation} *)
 
 val new_id : ?prefix:string -> t -> string

@@ -1,0 +1,410 @@
+type sync_policy = Immediate | Batched of { max_records : int; max_bytes : int }
+
+let default_policy = Batched { max_records = 64; max_bytes = 256 * 1024 }
+
+type error =
+  | Io of string
+  | Bad_header of { file : string; detail : string }
+  | Corrupt_record of { index : int; offset : int; detail : string }
+  | Corrupt_snapshot of { file : string; detail : string }
+
+let error_to_string = function
+  | Io msg -> Printf.sprintf "wal: i/o error: %s" msg
+  | Bad_header { file; detail } ->
+      Printf.sprintf "wal: bad header in %s: %s" file detail
+  | Corrupt_record { index; offset; detail } ->
+      Printf.sprintf "wal: corrupt record %d at offset %d: %s" index offset
+        detail
+  | Corrupt_snapshot { file; detail } ->
+      Printf.sprintf "wal: corrupt snapshot %s: %s" file detail
+
+type recovery = {
+  snapshot : string option;
+  records : string list;
+  truncated_bytes : int;
+  reset_log : bool;
+}
+
+type t = {
+  path : string;
+  policy : sync_policy;
+  mutable oc : out_channel option;
+  mutable generation : int;
+  mutable disk_records : int;
+  buf : Buffer.t;
+  mutable buffered : int;
+}
+
+let log_magic = "SIWAL\x00\x00\x01"
+let snap_magic = "SISNP\x00\x00\x01"
+let magic_size = String.length log_magic
+let header_size = magic_size + 4
+let snapshot_path path = path ^ ".snap"
+let temp_path path = path ^ ".si-tmp"
+
+let path t = t.path
+let generation t = t.generation
+let pending t = t.buffered
+let record_count t = t.disk_records
+
+(* --- stdlib-only file helpers ------------------------------------- *)
+
+let protect_io f = try Ok (f ()) with Sys_error msg -> Error (Io msg)
+
+let read_file path =
+  protect_io (fun () ->
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic)))
+
+(* Atomic replacement: write a sibling temp file, then rename over the
+   destination. This doubles as portable truncation (rewrite the good
+   prefix) so the library needs no [unix] dependency. *)
+let write_file_atomic path contents =
+  protect_io (fun () ->
+      let tmp = temp_path path in
+      let oc = open_out_bin tmp in
+      (try
+         output_string oc contents;
+         close_out oc
+       with e ->
+         close_out_noerr oc;
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise e);
+      Sys.rename tmp path)
+
+let header gen =
+  let buf = Buffer.create header_size in
+  Buffer.add_string buf log_magic;
+  Record.add_u32 buf gen;
+  Buffer.contents buf
+
+(* --- parsing ------------------------------------------------------- *)
+
+type parsed_log =
+  | Log_bad of string
+  | Log_torn_header
+  | Log_corrupt of { index : int; offset : int; detail : string }
+  | Log_ok of {
+      gen : int;
+      records : string list;
+      good_end : int;  (** Offset where the valid prefix ends. *)
+      torn : string option;
+    }
+
+let is_prefix ~prefix s =
+  String.length s <= String.length prefix
+  && String.sub prefix 0 (String.length s) = s
+
+let parse_log contents =
+  let total = String.length contents in
+  if total < header_size then
+    if is_prefix ~prefix:log_magic (String.sub contents 0 (min total magic_size))
+    then Log_torn_header
+    else Log_bad "file too short and not a torn log header"
+  else if String.sub contents 0 magic_size <> log_magic then
+    Log_bad "wrong magic (not a Si_wal log)"
+  else
+    let gen = Record.get_u32 contents magic_size in
+    match Record.read_all contents ~pos:header_size with
+    | Ok (records, good_end, torn) -> Log_ok { gen; records; good_end; torn }
+    | Error detail ->
+        (* read_all's error message carries index/offset; recompute the
+           structured form by rescanning. *)
+        let rec locate index pos =
+          match Record.read contents ~pos with
+          | Record.Record { next; _ } -> locate (index + 1) next
+          | Record.Corrupt d -> (index, pos, d)
+          | Record.End | Record.Torn _ -> (index, pos, detail)
+        in
+        let index, offset, detail = locate 0 header_size in
+        Log_corrupt { index; offset; detail }
+
+let parse_snapshot file contents =
+  let bad detail = Error (Corrupt_snapshot { file; detail }) in
+  let total = String.length contents in
+  if total < header_size then bad "file shorter than snapshot header"
+  else if String.sub contents 0 magic_size <> snap_magic then
+    bad "wrong magic (not a Si_wal snapshot)"
+  else
+    let gen = Record.get_u32 contents magic_size in
+    match Record.read contents ~pos:header_size with
+    | Record.Record { payload; next } ->
+        if next = total then Ok (gen, payload)
+        else bad (Printf.sprintf "%d trailing byte(s) after payload" (total - next))
+    | Record.End -> bad "missing payload record"
+    | Record.Torn d | Record.Corrupt d -> bad d
+
+let load_snapshot path =
+  let file = snapshot_path path in
+  if not (Sys.file_exists file) then Ok None
+  else
+    match read_file file with
+    | Error e -> Error e
+    | Ok contents -> (
+        match parse_snapshot file contents with
+        | Ok (gen, payload) -> Ok (Some (gen, payload))
+        | Error e -> Error e)
+
+(* --- open / recovery ----------------------------------------------- *)
+
+let open_append path =
+  protect_io (fun () ->
+      open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path)
+
+let finish_open ~path ~policy ~gen ~disk_records ~recovery =
+  match open_append path with
+  | Error e -> Error e
+  | Ok oc ->
+      let t =
+        {
+          path;
+          policy;
+          oc = Some oc;
+          generation = gen;
+          disk_records;
+          buf = Buffer.create 4096;
+          buffered = 0;
+        }
+      in
+      Ok (t, recovery)
+
+let open_ ?(policy = default_policy) path =
+  match load_snapshot path with
+  | Error e -> Error e
+  | Ok snap -> (
+      let snap_gen = match snap with Some (g, _) -> g | None -> 0 in
+      let snap_payload = Option.map snd snap in
+      if not (Sys.file_exists path) then
+        (* Fresh log (or one deleted out from under its snapshot):
+           start at the snapshot's generation. *)
+        match write_file_atomic path (header snap_gen) with
+        | Error e -> Error e
+        | Ok () ->
+            finish_open ~path ~policy ~gen:snap_gen ~disk_records:0
+              ~recovery:
+                {
+                  snapshot = snap_payload;
+                  records = [];
+                  truncated_bytes = 0;
+                  reset_log = false;
+                }
+      else
+        match read_file path with
+        | Error e -> Error e
+        | Ok contents -> (
+            let total = String.length contents in
+            match parse_log contents with
+            | Log_bad detail -> Error (Bad_header { file = path; detail })
+            | Log_corrupt { index; offset; detail } ->
+                Error (Corrupt_record { index; offset; detail })
+            | Log_torn_header -> (
+                (* Crash while writing the very first header: nothing
+                   after it can exist, reset to the snapshot's view. *)
+                match write_file_atomic path (header snap_gen) with
+                | Error e -> Error e
+                | Ok () ->
+                    finish_open ~path ~policy ~gen:snap_gen ~disk_records:0
+                      ~recovery:
+                        {
+                          snapshot = snap_payload;
+                          records = [];
+                          truncated_bytes = total;
+                          reset_log = true;
+                        })
+            | Log_ok { gen; records; good_end; torn } ->
+                if snap_gen > gen then
+                  (* Compaction wrote the snapshot but died before
+                     truncating the log: the snapshot supersedes it. *)
+                  match write_file_atomic path (header snap_gen) with
+                  | Error e -> Error e
+                  | Ok () ->
+                      finish_open ~path ~policy ~gen:snap_gen ~disk_records:0
+                        ~recovery:
+                          {
+                            snapshot = snap_payload;
+                            records = [];
+                            truncated_bytes = 0;
+                            reset_log = true;
+                          }
+                else if snap <> None && snap_gen < gen then
+                  Error
+                    (Bad_header
+                       {
+                         file = path;
+                         detail =
+                           Printf.sprintf
+                             "log generation %d is ahead of snapshot generation %d"
+                             gen snap_gen;
+                       })
+                else
+                  let truncated = total - good_end in
+                  let finish () =
+                    finish_open ~path ~policy ~gen
+                      ~disk_records:(List.length records)
+                      ~recovery:
+                        {
+                          snapshot = snap_payload;
+                          records;
+                          truncated_bytes = truncated;
+                          reset_log = false;
+                        }
+                  in
+                  if torn = None then finish ()
+                  else
+                    (* Drop the torn tail on disk before reopening for
+                       append, so the file is a valid prefix again. *)
+                    match
+                      write_file_atomic path (String.sub contents 0 good_end)
+                    with
+                    | Error e -> Error e
+                    | Ok () -> finish ()))
+
+(* --- appending ----------------------------------------------------- *)
+
+let channel t =
+  match t.oc with Some oc -> Ok oc | None -> Error (Io "log is closed")
+
+let sync t =
+  match channel t with
+  | Error _ as e -> e
+  | Ok oc ->
+      if t.buffered = 0 then Ok ()
+      else
+        protect_io (fun () ->
+            output_string oc (Buffer.contents t.buf);
+            flush oc;
+            t.disk_records <- t.disk_records + t.buffered;
+            Buffer.clear t.buf;
+            t.buffered <- 0)
+
+let append t payload =
+  match channel t with
+  | Error _ as e -> e
+  | Ok _ ->
+      Record.encode t.buf payload;
+      t.buffered <- t.buffered + 1;
+      let due =
+        match t.policy with
+        | Immediate -> true
+        | Batched { max_records; max_bytes } ->
+            t.buffered >= max_records || Buffer.length t.buf >= max_bytes
+      in
+      if due then sync t else Ok ()
+
+(* --- compaction ---------------------------------------------------- *)
+
+let cut_snapshot t state =
+  match sync t with
+  | Error _ as e -> e
+  | Ok () -> (
+      let gen = t.generation + 1 in
+      let snap = Buffer.create (String.length state + 32) in
+      Buffer.add_string snap snap_magic;
+      Record.add_u32 snap gen;
+      Record.encode snap state;
+      match write_file_atomic (snapshot_path t.path) (Buffer.contents snap) with
+      | Error _ as e -> e
+      | Ok () -> (
+          (* Between here and the log rewrite the snapshot is one
+             generation ahead; open_ resolves that crash window by
+             discarding the (now redundant) log. *)
+          Option.iter close_out_noerr t.oc;
+          t.oc <- None;
+          match write_file_atomic t.path (header gen) with
+          | Error _ as e -> e
+          | Ok () -> (
+              match open_append t.path with
+              | Error _ as e -> e
+              | Ok oc ->
+                  t.oc <- Some oc;
+                  t.generation <- gen;
+                  t.disk_records <- 0;
+                  Ok ())))
+
+let close t =
+  match t.oc with
+  | None -> Ok ()
+  | Some oc -> (
+      match sync t with
+      | Error _ as e ->
+          close_out_noerr oc;
+          t.oc <- None;
+          e
+      | Ok () ->
+          t.oc <- None;
+          protect_io (fun () -> close_out oc))
+
+(* --- inspection ---------------------------------------------------- *)
+
+type info = {
+  info_generation : int;
+  info_records : int;
+  info_log_bytes : int;
+  info_torn_bytes : int;
+  info_snapshot_bytes : int option;
+  info_stale_log : bool;
+}
+
+let inspect path =
+  match load_snapshot path with
+  | Error e -> Error e
+  | Ok snap -> (
+      let snap_gen = match snap with Some (g, _) -> g | None -> 0 in
+      let snap_bytes = Option.map (fun (_, p) -> String.length p) snap in
+      if not (Sys.file_exists path) then
+        if snap = None then
+          Error (Io (Printf.sprintf "%s: no log or snapshot present" path))
+        else
+          Ok
+            {
+              info_generation = snap_gen;
+              info_records = 0;
+              info_log_bytes = 0;
+              info_torn_bytes = 0;
+              info_snapshot_bytes = snap_bytes;
+              info_stale_log = false;
+            }
+      else
+        match read_file path with
+        | Error e -> Error e
+        | Ok contents -> (
+            let total = String.length contents in
+            match parse_log contents with
+            | Log_bad detail -> Error (Bad_header { file = path; detail })
+            | Log_corrupt { index; offset; detail } ->
+                Error (Corrupt_record { index; offset; detail })
+            | Log_torn_header ->
+                Ok
+                  {
+                    info_generation = snap_gen;
+                    info_records = 0;
+                    info_log_bytes = total;
+                    info_torn_bytes = total;
+                    info_snapshot_bytes = snap_bytes;
+                    info_stale_log = true;
+                  }
+            | Log_ok { gen; records; good_end; torn } ->
+                let stale = snap <> None && snap_gen > gen in
+                if snap <> None && snap_gen < gen then
+                  Error
+                    (Bad_header
+                       {
+                         file = path;
+                         detail =
+                           Printf.sprintf
+                             "log generation %d is ahead of snapshot generation %d"
+                             gen snap_gen;
+                       })
+                else
+                  Ok
+                    {
+                      info_generation = (if stale then snap_gen else gen);
+                      info_records = (if stale then 0 else List.length records);
+                      info_log_bytes = total;
+                      info_torn_bytes =
+                        (if torn = None then 0 else total - good_end);
+                      info_snapshot_bytes = snap_bytes;
+                      info_stale_log = stale;
+                    }))

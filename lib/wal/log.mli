@@ -1,0 +1,112 @@
+(** Append-only write-ahead log with group commit, snapshots, and
+    crash recovery.
+
+    A log lives in two files. [path] holds a 12-byte header (8-byte
+    magic + u32-le generation) followed by framed records
+    ({!Record.encode}). [path ^ ".snap"], when present, holds a
+    snapshot: 8-byte magic, u32-le generation, and a single framed
+    payload representing the full state at the moment the snapshot was
+    cut. Current state is always [snapshot + every record in a log of
+    the same generation], in order.
+
+    Compaction ({!cut_snapshot}) bumps the generation, writes the new
+    snapshot atomically (temp file + rename), then replaces the log
+    with an empty one of the matching generation. A crash between the
+    two steps leaves a snapshot one generation ahead of the log; {!open_}
+    recognises this, discards the stale log, and reports it in the
+    {!recovery} — the snapshot already contains everything the old log
+    said. A log generation *ahead* of the snapshot can never be produced
+    by this protocol and is a hard error.
+
+    Durability model: {!sync} pushes buffered records through the
+    [out_channel] to the operating system ([flush], not [fsync]) — the
+    unit of "acknowledged" is surviving a process crash, not a kernel
+    panic. Recovery truncates torn tails (partial appends) and treats a
+    checksum mismatch anywhere before the tail as {!Corrupt_record}:
+    replay refuses to continue past damage it cannot explain. *)
+
+type t
+
+type sync_policy =
+  | Immediate  (** Every append is flushed before it returns. *)
+  | Batched of { max_records : int; max_bytes : int }
+      (** Appends buffer in memory; an automatic flush happens once
+          [max_records] records or [max_bytes] encoded bytes are
+          pending. Explicit {!sync} flushes early. *)
+
+val default_policy : sync_policy
+(** [Batched { max_records = 64; max_bytes = 262144 }]. *)
+
+type error =
+  | Io of string  (** Underlying [Sys_error]. *)
+  | Bad_header of { file : string; detail : string }
+      (** Wrong magic, or a log generation ahead of its snapshot. *)
+  | Corrupt_record of { index : int; offset : int; detail : string }
+      (** Mid-log checksum failure: record [index] at byte [offset]. *)
+  | Corrupt_snapshot of { file : string; detail : string }
+
+val error_to_string : error -> string
+
+type recovery = {
+  snapshot : string option;  (** Snapshot payload to restore first. *)
+  records : string list;  (** Tail records to replay, in append order. *)
+  truncated_bytes : int;
+      (** Torn-tail bytes dropped from the end of the log (0 when the
+          log was clean). *)
+  reset_log : bool;
+      (** The log predated the snapshot (crash mid-compaction) or had a
+          torn header, and was replaced by an empty one. *)
+}
+
+val snapshot_path : string -> string
+(** [snapshot_path path] is [path ^ ".snap"]. *)
+
+val open_ : ?policy:sync_policy -> string -> (t * recovery, error) result
+(** [open_ path] opens (creating if absent) the log at [path],
+    performing recovery: torn tails are truncated on disk, a stale log
+    left by an interrupted compaction is discarded. The caller must
+    restore [recovery.snapshot] (if any) then replay [recovery.records]
+    before appending. *)
+
+val append : t -> string -> (unit, error) result
+(** Append one record. Under [Immediate] it is flushed (durable against
+    process crash) on return; under [Batched _] it may sit in the
+    buffer until a threshold or {!sync}. *)
+
+val sync : t -> (unit, error) result
+(** Flush all buffered records to the OS. *)
+
+val pending : t -> int
+(** Records appended but not yet flushed. *)
+
+val cut_snapshot : t -> string -> (unit, error) result
+(** [cut_snapshot t state] compacts the log: flushes, writes [state] as
+    a snapshot of generation [generation t + 1], then truncates the log
+    to an empty one of that generation. *)
+
+val generation : t -> int
+val path : t -> string
+
+val record_count : t -> int
+(** Records in the log on disk (replayed at open + flushed since),
+    excluding buffered ones. *)
+
+val close : t -> (unit, error) result
+(** Flush and close. Further operations return [Io]. *)
+
+type info = {
+  info_generation : int;
+  info_records : int;  (** Intact records in the log. *)
+  info_log_bytes : int;  (** Log file size on disk. *)
+  info_torn_bytes : int;  (** Trailing bytes a recovery would truncate. *)
+  info_snapshot_bytes : int option;
+      (** Snapshot payload size, when a snapshot exists. *)
+  info_stale_log : bool;
+      (** The snapshot is one generation ahead (interrupted compaction);
+          recovery would discard the log's records. *)
+}
+
+val inspect : string -> (info, error) result
+(** Read-only examination of the pair of files at [path]; never
+    modifies anything, so it reports torn tails rather than truncating
+    them. Errors if neither file exists. *)

@@ -1,0 +1,96 @@
+let header_size = 8
+
+let add_u32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+
+let get_u32 s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+let encode buf payload =
+  add_u32 buf (String.length payload);
+  add_u32 buf (Crc32.digest payload);
+  Buffer.add_string buf payload
+
+type read =
+  | Record of { payload : string; next : int }
+  | End
+  | Torn of string
+  | Corrupt of string
+
+let read s ~pos =
+  let total = String.length s in
+  if pos < 0 || pos > total then invalid_arg "Record.read";
+  if pos = total then End
+  else if pos + header_size > total then
+    Torn
+      (Printf.sprintf "incomplete record header (%d of %d bytes)"
+         (total - pos) header_size)
+  else
+    let len = get_u32 s pos in
+    let crc = get_u32 s (pos + 4) in
+    let start = pos + header_size in
+    if start + len > total then
+      Torn
+        (Printf.sprintf "record length %d extends past end of log (%d byte(s) present)"
+           len (total - start))
+    else
+      let actual = Crc32.digest ~pos:start ~len s in
+      if actual <> crc then
+        let detail =
+          Printf.sprintf "checksum mismatch (stored %08x, computed %08x)" crc
+            actual
+        in
+        (* A bad checksum on the very last record is what a crash
+           mid-append looks like; anywhere else it cannot be torn
+           writes and means real damage. *)
+        if start + len = total then Torn detail else Corrupt detail
+      else Record { payload = String.sub s start len; next = start + len }
+
+let read_all s ~pos =
+  let rec go acc pos =
+    match read s ~pos with
+    | Record { payload; next } -> go (payload :: acc) next
+    | End -> Ok (List.rev acc, pos, None)
+    | Torn reason -> Ok (List.rev acc, pos, Some reason)
+    | Corrupt reason ->
+        Error
+          (Printf.sprintf "corrupt record %d at offset %d: %s"
+             (List.length acc) pos reason)
+  in
+  go [] pos
+
+let encode_fields fields =
+  let buf = Buffer.create 64 in
+  add_u32 buf (List.length fields);
+  List.iter
+    (fun f ->
+      add_u32 buf (String.length f);
+      Buffer.add_string buf f)
+    fields;
+  Buffer.contents buf
+
+let decode_fields s =
+  let total = String.length s in
+  if total < 4 then Error "field list shorter than its count header"
+  else
+    let count = get_u32 s 0 in
+    let rec go acc pos remaining =
+      if remaining = 0 then
+        if pos = total then Ok (List.rev acc)
+        else Error (Printf.sprintf "%d trailing byte(s) after last field" (total - pos))
+      else if pos + 4 > total then
+        Error "truncated field length"
+      else
+        let len = get_u32 s pos in
+        if pos + 4 + len > total then
+          Error (Printf.sprintf "field length %d overruns payload" len)
+        else
+          go (String.sub s (pos + 4) len :: acc) (pos + 4 + len) (remaining - 1)
+    in
+    go [] 4 count

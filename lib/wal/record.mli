@@ -1,0 +1,58 @@
+(** Framing for WAL records: length-prefixed, CRC-checksummed payloads.
+
+    A record on disk is [u32-le length][u32-le crc32(payload)][payload].
+    Decoding classifies damage precisely so recovery can distinguish the
+    one failure the crash model allows — a torn tail, where the process
+    died mid-append and the file simply ends early — from corruption in
+    the middle of the log, which is never survivable and must surface as
+    a hard error rather than a silent partial replay.
+
+    Also exports a generic field-list codec ([encode_fields] /
+    [decode_fields]) used as the common payload encoding by the TRIM
+    durable facade, the mark stream, and the Dmi journal. *)
+
+val header_size : int
+(** Bytes of framing before each payload (8: length + checksum). *)
+
+val add_u32 : Buffer.t -> int -> unit
+(** Append a 32-bit little-endian unsigned value (the WAL's native
+    integer encoding, also used by file headers). *)
+
+val get_u32 : string -> int -> int
+(** Read a 32-bit little-endian unsigned value at the given offset. *)
+
+val encode : Buffer.t -> string -> unit
+(** [encode buf payload] appends the framed record to [buf]. *)
+
+type read =
+  | Record of { payload : string; next : int }
+      (** A valid record; [next] is the offset just past it. *)
+  | End  (** Clean end of input: the offset is exactly the length. *)
+  | Torn of string
+      (** The data ends mid-record (incomplete header, a length that
+          points past end-of-input, or a checksum mismatch on the final
+          record). Consistent with a crash during append: everything
+          before this offset is intact, the tail is garbage. The string
+          says what was missing. *)
+  | Corrupt of string
+      (** A checksum mismatch with further data after the record — not
+          explicable by a torn append. The log is damaged and replay
+          must stop with an error. *)
+
+val read : string -> pos:int -> read
+(** [read s ~pos] decodes the record starting at [pos].
+    @raise Invalid_argument when [pos] is outside [\[0, length s\]]. *)
+
+val read_all : string -> pos:int -> (string list * int * string option, string) result
+(** [read_all s ~pos] decodes records until end-of-input. [Ok (payloads,
+    stop, torn)] gives the valid prefix in order, the offset where it
+    ends, and [Some reason] when a torn tail follows (bytes in
+    [\[stop, length s)] should be truncated). [Error _] on mid-log
+    corruption. *)
+
+val encode_fields : string list -> string
+(** [encode_fields fs] packs a list of arbitrary strings into one
+    payload: [u32-le count] then, per field, [u32-le length] + bytes. *)
+
+val decode_fields : string -> (string list, string) result
+(** Inverse of [encode_fields]; [Error _] describes the malformation. *)

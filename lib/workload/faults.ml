@@ -52,3 +52,20 @@ let wrap_opener t opener name =
   end
 
 let wrap t = { Desktop.wrap = (fun opener name -> wrap_opener t opener name) }
+
+(* Crash simulation for the storage layer: chop a file (e.g. a
+   write-ahead log) at an arbitrary byte offset, exactly what a process
+   death mid-append leaves behind. Returns the clamped offset. *)
+let cut_file path offset =
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let keep = max 0 (min offset (String.length contents)) in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (String.sub contents 0 keep));
+  keep

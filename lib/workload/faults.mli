@@ -44,3 +44,11 @@ val wrap_opener :
   t -> (string -> ('a, string) result) -> string -> ('a, string) result
 (** The same combinator over a single opener, for tests that build mark
     modules directly. *)
+
+val cut_file : string -> int -> int
+(** [cut_file path offset] truncates the file to its first [offset]
+    bytes — the on-disk state a process crash mid-append leaves behind.
+    Crash-recovery tests drive {!Si_wal.Log.open_} over every offset of
+    a log with this. Returns the effective cut point ([offset] clamped
+    to the file size).
+    @raise Sys_error on I/O trouble. *)

@@ -67,7 +67,12 @@ note) leaves the mark broken, which drift reports but cannot repair:
 
   $ sed -i 's/GI bleed/GI hemorrhage/' ws/note-01.txt
   $ slimpad drift ws
-  broken   GI bleed: span 35+8 invalid in note-01.txt and excerpt not found
+  broken   GI bleed: note-01.txt failed 3 attempt(s): span 35+8 invalid in note-01.txt and excerpt not found
+  broken   pneumonia: note-01.txt circuit open (7 call(s) until probe)
+  broken   atrial fibrillation: note-01.txt circuit open (6 call(s) until probe)
+  broken   TODO: culture results: note-01.txt circuit open (5 call(s) until probe)
+  broken   TODO: adjust tube feeds: note-01.txt circuit open (4 call(s) until probe)
+  broken   TODO: wean pressors: note-01.txt circuit open (3 call(s) until probe)
   $ slimpad drift ws --refresh | tail -1
   refreshed 0 scrap(s)
 
@@ -119,7 +124,7 @@ The pad exports as a standalone HTML page with the 2-D layout:
   $ head -1 ws-rounds.html
   <!DOCTYPE html>
   $ grep -c 'class="scrap"' ws-rounds.html
-  49
+  43
 
 The Bundle-Scrap model itself is inspectable as SLIM-ML:
 
@@ -140,3 +145,63 @@ Unknown documents and malformed queries fail cleanly:
   $ slimpad init ws
   error: ws exists and is not empty
   [1]
+
+Journaled persistence: a workspace initialized with --wal keeps its pad
+in a write-ahead log (pad.wal + pad.wal.snap) instead of pad.xml, and
+each mutation appends records instead of rewriting the whole store:
+
+  $ slimpad init wsj --scenario icu --seed 7 --wal
+  initialized ICU rounds worksheet in wsj (journaled persistence)
+  $ ls wsj | grep pad
+  pad.wal
+  pad.wal.snap
+  $ slimpad wal-inspect wsj
+  generation     1
+  records        0
+  log bytes      12
+  snapshot bytes 54775
+  $ slimpad add-pad wsj "Scratch"
+  created pad "Scratch"
+  $ slimpad wal-inspect wsj
+  generation     1
+  records        6
+  log bytes      412
+  snapshot bytes 54775
+
+Compaction folds the log into a fresh snapshot:
+
+  $ slimpad wal-compact wsj
+  compacted: folded 6 record(s) into the generation-2 snapshot
+  $ slimpad wal-inspect wsj
+  generation     2
+  records        0
+  log bytes      12
+  snapshot bytes 55140
+
+A crash mid-append leaves a torn tail; opening the workspace recovers to
+the last complete record, warns, and persists the truncation:
+
+  $ slimpad add-pad wsj "Torn"
+  created pad "Torn"
+  $ head -c 400 wsj/pad.wal > wsj/cut && mv wsj/cut wsj/pad.wal
+  $ slimpad pads wsj
+  Rounds (9 bundles, 47 scraps)
+  Scratch (1 bundles, 0 scraps)
+  Torn (1 bundles, 0 scraps)
+  warning: wal: dropped a torn tail of 65 byte(s); store recovered to the last complete record
+  $ slimpad wal-inspect wsj
+  generation     2
+  records        5
+  log bytes      335
+  snapshot bytes 55140
+
+An existing whole-file workspace converts in place:
+
+  $ slimpad init ws4 --scenario concordance > /dev/null
+  $ slimpad wal-enable ws4
+  enabled journaled persistence; state snapshot in pad.wal.snap
+  $ ls ws4 | grep pad
+  pad.wal
+  pad.wal.snap
+  $ slimpad pads ws4
+  Concordance (5 bundles, 10 scraps)

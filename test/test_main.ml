@@ -9,6 +9,7 @@ let () =
       ("pdfdoc", Test_pdfdoc.suite);
       ("htmldoc", Test_htmldoc.suite);
       ("triple", Test_triple.suite);
+      ("wal", Test_wal.suite);
       ("metamodel", Test_metamodel.suite);
       ("mark", Test_mark.suite);
       ("slim", Test_slim.suite);

@@ -360,6 +360,86 @@ let test_journal_xml_roundtrip () =
   check_bool "sequence continues" true
     (last.Dmi.seq > Dmi.journal_length t)
 
+let test_journal_record_codec () =
+  let t, _, _, smith, _, _, _, _, _ = rounds () in
+  Dmi.update_bundle_name t smith "renamed <&> bundle";
+  List.iter
+    (fun entry ->
+      match Dmi.journal_entry_of_record (Dmi.journal_entry_to_record entry) with
+      | Ok back ->
+          check_int "seq" entry.Dmi.seq back.Dmi.seq;
+          check "op" entry.Dmi.op back.Dmi.op;
+          check "target" entry.Dmi.target back.Dmi.target;
+          check "detail" entry.Dmi.detail back.Dmi.detail
+      | Error e -> Alcotest.fail e)
+    (Dmi.journal t);
+  (* The record self-identifies for WAL dispatch. *)
+  (match
+     Si_wal.Record.decode_fields
+       (Dmi.journal_entry_to_record (List.hd (Dmi.journal t)))
+   with
+  | Ok (tag :: _) -> check "tag" Dmi.journal_record_tag tag
+  | _ -> Alcotest.fail "record did not decode");
+  check_bool "foreign tag rejected" true
+    (Result.is_error
+       (Dmi.journal_entry_of_record (Si_wal.Record.encode_fields [ "+"; "x" ])));
+  check_bool "short record rejected" true
+    (Result.is_error
+       (Dmi.journal_entry_of_record
+          (Si_wal.Record.encode_fields [ Dmi.journal_record_tag; "1" ])))
+
+let test_journal_observer () =
+  let t, _, _, smith, dopamine, _, _, _, _ = rounds () in
+  let events = ref [] in
+  Dmi.on_journal t (fun e -> events := e :: !events);
+  Dmi.update_bundle_name t smith "watched";
+  (match !events with
+  | [ Dmi.Journal_logged e ] -> check "op" "update_bundle_name" e.Dmi.op
+  | _ -> Alcotest.fail "expected one Journal_logged event");
+  (* A rolled-back transaction announces the truncation point so a WAL
+     can discard the body's journal entries. *)
+  events := [];
+  let before = Dmi.journal_length t in
+  (match
+     Dmi.atomically t (fun () ->
+         Dmi.update_scrap_name t dopamine "doomed";
+         (Error "abort" : (unit, string) result))
+   with
+  | Error "abort" -> ()
+  | _ -> Alcotest.fail "abort should surface");
+  check_int "journal restored" before (Dmi.journal_length t);
+  check_bool "logged then truncated" true
+    (match List.rev !events with
+    | Dmi.Journal_logged _ :: rest ->
+        List.exists (function Dmi.Journal_truncated_to _ -> true | _ -> false)
+          rest
+    | _ -> false);
+  events := [];
+  Dmi.clear_journal t;
+  check_bool "clear notifies" true
+    (List.exists (function Dmi.Journal_cleared -> true | _ -> false) !events)
+
+let test_journal_replay_helpers () =
+  let t, _, _, smith, _, _, _, _, _ = rounds () in
+  Dmi.update_bundle_name t smith "renamed";
+  let entries = Dmi.journal t in
+  (* Rebuild the journal on a fresh store via the replay-side helpers —
+     the path WAL recovery takes. *)
+  let t2 = Dmi.create () in
+  Dmi.clear_journal t2;
+  List.iter (Dmi.append_journal_entry t2) entries;
+  check_bool "same entries" true (Dmi.journal t = Dmi.journal t2);
+  let high = (List.nth entries (List.length entries - 1)).Dmi.seq in
+  Dmi.truncate_journal_to t2 (high - 1);
+  check_int "tail dropped" (List.length entries - 1) (Dmi.journal_length t2);
+  (* Truncation mirrors rollback: the counter winds back with it, so the
+     next entry reuses the discarded seq — exactly what the in-memory
+     store does after [atomically] rolls back. *)
+  ignore (Dmi.create_slimpad t2 ~pad_name:"next");
+  let last = List.nth (Dmi.journal t2) (Dmi.journal_length t2 - 1) in
+  check_bool "fresh seq continues past surviving history" true
+    (last.Dmi.seq > high - 1)
+
 (* ------------------------------------------ F9: consistency & validity *)
 
 let test_always_valid () =
@@ -552,6 +632,9 @@ let suite =
     ("journal records operations", `Quick, test_journal_records_operations);
     ("journal deletion & clear", `Quick, test_journal_deletion_and_clear);
     ("journal XML round-trip", `Quick, test_journal_xml_roundtrip);
+    ("journal record codec", `Quick, test_journal_record_codec);
+    ("journal observer events", `Quick, test_journal_observer);
+    ("journal replay helpers", `Quick, test_journal_replay_helpers);
     ("DMI output always conformant (F9)", `Quick, test_always_valid);
     ("hand-written triples caught", `Quick, test_hand_written_triples_caught);
     ("triples visible via TRIM view", `Quick, test_triples_visible);

@@ -340,6 +340,185 @@ let test_dangling_mark_rendering () =
     (let re = Re.compile (Re.str "dangling mark") in
      Re.execp re text)
 
+(* ------------------------------------------------ journaled persistence *)
+
+let fresh_wal_path () =
+  let path = Filename.temp_file "slimpad" ".wal" in
+  Sys.remove path;
+  let snap = Si_wal.Log.snapshot_path path in
+  if Sys.file_exists snap then Sys.remove snap;
+  path
+
+let cleanup_wal path =
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ path; Si_wal.Log.snapshot_path path ]
+
+(* Full-state equality: triples, marks, and operation journal. *)
+let check_same_state a b =
+  check_bool "triples equal" true
+    (Dmi.equal_contents (Slimpad.dmi a) (Slimpad.dmi b));
+  let mark_key m =
+    ( m.Si_mark.Mark.mark_id,
+      m.Si_mark.Mark.mark_type,
+      m.Si_mark.Mark.excerpt,
+      List.sort compare m.Si_mark.Mark.fields )
+  in
+  let marks app =
+    List.sort compare (List.map mark_key (Manager.marks (Slimpad.marks app)))
+  in
+  check_bool "marks equal" true (marks a = marks b);
+  check_bool "journal equal" true
+    (Dmi.journal (Slimpad.dmi a) = Dmi.journal (Slimpad.dmi b))
+
+let test_wal_enable_and_recover () =
+  let app, _, smith, _, _, _ = fig4_app () in
+  let path = fresh_wal_path () in
+  check_bool "starts whole-file" true (Slimpad.persistence app = Whole_file);
+  ok (Slimpad.enable_wal app path);
+  check_bool "now journaled" true (Slimpad.persistence app = Journaled);
+  (* Mutations after the snapshot ride the log. *)
+  let s =
+    ok
+      (Slimpad.add_scrap app ~parent:smith ~name:"post-snapshot"
+         ~mark_type:"excel"
+         ~fields:
+           [ ("fileName", "meds.xls"); ("sheetName", "Medications");
+             ("range", "A3:B3") ]
+         ())
+  in
+  Dmi.update_scrap_name (Slimpad.dmi app) s "renamed after";
+  ok (Slimpad.wal_sync app);
+  let app2, rc =
+    ok (Slimpad.open_wal (fig4_desktop ()) path)
+  in
+  check_bool "recovered from snapshot" true rc.Slimpad.from_snapshot;
+  check_bool "tail replayed" true (rc.Slimpad.replayed > 0);
+  check_int "no torn tail" 0 rc.Slimpad.truncated_bytes;
+  check_same_state app app2;
+  (* The recovered app keeps journaling: a further mutation followed by
+     another recovery still matches. *)
+  Dmi.update_scrap_name (Slimpad.dmi app2) s "renamed again";
+  ok (Slimpad.wal_sync app2);
+  ok (Slimpad.wal_close app2);
+  let app3, _ = ok (Slimpad.open_wal (fig4_desktop ()) path) in
+  check "rename survived a second cycle" "renamed again"
+    (Dmi.scrap_name (Slimpad.dmi app3) s);
+  ok (Slimpad.wal_close app3);
+  ok (Slimpad.wal_close app);
+  check_bool "close reverts to whole-file" true
+    (Slimpad.persistence app = Whole_file);
+  cleanup_wal path
+
+let test_wal_enable_refuses_existing () =
+  let app, _, _, _, _, _ = fig4_app () in
+  let path = fresh_wal_path () in
+  ok (Slimpad.enable_wal app path);
+  let other, _, _, _, _, _ = fig4_app () in
+  check_bool "second enable at the same path refused" true
+    (Result.is_error (Slimpad.enable_wal other path));
+  check_bool "double enable refused" true
+    (Result.is_error (Slimpad.enable_wal app path));
+  ok (Slimpad.wal_close app);
+  cleanup_wal path
+
+let test_wal_compact_idempotent () =
+  let app, _, smith, _, _, _ = fig4_app () in
+  let path = fresh_wal_path () in
+  ok (Slimpad.enable_wal app path);
+  for i = 1 to 5 do
+    ignore
+      (ok
+         (Slimpad.add_scrap app ~parent:smith
+            ~name:(Printf.sprintf "scrap %d" i)
+            ~mark_type:"excel"
+            ~fields:
+              [ ("fileName", "meds.xls"); ("sheetName", "Medications");
+                ("range", "A1") ]
+            ()))
+  done;
+  ok (Slimpad.wal_compact app);
+  check_int "log folded into the snapshot" 0
+    (Si_wal.Log.record_count (Option.get (Slimpad.wal app)));
+  ok (Slimpad.wal_close app);
+  let app2, rc = ok (Slimpad.open_wal (fig4_desktop ()) path) in
+  check_int "nothing to replay" 0 rc.Slimpad.replayed;
+  check_same_state app app2;
+  (* Compacting the recovered state changes nothing. *)
+  ok (Slimpad.wal_compact app2);
+  ok (Slimpad.wal_close app2);
+  let app3, _ = ok (Slimpad.open_wal (fig4_desktop ()) path) in
+  check_same_state app app3;
+  ok (Slimpad.wal_close app3);
+  cleanup_wal path
+
+let test_wal_torn_tail_recovery () =
+  let app, _, smith, _, _, _ = fig4_app () in
+  let path = fresh_wal_path () in
+  ok (Slimpad.enable_wal app ~policy:Si_wal.Log.Immediate path);
+  ignore
+    (ok
+       (Slimpad.add_scrap app ~parent:smith ~name:"tearing here"
+          ~mark_type:"excel"
+          ~fields:
+            [ ("fileName", "meds.xls"); ("sheetName", "Medications");
+              ("range", "B2") ]
+          ()));
+  ok (Slimpad.wal_close app);
+  (* Crash three bytes before the end of the log: the final record is
+     torn and must be dropped — never half-applied. *)
+  let size =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    close_in ic;
+    n
+  in
+  ignore (Si_workload.Faults.cut_file path (size - 3));
+  let app2, rc = ok (Slimpad.open_wal (fig4_desktop ()) path) in
+  check_bool "torn tail reported" true (rc.Slimpad.truncated_bytes > 0);
+  (* Prefix consistency at the record level: everything on the pad still
+     resolves; no dangling half-written scrap/mark pair. *)
+  let dmi = Slimpad.dmi app2 in
+  let rec walk bundle =
+    List.iter
+      (fun s ->
+        match Slimpad.scrap_content app2 s with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "scrap broken after recovery: %s" e)
+      (Dmi.scraps dmi bundle);
+    List.iter walk (Dmi.nested_bundles dmi bundle)
+  in
+  List.iter (fun pad -> walk (Dmi.root_bundle dmi pad)) (Dmi.pads dmi);
+  ok (Slimpad.wal_close app2);
+  (* The truncation persisted: reopening is clean. *)
+  let app3, rc3 = ok (Slimpad.open_wal (fig4_desktop ()) path) in
+  check_int "second recovery clean" 0 rc3.Slimpad.truncated_bytes;
+  ok (Slimpad.wal_close app3);
+  cleanup_wal path
+
+let test_wal_rollback_consistency () =
+  (* An aborted [atomically] must leave the log describing the same
+     state as memory — the inverse ops and the journal truncation are
+     appended. *)
+  let app, _, smith, _, _, _ = fig4_app () in
+  let path = fresh_wal_path () in
+  ok (Slimpad.enable_wal app path);
+  (match
+     Dmi.atomically (Slimpad.dmi app) (fun () ->
+         Dmi.update_bundle_name (Slimpad.dmi app) smith "doomed";
+         (Error "abort" : (unit, string) result))
+   with
+  | Error "abort" -> ()
+  | _ -> Alcotest.fail "abort should surface");
+  check "memory rolled back" "John Smith"
+    (Dmi.bundle_name (Slimpad.dmi app) smith);
+  ok (Slimpad.wal_sync app);
+  let app2, _ = ok (Slimpad.open_wal (fig4_desktop ()) path) in
+  check_same_state app app2;
+  ok (Slimpad.wal_close app2);
+  ok (Slimpad.wal_close app);
+  cleanup_wal path
+
 let suite =
   [
     ("add_scrap creates the mark (F5)", `Quick, test_add_scrap_creates_mark);
@@ -360,4 +539,11 @@ let suite =
     ("store-implementation invariance", `Quick,
      test_store_implementation_invariance);
     ("dangling marks rendered", `Quick, test_dangling_mark_rendering);
+    ("wal: enable, journal, recover", `Quick, test_wal_enable_and_recover);
+    ("wal: enable refuses an existing log", `Quick,
+     test_wal_enable_refuses_existing);
+    ("wal: compaction idempotent", `Quick, test_wal_compact_idempotent);
+    ("wal: torn tail recovery", `Quick, test_wal_torn_tail_recovery);
+    ("wal: rollback keeps log & memory agreeing", `Quick,
+     test_wal_rollback_consistency);
   ]

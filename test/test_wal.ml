@@ -1,0 +1,647 @@
+(* Tests for Si_wal (CRC, record framing, log, recovery) and the
+   journaled TRIM facade (Si_triple.Durable). Crash injection cuts log
+   files at arbitrary byte offsets with Si_workload.Faults.cut_file —
+   exactly the state a process death mid-append leaves behind. *)
+
+open Si_wal
+module Trim = Si_triple.Trim
+module Triple = Si_triple.Triple
+module Durable = Si_triple.Durable
+module Faults = Si_workload.Faults
+module Rng = Si_workload.Rng
+
+let check = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ok_exn what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (Log.error_to_string e)
+
+let sok_exn what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+(* A scratch WAL path with no file behind it yet (and no stale .snap). *)
+let fresh_path () =
+  let path = Filename.temp_file "si_wal_test" ".wal" in
+  Sys.remove path;
+  if Sys.file_exists (Log.snapshot_path path) then
+    Sys.remove (Log.snapshot_path path);
+  path
+
+let cleanup path =
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ path; Log.snapshot_path path ]
+
+let read_bytes path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_bytes path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* ---------------------------------------------------------------- crc32 *)
+
+let test_crc_vectors () =
+  (* The standard IEEE check value. *)
+  check_int "123456789" 0xCBF43926 (Crc32.digest "123456789");
+  check_int "empty" 0 (Crc32.digest "");
+  check_int "a" 0xE8B7BE43 (Crc32.digest "a");
+  (* All byte values survive. *)
+  let all = String.init 256 Char.chr in
+  check_bool "binary-safe" true (Crc32.digest all <> Crc32.digest "")
+
+let test_crc_incremental () =
+  let a = "superimposed " and b = "information" in
+  check_int "digest continues across chunks"
+    (Crc32.digest (a ^ b))
+    (Crc32.digest ~crc:(Crc32.digest a) b);
+  check_int "pos/len select a substring"
+    (Crc32.digest "bundle")
+    (Crc32.digest ~pos:3 ~len:6 "in bundles");
+  Alcotest.check_raises "bad range rejected"
+    (Invalid_argument "Crc32.digest") (fun () ->
+      ignore (Crc32.digest ~pos:4 ~len:3 "abcde"))
+
+(* ----------------------------------------------------------- field codec *)
+
+let test_fields_roundtrip () =
+  let cases =
+    [
+      [];
+      [ "" ];
+      [ "+"; "s1"; "scrapName"; "l"; "Dopamine" ];
+      [ "binary \x00\x01\xff"; ""; "<xml attr=\"x\">&amp;</xml>" ];
+    ]
+  in
+  List.iter
+    (fun fields ->
+      match Record.decode_fields (Record.encode_fields fields) with
+      | Ok back ->
+          check_int "field count" (List.length fields) (List.length back);
+          List.iter2 (check "field") fields back
+      | Error e -> Alcotest.failf "decode failed: %s" e)
+    cases
+
+let test_fields_malformed () =
+  check_bool "empty payload" true (Result.is_error (Record.decode_fields ""));
+  (* Claim two fields, provide one. *)
+  let one = Record.encode_fields [ "x" ] in
+  let lying = Bytes.of_string one in
+  Bytes.set lying 0 '\x02';
+  check_bool "count overruns payload" true
+    (Result.is_error (Record.decode_fields (Bytes.to_string lying)));
+  (* Trailing garbage after the advertised fields. *)
+  check_bool "trailing bytes" true
+    (Result.is_error (Record.decode_fields (one ^ "junk")))
+
+(* ------------------------------------------------------- record framing *)
+
+let encode_to_string payloads =
+  let buf = Buffer.create 256 in
+  List.iter (Record.encode buf) payloads;
+  Buffer.contents buf
+
+let test_record_roundtrip () =
+  let payloads = [ "alpha"; ""; String.init 300 (fun i -> Char.chr (i land 0xff)) ] in
+  let s = encode_to_string payloads in
+  match Record.read_all s ~pos:0 with
+  | Ok (back, stop, torn) ->
+      check_int "all payloads back" (List.length payloads) (List.length back);
+      List.iter2 (check "payload") payloads back;
+      check_int "stop at end" (String.length s) stop;
+      check_bool "no torn tail" true (torn = None)
+  | Error e -> Alcotest.failf "read_all: %s" e
+
+let test_record_classification () =
+  let s = encode_to_string [ "first"; "second" ] in
+  let first_end = Record.header_size + 5 in
+  (* Cut inside the second record's header. *)
+  (match Record.read (String.sub s 0 (first_end + 3)) ~pos:first_end with
+  | Record.Torn _ -> ()
+  | _ -> Alcotest.fail "expected Torn for half a header");
+  (* Cut inside the second record's payload. *)
+  (match
+     Record.read (String.sub s 0 (first_end + Record.header_size + 2))
+       ~pos:first_end
+   with
+  | Record.Torn _ -> ()
+  | _ -> Alcotest.fail "expected Torn for a short payload");
+  (* Flip a byte in the LAST record's payload: indistinguishable from a
+     torn append, classified Torn. *)
+  let flip s pos =
+    let b = Bytes.of_string s in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x5a));
+    Bytes.to_string b
+  in
+  (match flip s (String.length s - 1) |> fun s' -> Record.read s' ~pos:first_end with
+  | Record.Torn _ -> ()
+  | _ -> Alcotest.fail "expected Torn for a final-record flip");
+  (* Flip a byte in the FIRST record's payload: data follows, so this is
+     real damage. *)
+  (match flip s Record.header_size |> fun s' -> Record.read s' ~pos:0 with
+  | Record.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected Corrupt for a mid-log flip");
+  match Record.read s ~pos:(String.length s) with
+  | Record.End -> ()
+  | _ -> Alcotest.fail "expected End at the end"
+
+(* ------------------------------------------------------------------ log *)
+
+let test_log_append_reopen () =
+  let path = fresh_path () in
+  let log, recovery = ok_exn "open" (Log.open_ path) in
+  check_int "fresh: nothing to replay" 0 (List.length recovery.Log.records);
+  check_bool "fresh: no snapshot" true (recovery.Log.snapshot = None);
+  let payloads = [ "one"; "two"; "three" ] in
+  List.iter (fun p -> ok_exn "append" (Log.append log p)) payloads;
+  ok_exn "close" (Log.close log);
+  let log2, recovery2 = ok_exn "reopen" (Log.open_ path) in
+  List.iter2 (check "replayed") payloads recovery2.Log.records;
+  check_int "no torn bytes" 0 recovery2.Log.truncated_bytes;
+  check_int "record_count" 3 (Log.record_count log2);
+  ok_exn "close2" (Log.close log2);
+  cleanup path
+
+let test_log_group_commit () =
+  let path = fresh_path () in
+  let log, _ =
+    ok_exn "open"
+      (Log.open_ ~policy:(Log.Batched { max_records = 3; max_bytes = 1 lsl 20 })
+         path)
+  in
+  ok_exn "a" (Log.append log "a");
+  ok_exn "b" (Log.append log "b");
+  check_int "two pending" 2 (Log.pending log);
+  check_int "none on disk yet" 0 (Log.record_count log);
+  (* The third append crosses max_records and flushes the batch. *)
+  ok_exn "c" (Log.append log "c");
+  check_int "batch flushed" 0 (Log.pending log);
+  check_int "three on disk" 3 (Log.record_count log);
+  (* Byte threshold flushes too. *)
+  let log_b, _ =
+    ok_exn "open byte-batch"
+      (Log.open_ ~policy:(Log.Batched { max_records = 1000; max_bytes = 64 })
+         path)
+  in
+  ok_exn "big" (Log.append log_b (String.make 100 'x'));
+  check_int "byte threshold crossed" 0 (Log.pending log_b);
+  (* Explicit sync flushes a partial batch. *)
+  ok_exn "d" (Log.append log_b "d");
+  check_int "one pending" 1 (Log.pending log_b);
+  ok_exn "sync" (Log.sync log_b);
+  check_int "sync drained it" 0 (Log.pending log_b);
+  ok_exn "close" (Log.close log);
+  ok_exn "close_b" (Log.close log_b);
+  cleanup path
+
+let test_log_unflushed_batch_lost () =
+  (* Batched appends that were never synced are NOT acknowledged: a
+     crash before the flush loses exactly them and nothing else. *)
+  let path = fresh_path () in
+  let log, _ =
+    ok_exn "open"
+      (Log.open_ ~policy:(Log.Batched { max_records = 100; max_bytes = 1 lsl 20 })
+         path)
+  in
+  ok_exn "acked" (Log.append log "acked");
+  ok_exn "sync" (Log.sync log);
+  ok_exn "pending1" (Log.append log "pending1");
+  ok_exn "pending2" (Log.append log "pending2");
+  (* Simulate the crash: just never sync/close — reopen reads the file. *)
+  let log2, recovery = ok_exn "reopen" (Log.open_ path) in
+  check_int "only the synced record survives" 1
+    (List.length recovery.Log.records);
+  check "it is the acked one" "acked" (List.hd recovery.Log.records);
+  ok_exn "close2" (Log.close log2);
+  ok_exn "close1" (Log.close log);
+  cleanup path
+
+let test_log_snapshot_cycle () =
+  let path = fresh_path () in
+  let log, _ = ok_exn "open" (Log.open_ path) in
+  ok_exn "r1" (Log.append log "r1");
+  ok_exn "r2" (Log.append log "r2");
+  check_int "generation 0" 0 (Log.generation log);
+  ok_exn "cut" (Log.cut_snapshot log "STATE-AFTER-R2");
+  check_int "generation bumped" 1 (Log.generation log);
+  check_int "log emptied" 0 (Log.record_count log);
+  ok_exn "r3" (Log.append log "r3");
+  ok_exn "close" (Log.close log);
+  let log2, recovery = ok_exn "reopen" (Log.open_ path) in
+  check "snapshot restored" "STATE-AFTER-R2"
+    (Option.get recovery.Log.snapshot);
+  check_int "tail after snapshot" 1 (List.length recovery.Log.records);
+  check "tail record" "r3" (List.hd recovery.Log.records);
+  ok_exn "close2" (Log.close log2);
+  cleanup path
+
+let test_log_stale_log_discarded () =
+  (* Crash window of cut_snapshot: snapshot written (gen n+1), log still
+     holding gen-n records. Recovery must prefer the snapshot and drop
+     the log — its content is already folded in. *)
+  let path = fresh_path () in
+  let log, _ = ok_exn "open" (Log.open_ path) in
+  ok_exn "r1" (Log.append log "r1");
+  ok_exn "sync" (Log.sync log);
+  let pre_cut = read_bytes path in
+  ok_exn "cut" (Log.cut_snapshot log "FOLDED");
+  ok_exn "close" (Log.close log);
+  (* Wind the log file back to its pre-compaction content. *)
+  write_bytes path pre_cut;
+  let info = ok_exn "inspect" (Log.inspect path) in
+  check_bool "inspect flags staleness" true info.Log.info_stale_log;
+  let log2, recovery = ok_exn "reopen" (Log.open_ path) in
+  check_bool "reset reported" true recovery.Log.reset_log;
+  check "snapshot wins" "FOLDED" (Option.get recovery.Log.snapshot);
+  check_int "stale records dropped" 0 (List.length recovery.Log.records);
+  check_int "generation follows snapshot" 1 (Log.generation log2);
+  ok_exn "close2" (Log.close log2);
+  cleanup path
+
+let test_log_ahead_of_snapshot_rejected () =
+  (* The inverse skew — log generation ahead of the snapshot — cannot be
+     produced by the protocol; it means tampering or file mix-up. *)
+  let path = fresh_path () in
+  let log, _ = ok_exn "open" (Log.open_ path) in
+  ok_exn "cut1" (Log.cut_snapshot log "S1");
+  let snap_v1 = read_bytes (Log.snapshot_path path) in
+  ok_exn "r" (Log.append log "r");
+  ok_exn "cut2" (Log.cut_snapshot log "S2");
+  ok_exn "close" (Log.close log);
+  (* Put the generation-1 snapshot back beside the generation-2 log. *)
+  write_bytes (Log.snapshot_path path) snap_v1;
+  (match Log.open_ path with
+  | Error (Log.Bad_header _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Log.error_to_string e)
+  | Ok (log, _) ->
+      ignore (Log.close log);
+      Alcotest.fail "log ahead of snapshot must not open");
+  cleanup path
+
+let test_log_corrupt_midlog_is_hard_error () =
+  let path = fresh_path () in
+  let log, _ = ok_exn "open" (Log.open_ path) in
+  List.iter (fun p -> ok_exn "append" (Log.append log p))
+    [ "first-record"; "second-record"; "third-record" ];
+  ok_exn "close" (Log.close log);
+  (* Flip one payload byte inside the FIRST record. *)
+  let contents = Bytes.of_string (read_bytes path) in
+  let pos = 12 + Record.header_size + 2 in
+  Bytes.set contents pos
+    (Char.chr (Char.code (Bytes.get contents pos) lxor 0xff));
+  write_bytes path (Bytes.to_string contents);
+  (match Log.open_ path with
+  | Error (Log.Corrupt_record { index; _ }) -> check_int "index" 0 index
+  | Error e -> Alcotest.failf "wrong error: %s" (Log.error_to_string e)
+  | Ok (log, recovery) ->
+      ignore (Log.close log);
+      Alcotest.failf "opened through corruption, %d records replayed"
+        (List.length recovery.Log.records));
+  (match Log.inspect path with
+  | Error (Log.Corrupt_record _) -> ()
+  | _ -> Alcotest.fail "inspect must also refuse");
+  cleanup path
+
+(* The acceptance bar: a crash at ANY byte offset of the log recovers to
+   a prefix-consistent store with zero acknowledged-write loss. Every
+   append below is under Immediate policy, so every record is
+   acknowledged the moment append returns — recovery must keep exactly
+   the records whose bytes fully made it to disk (all of them, except
+   possibly the one the cut landed inside). *)
+let test_crash_at_every_offset () =
+  let path = fresh_path () in
+  let payloads =
+    [ "alpha"; "b"; ""; "delta-delta-delta"; "e<&>"; "final-record" ]
+  in
+  let log, _ = ok_exn "open" (Log.open_ ~policy:Log.Immediate path) in
+  List.iter (fun p -> ok_exn "append" (Log.append log p)) payloads;
+  ok_exn "close" (Log.close log);
+  let full = read_bytes path in
+  let total = String.length full in
+  let scratch = fresh_path () in
+  for cut = 0 to total do
+    write_bytes scratch full;
+    let kept = Faults.cut_file scratch cut in
+    check_int "cut_file clamps" (min cut total) kept;
+    match Log.open_ scratch with
+    | Error e ->
+        Alcotest.failf "cut at %d failed to recover: %s" cut
+          (Log.error_to_string e)
+    | Ok (log, recovery) ->
+        let recovered = recovery.Log.records in
+        let n = List.length recovered in
+        (* Prefix consistency: the recovered records are exactly the
+           first n appended, in order. *)
+        check_bool
+          (Printf.sprintf "cut at %d: prefix of the appended stream" cut)
+          true
+          (List.for_all2 String.equal recovered
+             (List.filteri (fun i _ -> i < n) payloads));
+        (* Zero acknowledged-write loss: only the record the cut landed
+           inside may be missing — every record fully on disk survives. *)
+        let boundary = ref 12 (* log header *) in
+        let complete =
+          List.fold_left
+            (fun acc p ->
+              boundary := !boundary + Record.header_size + String.length p;
+              if !boundary <= cut then acc + 1 else acc)
+            0 payloads
+        in
+        check_int (Printf.sprintf "cut at %d: every durable record kept" cut)
+          complete n;
+        ok_exn "close" (Log.close log);
+        (* The truncation is persistent: a second open is clean. *)
+        let log2, r2 = ok_exn "re-reopen" (Log.open_ scratch) in
+        check_int
+          (Printf.sprintf "cut at %d: second open sees a clean log" cut)
+          0 r2.Log.truncated_bytes;
+        check_int "stable record count" n (List.length r2.Log.records);
+        ok_exn "close2" (Log.close log2)
+  done;
+  cleanup scratch;
+  cleanup path
+
+let test_crash_random_offsets_with_snapshot () =
+  (* Same property across the snapshot + tail shape, at seeded random
+     offsets. *)
+  let rng = Rng.create 2001 in
+  let path = fresh_path () in
+  let log, _ = ok_exn "open" (Log.open_ ~policy:Log.Immediate path) in
+  ok_exn "pre" (Log.append log "folded-into-snapshot");
+  ok_exn "cut" (Log.cut_snapshot log "SNAP-STATE");
+  let tail = List.init 10 (fun i -> Printf.sprintf "tail-%02d" i) in
+  List.iter (fun p -> ok_exn "append" (Log.append log p)) tail;
+  ok_exn "close" (Log.close log);
+  let full = read_bytes path in
+  let snap = read_bytes (Log.snapshot_path path) in
+  let scratch = fresh_path () in
+  for _ = 1 to 60 do
+    let cut = Rng.int rng (String.length full + 1) in
+    write_bytes scratch full;
+    write_bytes (Log.snapshot_path scratch) snap;
+    ignore (Faults.cut_file scratch cut);
+    match Log.open_ scratch with
+    | Error e ->
+        Alcotest.failf "cut at %d: %s" cut (Log.error_to_string e)
+    | Ok (log, recovery) ->
+        check "snapshot always survives" "SNAP-STATE"
+          (Option.get recovery.Log.snapshot);
+        let n = List.length recovery.Log.records in
+        check_bool "tail prefix" true
+          (List.for_all2 String.equal recovery.Log.records
+             (List.filteri (fun i _ -> i < n) tail));
+        ok_exn "close" (Log.close log)
+  done;
+  cleanup scratch;
+  cleanup path
+
+(* -------------------------------------------------- Durable TRIM facade *)
+
+let tr s p o = Triple.make s p (Triple.literal o)
+
+let test_durable_roundtrip () =
+  let path = fresh_path () in
+  let { Durable.durable = d; _ } = sok_exn "open" (Durable.open_ path) in
+  let t = Durable.trim d in
+  check_bool "add" true (Trim.add t (tr "b1" "bundleName" "John Smith"));
+  check_bool "add2" true (Trim.add t (Triple.make "b1" "content" (Triple.resource "s1")));
+  check_bool "remove" true (Trim.remove t (tr "b1" "bundleName" "John Smith"));
+  check_bool "re-add" true (Trim.add t (tr "b1" "bundleName" "Jane Doe"));
+  sok_exn "close" (Durable.close d);
+  let { Durable.durable = d2; replayed; _ } =
+    sok_exn "reopen" (Durable.open_ path)
+  in
+  check_int "replayed every op" 4 replayed;
+  check_bool "contents equal" true
+    (Trim.equal_contents t (Durable.trim d2));
+  sok_exn "close2" (Durable.close d2);
+  cleanup path
+
+let test_durable_rollback_journaled () =
+  (* A rolled-back transaction must leave the WAL describing the same
+     state as the in-memory trim: the inverse ops are appended. *)
+  let path = fresh_path () in
+  let { Durable.durable = d; _ } = sok_exn "open" (Durable.open_ path) in
+  let t = Durable.trim d in
+  ignore (Trim.add t (tr "a" "p" "keep"));
+  (match
+     Trim.transaction t (fun () ->
+         ignore (Trim.add t (tr "b" "p" "doomed"));
+         ignore (Trim.remove t (tr "a" "p" "keep"));
+         Error "abort")
+   with
+  | Ok (Error "abort") -> ()
+  | _ -> Alcotest.fail "transaction should report the abort");
+  check_int "in-memory state rolled back" 1 (Trim.size t);
+  sok_exn "close" (Durable.close d);
+  let { Durable.durable = d2; _ } = sok_exn "reopen" (Durable.open_ path) in
+  check_bool "recovered state matches the rolled-back trim" true
+    (Trim.equal_contents t (Durable.trim d2));
+  sok_exn "close2" (Durable.close d2);
+  cleanup path
+
+let test_durable_checkpoint () =
+  let path = fresh_path () in
+  let { Durable.durable = d; _ } = sok_exn "open" (Durable.open_ path) in
+  let t = Durable.trim d in
+  for i = 1 to 20 do
+    ignore (Trim.add t (tr (Printf.sprintf "r%d" i) "p" "v"))
+  done;
+  sok_exn "checkpoint" (Durable.checkpoint d);
+  check_int "log truncated" 0 (Log.record_count (Durable.log d));
+  ignore (Trim.add t (tr "post" "p" "v"));
+  sok_exn "close" (Durable.close d);
+  let { Durable.durable = d2; replayed; _ } =
+    sok_exn "reopen" (Durable.open_ path)
+  in
+  check_int "only the post-checkpoint tail replays" 1 replayed;
+  check_bool "contents equal" true (Trim.equal_contents t (Durable.trim d2));
+  (* Compaction is idempotent: checkpointing again (no new ops) must
+     recover to the identical store. *)
+  sok_exn "checkpoint2" (Durable.checkpoint d2);
+  sok_exn "checkpoint3" (Durable.checkpoint d2);
+  sok_exn "close2" (Durable.close d2);
+  let { Durable.durable = d3; replayed = r3; _ } =
+    sok_exn "reopen3" (Durable.open_ path)
+  in
+  check_int "nothing to replay after double checkpoint" 0 r3;
+  check_bool "state unchanged by re-compaction" true
+    (Trim.equal_contents t (Durable.trim d3));
+  sok_exn "close3" (Durable.close d3);
+  cleanup path
+
+let test_durable_undecodable_record () =
+  let path = fresh_path () in
+  let log, _ = ok_exn "open raw" (Log.open_ path) in
+  ok_exn "bogus" (Log.append log (Record.encode_fields [ "?"; "junk" ]));
+  ok_exn "close raw" (Log.close log);
+  (match Durable.open_ path with
+  | Error _ -> ()
+  | Ok { Durable.durable = d; _ } ->
+      ignore (Durable.close d);
+      Alcotest.fail "an undecodable record must not replay silently");
+  cleanup path
+
+(* ------------------------------------------------- QCheck conformance *)
+
+let gen_op =
+  QCheck.Gen.(
+    let* s = int_range 0 12 in
+    let* p = oneofl [ "name"; "content"; "mark" ] in
+    let* v = oneofl [ "x"; "y"; "<&\"" ] in
+    let triple = tr ("r" ^ string_of_int s) p v in
+    frequency
+      [
+        (6, return (`Add triple));
+        (3, return (`Remove triple));
+        (1, return `Clear);
+        (1, return `Checkpoint);
+      ])
+
+let arbitrary_ops =
+  QCheck.make
+    QCheck.Gen.(list_size (int_range 0 60) gen_op)
+    ~print:(fun ops ->
+      String.concat "; "
+        (List.map
+           (function
+             | `Add t -> "add " ^ Triple.to_string t
+             | `Remove t -> "remove " ^ Triple.to_string t
+             | `Clear -> "clear"
+             | `Checkpoint -> "checkpoint")
+           ops))
+
+(* Random op sequences through the journaled path, then recovered, must
+   equal the same sequence through a plain in-memory trim — triple for
+   triple. Checkpoints interleave compaction into the stream. *)
+let prop_durable_conforms =
+  QCheck.Test.make ~name:"recovered durable trim equals in-memory trim"
+    ~count:60 arbitrary_ops (fun ops ->
+      let path = fresh_path () in
+      let { Durable.durable = d; _ } =
+        sok_exn "open" (Durable.open_ path)
+      in
+      let reference = Trim.create () in
+      List.iter
+        (fun op ->
+          (match op with
+          | `Add t -> ignore (Trim.add (Durable.trim d) t)
+          | `Remove t -> ignore (Trim.remove (Durable.trim d) t)
+          | `Clear -> Trim.clear (Durable.trim d)
+          | `Checkpoint -> sok_exn "checkpoint" (Durable.checkpoint d));
+          match op with
+          | `Add t -> ignore (Trim.add reference t)
+          | `Remove t -> ignore (Trim.remove reference t)
+          | `Clear -> Trim.clear reference
+          | `Checkpoint -> ())
+        ops;
+      sok_exn "close" (Durable.close d);
+      let { Durable.durable = d2; _ } =
+        sok_exn "recover" (Durable.open_ path)
+      in
+      let ok = Trim.equal_contents reference (Durable.trim d2) in
+      sok_exn "close2" (Durable.close d2);
+      (* And compaction of the recovered store is idempotent. *)
+      let { Durable.durable = d3; _ } =
+        sok_exn "reopen" (Durable.open_ path)
+      in
+      sok_exn "compact" (Durable.checkpoint d3);
+      sok_exn "close3" (Durable.close d3);
+      let { Durable.durable = d4; _ } =
+        sok_exn "recover-compacted" (Durable.open_ path)
+      in
+      let ok2 = Trim.equal_contents reference (Durable.trim d4) in
+      sok_exn "close4" (Durable.close d4);
+      cleanup path;
+      ok && ok2)
+
+(* Recovery from a crash at a random offset yields a prefix: re-running
+   the surviving records through a fresh trim always reproduces it. *)
+let prop_recovery_is_prefix =
+  QCheck.Test.make ~name:"crash recovery yields an op-stream prefix"
+    ~count:40
+    QCheck.(pair arbitrary_ops (int_range 0 10_000))
+    (fun (ops, cut_seed) ->
+      let path = fresh_path () in
+      let { Durable.durable = d; _ } =
+        sok_exn "open" (Durable.open_ ~policy:Log.Immediate path)
+      in
+      List.iter
+        (function
+          | `Add t -> ignore (Trim.add (Durable.trim d) t)
+          | `Remove t -> ignore (Trim.remove (Durable.trim d) t)
+          | `Clear -> Trim.clear (Durable.trim d)
+          | `Checkpoint -> ())
+        ops;
+      sok_exn "close" (Durable.close d);
+      let size = (read_bytes path |> String.length) in
+      ignore (Faults.cut_file path (cut_seed mod (size + 1)));
+      let recovered =
+        match Durable.open_ path with
+        | Ok { Durable.durable = d2; _ } ->
+            let t = Durable.trim d2 in
+            let l = Trim.to_list t in
+            sok_exn "close2" (Durable.close d2);
+            l
+        | Error e -> Alcotest.failf "recovery failed: %s" e
+      in
+      (* Replay op prefixes through a fresh trim until one matches. *)
+      let matches_prefix =
+        let t = Trim.create () in
+        let sorted l = List.sort Triple.compare l in
+        let target = sorted recovered in
+        let rec go remaining =
+          sorted (Trim.to_list t) = target
+          ||
+          match remaining with
+          | [] -> false
+          | op :: rest ->
+              (match op with
+              | `Add tr -> ignore (Trim.add t tr)
+              | `Remove tr -> ignore (Trim.remove t tr)
+              | `Clear -> Trim.clear t
+              | `Checkpoint -> ());
+              go rest
+        in
+        go ops
+      in
+      cleanup path;
+      matches_prefix)
+
+let suite =
+  [
+    ("crc32 vectors", `Quick, test_crc_vectors);
+    ("crc32 incremental", `Quick, test_crc_incremental);
+    ("field codec round-trip", `Quick, test_fields_roundtrip);
+    ("field codec rejects malformed", `Quick, test_fields_malformed);
+    ("record round-trip", `Quick, test_record_roundtrip);
+    ("record torn/corrupt classification", `Quick, test_record_classification);
+    ("log append and reopen", `Quick, test_log_append_reopen);
+    ("log group commit thresholds", `Quick, test_log_group_commit);
+    ("log unflushed batch lost cleanly", `Quick, test_log_unflushed_batch_lost);
+    ("log snapshot cycle", `Quick, test_log_snapshot_cycle);
+    ("log stale log discarded", `Quick, test_log_stale_log_discarded);
+    ("log ahead of snapshot rejected", `Quick,
+     test_log_ahead_of_snapshot_rejected);
+    ("log mid-log corruption is a hard error", `Quick,
+     test_log_corrupt_midlog_is_hard_error);
+    ("crash at every byte offset recovers", `Quick, test_crash_at_every_offset);
+    ("crash at random offsets with snapshot", `Quick,
+     test_crash_random_offsets_with_snapshot);
+    ("durable trim round-trip", `Quick, test_durable_roundtrip);
+    ("durable rollback journaled", `Quick, test_durable_rollback_journaled);
+    ("durable checkpoint and idempotent compaction", `Quick,
+     test_durable_checkpoint);
+    ("durable refuses undecodable records", `Quick,
+     test_durable_undecodable_record);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_durable_conforms; prop_recovery_is_prefix ]
