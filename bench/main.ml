@@ -645,6 +645,44 @@ let application_tests () =
       (staged (fun () -> Si_slimpad.Slimpad.find_scraps app pad "TODO"));
   ]
 
+(* ------------------------------------------------- E13 lint benches *)
+
+let lint_tests () =
+  (* A realistic ICU pad, padded with filler bundles up to the target
+     store size; the lint pass runs the full 16-rule catalog. *)
+  let app_of_size n =
+    let desk = Desktop.create () in
+    let spec = Si_workload.Icu.build_desktop ~patients:6 ~seed:11 desk in
+    let app = Si_slimpad.Slimpad.create desk in
+    let pad = Si_workload.Icu.build_worksheet app spec in
+    let dmi = Si_slimpad.Slimpad.dmi app in
+    let root = Dmi.root_bundle dmi pad in
+    let i = ref 0 in
+    while Dmi.triple_count dmi < n do
+      incr i;
+      ignore
+        (Si_slimpad.Slimpad.add_bundle app ~parent:root
+           ~name:(Printf.sprintf "filler-%d" !i)
+           ~pos:{ Dmi.x = !i; y = !i }
+           ())
+    done;
+    app
+  in
+  let bench n =
+    let app = app_of_size n in
+    let ctx =
+      Si_lint.context
+        ~dmi:(Si_slimpad.Slimpad.dmi app)
+        ~marks:(Si_slimpad.Slimpad.marks app)
+        ~resilient:(Si_slimpad.Slimpad.resilient app)
+        ()
+    in
+    Test.make
+      ~name:(Printf.sprintf "full catalog @ %d triples" n)
+      (staged (fun () -> Si_lint.run ctx))
+  in
+  List.map bench [ 1_000; 10_000 ]
+
 (* ----------------------------------------- substrate parsing benches *)
 
 let substrate_tests () =
@@ -936,6 +974,7 @@ let () =
     (wal_recovery_tests ());
   run_group ~name:"application-level (ICU worksheet, 6 patients)"
     (application_tests ());
+  run_group ~name:"E13 static analysis (full rule catalog)" (lint_tests ());
   run_group ~name:"substrate parsers" (substrate_tests ());
   (match json_path with Some path -> write_json path | None -> ());
   Printf.printf "\nbench: done\n"

@@ -563,6 +563,180 @@ let cmd_wal_compact dir =
                 (Si_wal.Log.generation log);
               0))
 
+(* ----------------------------------------------------------------- lint *)
+
+(* `slimpad lint` analyses without opening the log or recovering
+   anything: a journaled workspace is rebuilt offline from Log.dump, so
+   a second lint run sees the same torn tail the first one reported.
+   Only --fix opens the store for writing. *)
+
+let raw_triples_of_root root =
+  let root = Si_xmlk.Node.strip_whitespace root in
+  let triples_el =
+    (* A <slimpad-store> wraps its <triples>; a bare Trim.save file IS
+       the <triples> element. *)
+    match root with
+    | Si_xmlk.Node.Element { name = "triples"; _ } -> Some root
+    | _ -> Si_xmlk.Node.find_child "triples" root
+  in
+  match triples_el with
+  | None -> None
+  | Some triples -> (
+      match Si_triple.Trim.triples_of_xml triples with
+      | Ok l -> Some l
+      | Error _ -> None)
+
+let raw_triples_of_file path =
+  match Si_xmlk.Parse.file path with
+  | Error _ -> None
+  | Ok root -> raw_triples_of_root root
+
+let raw_triples_of_payload payload =
+  match Si_xmlk.Parse.node payload with
+  | Error _ -> None
+  | Ok root -> raw_triples_of_root root
+
+let lint_context_of_app ?raw_triples ?store_file ?wal_path app =
+  Si_lint.context ~dmi:(Slimpad.dmi app) ~marks:(Slimpad.marks app)
+    ~resilient:(Slimpad.resilient app) ?raw_triples ?store_file ?wal_path ()
+
+(* The read-only analysis context for a target; warnings (unloadable
+   base documents, an unrestorable store) go to stderr but never stop
+   the lint — WAL rules still run over whatever is on disk. *)
+let lint_context target =
+  if Sys.file_exists target && not (Sys.is_directory target) then
+    (* A bare pad store file. *)
+    let desk = Desktop.create () in
+    match Slimpad.load desk target with
+    | Error msg ->
+        Printf.eprintf "warning: %s: %s\n" target msg;
+        Ok (Si_lint.context ?raw_triples:(raw_triples_of_file target)
+              ~store_file:target ())
+    | Ok app ->
+        Ok (lint_context_of_app
+              ?raw_triples:(raw_triples_of_file target)
+              ~store_file:target app)
+  else if Sys.file_exists target then begin
+    let desk, problems = Workspace.load_desktop target in
+    List.iter (Printf.eprintf "warning: %s\n") problems;
+    if Workspace.wal_present target then
+      let wal_path = Workspace.wal_path target in
+      match Si_wal.Log.dump wal_path with
+      | Error e -> Error (Si_wal.Log.error_to_string e)
+      | Ok dump -> (
+          let raw_triples =
+            Option.bind dump.Si_wal.Log.dump_snapshot raw_triples_of_payload
+          in
+          match Slimpad.restore_offline desk dump with
+          | Error msg ->
+              (* Unrestorable snapshot: lint what the WAL rules can see. *)
+              Printf.eprintf "warning: %s\n" msg;
+              Ok (Si_lint.context ?raw_triples ~wal_path ())
+          | Ok (app, _) ->
+              Ok (lint_context_of_app ?raw_triples ~wal_path app))
+    else
+      let store = Workspace.pad_store target in
+      if not (Sys.file_exists store) then
+        Error (Printf.sprintf "%s: no pad.xml or pad.wal" target)
+      else
+        match Slimpad.load desk store with
+        | Error msg ->
+            Printf.eprintf "warning: %s: %s\n" store msg;
+            Ok (Si_lint.context ?raw_triples:(raw_triples_of_file store)
+                  ~store_file:store ())
+        | Ok app ->
+            Ok (lint_context_of_app
+                  ?raw_triples:(raw_triples_of_file store)
+                  ~store_file:store app)
+  end
+  else Error (Printf.sprintf "%s: no such file or directory" target)
+
+(* Apply the safe repairs against a live (writable) store, persist
+   them, and release it. Returns the fix report. *)
+let lint_apply_fixes target diags =
+  let finish app report =
+    let dedup_via_compaction =
+      Slimpad.persistence app = Slimpad.Journaled
+      && report.Si_lint.duplicate_triples > 0
+    in
+    match
+      if dedup_via_compaction then Slimpad.wal_compact app
+      else Stdlib.Ok ()
+    with
+    | Error _ as e -> e
+    | Ok () -> (
+        match
+          match Slimpad.persistence app with
+          | Slimpad.Journaled ->
+              (* Flush the repair records, then close so the re-lint
+                 reads a quiescent log. *)
+              Result.bind (Slimpad.wal_sync app) (fun () ->
+                  Slimpad.wal_close app)
+          | Slimpad.Whole_file ->
+              if Sys.is_directory target then
+                Slimpad.save app (Workspace.pad_store target)
+              else Slimpad.save app target
+        with
+        | Error _ as e -> e
+        | Ok () -> Stdlib.Ok report)
+  in
+  let open_live () =
+    if Sys.file_exists target && not (Sys.is_directory target) then
+      Slimpad.load (Desktop.create ()) target
+    else Workspace.open_workspace target
+  in
+  match open_live () with
+  | Error _ as e -> e
+  | Ok app -> (
+      match Si_lint.fix (lint_context_of_app app) diags with
+      | Error _ as e -> e
+      | Ok report -> finish app report)
+
+let cmd_lint target json fix =
+  let print_report diags =
+    if json then print_string (Si_lint.to_json diags)
+    else print_string (Si_lint.to_text diags)
+  in
+  let exit_code diags =
+    if Si_lint.count Si_lint.Error diags > 0 then 1 else 0
+  in
+  match lint_context target with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok ctx -> (
+      let diags = Si_lint.run ctx in
+      if not fix then begin
+        print_report diags;
+        exit_code diags
+      end
+      else if not (List.exists (fun d -> d.Si_lint.fixable) diags) then begin
+        Printf.eprintf "nothing to fix\n";
+        print_report diags;
+        exit_code diags
+      end
+      else
+        match lint_apply_fixes target diags with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1
+        | Ok report -> (
+            Printf.eprintf
+              "fixed: removed %d orphaned layout triple(s), dropped %d \
+               duplicate triple(s)\n"
+              report.Si_lint.removed_layout_triples
+              report.Si_lint.duplicate_triples;
+            (* Re-lint from disk so the report reflects what the next
+               open will actually see. *)
+            match lint_context target with
+            | Error msg ->
+                Printf.eprintf "error: %s\n" msg;
+                1
+            | Ok ctx ->
+                let diags = Si_lint.run ctx in
+                print_report diags;
+                exit_code diags))
+
 (* -------------------------------------------------------------- cmdliner *)
 
 open Cmdliner
@@ -812,6 +986,27 @@ let history_cmd =
        ~doc:"The pad's construction history (the DMI operation journal)")
     Term.(const cmd_history $ dir_arg $ last)
 
+let lint_cmd =
+  let target =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET"
+         ~doc:"Workspace directory, or a bare pad store file (a pad.xml).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit diagnostics as a JSON array instead of text.")
+  in
+  let fix =
+    Arg.(value & flag & info [ "fix" ]
+         ~doc:"Apply the mechanically safe repairs (drop exact-duplicate \
+               triples, GC orphaned layout triples), persist them, and \
+               re-lint.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static analysis of the store, marks, and write-ahead log \
+             (read-only unless --fix)")
+    Term.(const cmd_lint $ target $ json $ fix)
+
 let wal_enable_cmd =
   Cmd.v
     (Cmd.info "wal-enable"
@@ -837,7 +1032,7 @@ let main =
     [
       init_cmd; show_cmd; pads_cmd; docs_cmd; add_pad_cmd; add_bundle_cmd;
       add_scrap_cmd; resolve_cmd; annotate_cmd; link_cmd; drift_cmd;
-      query_cmd; validate_cmd; stats_cmd; health_cmd; history_cmd; model_cmd;
+      query_cmd; validate_cmd; lint_cmd; stats_cmd; health_cmd; history_cmd; model_cmd;
       import_cmd; export_html_cmd; template_cmd; instantiate_cmd;
       wal_enable_cmd; wal_inspect_cmd; wal_compact_cmd;
     ]

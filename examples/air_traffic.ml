@@ -70,4 +70,11 @@ let () =
       Printf.printf "--- %d strip(s) stale after flight-data update ---\n"
         (List.length drifts));
   ignore (Slimpad.refresh_pad app pad);
+  (* The CI lint job sets EXAMPLE_PAD_DIR and audits the finished pad
+     with `slimpad lint`. *)
+  (match Sys.getenv_opt "EXAMPLE_PAD_DIR" with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      ok (Slimpad.save app (Filename.concat dir "pad.xml")));
   print_endline "air_traffic: OK"

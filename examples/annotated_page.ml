@@ -107,4 +107,11 @@ let () =
       notes_by_excerpt
   in
   print_endline enhanced;
+  (* The CI lint job sets EXAMPLE_PAD_DIR and audits the finished pad
+     with `slimpad lint`. *)
+  (match Sys.getenv_opt "EXAMPLE_PAD_DIR" with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      ok (Slimpad.save app (Filename.concat dir "pad.xml")));
   print_endline "annotated_page: OK"

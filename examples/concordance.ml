@@ -55,4 +55,11 @@ let () =
     "--- %d scraps superimposed over %d characters of base text ---\n"
     total_scraps
     (String.length Concordance.play_text);
+  (* The CI lint job sets EXAMPLE_PAD_DIR and audits the finished pad
+     with `slimpad lint`. *)
+  (match Sys.getenv_opt "EXAMPLE_PAD_DIR" with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      ok (Slimpad.save app (Filename.concat dir "pad.xml")));
   print_endline "concordance: OK"

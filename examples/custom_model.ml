@@ -91,4 +91,11 @@ let () =
   Printf.printf "--- RDF/XML export: %d bytes, starts with ---\n%s...\n"
     (String.length rdf)
     (String.sub rdf 0 120);
+  (* The CI lint job sets EXAMPLE_PAD_DIR and audits the stored triples
+     with `slimpad lint`. *)
+  (match Sys.getenv_opt "EXAMPLE_PAD_DIR" with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      ok (Trim.save trim (Filename.concat dir "pad.xml")));
   print_endline "custom_model: OK"

@@ -117,4 +117,11 @@ let () =
         (Dmi.scrap_name (Slimpad.dmi weekend) s)
         (ok (Slimpad.scrap_content weekend s)))
     todo_scraps;
+  (* The CI lint job sets EXAMPLE_PAD_DIR and audits the finished pad
+     with `slimpad lint`. *)
+  (match Sys.getenv_opt "EXAMPLE_PAD_DIR" with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      ok (Slimpad.save weekend (Filename.concat dir "pad.xml")));
   print_endline "icu_rounds: OK"

@@ -94,4 +94,11 @@ let () =
     (ok
        (Slimpad.scrap_content app2
           (List.hd (Slimpad.find_scraps app2 pad2 "total"))));
+  (* The CI lint job sets EXAMPLE_PAD_DIR and audits the finished pad
+     with `slimpad lint`. *)
+  (match Sys.getenv_opt "EXAMPLE_PAD_DIR" with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      ok (Slimpad.save app (Filename.concat dir "pad.xml")));
   print_endline "quickstart: OK"

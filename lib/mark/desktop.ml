@@ -78,4 +78,15 @@ let install_modules ?wrap t mgr =
   Manager.register_exn mgr
     (Pdf_mark.mark_module ~open_document:(w (open_pdf t)) ());
   Manager.register_exn mgr
-    (Html_mark.mark_module ~open_page:(w (open_html t)) ())
+    (Html_mark.mark_module ~open_page:(w (open_html t)) ());
+  (* Static address linters ride along: purely syntactic, they never
+     open a document, so they take no opener (and no wrap). *)
+  Manager.register_address_linter mgr ~mark_type:"excel"
+    Excel_mark.lint_address;
+  Manager.register_address_linter mgr ~mark_type:"xml" Xml_mark.lint_address;
+  Manager.register_address_linter mgr ~mark_type:"text" Text_mark.lint_address;
+  Manager.register_address_linter mgr ~mark_type:"word" Word_mark.lint_address;
+  Manager.register_address_linter mgr ~mark_type:"slides"
+    Slides_mark.lint_address;
+  Manager.register_address_linter mgr ~mark_type:"pdf" Pdf_mark.lint_address;
+  Manager.register_address_linter mgr ~mark_type:"html" Html_mark.lint_address

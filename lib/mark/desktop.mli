@@ -49,6 +49,8 @@ type opener_wrap = {
 
 val install_modules : ?wrap:opener_wrap -> t -> Manager.t -> unit
 (** Registers the seven standard mark modules (excel, xml, text, word,
-    slides, pdf, html), each resolving against this desktop. When [wrap]
-    is given, every module's opener goes through it.
+    slides, pdf, html), each resolving against this desktop, plus their
+    static address linters ({!Manager.register_address_linter}) — those
+    are purely syntactic and bypass [wrap]. When [wrap] is given, every
+    module's opener goes through it.
     @raise Invalid_argument if one of those module names is taken. *)

@@ -107,6 +107,13 @@ let resolve_address open_workbook a =
           res_source = Printf.sprintf "%s!%s" a.file_name where;
         }
 
+let known_fields = [ "fileName"; "sheetName"; "range"; "definedName" ]
+
+let lint_address fields =
+  Fields.lint ~known:known_fields
+    ~parse:(fun fs -> Result.map ignore (address_of_fields fs))
+    fields
+
 let mark_module ?(module_name = "excel") ~open_workbook () =
   {
     Manager.module_name;

@@ -26,3 +26,31 @@ let get_float fields name =
       | None -> Error (Printf.sprintf "field %S is not a number: %S" name v))
 
 let ( let* ) = Result.bind
+
+(* Generic address lint: parse failure, duplicated field names, and
+   fields the module's codec does not know about. *)
+let lint ~known ~parse fields =
+  let parse_problems =
+    match parse fields with
+    | Ok () -> []
+    | Error msg -> [ msg ]
+  in
+  let names = List.map fst fields in
+  let duplicate_problems =
+    List.sort_uniq String.compare names
+    |> List.filter_map (fun n ->
+           let occurrences =
+             List.length (List.filter (String.equal n) names)
+           in
+           if occurrences > 1 then
+             Some
+               (Printf.sprintf "field %S appears %d times" n occurrences)
+           else None)
+  in
+  let unknown_problems =
+    List.sort_uniq String.compare names
+    |> List.filter_map (fun n ->
+           if List.mem n known then None
+           else Some (Printf.sprintf "unknown field %S" n))
+  in
+  parse_problems @ duplicate_problems @ unknown_problems

@@ -10,3 +10,13 @@ val get_float : (string * string) list -> string -> (float, string) result
 
 val ( let* ) :
   ('a, 'e) result -> ('a -> ('b, 'e) result) -> ('b, 'e) result
+
+val lint :
+  known:string list ->
+  parse:((string * string) list -> (unit, string) result) ->
+  (string * string) list ->
+  string list
+(** Generic address well-formedness check used by the mark modules'
+    [lint_address] hooks: reports the codec's parse error (if any),
+    duplicated field names, and fields not in [known]. Returns a list of
+    human-readable problems; empty means well-formed. *)

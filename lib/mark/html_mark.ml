@@ -90,6 +90,13 @@ let resolve_address open_page a =
       res_source = a.file_name ^ fragment;
     }
 
+let known_fields = [ "fileName"; "anchor"; "nodePath"; "selector" ]
+
+let lint_address fields =
+  Fields.lint ~known:known_fields
+    ~parse:(fun fs -> Result.map ignore (address_of_fields fs))
+    fields
+
 let mark_module ?(module_name = "html") ~open_page () =
   {
     Manager.module_name;

@@ -12,6 +12,8 @@ type change = Mark_put of Mark.t | Mark_removed of string
 type t = {
   modules : (string, mark_module) Hashtbl.t;  (* by module_name *)
   marks : (string, Mark.t) Hashtbl.t;  (* by mark id *)
+  linters : (string, (string * string) list -> string list) Hashtbl.t;
+      (* by mark type *)
   mutable counter : int;
   mutable observer : (change -> unit) option;
 }
@@ -20,6 +22,7 @@ let create () =
   {
     modules = Hashtbl.create 8;
     marks = Hashtbl.create 64;
+    linters = Hashtbl.create 8;
     counter = 0;
     observer = None;
   }
@@ -50,6 +53,15 @@ let modules_for_type t mark_type =
 
 let supported_types t =
   Hashtbl.fold (fun _ m acc -> m.handles_type :: acc) t.modules []
+  |> List.sort_uniq String.compare
+
+let register_address_linter t ~mark_type f =
+  Hashtbl.replace t.linters mark_type f
+
+let address_linter t mark_type = Hashtbl.find_opt t.linters mark_type
+
+let linted_types t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.linters []
   |> List.sort_uniq String.compare
 
 let find_module ?module_name t mark_type =

@@ -39,6 +39,24 @@ val module_names : t -> string list
 val modules_for_type : t -> string -> mark_module list
 val supported_types : t -> string list
 
+(** {2 Address linters}
+
+    A static, side-effect-free companion to {!mark_module.validate}:
+    given a mark's address fields, report {e all} the well-formedness
+    problems (parse failures, duplicate fields, unknown fields) without
+    touching the base layer. {!Desktop.install_modules} registers one
+    per mark type; [Si_lint] dispatches through them. *)
+
+val register_address_linter :
+  t -> mark_type:string -> ((string * string) list -> string list) -> unit
+(** At most one linter per mark type; a second call replaces the first. *)
+
+val address_linter :
+  t -> string -> ((string * string) list -> string list) option
+
+val linted_types : t -> string list
+(** Mark types with a registered address linter, sorted. *)
+
 val find_module :
   ?module_name:string -> t -> string -> (mark_module, string) result
 (** The module that handles a mark type ([module_name] selects a specific

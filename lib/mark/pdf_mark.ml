@@ -62,6 +62,13 @@ let resolve_address open_document a =
                 Printf.sprintf "%s p.%d" a.file_name a.region.Pd.page;
             })
 
+let known_fields = [ "fileName"; "page"; "x"; "y"; "w"; "h" ]
+
+let lint_address fields =
+  Fields.lint ~known:known_fields
+    ~parse:(fun fs -> Result.map ignore (address_of_fields fs))
+    fields
+
 let mark_module ?(module_name = "pdf") ~open_document () =
   {
     Manager.module_name;

@@ -58,6 +58,13 @@ let resolve_address open_presentation a =
               a.target.Sl.slide a.target.Sl.shape_id;
         }
 
+let known_fields = [ "fileName"; "slide"; "shapeId"; "bullet" ]
+
+let lint_address fields =
+  Fields.lint ~known:known_fields
+    ~parse:(fun fs -> Result.map ignore (address_of_fields fs))
+    fields
+
 let mark_module ?(module_name = "slides") ~open_presentation () =
   {
     Manager.module_name;

@@ -58,6 +58,13 @@ let resolve_address open_document context_lines a =
           res_source = Printf.sprintf "%s:%d" a.file_name line;
         }
 
+let known_fields = [ "fileName"; "offset"; "length"; "selected" ]
+
+let lint_address fields =
+  Fields.lint ~known:known_fields
+    ~parse:(fun fs -> Result.map ignore (address_of_fields fs))
+    fields
+
 let mark_module ?(module_name = "text") ?(context_lines = 2) ~open_document ()
     =
   {

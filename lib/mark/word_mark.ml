@@ -71,6 +71,13 @@ let resolve_address open_document a =
           res_source = Printf.sprintf "%s ¶%d" a.file_name span.Wp.para;
         }
 
+let known_fields = [ "fileName"; "bookmark"; "para"; "offset"; "length" ]
+
+let lint_address fields =
+  Fields.lint ~known:known_fields
+    ~parse:(fun fs -> Result.map ignore (address_of_fields fs))
+    fields
+
 let mark_module ?(module_name = "word") ~open_document () =
   {
     Manager.module_name;

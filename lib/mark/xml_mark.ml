@@ -120,6 +120,13 @@ let resolve_address open_document a =
           res_source = source;
         }
 
+let known_fields = [ "fileName"; "xmlPath"; "selected" ]
+
+let lint_address fields =
+  Fields.lint ~known:known_fields
+    ~parse:(fun fs -> Result.map ignore (address_of_fields fs))
+    fields
+
 let mark_module ?(module_name = "xml") ~open_document () =
   {
     Manager.module_name;

@@ -21,6 +21,13 @@ val type_name : string
 val fields_of_address : address -> (string * string) list
 val address_of_fields : (string * string) list -> (address, string) result
 
+val known_fields : string list
+(** The address field names this module's codec understands. *)
+
+val lint_address : (string * string) list -> string list
+(** All address well-formedness problems ({!Fields.lint}): codec parse
+    failure, duplicate fields, unknown fields. Empty means well-formed. *)
+
 val mark_module :
   ?module_name:string ->
   open_document:(string -> (Si_xmlk.Node.t, string) result) ->

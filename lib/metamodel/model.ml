@@ -155,6 +155,8 @@ let superconstructs m c =
   in
   walk [ c ] []
 
+let direct_superconstructs = direct_supers
+
 let generalize m ~sub ~super =
   ignore
     (Trim.add m.trim

@@ -92,6 +92,9 @@ val generalize : t -> sub:construct -> super:construct -> unit
 val superconstructs : t -> construct -> construct list
 (** Transitive, nearest first; cycle-safe. *)
 
+val direct_superconstructs : t -> construct -> construct list
+(** Only the declared [rdfs:subClassOf] edges, not the closure. *)
+
 val is_subconstruct_of : t -> sub:construct -> super:construct -> bool
 (** Reflexive-transitive. *)
 

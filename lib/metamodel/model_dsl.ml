@@ -160,18 +160,14 @@ let print m =
   Buffer.add_char buf '\n';
   List.iter
     (fun c ->
-      (* Direct supertypes only: print the nearest one per declaration.
-         superconstructs is transitive, so filter to direct edges by
-         re-deriving through the model's triples is overkill here; the
-         transitive list's order puts direct parents first, but printing
-         all would duplicate edges on reparse (harmless: generalize is
-         idempotent). Print them all — reparse reproduces the closure. *)
+      (* Direct edges only: printing the transitive closure would make
+         parse (print m) declare extra subclass triples on reparse. *)
       List.iter
         (fun super ->
           Buffer.add_string buf
             (Printf.sprintf "%s isa %s\n" (Model.construct_name m c)
                (Model.construct_name m super)))
-        (Model.superconstructs m c))
+        (Model.direct_superconstructs m c))
     constructs;
   Buffer.add_char buf '\n';
   List.iter

@@ -34,6 +34,9 @@ let bundle_decoration = "bundleDecoration"
 let decor_kind = "decorKind"
 let decor_pos = "decorPos"
 
+let layout_predicates =
+  [ bundle_pos; bundle_width; bundle_height; scrap_pos; decor_pos ]
+
 let install trim =
   let model = Model.define trim ~name:"bundle-scrap" in
   let slimpad = Model.construct model "SlimPad" in

@@ -69,3 +69,10 @@ val decor_kind : string
 
 val decor_pos : string
 (** Decoration -> Coordinate, 0..1 *)
+
+val layout_predicates : string list
+(** The purely presentational predicates (positions and sizes):
+    [bundlePos], [bundleWidth], [bundleHeight], [scrapPos], [decorPos].
+    A triple under one of these whose subject is not a typed instance
+    carries no information — [Si_lint] flags (and can GC) such
+    orphans. *)

@@ -479,6 +479,45 @@ type wal_recovery = {
   from_snapshot : bool;
 }
 
+type offline_restore = { restored : int; skipped : int }
+
+(* Rebuild an application from a WAL dump without opening the log:
+   no truncation, no generation reset, no hooks — the returned app is
+   Whole_file and the files on disk are untouched. Records that fail
+   to apply are skipped rather than fatal (Si_lint reports them as
+   stream inconsistencies); a stale log's records are all skipped,
+   mirroring what recovery would discard. *)
+let restore_offline ?store ?resilient ?wrap desktop (d : Log.dump) =
+  let app_result =
+    match d.Log.dump_snapshot with
+    | None -> Ok (create ?store ?resilient ?wrap desktop)
+    | Some xml -> (
+        match Xml.Parse.node xml with
+        | Error e ->
+            Error
+              (Printf.sprintf "wal: bad snapshot payload: %s"
+                 (Xml.Parse.error_to_string e))
+        | Ok root ->
+            of_store_root ?store ?resilient ?wrap desktop
+              (Xml.Node.strip_whitespace root))
+  in
+  match app_result with
+  | Error _ as e -> e
+  | Ok app ->
+      let stats =
+        if d.Log.dump_stale_log then
+          { restored = 0; skipped = List.length d.Log.dump_records }
+        else
+          List.fold_left
+            (fun stats (r : Log.dump_record) ->
+              match apply_record app r.Log.dump_payload with
+              | Ok () -> { stats with restored = stats.restored + 1 }
+              | Error _ -> { stats with skipped = stats.skipped + 1 })
+            { restored = 0; skipped = 0 }
+            d.Log.dump_records
+      in
+      Ok (app, stats)
+
 let open_wal ?store ?resilient ?wrap ?policy desktop path =
   match Log.open_ ?policy path with
   | Error e -> Error (Log.error_to_string e)

@@ -188,6 +188,27 @@ val open_wal :
     Mid-log corruption or an undecodable record is a hard error — never
     a silent partial replay. *)
 
+type offline_restore = {
+  restored : int;  (** Dump records applied on top of the snapshot. *)
+  skipped : int;
+      (** Records that failed to apply, or — for a stale log — every
+          record, since recovery would discard them all. *)
+}
+
+val restore_offline :
+  ?store:(module Si_triple.Store.S) ->
+  ?resilient:Si_mark.Resilient.t ->
+  ?wrap:Si_mark.Desktop.opener_wrap ->
+  Si_mark.Desktop.t ->
+  Si_wal.Log.dump -> (t * offline_restore, string) result
+(** Rebuild an application from {!Si_wal.Log.dump} without opening the
+    log: the files on disk are untouched (no torn-tail truncation, no
+    generation reset), no hooks are installed, and the result persists
+    as [Whole_file]. Unlike {!open_wal}, a record that fails to apply
+    is skipped, not fatal — static analysis ({!Si_lint}) wants the best
+    reconstructable state plus the damage reported separately. Fails
+    only when the snapshot payload itself cannot be parsed. *)
+
 val enable_wal : ?policy:Si_wal.Log.sync_policy -> t -> string -> (unit, string) result
 (** Convert a whole-file application to journaled persistence: cut a
     snapshot of the current state at the given WAL path and start

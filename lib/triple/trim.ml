@@ -234,6 +234,19 @@ let triple_of_xml node =
       | _ -> Error "a <t> element needs exactly one <r> or <l> child")
   | _ -> Error "a <t> element needs s and p attributes"
 
+let triples_of_xml root =
+  match root with
+  | Xml.Node.Element { name = "triples"; _ } ->
+      let rec load acc = function
+        | [] -> Ok (List.rev acc)
+        | node :: rest -> (
+            match triple_of_xml node with
+            | Ok triple -> load (triple :: acc) rest
+            | Error _ as e -> e)
+      in
+      load [] (Xml.Node.find_children "t" root)
+  | _ -> Error "expected a <triples> root element"
+
 let of_xml ?store root =
   match root with
   | Xml.Node.Element { name = "triples"; _ } ->

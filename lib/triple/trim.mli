@@ -128,6 +128,13 @@ val predicates : t -> string list
 
 val to_xml : t -> Si_xmlk.Node.t
 val of_xml : ?store:(module Store.S) -> Si_xmlk.Node.t -> (t, string) result
+
+val triples_of_xml : Si_xmlk.Node.t -> (Triple.t list, string) result
+(** The raw triple list of a [<triples>] element, in document order and
+    {e preserving duplicates} — unlike {!of_xml}, which loads into a
+    store and therefore dedups. Lint uses this to spot duplicate triples
+    in persisted files. *)
+
 val save : t -> string -> (unit, string) result
 (** Crash-safe: written via a temp file renamed into place
     ({!Si_xmlk.Print.to_file_atomic}); a crash mid-write never leaves a

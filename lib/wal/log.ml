@@ -347,6 +347,90 @@ type info = {
   info_stale_log : bool;
 }
 
+type dump_record = { dump_offset : int; dump_payload : string }
+
+type dump = {
+  dump_log_generation : int option;
+  dump_snapshot_generation : int option;
+  dump_snapshot : string option;
+  dump_records : dump_record list;
+  dump_torn_bytes : int;
+  dump_stale_log : bool;
+  dump_corrupt : (int * int * string) option;
+  dump_problems : string list;
+}
+
+let dump path =
+  let snap_file = snapshot_path path in
+  let snap, snap_problems =
+    if not (Sys.file_exists snap_file) then (None, [])
+    else
+      match read_file snap_file with
+      | Error e -> (None, [ error_to_string e ])
+      | Ok contents -> (
+          match parse_snapshot snap_file contents with
+          | Ok (gen, payload) -> (Some (gen, payload), [])
+          | Error e -> (None, [ error_to_string e ]))
+  in
+  let snap_gen = Option.map fst snap in
+  let base ?log_gen ?(records = []) ?(torn = 0) ?(stale = false) ?corrupt
+      problems =
+    {
+      dump_log_generation = log_gen;
+      dump_snapshot_generation = snap_gen;
+      dump_snapshot = Option.map snd snap;
+      dump_records = records;
+      dump_torn_bytes = torn;
+      dump_stale_log = stale;
+      dump_corrupt = corrupt;
+      dump_problems = snap_problems @ problems;
+    }
+  in
+  if not (Sys.file_exists path) then
+    if snap = None && snap_problems = [] then
+      Error (Io (Printf.sprintf "%s: no log or snapshot present" path))
+    else Ok (base [])
+  else
+    match read_file path with
+    | Error e -> Error e
+    | Ok contents -> (
+        let total = String.length contents in
+        if total < header_size then
+          if
+            is_prefix ~prefix:log_magic
+              (String.sub contents 0 (min total magic_size))
+          then Ok (base ~torn:total [])
+          else Ok (base [ "log header: file too short and not a torn header" ])
+        else if String.sub contents 0 magic_size <> log_magic then
+          Ok (base [ "log header: wrong magic (not a Si_wal log)" ])
+        else
+          let gen = Record.get_u32 contents magic_size in
+          let rec walk index pos acc =
+            match Record.read contents ~pos with
+            | Record.Record { payload; next } ->
+                walk (index + 1) next
+                  ({ dump_offset = pos; dump_payload = payload } :: acc)
+            | Record.End -> (List.rev acc, 0, None)
+            | Record.Torn _ -> (List.rev acc, total - pos, None)
+            | Record.Corrupt detail ->
+                (List.rev acc, 0, Some (index, pos, detail))
+          in
+          let records, torn, corrupt = walk 0 header_size [] in
+          let stale =
+            match snap_gen with Some sg -> sg > gen | None -> false
+          in
+          let problems =
+            match snap_gen with
+            | Some sg when sg < gen ->
+                [
+                  Printf.sprintf
+                    "log generation %d is ahead of snapshot generation %d" gen
+                    sg;
+                ]
+            | _ -> []
+          in
+          Ok (base ~log_gen:gen ~records ~torn ~stale ?corrupt problems))
+
 let inspect path =
   match load_snapshot path with
   | Error e -> Error e

@@ -110,3 +110,30 @@ val inspect : string -> (info, error) result
 (** Read-only examination of the pair of files at [path]; never
     modifies anything, so it reports torn tails rather than truncating
     them. Errors if neither file exists. *)
+
+type dump_record = { dump_offset : int; dump_payload : string }
+(** A decoded record and the byte offset its frame starts at. *)
+
+type dump = {
+  dump_log_generation : int option;
+      (** [None] when the header is torn or unreadable. *)
+  dump_snapshot_generation : int option;
+  dump_snapshot : string option;  (** Snapshot payload, when intact. *)
+  dump_records : dump_record list;
+      (** The valid record prefix, in append order, with offsets. *)
+  dump_torn_bytes : int;
+  dump_stale_log : bool;
+      (** Snapshot generation ahead of the log: records are superseded. *)
+  dump_corrupt : (int * int * string) option;
+      (** Mid-log damage as [(record index, byte offset, detail)]. *)
+  dump_problems : string list;
+      (** Header- or snapshot-level defects, human-readable. *)
+}
+
+val dump : string -> (dump, error) result
+(** Like {!inspect} but returns the decoded payloads themselves, with
+    provenance, and degrades instead of erroring: damage (bad headers,
+    corrupt snapshots, mid-log corruption) is reported inside the
+    {!dump} so an offline analyzer can diagnose a broken log it could
+    never replay. Only I/O failure — or neither file existing — is an
+    [Error]. Never modifies the files. *)

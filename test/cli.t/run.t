@@ -205,3 +205,31 @@ An existing whole-file workspace converts in place:
   pad.wal.snap
   $ slimpad pads ws4
   Concordance (5 bundles, 10 scraps)
+
+Static analysis: a freshly generated workspace lints clean, and the
+linter reads a corrupted one without touching it. Deleting a mark from
+the store file leaves its scrap's MarkHandle dangling (SL101); garbage
+appended to the log is a torn tail recovery would truncate (SL302):
+
+  $ slimpad init ws5 --scenario icu --seed 7 > /dev/null
+  $ slimpad lint ws5
+  no diagnostics
+  $ sed -i '/<mark id="mark-1" type="text">/,/<\/mark>/d' ws5/pad.xml
+  $ slimpad lint ws5
+  SL101 error   dangling-mark-handle: MarkHandle <markhandle-5> refers to missing mark "mark-1"  [resource <markhandle-5>]
+  1 error(s), 0 warning(s), 0 info
+  [1]
+  $ slimpad wal-enable ws5
+  enabled journaled persistence; state snapshot in pad.wal.snap
+  $ printf 'crash-torn-tail' >> ws5/pad.wal
+  $ slimpad lint ws5
+  SL101 error   dangling-mark-handle: MarkHandle <markhandle-5> refers to missing mark "mark-1"  [resource <markhandle-5>]
+  SL302 warning wal-torn-tail: torn tail of 15 byte(s); recovery would truncate to the last complete record  [ws5/pad.wal]
+  1 error(s), 1 warning(s), 0 info
+  [1]
+
+Linting is read-only — the torn tail is still there afterwards, and a
+second run reports the same state:
+
+  $ slimpad lint --json ws5 | grep -c '"code"'
+  2

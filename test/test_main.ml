@@ -16,6 +16,7 @@ let () =
       ("mapping", Test_mapping.suite);
       ("query", Test_query.suite);
       ("slimpad", Test_slimpad.suite);
+      ("lint", Test_lint.suite);
       ("generic-dmi", Test_generic_dmi.suite);
       ("rdf & models", Test_rdf.suite);
       ("robustness", Test_robustness.suite);

@@ -268,6 +268,68 @@ let test_validate_subconstruct_accepted () =
   Model.set_property m p "holds" (Triple.resource b);
   check_bool "subconstruct satisfies range" true (Validate.is_valid m)
 
+let test_validate_lower_bounds () =
+  let trim = Trim.create () in
+  let m, table, attribute, _ = relational trim in
+  let t = Model.new_instance m table () in
+  (* Zero facts on tableName [1..1] and hasAttribute [1..*]: both lower
+     bounds are reported, each naming its predicate and shortfall. *)
+  let vs = Validate.check_instance m t in
+  let names = List.filter_map (fun v -> v.Validate.predicate) vs in
+  check_bool "tableName [1..1] reported" true (List.mem "tableName" names);
+  check_bool "hasAttribute [1..*] reported" true (List.mem "hasAttribute" names);
+  check_bool "problems count the shortfall" true
+    (List.for_all
+       (fun v ->
+         let re = Re.compile (Re.str "0 value(s), at least 1 required") in
+         Re.execp re v.Validate.problem)
+       vs);
+  (* Exactly the lower bound satisfies both. *)
+  let a = Model.new_instance m attribute () in
+  Model.set_property m a "attrName" (Triple.literal "id");
+  Model.set_property m t "tableName" (Triple.literal "T");
+  Model.set_property m t "hasAttribute" (Triple.resource a);
+  check_int "bounds met" 0 (List.length (Validate.check_instance m t));
+  (* [1..*] is unbounded above: more values stay fine. *)
+  let b = Model.new_instance m attribute () in
+  Model.set_property m b "attrName" (Triple.literal "name");
+  Model.add_property m t "hasAttribute" (Triple.resource b);
+  check_int "unbounded above" 0 (List.length (Validate.check_instance m t))
+
+let test_validate_inherited_lower_bound () =
+  (* A connector declared on a superconstruct binds instances of the
+     subconstruct: Table.tableName [1..1] applies to a View. *)
+  let trim = Trim.create () in
+  let m, table, _, string_ = relational trim in
+  let view = Model.construct m "View" in
+  Model.generalize m ~sub:view ~super:table;
+  let _ =
+    Model.connect m ~name:"definition" ~from_:view ~to_:string_
+      ~card:Model.one_card ()
+  in
+  let v = Model.new_instance m view () in
+  let vs = Validate.check_instance m v in
+  let names = List.filter_map (fun x -> x.Validate.predicate) vs in
+  check_bool "inherited tableName missing" true (List.mem "tableName" names);
+  check_bool "inherited hasAttribute missing" true
+    (List.mem "hasAttribute" names);
+  check_bool "own definition missing" true (List.mem "definition" names);
+  check_int "three lower bounds" 3 (List.length vs)
+
+let test_validate_batch_lower_bounds () =
+  (* The batch path reports every under-populated instance, once each. *)
+  let trim = Trim.create () in
+  let m, table, attribute, _ = relational trim in
+  let _t1 = Model.new_instance m table () in
+  let _t2 = Model.new_instance m table () in
+  let _a = Model.new_instance m attribute () in
+  let report = Validate.check m in
+  check_int "instances checked" 3 report.Validate.checked;
+  (* Two per empty Table (tableName, hasAttribute), one per empty
+     Attribute (attrName). *)
+  check_int "violations" 5 (List.length report.Validate.violations);
+  check_bool "not valid" false (Validate.is_valid m)
+
 let test_report_rendering () =
   let _, m, _, _, t, _ = valid_world () in
   Model.set_property m t "bogus" (Triple.literal "x");
@@ -433,7 +495,71 @@ let prop_model_persists =
               = List.length (Model.constructs m)
               && List.length (Model.connectors m2) = n))
 
-let props = List.map QCheck_alcotest.to_alcotest [ prop_model_persists ]
+(* Property: parse -> print -> parse is a fixed point of the DSL,
+   through implicit construct declarations (constructs first mentioned
+   in isa or property lines, in any order), comments, and every
+   cardinality form. The printer declares every construct explicitly
+   and derives isa lines from the direct (not transitive)
+   generalization edges, so the printed text must reparse to the same
+   model and reprint identically. *)
+let prop_dsl_roundtrip =
+  QCheck.Test.make ~name:"dsl parse/print round-trip" ~count:100
+    QCheck.(pair (int_range 2 7) (int_bound 1_000_000))
+    (fun (n, salt) ->
+      (* A little deterministic LCG on the salt keeps the case shape a
+         pure function of the QCheck input (shrinkable, replayable). *)
+      let state = ref (salt + 1) in
+      let rand bound =
+        state := !state * 48271 mod 0x7fffffff;
+        !state mod bound
+      in
+      let buf = Buffer.create 256 in
+      let line fmt =
+        Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt
+      in
+      line "model roundtrip";
+      line "# generated case %d/%d" n salt;
+      line "literal String";
+      for i = 0 to n - 1 do
+        match rand 3 with
+        | 0 -> line "construct C%d" i
+        | 1 -> line "mark K%d" i
+        | _ -> () (* left implicit: a later mention creates it *)
+      done;
+      line "";
+      (* Acyclic generalization, edges pointing at lower indices; either
+         end may still be undeclared at this point. *)
+      for i = 1 to n - 1 do
+        if rand 2 = 0 then line "C%d isa C%d" i (rand i)
+      done;
+      let cards =
+        [| ""; " [0..1]"; " [1..1]"; " [0..*]"; " [1..*]"; " [2..5]" |]
+      in
+      for i = 0 to n - 1 do
+        if rand 3 > 0 then
+          line "C%d.p%d : String%s" i i cards.(rand (Array.length cards));
+        if rand 2 = 0 then
+          line "C%d.ref%d : C%d%s # a reference" i i (rand n)
+            cards.(rand (Array.length cards))
+      done;
+      let text = Buffer.contents buf in
+      match Model_dsl.parse (Trim.create ()) text with
+      | Error e -> QCheck.Test.fail_reportf "parse failed: %s\n%s" e text
+      | Ok m -> (
+          let printed = Model_dsl.print m in
+          match Model_dsl.parse (Trim.create ()) printed with
+          | Error e ->
+              QCheck.Test.fail_reportf "reparse failed: %s\n%s" e printed
+          | Ok m2 ->
+              List.length (Model.constructs m2)
+              = List.length (Model.constructs m)
+              && List.length (Model.connectors m2)
+                 = List.length (Model.connectors m)
+              && Model_dsl.print m2 = printed))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_model_persists; prop_dsl_roundtrip ]
 
 let suite =
   [
@@ -458,6 +584,10 @@ let suite =
     ("validate: cardinality", `Quick, test_validate_cardinality);
     ("validate: subconstruct accepted", `Quick,
      test_validate_subconstruct_accepted);
+    ("validate: lower bounds", `Quick, test_validate_lower_bounds);
+    ("validate: inherited lower bound", `Quick,
+     test_validate_inherited_lower_bound);
+    ("validate: batch lower bounds", `Quick, test_validate_batch_lower_bounds);
     ("report rendering", `Quick, test_report_rendering);
     ("dsl: parse", `Quick, test_dsl_parse);
     ("dsl: default cardinality", `Quick, test_dsl_default_cardinality);
