@@ -937,16 +937,170 @@ let wal_recovery_tests () =
   in
   List.concat_map (fun n -> [ recover n; compact n ]) [ 100; 1_000; 10_000 ]
 
+(* ------------------------ E14: instrumentation overhead (this PR) *)
+
+(* Each hot operation measured twice: with span tracing off (the
+   default — only always-on counters fire) and with it on (spans +
+   latency histograms). The off/on delta is the cost of observing;
+   EXPERIMENTS.md E14 tracks it against a <5% budget for the traced
+   case and ~0 for the untraced one. The closures flip the global
+   switch themselves (one atomic store, noise-level) because bechamel
+   interleaves runs. *)
+let obs_overhead_tests () =
+  let t, _, _, _ = build_world 1_000 in
+  let trim = Dmi.trim t in
+  let subject =
+    match Trim.to_list trim with
+    | tr :: _ -> tr.Triple.subject
+    | [] -> assert false
+  in
+  let needle =
+    Si_query.Query.parse_exn "select ?s where { ?s scrapName \"scrap-500\" }"
+  in
+  let dir = Filename.temp_file "si_bench_obs" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let log, _ = Result.get_ok (Si_wal.Log.open_ (Filename.concat dir "a.wal")) in
+  let payload = String.make 64 'x' in
+  let off f () =
+    Si_obs.Span.disable ();
+    f ()
+  in
+  let on f () =
+    Si_obs.Span.enable ();
+    f ()
+  in
+  let select () = ignore (Trim.select ~subject trim) in
+  let query () = ignore (Si_query.Query.run trim needle) in
+  let append () = ignore (Si_wal.Log.append log payload) in
+  [
+    Test.make ~name:"trim select:point (tracing off)" (staged (off select));
+    Test.make ~name:"trim select:point (tracing on)" (staged (on select));
+    Test.make ~name:"query:point-lookup (tracing off)" (staged (off query));
+    Test.make ~name:"query:point-lookup (tracing on)" (staged (on query));
+    Test.make ~name:"wal append 64B (tracing off)" (staged (off append));
+    Test.make ~name:"wal append 64B (tracing on)" (staged (on append));
+  ]
+
+(* ------------------------------------- --compare: regression gating *)
+
+(* Rebuild per-group latency distributions from two --json files using
+   the mergeable Si_obs histograms, then compare group medians. The
+   per-test OLS estimates are treated as samples of their group's
+   latency profile; a group whose new median exceeds threshold x the
+   old median fails the gate. Groups present on only one side are
+   reported but never fail (the bench suite grows PR over PR). *)
+let compare_runs ~threshold ~report_path old_path new_path =
+  let load path =
+    let contents = In_channel.with_open_bin path In_channel.input_all in
+    match Si_obs.Json.of_string contents with
+    | Error e -> failwith (Printf.sprintf "%s: %s" path e)
+    | Ok json ->
+        let entries = Option.value (Si_obs.Json.list json) ~default:[] in
+        let groups = Hashtbl.create 32 in
+        List.iter
+          (fun entry ->
+            match
+              ( Option.bind (Si_obs.Json.mem "group" entry) Si_obs.Json.str,
+                Option.bind (Si_obs.Json.mem "ns_per_run" entry)
+                  Si_obs.Json.number )
+            with
+            | Some group, Some ns when Float.is_finite ns && ns >= 0. ->
+                let h =
+                  match Hashtbl.find_opt groups group with
+                  | Some h -> h
+                  | None ->
+                      let h = Si_obs.Histogram.create () in
+                      Hashtbl.add groups group h;
+                      h
+                in
+                Si_obs.Histogram.add h (int_of_float ns)
+            | _ -> ())
+          entries;
+        groups
+  in
+  let old_groups = load old_path and new_groups = load new_path in
+  let names tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
+  let all = List.sort_uniq compare (names old_groups @ names new_groups) in
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "bench comparison: %s -> %s (gate: median > %.1fx)" old_path new_path
+    threshold;
+  let failures = ref 0 in
+  List.iter
+    (fun group ->
+      match
+        (Hashtbl.find_opt old_groups group, Hashtbl.find_opt new_groups group)
+      with
+      | Some o, Some n ->
+          let om = Si_obs.Histogram.median o
+          and nm = Si_obs.Histogram.median n in
+          if om > 0. then begin
+            let ratio = nm /. om in
+            let verdict =
+              if ratio > threshold then begin
+                incr failures;
+                "FAIL"
+              end
+              else "ok"
+            in
+            line "  %-4s %-55s median %10.0fns -> %10.0fns (%.2fx)" verdict
+              group om nm ratio
+          end
+          else line "  ok   %-55s old median 0ns; skipped" group
+      | None, Some n ->
+          line "  new  %-55s median %10.0fns (no baseline)" group
+            (Si_obs.Histogram.median n)
+      | Some o, None ->
+          line "  gone %-55s median was %10.0fns" group
+            (Si_obs.Histogram.median o)
+      | None, None -> ())
+    all;
+  line "%s"
+    (if !failures = 0 then "comparison passed"
+     else Printf.sprintf "comparison FAILED: %d group(s) regressed" !failures);
+  let text = Buffer.contents buf in
+  print_string text;
+  (match report_path with
+  | Some path -> Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc text)
+  | None -> ());
+  if !failures = 0 then 0 else 1
+
 let () =
   let argv = Array.to_list Sys.argv in
-  let json_path =
+  let flag_value name =
     let rec find = function
-      | "--json" :: path :: _ -> Some path
+      | x :: value :: _ when x = name -> Some value
       | _ :: rest -> find rest
       | [] -> None
     in
     find argv
   in
+  let json_path = flag_value "--json" in
+  (match
+     let rec find = function
+       | "--compare" :: old_path :: new_path :: _ -> Some (old_path, new_path)
+       | _ :: rest -> find rest
+       | [] -> None
+     in
+     find argv
+   with
+  | Some (old_path, new_path) ->
+      let threshold =
+        match flag_value "--threshold" with
+        | Some t -> float_of_string t
+        | None -> 3.0
+      in
+      exit
+        (compare_runs ~threshold ~report_path:(flag_value "--report") old_path
+           new_path)
+  | None -> ());
+  (* Spans and histograms time through this clock; give them the same
+     monotonic source bechamel measures with (Toolkit.Monotonic_clock
+     wraps the clock_gettime(CLOCK_MONOTONIC) stubs, in ns). *)
+  let clock_witness = Toolkit.Monotonic_clock.make () in
+  Si_obs.Clock.set (fun () ->
+      int_of_float (Toolkit.Monotonic_clock.get clock_witness));
   smoke := List.mem "--smoke" argv;
   Printf.printf "superimposed-information benchmarks (paper: ICDE 2001)%s\n"
     (if !smoke then " [smoke mode]" else "");
@@ -976,5 +1130,8 @@ let () =
     (application_tests ());
   run_group ~name:"E13 static analysis (full rule catalog)" (lint_tests ());
   run_group ~name:"substrate parsers" (substrate_tests ());
+  run_group ~name:"E14 instrumentation overhead" (obs_overhead_tests ());
+  Si_obs.Span.disable ();
+  ignore (Si_obs.Span.drain ());
   (match json_path with Some path -> write_json path | None -> ());
   Printf.printf "\nbench: done\n"

@@ -471,32 +471,147 @@ let cmd_health dir pad_name inject_rate inject_source seed passes =
           if h.Slimpad.quarantined > 0 || h.Slimpad.dangling > 0 then 1
           else 0)
 
-let cmd_stats dir =
+let marks_by_type app =
+  let by_type = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      let k = m.Si_mark.Mark.mark_type in
+      Hashtbl.replace by_type k
+        (1 + Option.value (Hashtbl.find_opt by_type k) ~default:0))
+    (Manager.marks (Slimpad.marks app));
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_type [] |> List.sort compare
+
+let cmd_stats dir json =
   with_workspace dir (fun app ->
       let t = Slimpad.dmi app in
       let trim = Dmi.trim t in
-      Printf.printf "store implementation : %s\n"
-        (Si_triple.Trim.store_name trim);
-      Printf.printf "triples              : %d\n" (Si_triple.Trim.size trim);
-      Printf.printf "pads                 : %d\n" (List.length (Dmi.pads t));
-      Printf.printf "marks                : %d\n"
-        (Manager.mark_count (Slimpad.marks app));
-      let by_type = Hashtbl.create 8 in
-      List.iter
-        (fun m ->
-          let k = m.Si_mark.Mark.mark_type in
-          Hashtbl.replace by_type k
-            (1 + Option.value (Hashtbl.find_opt by_type k) ~default:0))
-        (Manager.marks (Slimpad.marks app));
-      Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_type []
-      |> List.sort compare
-      |> List.iter (fun (k, v) ->
-             Printf.printf "  %-19s: %d\n" k v);
-      Printf.printf "mark modules         : %s\n"
-        (String.concat ", " (Manager.module_names (Slimpad.marks app)));
-      Printf.printf "base documents       : %d\n"
-        (List.length (Desktop.document_names (Slimpad.desktop app)));
-      0)
+      if json then begin
+        (* Workspace shape plus the Si_obs instrumentation (the
+           counters cover the work this very open performed: WAL
+           recovery, store loading, resolution). *)
+        let workspace =
+          Si_obs.Json.Obj
+            [
+              ("store", Si_obs.Json.String (Si_triple.Trim.store_name trim));
+              ("triples", Si_obs.Json.Int (Si_triple.Trim.size trim));
+              ("pads", Si_obs.Json.Int (List.length (Dmi.pads t)));
+              ( "marks",
+                Si_obs.Json.Int (Manager.mark_count (Slimpad.marks app)) );
+              ( "marks_by_type",
+                Si_obs.Json.Obj
+                  (List.map
+                     (fun (k, v) -> (k, Si_obs.Json.Int v))
+                     (marks_by_type app)) );
+              ( "documents",
+                Si_obs.Json.Int
+                  (List.length
+                     (Desktop.document_names (Slimpad.desktop app))) );
+            ]
+        in
+        let doc =
+          Si_obs.Json.Obj
+            [
+              ("workspace", workspace);
+              ("instrumentation", Si_obs.Report.to_json (Slimpad.stats ()));
+            ]
+        in
+        print_endline (Si_obs.Json.to_string ~pretty:true doc);
+        0
+      end
+      else begin
+        Printf.printf "store implementation : %s\n"
+          (Si_triple.Trim.store_name trim);
+        Printf.printf "triples              : %d\n" (Si_triple.Trim.size trim);
+        Printf.printf "pads                 : %d\n" (List.length (Dmi.pads t));
+        Printf.printf "marks                : %d\n"
+          (Manager.mark_count (Slimpad.marks app));
+        List.iter
+          (fun (k, v) -> Printf.printf "  %-19s: %d\n" k v)
+          (marks_by_type app);
+        Printf.printf "mark modules         : %s\n"
+          (String.concat ", " (Manager.module_names (Slimpad.marks app)));
+        Printf.printf "base documents       : %d\n"
+          (List.length (Desktop.document_names (Slimpad.desktop app)));
+        let instr = Slimpad.stats_text () in
+        if instr <> "" then begin
+          print_newline ();
+          print_string instr
+        end;
+        0
+      end)
+
+(* `slimpad trace` runs one gesture with span tracing enabled and
+   prints the resulting span tree. Tracing covers only the gesture
+   (for `open`, the workspace open itself), so the tree is the
+   end-to-end path through the layers: query.run over triple.select,
+   wal.recover, resilient resolution, ... *)
+let cmd_trace dir gesture arg no_timings =
+  let timings = not no_timings in
+  let print_tree spans =
+    let tree = Si_obs.Report.span_tree ~timings spans in
+    if tree = "" then print_endline "(no spans recorded)"
+    else print_string tree
+  in
+  let need_arg what =
+    Printf.eprintf "error: trace %s needs %s\n" gesture what;
+    1
+  in
+  match gesture with
+  | "open" ->
+      let result, spans =
+        Slimpad.with_tracing (fun () -> Workspace.open_workspace dir)
+      in
+      print_tree spans;
+      (match result with
+      | Ok _ -> 0
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          1)
+  | "query" -> (
+      match arg with
+      | None -> need_arg "the query text"
+      | Some text ->
+          with_workspace dir (fun app ->
+              let result, spans =
+                Slimpad.with_tracing (fun () -> Slimpad.query app text)
+              in
+              print_tree spans;
+              match result with
+              | Ok rows ->
+                  Printf.printf "(%d rows)\n" (List.length rows);
+                  0
+              | Error msg ->
+                  Printf.eprintf "error: %s\n" msg;
+                  1))
+  | "resolve" -> (
+      match arg with
+      | None -> need_arg "a scrap label"
+      | Some label ->
+          with_workspace dir (fun app ->
+              match
+                Result.bind (find_pad_or_first app None) (fun pad ->
+                    find_scrap app pad label)
+              with
+              | Error msg ->
+                  Printf.eprintf "error: %s\n" msg;
+                  1
+              | Ok scrap -> (
+                  let result, spans =
+                    Slimpad.with_tracing (fun () ->
+                        Slimpad.resolve_scrap app scrap)
+                  in
+                  print_tree spans;
+                  match result with
+                  | Ok _ -> 0
+                  | Error e ->
+                      Printf.eprintf "error: %s\n"
+                        (Manager.resolve_error_to_string e);
+                      1)))
+  | other ->
+      Printf.eprintf
+        "error: unknown trace gesture %S (one of open, query, resolve)\n"
+        other;
+      1
 
 (* ------------------------------------------------- journaled persistence *)
 
@@ -887,9 +1002,33 @@ let validate_cmd =
     Term.(const cmd_validate $ dir_arg)
 
 let stats_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit workspace and instrumentation statistics as JSON.")
+  in
   Cmd.v
-    (Cmd.info "stats" ~doc:"Workspace statistics")
-    Term.(const cmd_stats $ dir_arg)
+    (Cmd.info "stats"
+       ~doc:"Workspace statistics and per-layer instrumentation counters")
+    Term.(const cmd_stats $ dir_arg $ json)
+
+let trace_cmd =
+  let gesture =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"GESTURE"
+         ~doc:"What to trace: open, query, or resolve.")
+  in
+  let arg =
+    Arg.(value & pos 2 (some string) None & info [] ~docv:"ARG"
+         ~doc:"The query text (for query) or scrap label (for resolve).")
+  in
+  let no_timings =
+    Arg.(value & flag & info [ "no-timings" ]
+         ~doc:"Print the span tree without durations (stable output).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run one gesture with span tracing on and print the span tree \
+             with per-layer timings")
+    Term.(const cmd_trace $ dir_arg $ gesture $ arg $ no_timings)
 
 let health_cmd =
   let inject_rate =
@@ -1032,9 +1171,13 @@ let main =
     [
       init_cmd; show_cmd; pads_cmd; docs_cmd; add_pad_cmd; add_bundle_cmd;
       add_scrap_cmd; resolve_cmd; annotate_cmd; link_cmd; drift_cmd;
-      query_cmd; validate_cmd; lint_cmd; stats_cmd; health_cmd; history_cmd; model_cmd;
+      query_cmd; validate_cmd; lint_cmd; stats_cmd; trace_cmd; health_cmd;
+      history_cmd; model_cmd;
       import_cmd; export_html_cmd; template_cmd; instantiate_cmd;
       wal_enable_cmd; wal_inspect_cmd; wal_compact_cmd;
     ]
 
-let () = exit (Cmd.eval' main)
+let () =
+  (* The stdlib default clock is CPU time; spans want wall time. *)
+  Si_obs.Clock.set (fun () -> int_of_float (Unix.gettimeofday () *. 1e9));
+  exit (Cmd.eval' main)

@@ -81,23 +81,15 @@ let load_desktop dir =
     entries;
   (desk, List.rev !problems)
 
-let open_workspace ?resilient ?wrap dir =
+let open_workspace ?resilient ?wrap
+    ?(on_warning = Printf.eprintf "warning: %s\n") dir =
   let desk, problems = load_desktop dir in
-  List.iter (Printf.eprintf "warning: %s\n") problems;
+  List.iter on_warning problems;
   if wal_present dir then
-    match Slimpad.open_wal ?resilient ?wrap desk (wal_path dir) with
+    match Slimpad.open_wal ?resilient ?wrap ~on_warning desk (wal_path dir)
+    with
     | Error _ as e -> e
-    | Ok (app, rc) ->
-        if rc.Slimpad.truncated_bytes > 0 then
-          Printf.eprintf
-            "warning: wal: dropped a torn tail of %d byte(s); store \
-             recovered to the last complete record\n"
-            rc.Slimpad.truncated_bytes;
-        if rc.Slimpad.reset_log then
-          Printf.eprintf
-            "warning: wal: discarded a log superseded by its snapshot \
-             (interrupted compaction)\n";
-        Ok app
+    | Ok (app, _) -> Ok app
   else
     let store = pad_store dir in
     if Sys.file_exists store then Slimpad.load ?resilient ?wrap desk store

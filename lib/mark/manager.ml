@@ -1,5 +1,9 @@
 module Xml = Si_xmlk
 
+let resolve_ok_count = Si_obs.Registry.counter "mark.resolve"
+let resolve_error_count = Si_obs.Registry.counter "mark.resolve_error"
+let resolve_latency = Si_obs.Registry.histogram "mark.resolve"
+
 type mark_module = {
   module_name : string;
   handles_type : string;
@@ -165,7 +169,7 @@ let resolve_error_to_string = function
   | No_module { detail; _ } -> detail
   | Resolution_failed { detail; _ } -> detail
 
-let resolve ?module_name t id =
+let resolve_plain ?module_name t id =
   match mark t id with
   | None -> Error (Unknown_mark id)
   | Some m -> (
@@ -177,6 +181,18 @@ let resolve ?module_name t id =
           | Ok _ as ok -> ok
           | Error detail ->
               Error (Resolution_failed { source = Mark.source m; detail })))
+
+let resolve ?module_name t id =
+  let result =
+    if Si_obs.Span.on () then
+      Si_obs.Span.timed resolve_latency ~layer:"mark" ~op:"resolve" (fun () ->
+          resolve_plain ?module_name t id)
+    else resolve_plain ?module_name t id
+  in
+  (match result with
+  | Ok _ -> Si_obs.Counter.incr resolve_ok_count
+  | Error _ -> Si_obs.Counter.incr resolve_error_count);
+  result
 
 let resolve_with ?module_name t id behaviour =
   Result.map (Mark.apply_behaviour behaviour) (resolve ?module_name t id)

@@ -7,6 +7,11 @@
    elapses as calls are rejected, and backoff delays are bookkeeping units
    charged against the per-call budget rather than sleeps. *)
 
+let retry_count = Si_obs.Registry.counter "resilient.retry"
+let breaker_open_count = Si_obs.Registry.counter "resilient.breaker_open"
+let fresh_count = Si_obs.Registry.counter "resilient.fresh"
+let degraded_count = Si_obs.Registry.counter "resilient.degraded"
+
 type config = {
   failure_threshold : int;
   cooldown : int;
@@ -160,6 +165,7 @@ let guarded t ~source f =
   in
   match b.b_state with
   | Open when b.b_cooldown_left > 0 ->
+      Si_obs.Counter.incr breaker_open_count;
       b.b_cooldown_left <- b.b_cooldown_left - 1;
       b.b_rejected <- b.b_rejected + 1;
       Error (Breaker_open { source; cooldown_left = b.b_cooldown_left })
@@ -193,11 +199,12 @@ let guarded t ~source f =
                   min c.backoff_cap (c.backoff_base lsl (attempt - 1))
                 in
                 let delay = base + c.jitter (base + 1) in
+                Si_obs.Counter.incr retry_count;
                 go (attempt + 1) (spent + 1 + delay) (delay :: backoffs)
       in
       go 1 0 []
 
-let resolve ?module_name t mgr id =
+let resolve_plain ?module_name t mgr id =
   match Manager.mark mgr id with
   | None -> Error (Manager.Unknown_mark id)
   | Some m -> (
@@ -208,8 +215,18 @@ let resolve ?module_name t mgr id =
           let source = Mark.source m in
           match guarded t ~source (fun () -> mm.Manager.resolve m.Mark.fields)
           with
-          | Ok res -> Ok (Fresh res)
-          | Error fault -> Ok (Degraded { excerpt = m.Mark.excerpt; fault })))
+          | Ok res ->
+              Si_obs.Counter.incr fresh_count;
+              Ok (Fresh res)
+          | Error fault ->
+              Si_obs.Counter.incr degraded_count;
+              Ok (Degraded { excerpt = m.Mark.excerpt; fault })))
+
+let resolve ?module_name t mgr id =
+  if Si_obs.Span.on () then
+    Si_obs.Span.with_ ~layer:"resilient" ~op:"resolve" (fun () ->
+        resolve_plain ?module_name t mgr id)
+  else resolve_plain ?module_name t mgr id
 
 let quarantined t source =
   match Hashtbl.find_opt t.breakers source with

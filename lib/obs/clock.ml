@@ -1,0 +1,5 @@
+let default () = int_of_float (Sys.time () *. 1e9)
+let current = Atomic.make default
+let set f = Atomic.set current f
+let reset () = Atomic.set current default
+let now () = (Atomic.get current) ()

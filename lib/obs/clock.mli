@@ -1,0 +1,20 @@
+(** The time source behind spans and latency histograms.
+
+    [Si_obs] is stdlib-only, and the OCaml stdlib has no monotonic
+    wall-clock, so the clock is pluggable: the default reads
+    [Sys.time] (process CPU time — monotonic, coarse), and hosts that
+    link a better source install it at startup. The CLI installs a
+    [Unix.gettimeofday]-based clock; the bench harness installs
+    bechamel's [clock_gettime(CLOCK_MONOTONIC)] stubs; tests install a
+    deterministic tick counter. *)
+
+val now : unit -> int
+(** Current time in nanoseconds. Only differences are meaningful; the
+    epoch is whatever the installed source uses. *)
+
+val set : (unit -> int) -> unit
+(** Install a nanosecond clock. The function must be safe to call from
+    any domain and must never go backwards within a domain. *)
+
+val reset : unit -> unit
+(** Restore the default [Sys.time]-based clock. *)

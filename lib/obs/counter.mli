@@ -1,0 +1,14 @@
+(** Monotonically increasing event counters.
+
+    Counters are always on (unlike spans and latency histograms, which
+    only record while tracing is enabled): an increment is a single
+    atomic add, cheap enough for the hottest paths, and safe to bump
+    from any domain. *)
+
+type t
+
+val create : unit -> t
+val incr : t -> unit
+val add : t -> int -> unit
+val get : t -> int
+val reset : t -> unit

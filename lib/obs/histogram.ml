@@ -1,0 +1,170 @@
+(* Bucket layout: 4 sub-buckets per octave (power of two). Values
+   0..4 are exact — bucket [i] holds exactly value [i] — and from 8
+   upwards each octave [2^o, 2^(o+1)) splits into 4 equal sub-buckets.
+   The octave [4, 8) degenerates: its 4 sub-buckets coincide with the
+   exact buckets 4..7 (width 1), which is what makes the two regimes
+   join without a gap. 248 buckets cover the whole of [0, max_int]. *)
+
+let sub_bits = 2
+let sub_count = 1 lsl sub_bits (* 4 *)
+
+(* Highest set bit of a positive int. *)
+let msb v =
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let index_of v =
+  if v <= 0 then 0
+  else if v < sub_count then v
+  else
+    let o = msb v in
+    let s = (v lsr (o - sub_bits)) - sub_count in
+    ((o - 1) * sub_count) + s
+
+let bucket_count = index_of max_int + 1
+
+let lower_bound i =
+  if i <= sub_count then i
+  else
+    let o = (i / sub_count) + 1 in
+    let s = i mod sub_count in
+    (sub_count + s) lsl (o - sub_bits)
+
+let representative i =
+  if i < sub_count then float_of_int i
+  else
+    let lo = lower_bound i in
+    let hi =
+      if i + 1 >= bucket_count then float_of_int max_int
+      else float_of_int (lower_bound (i + 1))
+    in
+    (float_of_int lo +. hi) /. 2.
+
+type t = {
+  lock : Mutex.t;
+  buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    buckets = Array.make bucket_count 0;
+    h_count = 0;
+    h_sum = 0;
+    h_min = max_int;
+    h_max = min_int;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let add t v =
+  let v = if v < 0 then 0 else v in
+  let i = index_of v in
+  locked t (fun () ->
+      t.buckets.(i) <- t.buckets.(i) + 1;
+      t.h_count <- t.h_count + 1;
+      t.h_sum <- t.h_sum + v;
+      if v < t.h_min then t.h_min <- v;
+      if v > t.h_max then t.h_max <- v)
+
+let count t = locked t (fun () -> t.h_count)
+let sum t = locked t (fun () -> t.h_sum)
+let min_value t = locked t (fun () -> if t.h_count = 0 then 0 else t.h_min)
+let max_value t = locked t (fun () -> if t.h_count = 0 then 0 else t.h_max)
+
+let mean t =
+  locked t (fun () ->
+      if t.h_count = 0 then 0.
+      else float_of_int t.h_sum /. float_of_int t.h_count)
+
+let quantile t q =
+  locked t (fun () ->
+      if t.h_count = 0 then 0.
+      else
+        let q = if q < 0. then 0. else if q > 1. then 1. else q in
+        let rank =
+          let r = int_of_float (ceil (q *. float_of_int t.h_count)) in
+          if r < 1 then 1 else r
+        in
+        let i = ref 0 and seen = ref 0 in
+        while !seen + t.buckets.(!i) < rank do
+          seen := !seen + t.buckets.(!i);
+          incr i
+        done;
+        (* Clamp the representative into the observed range so
+           single-bucket distributions report an actual value. *)
+        let r = representative !i in
+        let r = if r < float_of_int t.h_min then float_of_int t.h_min else r in
+        if r > float_of_int t.h_max then float_of_int t.h_max else r)
+
+let median t = quantile t 0.5
+
+let merge_into dst src =
+  let sc, ss, smin, smax, sb =
+    locked src (fun () ->
+        (src.h_count, src.h_sum, src.h_min, src.h_max, Array.copy src.buckets))
+  in
+  if sc > 0 then
+    locked dst (fun () ->
+        Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) sb;
+        dst.h_count <- dst.h_count + sc;
+        dst.h_sum <- dst.h_sum + ss;
+        if smin < dst.h_min then dst.h_min <- smin;
+        if smax > dst.h_max then dst.h_max <- smax)
+
+let merge a b =
+  let t = create () in
+  merge_into t a;
+  merge_into t b;
+  t
+
+let clear t =
+  locked t (fun () ->
+      Array.fill t.buckets 0 bucket_count 0;
+      t.h_count <- 0;
+      t.h_sum <- 0;
+      t.h_min <- max_int;
+      t.h_max <- min_int)
+
+type summary = {
+  s_count : int;
+  s_sum : int;
+  s_min : int;
+  s_max : int;
+  s_buckets : (int * int) list;
+}
+
+let summary t =
+  locked t (fun () ->
+      let buckets = ref [] in
+      for i = bucket_count - 1 downto 0 do
+        if t.buckets.(i) > 0 then buckets := (i, t.buckets.(i)) :: !buckets
+      done;
+      {
+        s_count = t.h_count;
+        s_sum = t.h_sum;
+        s_min = (if t.h_count = 0 then 0 else t.h_min);
+        s_max = (if t.h_count = 0 then 0 else t.h_max);
+        s_buckets = !buckets;
+      })
+
+let of_summary s =
+  let t = create () in
+  List.iter
+    (fun (i, n) ->
+      if i >= 0 && i < bucket_count && n > 0 then
+        t.buckets.(i) <- t.buckets.(i) + n)
+    s.s_buckets;
+  t.h_count <- s.s_count;
+  t.h_sum <- s.s_sum;
+  if s.s_count > 0 then begin
+    t.h_min <- s.s_min;
+    t.h_max <- s.s_max
+  end;
+  t

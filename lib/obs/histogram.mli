@@ -1,0 +1,80 @@
+(** Log-bucketed latency histograms.
+
+    Values (nanoseconds, non-negative ints) land in buckets whose width
+    grows geometrically: 4 sub-buckets per power of two, so any
+    recorded value is within ~25% of its bucket's representative. The
+    layout is fixed — every histogram shares it — which makes
+    histograms mergeable bucket-by-bucket: the bench harness's
+    [--compare] mode and the multi-process reporters rely on this.
+
+    [add] is thread-safe (a per-histogram mutex); everything else reads
+    a consistent snapshot under the same lock. *)
+
+type t
+
+val create : unit -> t
+val add : t -> int -> unit
+(** Record one value. Negative values count into bucket 0. *)
+
+val count : t -> int
+val sum : t -> int
+
+val min_value : t -> int
+(** Smallest recorded value; 0 when empty. *)
+
+val max_value : t -> int
+(** Largest recorded value; 0 when empty. *)
+
+val mean : t -> float
+(** Arithmetic mean of recorded values; 0 when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0, 1]: the representative value of the
+    bucket holding the [q]-th fraction of recorded values — exact to
+    within the bucket width. 0 when empty. *)
+
+val median : t -> float
+(** [quantile t 0.5]. *)
+
+val merge : t -> t -> t
+(** Bucket-wise sum, as a fresh histogram. *)
+
+val merge_into : t -> t -> unit
+(** [merge_into dst src] adds [src]'s buckets into [dst]. *)
+
+val clear : t -> unit
+
+(** {1 Bucket layout}
+
+    Exposed so property tests can pin the invariants down and so
+    reporters can label Prometheus [le] bounds. *)
+
+val bucket_count : int
+
+val index_of : int -> int
+(** The bucket a value lands in. Total and monotone: [v <= w] implies
+    [index_of v <= index_of w]. *)
+
+val lower_bound : int -> int
+(** Smallest value belonging to the bucket. For every positive [v],
+    [lower_bound (index_of v) <= v < lower_bound (index_of v + 1)]. *)
+
+val representative : int -> float
+(** Midpoint of the bucket's value range — what [quantile] reports. *)
+
+(** {1 Snapshots}
+
+    The serializable form: sparse nonzero buckets plus the scalar
+    moments. [summary] and [of_summary] round-trip exactly; the JSON
+    reporter is built on them. *)
+
+type summary = {
+  s_count : int;
+  s_sum : int;
+  s_min : int;
+  s_max : int;
+  s_buckets : (int * int) list;  (** (bucket index, count), ascending. *)
+}
+
+val summary : t -> summary
+val of_summary : summary -> t

@@ -1,0 +1,34 @@
+(** A small JSON tree, printer, and parser.
+
+    Enough JSON for the observability surface: [slimpad stats --json],
+    histogram snapshots, and the bench harness's [--compare] mode
+    reading recorded BENCH_*.json files back. Not a general-purpose
+    codec — no streaming, whole-value in memory. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** [pretty] indents with two spaces; the default is compact. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed). The error
+    is a human-readable message with a byte offset. *)
+
+(** {1 Accessors}
+
+    All return [None] on a shape mismatch. [number] accepts [Int] or
+    [Float]; [Int]s print without a decimal point and parse back as
+    [Int], so numeric fields should be read with [number]. *)
+
+val mem : string -> t -> t option
+val str : t -> string option
+val number : t -> float option
+val int : t -> int option
+val list : t -> t list option

@@ -1,0 +1,50 @@
+let lock = Mutex.create ()
+let counters : (string, Counter.t) Hashtbl.t = Hashtbl.create 32
+let histograms : (string, Histogram.t) Hashtbl.t = Hashtbl.create 32
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let get_or tbl create name =
+  locked (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some v -> v
+      | None ->
+          let v = create () in
+          Hashtbl.add tbl name v;
+          v)
+
+let counter name = get_or counters Counter.create name
+let histogram name = get_or histograms Histogram.create name
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * Histogram.summary) list;
+}
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot () =
+  let cs, hs = locked (fun () -> (sorted_bindings counters, sorted_bindings histograms)) in
+  {
+    counters =
+      List.filter_map
+        (fun (name, c) ->
+          let n = Counter.get c in
+          if n = 0 then None else Some (name, n))
+        cs;
+    histograms =
+      List.filter_map
+        (fun (name, h) ->
+          let s = Histogram.summary h in
+          if s.Histogram.s_count = 0 then None else Some (name, s))
+        hs;
+  }
+
+let reset () =
+  let cs, hs = locked (fun () -> (sorted_bindings counters, sorted_bindings histograms)) in
+  List.iter (fun (_, c) -> Counter.reset c) cs;
+  List.iter (fun (_, h) -> Histogram.clear h) hs

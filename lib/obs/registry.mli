@@ -1,0 +1,22 @@
+(** The process-wide instrument registry.
+
+    Instruments are named "layer.op" ("triple.insert", "wal.fsync").
+    [counter] and [histogram] get-or-create: call them once at module
+    init and keep the handle — lookups take a lock, increments don't.
+    Reporters read a [snapshot]; everything in it is sorted by name so
+    output is stable. *)
+
+val counter : string -> Counter.t
+val histogram : string -> Histogram.t
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * Histogram.summary) list;
+}
+
+val snapshot : unit -> snapshot
+(** Nonzero counters and nonempty histograms only. *)
+
+val reset : unit -> unit
+(** Zero every counter and clear every histogram. Handles stay
+    valid. *)

@@ -1,0 +1,225 @@
+let hist_quantiles s =
+  let h = Histogram.of_summary s in
+  ( Histogram.mean h,
+    Histogram.quantile h 0.5,
+    Histogram.quantile h 0.9,
+    Histogram.quantile h 0.99 )
+
+(* Text *)
+
+let fmt_ns f =
+  if f >= 1e9 then Printf.sprintf "%.2fs" (f /. 1e9)
+  else if f >= 1e6 then Printf.sprintf "%.2fms" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%.2fus" (f /. 1e3)
+  else Printf.sprintf "%.0fns" f
+
+let to_text (snap : Registry.snapshot) =
+  let buf = Buffer.create 512 in
+  let name_width rows =
+    List.fold_left (fun w (name, _) -> max w (String.length name)) 0 rows
+  in
+  if snap.counters <> [] then begin
+    Buffer.add_string buf "counters:\n";
+    let w = name_width snap.counters in
+    List.iter
+      (fun (name, n) -> Printf.bprintf buf "  %-*s %d\n" w name n)
+      snap.counters
+  end;
+  if snap.histograms <> [] then begin
+    if snap.counters <> [] then Buffer.add_char buf '\n';
+    Buffer.add_string buf "latencies:\n";
+    let w = name_width snap.histograms in
+    Printf.bprintf buf "  %-*s %8s %10s %10s %10s %10s %10s\n" w "" "count"
+      "mean" "p50" "p90" "p99" "max";
+    List.iter
+      (fun (name, s) ->
+        let mean, p50, p90, p99 = hist_quantiles s in
+        Printf.bprintf buf "  %-*s %8d %10s %10s %10s %10s %10s\n" w name
+          s.Histogram.s_count (fmt_ns mean) (fmt_ns p50) (fmt_ns p90)
+          (fmt_ns p99)
+          (fmt_ns (float_of_int s.Histogram.s_max)))
+      snap.histograms
+  end;
+  Buffer.contents buf
+
+(* JSON *)
+
+let to_json (snap : Registry.snapshot) =
+  let counters =
+    List.map (fun (name, n) -> (name, Json.Int n)) snap.counters
+  in
+  let histograms =
+    List.map
+      (fun (name, s) ->
+        let mean, p50, p90, p99 = hist_quantiles s in
+        ( name,
+          Json.Obj
+            [
+              ("count", Json.Int s.Histogram.s_count);
+              ("sum", Json.Int s.Histogram.s_sum);
+              ("min", Json.Int s.Histogram.s_min);
+              ("max", Json.Int s.Histogram.s_max);
+              ("mean", Json.Float mean);
+              ("p50", Json.Float p50);
+              ("p90", Json.Float p90);
+              ("p99", Json.Float p99);
+              ( "buckets",
+                Json.List
+                  (List.map
+                     (fun (i, n) -> Json.List [ Json.Int i; Json.Int n ])
+                     s.Histogram.s_buckets) );
+            ] ))
+      snap.histograms
+  in
+  Json.Obj [ ("counters", Json.Obj counters); ("histograms", Json.Obj histograms) ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let obj_fields = function
+    | Some (Json.Obj fields) -> Ok fields
+    | Some _ -> Error "expected an object"
+    | None -> Ok []
+  in
+  let int_field fields key =
+    match List.assoc_opt key fields with
+    | Some (Json.Int i) -> Ok i
+    | Some (Json.Float f) -> Ok (int_of_float f)
+    | _ -> Error (Printf.sprintf "missing integer field %S" key)
+  in
+  match j with
+  | Json.Obj _ ->
+      let* counters = obj_fields (Json.mem "counters" j) in
+      let* counters =
+        List.fold_left
+          (fun acc (name, v) ->
+            let* acc = acc in
+            match Json.int v with
+            | Some n -> Ok ((name, n) :: acc)
+            | None -> Error (Printf.sprintf "counter %S is not an int" name))
+          (Ok []) counters
+      in
+      let* histograms = obj_fields (Json.mem "histograms" j) in
+      let* histograms =
+        List.fold_left
+          (fun acc (name, v) ->
+            let* acc = acc in
+            match v with
+            | Json.Obj fields ->
+                let* s_count = int_field fields "count" in
+                let* s_sum = int_field fields "sum" in
+                let* s_min = int_field fields "min" in
+                let* s_max = int_field fields "max" in
+                let* s_buckets =
+                  match List.assoc_opt "buckets" fields with
+                  | Some (Json.List items) ->
+                      List.fold_left
+                        (fun acc item ->
+                          let* acc = acc in
+                          match item with
+                          | Json.List [ Json.Int i; Json.Int n ] ->
+                              Ok ((i, n) :: acc)
+                          | _ -> Error "bad bucket entry")
+                        (Ok []) items
+                      |> Result.map List.rev
+                  | _ -> Error (Printf.sprintf "histogram %S: no buckets" name)
+                in
+                Ok
+                  (( name,
+                     Histogram.
+                       { s_count; s_sum; s_min; s_max; s_buckets } )
+                  :: acc)
+            | _ -> Error (Printf.sprintf "histogram %S is not an object" name))
+          (Ok []) histograms
+      in
+      Ok
+        Registry.
+          { counters = List.rev counters; histograms = List.rev histograms }
+  | _ -> Error "expected a stats object"
+
+(* Prometheus exposition *)
+
+let prom_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_prometheus (snap : Registry.snapshot) =
+  let buf = Buffer.create 512 in
+  if snap.counters <> [] then begin
+    Buffer.add_string buf "# TYPE si_events_total counter\n";
+    List.iter
+      (fun (name, n) ->
+        Printf.bprintf buf "si_events_total{name=\"%s\"} %d\n"
+          (prom_escape name) n)
+      snap.counters
+  end;
+  if snap.histograms <> [] then begin
+    Buffer.add_string buf "# TYPE si_latency_ns histogram\n";
+    List.iter
+      (fun (name, s) ->
+        let name = prom_escape name in
+        let cumulative = ref 0 in
+        List.iter
+          (fun (i, n) ->
+            cumulative := !cumulative + n;
+            let le =
+              if i + 1 >= Histogram.bucket_count then max_int
+              else Histogram.lower_bound (i + 1) - 1
+            in
+            Printf.bprintf buf "si_latency_ns_bucket{name=\"%s\",le=\"%d\"} %d\n"
+              name le !cumulative)
+          s.Histogram.s_buckets;
+        Printf.bprintf buf "si_latency_ns_bucket{name=\"%s\",le=\"+Inf\"} %d\n"
+          name s.Histogram.s_count;
+        Printf.bprintf buf "si_latency_ns_sum{name=\"%s\"} %d\n" name
+          s.Histogram.s_sum;
+        Printf.bprintf buf "si_latency_ns_count{name=\"%s\"} %d\n" name
+          s.Histogram.s_count)
+      snap.histograms
+  end;
+  Buffer.contents buf
+
+(* Span tree *)
+
+let span_tree ?(timings = true) spans =
+  let buf = Buffer.create 256 in
+  let by_start a b =
+    let c = compare a.Span.start_ns b.Span.start_ns in
+    if c <> 0 then c else compare a.Span.id b.Span.id
+  in
+  let ids = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace ids s.Span.id ()) spans;
+  let children = Hashtbl.create 64 in
+  let roots =
+    List.filter
+      (fun s ->
+        match s.Span.parent with
+        | Some p when Hashtbl.mem ids p ->
+            Hashtbl.replace children p
+              (s :: (try Hashtbl.find children p with Not_found -> []));
+            false
+        | _ -> true)
+      spans
+  in
+  let rec print depth s =
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    Printf.bprintf buf "%s.%s" s.Span.layer s.Span.op;
+    if timings then
+      Printf.bprintf buf " %s"
+        (fmt_ns (float_of_int (Span.duration_ns s)));
+    Buffer.add_char buf '\n';
+    let kids =
+      try List.sort by_start (Hashtbl.find children s.Span.id)
+      with Not_found -> []
+    in
+    List.iter (print (depth + 1)) kids
+  in
+  List.iter (print 0) (List.sort by_start roots);
+  Buffer.contents buf

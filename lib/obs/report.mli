@@ -1,0 +1,27 @@
+(** Rendering registry snapshots and span buffers for humans, JSON
+    consumers, and Prometheus scrapes. *)
+
+val to_text : Registry.snapshot -> string
+(** Aligned tables: counters, then per-histogram count / mean / p50 /
+    p90 / p99 / max (nanoseconds). Empty string when there is nothing
+    to report. *)
+
+val to_json : Registry.snapshot -> Json.t
+(** [{"counters": {...}, "histograms": {name: {count, sum, min, max,
+    mean, p50, p90, p99, buckets}}}]. The [buckets] array carries the
+    sparse bucket indices, so [of_json] reconstructs the histogram
+    exactly, not just its moments. *)
+
+val of_json : Json.t -> (Registry.snapshot, string) result
+(** Inverse of [to_json] (derived fields like [mean] are recomputed,
+    not trusted). *)
+
+val to_prometheus : Registry.snapshot -> string
+(** Prometheus exposition text: counters as [si_events_total{name=..}]
+    and histograms as [si_latency_ns] with cumulative [le] buckets. *)
+
+val span_tree : ?timings:bool -> Span.finished list -> string
+(** Indented parent/child tree of a [Span.drain] result, children in
+    start order. [timings:false] (default [true]) omits durations —
+    that is what keeps the CLI's trace output reproducible in cram
+    tests. *)

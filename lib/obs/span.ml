@@ -1,0 +1,117 @@
+type finished = {
+  id : int;
+  parent : int option;
+  layer : string;
+  op : string;
+  domain : int;
+  start_ns : int;
+  stop_ns : int;
+}
+
+let duration_ns f =
+  let d = f.stop_ns - f.start_ns in
+  if d < 0 then 0 else d
+
+let enabled = Atomic.make false
+let on () = Atomic.get enabled
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+let next_id = Atomic.make 1
+
+(* Each domain tracks the ids of its open spans; the head is the
+   parent of whatever starts next on that domain. *)
+let stack_key : int list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+(* Finished spans: a mutex-guarded ring. Writers never block on a full
+   ring — the oldest entry is overwritten and counted as dropped. *)
+let lock = Mutex.create ()
+let default_capacity = 4096
+let ring = ref (Array.make default_capacity None)
+let head = ref 0 (* next write position *)
+let stored = ref 0
+let dropped_count = ref 0
+let exporter : (finished -> unit) option ref = ref None
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let record fin =
+  locked (fun () ->
+      let cap = Array.length !ring in
+      if !stored = cap then (
+        incr dropped_count;
+        (* overwriting the oldest: head already points at it *)
+        (!ring).(!head) <- Some fin;
+        head := (!head + 1) mod cap)
+      else (
+        (!ring).((!head + !stored) mod cap) <- Some fin;
+        incr stored));
+  match !exporter with None -> () | Some f -> f fin
+
+let drain () =
+  locked (fun () ->
+      let cap = Array.length !ring in
+      let out = ref [] in
+      for i = !stored - 1 downto 0 do
+        match (!ring).((!head + i) mod cap) with
+        | Some fin -> out := fin :: !out
+        | None -> ()
+      done;
+      Array.fill !ring 0 cap None;
+      head := 0;
+      stored := 0;
+      dropped_count := 0;
+      !out)
+
+let dropped () = locked (fun () -> !dropped_count)
+
+let set_capacity n =
+  let n = if n < 1 then 1 else n in
+  locked (fun () ->
+      ring := Array.make n None;
+      head := 0;
+      stored := 0;
+      dropped_count := 0)
+
+let set_exporter f = exporter := f
+
+let finish ~id ~layer ~op ~start_ns stack =
+  let stop_ns = Clock.now () in
+  let parent = match !stack with [] -> None | p :: _ -> Some p in
+  record
+    {
+      id;
+      parent;
+      layer;
+      op;
+      domain = (Domain.self () :> int);
+      start_ns;
+      stop_ns;
+    };
+  stop_ns
+
+let traced layer op f after =
+  let stack = Domain.DLS.get stack_key in
+  let id = Atomic.fetch_and_add next_id 1 in
+  let start_ns = Clock.now () in
+  stack := id :: !stack;
+  match f () with
+  | v ->
+      stack := List.tl !stack;
+      let stop_ns = finish ~id ~layer ~op ~start_ns stack in
+      after (stop_ns - start_ns);
+      v
+  | exception e ->
+      stack := List.tl !stack;
+      let stop_ns = finish ~id ~layer ~op ~start_ns stack in
+      after (stop_ns - start_ns);
+      raise e
+
+let nothing (_ : int) = ()
+let with_ ~layer ~op f = if on () then traced layer op f nothing else f ()
+
+let timed h ~layer ~op f =
+  if on () then traced layer op f (fun d -> Histogram.add h (if d < 0 then 0 else d))
+  else f ()

@@ -1,0 +1,60 @@
+(** Hierarchical timed spans.
+
+    A span covers one operation in one layer ("triple"/"insert",
+    "wal"/"fsync", ...). Spans nest lexically: each domain keeps its
+    own stack, so a span started while another is open on the same
+    domain records that span as its parent, and concurrent domains
+    never see each other's stacks. Finished spans land in a bounded
+    ring buffer; when it fills, the oldest are dropped (and counted),
+    never the writer blocked.
+
+    Tracing is off by default. While off, [with_] runs its thunk
+    directly — the only cost is one atomic load — which is what keeps
+    instrumented hot paths free when nobody is looking. *)
+
+type finished = {
+  id : int;
+  parent : int option;  (** Enclosing span on the same domain. *)
+  layer : string;
+  op : string;
+  domain : int;  (** Domain the span ran on. *)
+  start_ns : int;
+  stop_ns : int;
+}
+
+val duration_ns : finished -> int
+
+(** {1 Switch} *)
+
+val on : unit -> bool
+(** One atomic load; call-sites gate allocation-heavy work on it. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+(** {1 Recording} *)
+
+val with_ : layer:string -> op:string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span when tracing is on, directly
+    otherwise. The span is recorded even if the thunk raises. *)
+
+val timed : Histogram.t -> layer:string -> op:string -> (unit -> 'a) -> 'a
+(** Like [with_], but also feeds the duration into the histogram.
+    The histogram only sees values while tracing is on, so disabled
+    runs stay measurement-free. *)
+
+(** {1 Draining} *)
+
+val drain : unit -> finished list
+(** Remove and return buffered spans, oldest first. *)
+
+val dropped : unit -> int
+(** Spans discarded because the buffer was full, since the last
+    [drain]. *)
+
+val set_capacity : int -> unit
+(** Resize the ring buffer (default 4096). Discards buffered spans. *)
+
+val set_exporter : (finished -> unit) option -> unit
+(** Also hand each finished span to a callback, synchronously, from
+    the finishing domain. [None] (the default) keeps buffering only. *)

@@ -1,6 +1,10 @@
 module Trim = Si_triple.Trim
 module Triple = Si_triple.Triple
 
+let run_count = Si_obs.Registry.counter "query.run"
+let optimize_count = Si_obs.Registry.counter "query.optimize"
+let run_latency = Si_obs.Registry.histogram "query.run"
+
 type term = Var of string | Resource of string | Literal of string | Wildcard
 type pattern = { subj : term; pred : term; obj : term }
 
@@ -362,6 +366,7 @@ let estimate trim p =
   | _ -> Trim.count_select ?subject ?predicate ?object_ trim
 
 let optimize trim t =
+  Si_obs.Counter.incr optimize_count;
   let remaining = ref (List.map (fun p -> (p, estimate trim p)) t.patterns) in
   let bound = Hashtbl.create 8 in
   let chosen = ref [] in
@@ -424,7 +429,7 @@ exception Enough
    - order_by, no limit:    accumulate distinct bindings, sort by key;
    - order_by, limit n:     bounded top-k — keep only the current best n,
      so memory stays O(n + distinct-seen) instead of O(results). *)
-let run trim t =
+let run_plain trim t =
   let keep = if t.select = [] then variables t else t.select in
   let env : (string, Triple.obj) Hashtbl.t = Hashtbl.create 16 in
   let subst = function
@@ -591,6 +596,13 @@ let run trim t =
           let out = ref [] in
           search (fun b -> out := b :: !out);
           List.sort cmp !out)
+
+let run trim t =
+  Si_obs.Counter.incr run_count;
+  if Si_obs.Span.on () then
+    Si_obs.Span.timed run_latency ~layer:"query" ~op:"run" (fun () ->
+        run_plain trim t)
+  else run_plain trim t
 
 let count trim t = List.length (run trim t)
 

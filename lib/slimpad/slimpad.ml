@@ -8,6 +8,9 @@ module Durable = Si_triple.Durable
 module Log = Si_wal.Log
 module Record = Si_wal.Record
 
+let recovery_warning_count = Si_obs.Registry.counter "slimpad.recovery_warning"
+let wal_replayed_count = Si_obs.Registry.counter "slimpad.wal_replayed"
+
 type wal_state = { log : Log.t; mutable trouble : string option }
 
 type t = {
@@ -518,7 +521,7 @@ let restore_offline ?store ?resilient ?wrap desktop (d : Log.dump) =
       in
       Ok (app, stats)
 
-let open_wal ?store ?resilient ?wrap ?policy desktop path =
+let open_wal ?store ?resilient ?wrap ?policy ?on_warning desktop path =
   match Log.open_ ?policy path with
   | Error e -> Error (Log.error_to_string e)
   | Ok (log, recovery) -> (
@@ -555,6 +558,24 @@ let open_wal ?store ?resilient ?wrap ?policy desktop path =
           | Error e -> closing e
           | Ok replayed ->
               install_hooks app { log; trouble = None };
+              Si_obs.Counter.add wal_replayed_count replayed;
+              (* Recovery anomalies are counted always and reported only
+                 through the caller's channel — the library itself never
+                 writes to stderr. *)
+              let warn msg =
+                Si_obs.Counter.incr recovery_warning_count;
+                match on_warning with Some f -> f msg | None -> ()
+              in
+              if recovery.Log.truncated_bytes > 0 then
+                warn
+                  (Printf.sprintf
+                     "wal: dropped a torn tail of %d byte(s); store \
+                      recovered to the last complete record"
+                     recovery.Log.truncated_bytes);
+              if recovery.Log.reset_log then
+                warn
+                  "wal: discarded a log superseded by its snapshot \
+                   (interrupted compaction)";
               Ok
                 ( app,
                   {
@@ -763,3 +784,24 @@ let import_pad t ~from_file ?pad_name ?rename () =
               | None -> ())
             (Dmi.links src);
           Ok new_pad)
+
+(* -------------------------------------------------------- observability *)
+
+let stats () = Si_obs.Registry.snapshot ()
+let stats_text () = Si_obs.Report.to_text (stats ())
+
+let stats_json () =
+  Si_obs.Json.to_string ~pretty:true (Si_obs.Report.to_json (stats ()))
+
+let reset_stats () = Si_obs.Registry.reset ()
+
+let with_tracing f =
+  Si_obs.Span.enable ();
+  match f () with
+  | v ->
+      Si_obs.Span.disable ();
+      (v, Si_obs.Span.drain ())
+  | exception e ->
+      Si_obs.Span.disable ();
+      ignore (Si_obs.Span.drain ());
+      raise e

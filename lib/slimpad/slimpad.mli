@@ -182,11 +182,18 @@ val open_wal :
   ?resilient:Si_mark.Resilient.t ->
   ?wrap:Si_mark.Desktop.opener_wrap ->
   ?policy:Si_wal.Log.sync_policy ->
+  ?on_warning:(string -> unit) ->
   Si_mark.Desktop.t -> string -> (t * wal_recovery, string) result
 (** Open (creating if absent) a journaled pad at the given WAL path:
     recover [snapshot + tail], then journal every further mutation.
     Mid-log corruption or an undecodable record is a hard error — never
-    a silent partial replay. *)
+    a silent partial replay.
+
+    Recovery anomalies that are survivable (a torn tail dropped, a log
+    superseded by its snapshot) are reported through [on_warning] — the
+    library never writes to stderr itself — and always counted in the
+    ["slimpad.recovery_warning"] {!Si_obs} counter, so they stay visible
+    even when no callback is installed. *)
 
 type offline_restore = {
   restored : int;  (** Dump records applied on top of the snapshot. *)
@@ -228,3 +235,29 @@ val wal_close : t -> (unit, string) result
 (** Flush and close the log; the application reverts to [Whole_file]. *)
 
 val wal : t -> Si_wal.Log.t option
+
+(** {1 Observability}
+
+    The whole stack (triple store, query executor, mark manager,
+    resilient layer, WAL) is instrumented through {!Si_obs}: counters
+    run unconditionally, latency histograms and spans only while
+    tracing is enabled. These are thin conveniences over the
+    {!Si_obs.Registry} for hosts (the CLI, the TUI) that want the
+    numbers without depending on the registry directly. *)
+
+val stats : unit -> Si_obs.Registry.snapshot
+(** Current counters and latency histograms across every layer. *)
+
+val stats_text : unit -> string
+(** {!stats} rendered as aligned text tables. *)
+
+val stats_json : unit -> string
+(** {!stats} rendered as pretty-printed JSON; round-trips through
+    {!Si_obs.Report.of_json}. *)
+
+val reset_stats : unit -> unit
+
+val with_tracing : (unit -> 'a) -> 'a * Si_obs.Span.finished list
+(** Run the thunk with span tracing enabled, then return its result
+    together with the spans it produced (tracing is switched back off
+    and the span buffer drained, even on exceptions). *)

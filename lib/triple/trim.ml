@@ -1,5 +1,18 @@
 module Xml = Si_xmlk
 
+(* Instrumentation: counters are unconditional (one atomic add);
+   spans/latency histograms only engage while Si_obs.Span tracing is
+   on, and the [if Span.on ()] at each call-site keeps the disabled
+   path closure-free. *)
+let insert_count = Si_obs.Registry.counter "triple.insert"
+let remove_count = Si_obs.Registry.counter "triple.remove"
+let select_count = Si_obs.Registry.counter "triple.select"
+let transaction_count = Si_obs.Registry.counter "triple.transaction"
+let clear_count = Si_obs.Registry.counter "triple.clear"
+let insert_latency = Si_obs.Registry.histogram "triple.insert"
+let select_latency = Si_obs.Registry.histogram "triple.select"
+let transaction_latency = Si_obs.Registry.histogram "triple.transaction"
+
 type pack = Pack : (module Store.S with type t = 'a) * 'a -> pack
 
 (* The undo log records inverse operations, newest first. *)
@@ -37,7 +50,7 @@ let record t undo =
   | Some log -> t.txn <- Some (undo :: log)
   | None -> ()
 
-let add t triple =
+let add_plain t triple =
   let (Pack ((module S), s)) = t.pack in
   let added = S.add s triple in
   if added then begin
@@ -46,7 +59,15 @@ let add t triple =
   end;
   added
 
+let add t triple =
+  Si_obs.Counter.incr insert_count;
+  if Si_obs.Span.on () then
+    Si_obs.Span.timed insert_latency ~layer:"triple" ~op:"insert" (fun () ->
+        add_plain t triple)
+  else add_plain t triple
+
 let remove t triple =
+  Si_obs.Counter.incr remove_count;
   let (Pack ((module S), s)) = t.pack in
   let removed = S.remove s triple in
   if removed then begin
@@ -70,7 +91,7 @@ let rollback t log =
           if S.add s triple then notify t (Op_add triple))
     log
 
-let transaction t body =
+let transaction_plain t body =
   if in_transaction t then
     invalid_arg "Trim.transaction: transactions do not nest";
   t.txn <- Some [];
@@ -92,6 +113,13 @@ let transaction t body =
       rollback t (finish ());
       Error exn
 
+let transaction t body =
+  Si_obs.Counter.incr transaction_count;
+  if Si_obs.Span.on () then
+    Si_obs.Span.timed transaction_latency ~layer:"triple" ~op:"transaction"
+      (fun () -> transaction_plain t body)
+  else transaction_plain t body
+
 let mem t triple =
   let (Pack ((module S), s)) = t.pack in
   S.mem s triple
@@ -101,6 +129,7 @@ let size t =
   S.size s
 
 let clear t =
+  Si_obs.Counter.incr clear_count;
   let (Pack ((module S), s)) = t.pack in
   S.clear s;
   notify t Op_clear
@@ -120,8 +149,12 @@ let add_all t triples =
       S.add_all s triples
 
 let select ?subject ?predicate ?object_ t =
+  Si_obs.Counter.incr select_count;
   let (Pack ((module S), s)) = t.pack in
-  S.select ?subject ?predicate ?object_ s
+  if Si_obs.Span.on () then
+    Si_obs.Span.timed select_latency ~layer:"triple" ~op:"select" (fun () ->
+        S.select ?subject ?predicate ?object_ s)
+  else S.select ?subject ?predicate ?object_ s
 
 let count_select ?subject ?predicate ?object_ t =
   let (Pack ((module S), s)) = t.pack in

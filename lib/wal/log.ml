@@ -1,3 +1,11 @@
+let append_count = Si_obs.Registry.counter "wal.append"
+let fsync_count = Si_obs.Registry.counter "wal.fsync"
+let compact_count = Si_obs.Registry.counter "wal.compact"
+let recover_count = Si_obs.Registry.counter "wal.recover"
+let fsync_latency = Si_obs.Registry.histogram "wal.fsync"
+let append_latency = Si_obs.Registry.histogram "wal.append"
+let compact_latency = Si_obs.Registry.histogram "wal.compact"
+
 type sync_policy = Immediate | Batched of { max_records : int; max_bytes : int }
 
 let default_policy = Batched { max_records = 64; max_bytes = 256 * 1024 }
@@ -170,7 +178,7 @@ let finish_open ~path ~policy ~gen ~disk_records ~recovery =
       in
       Ok (t, recovery)
 
-let open_ ?(policy = default_policy) path =
+let open_plain ?(policy = default_policy) path =
   match load_snapshot path with
   | Error e -> Error e
   | Ok snap -> (
@@ -261,25 +269,40 @@ let open_ ?(policy = default_policy) path =
                     | Error e -> Error e
                     | Ok () -> finish ()))
 
+let open_ ?policy path =
+  Si_obs.Counter.incr recover_count;
+  if Si_obs.Span.on () then
+    Si_obs.Span.with_ ~layer:"wal" ~op:"recover" (fun () ->
+        open_plain ?policy path)
+  else open_plain ?policy path
+
 (* --- appending ----------------------------------------------------- *)
 
 let channel t =
   match t.oc with Some oc -> Ok oc | None -> Error (Io "log is closed")
+
+let flush_buffered t oc =
+  protect_io (fun () ->
+      output_string oc (Buffer.contents t.buf);
+      flush oc;
+      t.disk_records <- t.disk_records + t.buffered;
+      Buffer.clear t.buf;
+      t.buffered <- 0)
 
 let sync t =
   match channel t with
   | Error _ as e -> e
   | Ok oc ->
       if t.buffered = 0 then Ok ()
-      else
-        protect_io (fun () ->
-            output_string oc (Buffer.contents t.buf);
-            flush oc;
-            t.disk_records <- t.disk_records + t.buffered;
-            Buffer.clear t.buf;
-            t.buffered <- 0)
+      else begin
+        Si_obs.Counter.incr fsync_count;
+        if Si_obs.Span.on () then
+          Si_obs.Span.timed fsync_latency ~layer:"wal" ~op:"fsync" (fun () ->
+              flush_buffered t oc)
+        else flush_buffered t oc
+      end
 
-let append t payload =
+let append_plain t payload =
   match channel t with
   | Error _ as e -> e
   | Ok _ ->
@@ -293,9 +316,16 @@ let append t payload =
       in
       if due then sync t else Ok ()
 
+let append t payload =
+  Si_obs.Counter.incr append_count;
+  if Si_obs.Span.on () then
+    Si_obs.Span.timed append_latency ~layer:"wal" ~op:"append" (fun () ->
+        append_plain t payload)
+  else append_plain t payload
+
 (* --- compaction ---------------------------------------------------- *)
 
-let cut_snapshot t state =
+let cut_snapshot_plain t state =
   match sync t with
   | Error _ as e -> e
   | Ok () -> (
@@ -322,6 +352,13 @@ let cut_snapshot t state =
                   t.generation <- gen;
                   t.disk_records <- 0;
                   Ok ())))
+
+let cut_snapshot t state =
+  Si_obs.Counter.incr compact_count;
+  if Si_obs.Span.on () then
+    Si_obs.Span.timed compact_latency ~layer:"wal" ~op:"compact" (fun () ->
+        cut_snapshot_plain t state)
+  else cut_snapshot_plain t state
 
 let close t =
   match t.oc with

@@ -233,3 +233,37 @@ second run reports the same state:
 
   $ slimpad lint --json ws5 | grep -c '"code"'
   2
+
+Observability: every invocation counts its hot-path operations.
+`stats` appends the nonzero counters to the workspace summary, and
+`stats --json` emits one machine-readable document holding both:
+
+  $ slimpad init ws6 --scenario icu --seed 7 > /dev/null
+  $ slimpad stats ws6 | sed -n '/counters:/,$p'
+  counters:
+    triple.insert 547
+    triple.select 151
+  $ slimpad stats --json ws6 | grep -A 4 '"instrumentation"'
+    "instrumentation": {
+      "counters": {
+        "triple.insert": 547,
+        "triple.select": 151
+      },
+
+`trace` replays one gesture with span tracing enabled and prints the
+span tree; --no-timings keeps the output reproducible:
+
+  $ slimpad trace ws6 query 'select ?n where { ?s scrapName ?n } filter prefix(?n, "TODO")' --no-timings
+  query.run
+    triple.select
+  (6 rows)
+  $ slimpad trace ws6 resolve "GI bleed" --no-timings
+  triple.select
+  triple.select
+  resilient.resolve
+  $ slimpad trace ws6 open --no-timings | sort | uniq -c | sed 's/^ *//'
+  547 triple.insert
+  150 triple.select
+  $ slimpad trace ws6 bogus
+  error: unknown trace gesture "bogus" (one of open, query, resolve)
+  [1]

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "superimposed"
     [
       ("xmlk", Test_xmlk.suite);
+      ("obs", Test_obs.suite);
       ("textdoc", Test_textdoc.suite);
       ("spreadsheet", Test_spreadsheet.suite);
       ("wordproc", Test_wordproc.suite);
