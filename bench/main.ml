@@ -982,6 +982,136 @@ let obs_overhead_tests () =
     Test.make ~name:"wal append 64B (tracing on)" (staged (on append));
   ]
 
+(* ------------- E15: columnar store scaling & binary snapshot codec *)
+
+(* The atom-interned columnar store against the string-keyed stores it
+   replaces as the default, at sizes where representation dominates.
+   The dataset is [synthetic_triples] plus one "captive" bundle holding
+   n/100 scraps — the §3 many-scrap bundle — so the probes cover both
+   bucket regimes: fat-bucket counts and filtered selects, where the
+   seed walks a list per call (O(1) live counters and int-compare scans
+   are the columnar wins), and point probes on tiny buckets, where both
+   representations sit at the allocation floor. Every probe runs once
+   before measurement so lazily built state on either side (bucket
+   cleaning, pair indexes) is steady. 1M rows only off-smoke, and only
+   for the two stores the acceptance criterion compares. *)
+let e15_triples n =
+  let fat = max 64 (n / 100) in
+  let captive =
+    List.init fat (fun i ->
+        Triple.make "bundle-captive" "bundleContent"
+          (Triple.resource (Printf.sprintf "scrap-%d" (i * 3))))
+  in
+  synthetic_triples (n - fat) @ captive
+
+let columnar_scaling_tests () =
+  let sizes =
+    if !smoke then [ 10_000 ] else [ 10_000; 100_000; 1_000_000 ]
+  in
+  let impls n =
+    if n >= 1_000_000 then
+      [
+        ("indexed", (module Store.Indexed_store : Store.S));
+        ("columnar", (module Store.Columnar_store : Store.S));
+      ]
+    else
+      [
+        ("indexed", (module Store.Indexed_store : Store.S));
+        ("columnar", (module Store.Columnar_store : Store.S));
+        ("sharded", (module Store.Sharded_store : Store.S));
+        ("sharded-columnar", (module Store.Sharded_columnar : Store.S));
+      ]
+  in
+  List.concat_map
+    (fun n ->
+      let triples = e15_triples n in
+      List.concat_map
+        (fun (impl_name, (module S : Store.S)) ->
+          let filled = S.create () in
+          S.add_all filled triples;
+          let point_subj = Printf.sprintf "scrap-%d" ((n / 2 / 3 * 3) + 1) in
+          let so_obj = Triple.resource "scrap-300" in
+          let probes =
+            [
+              ( "count-predicate",
+                fun () -> ignore (S.count ~predicate:"scrapName" filled) );
+              ( "count-subject-fat",
+                fun () -> ignore (S.count ~subject:"bundle-captive" filled) );
+              ( "count-sp-fat",
+                fun () ->
+                  ignore
+                    (S.count ~subject:"bundle-captive"
+                       ~predicate:"bundleContent" filled) );
+              ( "select-so-fat",
+                fun () ->
+                  ignore
+                    (S.select ~subject:"bundle-captive" ~object_:so_obj filled)
+              );
+              ( "select-subject",
+                fun () -> ignore (S.select ~subject:point_subj filled) );
+              ( "exists-po",
+                fun () ->
+                  ignore
+                    (S.exists ~predicate:"bundleContent" ~object_:so_obj filled)
+              );
+            ]
+          in
+          List.map
+            (fun (probe_name, probe) ->
+              probe ();
+              Test.make
+                ~name:(Printf.sprintf "%s:%s:n=%d" probe_name impl_name n)
+                (staged probe))
+            probes)
+        (impls n))
+    sizes
+
+(* Binary vs XML snapshot codec: encode, decode (= recovery's parse
+   path, including the XML parse the binary form skips), and the byte
+   sizes as a printed report. *)
+let snapshot_codec_tests () =
+  let sizes = if !smoke then [ 10_000 ] else [ 10_000; 100_000 ] in
+  List.concat_map
+    (fun n ->
+      let trim = Trim.create () in
+      Trim.add_all trim (synthetic_triples n);
+      let xml = Si_xmlk.Print.to_string (Trim.to_xml trim) in
+      let bin = Trim.to_binary trim in
+      [
+        Test.make
+          ~name:(Printf.sprintf "encode-xml:n=%d" n)
+          (staged (fun () ->
+               ignore (Si_xmlk.Print.to_string (Trim.to_xml trim))));
+        Test.make
+          ~name:(Printf.sprintf "encode-binary:n=%d" n)
+          (staged (fun () -> ignore (Trim.to_binary trim)));
+        Test.make
+          ~name:(Printf.sprintf "recover-xml:n=%d" n)
+          (staged (fun () ->
+               match Si_xmlk.Parse.node xml with
+               | Error _ -> assert false
+               | Ok root ->
+                   Result.get_ok
+                     (Trim.of_xml (Si_xmlk.Node.strip_whitespace root))));
+        Test.make
+          ~name:(Printf.sprintf "recover-binary:n=%d" n)
+          (staged (fun () -> Result.get_ok (Trim.of_binary bin)));
+      ])
+    sizes
+
+let snapshot_size_report () =
+  Printf.printf "\n-- E15 snapshot bytes (binary vs XML) --\n";
+  List.iter
+    (fun n ->
+      let trim = Trim.create () in
+      Trim.add_all trim (synthetic_triples n);
+      let xml = String.length (Si_xmlk.Print.to_string (Trim.to_xml trim)) in
+      let bin = String.length (Trim.to_binary trim) in
+      Printf.printf "  n=%-8d xml %9d B   binary %9d B   (%.1fx smaller)\n" n
+        xml bin
+        (float_of_int xml /. float_of_int bin))
+    (if !smoke then [ 10_000 ] else [ 10_000; 100_000 ])
+
 (* ------------------------------------- --compare: regression gating *)
 
 (* Rebuild per-group latency distributions from two --json files using
@@ -1131,6 +1261,10 @@ let () =
   run_group ~name:"E13 static analysis (full rule catalog)" (lint_tests ());
   run_group ~name:"substrate parsers" (substrate_tests ());
   run_group ~name:"E14 instrumentation overhead" (obs_overhead_tests ());
+  snapshot_size_report ();
+  run_group ~name:"E15 columnar store scaling" (columnar_scaling_tests ());
+  run_group ~name:"E15 snapshot codec (binary vs XML)"
+    (snapshot_codec_tests ());
   Si_obs.Span.disable ();
   ignore (Si_obs.Span.drain ());
   (match json_path with Some path -> write_json path | None -> ());

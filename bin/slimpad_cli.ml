@@ -648,6 +648,38 @@ let cmd_wal_inspect dir =
       (match info.Si_wal.Log.info_snapshot_bytes with
       | Some n -> Printf.printf "snapshot bytes %d\n" n
       | None -> Printf.printf "snapshot       none\n");
+      (* Offline per-snapshot detail: format (old pads carry XML
+         snapshots until their next compaction), atom-table size, and
+         per-section byte counts of the binary container. *)
+      (match Si_wal.Log.dump (Workspace.wal_path dir) with
+      | Error _ -> ()
+      | Ok d -> (
+          match d.Si_wal.Log.dump_snapshot with
+          | None -> ()
+          | Some payload when not (Si_wal.Binary.is_binary payload) ->
+              Printf.printf "snapshot form  xml\n"
+          | Some payload -> (
+              Printf.printf "snapshot form  binary\n";
+              match Si_wal.Binary.decode payload with
+              | Error e -> Printf.printf "snapshot damage %s\n" e
+              | Ok sections ->
+                  List.iter
+                    (fun (name, body) ->
+                      let detail =
+                        if String.length body < 4 then ""
+                        else
+                          match name with
+                          | "atoms" ->
+                              Printf.sprintf " (%d atoms)"
+                                (Si_wal.Record.get_u32 body 0)
+                          | "triples" ->
+                              Printf.sprintf " (%d rows)"
+                                (Si_wal.Record.get_u32 body 0)
+                          | _ -> ""
+                      in
+                      Printf.printf "  %-12s %d bytes%s\n" name
+                        (String.length body) detail)
+                    sections)));
       if info.Si_wal.Log.info_torn_bytes > 0 then
         Printf.printf "torn bytes     %d (a recovery will truncate these)\n"
           info.Si_wal.Log.info_torn_bytes;

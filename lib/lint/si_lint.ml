@@ -757,6 +757,43 @@ let rule_wal_stream =
                 let snapshot_diags =
                   match d.Log.dump_snapshot with
                   | None -> []
+                  | Some payload when Si_wal.Binary.is_binary payload -> (
+                      (* Binary snapshot: container-level damage (magic,
+                         framing, section CRCs) is SL305's finding; this
+                         rule owns the stream contents, so it only
+                         speaks up when a well-framed container carries
+                         triple sections that do not decode. *)
+                      match Si_wal.Binary.decode payload with
+                      | Error _ -> []
+                      | Ok sections
+                        when Si_wal.Binary.section "atoms" sections = None
+                             || Si_wal.Binary.section "triples" sections
+                                = None ->
+                          (* Missing sections are container shape — also
+                             SL305's. *)
+                          []
+                      | Ok sections -> (
+                          match Trim.triples_of_binary_sections sections with
+                          | Ok _ -> []
+                          | Error e ->
+                              [
+                                diag rule
+                                  ~provenance:
+                                    (In_wal
+                                       {
+                                         file = Log.snapshot_path path;
+                                         offset = None;
+                                       })
+                                  ("snapshot triples: " ^ e);
+                              ]))
+                  | Some payload
+                    when String.length payload >= 8
+                         && String.sub payload 0 4
+                            = String.sub Si_wal.Binary.magic 0 4 ->
+                      (* The container's name with a version this build
+                         does not speak: SL305's finding, not an XML
+                         stream problem. *)
+                      []
                   | Some payload -> (
                       let snap_prov =
                         In_wal
@@ -797,6 +834,65 @@ let rule_wal_stream =
   in
   rule
 
+let rule_wal_binary_snapshot =
+  let rec rule =
+    {
+      code = "SL305";
+      rule_name = "wal-binary-snapshot";
+      rule_severity = Error;
+      synopsis = "binary snapshot container damage (magic, framing, CRC)";
+      check =
+        (fun ctx ->
+          with_dump ctx (fun path -> function
+            | Either.Left _ -> []
+            | Either.Right d -> (
+                match d.Log.dump_snapshot with
+                | None -> []
+                | Some payload -> (
+                    let snap_prov =
+                      In_wal { file = Log.snapshot_path path; offset = None }
+                    in
+                    if not (Si_wal.Binary.is_binary payload) then
+                      (* XML snapshots predate the binary codec and are
+                         SL304's business — except a payload that opens
+                         with the container's 4-byte name but a version
+                         this build does not speak, which recovery would
+                         also refuse. *)
+                      if
+                        String.length payload >= 8
+                        && String.sub payload 0 4
+                           = String.sub Si_wal.Binary.magic 0 4
+                      then
+                        [
+                          diag rule ~provenance:snap_prov
+                            (match Si_wal.Binary.decode payload with
+                            | Error e -> e
+                            | Ok _ -> assert false);
+                        ]
+                      else []
+                    else
+                      match Si_wal.Binary.decode payload with
+                      | Ok sections ->
+                          let size name =
+                            Option.map String.length
+                              (Si_wal.Binary.section name sections)
+                          in
+                          (* The header decodes; the one remaining shape
+                             error a container can carry is a snapshot
+                             without its triple data. *)
+                          if size "atoms" = None || size "triples" = None then
+                            [
+                              diag rule ~provenance:snap_prov
+                                "container misses its atoms or triples \
+                                 section";
+                            ]
+                          else []
+                      | Error e ->
+                          [ diag rule ~provenance:snap_prov e ]))));
+    }
+  in
+  rule
+
 (* ------------------------------------------------------------- registry *)
 
 let builtin_rules =
@@ -817,6 +913,7 @@ let builtin_rules =
     rule_wal_torn;
     rule_wal_stale;
     rule_wal_stream;
+    rule_wal_binary_snapshot;
   ]
 
 let registry = ref builtin_rules

@@ -68,7 +68,13 @@
     - [SL304] [wal-stream-inconsistency] (error) — a record that
       decodes under none of the three stream codecs (triple ops, marks,
       journal events), a journal sequence that is not monotone, or a
-      snapshot payload that is not a [<slimpad-store>] document. *)
+      snapshot whose contents do not decode (an XML payload that is not
+      a [<slimpad-store>] document; a binary container whose triple
+      sections are malformed).
+    - [SL305] [wal-binary-snapshot] (error) — binary snapshot container
+      damage verified offline from the header in: bad magic or
+      unsupported version, truncated section framing, a section CRC
+      mismatch, or a container without its atoms/triples sections. *)
 
 type severity = Error | Warning | Info
 

@@ -343,6 +343,32 @@ let parse_exn input =
 
 (* ---------------------------------------------------------- optimizer *)
 
+(* Ground terms are canonicalized through the {!Si_triple.Atom} table
+   once per run: stores emit canonical interned strings, so after this
+   every [String.equal] on the match path — and every hashtable probe
+   the store does with the bound fields — starts from a
+   physical-equality hit instead of a byte compare. [Contains] and the
+   other filters keep working on the materialized candidate strings
+   only; nothing here interns ([Atom.canon] never grows the table). *)
+let canon_term = function
+  | Resource r -> Resource (Si_triple.Atom.canon r)
+  | Literal l -> Literal (Si_triple.Atom.canon l)
+  | (Var _ | Wildcard) as t -> t
+
+let canon_patterns t =
+  {
+    t with
+    patterns =
+      List.map
+        (fun p ->
+          {
+            subj = canon_term p.subj;
+            pred = canon_term p.pred;
+            obj = canon_term p.obj;
+          })
+        t.patterns;
+  }
+
 let pattern_variables p =
   let add acc = function Var v -> v :: acc | _ -> acc in
   add (add (add [] p.subj) p.pred) p.obj
@@ -367,6 +393,7 @@ let estimate trim p =
 
 let optimize trim t =
   Si_obs.Counter.incr optimize_count;
+  let t = canon_patterns t in
   let remaining = ref (List.map (fun p -> (p, estimate trim p)) t.patterns) in
   let bound = Hashtbl.create 8 in
   let chosen = ref [] in
@@ -599,6 +626,7 @@ let run_plain trim t =
 
 let run trim t =
   Si_obs.Counter.incr run_count;
+  let t = canon_patterns t in
   if Si_obs.Span.on () then
     Si_obs.Span.timed run_latency ~layer:"query" ~op:"run" (fun () ->
         run_plain trim t)

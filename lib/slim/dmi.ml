@@ -578,17 +578,16 @@ let load_journal t node =
 let validate t = Validate.check t.bm.B.model
 let to_xml t = Trim.to_xml t.trim
 
-let of_xml ?store root =
-  match Trim.of_xml ?store root with
-  | Error _ as e -> e
-  | Ok trim ->
-      Ok {
-        trim;
-        bm = B.install trim;
-        journal_rev = [];
-        journal_seq = 0;
-        journal_observer = None;
-      }
+let of_trim trim =
+  {
+    trim;
+    bm = B.install trim;
+    journal_rev = [];
+    journal_seq = 0;
+    journal_observer = None;
+  }
+
+let of_xml ?store root = Result.map of_trim (Trim.of_xml ?store root)
 
 let save t path = Trim.save t.trim path
 

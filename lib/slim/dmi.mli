@@ -254,6 +254,12 @@ val validate : t -> Si_metamodel.Validate.report
 val to_xml : t -> Si_xmlk.Node.t
 val of_xml : ?store:(module Si_triple.Store.S) -> Si_xmlk.Node.t ->
   (t, string) result
+
+val of_trim : Si_triple.Trim.t -> t
+(** Adopt an already-populated manager (fresh journal, no observer) —
+    how the binary snapshot path rebuilds a DMI without a round-trip
+    through XML. The manager must not be shared with another DMI. *)
+
 val save : t -> string -> (unit, string) result
 (** Crash-safe (temp file + rename, via {!Si_triple.Trim.save}). *)
 

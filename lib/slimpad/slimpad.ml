@@ -10,6 +10,8 @@ module Record = Si_wal.Record
 
 let recovery_warning_count = Si_obs.Registry.counter "slimpad.recovery_warning"
 let wal_replayed_count = Si_obs.Registry.counter "slimpad.wal_replayed"
+let snapshot_binary_count = Si_obs.Registry.counter "wal.snapshot.binary"
+let snapshot_binary_latency = Si_obs.Registry.histogram "wal.snapshot.binary"
 
 type wal_state = { log : Log.t; mutable trouble : string option }
 
@@ -421,8 +423,87 @@ let load ?store ?resilient ?wrap desktop path =
 (* One WAL carries three interleaved record streams, all in the shared
    field-list encoding and distinguished by their first field: triple
    ops ("+" / "-" / "x", the Durable codec), marks ("m+" / "m-"), and
-   journal events ("j" / "jx" / "jt"). The snapshot payload is the same
-   <slimpad-store> document the whole-file path writes. *)
+   journal events ("j" / "jx" / "jt"). Snapshots are cut in the binary
+   container form (see below); recovery sniffs the payload, so a log
+   whose last snapshot is an old <slimpad-store> document replays
+   unchanged. *)
+
+module Wbin = Si_wal.Binary
+
+(* Binary snapshot layout: the [atoms] + [triples] sections of the
+   compact Trim codec — triples dominate snapshot size and recovery
+   time — plus [marks] and [journal] sections whose payloads are the
+   same XML subtrees the whole-file path writes, since those streams
+   are small and keep their XML codecs. *)
+let marks_section = "marks"
+let journal_section = "journal"
+
+let binary_snapshot t =
+  Wbin.encode
+    (Si_triple.Trim.binary_sections (Dmi.trim t.dmi)
+    @ [
+        (marks_section, Xml.Print.to_string (Manager.to_xml t.marks));
+        (journal_section, Xml.Print.to_string (Dmi.journal_to_xml t.dmi));
+      ])
+
+let of_binary_snapshot ?store ?resilient ?wrap desktop payload =
+  match Wbin.decode payload with
+  | Error e -> Error ("binary snapshot: " ^ e)
+  | Ok sections -> (
+      match Si_triple.Trim.triples_of_binary_sections sections with
+      | Error e -> Error ("binary snapshot: " ^ e)
+      | Ok triples -> (
+          let trim = Si_triple.Trim.create ?store () in
+          Si_triple.Trim.add_all trim triples;
+          let dmi = Dmi.of_trim trim in
+          let marks = Manager.create () in
+          Desktop.install_modules ?wrap desktop marks;
+          let marks_result =
+            match Wbin.section marks_section sections with
+            | None -> Ok ()
+            | Some xml -> (
+                match Xml.Parse.node xml with
+                | Error e -> Error (Xml.Parse.error_to_string e)
+                | Ok root ->
+                    Manager.of_xml marks (Xml.Node.strip_whitespace root))
+          in
+          match marks_result with
+          | Error _ as e -> e
+          | Ok () ->
+              (* Like [of_store_root]: a journal that fails to parse is
+                 dropped, not fatal. *)
+              (match Wbin.section journal_section sections with
+              | None -> ()
+              | Some xml -> (
+                  match Xml.Parse.node xml with
+                  | Error _ -> ()
+                  | Ok root -> (
+                      match
+                        Dmi.load_journal dmi (Xml.Node.strip_whitespace root)
+                      with
+                      | Ok () | Error _ -> ())));
+              Ok
+                {
+                  dmi; marks; desktop;
+                  resilient = make_resilient resilient;
+                  wal = None;
+                }))
+
+(* Format sniffer: every snapshot payload, wherever it came from, goes
+   through here, so pads snapshotted before the binary codec load
+   byte-for-byte unchanged through the XML path. *)
+let app_of_snapshot ?store ?resilient ?wrap desktop payload =
+  if Wbin.is_binary payload then
+    of_binary_snapshot ?store ?resilient ?wrap desktop payload
+  else
+    match Xml.Parse.node payload with
+    | Error e ->
+        Error
+          (Printf.sprintf "wal: bad snapshot payload: %s"
+             (Xml.Parse.error_to_string e))
+    | Ok root ->
+        of_store_root ?store ?resilient ?wrap desktop
+          (Xml.Node.strip_whitespace root)
 
 let persistence t = match t.wal with None -> Whole_file | Some _ -> Journaled
 let wal t = Option.map (fun st -> st.log) t.wal
@@ -494,15 +575,7 @@ let restore_offline ?store ?resilient ?wrap desktop (d : Log.dump) =
   let app_result =
     match d.Log.dump_snapshot with
     | None -> Ok (create ?store ?resilient ?wrap desktop)
-    | Some xml -> (
-        match Xml.Parse.node xml with
-        | Error e ->
-            Error
-              (Printf.sprintf "wal: bad snapshot payload: %s"
-                 (Xml.Parse.error_to_string e))
-        | Ok root ->
-            of_store_root ?store ?resilient ?wrap desktop
-              (Xml.Node.strip_whitespace root))
+    | Some payload -> app_of_snapshot ?store ?resilient ?wrap desktop payload
   in
   match app_result with
   | Error _ as e -> e
@@ -532,15 +605,8 @@ let open_wal ?store ?resilient ?wrap ?policy ?on_warning desktop path =
       let app_result =
         match recovery.Log.snapshot with
         | None -> Ok (create ?store ?resilient ?wrap desktop)
-        | Some xml -> (
-            match Xml.Parse.node xml with
-            | Error e ->
-                Error
-                  (Printf.sprintf "wal: bad snapshot payload: %s"
-                     (Xml.Parse.error_to_string e))
-            | Ok root ->
-                of_store_root ?store ?resilient ?wrap desktop
-                  (Xml.Node.strip_whitespace root))
+        | Some payload ->
+            app_of_snapshot ?store ?resilient ?wrap desktop payload
       in
       match app_result with
       | Error e -> closing e
@@ -585,7 +651,12 @@ let open_wal ?store ?resilient ?wrap ?policy ?on_warning desktop path =
                     from_snapshot = recovery.Log.snapshot <> None;
                   } )))
 
-let snapshot_payload t = Xml.Print.to_string (store_xml t)
+let snapshot_payload t =
+  Si_obs.Counter.incr snapshot_binary_count;
+  if Si_obs.Span.on () then
+    Si_obs.Span.timed snapshot_binary_latency ~layer:"wal"
+      ~op:"snapshot.binary" (fun () -> binary_snapshot t)
+  else binary_snapshot t
 
 let enable_wal ?policy t path =
   match t.wal with

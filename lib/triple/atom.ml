@@ -1,0 +1,110 @@
+(* Process-wide string interning. One snapshot record — the id->string
+   array, its live length, and an open-addressed id probe table — is
+   published through a single [Atomic.t], so readers never take a lock:
+   they load the snapshot once and work on immutable-for-them data.
+   Appends serialize on a mutex and publish a fresh snapshot record.
+
+   Readers may race an in-place append (the writer fills [strings.(len)]
+   and a probe slot before publishing [len + 1]); both races are benign:
+   slots at index >= the reader's [len] are ignored by the range check,
+   so a concurrent intern is simply not yet visible — the same answer a
+   fully serialized execution interleaving the read first would give. *)
+
+let intern_count = Si_obs.Registry.counter "atom.intern"
+let intern_latency = Si_obs.Registry.histogram "atom.intern"
+
+type snap = {
+  strings : string array;  (* ids 0 .. len-1 are valid *)
+  len : int;
+  probe : int array;  (* open addressing: 0 = empty, else id + 1 *)
+  mask : int;  (* probe capacity - 1, capacity a power of two *)
+}
+
+let empty =
+  { strings = [||]; len = 0; probe = Array.make 16 0; mask = 15 }
+
+let state = Atomic.make empty
+let lock = Mutex.create ()
+
+let size () = (Atomic.get state).len
+
+let to_string id =
+  let s = Atomic.get state in
+  if id < 0 || id >= s.len then
+    invalid_arg (Printf.sprintf "Atom.to_string: unknown atom id %d" id)
+  else s.strings.(id)
+
+(* Probe [snap] for [str]; [None] when absent. Entries are never
+   deleted, so the scan can stop at the first empty slot. *)
+let lookup snap str =
+  let h = Hashtbl.hash str in
+  let rec scan i guard =
+    if guard < 0 then None
+    else
+      let v = snap.probe.(i land snap.mask) in
+      if v = 0 then None
+      else
+        let id = v - 1 in
+        if id < snap.len && String.equal snap.strings.(id) str then Some id
+        else scan (i + 1) (guard - 1)
+  in
+  scan h (snap.mask + 1)
+
+let find str = lookup (Atomic.get state) str
+
+(* Canonical instance when interned: selects that compare against store
+   strings then hit [String.equal]'s physical-equality fast path. *)
+let canon str =
+  match find str with None -> str | Some id -> (Atomic.get state).strings.(id)
+
+let insert_slot probe mask id str =
+  let rec scan i =
+    let j = i land mask in
+    if probe.(j) = 0 then probe.(j) <- id + 1 else scan (i + 1)
+  in
+  scan (Hashtbl.hash str)
+
+(* Called under [lock]. Grow by doubling; the old snapshot's arrays are
+   never touched, so readers holding it stay consistent. *)
+let grown s =
+  let cap = max 16 (2 * Array.length s.strings) in
+  let strings = Array.make cap "" in
+  Array.blit s.strings 0 strings 0 s.len;
+  let pcap = 2 * (s.mask + 1) in
+  let probe = Array.make pcap 0 in
+  let mask = pcap - 1 in
+  for id = 0 to s.len - 1 do
+    insert_slot probe mask id strings.(id)
+  done;
+  { s with strings; probe; mask }
+
+let append str =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      let s = Atomic.get state in
+      (* Re-check: another domain may have interned it first. *)
+      match lookup s str with
+      | Some id -> id
+      | None ->
+          let s =
+            if s.len >= Array.length s.strings || 2 * s.len >= s.mask + 1
+            then grown s
+            else s
+          in
+          let id = s.len in
+          s.strings.(id) <- str;
+          insert_slot s.probe s.mask id str;
+          Si_obs.Counter.incr intern_count;
+          Atomic.set state { s with len = id + 1 };
+          id)
+
+let intern str =
+  match find str with
+  | Some id -> id
+  | None ->
+      if Si_obs.Span.on () then
+        Si_obs.Span.timed intern_latency ~layer:"atom" ~op:"intern" (fun () ->
+            append str)
+      else append str

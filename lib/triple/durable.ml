@@ -2,6 +2,9 @@ module Xml = Si_xmlk
 module Log = Si_wal.Log
 module Record = Si_wal.Record
 
+let snapshot_binary_count = Si_obs.Registry.counter "wal.snapshot.binary"
+let snapshot_binary_latency = Si_obs.Registry.histogram "wal.snapshot.binary"
+
 type t = {
   trim : Trim.t;
   log : Log.t;
@@ -58,12 +61,22 @@ let apply_op trim = function
 
 (* ------------------------------------------------------- open / close *)
 
-let snapshot_of_trim trim = Xml.Print.to_string (Trim.to_xml trim)
+(* Snapshots are cut in the binary form; recovery sniffs, so a log
+   whose last checkpoint predates the binary codec replays its XML
+   snapshot unchanged. *)
+let snapshot_of_trim trim =
+  Si_obs.Counter.incr snapshot_binary_count;
+  if Si_obs.Span.on () then
+    Si_obs.Span.timed snapshot_binary_latency ~layer:"wal"
+      ~op:"snapshot.binary" (fun () -> Trim.to_binary trim)
+  else Trim.to_binary trim
 
-let trim_of_snapshot ?store xml =
-  match Xml.Parse.node xml with
-  | Error e -> Error (Xml.Parse.error_to_string e)
-  | Ok root -> Trim.of_xml ?store (Xml.Node.strip_whitespace root)
+let trim_of_snapshot ?store payload =
+  if Si_wal.Binary.is_binary payload then Trim.of_binary ?store payload
+  else
+    match Xml.Parse.node payload with
+    | Error e -> Error (Xml.Parse.error_to_string e)
+    | Ok root -> Trim.of_xml ?store (Xml.Node.strip_whitespace root)
 
 let open_ ?store ?policy path =
   match Log.open_ ?policy path with

@@ -43,7 +43,10 @@ val sync : t -> (unit, string) result
 
 val checkpoint : t -> (unit, string) result
 (** Compact: write the current triple set as a snapshot and truncate
-    the log. Idempotent with respect to the recovered state. *)
+    the log. Idempotent with respect to the recovered state. Snapshots
+    are cut in the {!Trim.to_binary} form (counter and span
+    [wal.snapshot.binary]); recovery sniffs the payload, so logs whose
+    last checkpoint is an old XML snapshot replay unchanged. *)
 
 val close : t -> (unit, string) result
 

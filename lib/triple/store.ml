@@ -162,7 +162,13 @@ module Indexed_store = struct
     Hashtbl.reset t.by_object;
     Hashtbl.reset t.by_sp;
     Hashtbl.reset t.by_po;
-    t.removal_stamp <- 0
+    (* The stamp must stay monotone, never rewind: [live_bucket]'s fast
+       path is "cleaned_at = removal_stamp means exact", so winding the
+       stamp back to 0 would let a bucket cleaned at stamp n before the
+       clear alias a fresh post-clear stamp and serve its stale items as
+       exact. Purge-on-clear = reset every index table AND advance the
+       stamp past all outstanding cleaned_at values. *)
+    t.removal_stamp <- t.removal_stamp + 1
 
   (* Live triples of a bucket. Fast path: no removal since the bucket was
      last cleaned, so its items are exact. Slow path: filter out stale
@@ -280,8 +286,608 @@ end
 
 module Locked_indexed = Locked (Indexed_store)
 
-module Sharded_store = struct
-  (* [shard_count] indexed stores, each behind its own mutex, with triples
+let columnar_compact_count = Si_obs.Registry.counter "store.columnar.compact"
+let columnar_compact_latency = Si_obs.Registry.histogram "store.columnar.compact"
+
+module Columnar_store = struct
+  (* Triples held column-wise as parallel int arrays over {!Atom} ids:
+     one column per field, objects packed as [id * 2 + tag] (tag 0 =
+     resource, 1 = literal) so a whole object compares as one int. A
+     parallel [rows] column keeps the canonical materialized [Triple.t]
+     per row, built once at add time from the atom table, so selects
+     emit without re-allocating and every string a select returns is the
+     canonical interned instance.
+
+     Removal tombstones a row ([subs.(r) <- -1]); when tombstones pass
+     half the occupancy the store compacts — rewrites the columns dense
+     and rebuilds the indexes — so scans stay cache-dense. Indexes are
+     int-keyed: single-field and (subject, predicate) / (predicate,
+     object) pair buckets of row indices, each with an eagerly
+     maintained live count, so [count] on any indexed combination is
+     O(1) — no bucket walk, the big win over {!Indexed_store}'s
+     [List.length (live_bucket ...)]. Bucket item lists are cleaned
+     lazily, the next time a select walks them.
+
+     Read-only entry points resolve strings with [Atom.find], never
+     [Atom.intern]: probing for a string that was never stored (as
+     [Trim.new_id] does in a loop) must not grow the process-wide atom
+     table. Single-domain, like {!Indexed_store}; wrap in {!Locked} or
+     {!Sharded} to share. *)
+
+  type bucket = {
+    mutable items : int list;  (* row indices; stale entries linger *)
+    mutable live : int;  (* exact, maintained eagerly on add/remove *)
+  }
+
+  (* Single-field indexes are int-keyed hashtables over atom ids. NOT
+     dense arrays indexed by id, tempting as that reads: atom ids are
+     process-global and only grow, so a dense array must span up to the
+     largest id the store touches — and a ten-triple store created late
+     in a process's life can touch an id in the millions, turning every
+     small fresh store (a mapping target, a snapshot being recovered)
+     into a multi-megabyte allocation. A hashtable costs ~30 ns more
+     per probe and stays proportional to what the store actually
+     holds. *)
+  module Aidx = struct
+    type nonrec t = { table : (int, bucket) Hashtbl.t }
+
+    let create n = { table = Hashtbl.create (max 16 n) }
+    let get t i = Hashtbl.find_opt t.table i
+
+    let bucket t i =
+      match Hashtbl.find_opt t.table i with
+      | Some b -> b
+      | None ->
+          let b = { items = []; live = 0 } in
+          Hashtbl.add t.table i b;
+          b
+
+    let reset t = Hashtbl.reset t.table
+  end
+
+  type t = {
+    mutable subs : int array;  (* atom id; -1 tombstones the row *)
+    mutable preds : int array;
+    mutable objs : int array;  (* atom id * 2 + tag *)
+    mutable rows : Triple.t array;  (* canonical materialization *)
+    mutable len : int;  (* rows in use, tombstones included *)
+    mutable live : int;
+    (* Primary set: flat open-addressing table over row indexes. A slot
+       is -1 (empty), -2 (deleted), or a live row index; the key of a
+       slot is read straight out of the columns, so a membership probe
+       is one hash mix plus int compares against cache-dense arrays —
+       no key tuple is ever allocated or structurally hashed. Load is
+       kept at or below 1/2, rehashed to 1/4 on growth. *)
+    mutable slots : int array;
+    mutable slot_dead : int;  (* deleted slots awaiting a rehash *)
+    by_s : Aidx.t;  (* indexed by subject atom id *)
+    by_p : Aidx.t;  (* indexed by predicate atom id *)
+    by_o : Aidx.t;  (* indexed by packed object *)
+    by_sp : (int, bucket) Hashtbl.t;  (* keyed by [key_sp] *)
+    by_po : (int, bucket) Hashtbl.t;  (* keyed by [key_po] *)
+    (* The pair indexes are built lazily, on the first pair-bound query
+       ([ensure_pairs]): bulk loads and write-heavy phases never pay
+       for them, and once built they are maintained eagerly like the
+       single-field indexes. Compaction and [clear] drop them back to
+       unbuilt. *)
+    mutable pairs_built : bool;
+  }
+
+  (* Pair-index keys packed into one int: no tuple allocation per probe
+     and the int hash is a single mix instead of a structural traversal.
+     Atom ids are bounded far below 2^30 by memory (every atom costs
+     tens of bytes), so [sid lsl 31] and [pid lsl 32] cannot collide
+     into each other's bits within OCaml's 63-bit ints. *)
+  let key_sp sid pid = (sid lsl 31) lor pid
+  let key_po pid packed = (pid lsl 32) lor packed
+
+  let name = "columnar"
+  let dummy = Triple.make "" "" (Triple.Resource "")
+
+  (* Smallest power of two holding [n] keys at load <= 1/4. *)
+  let slot_capacity n =
+    let rec up c = if c >= 4 * n then c else up (2 * c) in
+    up 64
+
+  let create_sized n =
+    let cap = max 16 n in
+    {
+      subs = Array.make cap (-1);
+      preds = Array.make cap (-1);
+      objs = Array.make cap (-1);
+      rows = Array.make cap dummy;
+      len = 0;
+      live = 0;
+      slots = Array.make (slot_capacity n) (-1);
+      slot_dead = 0;
+      by_s = Aidx.create n;
+      by_p = Aidx.create n;
+      by_o = Aidx.create n;
+      by_sp = Hashtbl.create (max 64 n);
+      by_po = Hashtbl.create (max 64 n);
+      pairs_built = false;
+    }
+
+  let create () = create_sized 0
+
+  (* One multiply-xor round per field; the final mask keeps the result
+     a valid non-negative index. *)
+  let hash3 s p o =
+    let mix h k =
+      let h = (h lxor k) * 0x9E3779B97F4A7C1 in
+      h lxor (h lsr 29)
+    in
+    mix (mix (mix 0x2545F4914F6CDD1 s) p) o land max_int
+
+  (* Row index holding (s, p, o), or -1. *)
+  let probe_find t s p o =
+    let mask = Array.length t.slots - 1 in
+    let i = ref (hash3 s p o land mask) in
+    let found = ref (-3) in
+    while !found = -3 do
+      let row = t.slots.(!i) in
+      if row = -1 then found := -1
+      else if
+        row >= 0 && t.subs.(row) = s && t.preds.(row) = p && t.objs.(row) = o
+      then found := row
+      else i := (!i + 1) land mask
+    done;
+    !found
+
+  (* Insert [row] under (s, p, o), reusing the first deleted slot on its
+     probe path; the caller has established the key is absent. *)
+  let probe_insert t s p o row =
+    let mask = Array.length t.slots - 1 in
+    let i = ref (hash3 s p o land mask) in
+    let target = ref (-1) in
+    while !target = -1 do
+      let r = t.slots.(!i) in
+      if r = -1 then target := !i
+      else if r = -2 then begin
+        target := !i;
+        t.slot_dead <- t.slot_dead - 1
+      end
+      else i := (!i + 1) land mask
+    done;
+    t.slots.(!target) <- row
+
+  let probe_remove t s p o =
+    let mask = Array.length t.slots - 1 in
+    let i = ref (hash3 s p o land mask) in
+    let stop = ref false in
+    while not !stop do
+      let row = t.slots.(!i) in
+      if row = -1 then stop := true (* absent; caller resolved it first *)
+      else if
+        row >= 0 && t.subs.(row) = s && t.preds.(row) = p && t.objs.(row) = o
+      then begin
+        t.slots.(!i) <- -2;
+        t.slot_dead <- t.slot_dead + 1;
+        stop := true
+      end
+      else i := (!i + 1) land mask
+    done
+
+  (* Rebuild the slot table from the live columns (all keys distinct, so
+     plain empty-slot probes suffice). Also how deleted slots are
+     purged. *)
+  let rehash_slots t =
+    let cap = slot_capacity t.live in
+    let slots = Array.make cap (-1) in
+    let mask = cap - 1 in
+    for row = 0 to t.len - 1 do
+      let s = t.subs.(row) in
+      if s >= 0 then begin
+        let i = ref (hash3 s t.preds.(row) t.objs.(row) land mask) in
+        while slots.(!i) <> -1 do
+          i := (!i + 1) land mask
+        done;
+        slots.(!i) <- row
+      end
+    done;
+    t.slots <- slots;
+    t.slot_dead <- 0
+
+  let ensure_slot_room t =
+    if 2 * (t.live + t.slot_dead + 1) > Array.length t.slots then
+      rehash_slots t
+
+  let pack_tag id = function Triple.Resource _ -> 2 * id | Triple.Literal _ -> (2 * id) + 1
+
+  (* Write path: interns. *)
+  let pack_obj o =
+    pack_tag (Atom.intern (match o with Triple.Resource v | Triple.Literal v -> v)) o
+
+  (* Read path: a never-interned string cannot be stored, so a miss
+     means "matches nothing". *)
+  let find_packed o =
+    match Atom.find (match o with Triple.Resource v | Triple.Literal v -> v) with
+    | Some id -> Some (pack_tag id o)
+    | None -> None
+
+  let unpack_obj packed =
+    let v = Atom.to_string (packed lsr 1) in
+    if packed land 1 = 0 then Triple.Resource v else Triple.Literal v
+
+  let canonical sid pid packed =
+    Triple.make (Atom.to_string sid) (Atom.to_string pid) (unpack_obj packed)
+
+  let bucket table key =
+    match Hashtbl.find_opt table key with
+    | Some b -> b
+    | None ->
+        let b = { items = []; live = 0 } in
+        Hashtbl.add table key b;
+        b
+
+  let push table key row =
+    let b = bucket table key in
+    b.items <- row :: b.items;
+    b.live <- b.live + 1
+
+  let apush idx key row =
+    let b = Aidx.bucket idx key in
+    b.items <- row :: b.items;
+    b.live <- b.live + 1
+
+  let forget table key =
+    match Hashtbl.find_opt table key with
+    | Some (b : bucket) -> b.live <- b.live - 1
+    | None -> assert false (* every stored row was pushed at add time *)
+
+  let aforget idx key =
+    match Aidx.get idx key with
+    | Some (b : bucket) -> b.live <- b.live - 1
+    | None -> assert false (* every stored row was pushed at add time *)
+
+  (* Callers guarantee the key is absent ([add] checks membership,
+     [compact_run] starts from a reset table) and the slot table has
+     room ([add] grows it first, bulk loads pre-size it). *)
+  let reindex t row sid pid packed =
+    probe_insert t sid pid packed row;
+    apush t.by_s sid row;
+    apush t.by_p pid row;
+    apush t.by_o packed row;
+    if t.pairs_built then begin
+      push t.by_sp (key_sp sid pid) row;
+      push t.by_po (key_po pid packed) row
+    end
+
+  let grow_columns t =
+    let cap = max 16 (2 * Array.length t.subs) in
+    let extend dflt col =
+      let fresh = Array.make cap dflt in
+      Array.blit col 0 fresh 0 t.len;
+      fresh
+    in
+    t.subs <- extend (-1) t.subs;
+    t.preds <- extend (-1) t.preds;
+    t.objs <- extend (-1) t.objs;
+    t.rows <- extend dummy t.rows
+
+  (* Rewrite the columns dense (dropping tombstones) and rebuild every
+     index; row order is preserved, row indices are not. *)
+  let compact_run t =
+    let cap = max 16 t.live in
+    let subs = Array.make cap (-1) in
+    let preds = Array.make cap (-1) in
+    let objs = Array.make cap (-1) in
+    let rows = Array.make cap dummy in
+    t.slots <- Array.make (slot_capacity t.live) (-1);
+    t.slot_dead <- 0;
+    Aidx.reset t.by_s;
+    Aidx.reset t.by_p;
+    Aidx.reset t.by_o;
+    Hashtbl.reset t.by_sp;
+    Hashtbl.reset t.by_po;
+    t.pairs_built <- false;
+    let next = ref 0 in
+    for i = 0 to t.len - 1 do
+      if t.subs.(i) >= 0 then begin
+        let r = !next in
+        subs.(r) <- t.subs.(i);
+        preds.(r) <- t.preds.(i);
+        objs.(r) <- t.objs.(i);
+        rows.(r) <- t.rows.(i);
+        incr next
+      end
+    done;
+    t.subs <- subs;
+    t.preds <- preds;
+    t.objs <- objs;
+    t.rows <- rows;
+    t.len <- !next;
+    for r = 0 to t.len - 1 do
+      reindex t r t.subs.(r) t.preds.(r) t.objs.(r)
+    done
+
+  let compact t =
+    Si_obs.Counter.incr columnar_compact_count;
+    if Si_obs.Span.on () then
+      Si_obs.Span.timed columnar_compact_latency ~layer:"store"
+        ~op:"columnar.compact" (fun () -> compact_run t)
+    else compact_run t
+
+  let maybe_compact t =
+    let dead = t.len - t.live in
+    if dead > 64 && 2 * dead > t.len then compact t
+
+  let add t (triple : Triple.t) =
+    let sid = Atom.intern triple.subject in
+    let pid = Atom.intern triple.predicate in
+    let packed = pack_obj triple.object_ in
+    if probe_find t sid pid packed >= 0 then false
+    else begin
+      if t.len = Array.length t.subs then grow_columns t;
+      ensure_slot_room t;
+      let row = t.len in
+      t.subs.(row) <- sid;
+      t.preds.(row) <- pid;
+      t.objs.(row) <- packed;
+      t.rows.(row) <- canonical sid pid packed;
+      t.len <- row + 1;
+      t.live <- t.live + 1;
+      reindex t row sid pid packed;
+      true
+    end
+
+  let resolve t (triple : Triple.t) =
+    match (Atom.find triple.subject, Atom.find triple.predicate) with
+    | Some sid, Some pid -> (
+        match find_packed triple.object_ with
+        | Some packed ->
+            let row = probe_find t sid pid packed in
+            if row >= 0 then Some row else None
+        | None -> None)
+    | _ -> None
+
+  let mem t triple = resolve t triple <> None
+
+  let remove t (triple : Triple.t) =
+    match resolve t triple with
+    | None -> false
+    | Some row ->
+        let sid = t.subs.(row) and pid = t.preds.(row) and packed = t.objs.(row) in
+        probe_remove t sid pid packed;
+        t.subs.(row) <- -1;
+        t.live <- t.live - 1;
+        aforget t.by_s sid;
+        aforget t.by_p pid;
+        aforget t.by_o packed;
+        if t.pairs_built then begin
+          forget t.by_sp (key_sp sid pid);
+          forget t.by_po (key_po pid packed)
+        end;
+        maybe_compact t;
+        true
+
+  let size t = t.live
+
+  let clear t =
+    t.subs <- Array.make 16 (-1);
+    t.preds <- Array.make 16 (-1);
+    t.objs <- Array.make 16 (-1);
+    t.rows <- Array.make 16 dummy;
+    t.len <- 0;
+    t.live <- 0;
+    t.slots <- Array.make (slot_capacity 0) (-1);
+    t.slot_dead <- 0;
+    Aidx.reset t.by_s;
+    Aidx.reset t.by_p;
+    Aidx.reset t.by_o;
+    Hashtbl.reset t.by_sp;
+    Hashtbl.reset t.by_po;
+    t.pairs_built <- false
+
+  (* Live row indices of a bucket, purging stale entries as we pass. *)
+  let live_items t (b : bucket) =
+    if b.live = 0 then begin
+      if b.items <> [] then b.items <- [];
+      []
+    end
+    else begin
+      let stale = ref false in
+      let keep =
+        List.filter
+          (fun r ->
+            if t.subs.(r) >= 0 then true
+            else begin
+              stale := true;
+              false
+            end)
+          b.items
+      in
+      if !stale then b.items <- keep;
+      keep
+    end
+
+  let bucket_triples t table key =
+    match Hashtbl.find_opt table key with
+    | None -> []
+    | Some b -> List.map (fun r -> t.rows.(r)) (live_items t b)
+
+  let bucket_live table key =
+    match Hashtbl.find_opt table key with
+    | None -> 0
+    | Some (b : bucket) -> b.live
+
+  let abucket_triples t idx key =
+    match Aidx.get idx key with
+    | None -> []
+    | Some b -> List.map (fun r -> t.rows.(r)) (live_items t b)
+
+  let abucket_live idx key =
+    match Aidx.get idx key with None -> 0 | Some (b : bucket) -> b.live
+
+  (* First pair-bound query after a bulk load, compaction, or [clear]:
+     build both pair indexes in one pass over the live rows. *)
+  let ensure_pairs t =
+    if not t.pairs_built then begin
+      t.pairs_built <- true;
+      for row = 0 to t.len - 1 do
+        let sid = t.subs.(row) in
+        if sid >= 0 then begin
+          push t.by_sp (key_sp sid t.preds.(row)) row;
+          push t.by_po (key_po t.preds.(row) t.objs.(row)) row
+        end
+      done
+    end
+
+  let all_rows t =
+    let acc = ref [] in
+    for r = t.len - 1 downto 0 do
+      if t.subs.(r) >= 0 then acc := t.rows.(r) :: !acc
+    done;
+    !acc
+
+  (* The subject+object (predicate free) combination has no pair index;
+     it walks the subject bucket comparing packed object ints. *)
+  let s_o_rows t sid packed =
+    match Aidx.get t.by_s sid with
+    | None -> []
+    | Some b ->
+        List.filter_map
+          (fun r -> if t.objs.(r) = packed then Some t.rows.(r) else None)
+          (live_items t b)
+
+  (* Resolve the bound fields once, up front; any unresolvable bound
+     string means the whole selection matches nothing. *)
+  let select ?subject ?predicate ?object_ t =
+    match
+      ( Option.map Atom.find subject,
+        Option.map Atom.find predicate,
+        Option.map find_packed object_ )
+    with
+    | (Some None, _, _ | _, Some None, _ | _, _, Some None) -> []
+    | None, None, None -> all_rows t
+    | Some (Some s), Some (Some p), Some (Some o) ->
+        let row = probe_find t s p o in
+        if row >= 0 then [ t.rows.(row) ] else []
+    | Some (Some s), Some (Some p), None ->
+        ensure_pairs t;
+        bucket_triples t t.by_sp (key_sp s p)
+    | Some (Some s), None, Some (Some o) -> s_o_rows t s o
+    | Some (Some s), None, None -> abucket_triples t t.by_s s
+    | None, Some (Some p), Some (Some o) ->
+        ensure_pairs t;
+        bucket_triples t t.by_po (key_po p o)
+    | None, Some (Some p), None -> abucket_triples t t.by_p p
+    | None, None, Some (Some o) -> abucket_triples t t.by_o o
+
+  let count ?subject ?predicate ?object_ t =
+    match
+      ( Option.map Atom.find subject,
+        Option.map Atom.find predicate,
+        Option.map find_packed object_ )
+    with
+    | (Some None, _, _ | _, Some None, _ | _, _, Some None) -> 0
+    | None, None, None -> t.live
+    | Some (Some s), Some (Some p), Some (Some o) ->
+        if probe_find t s p o >= 0 then 1 else 0
+    | Some (Some s), Some (Some p), None ->
+        ensure_pairs t;
+        bucket_live t.by_sp (key_sp s p)
+    | Some (Some s), None, Some (Some o) -> (
+        match Aidx.get t.by_s s with
+        | None -> 0
+        | Some b ->
+            List.fold_left
+              (fun n r -> if t.objs.(r) = o then n + 1 else n)
+              0 (live_items t b))
+    | Some (Some s), None, None -> abucket_live t.by_s s
+    | None, Some (Some p), Some (Some o) ->
+        ensure_pairs t;
+        bucket_live t.by_po (key_po p o)
+    | None, Some (Some p), None -> abucket_live t.by_p p
+    | None, None, Some (Some o) -> abucket_live t.by_o o
+
+  let exists ?subject ?predicate ?object_ t =
+    match
+      ( Option.map Atom.find subject,
+        Option.map Atom.find predicate,
+        Option.map find_packed object_ )
+    with
+    | (Some None, _, _ | _, Some None, _ | _, _, Some None) -> false
+    | None, None, None -> t.live > 0
+    | Some (Some s), Some (Some p), Some (Some o) -> probe_find t s p o >= 0
+    | Some (Some s), Some (Some p), None ->
+        ensure_pairs t;
+        bucket_live t.by_sp (key_sp s p) > 0
+    | Some (Some s), None, Some (Some o) -> (
+        match Aidx.get t.by_s s with
+        | None -> false
+        | Some b -> List.exists (fun r -> t.objs.(r) = o) (live_items t b))
+    | Some (Some s), None, None -> abucket_live t.by_s s > 0
+    | None, Some (Some p), Some (Some o) ->
+        ensure_pairs t;
+        bucket_live t.by_po (key_po p o) > 0
+    | None, Some (Some p), None -> abucket_live t.by_p p > 0
+    | None, None, Some (Some o) -> abucket_live t.by_o o > 0
+
+  let iter f t =
+    for r = 0 to t.len - 1 do
+      if t.subs.(r) >= 0 then f t.rows.(r)
+    done
+
+  let fold f t init =
+    let acc = ref init in
+    for r = 0 to t.len - 1 do
+      if t.subs.(r) >= 0 then acc := f t.rows.(r) !acc
+    done;
+    !acc
+
+  let to_list = all_rows
+  let add_all t triples = List.iter (fun x -> ignore (add t x)) triples
+
+  (* Bulk load for snapshot recovery. The store takes ownership of the
+     three column arrays — the decoder fills them and hands them over,
+     so nothing is copied and no per-row tuple is ever allocated — and
+     every table is pre-sized for the full row count (no growth
+     doublings, no rehashes). Input rows come from a decoded snapshot
+     of a set, so duplicates are not expected — but the payload is
+     untrusted, so the primary-set probe stays and a duplicate row is
+     compacted away in place (the write cursor trails the read cursor,
+     and every position behind the read cursor has been consumed). *)
+  let of_packed_columns subs preds objs =
+    let n = Array.length subs in
+    if Array.length preds <> n || Array.length objs <> n then
+      invalid_arg "Columnar_store.of_packed_columns: column lengths differ";
+    let t =
+      {
+        subs;
+        preds;
+        objs;
+        rows = Array.make (max 16 n) dummy;
+        len = 0;
+        live = 0;
+        slots = Array.make (slot_capacity n) (-1);
+        slot_dead = 0;
+        by_s = Aidx.create n;
+        by_p = Aidx.create n;
+        by_o = Aidx.create n;
+        by_sp = Hashtbl.create (max 64 n);
+        by_po = Hashtbl.create (max 64 n);
+        pairs_built = false;
+      }
+    in
+    for r = 0 to n - 1 do
+      let sid = t.subs.(r) and pid = t.preds.(r) and packed = t.objs.(r) in
+      if probe_find t sid pid packed < 0 then begin
+        let row = t.len in
+        t.subs.(row) <- sid;
+        t.preds.(row) <- pid;
+        t.objs.(row) <- packed;
+        t.rows.(row) <- canonical sid pid packed;
+        t.len <- row + 1;
+        t.live <- row + 1;
+        reindex t row sid pid packed
+      end
+    done;
+    t
+end
+
+module Sharded (B : S) = struct
+  (* [shard_count] base stores, each behind its own mutex, with triples
      placed by a hash of their subject. Writes and subject-bound reads touch
      exactly one shard, so concurrent domains working on different subjects
      proceed in parallel instead of serializing on one global lock.
@@ -290,13 +896,11 @@ module Sharded_store = struct
      each in turn; they see a consistent snapshot of every individual shard
      but not of the store as a whole — same caveat as any store without a
      global lock. Locks are never nested, so the store cannot deadlock. *)
-  module B = Indexed_store
-
   let shard_count = 8
 
   type t = { shards : B.t array; locks : Mutex.t array }
 
-  let name = "sharded"
+  let name = "sharded-" ^ B.name
 
   let create () =
     {
@@ -373,10 +977,21 @@ module Sharded_store = struct
   let add_all t triples = List.iter (fun x -> ignore (add t x)) triples
 end
 
+module Sharded_store = struct
+  include Sharded (Indexed_store)
+
+  (* Predates the functor; keeps its original registered name. *)
+  let name = "sharded"
+end
+
+module Sharded_columnar = Sharded (Columnar_store)
+
 let implementations =
   [
     (List_store.name, (module List_store : S));
     (Indexed_store.name, (module Indexed_store : S));
     (Locked_indexed.name, (module Locked_indexed : S));
+    (Columnar_store.name, (module Columnar_store : S));
     (Sharded_store.name, (module Sharded_store : S));
+    (Sharded_columnar.name, (module Sharded_columnar : S));
   ]

@@ -27,7 +27,7 @@ type t = {
   mutable observer : (op -> unit) option;
 }
 
-let create ?(store = (module Store.Indexed_store : Store.S)) () =
+let create ?(store = (module Store.Columnar_store : Store.S)) () =
   let (module S) = store in
   {
     pack = Pack ((module S), S.create ());
@@ -308,3 +308,221 @@ let equal_contents a b =
   && List.equal Triple.equal
        (List.sort Triple.compare (to_list a))
        (List.sort Triple.compare (to_list b))
+
+(* --------------------------------------------------------------- binary *)
+
+(* The compact persistence form: an [atoms] section (a string table
+   local to this snapshot — ids here are positions in the section, not
+   process-wide {!Atom} ids, so the bytes are position-independent) and
+   a [triples] section of three u32 columns per row referencing it,
+   objects packed as [local_id * 2 + tag] (tag 1 = literal). Triples are
+   sorted like {!to_xml}'s output, so equal stores encode to equal
+   bytes. *)
+
+module Wrec = Si_wal.Record
+module Wbin = Si_wal.Binary
+
+let atoms_section = "atoms"
+let triples_section = "triples"
+
+let binary_sections_of_triples triples =
+  (* The rows must come out in {!Triple.compare} order (equal stores →
+     equal bytes). Sorting the materialized triples directly is cheap
+     precisely because the store interns: triples out of the default
+     columnar store carry canonical atom strings, so every equal field
+     is physically equal and the string compares inside
+     {!Triple.compare} short-circuit on pointer identity — the sort
+     runs near int-compare speed over the long equal-subject and
+     equal-predicate runs. Everything here is sized to this snapshot,
+     never to the process-wide atom table (a long-lived process
+     accumulates atoms from every store it ever touched). *)
+  let sorted = List.sort Triple.compare triples in
+  let n = List.length triples in
+  (* Local ids are assigned in first-occurrence order over the sorted
+     rows (subject, predicate, object within each row). Keys are
+     structural, so non-canonical duplicates in foreign triple lists
+     still collapse to one atom. *)
+  let local_of = Hashtbl.create (max 16 (2 * n)) in
+  let natoms = ref 0 in
+  let atom_body = Buffer.create 1024 in
+  let local s =
+    match Hashtbl.find_opt local_of s with
+    | Some l -> l
+    | None ->
+        let l = !natoms in
+        incr natoms;
+        Hashtbl.add local_of s l;
+        Wrec.add_u32 atom_body (String.length s);
+        Buffer.add_string atom_body s;
+        l
+  in
+  let rows = Buffer.create ((12 * n) + 4) in
+  List.iter
+    (fun (tr : Triple.t) ->
+      let s = local tr.subject in
+      let p = local tr.predicate in
+      let packed =
+        match tr.object_ with
+        | Triple.Resource r -> 2 * local r
+        | Triple.Literal l -> (2 * local l) + 1
+      in
+      Wrec.add_u32 rows s;
+      Wrec.add_u32 rows p;
+      Wrec.add_u32 rows packed)
+    sorted;
+  let atoms = Buffer.create (Buffer.length atom_body + 4) in
+  Wrec.add_u32 atoms !natoms;
+  Buffer.add_buffer atoms atom_body;
+  let body = Buffer.create (Buffer.length rows + 4) in
+  Wrec.add_u32 body n;
+  Buffer.add_buffer body rows;
+  [
+    (atoms_section, Buffer.contents atoms);
+    (triples_section, Buffer.contents body);
+  ]
+
+let binary_sections t = binary_sections_of_triples (to_list t)
+
+let atoms_of_section s =
+  let total = String.length s in
+  if total < 4 then Error "atoms section shorter than its count header"
+  else begin
+    let count = Wrec.get_u32 s 0 in
+    let atoms = Array.make count "" in
+    let rec go i pos =
+      if i = count then
+        if pos = total then Ok atoms
+        else
+          Error
+            (Printf.sprintf "%d trailing byte(s) after last atom" (total - pos))
+      else if pos + 4 > total then Error "truncated atom length"
+      else begin
+        let len = Wrec.get_u32 s pos in
+        if pos + 4 + len > total then
+          Error (Printf.sprintf "atom length %d overruns section" len)
+        else begin
+          atoms.(i) <- String.sub s (pos + 4) len;
+          go (i + 1) (pos + 4 + len)
+        end
+      end
+    in
+    go 0 4
+  end
+
+(* Validated decode of the two sections into the atom-string table,
+   the raw rows body, and the row count: both sections' byte counts are
+   exact. Row ids are range-checked by [iter_rows]. *)
+let decode_sections sections =
+  match
+    (Wbin.section atoms_section sections, Wbin.section triples_section sections)
+  with
+  | None, _ -> Error "binary snapshot has no atoms section"
+  | _, None -> Error "binary snapshot has no triples section"
+  | Some atoms_payload, Some body -> (
+      match atoms_of_section atoms_payload with
+      | Error e -> Error e
+      | Ok atoms ->
+          let total = String.length body in
+          if total < 4 then
+            Error "triples section shorter than its count header"
+          else begin
+            let count = Wrec.get_u32 body 0 in
+            if total - 4 <> 12 * count then
+              Error
+                (Printf.sprintf
+                   "triples section carries %d byte(s) for %d row(s) (want %d)"
+                   (total - 4) count (12 * count))
+            else Ok (atoms, body, count)
+          end)
+
+(* Calls [f row s p packed] for every row, after checking that each
+   referenced atom id is in range — so callbacks can index the atoms
+   array unchecked. *)
+let iter_rows atoms body count f =
+  let natoms = Array.length atoms in
+  let rec go row =
+    if row = count then Ok ()
+    else begin
+      let base = 4 + (12 * row) in
+      let s = Wrec.get_u32 body base in
+      let p = Wrec.get_u32 body (base + 4) in
+      let packed = Wrec.get_u32 body (base + 8) in
+      let bad =
+        if s >= natoms then s
+        else if p >= natoms then p
+        else if packed lsr 1 >= natoms then packed lsr 1
+        else -1
+      in
+      if bad >= 0 then Error (Printf.sprintf "atom id %d out of range" bad)
+      else begin
+        f row s p packed;
+        go (row + 1)
+      end
+    end
+  in
+  go 0
+
+let triples_of_binary_sections sections =
+  match decode_sections sections with
+  | Error e -> Error e
+  | Ok (atoms, body, count) -> (
+      let acc = ref [] in
+      let emit _ s p packed =
+        let o = atoms.(packed lsr 1) in
+        let obj =
+          if packed land 1 = 0 then Triple.Resource o else Triple.Literal o
+        in
+        acc := Triple.make atoms.(s) atoms.(p) obj :: !acc
+      in
+      match iter_rows atoms body count emit with
+      | Error e -> Error e
+      | Ok () -> Ok (List.rev !acc))
+
+let to_binary t = Wbin.encode (binary_sections t)
+
+let triples_of_binary payload =
+  match Wbin.decode payload with
+  | Error e -> Error ("binary snapshot: " ^ e)
+  | Ok sections -> triples_of_binary_sections sections
+
+let of_binary ?store payload =
+  match Wbin.decode payload with
+  | Error e -> Error ("binary snapshot: " ^ e)
+  | Ok sections -> (
+      match store with
+      | Some _ -> (
+          match triples_of_binary_sections sections with
+          | Error e -> Error e
+          | Ok triples ->
+              let t = create ?store () in
+              add_all t triples;
+              Ok t)
+      | None -> (
+          (* Default (columnar) store: intern each distinct atom once
+             and decode the rows straight into global-id columns the
+             store takes ownership of — the recovery path never
+             materializes a triple list, allocates a per-row tuple, or
+             probes a string hashtable per row. *)
+          match decode_sections sections with
+          | Error e -> Error e
+          | Ok (atoms, body, count) -> (
+              let glob = Array.map Atom.intern atoms in
+              let subs = Array.make count 0 in
+              let preds = Array.make count 0 in
+              let objs = Array.make count 0 in
+              let fill row s p packed =
+                subs.(row) <- glob.(s);
+                preds.(row) <- glob.(p);
+                objs.(row) <- (2 * glob.(packed lsr 1)) + (packed land 1)
+              in
+              match iter_rows atoms body count fill with
+              | Error e -> Error e
+              | Ok () ->
+                  let s = Store.Columnar_store.of_packed_columns subs preds objs in
+                  Ok
+                    {
+                      pack = Pack ((module Store.Columnar_store), s);
+                      counter = 0;
+                      txn = None;
+                      observer = None;
+                    })))

@@ -12,7 +12,10 @@
 type t
 
 val create : ?store:(module Store.S) -> unit -> t
-(** Defaults to {!Store.Indexed_store}. *)
+(** Defaults to {!Store.Columnar_store} — the atom-interned compact
+    representation. Pass {!Store.Indexed_store} for the previous
+    string-keyed behaviour; semantics are identical (the conformance
+    suite holds every implementation to the same answers). *)
 
 val create_lightweight : unit -> t
 (** Uses {!Store.List_store} — the paper's small-footprint prototype
@@ -141,6 +144,41 @@ val save : t -> string -> (unit, string) result
     torn store file. I/O trouble is an [Error], not an exception. *)
 
 val load : ?store:(module Store.S) -> string -> (t, string) result
+
+(** {1 Binary persistence (the compact hot-path format)}
+
+    XML stays the export/interop format; WAL snapshots default to this
+    binary form — a {!Si_wal.Binary} container holding an [atoms]
+    section (a snapshot-local string table: ids are positions within
+    the section, independent of the process-wide {!Atom} table) and a
+    [triples] section of three u32 columns per row, objects packed as
+    [local_id * 2 + tag] (tag 1 = literal). Triples are sorted as in
+    {!to_xml}, so equal stores produce equal bytes. *)
+
+val to_binary : t -> string
+(** The full container: header plus [atoms] and [triples] sections. *)
+
+val of_binary : ?store:(module Store.S) -> string -> (t, string) result
+(** Inverse of {!to_binary}. Any malformation — bad container, a
+    section missing, an atom id out of range, a short row — is an
+    [Error], never a partial load. *)
+
+val triples_of_binary : string -> (Triple.t list, string) result
+(** The raw row list of a binary snapshot, in stored order, without
+    loading a store. Offline tooling (lint) uses this. *)
+
+val binary_sections : t -> (string * string) list
+(** The [(name, payload)] sections {!to_binary} frames — exposed so
+    composite snapshots (the slimpad WAL) can append their own sections
+    to the same container. *)
+
+val binary_sections_of_triples : Triple.t list -> (string * string) list
+(** Like {!binary_sections} for a bare triple list. *)
+
+val triples_of_binary_sections :
+  (string * string) list -> (Triple.t list, string) result
+(** Decode the [atoms] + [triples] sections out of an already-decoded
+    container. *)
 
 val equal_contents : t -> t -> bool
 (** Same triple set, regardless of store implementation. *)

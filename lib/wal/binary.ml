@@ -1,0 +1,79 @@
+(* Length-prefixed binary section container: the on-disk shape shared by
+   binary WAL snapshots. A container is a magic/version header followed by
+   named sections, each CRC-framed like {!Record} so a flipped bit is
+   pinned to the section it hit instead of poisoning the whole payload. *)
+
+let magic = "SIBF\x00\x00\x00\x01"
+let magic_len = String.length magic
+
+let is_binary s =
+  String.length s >= magic_len && String.equal (String.sub s 0 magic_len) magic
+
+let encode sections =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf magic;
+  Record.add_u32 buf (List.length sections);
+  List.iter
+    (fun (name, payload) ->
+      Record.add_u32 buf (String.length name);
+      Buffer.add_string buf name;
+      Record.add_u32 buf (String.length payload);
+      Record.add_u32 buf (Crc32.digest payload);
+      Buffer.add_string buf payload)
+    sections;
+  Buffer.contents buf
+
+let decode s =
+  let total = String.length s in
+  if not (is_binary s) then
+    if total >= magic_len && String.sub s 0 4 = String.sub magic 0 4 then
+      Error
+        (Printf.sprintf "unsupported binary container version %d"
+           (Char.code s.[magic_len - 1]))
+    else Error "not a binary container (bad magic)"
+  else if total < magic_len + 4 then Error "truncated section count"
+  else begin
+    let count = Record.get_u32 s magic_len in
+    let rec go acc pos remaining =
+      if remaining = 0 then
+        if pos = total then Ok (List.rev acc)
+        else
+          Error
+            (Printf.sprintf "%d trailing byte(s) after last section"
+               (total - pos))
+      else if pos + 4 > total then Error "truncated section name length"
+      else begin
+        let name_len = Record.get_u32 s pos in
+        let pos = pos + 4 in
+        if pos + name_len + 8 > total then
+          Error "truncated section header"
+        else begin
+          let name = String.sub s pos name_len in
+          let pos = pos + name_len in
+          let len = Record.get_u32 s pos in
+          let crc = Record.get_u32 s (pos + 4) in
+          let start = pos + 8 in
+          if start + len > total then
+            Error
+              (Printf.sprintf
+                 "section %S length %d overruns container (%d byte(s) left)"
+                 name len (total - start))
+          else begin
+            let actual = Crc32.digest ~pos:start ~len s in
+            if actual <> crc then
+              Error
+                (Printf.sprintf
+                   "section %S checksum mismatch (stored %08x, computed %08x)"
+                   name crc actual)
+            else
+              go
+                ((name, String.sub s start len) :: acc)
+                (start + len) (remaining - 1)
+          end
+        end
+      end
+    in
+    go [] (magic_len + 4) count
+  end
+
+let section name sections = List.assoc_opt name sections

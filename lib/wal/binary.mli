@@ -1,0 +1,42 @@
+(** Length-prefixed binary section container.
+
+    The on-disk shape of binary WAL snapshots: a fixed 8-byte
+    magic/version header, a section count, then named sections, each
+    CRC-32-framed like {!Record} so corruption is pinned to the section
+    it hit. XML stays the export/interop format; this container is the
+    compact representation the hot persistence path reads and writes.
+
+    Layout (all integers little-endian u32):
+    {v
+    offset  size  field
+    0       8     magic "SIBF\x00\x00\x00\x01" (name + version 1)
+    8       4     section count
+    --- per section ---
+    +0      4     name length n
+    +4      n     name bytes
+    +4+n    4     payload length p
+    +8+n    4     CRC-32 of payload
+    +12+n   p     payload bytes
+    v} *)
+
+val magic : string
+(** ["SIBF\x00\x00\x00\x01"] — 8 bytes, last byte is the format
+    version. *)
+
+val is_binary : string -> bool
+(** Format sniffer: does the payload start with {!magic}? Old XML
+    snapshots (which start with ['<']) answer [false] and keep loading
+    through the XML path unchanged. *)
+
+val encode : (string * string) list -> string
+(** [encode sections] frames the (name, payload) list. Section order is
+    preserved; names need not be distinct (decoders use the first
+    match). *)
+
+val decode : string -> ((string * string) list, string) result
+(** Inverse of {!encode}. Errors out — never returns a partial list —
+    on bad magic, an unsupported version, a truncated header, a section
+    overrunning the container, trailing bytes, or a CRC mismatch. *)
+
+val section : string -> (string * string) list -> string option
+(** First section with the given name, if any. *)

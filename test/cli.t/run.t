@@ -17,7 +17,7 @@ The workspace holds the base documents plus the pad store:
   Rounds (9 bundles, 47 scraps)
 
   $ slimpad stats ws | head -4
-  store implementation : indexed
+  store implementation : columnar
   triples              : 547
   pads                 : 1
   marks                : 47
@@ -159,14 +159,24 @@ each mutation appends records instead of rewriting the whole store:
   generation     1
   records        0
   log bytes      12
-  snapshot bytes 54775
+  snapshot bytes 29415
+  snapshot form  binary
+    atoms        5347 bytes (329 atoms)
+    triples      6568 bytes (547 rows)
+    marks        9868 bytes
+    journal      7548 bytes
   $ slimpad add-pad wsj "Scratch"
   created pad "Scratch"
   $ slimpad wal-inspect wsj
   generation     1
   records        6
   log bytes      412
-  snapshot bytes 54775
+  snapshot bytes 29415
+  snapshot form  binary
+    atoms        5347 bytes (329 atoms)
+    triples      6568 bytes (547 rows)
+    marks        9868 bytes
+    journal      7548 bytes
 
 Compaction folds the log into a fresh snapshot:
 
@@ -176,7 +186,12 @@ Compaction folds the log into a fresh snapshot:
   generation     2
   records        0
   log bytes      12
-  snapshot bytes 55140
+  snapshot bytes 29597
+  snapshot form  binary
+    atoms        5383 bytes (332 atoms)
+    triples      6628 bytes (552 rows)
+    marks        9868 bytes
+    journal      7634 bytes
 
 A crash mid-append leaves a torn tail; opening the workspace recovers to
 the last complete record, warns, and persists the truncation:
@@ -193,7 +208,12 @@ the last complete record, warns, and persists the truncation:
   generation     2
   records        5
   log bytes      335
-  snapshot bytes 55140
+  snapshot bytes 29597
+  snapshot form  binary
+    atoms        5383 bytes (332 atoms)
+    triples      6628 bytes (552 rows)
+    marks        9868 bytes
+    journal      7634 bytes
 
 An existing whole-file workspace converts in place:
 
@@ -241,14 +261,15 @@ Observability: every invocation counts its hot-path operations.
   $ slimpad init ws6 --scenario icu --seed 7 > /dev/null
   $ slimpad stats ws6 | sed -n '/counters:/,$p'
   counters:
+    atom.intern   329
     triple.insert 547
     triple.select 151
   $ slimpad stats --json ws6 | grep -A 4 '"instrumentation"'
     "instrumentation": {
       "counters": {
+        "atom.intern": 329,
         "triple.insert": 547,
         "triple.select": 151
-      },
 
 `trace` replays one gesture with span tracing enabled and prints the
 span tree; --no-timings keeps the output reproducible:
@@ -262,6 +283,7 @@ span tree; --no-timings keeps the output reproducible:
   triple.select
   resilient.resolve
   $ slimpad trace ws6 open --no-timings | sort | uniq -c | sed 's/^ *//'
+  329   atom.intern
   547 triple.insert
   150 triple.select
   $ slimpad trace ws6 bogus

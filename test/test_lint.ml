@@ -416,6 +416,82 @@ let test_wal_bad_snapshot_doc () =
        (Re.compile (Re.str "not a <slimpad-store>"))
        (List.hd diags).Si_lint.message)
 
+(* A well-formed binary snapshot payload with a little content. *)
+let binary_snap_payload () =
+  let trim = Trim.create () in
+  ignore (Trim.add trim (Triple.make "s" "p" (Triple.literal "v")));
+  Trim.to_binary trim
+
+let test_wal_binary_snapshot_clean () =
+  let path = temp_wal "pad.wal" in
+  write_file path (log_bytes []);
+  write_file (Log.snapshot_path path) (snap_bytes (binary_snap_payload ()));
+  check_int "no diagnostics" 0 (List.length (Si_lint.run (wal_only path)))
+
+let test_wal_binary_snapshot_crc () =
+  (* Flip the last byte of the container (inside a section payload) but
+     keep the outer snapshot frame valid: SL305, and SL305 alone. *)
+  let path = temp_wal "pad.wal" in
+  write_file path (log_bytes []);
+  let payload = corrupt_frame (binary_snap_payload ()) in
+  write_file (Log.snapshot_path path) (snap_bytes payload);
+  let diags = Si_lint.run (wal_only path) in
+  only_code "SL305" diags;
+  check_bool "error severity" true
+    ((List.hd diags).Si_lint.severity = Si_lint.Error)
+
+let test_wal_binary_snapshot_truncated () =
+  let path = temp_wal "pad.wal" in
+  write_file path (log_bytes []);
+  let full = binary_snap_payload () in
+  write_file (Log.snapshot_path path)
+    (snap_bytes (String.sub full 0 (String.length full - 7)));
+  only_code "SL305" (Si_lint.run (wal_only path))
+
+let test_wal_binary_snapshot_version () =
+  let path = temp_wal "pad.wal" in
+  write_file path (log_bytes []);
+  let future = Bytes.of_string (binary_snap_payload ()) in
+  Bytes.set future 7 '\x63';
+  write_file (Log.snapshot_path path) (snap_bytes (Bytes.to_string future));
+  let diags = Si_lint.run (wal_only path) in
+  only_code "SL305" diags;
+  check_bool "names the version" true
+    (Re.execp (Re.compile (Re.str "version")) (List.hd diags).Si_lint.message)
+
+let test_wal_binary_snapshot_missing_section () =
+  (* A well-framed container without its triple data: container shape,
+     so SL305 (and not SL304). *)
+  let path = temp_wal "pad.wal" in
+  write_file path (log_bytes []);
+  write_file (Log.snapshot_path path)
+    (snap_bytes (Si_wal.Binary.encode [ ("marks", "<marks/>") ]));
+  let diags = Si_lint.run (wal_only path) in
+  only_code "SL305" diags;
+  check_bool "explains" true
+    (Re.execp
+       (Re.compile (Re.str "atoms or triples"))
+       (List.hd diags).Si_lint.message)
+
+let test_wal_binary_snapshot_bad_rows () =
+  (* The container decodes but its triples section lies about its row
+     count: stream contents, so SL304 (and not SL305). *)
+  let path = temp_wal "pad.wal" in
+  write_file path (log_bytes []);
+  let atoms = Buffer.create 16 in
+  Record.add_u32 atoms 0;
+  let rows = Buffer.create 16 in
+  Record.add_u32 rows 5;
+  (* five rows claimed, zero provided *)
+  write_file (Log.snapshot_path path)
+    (snap_bytes
+       (Si_wal.Binary.encode
+          [
+            ("atoms", Buffer.contents atoms); ("triples", Buffer.contents rows);
+          ]));
+  let diags = Si_lint.run (wal_only path) in
+  only_code "SL304" diags
+
 (* --------------------------------------------------------------- fixes *)
 
 let test_fix_removes_orphan_layout () =
@@ -611,6 +687,14 @@ let suite =
     ("SL304 journal regression", `Quick, test_wal_journal_regression);
     ("journal resets are monotone", `Quick, test_wal_journal_truncation_resets);
     ("SL304 bad snapshot document", `Quick, test_wal_bad_snapshot_doc);
+    ("SL305 clean binary snapshot", `Quick, test_wal_binary_snapshot_clean);
+    ("SL305 section CRC mismatch", `Quick, test_wal_binary_snapshot_crc);
+    ("SL305 truncated container", `Quick, test_wal_binary_snapshot_truncated);
+    ("SL305 unsupported version", `Quick, test_wal_binary_snapshot_version);
+    ("SL305 missing triple sections", `Quick,
+     test_wal_binary_snapshot_missing_section);
+    ("SL304 binary rows undecodable", `Quick,
+     test_wal_binary_snapshot_bad_rows);
     ("fix removes orphan layout triples", `Quick, test_fix_removes_orphan_layout);
     ("fix without a live store", `Quick, test_fix_nothing_without_dmi);
     ("fix is journaled and replays", `Quick, test_fix_journaled_replays_fixed);

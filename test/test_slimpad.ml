@@ -519,6 +519,51 @@ let test_wal_rollback_consistency () =
   ok (Slimpad.wal_close app);
   cleanup_wal path
 
+(* ------------------------------------- binary snapshot back-compat *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let test_save_still_xml () =
+  (* XML stays the export/interop format: [save] writes a plain
+     <slimpad-store> document, never the binary container. *)
+  let app, _, _, _, _, _ = fig4_app () in
+  let tmp = Filename.temp_file "slimpad_save" ".xml" in
+  ok (Slimpad.save app tmp);
+  let contents = read_file tmp in
+  Sys.remove tmp;
+  check_bool "save emits XML text" true
+    (String.length contents > 0 && contents.[0] = '<');
+  check_bool "not sniffed as binary" false (Si_wal.Binary.is_binary contents)
+
+let test_wal_xml_snapshot_back_compat () =
+  (* A WAL whose last snapshot predates the binary codec holds a whole
+     <slimpad-store> document; recovery sniffs the payload and loads it
+     through the XML path unchanged. *)
+  let app, _, _, _, _, _ = fig4_app () in
+  let tmp = Filename.temp_file "slimpad_xml_snap" ".xml" in
+  ok (Slimpad.save app tmp);
+  let xml_payload = read_file tmp in
+  Sys.remove tmp;
+  let wok what = function
+    | Ok v -> v
+    | Error e -> Alcotest.failf "%s: %s" what (Si_wal.Log.error_to_string e)
+  in
+  let path = fresh_wal_path () in
+  let log, _ = wok "open log" (Si_wal.Log.open_ path) in
+  wok "cut xml snapshot" (Si_wal.Log.cut_snapshot log xml_payload);
+  wok "close log" (Si_wal.Log.close log);
+  let app2, rc = ok (Slimpad.open_wal (fig4_desktop ()) path) in
+  check_bool "recovered from the XML snapshot" true rc.Slimpad.from_snapshot;
+  check_same_state app app2;
+  (* The next compaction rewrites it in the binary form and the pad
+     still round-trips. *)
+  ok (Slimpad.wal_compact app2);
+  ok (Slimpad.wal_close app2);
+  let app3, _ = ok (Slimpad.open_wal (fig4_desktop ()) path) in
+  check_same_state app app3;
+  ok (Slimpad.wal_close app3);
+  cleanup_wal path
+
 let suite =
   [
     ("add_scrap creates the mark (F5)", `Quick, test_add_scrap_creates_mark);
@@ -546,4 +591,7 @@ let suite =
     ("wal: torn tail recovery", `Quick, test_wal_torn_tail_recovery);
     ("wal: rollback keeps log & memory agreeing", `Quick,
      test_wal_rollback_consistency);
+    ("save still emits XML", `Quick, test_save_still_xml);
+    ("wal: XML snapshot back-compat", `Quick,
+     test_wal_xml_snapshot_back_compat);
   ]

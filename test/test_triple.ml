@@ -327,6 +327,161 @@ let test_sharded_stale_pair_after_domains () =
   check_int "po bucket consistent" (S.size s)
     (List.length (S.select ~predicate:"p" ~object_:(Triple.literal "v") s))
 
+(* ----------------------------------------------------- atom interning *)
+
+(* The table is process-global, so these tests use strings no other test
+   interns and never assume a starting size. *)
+
+let test_atom_roundtrip () =
+  let s = "atom-test-roundtrip-α" in
+  check_bool "not yet interned" true (Atom.find s = None);
+  let id = Atom.intern s in
+  check_int "intern is idempotent" id (Atom.intern s);
+  check_bool "find agrees" true (Atom.find s = Some id);
+  check "to_string inverts" s (Atom.to_string id);
+  check_bool "canonical instance is physically stable" true
+    (Atom.to_string id == Atom.to_string id)
+
+let test_atom_find_never_interns () =
+  let before = Atom.size () in
+  for i = 0 to 99 do
+    ignore (Atom.find (Printf.sprintf "atom-test-never-stored-%d" i))
+  done;
+  check_int "find did not grow the table" before (Atom.size ());
+  check_bool "unknown id raises" true
+    (match Atom.to_string max_int with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_atom_canon () =
+  let interned = "atom-test-canon-hit" in
+  let id = Atom.intern interned in
+  (* A fresh copy with the same contents canonicalizes to the stored
+     instance — physical equality, the String.equal fast path. *)
+  let copy = String.sub (interned ^ "!") 0 (String.length interned) in
+  check_bool "copy is a distinct instance" false (copy == interned);
+  check_bool "canon returns the stored instance" true
+    (Atom.canon copy == Atom.to_string id);
+  let stranger = "atom-test-canon-miss" in
+  check_bool "canon of an unknown string is the argument" true
+    (Atom.canon stranger == stranger)
+
+let test_atom_growth_dense_ids () =
+  (* Force several doublings; ids must stay dense and stable. *)
+  let ids =
+    List.init 3000 (fun i -> Atom.intern (Printf.sprintf "atom-test-grow-%d" i))
+  in
+  List.iteri
+    (fun i id ->
+      if Atom.intern (Printf.sprintf "atom-test-grow-%d" i) <> id then
+        Alcotest.failf "id %d moved after growth" i)
+    ids;
+  let sorted = List.sort_uniq compare ids in
+  check_int "ids are distinct" 3000 (List.length sorted)
+
+let test_atom_parallel_intern () =
+  (* Four domains intern overlapping ranges; every string must end up
+     with exactly one id, and readers racing the appends must never see
+     an inconsistent snapshot. *)
+  let name i = Printf.sprintf "atom-test-par-%d" i in
+  let worker d () =
+    let ids = Array.make 512 (-1) in
+    for i = 0 to 511 do
+      ids.(i) <- Atom.intern (name ((i + (d * 128)) mod 512));
+      ignore (Atom.find (name (511 - i)))
+    done;
+    ids
+  in
+  let domains = List.init 4 (fun d -> Domain.spawn (worker d)) in
+  let _ = List.map Domain.join domains in
+  for i = 0 to 511 do
+    let id = Atom.intern (name i) in
+    check "parallel intern converged" (name i) (Atom.to_string id)
+  done
+
+(* ------------------------------------------- columnar store internals *)
+
+let test_columnar_compaction () =
+  (* Churn enough rows through the store to force tombstone compaction;
+     contents and every index must survive it. *)
+  let module S = Store.Columnar_store in
+  let s = S.create () in
+  let tr i = Triple.make (Printf.sprintf "c%d" i) "p" (Triple.literal "v") in
+  for round = 0 to 4 do
+    for i = 0 to 999 do
+      ignore (S.add s (tr ((round * 1000) + i)))
+    done;
+    for i = 0 to 999 do
+      if i mod 2 = 0 then ignore (S.remove s (tr ((round * 1000) + i)))
+    done
+  done;
+  check_int "size survives churn" 2500 (S.size s);
+  check_int "predicate count" 2500 (S.count ~predicate:"p" s);
+  check_int "object select" 2500
+    (List.length (S.select ~object_:(Triple.literal "v") s));
+  check_bool "survivor present" true (S.mem s (tr 1));
+  check_bool "victim gone" false (S.mem s (tr 0));
+  check_int "sp bucket exact" 1 (S.count ~subject:"c1" ~predicate:"p" s);
+  check_int "removed sp bucket empty" 0 (S.count ~subject:"c0" ~predicate:"p" s)
+
+let test_indexed_clear_purges_indexes () =
+  (* Regression: [clear] must purge the pair indexes and keep the removal
+     stamp monotone. The old stamp rewind (to 0) could let a bucket
+     cleaned before the clear alias a fresh post-clear stamp and serve
+     stale items as exact. *)
+  let module S = Store.Indexed_store in
+  let s = S.create () in
+  let t = Triple.make "cl-s" "cl-p" (Triple.literal "cl-v") in
+  ignore (S.add s t);
+  ignore (S.remove s t);
+  (* Lazy-clean the sp and po buckets at the current stamp. *)
+  check_int "sp cleaned empty" 0 (List.length (S.select ~subject:"cl-s" ~predicate:"cl-p" s));
+  check_int "po cleaned empty" 0
+    (List.length (S.select ~predicate:"cl-p" ~object_:(Triple.literal "cl-v") s));
+  S.clear s;
+  check_int "empty after clear" 0 (S.size s);
+  check_bool "select empty after clear" true (S.select s = []);
+  (* Reuse the same keys after the clear: every index answers exactly. *)
+  ignore (S.add s t);
+  check_int "sp exact after clear+re-add" 1
+    (List.length (S.select ~subject:"cl-s" ~predicate:"cl-p" s));
+  check_int "po exact after clear+re-add" 1
+    (List.length (S.select ~predicate:"cl-p" ~object_:(Triple.literal "cl-v") s));
+  check_int "count sp" 1 (S.count ~subject:"cl-s" ~predicate:"cl-p" s);
+  ignore (S.remove s t);
+  check_int "sp empty after final remove" 0
+    (List.length (S.select ~subject:"cl-s" ~predicate:"cl-p" s));
+  S.clear s;
+  S.clear s;
+  (* Double clear then fresh content: still exact. *)
+  ignore (S.add s t);
+  check_int "exact after double clear" 1
+    (S.count ~predicate:"cl-p" ~object_:(Triple.literal "cl-v") s)
+
+let test_sharded_columnar_parallel () =
+  (* The sharded wrapper over the columnar base: disjoint adds from four
+     domains, with interleaved cross-shard reads. *)
+  let module S = Store.Sharded_columnar in
+  let s = S.create () in
+  let per_domain = 500 in
+  let worker d () =
+    for i = 0 to per_domain - 1 do
+      ignore
+        (S.add s
+           (Triple.make
+              (Printf.sprintf "sc%d-r%d" d i)
+              "p"
+              (Triple.literal (string_of_int i))));
+      if i mod 50 = 0 then ignore (S.select ~predicate:"p" s);
+      if i mod 25 = 0 then
+        ignore (S.exists ~subject:(Printf.sprintf "sc%d-r%d" d (i / 2)) s)
+    done
+  in
+  let domains = List.init 4 (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join domains;
+  check_int "all triples present" (4 * per_domain) (S.size s);
+  check_int "count agrees" (4 * per_domain) (S.count ~predicate:"p" s)
+
 (* ---------------------------------------------------------------- TRIM *)
 
 let make_trim () =
@@ -706,6 +861,28 @@ let prop_xml_roundtrip =
       | Ok trim2 -> Trim.equal_contents trim trim2
       | Error _ -> false)
 
+let prop_binary_roundtrip =
+  QCheck.Test.make ~name:"TRIM binary round-trip" ~count:200 arbitrary_triples
+    (fun triples ->
+      let trim = Trim.create () in
+      Trim.add_all trim triples;
+      let bytes = Trim.to_binary trim in
+      match Trim.of_binary bytes with
+      | Ok trim2 ->
+          Trim.equal_contents trim trim2
+          (* Equal stores produce equal bytes (rows are sorted). *)
+          && String.equal bytes (Trim.to_binary trim2)
+      | Error _ -> false)
+
+let prop_binary_xml_agree =
+  QCheck.Test.make ~name:"binary and XML persistence agree" ~count:100
+    arbitrary_triples (fun triples ->
+      let trim = Trim.create () in
+      Trim.add_all trim triples;
+      match (Trim.of_binary (Trim.to_binary trim), Trim.of_xml (Trim.to_xml trim)) with
+      | Ok a, Ok b -> Trim.equal_contents a b
+      | _ -> false)
+
 let prop_view_is_sound =
   QCheck.Test.make ~name:"view triples all reachable, subjects in closure"
     ~count:200 arbitrary_triples (fun triples ->
@@ -726,6 +903,8 @@ let props =
       prop_stores_agree_after_removal;
       prop_all_stores_conform;
       prop_xml_roundtrip;
+      prop_binary_roundtrip;
+      prop_binary_xml_agree;
       prop_view_is_sound;
     ]
 
@@ -735,6 +914,8 @@ let suite =
   @ store_tests (module Store.Indexed_store)
   @ store_tests (module Store.Locked_indexed)
   @ store_tests (module Store.Sharded_store)
+  @ store_tests (module Store.Columnar_store)
+  @ store_tests (module Store.Sharded_columnar)
   @ [
       ("locked: parallel adds across domains", `Quick, test_parallel_adds);
       ("locked: parallel mixed operations", `Quick, test_parallel_mixed_ops);
@@ -744,6 +925,17 @@ let suite =
        test_sharded_parallel_mixed_ops);
       ("sharded: pair indexes survive concurrent churn", `Quick,
        test_sharded_stale_pair_after_domains);
+      ("atom: intern/find/to_string round-trip", `Quick, test_atom_roundtrip);
+      ("atom: find never interns", `Quick, test_atom_find_never_interns);
+      ("atom: canon returns stored instances", `Quick, test_atom_canon);
+      ("atom: ids stable across growth", `Quick, test_atom_growth_dense_ids);
+      ("atom: parallel intern converges", `Quick, test_atom_parallel_intern);
+      ("columnar: compaction preserves contents", `Quick,
+       test_columnar_compaction);
+      ("indexed: clear purges indexes (regression)", `Quick,
+       test_indexed_clear_purges_indexes);
+      ("sharded-columnar: parallel adds", `Quick,
+       test_sharded_columnar_parallel);
     ]
   @ [
       ("trim: typed accessors", `Quick, test_trim_accessors);

@@ -616,6 +616,163 @@ let prop_recovery_is_prefix =
       cleanup path;
       matches_prefix)
 
+(* ------------------------------------------- binary section container *)
+
+let test_binary_roundtrip () =
+  let sections =
+    [
+      ("atoms", "alpha\x00beta");
+      ("triples", String.init 300 (fun i -> Char.chr (i land 0xff)));
+      ("empty", "");
+      ("atoms", "a shadowed duplicate");
+    ]
+  in
+  let s = Binary.encode sections in
+  check_bool "sniffer accepts" true (Binary.is_binary s);
+  check_bool "sniffer rejects XML" false (Binary.is_binary "<triples/>");
+  check_bool "sniffer rejects short" false (Binary.is_binary "SIB");
+  let decoded = sok_exn "decode" (Binary.decode s) in
+  check_int "all sections back" 4 (List.length decoded);
+  check_bool "order preserved" true
+    (List.map fst decoded = [ "atoms"; "triples"; "empty"; "atoms" ]);
+  check "first match wins" "alpha\x00beta"
+    (Option.get (Binary.section "atoms" decoded));
+  check "empty payload survives" ""
+    (Option.get (Binary.section "empty" decoded));
+  check_bool "missing section is None" true
+    (Binary.section "nope" decoded = None);
+  check "empty container round-trips" ""
+    (match Binary.decode (Binary.encode []) with
+    | Ok [] -> ""
+    | Ok _ -> "nonempty"
+    | Error e -> e)
+
+let test_binary_rejects_damage () =
+  let s = Binary.encode [ ("atoms", "payload-a"); ("triples", "payload-t") ] in
+  let expect_error what bytes =
+    match Binary.decode bytes with
+    | Ok _ -> Alcotest.failf "%s: decoded damaged container" what
+    | Error _ -> ()
+  in
+  expect_error "bad magic" ("XXXX" ^ String.sub s 4 (String.length s - 4));
+  let future = Bytes.of_string s in
+  Bytes.set future 7 '\x02';
+  expect_error "future version" (Bytes.to_string future);
+  (match Binary.decode (Bytes.to_string future) with
+  | Error e ->
+      check_bool "version error names the version" true
+        (String.contains e '2')
+  | Ok _ -> Alcotest.fail "future version accepted");
+  expect_error "trailing garbage" (s ^ "x");
+  (* Flip one payload byte: the section CRC must catch it. *)
+  let flipped = Bytes.of_string s in
+  let last = Bytes.length flipped - 1 in
+  Bytes.set flipped last (Char.chr (Char.code (Bytes.get flipped last) lxor 1));
+  expect_error "payload bit flip" (Bytes.to_string flipped)
+
+let test_binary_truncation_at_every_offset () =
+  (* Any strict prefix of a container must decode to an error — never a
+     partial section list, never an exception. *)
+  let s = Binary.encode [ ("atoms", "some atoms"); ("triples", "rows") ] in
+  for cut = 0 to String.length s - 1 do
+    match Binary.decode (String.sub s 0 cut) with
+    | Ok _ -> Alcotest.failf "prefix of %d bytes decoded" cut
+    | Error _ -> ()
+  done;
+  check_int "full container decodes" 2
+    (List.length (sok_exn "full" (Binary.decode s)))
+
+let prop_binary_container_roundtrip =
+  let gen_section =
+    QCheck.Gen.(
+      pair
+        (oneofl [ "atoms"; "triples"; "marks"; "journal"; "x" ])
+        (string_size (int_range 0 200)))
+  in
+  QCheck.Test.make ~name:"binary container round-trip" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 8) gen_section))
+    (fun sections ->
+      match Binary.decode (Binary.encode sections) with
+      | Ok back -> back = sections
+      | Error _ -> false)
+
+let prop_binary_corruption_never_partial =
+  (* Flip one byte anywhere in a container: decode either still succeeds
+     with the original sections (the flip hit a name byte is impossible —
+     names are CRC-free, so a name flip yields different sections; accept
+     any Ok only if it equals the original) or errors. It must never
+     raise, and a CRC-protected payload flip must error. *)
+  QCheck.Test.make ~name:"binary container: single byte flips never crash"
+    ~count:300
+    (QCheck.make QCheck.Gen.(pair (int_range 0 1000) (string_size (int_range 1 80))))
+    (fun (pos, payload) ->
+      let s = Binary.encode [ ("atoms", payload); ("triples", "fixed") ] in
+      let pos = pos mod String.length s in
+      let b = Bytes.of_string s in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+      match Binary.decode (Bytes.to_string b) with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
+let test_binary_snapshot_crash_at_every_offset () =
+  (* A WAL whose snapshot is a binary Trim container: cut the LOG at
+     every byte offset; recovery must always land on a record-boundary
+     prefix replayed over the intact snapshot. Then cut the SNAPSHOT at
+     every offset: opening must fail cleanly (corrupt snapshot), never
+     crash, never half-load. *)
+  let path = fresh_path () in
+  let { Durable.durable = d; _ } = sok_exn "open" (Durable.open_ path) in
+  let t = Durable.trim d in
+  List.iter
+    (fun i -> ignore (Trim.add t (tr ("base" ^ string_of_int i) "p" "v")))
+    [ 0; 1; 2; 3; 4 ];
+  sok_exn "checkpoint" (Durable.checkpoint d);
+  List.iter
+    (fun i -> ignore (Trim.add t (tr ("tail" ^ string_of_int i) "p" "v")))
+    [ 0; 1; 2 ];
+  sok_exn "close" (Durable.close d);
+  let snap_path = Log.snapshot_path path in
+  let snap = read_bytes snap_path in
+  (* The .snap file wraps the payload in its own framing: an 8-byte
+     snapshot magic, a u32 generation, then one CRC-framed record. *)
+  let payload_off = 8 + 4 + Record.header_size in
+  check_bool "snapshot payload is binary" true
+    (Binary.is_binary
+       (String.sub snap payload_off (String.length snap - payload_off)));
+  let full_log = read_bytes path in
+  let scratch = fresh_path () in
+  let scratch_snap = Log.snapshot_path scratch in
+  (* Log cuts over the intact binary snapshot. *)
+  for cut = 0 to String.length full_log do
+    write_bytes scratch (String.sub full_log 0 cut);
+    write_bytes scratch_snap snap;
+    match Durable.open_ scratch with
+    | Ok { Durable.durable = d2; _ } ->
+        let size = Trim.size (Durable.trim d2) in
+        if size < 5 || size > 8 then
+          Alcotest.failf "log cut %d: recovered %d triples" cut size;
+        sok_exn "close cut" (Durable.close d2)
+    | Error _ when cut < 12 -> () (* header itself torn *)
+    | Error e -> Alcotest.failf "log cut %d: %s" cut e
+  done;
+  (* Snapshot cuts under the intact log: every strict prefix must be
+     rejected wholesale. *)
+  let step = max 1 (String.length snap / 97) in
+  let cut = ref 0 in
+  while !cut < String.length snap do
+    write_bytes scratch full_log;
+    write_bytes scratch_snap (String.sub snap 0 !cut);
+    (match Durable.open_ scratch with
+    | Ok { Durable.durable = d2; _ } ->
+        (* An empty file is a legal "no snapshot yet" state. *)
+        if !cut <> 0 then Alcotest.failf "snapshot cut %d: opened" !cut
+        else sok_exn "close empty-snap" (Durable.close d2)
+    | Error _ -> ());
+    cut := !cut + step
+  done;
+  cleanup path;
+  cleanup scratch
+
 let suite =
   [
     ("crc32 vectors", `Quick, test_crc_vectors);
@@ -642,6 +799,17 @@ let suite =
      test_durable_checkpoint);
     ("durable refuses undecodable records", `Quick,
      test_durable_undecodable_record);
+    ("binary container round-trip & sniffer", `Quick, test_binary_roundtrip);
+    ("binary container rejects damage", `Quick, test_binary_rejects_damage);
+    ("binary container truncation at every offset", `Quick,
+     test_binary_truncation_at_every_offset);
+    ("binary snapshot: crash at every offset", `Quick,
+     test_binary_snapshot_crash_at_every_offset);
   ]
   @ List.map QCheck_alcotest.to_alcotest
-      [ prop_durable_conforms; prop_recovery_is_prefix ]
+      [
+        prop_durable_conforms;
+        prop_recovery_is_prefix;
+        prop_binary_container_roundtrip;
+        prop_binary_corruption_never_partial;
+      ]
