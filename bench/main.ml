@@ -1112,6 +1112,161 @@ let snapshot_size_report () =
         (float_of_int xml /. float_of_int bin))
     (if !smoke then [ 10_000 ] else [ 10_000; 100_000 ])
 
+(* ------------- E16: WAL shipping, follower lag, and PITR restore *)
+
+(* What replication costs the write path, and what recovery costs the
+   read path. Three angles: (a) the per-append overhead of the shipping
+   tee and of synchronously draining to in-process followers, against a
+   plain journal append; (b) the follower staleness bound under load at
+   different ship cadences, as a printed distribution; (c) point-in-time
+   restore cost against archive depth, through the real Slimpad path
+   (base snapshot + sealed-segment replay). Followers here are raw
+   [Si_wal.Replica]s with no-op apply/install so the probes price the
+   protocol and framing, not the TRIM mutation underneath (E12 already
+   prices that). *)
+
+let e16_dir () =
+  let dir = Filename.temp_file "si_bench_repl" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  dir
+
+let e16_replica () =
+  Si_wal.Replica.create
+    ~apply:(fun _ -> Ok ())
+    ~install:(fun ~term:_ ~seq:_ _ -> Ok ())
+    ()
+
+let e16_leader ~followers () =
+  let dir = e16_dir () in
+  let log, _ =
+    Result.get_ok (Si_wal.Log.open_ (Filename.concat dir "leader.wal"))
+  in
+  let sh =
+    Result.get_ok
+      (Si_wal.Ship.create ~archive:(Filename.concat dir "archive") log)
+  in
+  let replicas =
+    List.init followers (fun i ->
+        let r = e16_replica () in
+        Result.get_ok
+          (Si_wal.Ship.attach sh
+             ~name:(Printf.sprintf "f%d" i)
+             (Si_wal.Replica.transport r));
+        r)
+  in
+  (log, sh, replicas)
+
+let ship_overhead_tests () =
+  let payload = String.make 64 'x' in
+  let plain =
+    let dir = e16_dir () in
+    let log, _ =
+      Result.get_ok (Si_wal.Log.open_ (Filename.concat dir "a.wal"))
+    in
+    Test.make ~name:"append 64B: plain log"
+      (staged (fun () -> ignore (Si_wal.Log.append log payload)))
+  in
+  let teed =
+    let log, _, _ = e16_leader ~followers:0 () in
+    Test.make ~name:"append 64B: shipper tee (seal amortized)"
+      (staged (fun () -> ignore (Si_wal.Log.append log payload)))
+  in
+  let shipped n =
+    let log, sh, _ = e16_leader ~followers:n () in
+    Test.make
+      ~name:
+        (Printf.sprintf "append+ship 64B: %d in-process follower%s" n
+           (if n = 1 then "" else "s"))
+      (staged (fun () ->
+           ignore (Si_wal.Log.append log payload);
+           Result.get_ok (Si_wal.Ship.ship sh)))
+  in
+  let burst k =
+    let log, sh, _ = e16_leader ~followers:1 () in
+    Test.make
+      ~name:(Printf.sprintf "ship burst: %d x 64B, 1 follower" k)
+      (staged (fun () ->
+           for _ = 1 to k do
+             ignore (Si_wal.Log.append log payload)
+           done;
+           Result.get_ok (Si_wal.Ship.ship sh)))
+  in
+  [ plain; teed; shipped 1; shipped 3 ]
+  @ List.map burst (if !smoke then [ 16 ] else [ 16; 64 ])
+
+(* The staleness a reader sees at a follower between ship rounds,
+   sampled leader-side (records assigned minus records acked) after
+   every append. The p50 of a cadence-k stream sits near k/2; the max
+   is the bound [fresh_enough] enforces against. *)
+let ship_lag_report () =
+  Printf.printf "\n-- E16 follower lag under load (records behind leader) --\n";
+  let payload = String.make 64 'x' in
+  let total = if !smoke then 400 else 4_000 in
+  List.iter
+    (fun every ->
+      let log, sh, _ = e16_leader ~followers:1 () in
+      let h = Si_obs.Histogram.create () in
+      for i = 1 to total do
+        ignore (Si_wal.Log.append log payload);
+        if i mod every = 0 then Result.get_ok (Si_wal.Ship.ship sh);
+        Si_obs.Histogram.add h (Si_wal.Ship.lag sh)
+      done;
+      Printf.printf
+        "  ship every %-3d  p50 %6.0f  p90 %6.0f  p99 %6.0f  max %6d  (%d \
+         appends)\n"
+        every
+        (Si_obs.Histogram.median h)
+        (Si_obs.Histogram.quantile h 0.9)
+        (Si_obs.Histogram.quantile h 0.99)
+        (Si_obs.Histogram.max_value h)
+        total)
+    [ 1; 16; 64 ]
+
+(* Point-in-time recovery through the real application path: a leader
+   journals bundles behind a shipping tee (8 records per sealed
+   segment), then [restore_at] rebuilds the pad at the archive's tip —
+   one base snapshot plus every sealed segment. Restore cost should be
+   linear in archive depth. *)
+let restore_tests () =
+  let seg_counts = if !smoke then [ 4 ] else [ 4; 16; 64 ] in
+  List.map
+    (fun segs ->
+      let dir = e16_dir () in
+      let app, _ =
+        Result.get_ok
+          (Si_slimpad.Slimpad.open_wal (Desktop.create ())
+             (Filename.concat dir "pad.wal"))
+      in
+      let pad = Si_slimpad.Slimpad.new_pad app "bench-pad" in
+      let archive = Filename.concat dir "pad.archive" in
+      Result.get_ok
+        (Si_slimpad.Slimpad.start_shipping ~segment_records:8 app ~archive);
+      let root = Dmi.root_bundle (Si_slimpad.Slimpad.dmi app) pad in
+      (* One add_bundle journals 4 records, so two bundles fill one
+         8-record segment; the buffer seals itself on exactly the last
+         op and the archive tip equals the shipper's cursor. *)
+      for i = 1 to segs * 2 do
+        ignore
+          (Si_slimpad.Slimpad.add_bundle app ~parent:root
+             ~name:(Printf.sprintf "node-%04d" i)
+             ())
+      done;
+      Result.get_ok (Si_slimpad.Slimpad.wal_sync app);
+      let at = Si_wal.Ship.seq (Option.get (Si_slimpad.Slimpad.shipper app)) in
+      let probe () =
+        match
+          Si_slimpad.Slimpad.restore_at (Desktop.create ()) ~archive ~at
+        with
+        | Ok (_, reached) -> assert (reached = at)
+        | Error e -> failwith e
+      in
+      probe ();
+      Test.make
+        ~name:(Printf.sprintf "restore @ %d segments" segs)
+        (staged probe))
+    seg_counts
+
 (* ------------------------------------- --compare: regression gating *)
 
 (* Rebuild per-group latency distributions from two --json files using
@@ -1265,6 +1420,10 @@ let () =
   run_group ~name:"E15 columnar store scaling" (columnar_scaling_tests ());
   run_group ~name:"E15 snapshot codec (binary vs XML)"
     (snapshot_codec_tests ());
+  ship_lag_report ();
+  run_group ~name:"E16 WAL shipping (append overhead, ship throughput)"
+    (ship_overhead_tests ());
+  run_group ~name:"E16 PITR restore vs archive depth" (restore_tests ());
   Si_obs.Span.disable ();
   ignore (Si_obs.Span.drain ());
   (match json_path with Some path -> write_json path | None -> ());

@@ -743,14 +743,15 @@ let raw_triples_of_payload payload =
   | Error _ -> None
   | Ok root -> raw_triples_of_root root
 
-let lint_context_of_app ?raw_triples ?store_file ?wal_path app =
+let lint_context_of_app ?raw_triples ?store_file ?wal_path ?archive app =
   Si_lint.context ~dmi:(Slimpad.dmi app) ~marks:(Slimpad.marks app)
-    ~resilient:(Slimpad.resilient app) ?raw_triples ?store_file ?wal_path ()
+    ~resilient:(Slimpad.resilient app) ?raw_triples ?store_file ?wal_path
+    ?archive ()
 
 (* The read-only analysis context for a target; warnings (unloadable
    base documents, an unrestorable store) go to stderr but never stop
    the lint — WAL rules still run over whatever is on disk. *)
-let lint_context target =
+let lint_context ?archive target =
   if Sys.file_exists target && not (Sys.is_directory target) then
     (* A bare pad store file. *)
     let desk = Desktop.create () in
@@ -758,14 +759,23 @@ let lint_context target =
     | Error msg ->
         Printf.eprintf "warning: %s: %s\n" target msg;
         Ok (Si_lint.context ?raw_triples:(raw_triples_of_file target)
-              ~store_file:target ())
+              ~store_file:target ?archive ())
     | Ok app ->
         Ok (lint_context_of_app
               ?raw_triples:(raw_triples_of_file target)
-              ~store_file:target app)
+              ~store_file:target ?archive app)
   else if Sys.file_exists target then begin
     let desk, problems = Workspace.load_desktop target in
     List.iter (Printf.eprintf "warning: %s\n") problems;
+    (* A workspace that has been a shipping leader carries its archive
+       alongside the log; lint it too unless --archive overrode it. *)
+    let archive =
+      match archive with
+      | Some _ -> archive
+      | None ->
+          let a = Workspace.archive_path target in
+          if Sys.file_exists a && Sys.is_directory a then Some a else None
+    in
     if Workspace.wal_present target then
       let wal_path = Workspace.wal_path target in
       match Si_wal.Log.dump wal_path with
@@ -778,9 +788,9 @@ let lint_context target =
           | Error msg ->
               (* Unrestorable snapshot: lint what the WAL rules can see. *)
               Printf.eprintf "warning: %s\n" msg;
-              Ok (Si_lint.context ?raw_triples ~wal_path ())
+              Ok (Si_lint.context ?raw_triples ~wal_path ?archive ())
           | Ok (app, _) ->
-              Ok (lint_context_of_app ?raw_triples ~wal_path app))
+              Ok (lint_context_of_app ?raw_triples ~wal_path ?archive app))
     else
       let store = Workspace.pad_store target in
       if not (Sys.file_exists store) then
@@ -790,11 +800,11 @@ let lint_context target =
         | Error msg ->
             Printf.eprintf "warning: %s: %s\n" store msg;
             Ok (Si_lint.context ?raw_triples:(raw_triples_of_file store)
-                  ~store_file:store ())
+                  ~store_file:store ?archive ())
         | Ok app ->
             Ok (lint_context_of_app
                   ?raw_triples:(raw_triples_of_file store)
-                  ~store_file:store app)
+                  ~store_file:store ?archive app)
   end
   else Error (Printf.sprintf "%s: no such file or directory" target)
 
@@ -839,7 +849,7 @@ let lint_apply_fixes target diags =
       | Error _ as e -> e
       | Ok report -> finish app report)
 
-let cmd_lint target json fix =
+let cmd_lint target json fix archive =
   let print_report diags =
     if json then print_string (Si_lint.to_json diags)
     else print_string (Si_lint.to_text diags)
@@ -847,7 +857,7 @@ let cmd_lint target json fix =
   let exit_code diags =
     if Si_lint.count Si_lint.Error diags > 0 then 1 else 0
   in
-  match lint_context target with
+  match lint_context ?archive target with
   | Error msg ->
       Printf.eprintf "error: %s\n" msg;
       1
@@ -875,7 +885,7 @@ let cmd_lint target json fix =
               report.Si_lint.duplicate_triples;
             (* Re-lint from disk so the report reflects what the next
                open will actually see. *)
-            match lint_context target with
+            match lint_context ?archive target with
             | Error msg ->
                 Printf.eprintf "error: %s\n" msg;
                 1
@@ -883,6 +893,213 @@ let cmd_lint target json fix =
                 let diags = Si_lint.run ctx in
                 print_report diags;
                 exit_code diags))
+
+(* ------------------------------------------------------------ replication *)
+
+let split_endpoint s =
+  let bad () =
+    Error (Printf.sprintf "bad endpoint %S (expected HOST:PORT or PORT)" s)
+  in
+  match String.rindex_opt s ':' with
+  | None -> (
+      match int_of_string_opt s with
+      | Some p -> Ok ("127.0.0.1", p)
+      | None -> bad ())
+  | Some i -> (
+      let host = String.sub s 0 i in
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+      with
+      | Some p -> Ok ((if host = "" then "127.0.0.1" else host), p)
+      | None -> bad ())
+
+let open_workspace_replica dir =
+  let desk, problems = Workspace.load_desktop dir in
+  List.iter (Printf.eprintf "warning: %s\n") problems;
+  Slimpad.open_replica desk (Workspace.wal_path dir)
+
+(* Follower mode: serve the replica protocol over a socket until SIGINT
+   (or, with --until-seq, until the applied prefix reaches the target —
+   how a script waits for catch-up). *)
+let serve_replica dir port until_seq =
+  match open_workspace_replica dir with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok (app, _) -> (
+      let r = Option.get (Slimpad.replica app) in
+      match Si_wal.Tcp.serve ~port (Si_wal.Replica.handle r) with
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          ignore (Slimpad.wal_close app);
+          1
+      | Ok server ->
+          Printf.printf "replica serving on port %d (term %d, applied %d)\n%!"
+            (Si_wal.Tcp.port server)
+            (Si_wal.Replica.term r)
+            (Si_wal.Replica.applied r);
+          let stop = ref false in
+          let previous =
+            Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
+          in
+          let target = Option.value until_seq ~default:max_int in
+          while (not !stop) && Si_wal.Replica.applied r < target do
+            try Unix.sleepf 0.05 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          done;
+          Sys.set_signal Sys.sigint previous;
+          Si_wal.Tcp.shutdown server;
+          Printf.printf "replica stopped: term %d, applied %d, lag %d\n"
+            (Si_wal.Replica.term r)
+            (Si_wal.Replica.applied r)
+            (Si_wal.Replica.lag r);
+          (match Slimpad.wal_close app with
+          | Ok () -> 0
+          | Error msg ->
+              Printf.eprintf "error: %s\n" msg;
+              1))
+
+(* Leader mode: one shipping round — resume (or start) the stream,
+   attach each follower over TCP, push until everyone is caught up or
+   out of retry budget, and report per-follower acks. *)
+let ship_round dir endpoints checkpoint =
+  with_workspace dir (fun app ->
+      match Slimpad.wal app with
+      | None ->
+          Printf.eprintf
+            "error: workspace is not journaled (run wal-enable first)\n";
+          1
+      | Some _ -> (
+          match
+            Slimpad.start_shipping app ~archive:(Workspace.archive_path dir)
+          with
+          | Error msg ->
+              Printf.eprintf "error: %s\n" msg;
+              1
+          | Ok () ->
+              let clients = ref [] in
+              let finish code =
+                List.iter Si_wal.Tcp.close !clients;
+                match Slimpad.wal_close app with
+                | Ok () -> code
+                | Error msg ->
+                    Printf.eprintf "error: %s\n" msg;
+                    max code 1
+              in
+              let attach ep =
+                match split_endpoint ep with
+                | Error _ as e -> e
+                | Ok (addr, port) -> (
+                    match Si_wal.Tcp.connect ~addr ~port () with
+                    | Error e -> Error (Printf.sprintf "%s: %s" ep e)
+                    | Ok c ->
+                        clients := c :: !clients;
+                        Result.map_error
+                          (Printf.sprintf "%s: %s" ep)
+                          (Slimpad.attach_follower app ~name:ep
+                             (Si_wal.Tcp.transport c)))
+              in
+              let round =
+                List.fold_left
+                  (fun acc ep -> Result.bind acc (fun () -> attach ep))
+                  (Ok ()) endpoints
+                |> Fun.flip Result.bind (fun () -> Slimpad.ship app)
+                |> Fun.flip Result.bind (fun () ->
+                       if checkpoint then Slimpad.ship_checkpoint app
+                       else Ok ())
+              in
+              (match round with
+              | Error msg ->
+                  Printf.eprintf "error: %s\n" msg;
+                  finish 1
+              | Ok () ->
+                  let sh = Option.get (Slimpad.shipper app) in
+                  Printf.printf "term %d, stream at seq %d\n"
+                    (Si_wal.Ship.term sh) (Si_wal.Ship.seq sh);
+                  List.iter
+                    (fun (name, acked) ->
+                      Printf.printf "  %-24s acked %d\n" name acked)
+                    (Si_wal.Ship.followers sh);
+                  let lag = Si_wal.Ship.lag sh in
+                  if lag > 0 then
+                    Printf.printf "  most-behind follower needs %d record(s)\n"
+                      lag;
+                  finish (if lag > 0 then 1 else 0))))
+
+let cmd_replicate dir serve until_seq followers checkpoint =
+  match (serve, followers) with
+  | Some port, [] -> serve_replica dir port until_seq
+  | Some _, _ :: _ ->
+      Printf.eprintf "error: --serve and --to are mutually exclusive\n";
+      1
+  | None, [] ->
+      Printf.eprintf
+        "error: pass --serve PORT (follower) or --to HOST:PORT (leader)\n";
+      1
+  | None, endpoints -> ship_round dir endpoints checkpoint
+
+let cmd_promote dir =
+  match open_workspace_replica dir with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok (app, _) -> (
+      match
+        Slimpad.promote_replica app ~archive:(Workspace.archive_path dir)
+      with
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          ignore (Slimpad.wal_close app);
+          1
+      | Ok term -> (
+          let sh = Option.get (Slimpad.shipper app) in
+          Printf.printf
+            "promoted: leading at term %d from seq %d; the deposed leader \
+             is fenced\n"
+            term (Si_wal.Ship.seq sh);
+          match Slimpad.wal_close app with
+          | Ok () -> 0
+          | Error msg ->
+              Printf.eprintf "error: %s\n" msg;
+              1))
+
+let cmd_restore dir at archive out =
+  let archive =
+    Option.value archive ~default:(Workspace.archive_path dir)
+  in
+  let desk, problems = Workspace.load_desktop dir in
+  List.iter (Printf.eprintf "warning: %s\n") problems;
+  match Slimpad.restore_at desk ~archive ~at with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok (app, reached) -> (
+      Printf.printf "restored to seq %d (%d pad(s), state digest %s)\n"
+        reached
+        (List.length (Dmi.pads (Slimpad.dmi app)))
+        (Digest.to_hex (Digest.string (Slimpad.snapshot_bytes app)));
+      if reached < at then
+        Printf.printf "  (archive ends before the requested seq %d)\n" at;
+      match out with
+      | None -> 0
+      | Some out_dir -> (
+          if not (Sys.file_exists out_dir) then Unix.mkdir out_dir 0o755;
+          match Slimpad.save app (Workspace.pad_store out_dir) with
+          | Ok () ->
+              Printf.printf "wrote %s\n" (Workspace.pad_store out_dir);
+              0
+          | Error msg ->
+              Printf.eprintf "error: %s\n" msg;
+              1))
+
+let cmd_crash_matrix dir seed json =
+  let outcomes = Si_workload.Crash_matrix.run ~seed ~dir () in
+  print_string (Si_workload.Crash_matrix.to_text outcomes);
+  (match json with
+  | None -> ()
+  | Some file ->
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc
+            (Si_workload.Crash_matrix.to_json outcomes)));
+  if Si_workload.Crash_matrix.all_passed outcomes then 0 else 1
 
 (* -------------------------------------------------------------- cmdliner *)
 
@@ -1172,11 +1389,16 @@ let lint_cmd =
                triples, GC orphaned layout triples), persist them, and \
                re-lint.")
   in
+  let archive =
+    Arg.(value & opt (some dir) None & info [ "archive" ] ~docv:"DIR"
+         ~doc:"Shipping archive directory to verify offline (SL306); \
+               default: the workspace's pad.archive when present.")
+  in
   Cmd.v
     (Cmd.info "lint"
-       ~doc:"Static analysis of the store, marks, and write-ahead log \
-             (read-only unless --fix)")
-    Term.(const cmd_lint $ target $ json $ fix)
+       ~doc:"Static analysis of the store, marks, write-ahead log, and \
+             shipping archive (read-only unless --fix)")
+    Term.(const cmd_lint $ target $ json $ fix $ archive)
 
 let wal_enable_cmd =
   Cmd.v
@@ -1196,6 +1418,88 @@ let wal_compact_cmd =
        ~doc:"Fold the log into a fresh snapshot and truncate it")
     Term.(const cmd_wal_compact $ dir_arg)
 
+let replicate_cmd =
+  let serve =
+    Arg.(value & opt (some int) None & info [ "serve" ] ~docv:"PORT"
+         ~doc:"Follower mode: open the workspace as a replica and serve \
+               the shipping protocol on PORT (0 picks one) until \
+               interrupted.")
+  in
+  let until_seq =
+    Arg.(value & opt (some int) None & info [ "until-seq" ] ~docv:"N"
+         ~doc:"With --serve: exit once the applied prefix reaches N (how \
+               a script waits for catch-up).")
+  in
+  let followers =
+    Arg.(value & opt_all string [] & info [ "to" ] ~docv:"HOST:PORT"
+         ~doc:"Leader mode, repeatable: attach the follower serving at \
+               HOST:PORT and ship the journaled workspace's log to it.")
+  in
+  let checkpoint =
+    Arg.(value & flag & info [ "checkpoint" ]
+         ~doc:"After shipping, seal the open segment and cut a fresh base \
+               snapshot — a complete restore point in the archive.")
+  in
+  Cmd.v
+    (Cmd.info "replicate"
+       ~doc:"WAL shipping over sockets: lead (--to, one push round per \
+             invocation, archive in pad.archive) or follow (--serve)")
+    Term.(const cmd_replicate $ dir_arg $ serve $ until_seq $ followers
+          $ checkpoint)
+
+let promote_cmd =
+  Cmd.v
+    (Cmd.info "promote"
+       ~doc:"Failover: promote a replica workspace to leader — bump the \
+             term, re-enable local writes, start shipping; the old leader \
+             is fenced on its next frame")
+    Term.(const cmd_promote $ dir_arg)
+
+let restore_cmd =
+  let at =
+    Arg.(required & opt (some int) None & info [ "at" ] ~docv:"SEQ"
+         ~doc:"Target sequence number (the stream position to rewind to).")
+  in
+  let archive =
+    Arg.(value & opt (some dir) None & info [ "archive" ] ~docv:"DIR"
+         ~doc:"Shipping archive to restore from (default: the workspace's \
+               pad.archive).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"DIR"
+         ~doc:"Write the restored store as DIR/pad.xml (DIR is created \
+               when missing); default: report only.")
+  in
+  Cmd.v
+    (Cmd.info "restore"
+       ~doc:"Point-in-time recovery: rebuild the store exactly as it was \
+             at --at SEQ from the shipping archive's base snapshots and \
+             sealed segments")
+    Term.(const cmd_restore $ dir_arg $ at $ archive $ out)
+
+let crash_matrix_cmd =
+  let dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+         ~doc:"Scratch directory for the scenario workspaces (created \
+               when missing, left behind for inspection).")
+  in
+  let seed =
+    Arg.(value & opt int 2001 & info [ "seed" ] ~docv:"N"
+         ~doc:"Fault-schedule seed (same seed: same replay).")
+  in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+         ~doc:"Also write the outcomes as a JSON array to FILE (the CI \
+               artifact).")
+  in
+  Cmd.v
+    (Cmd.info "crash-matrix"
+       ~doc:"Run the replication fault schedules (torn segments, crashes \
+             mid-apply and mid-ship, duplicated/reordered/mangled frames, \
+             failover) and check the no-lost-acks, prefix-consistency, \
+             and convergence invariants")
+    Term.(const cmd_crash_matrix $ dir $ seed $ json)
+
 let main =
   Cmd.group
     (Cmd.info "slimpad" ~version:"1.0"
@@ -1207,6 +1511,7 @@ let main =
       history_cmd; model_cmd;
       import_cmd; export_html_cmd; template_cmd; instantiate_cmd;
       wal_enable_cmd; wal_inspect_cmd; wal_compact_cmd;
+      replicate_cmd; promote_cmd; restore_cmd; crash_matrix_cmd;
     ]
 
 let () =

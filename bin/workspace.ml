@@ -22,6 +22,10 @@ module Slimpad = Si_slimpad.Slimpad
 let pad_store dir = Filename.concat dir "pad.xml"
 let wal_path dir = Filename.concat dir "pad.wal"
 
+(* Shipping archive (sealed segments + base snapshots) for a workspace
+   acting as a replication leader; also the default restore source. *)
+let archive_path dir = Filename.concat dir "pad.archive"
+
 let wal_present dir =
   Sys.file_exists (wal_path dir)
   || Sys.file_exists (Si_wal.Log.snapshot_path (wal_path dir))

@@ -55,10 +55,12 @@ type context = {
   raw_triples : Triple.t list option;
   store_file : string option;
   wal_path : string option;
+  archive : string option;
 }
 
-let context ?dmi ?marks ?resilient ?raw_triples ?store_file ?wal_path () =
-  { dmi; marks; resilient; raw_triples; store_file; wal_path }
+let context ?dmi ?marks ?resilient ?raw_triples ?store_file ?wal_path
+    ?archive () =
+  { dmi; marks; resilient; raw_triples; store_file; wal_path; archive }
 
 type rule = {
   code : string;
@@ -893,6 +895,35 @@ let rule_wal_binary_snapshot =
   in
   rule
 
+let rule_wal_archive =
+  let rec rule =
+    {
+      code = "SL306";
+      rule_name = "wal-archive";
+      rule_severity = Error;
+      synopsis =
+        "shipping archive damage (CRC, sequence gaps, term regressions)";
+      check =
+        (fun ctx ->
+          match ctx.archive with
+          | None -> []
+          | Some dir -> (
+              match Si_wal.Segment.verify dir with
+              | Error e -> [ diag rule ~provenance:(In_file dir) e ]
+              | Ok problems ->
+                  List.map
+                    (fun p ->
+                      diag rule
+                        ~provenance:
+                          (In_file
+                             (Filename.concat dir
+                                p.Si_wal.Segment.problem_file))
+                        p.Si_wal.Segment.problem_detail)
+                    problems));
+    }
+  in
+  rule
+
 (* ------------------------------------------------------------- registry *)
 
 let builtin_rules =
@@ -914,6 +945,7 @@ let builtin_rules =
     rule_wal_stale;
     rule_wal_stream;
     rule_wal_binary_snapshot;
+    rule_wal_archive;
   ]
 
 let registry = ref builtin_rules

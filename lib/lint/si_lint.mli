@@ -74,7 +74,11 @@
     - [SL305] [wal-binary-snapshot] (error) — binary snapshot container
       damage verified offline from the header in: bad magic or
       unsupported version, truncated section framing, a section CRC
-      mismatch, or a container without its atoms/triples sections. *)
+      mismatch, or a container without its atoms/triples sections.
+    - [SL306] [wal-archive] (error) — shipping archive damage verified
+      offline ({!Si_wal.Segment.verify}): per-file header or CRC
+      failures, sequence gaps between segments no base snapshot
+      bridges, and replication term regressions. *)
 
 type severity = Error | Warning | Info
 
@@ -116,6 +120,7 @@ val context :
   ?raw_triples:Si_triple.Triple.t list ->
   ?store_file:string ->
   ?wal_path:string ->
+  ?archive:string ->
   unit ->
   context
 (** [dmi] supplies the live store (triple, metamodel, and slimpad
@@ -123,7 +128,8 @@ val context :
     quarantine rule); [raw_triples] the persisted file's triple list
     {e with duplicates preserved} ({!Si_triple.Trim.triples_of_xml}) for
     [SL001], with [store_file] naming it for provenance; [wal_path] the
-    write-ahead log to verify offline. *)
+    write-ahead log to verify offline; [archive] the shipping archive
+    directory for [SL306]. *)
 
 (** {1 Rules}
 

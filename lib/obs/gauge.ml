@@ -1,0 +1,16 @@
+type t = int Atomic.t
+
+let create () = Atomic.make 0
+let set t v = Atomic.set t v
+let get t = Atomic.get t
+
+let max_to t v =
+  let rec loop () =
+    let cur = Atomic.get t in
+    if v <= cur then ()
+    else if Atomic.compare_and_set t cur v then ()
+    else loop ()
+  in
+  loop ()
+
+let reset t = Atomic.set t 0

@@ -1,0 +1,20 @@
+(** A last-value instrument: a lock-free integer that is {e set}, not
+    accumulated — replication lag, queue depth, live connections.
+    Counters only go up between resets; a gauge reports the current
+    level of something that moves both ways. *)
+
+type t
+
+val create : unit -> t
+
+val set : t -> int -> unit
+(** Publish the current value (last write wins). *)
+
+val get : t -> int
+
+val max_to : t -> int -> unit
+(** Raise the gauge to [v] if it is currently lower — a high-water
+    mark updated racily from several domains stays correct. *)
+
+val reset : t -> unit
+(** Back to 0. *)

@@ -1,6 +1,7 @@
 let lock = Mutex.create ()
 let counters : (string, Counter.t) Hashtbl.t = Hashtbl.create 32
 let histograms : (string, Histogram.t) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, Gauge.t) Hashtbl.t = Hashtbl.create 32
 
 let locked f =
   Mutex.lock lock;
@@ -17,9 +18,11 @@ let get_or tbl create name =
 
 let counter name = get_or counters Counter.create name
 let histogram name = get_or histograms Histogram.create name
+let gauge name = get_or gauges Gauge.create name
 
 type snapshot = {
   counters : (string * int) list;
+  gauges : (string * int) list;
   histograms : (string * Histogram.summary) list;
 }
 
@@ -28,7 +31,12 @@ let sorted_bindings tbl =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let snapshot () =
-  let cs, hs = locked (fun () -> (sorted_bindings counters, sorted_bindings histograms)) in
+  let cs, gs, hs =
+    locked (fun () ->
+        ( sorted_bindings counters,
+          sorted_bindings gauges,
+          sorted_bindings histograms ))
+  in
   {
     counters =
       List.filter_map
@@ -36,6 +44,12 @@ let snapshot () =
           let n = Counter.get c in
           if n = 0 then None else Some (name, n))
         cs;
+    gauges =
+      List.filter_map
+        (fun (name, g) ->
+          let n = Gauge.get g in
+          if n = 0 then None else Some (name, n))
+        gs;
     histograms =
       List.filter_map
         (fun (name, h) ->
@@ -45,6 +59,12 @@ let snapshot () =
   }
 
 let reset () =
-  let cs, hs = locked (fun () -> (sorted_bindings counters, sorted_bindings histograms)) in
+  let cs, gs, hs =
+    locked (fun () ->
+        ( sorted_bindings counters,
+          sorted_bindings gauges,
+          sorted_bindings histograms ))
+  in
   List.iter (fun (_, c) -> Counter.reset c) cs;
+  List.iter (fun (_, g) -> Gauge.reset g) gs;
   List.iter (fun (_, h) -> Histogram.clear h) hs

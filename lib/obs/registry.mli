@@ -8,14 +8,16 @@
 
 val counter : string -> Counter.t
 val histogram : string -> Histogram.t
+val gauge : string -> Gauge.t
 
 type snapshot = {
   counters : (string * int) list;
+  gauges : (string * int) list;
   histograms : (string * Histogram.summary) list;
 }
 
 val snapshot : unit -> snapshot
-(** Nonzero counters and nonempty histograms only. *)
+(** Nonzero counters and gauges, nonempty histograms only. *)
 
 val reset : unit -> unit
 (** Zero every counter and clear every histogram. Handles stay

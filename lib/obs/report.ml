@@ -25,8 +25,16 @@ let to_text (snap : Registry.snapshot) =
       (fun (name, n) -> Printf.bprintf buf "  %-*s %d\n" w name n)
       snap.counters
   end;
-  if snap.histograms <> [] then begin
+  if snap.gauges <> [] then begin
     if snap.counters <> [] then Buffer.add_char buf '\n';
+    Buffer.add_string buf "gauges:\n";
+    let w = name_width snap.gauges in
+    List.iter
+      (fun (name, n) -> Printf.bprintf buf "  %-*s %d\n" w name n)
+      snap.gauges
+  end;
+  if snap.histograms <> [] then begin
+    if snap.counters <> [] || snap.gauges <> [] then Buffer.add_char buf '\n';
     Buffer.add_string buf "latencies:\n";
     let w = name_width snap.histograms in
     Printf.bprintf buf "  %-*s %8s %10s %10s %10s %10s %10s\n" w "" "count"
@@ -48,6 +56,7 @@ let to_json (snap : Registry.snapshot) =
   let counters =
     List.map (fun (name, n) -> (name, Json.Int n)) snap.counters
   in
+  let gauges = List.map (fun (name, n) -> (name, Json.Int n)) snap.gauges in
   let histograms =
     List.map
       (fun (name, s) ->
@@ -71,7 +80,12 @@ let to_json (snap : Registry.snapshot) =
             ] ))
       snap.histograms
   in
-  Json.Obj [ ("counters", Json.Obj counters); ("histograms", Json.Obj histograms) ]
+  Json.Obj
+    [
+      ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+      ("histograms", Json.Obj histograms);
+    ]
 
 let of_json j =
   let ( let* ) = Result.bind in
@@ -97,6 +111,16 @@ let of_json j =
             | Some n -> Ok ((name, n) :: acc)
             | None -> Error (Printf.sprintf "counter %S is not an int" name))
           (Ok []) counters
+      in
+      let* gauges = obj_fields (Json.mem "gauges" j) in
+      let* gauges =
+        List.fold_left
+          (fun acc (name, v) ->
+            let* acc = acc in
+            match Json.int v with
+            | Some n -> Ok ((name, n) :: acc)
+            | None -> Error (Printf.sprintf "gauge %S is not an int" name))
+          (Ok []) gauges
       in
       let* histograms = obj_fields (Json.mem "histograms" j) in
       let* histograms =
@@ -133,7 +157,11 @@ let of_json j =
       in
       Ok
         Registry.
-          { counters = List.rev counters; histograms = List.rev histograms }
+          {
+            counters = List.rev counters;
+            gauges = List.rev gauges;
+            histograms = List.rev histograms;
+          }
   | _ -> Error "expected a stats object"
 
 (* Prometheus exposition *)
@@ -159,6 +187,13 @@ let to_prometheus (snap : Registry.snapshot) =
         Printf.bprintf buf "si_events_total{name=\"%s\"} %d\n"
           (prom_escape name) n)
       snap.counters
+  end;
+  if snap.gauges <> [] then begin
+    Buffer.add_string buf "# TYPE si_level gauge\n";
+    List.iter
+      (fun (name, n) ->
+        Printf.bprintf buf "si_level{name=\"%s\"} %d\n" (prom_escape name) n)
+      snap.gauges
   end;
   if snap.histograms <> [] then begin
     Buffer.add_string buf "# TYPE si_latency_ns histogram\n";

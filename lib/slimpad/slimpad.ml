@@ -13,14 +13,26 @@ let wal_replayed_count = Si_obs.Registry.counter "slimpad.wal_replayed"
 let snapshot_binary_count = Si_obs.Registry.counter "wal.snapshot.binary"
 let snapshot_binary_latency = Si_obs.Registry.histogram "wal.snapshot.binary"
 
-type wal_state = { log : Log.t; mutable trouble : string option }
+type wal_state = {
+  log : Log.t;
+  mutable trouble : string option;
+  mutable suppress : bool;
+      (* Replica mode: hook-driven appends are disabled — the replica
+         itself appends each shipped payload verbatim, keeping the local
+         log a 1:1 mirror of the leader's record stream. *)
+}
 
 type t = {
-  dmi : Dmi.t;
-  marks : Manager.t;
+  mutable dmi : Dmi.t;  (* mutable so a replica can install a base *)
+  mutable marks : Manager.t;
   desktop : Desktop.t;
   resilient : Resilient.t;
   mutable wal : wal_state option;
+  mutable shipper : Si_wal.Ship.t option;
+  mutable replica : Si_wal.Replica.t option;
+  mutable rep_recovered : (int * int) option;
+      (* (term, stream seq) recovered from the snapshot's replication
+         section — the numbering basis when shipping resumes. *)
 }
 
 type persistence = Whole_file | Journaled
@@ -33,7 +45,8 @@ let create ?store ?resilient ?wrap desktop =
   let marks = Manager.create () in
   Desktop.install_modules ?wrap desktop marks;
   { dmi = Dmi.create ?store (); marks; desktop;
-    resilient = make_resilient resilient; wal = None }
+    resilient = make_resilient resilient; wal = None; shipper = None;
+    replica = None; rep_recovered = None }
 
 let dmi t = t.dmi
 let marks t = t.marks
@@ -407,7 +420,8 @@ let of_store_root ?store ?resilient ?wrap desktop root =
                   | None -> ());
                   Ok
                     { dmi; marks; desktop;
-                      resilient = make_resilient resilient; wal = None }))
+                      resilient = make_resilient resilient; wal = None;
+                      shipper = None; replica = None; rep_recovered = None }))
       | _ -> Error "missing <triples> or <marks> section")
   | _ -> Error "expected a <slimpad-store> root element"
 
@@ -438,13 +452,48 @@ module Wbin = Si_wal.Binary
 let marks_section = "marks"
 let journal_section = "journal"
 
-let binary_snapshot t =
-  Wbin.encode
-    (Si_triple.Trim.binary_sections (Dmi.trim t.dmi)
-    @ [
-        (marks_section, Xml.Print.to_string (Manager.to_xml t.marks));
-        (journal_section, Xml.Print.to_string (Dmi.journal_to_xml t.dmi));
-      ])
+(* Replication metadata rides inside the WAL snapshot as one more
+   section — (term, stream sequence number) at the moment the snapshot
+   was cut — so it is exactly as durable and as atomic as compaction
+   itself. The current stream position is always [meta seq + records
+   appended since the snapshot]. *)
+let replication_section = "replication"
+
+let binary_sections t =
+  Si_triple.Trim.binary_sections (Dmi.trim t.dmi)
+  @ [
+      (marks_section, Xml.Print.to_string (Manager.to_xml t.marks));
+      (journal_section, Xml.Print.to_string (Dmi.journal_to_xml t.dmi));
+    ]
+
+let binary_snapshot t = Wbin.encode (binary_sections t)
+
+let snapshot_with_meta t = function
+  | None -> binary_snapshot t
+  | Some (term, seq) ->
+      Wbin.encode
+        (binary_sections t
+        @ [
+            ( replication_section,
+              Record.encode_fields [ string_of_int term; string_of_int seq ]
+            );
+          ])
+
+let rep_meta_of_payload payload =
+  if not (Wbin.is_binary payload) then None
+  else
+    match Wbin.decode payload with
+    | Error _ -> None
+    | Ok sections -> (
+        match Wbin.section replication_section sections with
+        | None -> None
+        | Some raw -> (
+            match Record.decode_fields raw with
+            | Ok [ term; seq ] -> (
+                match (int_of_string_opt term, int_of_string_opt seq) with
+                | Some term, Some seq -> Some (term, seq)
+                | _ -> None)
+            | Ok _ | Error _ -> None))
 
 let of_binary_snapshot ?store ?resilient ?wrap desktop payload =
   match Wbin.decode payload with
@@ -486,7 +535,8 @@ let of_binary_snapshot ?store ?resilient ?wrap desktop payload =
                 {
                   dmi; marks; desktop;
                   resilient = make_resilient resilient;
-                  wal = None;
+                  wal = None; shipper = None; replica = None;
+                  rep_recovered = None;
                 }))
 
 (* Format sniffer: every snapshot payload, wherever it came from, goes
@@ -509,10 +559,11 @@ let persistence t = match t.wal with None -> Whole_file | Some _ -> Journaled
 let wal t = Option.map (fun st -> st.log) t.wal
 
 let wal_append st payload =
-  match Log.append st.log payload with
-  | Ok () -> ()
-  | Error e ->
-      if st.trouble = None then st.trouble <- Some (Log.error_to_string e)
+  if not st.suppress then
+    match Log.append st.log payload with
+    | Ok () -> ()
+    | Error e ->
+        if st.trouble = None then st.trouble <- Some (Log.error_to_string e)
 
 let install_hooks t st =
   Si_triple.Trim.on_mutate (Dmi.trim t.dmi) (fun op ->
@@ -623,7 +674,9 @@ let open_wal ?store ?resilient ?wrap ?policy ?on_warning desktop path =
           match replay 0 recovery.Log.records with
           | Error e -> closing e
           | Ok replayed ->
-              install_hooks app { log; trouble = None };
+              app.rep_recovered <-
+                Option.bind recovery.Log.snapshot rep_meta_of_payload;
+              install_hooks app { log; trouble = None; suppress = false };
               Si_obs.Counter.add wal_replayed_count replayed;
               (* Recovery anomalies are counted always and reported only
                  through the caller's channel — the library itself never
@@ -651,12 +704,31 @@ let open_wal ?store ?resilient ?wrap ?policy ?on_warning desktop path =
                     from_snapshot = recovery.Log.snapshot <> None;
                   } )))
 
-let snapshot_payload t =
+(* The replication stream position to persist right now: a live shipper
+   or replica knows it exactly; otherwise it is the recovered basis plus
+   every record appended since that snapshot (each consumed one stream
+   slot while shipping was active — and reserving slots for records
+   appended while it was not keeps resumed numbering strictly ahead of
+   anything ever acknowledged). *)
+let rep_meta t =
+  match t.shipper with
+  | Some sh -> Some (Si_wal.Ship.term sh, Si_wal.Ship.seq sh)
+  | None -> (
+      match t.replica with
+      | Some r -> Some (Si_wal.Replica.term r, Si_wal.Replica.applied r)
+      | None -> (
+          match (t.rep_recovered, t.wal) with
+          | Some (term, seq), Some st ->
+              Some (term, seq + Log.record_count st.log)
+          | (Some _ | None), _ -> t.rep_recovered))
+
+let snapshot_payload ?meta t =
+  let meta = match meta with Some _ as m -> m | None -> rep_meta t in
   Si_obs.Counter.incr snapshot_binary_count;
   if Si_obs.Span.on () then
     Si_obs.Span.timed snapshot_binary_latency ~layer:"wal"
-      ~op:"snapshot.binary" (fun () -> binary_snapshot t)
-  else binary_snapshot t
+      ~op:"snapshot.binary" (fun () -> snapshot_with_meta t meta)
+  else snapshot_with_meta t meta
 
 let enable_wal ?policy t path =
   match t.wal with
@@ -673,7 +745,7 @@ let enable_wal ?policy t path =
                 ignore (Log.close log);
                 Error (Log.error_to_string e)
             | Ok () ->
-                install_hooks t { log; trouble = None };
+                install_hooks t { log; trouble = None; suppress = false };
                 Ok ()))
 
 let wal_state_result t =
@@ -693,9 +765,26 @@ let wal_sync t =
 
 let wal_compact t =
   Result.bind (wal_state_result t) (fun st ->
-      lift (Log.cut_snapshot st.log (snapshot_payload t)))
+      (* Compute the stream position before the cut: compaction resets
+         [record_count], which [rep_meta] folds into its answer. *)
+      let meta = rep_meta t in
+      Result.map
+        (fun () -> if meta <> None then t.rep_recovered <- meta)
+        (lift (Log.cut_snapshot st.log (snapshot_payload ?meta t))))
+
+let stop_shipping t =
+  match t.shipper with
+  | None -> Error "pad is not shipping"
+  | Some sh ->
+      let sealed = Si_wal.Ship.checkpoint sh in
+      t.rep_recovered <- Some (Si_wal.Ship.term sh, Si_wal.Ship.seq sh);
+      Si_wal.Ship.close sh;
+      t.shipper <- None;
+      sealed
 
 let wal_close t =
+  if t.shipper <> None then ignore (stop_shipping t);
+  t.replica <- None;
   match wal_state_result t with
   | Error _ as e ->
       (match t.wal with
@@ -707,6 +796,197 @@ let wal_close t =
   | Ok st ->
       t.wal <- None;
       lift (Log.close st.log)
+
+(* ---------------------------------------------------------- replication *)
+
+let shipper t = t.shipper
+let replica t = t.replica
+let snapshot_bytes t = binary_snapshot t
+
+let start_shipping ?segment_records ?term t ~archive =
+  match wal_state_result t with
+  | Error _ as e -> e
+  | Ok st -> (
+      if t.shipper <> None then Error "pad is already shipping"
+      else
+        let rollback sh e =
+          Si_wal.Ship.close sh;
+          t.shipper <- None;
+          Error e
+        in
+        (* Followers only ever see what is locally durable. *)
+        match lift (Log.sync st.log) with
+        | Error _ as e -> e
+        | Ok () -> (
+            let meta = rep_meta t in
+            let term =
+              match (term, meta) with
+              | Some _, _ -> term
+              | None, Some (tm, _) -> Some tm
+              | None, None -> None
+            in
+            (* Resume numbering past everything this pad ever assigned;
+               a first-time leader starts its base at 1 so followers
+               (whose empty state is sequence 0) always install it. *)
+            let seq = match meta with Some (_, s) -> max 1 s | None -> 1 in
+            match
+              Si_wal.Ship.create ?segment_records ?term ~seq ~archive st.log
+            with
+            | Error _ as e -> e
+            | Ok sh -> (
+                t.shipper <- Some sh;
+                (* Persist the adopted (term, seq) atomically with the
+                   state, then cut the archive base that catch-up and
+                   point-in-time restores start from. *)
+                match wal_compact t with
+                | Error e -> rollback sh e
+                | Ok () -> (
+                    match Si_wal.Ship.write_base sh (binary_snapshot t) with
+                    | Error e -> rollback sh e
+                    | Ok () -> Ok ()))))
+
+let with_shipper t f =
+  match t.shipper with
+  | None -> Error "pad is not shipping"
+  | Some sh -> f sh
+
+let ship t =
+  (* Sync first: a record is pushed only once it would survive our own
+     crash, so an acknowledged write can never exist solely on a
+     follower that learned it from a leader who forgot it. *)
+  with_shipper t (fun sh ->
+      Result.bind (wal_sync t) (fun () -> Si_wal.Ship.ship sh))
+
+let ship_heartbeat t = with_shipper t Si_wal.Ship.heartbeat
+
+let ship_checkpoint t =
+  (* Seal, then cut a fresh base: a checkpoint is a complete restore
+     point, and the new base also lets follower catch-up jump over any
+     older archive file that has since been damaged. *)
+  with_shipper t (fun sh ->
+      Result.bind (Si_wal.Ship.checkpoint sh) (fun () ->
+          Si_wal.Ship.write_base sh (binary_snapshot t)))
+
+let attach_follower t ~name send =
+  with_shipper t (fun sh -> Si_wal.Ship.attach sh ~name send)
+
+let detach_follower t name =
+  match t.shipper with None -> () | Some sh -> Si_wal.Ship.detach sh name
+
+let open_replica ?store ?resilient ?wrap ?max_pending ?on_warning desktop
+    path =
+  (* Immediate sync: the replica acknowledges a record only after its
+     local log flushed it, so an Ack means "durable here". *)
+  match
+    open_wal ?store ?resilient ?wrap ~policy:Log.Immediate ?on_warning
+      desktop path
+  with
+  | Error _ as e -> e
+  | Ok (app, recovery) -> (
+      let st =
+        match app.wal with Some st -> st | None -> assert false
+      in
+      let has_history =
+        recovery.from_snapshot || recovery.replayed > 0
+      in
+      match app.rep_recovered with
+      | None when has_history ->
+          ignore (wal_close app);
+          Error
+            (Printf.sprintf
+               "wal at %s carries no replication metadata: it belongs to \
+                a standalone journaled pad, not a replica"
+               path)
+      | _ ->
+          st.suppress <- true;
+          let term, applied =
+            match app.rep_recovered with
+            | Some (tm, s) -> (tm, s + Log.record_count st.log)
+            | None -> (0, 0)
+          in
+          let apply payload =
+            (* Hook appends are suppressed: the shipped payload itself
+               is appended verbatim, keeping the local log a 1:1 mirror
+               of the leader's stream (which is what makes
+               [meta seq + record_count] the exact resume point). *)
+            match apply_record app payload with
+            | Error _ as e -> e
+            | Ok () -> lift (Log.append st.log payload)
+          in
+          let install ~term ~seq payload =
+            match app_of_snapshot ?store ?resilient ?wrap desktop payload with
+            | Error _ as e -> e
+            | Ok fresh ->
+                app.dmi <- fresh.dmi;
+                app.marks <- fresh.marks;
+                (* Rewire the hooks onto the installed state (still
+                   suppressed) and persist it with the base's exact
+                   stream position. *)
+                install_hooks app st;
+                lift
+                  (Log.cut_snapshot st.log
+                     (snapshot_with_meta app (Some (term, seq))))
+          in
+          let on_term _ = ignore (wal_compact app) in
+          let r =
+            Si_wal.Replica.create ?max_pending ~term ~applied ~on_term
+              ~apply ~install ()
+          in
+          app.replica <- Some r;
+          Ok (app, recovery))
+
+let promote_replica ?segment_records t ~archive =
+  match (t.replica, wal_state_result t) with
+  | None, _ -> Error "pad is not a replica"
+  | Some _, Error e -> Error e
+  | Some r, Ok st ->
+      (* Bump past every leader this replica has seen ([on_term]
+         persists the new term), then lead: local mutations journal
+         again and the shipper starts at our applied prefix. *)
+      let term = Si_wal.Replica.promote r in
+      st.suppress <- false;
+      Result.map
+        (fun () -> term)
+        (start_shipping ?segment_records ~term t ~archive)
+
+let restore_at ?store ?resilient ?wrap desktop ~archive ~at =
+  match Si_wal.Segment.index archive with
+  | Error _ as e -> e
+  | Ok idx -> (
+      match Si_wal.Segment.restore_plan idx ~at with
+      | Error _ as e -> e
+      | Ok (base, entries) -> (
+          match Si_wal.Segment.read_base ~dir:archive base with
+          | Error _ as e -> e
+          | Ok payload -> (
+              match app_of_snapshot ?store ?resilient ?wrap desktop payload with
+              | Error _ as e -> e
+              | Ok app ->
+                  let restored = ref base.Si_wal.Segment.base_seq in
+                  let err = ref None in
+                  List.iter
+                    (fun entry ->
+                      if !err = None && !restored < at then
+                        match Si_wal.Segment.read ~dir:archive entry with
+                        | Error e -> err := Some e
+                        | Ok payloads ->
+                            List.iteri
+                              (fun i p ->
+                                let s = entry.Si_wal.Segment.seg_first + i in
+                                if !err = None && s > !restored && s <= at
+                                then
+                                  match apply_record app p with
+                                  | Ok () -> restored := s
+                                  | Error e ->
+                                      err :=
+                                        Some
+                                          (Printf.sprintf
+                                             "archive record %d: %s" s e))
+                              payloads)
+                    entries;
+                  match !err with
+                  | Some e -> Error e
+                  | None -> Ok (app, !restored))))
 
 let import_pad t ~from_file ?pad_name ?rename () =
   (* Load the foreign store with a desktop-less manager: imported marks

@@ -236,6 +236,103 @@ val wal_close : t -> (unit, string) result
 
 val wal : t -> Si_wal.Log.t option
 
+(** {1 Replication}
+
+    WAL shipping: a journaled pad can lead ({!start_shipping}) —
+    numbering every accepted record into a replication stream, sealing
+    them into an archive of segments ({!Si_wal.Segment}), and pushing
+    them to attached followers — or follow ({!open_replica}), applying
+    the leader's records through the same journaled facade, one local
+    record per shipped record, so an Ack always means "durable on this
+    replica".
+
+    The stream position [(term, seq)] is persisted as one more section
+    inside the WAL's binary snapshot, exactly as atomic as compaction:
+    after a restart the pad resumes numbering at [seq + records since
+    the snapshot] and never reuses a sequence number it ever assigned.
+    Failover is {!promote_replica}: bump the term past every leader
+    this replica has seen and start shipping from its applied prefix —
+    the deposed leader is answered [Fenced] from then on. Retained
+    archive files enable point-in-time recovery ({!restore_at}). *)
+
+val start_shipping :
+  ?segment_records:int ->
+  ?term:int ->
+  t -> archive:string -> (unit, string) result
+(** Start leading: sync the local log, resume the stream position from
+    persisted metadata (falling back to the archive), persist it, and
+    cut a base snapshot into [archive] for follower catch-up and
+    restores. [segment_records] is the archive seal threshold
+    ({!Si_wal.Ship.create}). Requires journaled mode. *)
+
+val ship : t -> (unit, string) result
+(** Sync the local log, then push records until every follower is
+    caught up or its retry budget is spent. [Error] when fenced by a
+    newer leader (or not shipping). *)
+
+val ship_heartbeat : t -> (unit, string) result
+(** Refresh follower staleness bounds and discover fencing without
+    shipping records. *)
+
+val ship_checkpoint : t -> (unit, string) result
+(** Seal the open segment buffer and cut a fresh base snapshot — a
+    complete archive restore point; follower catch-up can jump to it
+    past any older archive file that has since been damaged. *)
+
+val attach_follower :
+  t -> name:string -> Si_wal.Ship.transport -> (unit, string) result
+
+val detach_follower : t -> string -> unit
+
+val stop_shipping : t -> (unit, string) result
+(** Seal the open buffer, record the final stream position, and remove
+    the log tee. The archive stays. *)
+
+val shipper : t -> Si_wal.Ship.t option
+
+val open_replica :
+  ?store:(module Si_triple.Store.S) ->
+  ?resilient:Si_mark.Resilient.t ->
+  ?wrap:Si_mark.Desktop.opener_wrap ->
+  ?max_pending:int ->
+  ?on_warning:(string -> unit) ->
+  Si_mark.Desktop.t -> string -> (t * wal_recovery, string) result
+(** Open (creating or resuming) a follower pad journaled at the given
+    WAL path — always [Immediate] sync, so acknowledging a record means
+    it is durable here. Serve its {!Si_wal.Replica} (see {!replica})
+    through any transport; reads go through the ordinary accessors,
+    gated by {!Si_wal.Replica.fresh_enough} for bounded staleness. The
+    pad must not be mutated directly while following (hook-driven
+    journaling is suspended); an existing WAL without replication
+    metadata is refused. *)
+
+val replica : t -> Si_wal.Replica.t option
+
+val promote_replica :
+  ?segment_records:int -> t -> archive:string -> (int, string) result
+(** Failover: bump the term past every leader this replica has seen,
+    persist it, re-enable local journaling, and {!start_shipping} into
+    [archive] from the applied prefix. Returns the new term; the old
+    leader's next frame is answered [Fenced]. *)
+
+val restore_at :
+  ?store:(module Si_triple.Store.S) ->
+  ?resilient:Si_mark.Resilient.t ->
+  ?wrap:Si_mark.Desktop.opener_wrap ->
+  Si_mark.Desktop.t ->
+  archive:string -> at:int -> (t * int, string) result
+(** Point-in-time recovery from a shipping archive: replay the newest
+    base at or before [at] plus the sealed segments up to it. Returns
+    the rebuilt application ([Whole_file], files untouched) and the
+    sequence number actually reached. Errors when the archive cannot
+    cover [at] ({!Si_wal.Segment.restore_plan}) or a record fails to
+    apply. *)
+
+val snapshot_bytes : t -> string
+(** The binary snapshot of the current state ({!Si_wal.Binary}
+    container, no replication section) — what {!restore_at} should
+    reproduce byte-for-byte at the corresponding cut point. *)
+
 (** {1 Observability}
 
     The whole stack (triple store, query executor, mark manager,

@@ -1,0 +1,79 @@
+(* The replication wire protocol: one request frame out, one response
+   frame back, every frame CRC-framed like a WAL record so a mangled
+   byte anywhere is caught by the checksum, not by a parser guessing. *)
+
+type t =
+  | Hello of { term : int; seq : int }
+  | Welcome of { term : int; next : int }
+  | Fenced of { term : int }
+  | Snapshot of { term : int; seq : int; payload : string }
+  | Append of { term : int; seq : int; payload : string }
+  | Heartbeat of { term : int; seq : int }
+  | Ack of { seq : int }
+  | Nack of { next : int }
+  | Bad of string
+
+let fields = function
+  | Hello { term; seq } -> [ "hello"; string_of_int term; string_of_int seq ]
+  | Welcome { term; next } ->
+      [ "welcome"; string_of_int term; string_of_int next ]
+  | Fenced { term } -> [ "fenced"; string_of_int term ]
+  | Snapshot { term; seq; payload } ->
+      [ "snap"; string_of_int term; string_of_int seq; payload ]
+  | Append { term; seq; payload } ->
+      [ "app"; string_of_int term; string_of_int seq; payload ]
+  | Heartbeat { term; seq } -> [ "hb"; string_of_int term; string_of_int seq ]
+  | Ack { seq } -> [ "ack"; string_of_int seq ]
+  | Nack { next } -> [ "nack"; string_of_int next ]
+  | Bad reason -> [ "bad"; reason ]
+
+let encode f =
+  let buf = Buffer.create 64 in
+  Record.encode buf (Record.encode_fields (fields f));
+  Buffer.contents buf
+
+let of_fields = function
+  | [ "hello"; term; seq ] -> (
+      match (int_of_string_opt term, int_of_string_opt seq) with
+      | Some term, Some seq -> Ok (Hello { term; seq })
+      | _ -> Error "hello: bad integers")
+  | [ "welcome"; term; next ] -> (
+      match (int_of_string_opt term, int_of_string_opt next) with
+      | Some term, Some next -> Ok (Welcome { term; next })
+      | _ -> Error "welcome: bad integers")
+  | [ "fenced"; term ] -> (
+      match int_of_string_opt term with
+      | Some term -> Ok (Fenced { term })
+      | None -> Error "fenced: bad term")
+  | [ "snap"; term; seq; payload ] -> (
+      match (int_of_string_opt term, int_of_string_opt seq) with
+      | Some term, Some seq -> Ok (Snapshot { term; seq; payload })
+      | _ -> Error "snap: bad integers")
+  | [ "app"; term; seq; payload ] -> (
+      match (int_of_string_opt term, int_of_string_opt seq) with
+      | Some term, Some seq -> Ok (Append { term; seq; payload })
+      | _ -> Error "app: bad integers")
+  | [ "hb"; term; seq ] -> (
+      match (int_of_string_opt term, int_of_string_opt seq) with
+      | Some term, Some seq -> Ok (Heartbeat { term; seq })
+      | _ -> Error "hb: bad integers")
+  | [ "ack"; seq ] -> (
+      match int_of_string_opt seq with
+      | Some seq -> Ok (Ack { seq })
+      | None -> Error "ack: bad seq")
+  | [ "nack"; next ] -> (
+      match int_of_string_opt next with
+      | Some next -> Ok (Nack { next })
+      | None -> Error "nack: bad seq")
+  | [ "bad"; reason ] -> Ok (Bad reason)
+  | tag :: _ -> Error (Printf.sprintf "unknown frame tag %S" tag)
+  | [] -> Error "empty frame"
+
+let decode raw =
+  match Record.read raw ~pos:0 with
+  | Record.Record { payload; next } ->
+      if next <> String.length raw then Error "trailing bytes after frame"
+      else Result.bind (Record.decode_fields payload) of_fields
+  | Record.End -> Error "empty frame"
+  | Record.Torn e | Record.Corrupt e ->
+      Error (Printf.sprintf "damaged frame: %s" e)

@@ -1,0 +1,32 @@
+(** The replication wire protocol: synchronous request/response frames.
+
+    A transport carries one encoded request frame and returns one
+    encoded response frame. Every frame is CRC-framed exactly like a
+    WAL record ([u32-le length][u32-le crc][payload], the payload being
+    the shared field-list codec), so a flipped byte anywhere on the
+    wire fails the checksum instead of confusing a parser.
+
+    Leader-to-follower requests: {!constructor:Hello} (handshake,
+    carrying the leader's term and highest sequence number),
+    {!constructor:Snapshot} (install a base snapshot and jump to its
+    sequence number), {!constructor:Append} (one record),
+    {!constructor:Heartbeat}. Follower responses:
+    {!constructor:Welcome} (handshake accepted; [next] is the first
+    sequence number it needs), {!constructor:Ack} (applied prefix now
+    ends at [seq]), {!constructor:Nack} (a gap: resend from [next]),
+    {!constructor:Fenced} (the sender's term is stale — a newer leader
+    exists), {!constructor:Bad} (undecodable or inapplicable frame). *)
+
+type t =
+  | Hello of { term : int; seq : int }
+  | Welcome of { term : int; next : int }
+  | Fenced of { term : int }
+  | Snapshot of { term : int; seq : int; payload : string }
+  | Append of { term : int; seq : int; payload : string }
+  | Heartbeat of { term : int; seq : int }
+  | Ack of { seq : int }
+  | Nack of { next : int }
+  | Bad of string
+
+val encode : t -> string
+val decode : string -> (t, string) result

@@ -41,6 +41,7 @@ type t = {
   mutable disk_records : int;
   buf : Buffer.t;
   mutable buffered : int;
+  mutable tee : (string -> unit) option;
 }
 
 let log_magic = "SIWAL\x00\x00\x01"
@@ -48,12 +49,14 @@ let snap_magic = "SISNP\x00\x00\x01"
 let magic_size = String.length log_magic
 let header_size = magic_size + 4
 let snapshot_path path = path ^ ".snap"
+let lock_path path = path ^ ".lock"
 let temp_path path = path ^ ".si-tmp"
 
 let path t = t.path
 let generation t = t.generation
 let pending t = t.buffered
 let record_count t = t.disk_records
+let set_tee t tee = t.tee <- tee
 
 (* --- stdlib-only file helpers ------------------------------------- *)
 
@@ -87,6 +90,87 @@ let header gen =
   Buffer.add_string buf log_magic;
   Record.add_u32 buf gen;
   Buffer.contents buf
+
+(* --- single-writer guard ------------------------------------------- *)
+
+(* Two layers: an in-process registry (two [open_]s on the same path in
+   one process are a programming error, caught immediately) and an
+   advisory O_EXCL pid file for the cross-process double-open that
+   corrupts a log by interleaving appends. A lock file naming a dead
+   pid — or our own, left by a crash-simulating test — is stale and
+   taken over. *)
+
+let open_in_process : (string, unit) Hashtbl.t = Hashtbl.create 8
+let open_in_process_mutex = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock open_in_process_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock open_in_process_mutex) f
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception _ -> true (* EPERM etc.: someone owns it *)
+
+let try_write_lock file =
+  match
+    open_out_gen [ Open_wronly; Open_creat; Open_excl; Open_binary ] 0o644 file
+  with
+  | oc ->
+      output_string oc (string_of_int (Unix.getpid ()));
+      close_out oc;
+      true
+  | exception Sys_error _ -> false
+
+let acquire_lock path =
+  let file = lock_path path in
+  let registered =
+    with_registry (fun () ->
+        if Hashtbl.mem open_in_process path then false
+        else begin
+          Hashtbl.add open_in_process path ();
+          true
+        end)
+  in
+  if not registered then
+    Error
+      (Io (Printf.sprintf "%s is already open in this process" path))
+  else
+    let release_registry () =
+      with_registry (fun () -> Hashtbl.remove open_in_process path)
+    in
+    if try_write_lock file then Ok ()
+    else
+      let holder =
+        match read_file file with
+        | Ok contents -> int_of_string_opt (String.trim contents)
+        | Error _ -> None
+      in
+      let stale =
+        match holder with
+        | None -> true (* unreadable or garbage: a torn lock write *)
+        | Some pid -> pid = Unix.getpid () || not (pid_alive pid)
+      in
+      if not stale then begin
+        release_registry ();
+        Error
+          (Io
+             (Printf.sprintf "%s is locked by live process %d" path
+                (Option.value holder ~default:0)))
+      end
+      else begin
+        (try Sys.remove file with Sys_error _ -> ());
+        if try_write_lock file then Ok ()
+        else begin
+          release_registry ();
+          Error (Io (Printf.sprintf "cannot take over stale lock %s" file))
+        end
+      end
+
+let release_lock path =
+  with_registry (fun () -> Hashtbl.remove open_in_process path);
+  try Sys.remove (lock_path path) with Sys_error _ -> ()
 
 (* --- parsing ------------------------------------------------------- *)
 
@@ -174,6 +258,7 @@ let finish_open ~path ~policy ~gen ~disk_records ~recovery =
           disk_records;
           buf = Buffer.create 4096;
           buffered = 0;
+          tee = None;
         }
       in
       Ok (t, recovery)
@@ -271,10 +356,20 @@ let open_plain ?(policy = default_policy) path =
 
 let open_ ?policy path =
   Si_obs.Counter.incr recover_count;
-  if Si_obs.Span.on () then
-    Si_obs.Span.with_ ~layer:"wal" ~op:"recover" (fun () ->
-        open_plain ?policy path)
-  else open_plain ?policy path
+  match acquire_lock path with
+  | Error _ as e -> e
+  | Ok () -> (
+      let result =
+        if Si_obs.Span.on () then
+          Si_obs.Span.with_ ~layer:"wal" ~op:"recover" (fun () ->
+              open_plain ?policy path)
+        else open_plain ?policy path
+      in
+      match result with
+      | Ok _ as ok -> ok
+      | Error _ as e ->
+          release_lock path;
+          e)
 
 (* --- appending ----------------------------------------------------- *)
 
@@ -306,6 +401,7 @@ let append_plain t payload =
   match channel t with
   | Error _ as e -> e
   | Ok _ ->
+      (match t.tee with Some f -> f payload | None -> ());
       Record.encode t.buf payload;
       t.buffered <- t.buffered + 1;
       let due =
@@ -368,9 +464,11 @@ let close t =
       | Error _ as e ->
           close_out_noerr oc;
           t.oc <- None;
+          release_lock t.path;
           e
       | Ok () ->
           t.oc <- None;
+          release_lock t.path;
           protect_io (fun () -> close_out oc))
 
 (* --- inspection ---------------------------------------------------- *)

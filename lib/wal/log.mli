@@ -23,7 +23,14 @@
     unit of "acknowledged" is surviving a process crash, not a kernel
     panic. Recovery truncates torn tails (partial appends) and treats a
     checksum mismatch anywhere before the tail as {!Corrupt_record}:
-    replay refuses to continue past damage it cannot explain. *)
+    replay refuses to continue past damage it cannot explain.
+
+    Single-writer guard: {!open_} takes an advisory lock — an O_EXCL
+    pid file at [path ^ ".lock"] plus an in-process registry — so two
+    writers can never interleave appends into the same log (the
+    double-open corruption path). A lock naming a dead process, or our
+    own pid (a crash left it behind), is stale and taken over.
+    Read-only access ({!inspect}, {!dump}) never locks. *)
 
 type t
 
@@ -61,12 +68,18 @@ type recovery = {
 val snapshot_path : string -> string
 (** [snapshot_path path] is [path ^ ".snap"]. *)
 
+val lock_path : string -> string
+(** [lock_path path] is [path ^ ".lock"] — the advisory single-writer
+    pid file {!open_} holds while the log is open. *)
+
 val open_ : ?policy:sync_policy -> string -> (t * recovery, error) result
 (** [open_ path] opens (creating if absent) the log at [path],
     performing recovery: torn tails are truncated on disk, a stale log
     left by an interrupted compaction is discarded. The caller must
     restore [recovery.snapshot] (if any) then replay [recovery.records]
-    before appending. *)
+    before appending. Fails with [Io] when another live process (or
+    this one) already holds the log open — see the single-writer guard
+    above. *)
 
 val append : t -> string -> (unit, error) result
 (** Append one record. Under [Immediate] it is flushed (durable against
@@ -86,6 +99,11 @@ val cut_snapshot : t -> string -> (unit, error) result
 
 val generation : t -> int
 val path : t -> string
+
+val set_tee : t -> (string -> unit) option -> unit
+(** Install (or clear) an observer called with every payload accepted
+    by {!append}, before it is buffered. The replication shipper taps
+    the record stream here; the hook must not mutate the log. *)
 
 val record_count : t -> int
 (** Records in the log on disk (replayed at open + flushed since),

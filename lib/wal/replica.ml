@@ -1,0 +1,199 @@
+(* The follower state machine. Pure in-memory protocol state: the
+   caller owns durability (applying a record through its own journaled
+   store before [apply] returns is what makes an Ack mean something) and
+   persistence of [term]/[applied] across restarts.
+
+   Duplicates (seq <= applied) are acknowledged and dropped; frames
+   arriving early (a reordered wire) wait in a bounded pending buffer
+   and are drained the moment the gap fills; a gap answers Nack with the
+   first missing sequence number so the leader rewinds. A frame from a
+   term older than ours answers Fenced — the one message a deposed
+   leader can still receive. *)
+
+let lag_gauge = Si_obs.Registry.gauge "wal.replica.lag"
+let fence_count = Si_obs.Registry.counter "wal.replica.fenced"
+let apply_count = Si_obs.Registry.counter "wal.replica.apply"
+let dup_count = Si_obs.Registry.counter "wal.replica.duplicate"
+let buffered_count = Si_obs.Registry.counter "wal.replica.buffered"
+
+type t = {
+  apply : string -> (unit, string) result;
+  install : term:int -> seq:int -> string -> (unit, string) result;
+  on_term : int -> unit;
+  max_pending : int;
+  mutable term : int;
+  mutable applied : int;
+  mutable leader_seq : int;
+  mutable divergent : bool;
+      (* A newer leader's advertised position is behind our applied
+         prefix: our suffix was acknowledged only to a deposed leader
+         and must be rolled back by installing the new leader's
+         snapshot. Until then we answer [Nack {next = 0}]. *)
+  pending : (int, string) Hashtbl.t;
+  mutable trouble : string option;
+}
+
+let create ?(max_pending = 64) ?(term = 0) ?(applied = 0)
+    ?(on_term = fun _ -> ()) ~apply ~install () =
+  {
+    apply;
+    install;
+    on_term;
+    max_pending;
+    term;
+    applied;
+    leader_seq = applied;
+    divergent = false;
+    pending = Hashtbl.create 16;
+    trouble = None;
+  }
+
+let term t = t.term
+let applied t = t.applied
+let leader_seq t = t.leader_seq
+let lag t = max 0 (t.leader_seq - t.applied)
+let fresh_enough t ~max_lag = lag t <= max_lag
+let trouble t = t.trouble
+
+let promote t =
+  t.term <- t.term + 1;
+  Hashtbl.reset t.pending;
+  t.leader_seq <- t.applied;
+  t.divergent <- false;
+  t.on_term t.term;
+  t.term
+
+(* Adopt a newer term: clear the reorder buffer (it belongs to the old
+   leader's stream) and let the caller persist the new term. When the
+   new leader's advertised position [tip] is behind our applied prefix,
+   the suffix beyond it was replicated only under the deposed leader
+   and diverges from the new stream — flag it for rollback via the next
+   base snapshot. *)
+let adopt t ~term ~tip =
+  if term > t.term then begin
+    Hashtbl.reset t.pending;
+    t.term <- term;
+    if tip < t.applied then t.divergent <- true;
+    t.on_term term
+  end
+
+(* Apply buffered successors while they are contiguous. A failing apply
+   puts the record back and stops: the Ack reflects what actually
+   landed, and the leader will resend from there. *)
+let drain t =
+  let rec go () =
+    match Hashtbl.find_opt t.pending (t.applied + 1) with
+    | None -> ()
+    | Some payload -> (
+        Hashtbl.remove t.pending (t.applied + 1);
+        match t.apply payload with
+        | Ok () ->
+            Si_obs.Counter.incr apply_count;
+            t.applied <- t.applied + 1;
+            go ()
+        | Error e ->
+            Hashtbl.replace t.pending (t.applied + 1) payload;
+            if t.trouble = None then t.trouble <- Some e)
+  in
+  go ()
+
+let note_leader t seq =
+  t.leader_seq <- max t.leader_seq seq;
+  Si_obs.Gauge.set lag_gauge (lag t)
+
+let respond t = function
+  | Frame.Hello { term; seq } ->
+      if term < t.term then begin
+        Si_obs.Counter.incr fence_count;
+        Frame.Fenced { term = t.term }
+      end
+      else begin
+        adopt t ~term ~tip:seq;
+        note_leader t seq;
+        (* [next = 0] steers a divergent replica's leader below every
+           real record, forcing the base-snapshot path that rolls the
+           divergent suffix back. *)
+        Frame.Welcome
+          { term; next = (if t.divergent then 0 else t.applied + 1) }
+      end
+  | Frame.Snapshot { term; seq; payload } ->
+      if term < t.term then begin
+        Si_obs.Counter.incr fence_count;
+        Frame.Fenced { term = t.term }
+      end
+      else begin
+        adopt t ~term ~tip:seq;
+        note_leader t seq;
+        if (not t.divergent) && seq <= t.applied then begin
+          Si_obs.Counter.incr dup_count;
+          Frame.Ack { seq = t.applied }
+        end
+        else
+          match t.install ~term ~seq payload with
+          | Ok () ->
+              (* For a divergent replica this may move [applied]
+                 backwards: the rollback that discards the suffix a
+                 deposed leader acknowledged. *)
+              if t.divergent then Hashtbl.reset t.pending
+              else
+                Hashtbl.iter
+                  (fun s _ -> if s <= seq then Hashtbl.remove t.pending s)
+                  (Hashtbl.copy t.pending);
+              t.divergent <- false;
+              t.applied <- seq;
+              drain t;
+              Frame.Ack { seq = t.applied }
+          | Error e -> Frame.Bad e
+      end
+  | Frame.Append { term; seq; payload } ->
+      if term < t.term then begin
+        Si_obs.Counter.incr fence_count;
+        Frame.Fenced { term = t.term }
+      end
+      else begin
+        adopt t ~term ~tip:seq;
+        note_leader t seq;
+        if t.divergent then Frame.Nack { next = 0 }
+        else if seq <= t.applied then begin
+          Si_obs.Counter.incr dup_count;
+          Frame.Ack { seq = t.applied }
+        end
+        else if seq = t.applied + 1 then
+          match t.apply payload with
+          | Ok () ->
+              Si_obs.Counter.incr apply_count;
+              t.applied <- seq;
+              drain t;
+              Frame.Ack { seq = t.applied }
+          | Error e -> Frame.Bad e
+        else begin
+          (* Early arrival: hold it (bounded) and ask for the gap. *)
+          if Hashtbl.length t.pending < t.max_pending then begin
+            Si_obs.Counter.incr buffered_count;
+            Hashtbl.replace t.pending seq payload
+          end;
+          Frame.Nack { next = t.applied + 1 }
+        end
+      end
+  | Frame.Heartbeat { term; seq } ->
+      if term < t.term then begin
+        Si_obs.Counter.incr fence_count;
+        Frame.Fenced { term = t.term }
+      end
+      else begin
+        adopt t ~term ~tip:seq;
+        note_leader t seq;
+        if t.divergent then Frame.Nack { next = 0 }
+        else if t.applied >= seq then Frame.Ack { seq = t.applied }
+        else Frame.Nack { next = t.applied + 1 }
+      end
+  | Frame.Welcome _ | Frame.Fenced _ | Frame.Ack _ | Frame.Nack _
+  | Frame.Bad _ ->
+      Frame.Bad "response frame sent as a request"
+
+let handle t raw =
+  match Frame.decode raw with
+  | Error e -> Frame.encode (Frame.Bad e)
+  | Ok f -> Frame.encode (respond t f)
+
+let transport t raw = Ok (handle t raw)

@@ -1,0 +1,78 @@
+(** The follower end of WAL shipping.
+
+    A replica answers {!Frame} requests over any transport: it installs
+    base snapshots, applies records {e in sequence order} through the
+    caller's [apply] function, tolerates duplicated and reordered
+    frames (duplicates are acknowledged and dropped; early arrivals
+    wait in a bounded pending buffer and drain when the gap fills), and
+    answers [Fenced] to any frame from a term older than its own — how
+    a deposed leader learns it lost.
+
+    Prefix consistency is structural: [applied] only advances when
+    record [applied + 1] has gone through [apply], so the replica's
+    state is always exactly the leader's records [1..applied]. The one
+    exception is divergence healing after failover: when a newer
+    leader's advertised position is behind our applied prefix, the
+    suffix beyond it was acknowledged only to a deposed leader — the
+    replica answers [Nack {next = 0}] until the new leader jumps it to
+    a base snapshot, whose installation rolls [applied] back and
+    discards the divergent suffix.
+
+    Durability is the caller's: [apply] should write through a local
+    journaled store before returning [Ok], making an Ack mean
+    "survives my crash". Protocol state ([term], [applied]) is in
+    memory; persist it across restarts (the slimpad layer keeps a
+    sidecar file next to the replica's own WAL). *)
+
+type t
+
+val create :
+  ?max_pending:int ->
+  ?term:int ->
+  ?applied:int ->
+  ?on_term:(int -> unit) ->
+  apply:(string -> (unit, string) result) ->
+  install:(term:int -> seq:int -> string -> (unit, string) result) ->
+  unit ->
+  t
+(** [apply] receives record payloads in sequence order; [install]
+    receives a base snapshot payload replacing all state (the replica
+    jumps to the snapshot's [seq]); both should persist the given
+    [term]/[seq] so the replica can resume. [on_term] fires whenever the
+    replica adopts a higher term — from a leader frame or from
+    {!promote} — so the caller can persist it. [max_pending] bounds the
+    reorder buffer (default 64); past it, early frames are dropped and
+    Nacked. [term]/[applied] resume a persisted replica. *)
+
+val handle : t -> string -> string
+(** The transport endpoint: one encoded request frame in, one encoded
+    response frame out. Total — undecodable input answers a [Bad]
+    frame. *)
+
+val transport : t -> string -> (string, string) result
+(** [handle] wrapped for a leader in the same process (never [Error]). *)
+
+val term : t -> int
+val applied : t -> int
+(** Highest sequence number of the contiguous applied prefix. *)
+
+val leader_seq : t -> int
+(** Highest leader sequence number any frame has advertised. *)
+
+val lag : t -> int
+(** [leader_seq - applied], clamped at 0 — the staleness bound in
+    records. Also published to the ["wal.replica.lag"] gauge. *)
+
+val fresh_enough : t -> max_lag:int -> bool
+(** Bounded-staleness read guard: serve a read only when the replica is
+    at most [max_lag] records behind the last leader contact. *)
+
+val promote : t -> int
+(** Failover: bump the term past every leader this replica has seen,
+    clear the reorder buffer, and return the new term. The caller
+    becomes the leader (see {!Ship.create}); the old leader's next
+    frame here is answered [Fenced]. *)
+
+val trouble : t -> string option
+(** The first [apply] failure from draining the reorder buffer, if
+    any (failures on the direct path surface as [Bad] responses). *)

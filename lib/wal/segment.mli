@@ -1,0 +1,81 @@
+(** Sealed archive segments and base snapshots for WAL shipping.
+
+    The shipping archive is a directory of two kinds of file, both
+    written atomically (temp + rename), so every file that exists is
+    sealed — decode failures inside one are damage, never a torn
+    append:
+
+    - [seg-<term>-<first>-<last>.seg] — 8-byte magic, u32-le term,
+      u32-le first sequence number, u32-le record count, then the
+      CRC-framed records ({!Record.encode}) with sequence numbers
+      [first..last].
+    - [base-<term>-<seq>.base] — 8-byte magic, u32-le term, u32-le
+      sequence number, then one framed record: the full snapshot of the
+      state after applying records [1..seq].
+
+    [term] is the replication leadership generation (bumped by
+    failover), distinct from {!Log.generation} (bumped by local
+    compaction). Retained segments plus bases form the point-in-time
+    archive: {!restore_plan} picks the newest base at or before a cut
+    point and the segments bridging it. *)
+
+type entry = {
+  seg_term : int;
+  seg_first : int;  (** Sequence number of the first record inside. *)
+  seg_last : int;
+  seg_file : string;  (** File name within the archive directory. *)
+}
+
+type base = {
+  base_term : int;
+  base_seq : int;  (** Snapshot of the state after records [1..seq]. *)
+  base_file : string;
+}
+
+val seal :
+  dir:string -> term:int -> first:int -> string list -> (entry, string) result
+(** Write the records as a sealed segment. Errors on an empty list. *)
+
+val write_base :
+  dir:string -> term:int -> seq:int -> string -> (base, string) result
+
+val read : dir:string -> entry -> (string list, string) result
+(** Decode a segment's records, verifying magic, header-vs-name
+    agreement, CRCs, and the record count. Any mismatch is an error —
+    the file was sealed at creation. *)
+
+val read_base : dir:string -> base -> (string, string) result
+(** The snapshot payload, verified the same way. *)
+
+val ensure_dir : string -> (unit, string) result
+(** Create the archive directory when missing. *)
+
+type index = {
+  segments : entry list;  (** Sorted by [seg_first]. *)
+  bases : base list;  (** Sorted by [base_seq]. *)
+}
+
+val empty_index : index
+
+val index : string -> (index, string) result
+(** Scan the directory (missing directory: empty index). Malformed file
+    names are ignored; {!verify} inspects contents. *)
+
+val max_seq : index -> int
+(** Highest sequence number any archive file accounts for (0 when
+    empty). A restarting leader resumes numbering from here. *)
+
+val max_term : index -> int
+
+type problem = { problem_file : string; problem_detail : string }
+
+val verify : string -> (problem list, string) result
+(** Offline archive check (lint rule SL306 wraps this): per-file CRC
+    and header damage, sequence gaps not covered by any base, and
+    term regressions between consecutive segments. [Error _] only on
+    directory I/O failure. *)
+
+val restore_plan : index -> at:int -> (base * entry list, string) result
+(** The newest base with [base_seq <= at] plus the segments covering
+    records [(base_seq, at]], checked contiguous. Errors when no base
+    qualifies or records are missing. *)

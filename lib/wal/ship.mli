@@ -1,0 +1,92 @@
+(** The leader end of WAL shipping: segmented archive + follower push.
+
+    A shipper taps a log's accepted-append stream ({!Log.set_tee}),
+    assigns each payload a sequence number (1-based, monotonic across
+    leader restarts — resumed from the archive), and pushes records to
+    attached followers over synchronous request/response transports
+    ({!Frame}). Records accumulate in an open in-memory buffer;
+    every [segment_records] of them are sealed into an archive segment
+    ({!Segment}). The archive doubles as the follower catch-up source
+    and the point-in-time recovery store.
+
+    Durability note: like unflushed group-commit batches, the open
+    buffer is volatile — the archive is complete up to the last seal or
+    {!checkpoint}. A restarting leader resumes numbering after the
+    archive's highest sequence number and should cut a fresh base
+    ({!write_base}) so later restores cover current state.
+
+    Fencing: any follower response carrying a higher term permanently
+    fences this shipper — {!ship}, {!heartbeat}, and {!attach} fail
+    from then on. A fenced old leader can never overwrite a promoted
+    follower. *)
+
+type transport = string -> (string, string) result
+(** One encoded request frame in, one encoded response frame out.
+    [Error] means the frame may or may not have arrived (timeout,
+    dropped wire) — the shipper retries idempotently. *)
+
+type t
+
+val create :
+  ?segment_records:int ->
+  ?term:int ->
+  ?seq:int ->
+  archive:string ->
+  Log.t ->
+  (t, string) result
+(** Install the tee on the log and resume [seq]/[term] from the
+    archive directory (created when missing). [segment_records]
+    (default 256) is the seal threshold; 1 makes every record
+    individually restorable. [term] overrides the archive's term —
+    a promoted follower passes its bumped term; values behind the
+    archive are refused. [seq] raises the resume point past the
+    archive's highest sequence number — a restarting leader passes
+    what its persisted replication metadata proves it already
+    assigned, so acknowledged numbering is never reused. *)
+
+val close : t -> unit
+(** Remove the tee and drop followers. The archive stays. *)
+
+val term : t -> int
+val seq : t -> int
+(** Last assigned sequence number. *)
+
+val archive : t -> string
+val is_fenced : t -> bool
+
+val write_base : t -> string -> (unit, string) result
+(** Write [payload] as a base snapshot of the current state (sequence
+    number [seq t]) into the archive. *)
+
+val checkpoint : t -> (unit, string) result
+(** Seal the open buffer into a segment now (no-op when empty). *)
+
+val attach : t -> name:string -> transport -> (unit, string) result
+(** Handshake ([Hello]/[Welcome]) and register the follower; its
+    cursor starts at the [next] the follower asked for. Re-attaching
+    an existing name replaces its transport. A [Fenced] reply fences
+    this shipper. *)
+
+val detach : t -> string -> unit
+
+val ship : t -> (unit, string) result
+(** Push records to every follower until each is caught up, its retry
+    budget for this call is spent, or a fence is discovered. Follower
+    snapshots ([Snapshot] of the newest base) cover cursors that fell
+    behind the archive. [Error] only when fenced — laggards just stay
+    behind until the next call (see {!lag}). *)
+
+val heartbeat : t -> (unit, string) result
+(** One [Heartbeat] per follower: refreshes their staleness bound and
+    discovers fencing without shipping records. *)
+
+val followers : t -> (string * int) list
+(** Attached followers and their acked sequence numbers. *)
+
+val lag : t -> int
+(** Records the most-behind follower still needs (0 when all caught
+    up). Published to the ["wal.ship.lag"] gauge on every {!ship}. *)
+
+val trouble : t -> string option
+(** First archive I/O failure recorded by the background seal path,
+    cleared on read. *)

@@ -1,0 +1,32 @@
+(** Socket transport for WAL shipping (stdlib [Unix] only).
+
+    Frames cross the wire exactly as {!Frame.encode} produced them —
+    [u32-le length][u32-le crc][payload] — so both ends length-prefix
+    reads and verify the checksum before anything reaches the protocol
+    layer. The server runs its accept loop in a dedicated domain,
+    services one connection at a time, and hands each frame to the
+    handler (typically {!Replica.handle}); the leader keeps one
+    persistent {!client} per follower. *)
+
+type server
+
+val serve :
+  ?addr:string -> port:int -> (string -> string) -> (server, string) result
+(** Listen on [addr] (default localhost) and [port] — 0 picks an
+    ephemeral port, read it back with {!port}. *)
+
+val port : server -> int
+
+val shutdown : server -> unit
+(** Close the listening socket and join the serving domain.
+    Idempotent. *)
+
+type client
+
+val connect : ?addr:string -> port:int -> unit -> (client, string) result
+
+val transport : client -> string -> (string, string) result
+(** The {!Ship.transport} over this connection. Any socket failure
+    marks the client dead; reconnect with {!connect}. *)
+
+val close : client -> unit

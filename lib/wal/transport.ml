@@ -1,0 +1,87 @@
+(* In-process follower transport: the handler runs in its own domain,
+   serviced through a single-slot mailbox (mutex + condition). One
+   request is in flight at a time — exactly the synchronous RPC shape
+   the shipper expects — and shutdown wakes both sides. *)
+
+type server = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  mutable req : string option;
+  mutable resp : string option;
+  mutable stop : bool;
+  mutable domain : unit Domain.t option;
+}
+
+let serve handler =
+  let s =
+    {
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      req = None;
+      resp = None;
+      stop = false;
+      domain = None;
+    }
+  in
+  let rec loop () =
+    Mutex.lock s.mu;
+    while s.req = None && not s.stop do
+      Condition.wait s.cond s.mu
+    done;
+    if s.stop then Mutex.unlock s.mu
+    else begin
+      let frame = Option.get s.req in
+      s.req <- None;
+      Mutex.unlock s.mu;
+      (* The handler runs outside the lock: replica state is only ever
+         touched from this domain. *)
+      let reply = handler frame in
+      Mutex.lock s.mu;
+      s.resp <- Some reply;
+      Condition.broadcast s.cond;
+      Mutex.unlock s.mu;
+      loop ()
+    end
+  in
+  s.domain <- Some (Domain.spawn loop);
+  s
+
+let send s frame =
+  Mutex.lock s.mu;
+  let finish r =
+    Mutex.unlock s.mu;
+    r
+  in
+  if s.stop then finish (Error "local transport: server stopped")
+  else begin
+    while (s.req <> None || s.resp <> None) && not s.stop do
+      Condition.wait s.cond s.mu
+    done;
+    if s.stop then finish (Error "local transport: server stopped")
+    else begin
+      s.req <- Some frame;
+      Condition.broadcast s.cond;
+      while s.resp = None && not s.stop do
+        Condition.wait s.cond s.mu
+      done;
+      match s.resp with
+      | Some reply ->
+          s.resp <- None;
+          Condition.broadcast s.cond;
+          finish (Ok reply)
+      | None -> finish (Error "local transport: server stopped")
+    end
+  end
+
+let transport s frame = send s frame
+
+let shutdown s =
+  Mutex.lock s.mu;
+  s.stop <- true;
+  Condition.broadcast s.cond;
+  Mutex.unlock s.mu;
+  match s.domain with
+  | None -> ()
+  | Some d ->
+      s.domain <- None;
+      Domain.join d

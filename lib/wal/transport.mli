@@ -1,0 +1,20 @@
+(** In-process follower transport over a dedicated domain.
+
+    {!serve} spawns a domain that runs the handler (typically
+    {!Replica.handle}) for one frame at a time, fed through a
+    single-slot mailbox — the synchronous RPC shape {!Ship.transport}
+    expects, with the follower genuinely applying records on another
+    core. All replica state stays confined to the server domain. *)
+
+type server
+
+val serve : (string -> string) -> server
+(** Spawn the serving domain around the handler. *)
+
+val transport : server -> string -> (string, string) result
+(** The {!Ship.transport} for this server. Blocks until the handler
+    answers; [Error] only after {!shutdown}. *)
+
+val shutdown : server -> unit
+(** Stop the serving domain and join it. In-flight callers get
+    [Error]; later sends fail immediately. Idempotent. *)

@@ -1,0 +1,47 @@
+(** The replication crash matrix: scripted fault schedules over a live
+    leader/follower cluster, checked against the invariants the design
+    promises.
+
+    Each scenario builds real journaled pads ({!Si_slimpad.Slimpad})
+    under a scratch directory, drives WAL shipping through in-process
+    transports (wrapped in {!Faults.wrap_transport} where the scenario
+    calls for a lossy wire), injects its fault — dropped, duplicated,
+    mangled, or delayed frames; a follower crash mid-apply; a leader
+    crash mid-ship; a corrupted archive segment; a failover that
+    deposes the old leader — and then checks:
+
+    - {e zero acknowledged-write loss}: records a follower
+      acknowledged survive its crash and the leader's;
+    - {e prefix consistency}: every replica's state is exactly the
+      leader's records [1..applied];
+    - {e convergence}: after the fault clears, bounded shipping rounds
+      bring every replica to the leader's exact store contents.
+
+    Everything is seeded ({!Si_workload.Rng}) and headless: CI runs
+    {!run} as a gate and publishes {!to_json} as an artifact, and any
+    failure replays exactly. *)
+
+type outcome = {
+  scenario : string;
+  passed : bool;
+  detail : string;  (** What was verified, or how the check failed. *)
+}
+
+val scenario_names : unit -> string list
+(** The scenarios {!run} executes, in order. *)
+
+val run : ?seed:int -> dir:string -> unit -> outcome list
+(** Run every scenario under [dir] (created when missing; each scenario
+    uses its own subdirectory, left behind for inspection). Default
+    [seed] 2001 — the same seed replays the same schedule. Never
+    raises: a scenario's failure, including an unexpected exception,
+    becomes a failed {!outcome}. *)
+
+val all_passed : outcome list -> bool
+
+val to_json : outcome list -> string
+(** A flat JSON array of [{"scenario", "passed", "detail"}] objects —
+    the CI artifact. *)
+
+val to_text : outcome list -> string
+(** One aligned [PASS]/[FAIL] line per scenario. *)

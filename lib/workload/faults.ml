@@ -53,19 +53,101 @@ let wrap_opener t opener name =
 
 let wrap t = { Desktop.wrap = (fun opener name -> wrap_opener t opener name) }
 
-(* Crash simulation for the storage layer: chop a file (e.g. a
-   write-ahead log) at an arbitrary byte offset, exactly what a process
-   death mid-append leaves behind. Returns the clamped offset. *)
-let cut_file path offset =
+(* Crash simulation for the storage layer: damage a file (e.g. a
+   write-ahead log or a shipped segment) the way real failures do. *)
+
+type corruption =
+  | Truncate of int
+  | Flip_byte of int
+  | Duplicate_tail of int
+
+let read_whole path =
   let ic = open_in_bin path in
-  let contents =
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  let keep = max 0 (min offset (String.length contents)) in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_whole path contents =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (String.sub contents 0 keep));
-  keep
+    (fun () -> output_string oc contents)
+
+let corrupt_file path damage =
+  let contents = read_whole path in
+  let len = String.length contents in
+  match damage with
+  | Truncate offset ->
+      let keep = max 0 (min offset len) in
+      write_whole path (String.sub contents 0 keep);
+      keep
+  | Flip_byte offset ->
+      let at = max 0 (min offset (len - 1)) in
+      if len = 0 then 0
+      else begin
+        let b = Bytes.of_string contents in
+        Bytes.set b at (Char.chr (Char.code (Bytes.get b at) lxor 0xFF));
+        write_whole path (Bytes.to_string b);
+        at
+      end
+  | Duplicate_tail n ->
+      let n = max 0 (min n len) in
+      write_whole path (contents ^ String.sub contents (len - n) n);
+      n
+
+let cut_file path offset = corrupt_file path (Truncate offset)
+
+(* Network simulation for the replication layer: a lossy wire around a
+   synchronous request/response transport. Delayed frames are held in a
+   one-slot stash and delivered after the following frame — an
+   out-of-order arrival the receiver must buffer or Nack. *)
+
+type frame_fault = Drop | Duplicate | Mangle | Delay
+
+let all_frame_faults = [ Drop; Duplicate; Mangle; Delay ]
+
+let mangle_frame frame =
+  if frame = "" then frame
+  else begin
+    let b = Bytes.of_string frame in
+    let at = Bytes.length b / 2 in
+    Bytes.set b at (Char.chr (Char.code (Bytes.get b at) lxor 0xFF));
+    Bytes.to_string b
+  end
+
+let wrap_transport t ?(faults = all_frame_faults) send =
+  let stash = ref None in
+  let flush () =
+    match !stash with
+    | None -> ()
+    | Some held ->
+        stash := None;
+        ignore (send held)
+  in
+  fun frame ->
+    t.calls <- t.calls + 1;
+    if not (should_fail t) then begin
+      let r = send frame in
+      flush ();
+      r
+    end
+    else begin
+      t.injected <- t.injected + 1;
+      match Rng.pick t.rng faults with
+      | Drop ->
+          flush ();
+          Error (Printf.sprintf "injected fault: frame dropped (call %d)" t.calls)
+      | Duplicate ->
+          ignore (send frame);
+          let r = send frame in
+          flush ();
+          r
+      | Mangle ->
+          let r = send (mangle_frame frame) in
+          flush ();
+          r
+      | Delay ->
+          flush ();
+          stash := Some frame;
+          Error (Printf.sprintf "injected fault: frame delayed (call %d)" t.calls)
+    end

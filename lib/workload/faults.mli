@@ -45,10 +45,50 @@ val wrap_opener :
 (** The same combinator over a single opener, for tests that build mark
     modules directly. *)
 
+(** {2 Storage faults} *)
+
+type corruption =
+  | Truncate of int
+      (** Keep only the first [n] bytes — a crash mid-append. *)
+  | Flip_byte of int
+      (** XOR the byte at this offset (clamped into range) — media rot
+          or a torn sector; framing CRCs must catch it. *)
+  | Duplicate_tail of int
+      (** Re-append the last [n] bytes — a replayed partial write. *)
+
+val corrupt_file : string -> corruption -> int
+(** Damage the file in place. Returns the effective offset/length the
+    damage landed on (arguments are clamped to the file size).
+    @raise Sys_error on I/O trouble. *)
+
 val cut_file : string -> int -> int
-(** [cut_file path offset] truncates the file to its first [offset]
-    bytes — the on-disk state a process crash mid-append leaves behind.
+(** [cut_file path offset] is [corrupt_file path (Truncate offset)] —
+    the on-disk state a process crash mid-append leaves behind.
     Crash-recovery tests drive {!Si_wal.Log.open_} over every offset of
     a log with this. Returns the effective cut point ([offset] clamped
     to the file size).
     @raise Sys_error on I/O trouble. *)
+
+(** {2 Network faults} *)
+
+type frame_fault =
+  | Drop  (** The frame never arrives; the sender sees an error. *)
+  | Duplicate  (** Delivered twice; receivers must deduplicate. *)
+  | Mangle  (** A mid-frame byte is flipped; framing CRCs must catch it. *)
+  | Delay
+      (** Held back and delivered {e after} the following frame — an
+          out-of-order arrival the receiver must buffer or Nack. *)
+
+val all_frame_faults : frame_fault list
+
+val wrap_transport :
+  t ->
+  ?faults:frame_fault list ->
+  (string -> (string, string) result) ->
+  string ->
+  (string, string) result
+(** A lossy wire around a synchronous replication transport. Each frame
+    consults the schedule; faulted frames draw uniformly from [faults]
+    (default {!all_frame_faults}). Drop and Delay surface as
+    ["injected fault: …"] errors to the sender, exactly like a real
+    send timeout. At most one frame is in the delay stash at a time. *)

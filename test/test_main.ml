@@ -21,6 +21,7 @@ let () =
       ("generic-dmi", Test_generic_dmi.suite);
       ("rdf & models", Test_rdf.suite);
       ("robustness", Test_robustness.suite);
+      ("replication", Test_replication.suite);
       ("workload", Test_workload.suite);
       ("tui", Test_tui.suite);
     ]

@@ -265,6 +265,7 @@ let sample_snapshot () =
   {
     Registry.counters =
       [ ("triple.insert", 547); ("wal.append", 12); ("wal.fsync", 1) ];
+    gauges = [ ("replica.lag", 4) ];
     histograms =
       [ ("query.run", Histogram.summary h); ("wal.fsync", Histogram.summary deep) ];
   }
@@ -281,6 +282,7 @@ let test_stats_json_roundtrip () =
   | Error e -> Alcotest.failf "stats JSON does not decode: %s" e
   | Ok snap' ->
       check_bool "counters round-trip" true (snap.counters = snap'.counters);
+      check_bool "gauges round-trip" true (snap.gauges = snap'.gauges);
       check_bool "histogram summaries round-trip" true
         (snap.histograms = snap'.histograms)
 
@@ -290,6 +292,7 @@ let prop_report_json_roundtrip =
       let snap =
         {
           Registry.counters = [ ("a.b", List.length values) ];
+          gauges = [];
           histograms =
             (if values = [] then []
              else [ ("a.lat", Histogram.summary (hist_of values)) ]);

@@ -1,0 +1,533 @@
+(* Tests for WAL shipping: the frame codec, sealed archive segments,
+   leader/follower convergence (in-process and over sockets), fault
+   injection on the wire and on disk, generation-handshake fencing,
+   point-in-time recovery, and the full crash matrix.
+
+   The torn-segment test reuses the crash-at-every-byte idea from the
+   WAL recovery tests: a sealed segment damaged at ANY byte offset must
+   be detected, never decoded into wrong records. *)
+
+open Si_wal
+module Slimpad = Si_slimpad.Slimpad
+module Dmi = Si_slim.Dmi
+module Desktop = Si_mark.Desktop
+module Trim = Si_triple.Trim
+module Faults = Si_workload.Faults
+module Crash_matrix = Si_workload.Crash_matrix
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let sok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+let scratch_dir () =
+  let path = Filename.temp_file "si_repl" "" in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  path
+
+let read_bytes path =
+  In_channel.with_open_bin path In_channel.input_all
+
+let write_bytes path contents =
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc contents)
+
+(* --- cluster helpers (mirroring Si_workload.Crash_matrix) ------------- *)
+
+let make_leader ?(segment_records = 4) dir name =
+  let app, _ =
+    sok "open_wal"
+      (Slimpad.open_wal (Desktop.create ())
+         (Filename.concat dir (name ^ ".wal")))
+  in
+  let pad = Slimpad.new_pad app (name ^ "-pad") in
+  sok "start_shipping"
+    (Slimpad.start_shipping ~segment_records app
+       ~archive:(Filename.concat dir (name ^ ".archive")));
+  (app, pad)
+
+let make_follower dir name =
+  let app, _ =
+    sok "open_replica"
+      (Slimpad.open_replica (Desktop.create ())
+         (Filename.concat dir (name ^ ".wal")))
+  in
+  app
+
+let replica_of app = Option.get (Slimpad.replica app)
+let shipper_of app = Option.get (Slimpad.shipper app)
+
+let churn app pad ~from n =
+  let root = Dmi.root_bundle (Slimpad.dmi app) pad in
+  for i = from to from + n - 1 do
+    ignore
+      (Slimpad.add_bundle app ~parent:root
+         ~name:(Printf.sprintf "node-%04d" i)
+         ())
+  done
+
+let converged leader follower =
+  Replica.applied (replica_of follower) = Ship.seq (shipper_of leader)
+  && Trim.equal_contents
+       (Dmi.trim (Slimpad.dmi leader))
+       (Dmi.trim (Slimpad.dmi follower))
+
+let pump ?(rounds = 64) leader followers =
+  let rec go r =
+    if r = 0 then
+      Alcotest.failf "no convergence after %d ship rounds (lag %d)" rounds
+        (Ship.lag (shipper_of leader))
+    else begin
+      sok "ship" (Slimpad.ship leader);
+      if not (List.for_all (converged leader) followers) then go (r - 1)
+    end
+  in
+  go rounds
+
+(* --- the wire protocol ------------------------------------------------ *)
+
+let test_frame_roundtrip () =
+  let frames =
+    [
+      Frame.Hello { term = 3; seq = 41 };
+      Frame.Welcome { term = 3; next = 42 };
+      Frame.Fenced { term = 7 };
+      Frame.Snapshot { term = 1; seq = 9; payload = "state\x00bytes" };
+      Frame.Append { term = 2; seq = 10; payload = "" };
+      Frame.Heartbeat { term = 0; seq = 0 };
+      Frame.Ack { seq = 12 };
+      Frame.Nack { next = 5 };
+      Frame.Bad "why";
+    ]
+  in
+  List.iter
+    (fun f ->
+      check_bool "frame round-trips" true
+        (Frame.decode (Frame.encode f) = Ok f))
+    frames;
+  check_bool "garbage refused" true (Result.is_error (Frame.decode "junk"));
+  (* A flipped byte anywhere fails the CRC instead of mis-parsing. *)
+  let raw = Frame.encode (Frame.Append { term = 3; seq = 9; payload = "p" }) in
+  for i = 0 to String.length raw - 1 do
+    let b = Bytes.of_string raw in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+    check_bool
+      (Printf.sprintf "flip at %d detected" i)
+      true
+      (Result.is_error (Frame.decode (Bytes.to_string b)))
+  done
+
+(* --- sealed segments -------------------------------------------------- *)
+
+let test_segment_roundtrip () =
+  let dir = scratch_dir () in
+  let recs = [ "alpha"; "beta"; "gamma" ] in
+  let entry = sok "seal" (Segment.seal ~dir ~term:1 ~first:5 recs) in
+  check_int "last seq" 7 entry.Segment.seg_last;
+  check_bool "read back" true (Segment.read ~dir entry = Ok recs);
+  ignore (sok "base" (Segment.write_base ~dir ~term:1 ~seq:4 "SNAP"));
+  let idx = sok "index" (Segment.index dir) in
+  check_int "max_seq" 7 (Segment.max_seq idx);
+  check_int "max_term" 1 (Segment.max_term idx);
+  let base, entries = sok "plan" (Segment.restore_plan idx ~at:6) in
+  check_int "plan base" 4 base.Segment.base_seq;
+  check_int "plan segments" 1 (List.length entries);
+  check_str "base payload" "SNAP"
+    (sok "read_base" (Segment.read_base ~dir base));
+  (match Segment.verify dir with
+  | Ok [] -> ()
+  | Ok ps -> Alcotest.failf "clean archive reports %d problems" (List.length ps)
+  | Error e -> Alcotest.failf "verify: %s" e);
+  (* A restore the archive cannot cover is an error, not a guess. *)
+  check_bool "uncoverable restore refused" true
+    (Result.is_error (Segment.restore_plan idx ~at:2))
+
+(* Damage a sealed segment at EVERY byte offset — truncation and a
+   flipped byte — and prove decode never yields wrong records: it either
+   errors or (never, for these damages) returns the original list. *)
+let test_segment_damage_every_offset () =
+  let dir = scratch_dir () in
+  let recs =
+    List.init 6 (fun i -> Printf.sprintf "record-%d-%s" i (String.make i 'x'))
+  in
+  let entry = sok "seal" (Segment.seal ~dir ~term:2 ~first:10 recs) in
+  let path = Filename.concat dir entry.Segment.seg_file in
+  let full = read_bytes path in
+  let len = String.length full in
+  let damaged = scratch_dir () in
+  let dpath = Filename.concat damaged entry.Segment.seg_file in
+  for cut = 0 to len - 1 do
+    write_bytes dpath (String.sub full 0 cut);
+    check_bool
+      (Printf.sprintf "truncation at %d detected" cut)
+      true
+      (Result.is_error (Segment.read ~dir:damaged entry))
+  done;
+  for off = 0 to len - 1 do
+    write_bytes dpath full;
+    ignore (Faults.corrupt_file dpath (Faults.Flip_byte off));
+    check_bool
+      (Printf.sprintf "flipped byte at %d detected" off)
+      true
+      (Result.is_error (Segment.read ~dir:damaged entry));
+    (* And offline verification flags the file too. *)
+    match Segment.verify damaged with
+    | Ok [] -> Alcotest.failf "flip at %d verifies clean" off
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "verify: %s" e
+  done
+
+(* --- disk and wire fault injectors ------------------------------------ *)
+
+let test_corrupt_file () =
+  let path = Filename.temp_file "si_corrupt" ".bin" in
+  let original = "0123456789" in
+  write_bytes path original;
+  check_int "truncate point" 4 (Faults.corrupt_file path (Faults.Truncate 4));
+  check_str "truncated" "0123" (read_bytes path);
+  write_bytes path original;
+  check_int "cut_file is Truncate" 7 (Faults.cut_file path 7);
+  check_str "cut" "0123456" (read_bytes path);
+  write_bytes path original;
+  ignore (Faults.corrupt_file path (Faults.Flip_byte 2));
+  let flipped = read_bytes path in
+  check_int "flip keeps length" 10 (String.length flipped);
+  check_bool "byte 2 differs" true (flipped.[2] <> original.[2]);
+  check_str "rest intact" "01"
+    (String.sub flipped 0 2);
+  write_bytes path original;
+  ignore (Faults.corrupt_file path (Faults.Duplicate_tail 3));
+  check_str "tail duplicated" "0123456789789" (read_bytes path);
+  Sys.remove path
+
+let test_wrap_transport () =
+  let seen = ref [] in
+  let echo raw =
+    seen := raw :: !seen;
+    Ok ("re:" ^ raw)
+  in
+  (* Healthy: pure pass-through. *)
+  let inj = Faults.create Faults.Healthy in
+  check_bool "healthy passes" true
+    (Faults.wrap_transport inj echo "a" = Ok "re:a");
+  (* Duplicate: the frame reaches the receiver twice; one response. *)
+  let inj = Faults.create (Faults.Fail_first 1) in
+  seen := [];
+  check_bool "duplicate still answers" true
+    (Faults.wrap_transport inj ~faults:[ Faults.Duplicate ] echo "d"
+    = Ok "re:d");
+  check_int "delivered twice" 2 (List.length !seen);
+  (* Delay: the frame is stashed (sender sees a send failure) and
+     arrives after the NEXT frame — a reordered wire. *)
+  let inj = Faults.create (Faults.Fail_first 1) in
+  seen := [];
+  let lossy = Faults.wrap_transport inj ~faults:[ Faults.Delay ] echo in
+  check_bool "delayed send errors" true (Result.is_error (lossy "first"));
+  check_bool "next send succeeds" true (Result.is_ok (lossy "second"));
+  check_bool "reordered delivery" true
+    (List.rev !seen = [ "second"; "first" ]);
+  (* Drop: never delivered. *)
+  let inj = Faults.create (Faults.Fail_first 1) in
+  seen := [];
+  check_bool "dropped send errors" true
+    (Result.is_error
+       (Faults.wrap_transport inj ~faults:[ Faults.Drop ] echo "gone"));
+  check_int "never delivered" 0 (List.length !seen)
+
+(* --- leader/follower convergence -------------------------------------- *)
+
+let test_ship_convergence_and_staleness () =
+  let dir = scratch_dir () in
+  let leader, pad = make_leader dir "leader" in
+  let f = make_follower dir "f" in
+  sok "attach"
+    (Slimpad.attach_follower leader ~name:"f"
+       (Replica.transport (replica_of f)));
+  churn leader pad ~from:1 20;
+  pump leader [ f ];
+  check_bool "contents converged" true (converged leader f);
+  let r = replica_of f in
+  check_bool "fresh at lag 0" true (Replica.fresh_enough r ~max_lag:0);
+  (* New leader records the follower has not seen yet: a heartbeat
+     refreshes the staleness bound without shipping. *)
+  churn leader pad ~from:100 5;
+  sok "sync" (Slimpad.wal_sync leader);
+  sok "heartbeat" (Slimpad.ship_heartbeat leader);
+  let lag = Replica.lag r in
+  check_bool "lag visible" true (lag > 0);
+  check_bool "stale below the bound" false
+    (Replica.fresh_enough r ~max_lag:(lag - 1));
+  check_bool "fresh at the bound" true (Replica.fresh_enough r ~max_lag:lag);
+  pump leader [ f ];
+  check_int "lag repaid" 0 (Replica.lag r);
+  sok "close leader" (Slimpad.wal_close leader);
+  sok "close follower" (Slimpad.wal_close f)
+
+let test_tcp_transport () =
+  let dir = scratch_dir () in
+  let leader, pad = make_leader dir "leader" in
+  let f = make_follower dir "f" in
+  let server =
+    sok "serve" (Tcp.serve ~port:0 (Replica.handle (replica_of f)))
+  in
+  let client = sok "connect" (Tcp.connect ~port:(Tcp.port server) ()) in
+  sok "attach over tcp"
+    (Slimpad.attach_follower leader ~name:"f" (Tcp.transport client));
+  churn leader pad ~from:1 12;
+  pump leader [ f ];
+  check_bool "converged over sockets" true (converged leader f);
+  Tcp.close client;
+  Tcp.shutdown server;
+  (* Idempotent; also proves shutdown does not hang on a joined domain. *)
+  Tcp.shutdown server;
+  sok "close leader" (Slimpad.wal_close leader);
+  sok "close follower" (Slimpad.wal_close f)
+
+let test_fencing () =
+  (* A replica that has seen term 5 answers any older-term frame with
+     Fenced — the generation handshake that stops a deposed leader. *)
+  let r =
+    Replica.create ~term:5
+      ~apply:(fun _ -> Ok ())
+      ~install:(fun ~term:_ ~seq:_ _ -> Ok ())
+      ()
+  in
+  (match
+     Frame.decode (Replica.handle r (Frame.encode (Frame.Hello { term = 3; seq = 0 })))
+   with
+  | Ok (Frame.Fenced { term = 5 }) -> ()
+  | other ->
+      Alcotest.failf "expected Fenced 5, got %s"
+        (match other with Ok _ -> "another frame" | Error e -> e));
+  (match
+     Frame.decode
+       (Replica.handle r
+          (Frame.encode (Frame.Append { term = 4; seq = 1; payload = "x" })))
+   with
+  | Ok (Frame.Fenced _) -> ()
+  | _ -> Alcotest.failf "stale append not fenced");
+  (* Equal and newer terms are served. *)
+  match
+    Frame.decode (Replica.handle r (Frame.encode (Frame.Hello { term = 5; seq = 0 })))
+  with
+  | Ok (Frame.Welcome { term = 5; next = 1 }) -> ()
+  | _ -> Alcotest.failf "current-term hello refused"
+
+(* --- point-in-time recovery ------------------------------------------- *)
+
+(* The acceptance bar: `restore --at seq` reproduces the exact binary
+   snapshot the live pad had at that sequence number, for every point
+   in a recorded trace. segment_records = 1 makes every record
+   individually restorable. *)
+let test_restore_byte_identical () =
+  let dir = scratch_dir () in
+  let archive = Filename.concat dir "leader.archive" in
+  let leader, pad = make_leader ~segment_records:1 dir "leader" in
+  let root = Dmi.root_bundle (Slimpad.dmi leader) pad in
+  let sh = shipper_of leader in
+  let trace = ref [ (Ship.seq sh, Slimpad.snapshot_bytes leader) ] in
+  for i = 1 to 12 do
+    (match i mod 3 with
+    | 0 ->
+        ignore
+          (Slimpad.add_bundle leader ~parent:root
+             ~name:(Printf.sprintf "bundle-%02d" i)
+             ())
+    | 1 -> ignore (Slimpad.new_pad leader (Printf.sprintf "pad-%02d" i))
+    | _ ->
+        ignore
+          (Slimpad.add_bundle leader ~parent:root
+             ~name:(Printf.sprintf "late-%02d" i)
+             ()));
+    sok "sync" (Slimpad.wal_sync leader);
+    trace := (Ship.seq sh, Slimpad.snapshot_bytes leader) :: !trace
+  done;
+  List.iter
+    (fun (seq, bytes) ->
+      let rapp, reached =
+        sok
+          (Printf.sprintf "restore at %d" seq)
+          (Slimpad.restore_at (Desktop.create ()) ~archive ~at:seq)
+      in
+      check_int (Printf.sprintf "reached %d" seq) seq reached;
+      check_bool
+        (Printf.sprintf "byte-identical state at seq %d" seq)
+        true
+        (String.equal bytes (Slimpad.snapshot_bytes rapp)))
+    !trace;
+  sok "close" (Slimpad.wal_close leader)
+
+(* --- offline archive lint (SL306) ------------------------------------- *)
+
+let test_lint_archive () =
+  let dir = scratch_dir () in
+  let leader, pad = make_leader ~segment_records:2 dir "leader" in
+  churn leader pad ~from:1 8;
+  sok "sync" (Slimpad.wal_sync leader);
+  sok "checkpoint" (Slimpad.ship_checkpoint leader);
+  let archive = Ship.archive (shipper_of leader) in
+  let diags_of () = Si_lint.run (Si_lint.context ~archive ()) in
+  let sl306 ds =
+    List.filter (fun (d : Si_lint.diagnostic) -> d.Si_lint.code = "SL306") ds
+  in
+  check_int "clean archive: no SL306" 0 (List.length (sl306 (diags_of ())));
+  let seg =
+    match
+      List.filter
+        (fun f -> Filename.check_suffix f ".seg")
+        (Array.to_list (Sys.readdir archive))
+    with
+    | s :: _ -> Filename.concat archive s
+    | [] -> Alcotest.failf "no sealed segment in the archive"
+  in
+  ignore (Faults.corrupt_file seg (Faults.Flip_byte 40));
+  let ds = sl306 (diags_of ()) in
+  check_bool "damage reported as SL306" true (List.length ds > 0);
+  List.iter
+    (fun d ->
+      check_bool "SL306 is an error" true (d.Si_lint.severity = Si_lint.Error);
+      check_bool "not auto-fixable" false d.Si_lint.fixable)
+    ds;
+  sok "close" (Slimpad.wal_close leader)
+
+(* --- the crash matrix as a test gate ---------------------------------- *)
+
+let test_crash_matrix_passes () =
+  let dir = scratch_dir () in
+  let outcomes = Crash_matrix.run ~dir () in
+  check_int "all scenarios ran"
+    (List.length (Crash_matrix.scenario_names ()))
+    (List.length outcomes);
+  List.iter
+    (fun o ->
+      check_bool
+        (Printf.sprintf "%s: %s" o.Crash_matrix.scenario
+           o.Crash_matrix.detail)
+        true o.Crash_matrix.passed)
+    outcomes
+
+(* --- property: interleavings converge --------------------------------- *)
+
+(* Any interleaving of appends, ship rounds, checkpoints, follower
+   crashes, and promotions over a random op sequence must leave every
+   surviving replica holding exactly the final leader's prefix. *)
+let prop_interleavings_converge =
+  QCheck.Test.make ~name:"ship/crash/promote interleavings converge"
+    ~count:10
+    QCheck.(list_of_size (Gen.int_range 5 25) (int_range 0 9))
+    (fun ops ->
+      let dir = scratch_dir () in
+      let leader = ref (fst (make_leader dir "leader")) in
+      let follower name =
+        (name, Filename.concat dir (name ^ ".wal"), make_follower dir name)
+      in
+      let followers = ref [ follower "f1"; follower "f2" ] in
+      let attach_all () =
+        List.iter
+          (fun (name, _, f) ->
+            sok "attach"
+              (Slimpad.attach_follower !leader ~name
+                 (Replica.transport (replica_of f))))
+          !followers
+      in
+      attach_all ();
+      let fresh = ref 0 in
+      let mutate () =
+        incr fresh;
+        match Dmi.pads (Slimpad.dmi !leader) with
+        | [] -> ignore (Slimpad.new_pad !leader "pad")
+        | pad :: _ ->
+            let root = Dmi.root_bundle (Slimpad.dmi !leader) pad in
+            ignore
+              (Slimpad.add_bundle !leader ~parent:root
+                 ~name:(Printf.sprintf "n-%04d" !fresh)
+                 ())
+      in
+      let crash_first () =
+        match !followers with
+        | [] -> ()
+        | (name, src, f) :: rest ->
+            incr fresh;
+            let applied = Replica.applied (replica_of f) in
+            (* Files-only crash: copy the WAL pair to a fresh path and
+               reopen that, abandoning the old in-memory state (which
+               keeps its lock — exactly like a dead process whose lock
+               is taken over, minus the wait). *)
+            let dst =
+              Filename.concat dir (Printf.sprintf "%s-crash%d.wal" name !fresh)
+            in
+            let copy src dst =
+              if Sys.file_exists src then write_bytes dst (read_bytes src)
+            in
+            copy src dst;
+            copy (Log.snapshot_path src) (Log.snapshot_path dst);
+            let f2, _ =
+              sok "reopen crashed follower"
+                (Slimpad.open_replica (Desktop.create ()) dst)
+            in
+            if Replica.applied (replica_of f2) <> applied then
+              Alcotest.failf "crash lost applied records";
+            followers := (name, dst, f2) :: rest;
+            sok "re-attach"
+              (Slimpad.attach_follower !leader ~name
+                 (Replica.transport (replica_of f2)))
+      in
+      let promote_best () =
+        match
+          List.sort
+            (fun (_, _, a) (_, _, b) ->
+              compare
+                ( Replica.term (replica_of b),
+                  Replica.applied (replica_of b) )
+                ( Replica.term (replica_of a),
+                  Replica.applied (replica_of a) ))
+            !followers
+        with
+        | [] -> ()
+        | (name, _, best) :: rest ->
+            incr fresh;
+            ignore
+              (sok "promote"
+                 (Slimpad.promote_replica best
+                    ~archive:
+                      (Filename.concat dir
+                         (Printf.sprintf "%s-%d.archive" name !fresh))));
+            leader := best;
+            followers := rest;
+            attach_all ()
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 | 1 | 2 | 3 | 4 -> mutate ()
+          | 5 | 6 -> ignore (Slimpad.ship !leader)
+          | 7 -> ignore (Slimpad.ship_checkpoint !leader)
+          | 8 -> crash_first ()
+          | _ -> promote_best ())
+        ops;
+      pump !leader (List.map (fun (_, _, f) -> f) !followers);
+      List.for_all (fun (_, _, f) -> converged !leader f) !followers)
+
+let suite =
+  [
+    ("frame codec round-trip & CRC", `Quick, test_frame_roundtrip);
+    ("segment seal/read/index/plan", `Quick, test_segment_roundtrip);
+    ("segment damage at every byte offset", `Quick,
+     test_segment_damage_every_offset);
+    ("corrupt_file: truncate, flip, duplicate-tail", `Quick,
+     test_corrupt_file);
+    ("wrap_transport: drop, duplicate, delay", `Quick, test_wrap_transport);
+    ("ship converges; bounded-staleness reads", `Quick,
+     test_ship_convergence_and_staleness);
+    ("ship over tcp sockets", `Quick, test_tcp_transport);
+    ("generation handshake fences stale leaders", `Quick, test_fencing);
+    ("restore --at is byte-identical along a trace", `Quick,
+     test_restore_byte_identical);
+    ("SL306 flags archive damage", `Quick, test_lint_archive);
+    ("crash matrix: every scenario passes", `Slow, test_crash_matrix_passes);
+    QCheck_alcotest.to_alcotest prop_interleavings_converge;
+  ]

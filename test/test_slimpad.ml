@@ -352,7 +352,22 @@ let fresh_wal_path () =
 let cleanup_wal path =
   List.iter
     (fun p -> if Sys.file_exists p then Sys.remove p)
-    [ path; Si_wal.Log.snapshot_path path ]
+    [ path; Si_wal.Log.snapshot_path path; Si_wal.Log.lock_path path ]
+
+(* Snapshot the on-disk WAL state (log + snapshot file) to a fresh path,
+   as a crash would leave it — the live writer keeps its lock, so
+   recovery is exercised on the copy. *)
+let crash_copy path =
+  let dst = fresh_wal_path () in
+  let copy src dst =
+    if Sys.file_exists src then
+      Out_channel.with_open_bin dst (fun oc ->
+          In_channel.with_open_bin src (fun ic ->
+              Out_channel.output_string oc (In_channel.input_all ic)))
+  in
+  copy path dst;
+  copy (Si_wal.Log.snapshot_path path) (Si_wal.Log.snapshot_path dst);
+  dst
 
 (* Full-state equality: triples, marks, and operation journal. *)
 let check_same_state a b =
@@ -389,8 +404,9 @@ let test_wal_enable_and_recover () =
   in
   Dmi.update_scrap_name (Slimpad.dmi app) s "renamed after";
   ok (Slimpad.wal_sync app);
+  let crashed = crash_copy path in
   let app2, rc =
-    ok (Slimpad.open_wal (fig4_desktop ()) path)
+    ok (Slimpad.open_wal (fig4_desktop ()) crashed)
   in
   check_bool "recovered from snapshot" true rc.Slimpad.from_snapshot;
   check_bool "tail replayed" true (rc.Slimpad.replayed > 0);
@@ -401,13 +417,14 @@ let test_wal_enable_and_recover () =
   Dmi.update_scrap_name (Slimpad.dmi app2) s "renamed again";
   ok (Slimpad.wal_sync app2);
   ok (Slimpad.wal_close app2);
-  let app3, _ = ok (Slimpad.open_wal (fig4_desktop ()) path) in
+  let app3, _ = ok (Slimpad.open_wal (fig4_desktop ()) crashed) in
   check "rename survived a second cycle" "renamed again"
     (Dmi.scrap_name (Slimpad.dmi app3) s);
   ok (Slimpad.wal_close app3);
   ok (Slimpad.wal_close app);
   check_bool "close reverts to whole-file" true
     (Slimpad.persistence app = Whole_file);
+  cleanup_wal crashed;
   cleanup_wal path
 
 let test_wal_enable_refuses_existing () =
@@ -513,10 +530,12 @@ let test_wal_rollback_consistency () =
   check "memory rolled back" "John Smith"
     (Dmi.bundle_name (Slimpad.dmi app) smith);
   ok (Slimpad.wal_sync app);
-  let app2, _ = ok (Slimpad.open_wal (fig4_desktop ()) path) in
+  let crashed = crash_copy path in
+  let app2, _ = ok (Slimpad.open_wal (fig4_desktop ()) crashed) in
   check_same_state app app2;
   ok (Slimpad.wal_close app2);
   ok (Slimpad.wal_close app);
+  cleanup_wal crashed;
   cleanup_wal path
 
 (* ------------------------------------- binary snapshot back-compat *)

@@ -33,7 +33,7 @@ let fresh_path () =
 let cleanup path =
   List.iter
     (fun p -> if Sys.file_exists p then Sys.remove p)
-    [ path; Log.snapshot_path path ]
+    [ path; Log.snapshot_path path; Log.lock_path path ]
 
 let read_bytes path =
   let ic = open_in_bin path in
@@ -185,6 +185,7 @@ let test_log_group_commit () =
   ok_exn "c" (Log.append log "c");
   check_int "batch flushed" 0 (Log.pending log);
   check_int "three on disk" 3 (Log.record_count log);
+  ok_exn "close" (Log.close log);
   (* Byte threshold flushes too. *)
   let log_b, _ =
     ok_exn "open byte-batch"
@@ -198,7 +199,6 @@ let test_log_group_commit () =
   check_int "one pending" 1 (Log.pending log_b);
   ok_exn "sync" (Log.sync log_b);
   check_int "sync drained it" 0 (Log.pending log_b);
-  ok_exn "close" (Log.close log);
   ok_exn "close_b" (Log.close log_b);
   cleanup path
 
@@ -215,13 +215,46 @@ let test_log_unflushed_batch_lost () =
   ok_exn "sync" (Log.sync log);
   ok_exn "pending1" (Log.append log "pending1");
   ok_exn "pending2" (Log.append log "pending2");
-  (* Simulate the crash: just never sync/close — reopen reads the file. *)
-  let log2, recovery = ok_exn "reopen" (Log.open_ path) in
+  (* Simulate the crash: copy the file as it sits on disk — the live
+     handle still holds the unflushed batch (and the writer lock). *)
+  let crashed = fresh_path () in
+  write_bytes crashed (read_bytes path);
+  let log2, recovery = ok_exn "reopen" (Log.open_ crashed) in
   check_int "only the synced record survives" 1
     (List.length recovery.Log.records);
   check "it is the acked one" "acked" (List.hd recovery.Log.records);
   ok_exn "close2" (Log.close log2);
   ok_exn "close1" (Log.close log);
+  cleanup crashed;
+  cleanup path
+
+let test_log_single_writer_lock () =
+  let path = fresh_path () in
+  let log, _ = ok_exn "open" (Log.open_ path) in
+  (* A second writer on the same path would interleave appends and
+     corrupt the frame stream — refused while the first handle lives. *)
+  check_bool "second open refused" true (Result.is_error (Log.open_ path));
+  check_bool "lock file present" true (Sys.file_exists (Log.lock_path path));
+  ok_exn "first handle still writes" (Log.append log "safe");
+  ok_exn "close" (Log.close log);
+  check_bool "lock released on close" false
+    (Sys.file_exists (Log.lock_path path));
+  let log2, recovery = ok_exn "reopen after close" (Log.open_ path) in
+  check "the refused open corrupted nothing" "safe"
+    (List.hd recovery.Log.records);
+  ok_exn "close2" (Log.close log2);
+  cleanup path
+
+let test_log_stale_lock_takeover () =
+  let path = fresh_path () in
+  (* Garbage contents: a torn lock write from a crashed process. *)
+  write_bytes (Log.lock_path path) "not a pid";
+  let log, _ = ok_exn "garbage lock taken over" (Log.open_ path) in
+  ok_exn "close" (Log.close log);
+  (* Our own pid: what a crash simulated in-process leaves behind. *)
+  write_bytes (Log.lock_path path) (string_of_int (Unix.getpid ()));
+  let log2, _ = ok_exn "own-pid lock taken over" (Log.open_ path) in
+  ok_exn "close2" (Log.close log2);
   cleanup path
 
 let test_log_snapshot_cycle () =
@@ -784,6 +817,8 @@ let suite =
     ("log append and reopen", `Quick, test_log_append_reopen);
     ("log group commit thresholds", `Quick, test_log_group_commit);
     ("log unflushed batch lost cleanly", `Quick, test_log_unflushed_batch_lost);
+    ("log single-writer lock", `Quick, test_log_single_writer_lock);
+    ("log stale lock takeover", `Quick, test_log_stale_lock_takeover);
     ("log snapshot cycle", `Quick, test_log_snapshot_cycle);
     ("log stale log discarded", `Quick, test_log_stale_log_discarded);
     ("log ahead of snapshot rejected", `Quick,
