@@ -1267,6 +1267,103 @@ let restore_tests () =
         (staged probe))
     seg_counts
 
+(* ------------------------------------------------ E17: the pad server *)
+
+(* Serving cost end to end: a real server on an ephemeral localhost
+   port, real TCP clients. The bechamel group prices single-request
+   RTTs (the unit the open-loop sweep below multiplies); the printed
+   report drives the arrival-rate sweep with >= 2 concurrent clients
+   and locates the overload knee — the rate where typed [Overloaded]
+   rejections appear while interactive latency stays bounded. *)
+
+let e17_server () =
+  let dir = e16_dir () in
+  let app, _ =
+    Result.get_ok
+      (Si_slimpad.Slimpad.open_wal
+         ~store:(module Si_triple.Store.Sharded_columnar)
+         (Desktop.create ())
+         (Filename.concat dir "pad.wal"))
+  in
+  ignore (Si_slimpad.Slimpad.new_pad app "bench-pad");
+  let config =
+    { Si_serve.Server.default_config with workers = 2; job_capacity = 2 }
+  in
+  Result.get_ok (Si_serve.Server.start ~config app)
+
+(* The measured server outlives its group's Test.make closures; main
+   stops it after the group runs. *)
+let e17_cleanup = ref (fun () -> ())
+
+let server_tests () =
+  let server = e17_server () in
+  (e17_cleanup := fun () -> Si_serve.Server.stop server);
+  let port = Si_serve.Server.port server in
+  (* One shared connection: a worker owns a connection for its whole
+     life, so more persistent clients than workers would leave later
+     tests waiting in the accept queue. Tests run sequentially and the
+     protocol is strict request/response, so sharing is safe. *)
+  let c = Result.get_ok (Si_serve.Client.connect ~port ()) in
+  let rtt name req =
+    Test.make ~name
+      (staged (fun () ->
+           match Si_serve.Client.request c req with
+           | Ok _ -> ()
+           | Error e -> failwith e))
+  in
+  let module P = Si_serve.Proto in
+  [
+    rtt "rtt: ping" P.Ping;
+    rtt "rtt: count (indexed read)" (P.Count P.any);
+    rtt "rtt: select limit 16"
+      (P.Select { pattern = P.any; limit = 16 });
+    rtt "rtt: add (durable write)"
+      (P.Add (Si_triple.Triple.make "bench" "rtt" (Si_triple.Triple.Literal "v")));
+  ]
+
+let server_load_report () =
+  Printf.printf "\n-- E17 open-loop serving sweep (2 clients, RTT in us) --\n";
+  let server = e17_server () in
+  let port = Si_serve.Server.port server in
+  let requests = if !smoke then 150 else 600 in
+  let us ns = ns /. 1_000. in
+  let sweep rate =
+    let r = Si_workload.Loadgen.run ~port ~rate ~requests () in
+    Printf.printf
+      "  rate %5.0f/s  p50 %7.0f  p99 %8.0f  ok %4d  overloaded %3d  \
+       errors %d\n"
+      rate
+      (us (Si_workload.Loadgen.quantile_ns r 0.5))
+      (us (Si_workload.Loadgen.quantile_ns r 0.99))
+      r.Si_workload.Loadgen.ok r.Si_workload.Loadgen.overloaded
+      r.Si_workload.Loadgen.errors;
+    r
+  in
+  let uncontended = sweep 50. in
+  ignore (sweep 400.);
+  ignore (sweep 2_000.);
+  (* The knee: saturate the bounded bulk-job queue while interactive
+     traffic keeps flowing. Bulk submits must be rejected with typed
+     [Overloaded]; the interactive p99 under that flood should stay
+     within a small factor of the uncontended run. *)
+  let flooded =
+    Si_workload.Loadgen.run ~port ~rate:2_000. ~requests
+      ~mix:{ Si_workload.Loadgen.default_mix with bulk = 5 }
+      ()
+  in
+  let p99 r = us (Si_workload.Loadgen.quantile_ns r 0.99) in
+  Printf.printf
+    "  bulk flood    p50 %7.0f  p99 %8.0f  ok %4d  bulk rejected %3d\n"
+    (us (Si_workload.Loadgen.quantile_ns flooded 0.5))
+    (p99 flooded) flooded.Si_workload.Loadgen.ok
+    flooded.Si_workload.Loadgen.rejected_bulk;
+  Printf.printf
+    "  knee: bulk rejections %s, interactive p99 %.1fx uncontended\n"
+    (if flooded.Si_workload.Loadgen.rejected_bulk > 0 then "engaged"
+     else "NOT ENGAGED")
+    (p99 flooded /. Float.max 1. (p99 uncontended));
+  Si_serve.Server.stop server
+
 (* ------------------------------------- --compare: regression gating *)
 
 (* Rebuild per-group latency distributions from two --json files using
@@ -1424,6 +1521,9 @@ let () =
   run_group ~name:"E16 WAL shipping (append overhead, ship throughput)"
     (ship_overhead_tests ());
   run_group ~name:"E16 PITR restore vs archive depth" (restore_tests ());
+  run_group ~name:"E17 pad server request RTT" (server_tests ());
+  !e17_cleanup ();
+  server_load_report ();
   Si_obs.Span.disable ();
   ignore (Si_obs.Span.drain ());
   (match json_path with Some path -> write_json path | None -> ());

@@ -1101,6 +1101,365 @@ let cmd_crash_matrix dir seed json =
             (Si_workload.Crash_matrix.to_json outcomes)));
   if Si_workload.Crash_matrix.all_passed outcomes then 0 else 1
 
+(* -------------------------------------------------------------- serving *)
+
+module Serve = Si_serve.Server
+module Sclient = Si_serve.Client
+module Proto = Si_serve.Proto
+module Loadgen = Si_workload.Loadgen
+
+let cmd_archive_prune dir keep archive =
+  let archive = Option.value archive ~default:(Workspace.archive_path dir) in
+  match Si_wal.Segment.prune ~dir:archive ~keep with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok r ->
+      Printf.printf "cutoff seq %d: pruned %d segment(s) and %d base(s)\n"
+        r.Si_wal.Segment.prune_cutoff
+        (List.length r.Si_wal.Segment.pruned_segments)
+        (List.length r.Si_wal.Segment.pruned_bases);
+      List.iter
+        (fun f -> Printf.printf "  removed %s\n" f)
+        (r.Si_wal.Segment.pruned_segments @ r.Si_wal.Segment.pruned_bases);
+      0
+
+(* The replica workspace the server routes fresh reads to; created on
+   first use, resumed afterwards. Sharded store: server reads run on
+   worker domains while shipping applies records. *)
+let open_replica_dir rdir =
+  (if not (Sys.file_exists rdir) then
+     try Unix.mkdir rdir 0o755 with Unix.Unix_error _ -> ());
+  let desk, problems = Workspace.load_desktop rdir in
+  List.iter (Printf.eprintf "warning: %s\n") problems;
+  Slimpad.open_replica
+    ~store:(module Si_triple.Store.Sharded_columnar)
+    desk (Workspace.wal_path rdir)
+
+let cmd_serve dir endpoint workers max_lag replica_of =
+  let fail msg =
+    Printf.eprintf "error: %s\n" msg;
+    1
+  in
+  match split_endpoint endpoint with
+  | Error msg -> fail msg
+  | Ok (addr, port) -> (
+      if not (Workspace.wal_present dir) then
+        fail "workspace is not journaled (run wal-enable first)"
+      else
+        match
+          Workspace.open_workspace
+            ~store:(module Si_triple.Store.Sharded_columnar) dir
+        with
+        | Error msg -> fail msg
+        | Ok app -> (
+            let closing code =
+              match Slimpad.wal_close app with
+              | Ok () -> code
+              | Error msg ->
+                  Printf.eprintf "error: %s\n" msg;
+                  max code 1
+            in
+            (* With --replica-of: ship into the archive from a
+               background domain and serve bounded-staleness reads from
+               the replica. *)
+            let follower =
+              match replica_of with
+              | None -> Ok None
+              | Some rdir -> (
+                  match open_replica_dir rdir with
+                  | Error _ as e -> e
+                  | Ok (rapp, _) -> (
+                      let r = Option.get (Slimpad.replica rapp) in
+                      let attached =
+                        Result.bind
+                          (Slimpad.start_shipping ~async:true app
+                             ~archive:(Workspace.archive_path dir))
+                          (fun () ->
+                            Result.bind
+                              (Slimpad.attach_follower app ~name:rdir
+                                 (Si_wal.Replica.transport r))
+                              (fun () -> Slimpad.ship app))
+                      in
+                      match attached with
+                      | Error e ->
+                          ignore (Slimpad.wal_close rapp);
+                          Error e
+                      | Ok () -> Ok (Some (rapp, r))))
+            in
+            match follower with
+            | Error msg ->
+                Printf.eprintf "error: %s\n" msg;
+                closing 1
+            | Ok follower -> (
+                let config =
+                  { Serve.default_config with addr; port; workers; max_lag }
+                in
+                match Serve.start ~config ?follower app with
+                | Error msg ->
+                    (match follower with
+                    | Some (rapp, _) -> ignore (Slimpad.wal_close rapp)
+                    | None -> ());
+                    Printf.eprintf "error: %s\n" msg;
+                    closing 1
+                | Ok server ->
+                    Printf.printf
+                      "pad server on %s:%d (%d worker(s)%s); stop with \
+                       Ctrl-C or `slimpad client shutdown`\n%!"
+                      addr (Serve.port server) (max 1 workers)
+                      (match follower with
+                      | Some _ -> ", replica-aware reads"
+                      | None -> "");
+                    let stop = ref false in
+                    let previous =
+                      Sys.signal Sys.sigint
+                        (Sys.Signal_handle (fun _ -> stop := true))
+                    in
+                    while (not !stop) && not (Serve.stopped server) do
+                      try Unix.sleepf 0.05
+                      with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                    done;
+                    Sys.set_signal Sys.sigint previous;
+                    Serve.stop server;
+                    let code =
+                      match follower with
+                      | None -> 0
+                      | Some (rapp, r) -> (
+                          (* Final round: the replica holds everything
+                             acknowledged before the stop. *)
+                          let drained = Slimpad.ship app in
+                          Printf.printf "replica applied %d (lag %d)\n"
+                            (Si_wal.Replica.applied r)
+                            (Si_wal.Replica.lag r);
+                          match (Slimpad.wal_close rapp, drained) with
+                          | Ok (), Ok () -> 0
+                          | Ok (), Error msg | Error msg, _ ->
+                              Printf.eprintf "error: %s\n" msg;
+                              1)
+                    in
+                    Printf.printf "server stopped\n";
+                    closing code)))
+
+(* ----- typed client ----- *)
+
+let with_server_client endpoint f =
+  match split_endpoint endpoint with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok (addr, port) -> (
+      match Sclient.connect ~addr ~port () with
+      | Error msg ->
+          Printf.eprintf "error: cannot reach %s:%d: %s\n" addr port msg;
+          1
+      | Ok c ->
+          Fun.protect ~finally:(fun () -> Sclient.close c) (fun () -> f c))
+
+let unexpected () =
+  Printf.eprintf "error: unexpected response\n";
+  1
+
+let one_request endpoint req k =
+  with_server_client endpoint (fun c ->
+      match Sclient.request c req with
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          1
+      | Ok (Proto.Err e) ->
+          Printf.eprintf "server error: %s\n" e;
+          1
+      | Ok (Proto.Overloaded e) ->
+          (* Typed backpressure, not a failure: exit 2 so scripts can
+             tell "retry later" from "broken". *)
+          Printf.printf "overloaded: %s\n" e;
+          2
+      | Ok resp -> k resp)
+
+let build_obj resource literal =
+  match (resource, literal) with
+  | Some _, Some _ -> Error "--resource and --literal are mutually exclusive"
+  | Some r, None -> Ok (Some (Si_triple.Triple.Resource r))
+  | None, Some l -> Ok (Some (Si_triple.Triple.Literal l))
+  | None, None -> Ok None
+
+let build_pattern subject predicate resource literal =
+  Result.map
+    (fun p_object ->
+      { Proto.p_subject = subject; p_predicate = predicate; p_object })
+    (build_obj resource literal)
+
+let client_ping endpoint =
+  one_request endpoint Proto.Ping (function
+    | Proto.Pong ->
+        print_endline "pong";
+        0
+    | _ -> unexpected ())
+
+let client_pads endpoint =
+  one_request endpoint Proto.Pads (function
+    | Proto.Pad_list names ->
+        List.iter print_endline names;
+        0
+    | _ -> unexpected ())
+
+let client_open endpoint name =
+  one_request endpoint (Proto.Open_pad name) (function
+    | Proto.Ok_done ->
+        Printf.printf "opened %s\n" name;
+        0
+    | _ -> unexpected ())
+
+let client_select endpoint subject predicate resource literal limit =
+  match build_pattern subject predicate resource literal with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok pattern ->
+      one_request endpoint (Proto.Select { pattern; limit }) (function
+        | Proto.Triples rows ->
+            List.iter print_endline rows;
+            0
+        | _ -> unexpected ())
+
+let client_count endpoint subject predicate resource literal =
+  match build_pattern subject predicate resource literal with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok pattern ->
+      one_request endpoint (Proto.Count pattern) (function
+        | Proto.Count_is n ->
+            Printf.printf "%d\n" n;
+            0
+        | _ -> unexpected ())
+
+let client_query endpoint text =
+  one_request endpoint (Proto.Query text) (function
+    | Proto.Rows rows ->
+        List.iter print_endline rows;
+        Printf.printf "%d row(s)\n" (List.length rows);
+        0
+    | _ -> unexpected ())
+
+let client_edit ~remove endpoint subject predicate resource literal =
+  match build_obj resource literal with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok None ->
+      Printf.eprintf "error: pass --resource or --literal\n";
+      1
+  | Ok (Some o) ->
+      let triple = Si_triple.Triple.make subject predicate o in
+      let req = if remove then Proto.Remove triple else Proto.Add triple in
+      one_request endpoint req (function
+        | Proto.Ok_done ->
+            print_endline (if remove then "removed" else "added");
+            0
+        | _ -> unexpected ())
+
+let client_resolve endpoint pad scrap =
+  one_request endpoint (Proto.Resolve { pad; scrap }) (function
+    | Proto.Resolved text ->
+        print_endline text;
+        0
+    | _ -> unexpected ())
+
+let client_stats endpoint =
+  one_request endpoint Proto.Stats (function
+    | Proto.Stats_json json ->
+        print_endline json;
+        0
+    | _ -> unexpected ())
+
+let client_job endpoint kind count predicate interactive =
+  let kind =
+    match kind with
+    | "compact" -> Ok Proto.Compact
+    | "checkpoint" -> Ok Proto.Checkpoint
+    | "lint" -> Ok Proto.Lint
+    | "bulk-add" -> Ok (Proto.Bulk_add { count; predicate })
+    | k ->
+        Error
+          (Printf.sprintf
+             "unknown job kind %S (one of compact, checkpoint, lint, \
+              bulk-add)"
+             k)
+  in
+  match kind with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok kind ->
+      let priority =
+        if interactive then Proto.Interactive else Proto.Bulk
+      in
+      one_request endpoint (Proto.Submit { kind; priority }) (function
+        | Proto.Accepted id ->
+            Printf.printf "job %d accepted\n" id;
+            0
+        | _ -> unexpected ())
+
+let client_job_status endpoint id wait_done =
+  with_server_client endpoint (fun c ->
+      let rec poll () =
+        match Sclient.request c (Proto.Job_status id) with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1
+        | Ok (Proto.Err e) ->
+            Printf.eprintf "server error: %s\n" e;
+            1
+        | Ok (Proto.Job { job; state }) -> (
+            match state with
+            | (Proto.Queued | Proto.Running) when wait_done ->
+                (try Unix.sleepf 0.05
+                 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+                poll ()
+            | Proto.Queued ->
+                Printf.printf "job %d: queued\n" job;
+                0
+            | Proto.Running ->
+                Printf.printf "job %d: running\n" job;
+                0
+            | Proto.Done summary ->
+                Printf.printf "job %d: done (%s)\n" job summary;
+                0
+            | Proto.Failed reason ->
+                Printf.printf "job %d: failed (%s)\n" job reason;
+                1)
+        | Ok _ -> unexpected ()
+      in
+      poll ())
+
+let client_workload endpoint rate requests clients bulk json =
+  match split_endpoint endpoint with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok (addr, port) ->
+      let mix = { Loadgen.default_mix with bulk } in
+      let r = Loadgen.run ~clients ~mix ~addr ~port ~rate ~requests () in
+      Printf.printf "sent %d: %d ok, %d overloaded, %d error(s)\n"
+        r.Loadgen.sent r.Loadgen.ok r.Loadgen.overloaded r.Loadgen.errors;
+      Printf.printf "rtt p50 %.0f us, p90 %.0f us, p99 %.0f us\n"
+        (Loadgen.quantile_ns r 0.5 /. 1e3)
+        (Loadgen.quantile_ns r 0.9 /. 1e3)
+        (Loadgen.quantile_ns r 0.99 /. 1e3);
+      (match json with
+      | None -> ()
+      | Some file ->
+          Out_channel.with_open_bin file (fun oc ->
+              Out_channel.output_string oc (Loadgen.to_json r)));
+      if r.Loadgen.errors > 0 then 1 else 0
+
+let client_shutdown endpoint =
+  one_request endpoint Proto.Shutdown (function
+    | Proto.Closing ->
+        print_endline "server closing";
+        0
+    | _ -> unexpected ())
+
 (* -------------------------------------------------------------- cmdliner *)
 
 open Cmdliner
@@ -1500,6 +1859,214 @@ let crash_matrix_cmd =
              and convergence invariants")
     Term.(const cmd_crash_matrix $ dir $ seed $ json)
 
+let archive_prune_cmd =
+  let keep =
+    Arg.(value & opt int 0 & info [ "keep" ] ~docv:"N"
+         ~doc:"Keep a window of N records below the newest base snapshot \
+               (default 0: prune everything the base makes redundant).")
+  in
+  let archive =
+    Arg.(value & opt (some dir) None & info [ "archive" ] ~docv:"DIR"
+         ~doc:"Shipping archive to prune (default: the workspace's \
+               pad.archive).")
+  in
+  Cmd.v
+    (Cmd.info "archive-prune"
+       ~doc:"Retention: delete shipping-archive segments and bases made \
+             redundant by the newest base snapshot (restores above the \
+             cutoff are unaffected)")
+    Term.(const cmd_archive_prune $ dir_arg $ keep $ archive)
+
+let serve_cmd =
+  let endpoint =
+    Arg.(value & opt string "127.0.0.1:7070"
+         & info [ "addr" ] ~docv:"HOST:PORT"
+             ~doc:"Listen endpoint (port 0 picks an ephemeral one).")
+  in
+  let workers =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N"
+         ~doc:"Worker domains — the number of concurrently served \
+               clients.")
+  in
+  let max_lag =
+    Arg.(value & opt int 64 & info [ "max-lag" ] ~docv:"N"
+         ~doc:"With --replica-of: serve reads from the replica only \
+               while it is at most N records behind.")
+  in
+  let replica_of =
+    Arg.(value & opt (some string) None
+         & info [ "replica-of" ] ~docv:"DIR"
+             ~doc:"Replica workspace (created when missing): ship the \
+                   log to it from a background domain and route fresh \
+                   reads there.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve the journaled workspace to concurrent network clients \
+             (interactive requests are prioritized over background jobs; \
+             a full queue answers Overloaded, never blocks)")
+    Term.(const cmd_serve $ dir_arg $ endpoint $ workers $ max_lag
+          $ replica_of)
+
+let client_cmd =
+  let endpoint =
+    Arg.(value & opt string "127.0.0.1:7070"
+         & info [ "to" ] ~docv:"HOST:PORT" ~doc:"Server endpoint.")
+  in
+  let subject =
+    Arg.(value & opt (some string) None & info [ "subject" ] ~docv:"ID")
+  in
+  let predicate =
+    Arg.(value & opt (some string) None & info [ "predicate" ] ~docv:"NAME")
+  in
+  let resource =
+    Arg.(value & opt (some string) None & info [ "resource" ] ~docv:"ID"
+         ~doc:"Object as a resource id.")
+  in
+  let literal =
+    Arg.(value & opt (some string) None & info [ "literal" ] ~docv:"TEXT"
+         ~doc:"Object as a literal.")
+  in
+  let subject_pos =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SUBJECT")
+  in
+  let predicate_pos =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"PREDICATE")
+  in
+  let ping =
+    Cmd.v (Cmd.info "ping" ~doc:"Round-trip check")
+      Term.(const client_ping $ endpoint)
+  in
+  let pads =
+    Cmd.v (Cmd.info "pads" ~doc:"List the served pads")
+      Term.(const client_pads $ endpoint)
+  in
+  let open_ =
+    let pad_name =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
+    in
+    Cmd.v (Cmd.info "open" ~doc:"Attach a pad by name, creating it if absent")
+      Term.(const client_open $ endpoint $ pad_name)
+  in
+  let select =
+    let limit =
+      Arg.(value & opt int 0 & info [ "limit" ] ~docv:"N"
+           ~doc:"At most N rows (0: all).")
+    in
+    Cmd.v (Cmd.info "select" ~doc:"Select triples by fixing any fields")
+      Term.(const client_select $ endpoint $ subject $ predicate $ resource
+            $ literal $ limit)
+  in
+  let count =
+    Cmd.v (Cmd.info "count" ~doc:"Count triples matching a pattern")
+      Term.(const client_count $ endpoint $ subject $ predicate $ resource
+            $ literal)
+  in
+  let query =
+    let text =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY")
+    in
+    Cmd.v (Cmd.info "query" ~doc:"Run a declarative query on the server")
+      Term.(const client_query $ endpoint $ text)
+  in
+  let add =
+    Cmd.v (Cmd.info "add" ~doc:"Add one triple (durable before the reply)")
+      Term.(const (client_edit ~remove:false) $ endpoint $ subject_pos
+            $ predicate_pos $ resource $ literal)
+  in
+  let remove =
+    Cmd.v (Cmd.info "remove" ~doc:"Remove one triple")
+      Term.(const (client_edit ~remove:true) $ endpoint $ subject_pos
+            $ predicate_pos $ resource $ literal)
+  in
+  let resolve =
+    let pad =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"PAD")
+    in
+    let scrap =
+      Arg.(required & pos 1 (some string) None & info [] ~docv:"SCRAP")
+    in
+    Cmd.v (Cmd.info "resolve" ~doc:"Resolve a scrap's mark on the server")
+      Term.(const client_resolve $ endpoint $ pad $ scrap)
+  in
+  let stats =
+    Cmd.v (Cmd.info "stats" ~doc:"The server's metrics registry as JSON")
+      Term.(const client_stats $ endpoint)
+  in
+  let job =
+    let kind =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"KIND"
+           ~doc:"One of compact, checkpoint, lint, bulk-add.")
+    in
+    let count =
+      Arg.(value & opt int 1024 & info [ "count" ] ~docv:"N"
+           ~doc:"bulk-add: how many triples to import.")
+    in
+    let predicate =
+      Arg.(value & opt string "bulkgen" & info [ "predicate" ] ~docv:"NAME"
+           ~doc:"bulk-add: predicate for the generated triples.")
+    in
+    let interactive =
+      Arg.(value & flag & info [ "interactive" ]
+           ~doc:"Submit at interactive priority instead of bulk.")
+    in
+    Cmd.v
+      (Cmd.info "job"
+         ~doc:"Submit a background job (bounded queue: a full one \
+               answers Overloaded)")
+      Term.(const client_job $ endpoint $ kind $ count $ predicate
+            $ interactive)
+  in
+  let job_status =
+    let id = Arg.(required & pos 0 (some int) None & info [] ~docv:"ID") in
+    let wait =
+      Arg.(value & flag & info [ "wait" ]
+           ~doc:"Poll until the job finishes or fails.")
+    in
+    Cmd.v (Cmd.info "job-status" ~doc:"Query (or await) a submitted job")
+      Term.(const client_job_status $ endpoint $ id $ wait)
+  in
+  let workload =
+    let rate =
+      Arg.(value & opt float 200. & info [ "rate" ] ~docv:"R"
+           ~doc:"Target arrivals per second (open loop).")
+    in
+    let requests =
+      Arg.(value & opt int 200 & info [ "requests" ] ~docv:"N"
+           ~doc:"Total arrivals across all clients.")
+    in
+    let clients =
+      Arg.(value & opt int 2 & info [ "clients" ] ~docv:"N"
+           ~doc:"Concurrent connections.")
+    in
+    let bulk =
+      Arg.(value & opt int 0 & info [ "bulk" ] ~docv:"W"
+           ~doc:"Bulk-submit weight in the request mix (reads 8, \
+                 writes 2).")
+    in
+    let json =
+      Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also write the tallies and RTT quantiles as JSON (the \
+                 CI artifact).")
+    in
+    Cmd.v
+      (Cmd.info "workload"
+         ~doc:"Drive a seeded open-loop request mix and report \
+               client-observed RTT quantiles")
+      Term.(const client_workload $ endpoint $ rate $ requests $ clients
+            $ bulk $ json)
+  in
+  let shutdown =
+    Cmd.v (Cmd.info "shutdown" ~doc:"Ask the server to stop")
+      Term.(const client_shutdown $ endpoint)
+  in
+  Cmd.group
+    (Cmd.info "client" ~doc:"Talk to a running pad server")
+    [
+      ping; pads; open_; select; count; query; add; remove; resolve; stats;
+      job; job_status; workload; shutdown;
+    ]
+
 let main =
   Cmd.group
     (Cmd.info "slimpad" ~version:"1.0"
@@ -1512,6 +2079,7 @@ let main =
       import_cmd; export_html_cmd; template_cmd; instantiate_cmd;
       wal_enable_cmd; wal_inspect_cmd; wal_compact_cmd;
       replicate_cmd; promote_cmd; restore_cmd; crash_matrix_cmd;
+      serve_cmd; client_cmd; archive_prune_cmd;
     ]
 
 let () =

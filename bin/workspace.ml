@@ -85,19 +85,20 @@ let load_desktop dir =
     entries;
   (desk, List.rev !problems)
 
-let open_workspace ?resilient ?wrap
+let open_workspace ?store ?resilient ?wrap
     ?(on_warning = Printf.eprintf "warning: %s\n") dir =
   let desk, problems = load_desktop dir in
   List.iter on_warning problems;
   if wal_present dir then
-    match Slimpad.open_wal ?resilient ?wrap ~on_warning desk (wal_path dir)
+    match
+      Slimpad.open_wal ?store ?resilient ?wrap ~on_warning desk (wal_path dir)
     with
     | Error _ as e -> e
     | Ok (app, _) -> Ok app
   else
-    let store = pad_store dir in
-    if Sys.file_exists store then Slimpad.load ?resilient ?wrap desk store
-    else Ok (Slimpad.create ?resilient ?wrap desk)
+    let file = pad_store dir in
+    if Sys.file_exists file then Slimpad.load ?store ?resilient ?wrap desk file
+    else Ok (Slimpad.create ?store ?resilient ?wrap desk)
 
 let save_workspace dir app =
   match Slimpad.persistence app with

@@ -1,0 +1,16 @@
+(* Thin typed client: the replication socket transport already speaks
+   the right framing (one CRC-framed request out, one frame back), so
+   this is Proto codecs around Si_wal.Tcp. *)
+
+module Tcp = Si_wal.Tcp
+
+type t = Tcp.client
+
+let connect ?addr ~port () = Tcp.connect ?addr ~port ()
+
+let request t req =
+  match Tcp.transport t (Proto.encode_request req) with
+  | Error _ as e -> e
+  | Ok raw -> Proto.decode_response raw
+
+let close = Tcp.close

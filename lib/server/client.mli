@@ -1,0 +1,14 @@
+(** Typed client for the pad server: {!Proto} codecs over the
+    replication socket transport ({!Si_wal.Tcp}), which already speaks
+    the same CRC framing. One connection, strict request/response. *)
+
+type t
+
+val connect : ?addr:string -> port:int -> unit -> (t, string) result
+
+val request : t -> Proto.request -> (Proto.response, string) result
+(** [Error] is transport failure (the connection is then dead —
+    reconnect); protocol-level refusals arrive as [Err]/[Overloaded]
+    responses. *)
+
+val close : t -> unit

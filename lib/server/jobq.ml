@@ -1,0 +1,88 @@
+(* A bounded two-class queue with backpressure: pushes never block —
+   a full class answers [`Overloaded] immediately and the caller turns
+   that into a typed response — and pops serve the interactive class
+   exhaustively before touching bulk, so background work can wait
+   arbitrarily long but can never delay an interactive item behind it. *)
+
+type 'a t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  interactive : 'a Queue.t;
+  bulk : 'a Queue.t;
+  capacity : int;  (* bound on the interactive class *)
+  bulk_capacity : int;
+  mutable closed : bool;
+  gauge : Si_obs.Gauge.t option;  (* total depth, published on change *)
+}
+
+let create ?(capacity = 64) ?(bulk_capacity = 16) ?gauge () =
+  if capacity < 1 || bulk_capacity < 1 then
+    invalid_arg "Jobq.create: capacities must be positive";
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    interactive = Queue.create ();
+    bulk = Queue.create ();
+    capacity;
+    bulk_capacity;
+    closed = false;
+    gauge;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Assumes [t.mutex] is held. *)
+let publish_depth t =
+  match t.gauge with
+  | Some g ->
+      Si_obs.Gauge.set g (Queue.length t.interactive + Queue.length t.bulk)
+  | None -> ()
+
+let push t priority item =
+  locked t (fun () ->
+      if t.closed then `Closed
+      else
+        let q, cap =
+          match (priority : Proto.priority) with
+          | Interactive -> (t.interactive, t.capacity)
+          | Bulk -> (t.bulk, t.bulk_capacity)
+        in
+        if Queue.length q >= cap then `Overloaded
+        else begin
+          Queue.push item q;
+          publish_depth t;
+          Condition.signal t.nonempty;
+          `Accepted
+        end)
+
+let pop t =
+  locked t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.interactive) then begin
+          let item = Queue.pop t.interactive in
+          publish_depth t;
+          Some item
+        end
+        else if not (Queue.is_empty t.bulk) then begin
+          let item = Queue.pop t.bulk in
+          publish_depth t;
+          Some item
+        end
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.mutex;
+          wait ()
+        end
+      in
+      wait ())
+
+let depth t =
+  locked t (fun () -> Queue.length t.interactive + Queue.length t.bulk)
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      (* Every blocked popper must re-check the flag. *)
+      Condition.broadcast t.nonempty)

@@ -1,0 +1,33 @@
+(** A bounded two-class (interactive > bulk) queue with backpressure.
+
+    The scheduler primitive behind the pad server: {!push} never blocks
+    — a full class answers [`Overloaded] at once, which the server
+    turns into a typed {!Proto.response} — and {!pop} drains the
+    interactive class exhaustively before bulk, so queued background
+    work can never delay an interactive item arriving behind it.
+    Consumers block in {!pop} until an item or {!close}. *)
+
+type 'a t
+
+val create :
+  ?capacity:int -> ?bulk_capacity:int -> ?gauge:Si_obs.Gauge.t -> unit -> 'a t
+(** [capacity] bounds the interactive class (default 64),
+    [bulk_capacity] the bulk class (default 16) — separate bounds so a
+    bulk flood cannot consume interactive headroom. [gauge] receives
+    the total depth on every change (the server passes
+    ["server.queue.depth"]).
+    @raise Invalid_argument on a non-positive capacity. *)
+
+val push : 'a t -> Proto.priority -> 'a -> [ `Accepted | `Closed | `Overloaded ]
+(** Non-blocking enqueue: [`Overloaded] when the class is at capacity
+    — the caller reports backpressure instead of waiting. *)
+
+val pop : 'a t -> 'a option
+(** Block until an item is available (interactive first) or the queue
+    is closed {e and} drained — [None] means shut down; items queued
+    before {!close} are still delivered. *)
+
+val depth : 'a t -> int
+
+val close : 'a t -> unit
+(** Wake every blocked consumer; further pushes answer [`Closed]. *)

@@ -1,0 +1,442 @@
+(* The pad server: one accept domain feeding a bounded connection
+   queue, a fixed pool of worker domains each serving one connection at
+   a time (frames are request/response, so concurrency = workers), and
+   one job-runner domain draining the background queue.
+
+   Reads run concurrently over the sharded store — and go to the
+   attached follower whenever its bounded-staleness guard holds — while
+   every mutation serializes through [writer] and syncs the leader's
+   WAL before the response, so an acknowledged write is durable.
+
+   Backpressure is typed, never blocking: a full connection queue is
+   answered [Overloaded] at accept, a full job queue at submit. A frame
+   the transport or parser refuses gets one [Err] response and the
+   connection is dropped — a misbehaving peer cannot wedge a worker. *)
+
+module Slimpad = Si_slimpad.Slimpad
+module Dmi = Si_slim.Dmi
+module Trim = Si_triple.Trim
+module Triple = Si_triple.Triple
+module Mark = Si_mark.Mark
+module Query = Si_query.Query
+module Tcp = Si_wal.Tcp
+module Replica = Si_wal.Replica
+
+let request_count = Si_obs.Registry.counter "server.request"
+let proto_error_count = Si_obs.Registry.counter "server.proto_error"
+let overloaded_count = Si_obs.Registry.counter "server.overloaded"
+let replica_read_count = Si_obs.Registry.counter "server.read.replica"
+let leader_read_count = Si_obs.Registry.counter "server.read.leader"
+let sessions_gauge = Si_obs.Registry.gauge "server.sessions"
+let queue_gauge = Si_obs.Registry.gauge "server.queue.depth"
+let request_latency = Si_obs.Registry.histogram "server.request"
+
+type config = {
+  addr : string;
+  port : int;
+  workers : int;
+  pending_connections : int;
+  job_capacity : int;
+  max_lag : int;
+}
+
+let default_config =
+  {
+    addr = "127.0.0.1";
+    port = 0;
+    workers = 4;
+    pending_connections = 64;
+    job_capacity = 8;
+    max_lag = 64;
+  }
+
+type job = { job_id : int; job_kind : Proto.job_kind }
+
+type t = {
+  cfg : config;
+  leader : Slimpad.t;
+  follower : (Slimpad.t * Replica.t) option;
+  listen_fd : Unix.file_descr;
+  srv_port : int;
+  stopping : bool Atomic.t;
+  conns : Unix.file_descr Jobq.t;
+  jobs : job Jobq.t;
+  job_states : (int, Proto.job_state) Hashtbl.t;  (* under job_lock *)
+  job_lock : Mutex.t;
+  mutable next_job : int;  (* under job_lock *)
+  writer : Mutex.t;  (* serializes every mutation through the WAL *)
+  sessions : (Unix.file_descr, unit) Hashtbl.t;  (* under session_lock *)
+  session_lock : Mutex.t;
+  mutable domains : unit Domain.t list;
+  mutable joined : bool;
+}
+
+let port t = t.srv_port
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let with_writer t f = locked t.writer f
+
+let set_job t id state =
+  locked t.job_lock (fun () -> Hashtbl.replace t.job_states id state)
+
+let job_state t id =
+  locked t.job_lock (fun () -> Hashtbl.find_opt t.job_states id)
+
+(* A pad without a WAL (tests, scratch servers) still works — writes
+   just have nothing to sync. *)
+let persist t =
+  match Slimpad.wal t.leader with
+  | None -> Ok ()
+  | Some _ -> Slimpad.wal_sync t.leader
+
+(* --- read routing ---------------------------------------------------- *)
+
+let read_app t =
+  match t.follower with
+  | Some (fapp, rep) when Replica.fresh_enough rep ~max_lag:t.cfg.max_lag ->
+      Si_obs.Counter.incr replica_read_count;
+      fapp
+  | _ ->
+      Si_obs.Counter.incr leader_read_count;
+      t.leader
+
+let read_trim t = Dmi.trim (Slimpad.dmi (read_app t))
+
+let take limit rows =
+  if limit <= 0 then rows
+  else
+    let rec go n = function
+      | x :: rest when n > 0 -> x :: go (n - 1) rest
+      | _ -> []
+    in
+    go limit rows
+
+(* --- background jobs ------------------------------------------------- *)
+
+let bulk_batch = 16
+
+let run_job t = function
+  | Proto.Compact ->
+      with_writer t (fun () ->
+          Result.map (fun () -> "compacted") (Slimpad.wal_compact t.leader))
+  | Proto.Checkpoint ->
+      with_writer t (fun () ->
+          Result.map
+            (fun () -> "checkpointed")
+            (Slimpad.ship_checkpoint t.leader))
+  | Proto.Lint ->
+      (* Read-only over the live stores (shard locks make that safe);
+         deliberately outside the writer lock so a long lint pass never
+         stalls interactive writes. *)
+      let app = t.leader in
+      let ctx =
+        Si_lint.context ~dmi:(Slimpad.dmi app) ~marks:(Slimpad.marks app)
+          ~resilient:(Slimpad.resilient app) ()
+      in
+      Ok (Printf.sprintf "%d diagnostic(s)" (List.length (Si_lint.run ctx)))
+  | Proto.Bulk_add { count; predicate } ->
+      (* Small writer-locked batches: interactive writes interleave
+         between them instead of waiting out the whole import. *)
+      let trim = Dmi.trim (Slimpad.dmi t.leader) in
+      let rec go done_ =
+        if done_ >= count then
+          Ok (Printf.sprintf "added %d triple(s)" count)
+        else
+          let n = min bulk_batch (count - done_) in
+          let step =
+            with_writer t (fun () ->
+                for i = done_ to done_ + n - 1 do
+                  let s = Trim.new_id ~prefix:"bulk" trim in
+                  ignore
+                    (Trim.add trim
+                       (Triple.make s predicate
+                          (Triple.Literal (string_of_int i))))
+                done;
+                persist t)
+          in
+          match step with
+          | Ok () ->
+              (* Mutexes barge: without a pause the runner re-grabs the
+                 writer lock before a blocked interactive write wakes,
+                 and the import monopolizes the leader anyway. *)
+              Unix.sleepf 0.0002;
+              go (done_ + n)
+          | Error _ as e -> e
+      in
+      go 0
+
+let job_runner t =
+  let rec go () =
+    match Jobq.pop t.jobs with
+    | None -> ()
+    | Some { job_id; job_kind } ->
+        set_job t job_id Proto.Running;
+        (match run_job t job_kind with
+        | Ok summary -> set_job t job_id (Proto.Done summary)
+        | Error e -> set_job t job_id (Proto.Failed e));
+        go ()
+  in
+  go ()
+
+(* --- request dispatch ------------------------------------------------ *)
+
+let submit t kind priority =
+  let id =
+    locked t.job_lock (fun () ->
+        let id = t.next_job in
+        t.next_job <- id + 1;
+        Hashtbl.replace t.job_states id Proto.Queued;
+        id)
+  in
+  match Jobq.push t.jobs priority { job_id = id; job_kind = kind } with
+  | `Accepted -> Proto.Accepted id
+  | `Overloaded ->
+      locked t.job_lock (fun () -> Hashtbl.remove t.job_states id);
+      Si_obs.Counter.incr overloaded_count;
+      Proto.Overloaded "job queue is full"
+  | `Closed ->
+      locked t.job_lock (fun () -> Hashtbl.remove t.job_states id);
+      Proto.Err "server is stopping"
+
+let handle t (req : Proto.request) : Proto.response * [ `Go | `Shutdown ] =
+  match req with
+  | Ping -> (Pong, `Go)
+  | Pads ->
+      let dmi = Slimpad.dmi (read_app t) in
+      (Pad_list (List.map (Dmi.pad_name dmi) (Dmi.pads dmi)), `Go)
+  | Select { pattern = p; limit } ->
+      let rows =
+        Trim.select ?subject:p.p_subject ?predicate:p.p_predicate
+          ?object_:p.p_object (read_trim t)
+      in
+      (Triples (List.map Triple.to_string (take limit rows)), `Go)
+  | Count p ->
+      ( Count_is
+          (Trim.count_select ?subject:p.p_subject ?predicate:p.p_predicate
+             ?object_:p.p_object (read_trim t)),
+        `Go )
+  | Query text -> (
+      match Query.parse text with
+      | Error e -> (Err (Printf.sprintf "query: %s" e), `Go)
+      | Ok q ->
+          let trim = read_trim t in
+          let rows = Query.run trim (Query.optimize trim q) in
+          (Rows (List.map Query.binding_to_string rows), `Go))
+  | Open_pad name ->
+      ( with_writer t (fun () ->
+            (match Dmi.find_pad (Slimpad.dmi t.leader) name with
+            | Some _ -> ()
+            | None -> ignore (Slimpad.new_pad t.leader name));
+            match persist t with
+            | Ok () -> Proto.Ok_done
+            | Error e -> Proto.Err e),
+        `Go )
+  | Add triple ->
+      ( with_writer t (fun () ->
+            ignore (Trim.add (Dmi.trim (Slimpad.dmi t.leader)) triple);
+            match persist t with
+            | Ok () -> Proto.Ok_done
+            | Error e -> Proto.Err e),
+        `Go )
+  | Remove triple ->
+      ( with_writer t (fun () ->
+            ignore (Trim.remove (Dmi.trim (Slimpad.dmi t.leader)) triple);
+            match persist t with
+            | Ok () -> Proto.Ok_done
+            | Error e -> Proto.Err e),
+        `Go )
+  | Resolve { pad; scrap } -> (
+      (* Always on the leader: resolution walks the desktop's base
+         documents, which a follower does not attach. *)
+      let app = t.leader in
+      match Dmi.find_pad (Slimpad.dmi app) pad with
+      | None -> (Err (Printf.sprintf "no pad named %S" pad), `Go)
+      | Some p -> (
+          match Slimpad.find_scraps app p scrap with
+          | [] -> (Err (Printf.sprintf "no scrap matching %S" scrap), `Go)
+          | s :: _ ->
+              ( with_writer t (fun () ->
+                    (* The resilient path may journal quarantine state. *)
+                    match Slimpad.double_click app s with
+                    | Ok res -> Proto.Resolved res.Mark.res_display
+                    | Error e -> Proto.Err e),
+                `Go )))
+  | Stats -> (Stats_json (Slimpad.stats_json ()), `Go)
+  | Submit { kind; priority } -> (submit t kind priority, `Go)
+  | Job_status id -> (
+      match job_state t id with
+      | Some state -> (Job { job = id; state }, `Go)
+      | None -> (Err (Printf.sprintf "unknown job %d" id), `Go))
+  | Shutdown -> (Closing, `Shutdown)
+
+(* --- connection service ---------------------------------------------- *)
+
+let request_stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Jobq.close t.conns;
+    Jobq.close t.jobs;
+    (* Kick workers blocked reading an idle connection. *)
+    locked t.session_lock (fun () ->
+        Hashtbl.iter
+          (fun fd () ->
+            try Unix.shutdown fd Unix.SHUTDOWN_ALL
+            with Unix.Unix_error _ -> ())
+          t.sessions)
+  end
+
+let send_response fd resp = Tcp.send_frame fd (Proto.encode_response resp)
+
+let serve_conn t fd =
+  let rec go () =
+    if not (Atomic.get t.stopping) then
+      match Tcp.recv_frame fd with
+      | Error e ->
+          (* Damage the checksum caught, an oversized length, or a bare
+             close. One typed parting error, then drop — never a crash,
+             never a guess at a half-read frame. *)
+          if e <> "connection closed" then begin
+            Si_obs.Counter.incr proto_error_count;
+            ignore (send_response fd (Proto.Err ("bad frame: " ^ e)))
+          end
+      | Ok raw -> (
+          match Proto.decode_request raw with
+          | Error e ->
+              Si_obs.Counter.incr proto_error_count;
+              ignore (send_response fd (Proto.Err ("bad request: " ^ e)))
+          | Ok req -> (
+              let op = Proto.request_op req in
+              Si_obs.Counter.incr request_count;
+              let started = Si_obs.Clock.now () in
+              let resp, outcome =
+                Si_obs.Span.with_ ~layer:"server" ~op (fun () -> handle t req)
+              in
+              let elapsed = Si_obs.Clock.now () - started in
+              Si_obs.Histogram.add request_latency elapsed;
+              Si_obs.Histogram.add
+                (Si_obs.Registry.histogram ("server.req." ^ op))
+                elapsed;
+              match send_response fd resp with
+              | Error _ -> ()
+              | Ok () -> (
+                  match outcome with
+                  | `Go -> go ()
+                  | `Shutdown -> request_stop t)))
+  in
+  go ()
+
+let register t fd =
+  locked t.session_lock (fun () ->
+      Hashtbl.replace t.sessions fd ();
+      Si_obs.Gauge.set sessions_gauge (Hashtbl.length t.sessions))
+
+let unregister t fd =
+  locked t.session_lock (fun () ->
+      Hashtbl.remove t.sessions fd;
+      Si_obs.Gauge.set sessions_gauge (Hashtbl.length t.sessions));
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let worker t =
+  let rec go () =
+    match Jobq.pop t.conns with
+    | None -> ()
+    | Some fd ->
+        register t fd;
+        serve_conn t fd;
+        unregister t fd;
+        go ()
+  in
+  go ()
+
+let accept_loop t =
+  let rec go () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.accept t.listen_fd with
+      | fd, _ -> (
+          match Jobq.push t.conns Proto.Interactive fd with
+          | `Accepted -> ()
+          | `Overloaded | `Closed ->
+              (* Typed backpressure at the door; accepting must never
+                 wait for a worker. *)
+              Si_obs.Counter.incr overloaded_count;
+              ignore
+                (send_response fd
+                   (Proto.Overloaded "connection queue is full"));
+              (try Unix.close fd with Unix.Unix_error _ -> ()))
+      | exception Unix.Unix_error _ -> Atomic.set t.stopping true);
+      go ()
+    end
+  in
+  go ()
+
+(* --- lifecycle ------------------------------------------------------- *)
+
+let start ?(config = default_config) ?follower leader =
+  match
+    try
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd
+        (Unix.ADDR_INET (Unix.inet_addr_of_string config.addr, config.port));
+      Unix.listen fd 16;
+      let bound =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | Unix.ADDR_UNIX _ -> config.port
+      in
+      Ok (fd, bound)
+    with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  with
+  | Error _ as e -> e
+  | Ok (listen_fd, bound) ->
+      let t =
+        {
+          cfg = config;
+          leader;
+          follower;
+          listen_fd;
+          srv_port = bound;
+          stopping = Atomic.make false;
+          conns =
+            Jobq.create ~capacity:(max 1 config.pending_connections)
+              ~bulk_capacity:1 ();
+          jobs =
+            Jobq.create ~capacity:(max 1 config.job_capacity)
+              ~bulk_capacity:(max 1 config.job_capacity) ~gauge:queue_gauge
+              ();
+          job_states = Hashtbl.create 16;
+          job_lock = Mutex.create ();
+          next_job = 1;
+          writer = Mutex.create ();
+          sessions = Hashtbl.create 16;
+          session_lock = Mutex.create ();
+          domains = [];
+          joined = false;
+        }
+      in
+      let workers =
+        List.init (max 1 config.workers) (fun _ ->
+            Domain.spawn (fun () -> worker t))
+      in
+      let runner = Domain.spawn (fun () -> job_runner t) in
+      let acceptor = Domain.spawn (fun () -> accept_loop t) in
+      t.domains <- (acceptor :: runner :: workers);
+      Ok t
+
+let shutdown = request_stop
+let stopped t = Atomic.get t.stopping
+
+let wait t =
+  if not t.joined then begin
+    t.joined <- true;
+    List.iter Domain.join t.domains
+  end
+
+let stop t =
+  request_stop t;
+  wait t

@@ -22,6 +22,20 @@ type wal_state = {
          log a 1:1 mirror of the leader's record stream. *)
 }
 
+(* Background shipping: the writer's tee only bumps a coalescing
+   wake-up counter; a dedicated domain runs the sync-then-push rounds.
+   The counter is the bounded channel — ticks, not payloads, queue in
+   it, so a slow domain never blocks an append and never loses work
+   (every round drains the whole log tail). *)
+type async_ship = {
+  a_mutex : Mutex.t;  (* guards [a_pending]/[a_stop] with [a_cond] *)
+  a_cond : Condition.t;
+  mutable a_pending : int;
+  mutable a_stop : bool;
+  a_round : Mutex.t;  (* one ship round at a time: domain vs. [ship] *)
+  mutable a_domain : unit Domain.t option;
+}
+
 type t = {
   mutable dmi : Dmi.t;  (* mutable so a replica can install a base *)
   mutable marks : Manager.t;
@@ -29,6 +43,7 @@ type t = {
   resilient : Resilient.t;
   mutable wal : wal_state option;
   mutable shipper : Si_wal.Ship.t option;
+  mutable ship_async : async_ship option;
   mutable replica : Si_wal.Replica.t option;
   mutable rep_recovered : (int * int) option;
       (* (term, stream seq) recovered from the snapshot's replication
@@ -46,7 +61,7 @@ let create ?store ?resilient ?wrap desktop =
   Desktop.install_modules ?wrap desktop marks;
   { dmi = Dmi.create ?store (); marks; desktop;
     resilient = make_resilient resilient; wal = None; shipper = None;
-    replica = None; rep_recovered = None }
+    ship_async = None; replica = None; rep_recovered = None }
 
 let dmi t = t.dmi
 let marks t = t.marks
@@ -421,7 +436,8 @@ let of_store_root ?store ?resilient ?wrap desktop root =
                   Ok
                     { dmi; marks; desktop;
                       resilient = make_resilient resilient; wal = None;
-                      shipper = None; replica = None; rep_recovered = None }))
+                      shipper = None; ship_async = None; replica = None;
+                      rep_recovered = None }))
       | _ -> Error "missing <triples> or <marks> section")
   | _ -> Error "expected a <slimpad-store> root element"
 
@@ -535,8 +551,8 @@ let of_binary_snapshot ?store ?resilient ?wrap desktop payload =
                 {
                   dmi; marks; desktop;
                   resilient = make_resilient resilient;
-                  wal = None; shipper = None; replica = None;
-                  rep_recovered = None;
+                  wal = None; shipper = None; ship_async = None;
+                  replica = None; rep_recovered = None;
                 }))
 
 (* Format sniffer: every snapshot payload, wherever it came from, goes
@@ -772,10 +788,62 @@ let wal_compact t =
         (fun () -> if meta <> None then t.rep_recovered <- meta)
         (lift (Log.cut_snapshot st.log (snapshot_payload ?meta t))))
 
+let async_wakeup_capacity = 1024
+
+let async_notify a () =
+  Mutex.lock a.a_mutex;
+  if a.a_pending < async_wakeup_capacity then begin
+    a.a_pending <- a.a_pending + 1;
+    Condition.signal a.a_cond
+  end;
+  Mutex.unlock a.a_mutex
+
+let ship_round t sh =
+  (* Sync first: a record is pushed only once it would survive our own
+     crash, so an acknowledged write can never exist solely on a
+     follower that learned it from a leader who forgot it. *)
+  Result.bind (wal_sync t) (fun () -> Si_wal.Ship.ship sh)
+
+let locked_round a f =
+  Mutex.lock a.a_round;
+  Fun.protect ~finally:(fun () -> Mutex.unlock a.a_round) f
+
+let async_loop t a sh =
+  let rec go () =
+    Mutex.lock a.a_mutex;
+    while a.a_pending = 0 && not a.a_stop do
+      Condition.wait a.a_cond a.a_mutex
+    done;
+    let stop = a.a_stop in
+    a.a_pending <- 0;
+    Mutex.unlock a.a_mutex;
+    (* On stop this is the final drain: records teed before the flag
+       was raised still ship before the domain exits. Errors surface
+       through [wal_state] trouble, like hook-driven append failures. *)
+    (match (locked_round a (fun () -> ship_round t sh), t.wal) with
+    | Error e, Some st -> if st.trouble = None then st.trouble <- Some e
+    | _ -> ());
+    if not stop then go ()
+  in
+  go ()
+
+let stop_async_shipping t sh =
+  match t.ship_async with
+  | None -> ()
+  | Some a ->
+      Si_wal.Ship.set_notify sh None;
+      Mutex.lock a.a_mutex;
+      a.a_stop <- true;
+      Condition.signal a.a_cond;
+      Mutex.unlock a.a_mutex;
+      (match a.a_domain with Some d -> Domain.join d | None -> ());
+      t.ship_async <- None
+
 let stop_shipping t =
   match t.shipper with
   | None -> Error "pad is not shipping"
   | Some sh ->
+      stop_async_shipping t sh;
       let sealed = Si_wal.Ship.checkpoint sh in
       t.rep_recovered <- Some (Si_wal.Ship.term sh, Si_wal.Ship.seq sh);
       Si_wal.Ship.close sh;
@@ -803,7 +871,7 @@ let shipper t = t.shipper
 let replica t = t.replica
 let snapshot_bytes t = binary_snapshot t
 
-let start_shipping ?segment_records ?term t ~archive =
+let start_shipping ?segment_records ?term ?(async = false) t ~archive =
   match wal_state_result t with
   | Error _ as e -> e
   | Ok st -> (
@@ -843,7 +911,24 @@ let start_shipping ?segment_records ?term t ~archive =
                 | Ok () -> (
                     match Si_wal.Ship.write_base sh (binary_snapshot t) with
                     | Error e -> rollback sh e
-                    | Ok () -> Ok ()))))
+                    | Ok () ->
+                        if async then begin
+                          let a =
+                            {
+                              a_mutex = Mutex.create ();
+                              a_cond = Condition.create ();
+                              a_pending = 0;
+                              a_stop = false;
+                              a_round = Mutex.create ();
+                              a_domain = None;
+                            }
+                          in
+                          t.ship_async <- Some a;
+                          Si_wal.Ship.set_notify sh (Some (async_notify a));
+                          a.a_domain <-
+                            Some (Domain.spawn (fun () -> async_loop t a sh))
+                        end;
+                        Ok ()))))
 
 let with_shipper t f =
   match t.shipper with
@@ -851,11 +936,15 @@ let with_shipper t f =
   | Some sh -> f sh
 
 let ship t =
-  (* Sync first: a record is pushed only once it would survive our own
-     crash, so an acknowledged write can never exist solely on a
-     follower that learned it from a leader who forgot it. *)
   with_shipper t (fun sh ->
-      Result.bind (wal_sync t) (fun () -> Si_wal.Ship.ship sh))
+      match t.ship_async with
+      | None -> ship_round t sh
+      | Some a ->
+          (* Explicit rounds still work in async mode — e.g. "ship now,
+             then read the lag" — serialized against the domain's. *)
+          locked_round a (fun () -> ship_round t sh))
+
+let shipping_async t = t.ship_async <> None
 
 let ship_heartbeat t = with_shipper t Si_wal.Ship.heartbeat
 

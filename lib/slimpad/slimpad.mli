@@ -258,17 +258,31 @@ val wal : t -> Si_wal.Log.t option
 val start_shipping :
   ?segment_records:int ->
   ?term:int ->
+  ?async:bool ->
   t -> archive:string -> (unit, string) result
 (** Start leading: sync the local log, resume the stream position from
     persisted metadata (falling back to the archive), persist it, and
     cut a base snapshot into [archive] for follower catch-up and
     restores. [segment_records] is the archive seal threshold
-    ({!Si_wal.Ship.create}). Requires journaled mode. *)
+    ({!Si_wal.Ship.create}). Requires journaled mode.
+
+    [async] (default [false]) moves pushing off the writer: each teed
+    record bumps a bounded wake-up counter and a dedicated background
+    domain runs the sync-then-push rounds, so appends never wait on
+    follower I/O. Ack semantics are unchanged — a round still syncs
+    the local log before pushing — and the ["wal.ship.lag"] gauge is
+    still refreshed every round. Round errors surface as WAL trouble
+    on the next journaled operation. {!stop_shipping} drains and joins
+    the domain. *)
 
 val ship : t -> (unit, string) result
 (** Sync the local log, then push records until every follower is
     caught up or its retry budget is spent. [Error] when fenced by a
-    newer leader (or not shipping). *)
+    newer leader (or not shipping). In async mode this forces an
+    immediate round, serialized with the background domain's. *)
+
+val shipping_async : t -> bool
+(** Whether a background shipping domain is running. *)
 
 val ship_heartbeat : t -> (unit, string) result
 (** Refresh follower staleness bounds and discover fencing without

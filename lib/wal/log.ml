@@ -42,6 +42,12 @@ type t = {
   buf : Buffer.t;
   mutable buffered : int;
   mutable tee : (string -> unit) option;
+  (* One writer at a time: [append]/[sync]/[cut_snapshot]/[close] from a
+     mutating domain can interleave with [sync] from a background
+     shipping domain, and the append buffer must never see both. The
+     tee fires inside the lock, so teed observers see records in accept
+     order. *)
+  lock : Mutex.t;
 }
 
 let log_magic = "SIWAL\x00\x00\x01"
@@ -259,6 +265,7 @@ let finish_open ~path ~policy ~gen ~disk_records ~recovery =
           buf = Buffer.create 4096;
           buffered = 0;
           tee = None;
+          lock = Mutex.create ();
         }
       in
       Ok (t, recovery)
@@ -384,7 +391,12 @@ let flush_buffered t oc =
       Buffer.clear t.buf;
       t.buffered <- 0)
 
-let sync t =
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Assumes [t.lock] is held. *)
+let sync_locked t =
   match channel t with
   | Error _ as e -> e
   | Ok oc ->
@@ -396,6 +408,8 @@ let sync t =
               flush_buffered t oc)
         else flush_buffered t oc
       end
+
+let sync t = locked t (fun () -> sync_locked t)
 
 let append_plain t payload =
   match channel t with
@@ -410,19 +424,20 @@ let append_plain t payload =
         | Batched { max_records; max_bytes } ->
             t.buffered >= max_records || Buffer.length t.buf >= max_bytes
       in
-      if due then sync t else Ok ()
+      if due then sync_locked t else Ok ()
 
 let append t payload =
   Si_obs.Counter.incr append_count;
-  if Si_obs.Span.on () then
-    Si_obs.Span.timed append_latency ~layer:"wal" ~op:"append" (fun () ->
-        append_plain t payload)
-  else append_plain t payload
+  locked t (fun () ->
+      if Si_obs.Span.on () then
+        Si_obs.Span.timed append_latency ~layer:"wal" ~op:"append" (fun () ->
+            append_plain t payload)
+      else append_plain t payload)
 
 (* --- compaction ---------------------------------------------------- *)
 
 let cut_snapshot_plain t state =
-  match sync t with
+  match sync_locked t with
   | Error _ as e -> e
   | Ok () -> (
       let gen = t.generation + 1 in
@@ -451,25 +466,27 @@ let cut_snapshot_plain t state =
 
 let cut_snapshot t state =
   Si_obs.Counter.incr compact_count;
-  if Si_obs.Span.on () then
-    Si_obs.Span.timed compact_latency ~layer:"wal" ~op:"compact" (fun () ->
-        cut_snapshot_plain t state)
-  else cut_snapshot_plain t state
+  locked t (fun () ->
+      if Si_obs.Span.on () then
+        Si_obs.Span.timed compact_latency ~layer:"wal" ~op:"compact" (fun () ->
+            cut_snapshot_plain t state)
+      else cut_snapshot_plain t state)
 
 let close t =
-  match t.oc with
-  | None -> Ok ()
-  | Some oc -> (
-      match sync t with
-      | Error _ as e ->
-          close_out_noerr oc;
-          t.oc <- None;
-          release_lock t.path;
-          e
-      | Ok () ->
-          t.oc <- None;
-          release_lock t.path;
-          protect_io (fun () -> close_out oc))
+  locked t (fun () ->
+      match t.oc with
+      | None -> Ok ()
+      | Some oc -> (
+          match sync_locked t with
+          | Error _ as e ->
+              close_out_noerr oc;
+              t.oc <- None;
+              release_lock t.path;
+              e
+          | Ok () ->
+              t.oc <- None;
+              release_lock t.path;
+              protect_io (fun () -> close_out oc)))
 
 (* --- inspection ---------------------------------------------------- *)
 

@@ -254,6 +254,19 @@ let verify dir =
       let bridged upto =
         List.exists (fun b -> b.base_seq >= upto) idx.bases
       in
+      (* A retention-pruned archive drops its oldest segments, so the
+         earliest surviving one may start past 1 — legitimate exactly
+         when a retained base covers the missing prefix. An uncovered
+         leading hole means files were lost, not pruned. *)
+      (match idx.segments with
+      | first :: _ when first.seg_first > 1 && not (bridged (first.seg_first - 1))
+        ->
+          report first.seg_file
+            (Printf.sprintf
+               "leading gap: records 1..%d are in no segment and no base \
+                covers them"
+               (first.seg_first - 1))
+      | _ -> ());
       let rec continuity = function
         | a :: (b :: _ as rest) ->
             if b.seg_first > a.seg_last + 1 && not (bridged (b.seg_first - 1))
@@ -272,6 +285,53 @@ let verify dir =
       in
       continuity idx.segments;
       Ok (List.rev !problems)
+
+(* --- retention ------------------------------------------------------ *)
+
+type prune_report = {
+  prune_cutoff : int;
+  pruned_segments : string list;
+  pruned_bases : string list;
+}
+
+let prune ~dir ~keep =
+  if keep < 0 then Error "keep-window must be non-negative"
+  else
+    match index dir with
+    | Error _ as e -> e
+    | Ok idx -> (
+        match List.rev idx.bases with
+        | [] ->
+            (* Nothing proves any prefix restorable without a base, so
+               nothing may go. *)
+            Ok { prune_cutoff = 0; pruned_segments = []; pruned_bases = [] }
+        | newest :: _ ->
+            let cutoff = max 0 (newest.base_seq - keep) in
+            (* A segment goes when every record in it is at or below the
+               cutoff (the retained base covers all of them); a base goes
+               when it is below the cutoff and not the newest one. *)
+            let dead_segments =
+              List.filter (fun e -> e.seg_last <= cutoff) idx.segments
+            in
+            let dead_bases =
+              List.filter
+                (fun b ->
+                  b.base_seq < cutoff && b.base_file <> newest.base_file)
+                idx.bases
+            in
+            let files =
+              List.map (fun e -> e.seg_file) dead_segments
+              @ List.map (fun b -> b.base_file) dead_bases
+            in
+            protect_io (fun () ->
+                List.iter
+                  (fun file -> Sys.remove (Filename.concat dir file))
+                  files;
+                {
+                  prune_cutoff = cutoff;
+                  pruned_segments = List.map (fun e -> e.seg_file) dead_segments;
+                  pruned_bases = List.map (fun b -> b.base_file) dead_bases;
+                }))
 
 (* --- point-in-time restore planning -------------------------------- *)
 

@@ -75,6 +75,24 @@ val verify : string -> (problem list, string) result
     term regressions between consecutive segments. [Error _] only on
     directory I/O failure. *)
 
+type prune_report = {
+  prune_cutoff : int;
+      (** Records at or below this sequence number were eligible. *)
+  pruned_segments : string list;  (** Removed segment file names. *)
+  pruned_bases : string list;  (** Removed base file names. *)
+}
+
+val prune : dir:string -> keep:int -> (prune_report, string) result
+(** Retention: drop archive files made redundant by the newest base
+    snapshot, keeping a window of [keep] records below it for
+    point-in-time restores. A segment is removed when every record in
+    it is at or below [newest base seq - keep]; older bases below the
+    cutoff are removed too (the newest always stays). With no base at
+    all nothing is removed — no file may go until a base proves the
+    prefix restorable. Restores at sequence numbers above the cutoff
+    are unaffected; {!verify} accepts the pruned archive because the
+    retained base bridges the leading gap. *)
+
 val restore_plan : index -> at:int -> (base * entry list, string) result
 (** The newest base with [base_seq <= at] plus the segments covering
     records [(base_seq, at]], checked contiguous. Errors when no base

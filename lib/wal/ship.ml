@@ -43,23 +43,37 @@ type t = {
   mutable fenced : bool;
   mutable trouble : string option;
   mutable cache : (string * string list) option;  (* last segment read *)
+  mutable notify : (unit -> unit) option;  (* called after each teed record *)
+  (* Guards seq/buffer_rev/sealed_seq/followers: the tee fires on the
+     appending domain while a background shipping domain drains the
+     same state. Push network I/O happens outside the lock, so an
+     in-flight ship round never stalls an append. *)
+  lock : Mutex.t;
 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let term t = t.term
 let seq t = t.seq
 let archive t = t.archive
 let is_fenced t = t.fenced
+let set_notify t f = t.notify <- f
 
 let trouble t =
   let r = t.trouble in
   t.trouble <- None;
   r
 
-let followers t = List.map (fun f -> (f.f_name, f.f_acked)) t.followers
+let followers t =
+  with_lock t (fun () -> List.map (fun f -> (f.f_name, f.f_acked)) t.followers)
 
 let lag t =
-  List.fold_left (fun m f -> max m (t.seq - f.f_acked)) 0 t.followers
+  with_lock t (fun () ->
+      List.fold_left (fun m f -> max m (t.seq - f.f_acked)) 0 t.followers)
 
+(* Assumes [t.lock] is held. *)
 let seal_buffer t =
   match t.buffer_rev with
   | [] -> Ok ()
@@ -79,10 +93,12 @@ let seal_buffer t =
           Ok ())
 
 let on_append t payload =
-  t.seq <- t.seq + 1;
-  t.buffer_rev <- (t.seq, payload) :: t.buffer_rev;
-  if List.length t.buffer_rev >= t.segment_records then
-    ignore (seal_buffer t)
+  with_lock t (fun () ->
+      t.seq <- t.seq + 1;
+      t.buffer_rev <- (t.seq, payload) :: t.buffer_rev;
+      if List.length t.buffer_rev >= t.segment_records then
+        ignore (seal_buffer t));
+  match t.notify with Some f -> f () | None -> ()
 
 let create ?(segment_records = 256) ?term:want_term ?seq:want_seq ~archive log
     =
@@ -128,6 +144,8 @@ let create ?(segment_records = 256) ?term:want_term ?seq:want_seq ~archive log
                     fenced = false;
                     trouble = None;
                     cache = None;
+                    notify = None;
+                    lock = Mutex.create ();
                   }
                 in
                 Log.set_tee log (Some (on_append t));
@@ -136,14 +154,15 @@ let create ?(segment_records = 256) ?term:want_term ?seq:want_seq ~archive log
 
 let close t =
   Log.set_tee t.log None;
-  t.followers <- []
+  t.notify <- None;
+  with_lock t (fun () -> t.followers <- [])
 
 let write_base t payload =
   Result.map
     (fun (_ : Segment.base) -> ())
     (Segment.write_base ~dir:t.archive ~term:t.term ~seq:t.seq payload)
 
-let checkpoint t = seal_buffer t
+let checkpoint t = with_lock t (fun () -> seal_buffer t)
 
 (* --- record lookup for catch-up ------------------------------------ *)
 
@@ -160,12 +179,19 @@ let segment_payloads t entry =
         (Segment.read ~dir:t.archive entry)
 
 let record_at t s =
-  if s > t.seq then Shipped_all
-  else if s > t.sealed_seq then
-    match List.assoc_opt s t.buffer_rev with
-    | Some payload -> Found payload
-    | None -> Need_base (* unreachable: the buffer covers this span *)
-  else
+  (* Snapshot the volatile span under the lock; the archive lookup below
+     reads only sealed (immutable) files. *)
+  let in_buffer =
+    with_lock t (fun () ->
+        if s > t.seq then `Shipped_all
+        else if s > t.sealed_seq then `Buffered (List.assoc_opt s t.buffer_rev)
+        else `Sealed)
+  in
+  match in_buffer with
+  | `Shipped_all -> Shipped_all
+  | `Buffered (Some payload) -> Found payload
+  | `Buffered None -> Need_base (* unreachable: the buffer covers this span *)
+  | `Sealed -> (
     match Segment.index t.archive with
     | Error _ -> Need_base
     | Ok idx -> (
@@ -183,7 +209,7 @@ let record_at t s =
             | Ok payloads -> (
                 match List.nth_opt payloads (s - entry.Segment.seg_first) with
                 | Some payload -> Found payload
-                | None -> Need_base)))
+                | None -> Need_base))))
 
 let newest_base t =
   match Segment.index t.archive with
@@ -277,7 +303,8 @@ let push_follower t f =
 let ship t =
   if t.fenced then Error "shipper is fenced: a newer leader exists"
   else begin
-    List.iter (fun f -> push_follower t f) t.followers;
+    let fs = with_lock t (fun () -> t.followers) in
+    List.iter (fun f -> push_follower t f) fs;
     Si_obs.Gauge.set lag_gauge (lag t);
     if t.fenced then Error "shipper is fenced: a newer leader exists"
     else Ok ()
@@ -286,13 +313,14 @@ let ship t =
 let heartbeat t =
   if t.fenced then Error "shipper is fenced: a newer leader exists"
   else begin
+    let fs = with_lock t (fun () -> t.followers) in
     List.iter
       (fun f ->
         ignore
           (exchange t f
              (Frame.Heartbeat { term = t.term; seq = t.seq })
              ~on_ack:(fun a -> f.f_acked <- max f.f_acked a)))
-      t.followers;
+      fs;
     Si_obs.Gauge.set lag_gauge (lag t);
     if t.fenced then Error "shipper is fenced: a newer leader exists"
     else Ok ()
@@ -321,8 +349,9 @@ let attach t ~name send =
                   f_healthy = true;
                 }
               in
-              t.followers <-
-                f :: List.filter (fun g -> g.f_name <> name) t.followers;
+              with_lock t (fun () ->
+                  t.followers <-
+                    f :: List.filter (fun g -> g.f_name <> name) t.followers);
               Ok ()
             end
         | Ok (Frame.Fenced { term }) ->
@@ -335,4 +364,5 @@ let attach t ~name send =
         | Ok _ -> Error (Printf.sprintf "handshake with %s: unexpected reply" name))
 
 let detach t name =
-  t.followers <- List.filter (fun f -> f.f_name <> name) t.followers
+  with_lock t (fun () ->
+      t.followers <- List.filter (fun f -> f.f_name <> name) t.followers)

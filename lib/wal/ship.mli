@@ -90,3 +90,9 @@ val lag : t -> int
 val trouble : t -> string option
 (** First archive I/O failure recorded by the background seal path,
     cleared on read. *)
+
+val set_notify : t -> (unit -> unit) option -> unit
+(** Hook called (outside the shipper's lock) after each teed record is
+    numbered and buffered. An async shipping domain registers a wake-up
+    here so it can run a {!ship} round without the writer blocking on
+    network pushes. The callback must not append to the shipped log. *)

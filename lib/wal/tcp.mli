@@ -8,6 +8,21 @@
     handler (typically {!Replica.handle}); the leader keeps one
     persistent {!client} per follower. *)
 
+(** {1 Frame I/O}
+
+    The building blocks, exposed for other frame-based servers (the pad
+    server pairs them with its own accept loop and worker pool). *)
+
+val recv_frame : Unix.file_descr -> (string, string) result
+(** Read one frame: 8-byte record header, then the payload, checksum
+    verified. [Error] on close, short read, oversized length, or CRC
+    mismatch — damage is caught here, before any protocol parsing. *)
+
+val send_frame : Unix.file_descr -> string -> (unit, string) result
+(** Write one already-encoded frame, handling short writes. *)
+
+(** {1 Replication server} *)
+
 type server
 
 val serve :

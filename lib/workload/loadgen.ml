@@ -1,0 +1,143 @@
+(* Open-loop load generation against a pad server.
+
+   Open-loop means arrivals follow a fixed schedule computed from the
+   target rate, not from responses: a request whose slot has passed is
+   sent immediately rather than skipped, so a slow server faces the
+   backlog a real arrival process would bring — the only honest way to
+   find the overload knee. Each client domain owns one connection and
+   every [clients]-th arrival slot; the mix is drawn from a seeded
+   {!Rng}, so a run replays exactly. *)
+
+module Client = Si_serve.Client
+module Proto = Si_serve.Proto
+module Triple = Si_triple.Triple
+
+type mix = { reads : int; writes : int; bulk : int }
+
+let default_mix = { reads = 8; writes = 2; bulk = 0 }
+
+type result = {
+  sent : int;
+  ok : int;
+  overloaded : int;
+  rejected_bulk : int;  (* the [overloaded] that were bulk submissions *)
+  errors : int;
+  elapsed_ns : int;
+  latency : Si_obs.Histogram.t;  (* client-observed RTT per request *)
+}
+
+let bulk_chunk = 256
+
+let pick_request rng mix =
+  let total = mix.reads + mix.writes + mix.bulk in
+  if total <= 0 then invalid_arg "Loadgen: empty mix";
+  let roll = Rng.int rng total in
+  if roll < mix.reads then
+    match Rng.int rng 3 with
+    | 0 -> Proto.Count Proto.any
+    | 1 -> Proto.Select { pattern = Proto.any; limit = 32 }
+    | _ -> Proto.Pads
+  else if roll < mix.reads + mix.writes then
+    Proto.Add
+      (Triple.make
+         (Printf.sprintf "load-%d" (Rng.int rng 1_000_000))
+         "loadgen"
+         (Triple.Literal (string_of_int (Rng.int rng 1_000_000))))
+  else
+    Proto.Submit
+      {
+        kind = Proto.Bulk_add { count = bulk_chunk; predicate = "bulkgen" };
+        priority = Proto.Bulk;
+      }
+
+(* One client domain: connect, then walk the assigned arrival slots. *)
+let client_run ~addr ~port ~seed ~mix ~rate ~clients ~index ~requests =
+  let rng = Rng.create (seed + (index * 7919)) in
+  let acc =
+    {
+      sent = 0;
+      ok = 0;
+      overloaded = 0;
+      rejected_bulk = 0;
+      errors = 0;
+      elapsed_ns = 0;
+      latency = Si_obs.Histogram.create ();
+    }
+  in
+  match Client.connect ~addr ~port () with
+  | Error _ -> { acc with errors = requests; sent = requests }
+  | Ok c ->
+      let started = Unix.gettimeofday () in
+      let acc = ref acc in
+      let slot = ref index in
+      while !slot < requests do
+        let due = started +. (float_of_int !slot /. rate) in
+        let wait = due -. Unix.gettimeofday () in
+        if wait > 0. then Unix.sleepf wait;
+        let req = pick_request rng mix in
+        let is_bulk =
+          match req with Proto.Submit _ -> true | _ -> false
+        in
+        let t0 = Unix.gettimeofday () in
+        let reply = Client.request c req in
+        let rtt = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+        Si_obs.Histogram.add !acc.latency rtt;
+        let a = { !acc with sent = !acc.sent + 1 } in
+        acc :=
+          (match reply with
+          | Ok (Proto.Overloaded _) ->
+              {
+                a with
+                overloaded = a.overloaded + 1;
+                rejected_bulk = (a.rejected_bulk + if is_bulk then 1 else 0);
+              }
+          | Ok (Proto.Err _) -> { a with errors = a.errors + 1 }
+          | Ok _ -> { a with ok = a.ok + 1 }
+          | Error _ -> { a with errors = a.errors + 1 });
+        slot := !slot + clients
+      done;
+      Client.close c;
+      {
+        !acc with
+        elapsed_ns =
+          int_of_float ((Unix.gettimeofday () -. started) *. 1e9);
+      }
+
+let merge a b =
+  {
+    sent = a.sent + b.sent;
+    ok = a.ok + b.ok;
+    overloaded = a.overloaded + b.overloaded;
+    rejected_bulk = a.rejected_bulk + b.rejected_bulk;
+    errors = a.errors + b.errors;
+    elapsed_ns = max a.elapsed_ns b.elapsed_ns;
+    latency = Si_obs.Histogram.merge a.latency b.latency;
+  }
+
+let run ?(seed = 2001) ?(clients = 2) ?(mix = default_mix) ?(addr = "127.0.0.1")
+    ~port ~rate ~requests () =
+  if clients < 1 then invalid_arg "Loadgen.run: clients must be positive";
+  if rate <= 0. then invalid_arg "Loadgen.run: rate must be positive";
+  let domains =
+    List.init clients (fun index ->
+        Domain.spawn (fun () ->
+            client_run ~addr ~port ~seed ~mix ~rate ~clients ~index ~requests))
+  in
+  match List.map Domain.join domains with
+  | [] -> assert false
+  | r :: rest -> List.fold_left merge r rest
+
+let quantile_ns r q = Si_obs.Histogram.quantile r.latency q
+
+let to_json r =
+  let h = r.latency in
+  Printf.sprintf
+    "{\"sent\": %d, \"ok\": %d, \"overloaded\": %d, \"rejected_bulk\": %d, \
+     \"errors\": %d, \"elapsed_ns\": %d, \"rtt_ns\": {\"count\": %d, \
+     \"p50\": %.0f, \"p90\": %.0f, \"p99\": %.0f, \"max\": %d}}"
+    r.sent r.ok r.overloaded r.rejected_bulk r.errors r.elapsed_ns
+    (Si_obs.Histogram.count h)
+    (Si_obs.Histogram.quantile h 0.5)
+    (Si_obs.Histogram.quantile h 0.9)
+    (Si_obs.Histogram.quantile h 0.99)
+    (Si_obs.Histogram.max_value h)

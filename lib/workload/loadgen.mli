@@ -1,0 +1,49 @@
+(** Open-loop load generation against a pad server ({!Si_serve}).
+
+    Arrivals follow a fixed schedule derived from the target rate —
+    independent of responses, so a slow server accumulates the backlog
+    a real arrival process would bring (the only honest way to find the
+    overload knee). Each client domain owns one TCP connection and
+    every [clients]-th arrival slot; request choice is drawn from a
+    seeded {!Rng}, so a run replays exactly. *)
+
+type mix = { reads : int; writes : int; bulk : int }
+(** Relative weights. Reads rotate over count/select/pads; writes are
+    single triple adds; bulk entries submit background
+    {!Si_serve.Proto.Bulk_add} jobs at [Bulk] priority. *)
+
+val default_mix : mix
+(** 8 reads : 2 writes : 0 bulk. *)
+
+type result = {
+  sent : int;
+  ok : int;
+  overloaded : int;  (** Typed backpressure responses. *)
+  rejected_bulk : int;  (** The [overloaded] that were bulk submits. *)
+  errors : int;  (** [Err] responses plus transport failures. *)
+  elapsed_ns : int;  (** Slowest client's wall time. *)
+  latency : Si_obs.Histogram.t;  (** Client-observed RTT, nanoseconds. *)
+}
+
+val run :
+  ?seed:int ->
+  ?clients:int ->
+  ?mix:mix ->
+  ?addr:string ->
+  port:int ->
+  rate:float ->
+  requests:int ->
+  unit ->
+  result
+(** Drive [requests] total arrivals at [rate] per second across
+    [clients] (default 2) concurrent connections and merge the
+    per-client tallies. Deterministic in [seed] (default 2001) up to
+    actual timing.
+    @raise Invalid_argument on a non-positive [clients] or [rate]. *)
+
+val quantile_ns : result -> float -> float
+(** RTT quantile in nanoseconds ({!Si_obs.Histogram.quantile}). *)
+
+val to_json : result -> string
+(** One JSON object (counts plus p50/p90/p99 RTT) — the CI smoke
+    artifact format. *)

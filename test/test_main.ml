@@ -23,5 +23,6 @@ let () =
       ("robustness", Test_robustness.suite);
       ("replication", Test_replication.suite);
       ("workload", Test_workload.suite);
+      ("server", Test_server.suite);
       ("tui", Test_tui.suite);
     ]

@@ -394,6 +394,110 @@ let test_lint_archive () =
     ds;
   sok "close" (Slimpad.wal_close leader)
 
+(* --- archive retention ------------------------------------------------ *)
+
+let test_archive_prune () =
+  let dir = scratch_dir () in
+  let leader, pad = make_leader ~segment_records:2 dir "leader" in
+  churn leader pad ~from:1 6;
+  sok "sync" (Slimpad.wal_sync leader);
+  sok "checkpoint" (Slimpad.ship_checkpoint leader);
+  churn leader pad ~from:7 4;
+  sok "sync" (Slimpad.wal_sync leader);
+  sok "checkpoint" (Slimpad.ship_checkpoint leader);
+  let archive = Ship.archive (shipper_of leader) in
+  let files () = Array.to_list (Sys.readdir archive) in
+  let count suffix =
+    List.length (List.filter (fun f -> Filename.check_suffix f suffix) (files ()))
+  in
+  check_bool "several bases before prune" true (count ".base" >= 2);
+  let report = sok "prune" (Segment.prune ~dir:archive ~keep:0) in
+  check_bool "something pruned" true
+    (report.Segment.pruned_segments <> [] || report.Segment.pruned_bases <> []);
+  check_int "one base kept" 1 (count ".base");
+  List.iter
+    (fun f ->
+      check_bool (f ^ " gone") false
+        (Sys.file_exists (Filename.concat archive f)))
+    (report.Segment.pruned_segments @ report.Segment.pruned_bases);
+  (* SL306 accepts the pruned archive: the kept base bridges the
+     leading gap, so verification reports no diagnostics. *)
+  let diags = Si_lint.run (Si_lint.context ~archive ()) in
+  check_int "pruned archive lints clean" 0
+    (List.length
+       (List.filter (fun (d : Si_lint.diagnostic) -> d.Si_lint.code = "SL306")
+          diags));
+  (* Restores above the cutoff still work from what remains... *)
+  let seq = Ship.seq (shipper_of leader) in
+  let restored, reached =
+    sok "restore after prune"
+      (Slimpad.restore_at (Desktop.create ()) ~archive ~at:seq)
+  in
+  check_int "restore reaches tip" seq reached;
+  check_bool "restored contents match" true
+    (Trim.equal_contents
+       (Dmi.trim (Slimpad.dmi leader))
+       (Dmi.trim (Slimpad.dmi restored)));
+  (* ...while a point below the cutoff is a typed error, not garbage. *)
+  check_bool "restore below cutoff refused" true
+    (Result.is_error
+       (Slimpad.restore_at (Desktop.create ()) ~archive
+          ~at:(max 1 (report.Segment.prune_cutoff - 1))));
+  (* Idempotent: a second prune finds nothing redundant. *)
+  let again = sok "prune again" (Segment.prune ~dir:archive ~keep:0) in
+  check_int "second prune removes nothing" 0
+    (List.length again.Segment.pruned_segments
+    + List.length again.Segment.pruned_bases);
+  sok "close" (Slimpad.wal_close leader)
+
+(* --- async shipping --------------------------------------------------- *)
+
+let converged_contents leader follower =
+  Trim.equal_contents
+    (Dmi.trim (Slimpad.dmi leader))
+    (Dmi.trim (Slimpad.dmi follower))
+
+let test_async_shipping () =
+  let dir = scratch_dir () in
+  let leader_wal = Filename.concat dir "leader.wal" in
+  let leader, _ =
+    sok "open_wal" (Slimpad.open_wal (Desktop.create ()) leader_wal)
+  in
+  let pad = Slimpad.new_pad leader "leader-pad" in
+  sok "start_shipping async"
+    (Slimpad.start_shipping ~segment_records:4 ~async:true leader
+       ~archive:(Filename.concat dir "leader.archive"));
+  check_bool "async domain running" true (Slimpad.shipping_async leader);
+  let f = make_follower dir "f" in
+  sok "attach"
+    (Slimpad.attach_follower leader ~name:"f"
+       (Replica.transport (replica_of f)));
+  churn leader pad ~from:1 20;
+  sok "sync" (Slimpad.wal_sync leader);
+  (* The background domain pushes without an explicit ship call; give
+     it bounded time to converge. *)
+  let rec await tries =
+    if converged leader f then ()
+    else if tries = 0 then
+      Alcotest.failf "async shipping never converged (lag %d)"
+        (Ship.lag (shipper_of leader))
+    else begin
+      Unix.sleepf 0.02;
+      await (tries - 1)
+    end
+  in
+  await 250;
+  (* An explicit ship round serializes with the domain's rounds. *)
+  churn leader pad ~from:21 5;
+  sok "explicit ship" (Slimpad.ship leader);
+  check_bool "converged after explicit round" true (converged leader f);
+  (* stop_shipping drains and joins the domain. *)
+  sok "stop" (Slimpad.stop_shipping leader);
+  check_bool "domain stopped" false (Slimpad.shipping_async leader);
+  check_bool "still converged" true (converged_contents leader f);
+  sok "close follower" (Slimpad.wal_close f);
+  sok "close leader" (Slimpad.wal_close leader)
+
 (* --- the crash matrix as a test gate ---------------------------------- *)
 
 let test_crash_matrix_passes () =
@@ -528,6 +632,10 @@ let suite =
     ("restore --at is byte-identical along a trace", `Quick,
      test_restore_byte_identical);
     ("SL306 flags archive damage", `Quick, test_lint_archive);
+    ("archive prune: retention with restores intact", `Quick,
+     test_archive_prune);
+    ("async shipping: background domain converges", `Quick,
+     test_async_shipping);
     ("crash matrix: every scenario passes", `Slow, test_crash_matrix_passes);
     QCheck_alcotest.to_alcotest prop_interleavings_converge;
   ]
