@@ -1364,6 +1364,66 @@ let server_load_report () =
     (p99 flooded /. Float.max 1. (p99 uncontended));
   Si_serve.Server.stop server
 
+(* ------------------ E18: instrumented locking overhead (this PR) *)
+
+(* [Si_check.Lock] against the raw [Mutex] it wraps, in both checker
+   states. Disabled is the shipping configuration — every mutex in the
+   tree now routes through the wrapper, so the E10/E17 groups above
+   already price it end to end and the pr8->pr9 JSON compare enforces
+   the <5% budget. Enabled prices the sanitizer itself: the DLS
+   held-stack upkeep, graph edges, and hold timing. The closures flip
+   the global switch per run (bechamel interleaves runs, same pattern
+   as E14); main disables and resets the checker after the group so the
+   edges recorded here never leak into a later report. *)
+let check_overhead_tests () =
+  Si_check.Hierarchy.declare ~rank:9100 ~doc:"bench scratch lock"
+    "bench.lock";
+  Si_check.Hierarchy.declare ~rank:9110 ~doc:"bench scratch inner lock"
+    "bench.lock.inner";
+  let raw = Mutex.create () in
+  let lk = Si_check.Lock.create ~class_:"bench.lock" in
+  let inner = Si_check.Lock.create ~class_:"bench.lock.inner" in
+  let disabled f () =
+    Si_check.set_enabled false;
+    f ()
+  and enabled f () =
+    Si_check.set_enabled true;
+    f ()
+  in
+  let raw_pair () =
+    Mutex.lock raw;
+    Mutex.unlock raw
+  in
+  let pair () =
+    Si_check.Lock.lock lk;
+    Si_check.Lock.unlock lk
+  in
+  let nested () =
+    Si_check.Lock.with_lock lk (fun () ->
+        Si_check.Lock.with_lock inner (fun () -> ()))
+  in
+  (* The E10 hot op under instrumentation: a sharded-store add (shard
+     lock + atom-table lock per call) with a select every 10th run. *)
+  let module S = Store.Sharded_columnar in
+  let s = S.create () in
+  let i = ref 0 in
+  let store_op () =
+    incr i;
+    let subject = Printf.sprintf "s-%d" (!i mod 97) in
+    ignore (S.add s (Triple.make subject "p" (Triple.literal "v")));
+    if !i mod 10 = 0 then ignore (S.select ~subject s)
+  in
+  [
+    Test.make ~name:"raw mutex lock/unlock" (staged raw_pair);
+    Test.make ~name:"Si_check.Lock pair (disabled)" (staged (disabled pair));
+    Test.make ~name:"Si_check.Lock pair (enabled)" (staged (enabled pair));
+    Test.make ~name:"nested with_lock x2 (enabled)" (staged (enabled nested));
+    Test.make ~name:"sharded add+select (disabled)"
+      (staged (disabled store_op));
+    Test.make ~name:"sharded add+select (enabled)"
+      (staged (enabled store_op));
+  ]
+
 (* ------------------------------------- --compare: regression gating *)
 
 (* Rebuild per-group latency distributions from two --json files using
@@ -1524,6 +1584,10 @@ let () =
   run_group ~name:"E17 pad server request RTT" (server_tests ());
   !e17_cleanup ();
   server_load_report ();
+  run_group ~name:"E18 instrumented locking overhead"
+    (check_overhead_tests ());
+  Si_check.set_enabled false;
+  Si_check.reset ();
   Si_obs.Span.disable ();
   ignore (Si_obs.Span.drain ());
   (match json_path with Some path -> write_json path | None -> ());

@@ -9,12 +9,27 @@ module Mark = Si_mark.Mark
 module Dmi = Si_slim.Dmi
 module Slimpad = Si_slimpad.Slimpad
 
+(* Close the log on the way out: a one-shot CLI must flush any
+   group-commit buffer and release the single-writer pid lock, or the
+   next invocation has to take the lock over as stale. Commands that
+   already closed (serve, replication) see a no-op second close. The
+   check happens after [f] — it may itself enable journaling. *)
+let closed_wal app code =
+  match Slimpad.persistence app with
+  | Slimpad.Whole_file -> code
+  | Slimpad.Journaled -> (
+      match Slimpad.wal_close app with
+      | Ok () -> code
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          max code 1)
+
 let with_workspace ?wrap dir f =
   match Workspace.open_workspace ?wrap dir with
   | Error msg ->
       Printf.eprintf "error: %s\n" msg;
       1
-  | Ok app -> f app
+  | Ok app -> closed_wal app (f app)
 
 (* Persist, then continue — a failed save is a hard error, and the
    atomic-write protocol guarantees the previous store file survives it. *)
@@ -116,7 +131,7 @@ let cmd_init dir scenario seed wal =
       | Ok () ->
           Printf.printf "initialized %s in %s (journaled persistence)\n"
             built dir;
-          0
+          closed_wal app 0
     else
       saved dir app (fun () ->
           Printf.printf "initialized %s in %s\n" built dir;
@@ -563,7 +578,7 @@ let cmd_trace dir gesture arg no_timings =
       in
       print_tree spans;
       (match result with
-      | Ok _ -> 0
+      | Ok app -> closed_wal app 0
       | Error msg ->
           Printf.eprintf "error: %s\n" msg;
           1)
@@ -743,10 +758,11 @@ let raw_triples_of_payload payload =
   | Error _ -> None
   | Ok root -> raw_triples_of_root root
 
-let lint_context_of_app ?raw_triples ?store_file ?wal_path ?archive app =
+let lint_context_of_app ?raw_triples ?store_file ?wal_path ?archive
+    ?workspace app =
   Si_lint.context ~dmi:(Slimpad.dmi app) ~marks:(Slimpad.marks app)
     ~resilient:(Slimpad.resilient app) ?raw_triples ?store_file ?wal_path
-    ?archive ()
+    ?archive ?workspace ()
 
 (* The read-only analysis context for a target; warnings (unloadable
    base documents, an unrestorable store) go to stderr but never stop
@@ -788,9 +804,13 @@ let lint_context ?archive target =
           | Error msg ->
               (* Unrestorable snapshot: lint what the WAL rules can see. *)
               Printf.eprintf "warning: %s\n" msg;
-              Ok (Si_lint.context ?raw_triples ~wal_path ?archive ())
+              Ok
+                (Si_lint.context ?raw_triples ~wal_path ?archive
+                   ~workspace:target ())
           | Ok (app, _) ->
-              Ok (lint_context_of_app ?raw_triples ~wal_path ?archive app))
+              Ok
+                (lint_context_of_app ?raw_triples ~wal_path ?archive
+                   ~workspace:target app))
     else
       let store = Workspace.pad_store target in
       if not (Sys.file_exists store) then
@@ -800,11 +820,11 @@ let lint_context ?archive target =
         | Error msg ->
             Printf.eprintf "warning: %s: %s\n" store msg;
             Ok (Si_lint.context ?raw_triples:(raw_triples_of_file store)
-                  ~store_file:store ?archive ())
+                  ~store_file:store ?archive ~workspace:target ())
         | Ok app ->
             Ok (lint_context_of_app
                   ?raw_triples:(raw_triples_of_file store)
-                  ~store_file:store ?archive app)
+                  ~store_file:store ?archive ~workspace:target app)
   end
   else Error (Printf.sprintf "%s: no such file or directory" target)
 
@@ -880,9 +900,10 @@ let cmd_lint target json fix archive =
         | Ok report -> (
             Printf.eprintf
               "fixed: removed %d orphaned layout triple(s), dropped %d \
-               duplicate triple(s)\n"
+               duplicate triple(s), deleted %d orphaned temp file(s)\n"
               report.Si_lint.removed_layout_triples
-              report.Si_lint.duplicate_triples;
+              report.Si_lint.duplicate_triples
+              report.Si_lint.removed_temp_files;
             (* Re-lint from disk so the report reflects what the next
                open will actually see. *)
             match lint_context ?archive target with
@@ -2067,6 +2088,100 @@ let client_cmd =
       job; job_status; workload; shutdown;
     ]
 
+(* ---------------------------------------------------------------- check *)
+
+(* `slimpad check` — the concurrency sanitizer's built-in exercise.
+   One process stands up the whole concurrent stack — a journaled
+   sharded-store leader, async WAL shipping into an in-process
+   follower, the network server with replica-aware reads and a
+   background job runner — and drives it with the open-loop load
+   generator (reads, writes, bulk jobs), an explicit ship round, and a
+   compaction. That touches every lock class in the declared
+   hierarchy; Si_check watches every acquisition and the command fails
+   if the observed order graph holds any violation. CI runs this as
+   the sanitizer gate; --json emits the graph as the artifact. *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let cmd_check json =
+  Si_check.set_enabled true;
+  Si_check.reset ();
+  let dir = Filename.temp_file "slimpad-check" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let step what = function
+    | Ok v -> v
+    | Error msg ->
+        Printf.eprintf "error: %s: %s\n" what msg;
+        exit 2
+  in
+  let leader, _ =
+    step "open leader"
+      (Slimpad.open_wal
+         ~store:(module Si_triple.Store.Sharded_columnar)
+         (Desktop.create ())
+         (Filename.concat dir "pad.wal"))
+  in
+  ignore (Slimpad.new_pad leader "exercised");
+  step "start shipping"
+    (Slimpad.start_shipping ~segment_records:32 ~async:true leader
+       ~archive:(Filename.concat dir "pad.archive"));
+  let rapp, _ =
+    step "open replica"
+      (Slimpad.open_replica
+         ~store:(module Si_triple.Store.Sharded_columnar)
+         (Desktop.create ())
+         (Filename.concat dir "replica.wal"))
+  in
+  let rep = Option.get (Slimpad.replica rapp) in
+  step "attach follower"
+    (Slimpad.attach_follower leader ~name:"r1" (Si_wal.Replica.transport rep));
+  let config =
+    { Serve.default_config with workers = 3; job_capacity = 4 }
+  in
+  let server =
+    step "start server" (Serve.start ~config ~follower:(rapp, rep) leader)
+  in
+  let load =
+    Loadgen.run ~seed:11 ~clients:3
+      ~mix:{ Loadgen.reads = 6; writes = 3; bulk = 1 }
+      ~port:(Serve.port server) ~rate:600. ~requests:600 ()
+  in
+  step "ship round" (Slimpad.ship leader);
+  Serve.stop server;
+  step "stop shipping" (Slimpad.stop_shipping leader);
+  step "compact" (Slimpad.wal_compact leader);
+  step "close replica" (Slimpad.wal_close rapp);
+  step "close leader" (Slimpad.wal_close leader);
+  (try rm_rf dir with Sys_error _ -> ());
+  let report = Si_check.report () in
+  if json then print_string (Si_check.report_json ())
+  else begin
+    Format.printf "%a@." Si_check.pp_report report;
+    Printf.printf "exercise: %d request(s): %d ok, %d overloaded, %d error(s)\n"
+      load.Loadgen.sent load.Loadgen.ok load.Loadgen.overloaded
+      load.Loadgen.errors
+  end;
+  if report.Si_check.r_violations = [] then 0 else 1
+
+let check_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit the lock-order graph and violations as one JSON \
+               document (the CI artifact) instead of the text report.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Run the concurrency sanitizer's built-in exercise (server + \
+             background jobs + WAL shipping under load) and report the \
+             observed lock-order graph; nonzero exit on any violation")
+    Term.(const cmd_check $ json)
+
 let main =
   Cmd.group
     (Cmd.info "slimpad" ~version:"1.0"
@@ -2079,7 +2194,7 @@ let main =
       import_cmd; export_html_cmd; template_cmd; instantiate_cmd;
       wal_enable_cmd; wal_inspect_cmd; wal_compact_cmd;
       replicate_cmd; promote_cmd; restore_cmd; crash_matrix_cmd;
-      serve_cmd; client_cmd; archive_prune_cmd;
+      serve_cmd; client_cmd; archive_prune_cmd; check_cmd;
     ]
 
 let () =

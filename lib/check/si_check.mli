@@ -1,0 +1,155 @@
+(** Concurrency sanitizer: lockdep-style lock-order analysis.
+
+    {!Lock} wraps [Mutex] with a named {e lock class} per call site.
+    When checking is enabled (the [SI_CHECK] environment variable or
+    {!set_enabled}), every domain keeps a held-lock stack in
+    [Domain.DLS]; each acquisition records the edge
+    [(held class -> acquired class)] — with a capture stack — into a
+    process-wide lock-order graph, and cycle detection reports
+    potential deadlocks {e the first time either order runs}: no
+    unlucky interleaving is needed. Classified blocking operations
+    ({!blocking}) executed while holding a lock, re-entrant
+    acquisition, same-class nesting, and declared-rank inversions are
+    flagged the same way.
+
+    Disabled (the default), {!Lock.lock} is a [Mutex.try_lock]
+    fast path plus one atomic branch — the same zero-cost gate
+    discipline as [Si_obs.Span]. The module depends only on the
+    stdlib; hold-time histograms and contention counters are pushed
+    through an injectable {!sink} (installed by [Si_obs.Registry]) so
+    the observability layer's own locks can themselves be
+    instrumented without a dependency cycle. *)
+
+val enabled : unit -> bool
+(** Checking is on. Initialized from the [SI_CHECK] environment
+    variable ([1]/[true]/[on]/[yes]). *)
+
+val set_enabled : bool -> unit
+
+val set_clock : (unit -> int) -> unit
+(** Nanosecond clock used for hold times. [Si_obs.Registry] forwards
+    [Si_obs.Clock.now] here at load time. *)
+
+val set_long_hold_ns : int -> unit
+(** Threshold above which a hold is counted as long (default 100ms).
+    Long holds are tallied per class (and surface as
+    [check.lock.long_hold.<class>] counters), not violations. *)
+
+(** The intended lock hierarchy, declared in one place. Ranks order
+    acquisition: a lock may only be acquired while holding locks of
+    strictly {e lower} rank. [io_ok] marks classes whose documented
+    purpose is to serialize blocking I/O (WAL group commit, segment
+    sealing, shipping rounds) — {!blocking} under only such locks is
+    allowed. *)
+module Hierarchy : sig
+  type entry = {
+    h_class : string;
+    h_rank : int;
+    h_io_ok : bool;
+    h_doc : string;
+  }
+
+  val declare : ?io_ok:bool -> rank:int -> doc:string -> string -> unit
+  (** Add or update a declaration (tests extend the built-in table). *)
+
+  val entries : unit -> entry list
+  (** All declarations, sorted by rank. *)
+
+  val find : string -> entry option
+end
+
+type kind =
+  | Order_inversion  (** a cycle in the observed acquisition graph *)
+  | Rank_violation  (** an edge against the declared hierarchy *)
+  | Same_class_nesting
+      (** two locks of one class nested on one domain *)
+  | Reentrant_acquire  (** one lock acquired twice on one domain *)
+  | Io_under_lock
+      (** classified blocking op while holding a non-[io_ok] lock *)
+
+val kind_name : kind -> string
+
+type violation = {
+  v_kind : kind;
+  v_classes : string list;  (** every lock class involved *)
+  v_message : string;
+  v_stack : string;  (** capture stack at the detection site *)
+  v_other_stack : string option;
+      (** for order violations: the capture stack recorded when the
+          opposing edge was first observed *)
+}
+
+module Lock : sig
+  type t
+
+  val create : class_:string -> t
+  (** Locks sharing [class_] share one node in the order graph; the
+      class is registered on first use and picks up any
+      {!Hierarchy} declaration of the same name. *)
+
+  val lock : t -> unit
+  val unlock : t -> unit
+  val with_lock : t -> (unit -> 'a) -> 'a
+
+  val wait : Condition.t -> t -> unit
+  (** [Condition.wait] on the wrapped mutex, keeping the held-stack
+      and hold-time bookkeeping consistent across the release/
+      re-acquire inside the wait. *)
+
+  val class_name : t -> string
+
+  val contended : t -> int
+  (** Times an acquisition of this particular lock found it held.
+      Counted even when checking is disabled (the fast path is a
+      [try_lock], so the count is free). *)
+end
+
+val blocking : kind:string -> (unit -> 'a) -> 'a
+(** Run a classified blocking operation ([kind] is e.g. ["fsync"],
+    ["socket"], ["sleep"]). When checking is enabled and a
+    non-[io_ok] lock is held, an {!Io_under_lock} violation is
+    recorded. The operation always runs. *)
+
+type edge = {
+  e_from : string;
+  e_to : string;
+  e_count : int;
+  e_stack : string;  (** capture stack of the first occurrence *)
+}
+
+type class_info = {
+  c_class : string;
+  c_rank : int option;
+  c_io_ok : bool;
+  c_contended : int;  (** summed over this class's locks *)
+  c_long_holds : int;
+}
+
+type report = {
+  r_enabled : bool;
+  r_classes : class_info list;
+  r_edges : edge list;
+  r_violations : violation list;
+}
+
+val violations : unit -> violation list
+val report : unit -> report
+
+val report_json : unit -> string
+(** The whole {!report} as one JSON document (the CI artifact). *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val reset : unit -> unit
+(** Clear the order graph, violations, and per-class tallies.
+    Declarations and registered classes survive. Test scaffolding. *)
+
+type sink = {
+  s_hold : class_name:string -> ns:int -> unit;
+  s_long : class_name:string -> ns:int -> unit;
+  s_contended : class_name:string -> unit;
+}
+
+val set_sink : sink option -> unit
+(** Metric export hook. Calls are re-entrancy-guarded: lock
+    operations the sink itself performs are not instrumented. *)

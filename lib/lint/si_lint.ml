@@ -56,11 +56,21 @@ type context = {
   store_file : string option;
   wal_path : string option;
   archive : string option;
+  workspace : string option;
 }
 
 let context ?dmi ?marks ?resilient ?raw_triples ?store_file ?wal_path
-    ?archive () =
-  { dmi; marks; resilient; raw_triples; store_file; wal_path; archive }
+    ?archive ?workspace () =
+  {
+    dmi;
+    marks;
+    resilient;
+    raw_triples;
+    store_file;
+    wal_path;
+    archive;
+    workspace;
+  }
 
 type rule = {
   code : string;
@@ -924,6 +934,62 @@ let rule_wal_archive =
   in
   rule
 
+(* An interrupted atomic save — a crash between writing ["x.si-tmp"]
+   and renaming it over [x] — leaves the temp file behind. Loaders
+   ignore the suffix, so the orphan is harmless but permanent: nothing
+   ever deletes it, and it silently pins disk space (a snapshot temp is
+   the size of the whole store). The scan covers the workspace tree
+   and, for bare-file targets, the would-be temp of the store file and
+   log. *)
+
+let orphan_temp_files ctx =
+  let rec walk acc dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> acc
+    | entries ->
+        Array.fold_left
+          (fun acc name ->
+            let p = Filename.concat dir name in
+            if (try Sys.is_directory p with Sys_error _ -> false) then
+              walk acc p
+            else if Si_xmlk.Print.is_temp_path p then p :: acc
+            else acc)
+          acc entries
+  in
+  let sibling acc = function
+    | Some path ->
+        let t = path ^ Si_xmlk.Print.temp_suffix in
+        if Sys.file_exists t then t :: acc else acc
+    | None -> acc
+  in
+  let found =
+    match ctx.workspace with
+    | Some dir -> walk [] dir
+    | None -> sibling (sibling [] ctx.store_file) ctx.wal_path
+  in
+  List.sort_uniq compare found
+
+let rule_orphan_temp =
+  let rec rule =
+    {
+      code = "SL307";
+      rule_name = "orphan-temp-file";
+      rule_severity = Warning;
+      synopsis = "leftover .si-tmp files from interrupted atomic saves";
+      check =
+        (fun ctx ->
+          List.map
+            (fun p ->
+              diag rule ~provenance:(In_file p) ~fixable:true
+                (Printf.sprintf
+                   "%s was left by an interrupted atomic save; loaders \
+                    ignore it, and --fix deletes it"
+                   (Filename.basename p)))
+            (orphan_temp_files ctx));
+    }
+  in
+  rule
+
 (* ------------------------------------------------------------- registry *)
 
 let builtin_rules =
@@ -946,6 +1012,7 @@ let builtin_rules =
     rule_wal_stream;
     rule_wal_binary_snapshot;
     rule_wal_archive;
+    rule_orphan_temp;
   ]
 
 let registry = ref builtin_rules
@@ -987,6 +1054,7 @@ let run ?rules:rs ctx =
 type fix_report = {
   removed_layout_triples : int;
   duplicate_triples : int;
+  removed_temp_files : int;
 }
 
 let fix ctx diagnostics =
@@ -1004,8 +1072,26 @@ let fix ctx diagnostics =
     List.length
     (List.filter (fun (d : diagnostic) -> d.code = "SL001") diagnostics)
   in
+  (* Deleting an orphaned temp file needs no live store — only the path
+     the diagnostic already carries. A vanished file is not an error:
+     the repair's job is that the file be gone. *)
+  let removed_temp_files =
+    List.fold_left
+      (fun n (d : diagnostic) ->
+        if d.code = "SL307" && d.fixable then
+          match d.provenance with
+          | Some (In_file f) -> (
+              match Sys.remove f with
+              | () -> n + 1
+              | exception Sys_error _ -> n)
+          | _ -> n
+        else n)
+      0 diagnostics
+  in
   match (orphan_triples, ctx.dmi) with
-  | [], _ -> Stdlib.Ok { removed_layout_triples = 0; duplicate_triples }
+  | [], _ ->
+      Stdlib.Ok
+        { removed_layout_triples = 0; duplicate_triples; removed_temp_files }
   | _, None -> Stdlib.Error "cannot repair layout triples without a live store"
   | _, Some dmi -> (
       let trim = Dmi.trim dmi in
@@ -1017,7 +1103,8 @@ let fix ctx diagnostics =
       in
       match Trim.transaction trim body with
       | Stdlib.Ok (Stdlib.Ok removed_layout_triples) ->
-          Stdlib.Ok { removed_layout_triples; duplicate_triples }
+          Stdlib.Ok
+            { removed_layout_triples; duplicate_triples; removed_temp_files }
       | Stdlib.Ok (Stdlib.Error e) -> Stdlib.Error e
       | Stdlib.Error exn -> Stdlib.Error (Printexc.to_string exn))
 

@@ -78,7 +78,13 @@
     - [SL306] [wal-archive] (error) — shipping archive damage verified
       offline ({!Si_wal.Segment.verify}): per-file header or CRC
       failures, sequence gaps between segments no base snapshot
-      bridges, and replication term regressions. *)
+      bridges, and replication term regressions.
+
+    Filesystem hygiene:
+    - [SL307] [orphan-temp-file] (warning, fixable) — a [".si-tmp"]
+      file left by an atomic save interrupted between write and
+      rename. Loaders ignore the suffix, so the orphan is harmless but
+      permanent; {!fix} deletes it. *)
 
 type severity = Error | Warning | Info
 
@@ -121,6 +127,7 @@ val context :
   ?store_file:string ->
   ?wal_path:string ->
   ?archive:string ->
+  ?workspace:string ->
   unit ->
   context
 (** [dmi] supplies the live store (triple, metamodel, and slimpad
@@ -129,7 +136,9 @@ val context :
     {e with duplicates preserved} ({!Si_triple.Trim.triples_of_xml}) for
     [SL001], with [store_file] naming it for provenance; [wal_path] the
     write-ahead log to verify offline; [archive] the shipping archive
-    directory for [SL306]. *)
+    directory for [SL306]; [workspace] the workspace directory [SL307]
+    scans for orphaned temp files (without it, the scan falls back to
+    the would-be temps of [store_file] and [wal_path]). *)
 
 (** {1 Rules}
 
@@ -177,6 +186,8 @@ type fix_report = {
       (** [SL001] duplicates observed in the persisted file. The
           in-memory store never held them; the caller persists the
           dedup by re-saving (whole-file) or compacting (journaled). *)
+  removed_temp_files : int;
+      (** [SL307] orphaned temp files deleted from disk. *)
 }
 
 val fix : context -> diagnostic list -> (fix_report, string) result

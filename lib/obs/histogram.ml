@@ -41,7 +41,7 @@ let representative i =
     (float_of_int lo +. hi) /. 2.
 
 type t = {
-  lock : Mutex.t;
+  lock : Si_check.Lock.t;
   buckets : int array;
   mutable h_count : int;
   mutable h_sum : int;
@@ -51,7 +51,7 @@ type t = {
 
 let create () =
   {
-    lock = Mutex.create ();
+    lock = Si_check.Lock.create ~class_:"obs.histogram";
     buckets = Array.make bucket_count 0;
     h_count = 0;
     h_sum = 0;
@@ -59,9 +59,7 @@ let create () =
     h_max = min_int;
   }
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let locked t f = Si_check.Lock.with_lock t.lock f
 
 let add t v =
   let v = if v < 0 then 0 else v in

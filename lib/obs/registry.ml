@@ -1,11 +1,8 @@
-let lock = Mutex.create ()
+let lock = Si_check.Lock.create ~class_:"obs.registry"
 let counters : (string, Counter.t) Hashtbl.t = Hashtbl.create 32
 let histograms : (string, Histogram.t) Hashtbl.t = Hashtbl.create 32
 let gauges : (string, Gauge.t) Hashtbl.t = Hashtbl.create 32
-
-let locked f =
-  Mutex.lock lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+let locked f = Si_check.Lock.with_lock lock f
 
 let get_or tbl create name =
   locked (fun () ->
@@ -68,3 +65,24 @@ let reset () =
   List.iter (fun (_, c) -> Counter.reset c) cs;
   List.iter (fun (_, g) -> Gauge.reset g) gs;
   List.iter (fun (_, h) -> Histogram.clear h) hs
+
+(* Metric export for the lock sanitizer. Si_check sits below si_obs
+   (so these very locks can be instrumented); it pushes hold times and
+   contention through this sink. The sink runs under Si_check's
+   re-entrancy guard, so the registry/histogram locks it takes here
+   are not themselves instrumented. *)
+let () =
+  Si_check.set_clock Clock.now;
+  Si_check.set_sink
+    (Some
+       {
+         Si_check.s_hold =
+           (fun ~class_name ~ns ->
+             Histogram.add (histogram ("check.lock.hold." ^ class_name)) ns);
+         s_long =
+           (fun ~class_name ~ns:_ ->
+             Counter.incr (counter ("check.lock.long_hold." ^ class_name)));
+         s_contended =
+           (fun ~class_name ->
+             Counter.incr (counter ("check.lock.contended." ^ class_name)));
+       })

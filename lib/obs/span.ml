@@ -25,7 +25,7 @@ let stack_key : int list ref Domain.DLS.key =
 
 (* Finished spans: a mutex-guarded ring. Writers never block on a full
    ring — the oldest entry is overwritten and counted as dropped. *)
-let lock = Mutex.create ()
+let lock = Si_check.Lock.create ~class_:"obs.span.ring"
 let default_capacity = 4096
 let ring = ref (Array.make default_capacity None)
 let head = ref 0 (* next write position *)
@@ -33,9 +33,7 @@ let stored = ref 0
 let dropped_count = ref 0
 let exporter : (finished -> unit) option ref = ref None
 
-let locked f =
-  Mutex.lock lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+let locked f = Si_check.Lock.with_lock lock f
 
 let record fin =
   locked (fun () ->

@@ -5,7 +5,7 @@
    arbitrarily long but can never delay an interactive item behind it. *)
 
 type 'a t = {
-  mutex : Mutex.t;
+  mutex : Si_check.Lock.t;
   nonempty : Condition.t;
   interactive : 'a Queue.t;
   bulk : 'a Queue.t;
@@ -19,7 +19,7 @@ let create ?(capacity = 64) ?(bulk_capacity = 16) ?gauge () =
   if capacity < 1 || bulk_capacity < 1 then
     invalid_arg "Jobq.create: capacities must be positive";
   {
-    mutex = Mutex.create ();
+    mutex = Si_check.Lock.create ~class_:"server.jobq";
     nonempty = Condition.create ();
     interactive = Queue.create ();
     bulk = Queue.create ();
@@ -29,9 +29,7 @@ let create ?(capacity = 64) ?(bulk_capacity = 16) ?gauge () =
     gauge;
   }
 
-let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+let locked t f = Si_check.Lock.with_lock t.mutex f
 
 (* Assumes [t.mutex] is held. *)
 let publish_depth t =
@@ -72,7 +70,7 @@ let pop t =
         end
         else if t.closed then None
         else begin
-          Condition.wait t.nonempty t.mutex;
+          Si_check.Lock.wait t.nonempty t.mutex;
           wait ()
         end
       in

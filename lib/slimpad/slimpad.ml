@@ -28,11 +28,14 @@ type wal_state = {
    it, so a slow domain never blocks an append and never loses work
    (every round drains the whole log tail). *)
 type async_ship = {
-  a_mutex : Mutex.t;  (* guards [a_pending]/[a_stop] with [a_cond] *)
+  a_mutex : Si_check.Lock.t;
+      (* guards [a_pending]/[a_stop] with [a_cond] *)
   a_cond : Condition.t;
   mutable a_pending : int;
   mutable a_stop : bool;
-  a_round : Mutex.t;  (* one ship round at a time: domain vs. [ship] *)
+  a_round : Si_check.Lock.t;
+      (* one ship round at a time: domain vs. [ship]; rounds push over
+         the network inside it by design (io_ok in the hierarchy) *)
   mutable a_domain : unit Domain.t option;
 }
 
@@ -791,12 +794,12 @@ let wal_compact t =
 let async_wakeup_capacity = 1024
 
 let async_notify a () =
-  Mutex.lock a.a_mutex;
+  Si_check.Lock.lock a.a_mutex;
   if a.a_pending < async_wakeup_capacity then begin
     a.a_pending <- a.a_pending + 1;
     Condition.signal a.a_cond
   end;
-  Mutex.unlock a.a_mutex
+  Si_check.Lock.unlock a.a_mutex
 
 let ship_round t sh =
   (* Sync first: a record is pushed only once it would survive our own
@@ -804,19 +807,17 @@ let ship_round t sh =
      follower that learned it from a leader who forgot it. *)
   Result.bind (wal_sync t) (fun () -> Si_wal.Ship.ship sh)
 
-let locked_round a f =
-  Mutex.lock a.a_round;
-  Fun.protect ~finally:(fun () -> Mutex.unlock a.a_round) f
+let locked_round a f = Si_check.Lock.with_lock a.a_round f
 
 let async_loop t a sh =
   let rec go () =
-    Mutex.lock a.a_mutex;
+    Si_check.Lock.lock a.a_mutex;
     while a.a_pending = 0 && not a.a_stop do
-      Condition.wait a.a_cond a.a_mutex
+      Si_check.Lock.wait a.a_cond a.a_mutex
     done;
     let stop = a.a_stop in
     a.a_pending <- 0;
-    Mutex.unlock a.a_mutex;
+    Si_check.Lock.unlock a.a_mutex;
     (* On stop this is the final drain: records teed before the flag
        was raised still ship before the domain exits. Errors surface
        through [wal_state] trouble, like hook-driven append failures. *)
@@ -832,10 +833,10 @@ let stop_async_shipping t sh =
   | None -> ()
   | Some a ->
       Si_wal.Ship.set_notify sh None;
-      Mutex.lock a.a_mutex;
+      Si_check.Lock.lock a.a_mutex;
       a.a_stop <- true;
       Condition.signal a.a_cond;
-      Mutex.unlock a.a_mutex;
+      Si_check.Lock.unlock a.a_mutex;
       (match a.a_domain with Some d -> Domain.join d | None -> ());
       t.ship_async <- None
 
@@ -915,11 +916,15 @@ let start_shipping ?segment_records ?term ?(async = false) t ~archive =
                         if async then begin
                           let a =
                             {
-                              a_mutex = Mutex.create ();
+                              a_mutex =
+                                Si_check.Lock.create
+                                  ~class_:"slimpad.ship.wake";
                               a_cond = Condition.create ();
                               a_pending = 0;
                               a_stop = false;
-                              a_round = Mutex.create ();
+                              a_round =
+                                Si_check.Lock.create
+                                  ~class_:"slimpad.ship.round";
                               a_domain = None;
                             }
                           in

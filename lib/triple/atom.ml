@@ -24,7 +24,7 @@ let empty =
   { strings = [||]; len = 0; probe = Array.make 16 0; mask = 15 }
 
 let state = Atomic.make empty
-let lock = Mutex.create ()
+let lock = Si_check.Lock.create ~class_:"atom.table"
 
 let size () = (Atomic.get state).len
 
@@ -79,10 +79,7 @@ let grown s =
   { s with strings; probe; mask }
 
 let append str =
-  Mutex.lock lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock lock)
-    (fun () ->
+  Si_check.Lock.with_lock lock (fun () ->
       let s = Atomic.get state in
       (* Re-check: another domain may have interned it first. *)
       match lookup s str with

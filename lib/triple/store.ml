@@ -252,14 +252,14 @@ module Indexed_store = struct
 end
 
 module Locked (Base : S) = struct
-  type t = { base : Base.t; lock : Mutex.t }
+  type t = { base : Base.t; lock : Si_check.Lock.t }
 
   let name = "locked-" ^ Base.name
-  let create () = { base = Base.create (); lock = Mutex.create () }
 
-  let locked t f =
-    Mutex.lock t.lock;
-    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> f t.base)
+  let create () =
+    { base = Base.create (); lock = Si_check.Lock.create ~class_:"store.locked" }
+
+  let locked t f = Si_check.Lock.with_lock t.lock (fun () -> f t.base)
 
   let add t triple = locked t (fun s -> Base.add s triple)
   let remove t triple = locked t (fun s -> Base.remove s triple)
@@ -898,23 +898,22 @@ module Sharded (B : S) = struct
      global lock. Locks are never nested, so the store cannot deadlock. *)
   let shard_count = 8
 
-  type t = { shards : B.t array; locks : Mutex.t array }
+  type t = { shards : B.t array; locks : Si_check.Lock.t array }
 
   let name = "sharded-" ^ B.name
 
   let create () =
     {
       shards = Array.init shard_count (fun _ -> B.create ());
-      locks = Array.init shard_count (fun _ -> Mutex.create ());
+      locks =
+        Array.init shard_count (fun _ ->
+            Si_check.Lock.create ~class_:"store.shard");
     }
 
   let shard_of subject = Hashtbl.hash subject land max_int mod shard_count
 
   let with_shard t i f =
-    Mutex.lock t.locks.(i);
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.locks.(i))
-      (fun () -> f t.shards.(i))
+    Si_check.Lock.with_lock t.locks.(i) (fun () -> f t.shards.(i))
 
   let add t triple =
     with_shard t (shard_of triple.Triple.subject) (fun s -> B.add s triple)

@@ -46,8 +46,9 @@ type t = {
      mutating domain can interleave with [sync] from a background
      shipping domain, and the append buffer must never see both. The
      tee fires inside the lock, so teed observers see records in accept
-     order. *)
-  lock : Mutex.t;
+     order. Group commit means the flush happens inside this lock by
+     design — the class is declared io_ok in Si_check.Hierarchy. *)
+  lock : Si_check.Lock.t;
 }
 
 let log_magic = "SIWAL\x00\x00\x01"
@@ -79,6 +80,7 @@ let read_file path =
    destination. This doubles as portable truncation (rewrite the good
    prefix) so the library needs no [unix] dependency. *)
 let write_file_atomic path contents =
+  Si_check.blocking ~kind:"file-write" @@ fun () ->
   protect_io (fun () ->
       let tmp = temp_path path in
       let oc = open_out_bin tmp in
@@ -107,11 +109,8 @@ let header gen =
    taken over. *)
 
 let open_in_process : (string, unit) Hashtbl.t = Hashtbl.create 8
-let open_in_process_mutex = Mutex.create ()
-
-let with_registry f =
-  Mutex.lock open_in_process_mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock open_in_process_mutex) f
+let open_in_process_lock = Si_check.Lock.create ~class_:"wal.registry"
+let with_registry f = Si_check.Lock.with_lock open_in_process_lock f
 
 let pid_alive pid =
   match Unix.kill pid 0 with
@@ -265,7 +264,7 @@ let finish_open ~path ~policy ~gen ~disk_records ~recovery =
           buf = Buffer.create 4096;
           buffered = 0;
           tee = None;
-          lock = Mutex.create ();
+          lock = Si_check.Lock.create ~class_:"wal.log";
         }
       in
       Ok (t, recovery)
@@ -384,6 +383,7 @@ let channel t =
   match t.oc with Some oc -> Ok oc | None -> Error (Io "log is closed")
 
 let flush_buffered t oc =
+  Si_check.blocking ~kind:"fsync" @@ fun () ->
   protect_io (fun () ->
       output_string oc (Buffer.contents t.buf);
       flush oc;
@@ -391,9 +391,7 @@ let flush_buffered t oc =
       Buffer.clear t.buf;
       t.buffered <- 0)
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let locked t f = Si_check.Lock.with_lock t.lock f
 
 (* Assumes [t.lock] is held. *)
 let sync_locked t =
@@ -472,21 +470,29 @@ let cut_snapshot t state =
             cut_snapshot_plain t state)
       else cut_snapshot_plain t state)
 
+(* The registry lock is the outer one (taken first on [open_]), so the
+   single-writer release must happen after [t.lock] is dropped, not
+   inside it. *)
 let close t =
-  locked t (fun () ->
-      match t.oc with
-      | None -> Ok ()
-      | Some oc -> (
-          match sync_locked t with
-          | Error _ as e ->
-              close_out_noerr oc;
-              t.oc <- None;
-              release_lock t.path;
-              e
-          | Ok () ->
-              t.oc <- None;
-              release_lock t.path;
-              protect_io (fun () -> close_out oc)))
+  let result =
+    locked t (fun () ->
+        match t.oc with
+        | None -> None
+        | Some oc -> (
+            match sync_locked t with
+            | Error _ as e ->
+                close_out_noerr oc;
+                t.oc <- None;
+                Some e
+            | Ok () ->
+                t.oc <- None;
+                Some (protect_io (fun () -> close_out oc))))
+  in
+  match result with
+  | None -> Ok ()
+  | Some r ->
+      release_lock t.path;
+      r
 
 (* --- inspection ---------------------------------------------------- *)
 

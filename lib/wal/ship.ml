@@ -47,13 +47,13 @@ type t = {
   (* Guards seq/buffer_rev/sealed_seq/followers: the tee fires on the
      appending domain while a background shipping domain drains the
      same state. Push network I/O happens outside the lock, so an
-     in-flight ship round never stalls an append. *)
-  lock : Mutex.t;
+     in-flight ship round never stalls an append; sealing a full
+     buffer writes the segment inside it by design (the class is
+     io_ok in Si_check.Hierarchy). *)
+  lock : Si_check.Lock.t;
 }
 
-let with_lock t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let with_lock t f = Si_check.Lock.with_lock t.lock f
 
 let term t = t.term
 let seq t = t.seq
@@ -80,8 +80,9 @@ let seal_buffer t =
   | buffered -> (
       let payloads = List.rev_map snd buffered in
       match
-        Segment.seal ~dir:t.archive ~term:t.term ~first:(t.sealed_seq + 1)
-          payloads
+        Si_check.blocking ~kind:"file-write" (fun () ->
+            Segment.seal ~dir:t.archive ~term:t.term ~first:(t.sealed_seq + 1)
+              payloads)
       with
       | Error e ->
           if t.trouble = None then t.trouble <- Some e;
@@ -145,7 +146,7 @@ let create ?(segment_records = 256) ?term:want_term ?seq:want_seq ~archive log
                     trouble = None;
                     cache = None;
                     notify = None;
-                    lock = Mutex.create ();
+                    lock = Si_check.Lock.create ~class_:"wal.ship";
                   }
                 in
                 Log.set_tee log (Some (on_append t));

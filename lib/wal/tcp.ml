@@ -9,7 +9,10 @@
 
 let frame_limit = 1 lsl 26 (* 64 MiB: no legitimate frame is bigger *)
 
+(* Socket reads/writes are classified blocking operations: performing
+   one while holding a non-io_ok lock is a sanitizer violation. *)
 let really_read fd n =
+  Si_check.blocking ~kind:"socket" @@ fun () ->
   let buf = Bytes.create n in
   let rec go off =
     if off = n then Ok (Bytes.to_string buf)
@@ -22,6 +25,7 @@ let really_read fd n =
   go 0
 
 let really_write fd s =
+  Si_check.blocking ~kind:"socket" @@ fun () ->
   let buf = Bytes.of_string s in
   let n = Bytes.length buf in
   let rec go off =
@@ -123,6 +127,7 @@ let shutdown s =
 type client = { fd : Unix.file_descr; mutable live : bool }
 
 let connect ?(addr = "127.0.0.1") ~port () =
+  Si_check.blocking ~kind:"socket" @@ fun () ->
   try
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));

@@ -4,7 +4,7 @@
    the shipper expects — and shutdown wakes both sides. *)
 
 type server = {
-  mu : Mutex.t;
+  mu : Si_check.Lock.t;
   cond : Condition.t;
   mutable req : string option;
   mutable resp : string option;
@@ -15,7 +15,7 @@ type server = {
 let serve handler =
   let s =
     {
-      mu = Mutex.create ();
+      mu = Si_check.Lock.create ~class_:"wal.transport.local";
       cond = Condition.create ();
       req = None;
       resp = None;
@@ -24,22 +24,22 @@ let serve handler =
     }
   in
   let rec loop () =
-    Mutex.lock s.mu;
+    Si_check.Lock.lock s.mu;
     while s.req = None && not s.stop do
-      Condition.wait s.cond s.mu
+      Si_check.Lock.wait s.cond s.mu
     done;
-    if s.stop then Mutex.unlock s.mu
+    if s.stop then Si_check.Lock.unlock s.mu
     else begin
       let frame = Option.get s.req in
       s.req <- None;
-      Mutex.unlock s.mu;
+      Si_check.Lock.unlock s.mu;
       (* The handler runs outside the lock: replica state is only ever
          touched from this domain. *)
       let reply = handler frame in
-      Mutex.lock s.mu;
+      Si_check.Lock.lock s.mu;
       s.resp <- Some reply;
       Condition.broadcast s.cond;
-      Mutex.unlock s.mu;
+      Si_check.Lock.unlock s.mu;
       loop ()
     end
   in
@@ -47,22 +47,22 @@ let serve handler =
   s
 
 let send s frame =
-  Mutex.lock s.mu;
+  Si_check.Lock.lock s.mu;
   let finish r =
-    Mutex.unlock s.mu;
+    Si_check.Lock.unlock s.mu;
     r
   in
   if s.stop then finish (Error "local transport: server stopped")
   else begin
     while (s.req <> None || s.resp <> None) && not s.stop do
-      Condition.wait s.cond s.mu
+      Si_check.Lock.wait s.cond s.mu
     done;
     if s.stop then finish (Error "local transport: server stopped")
     else begin
       s.req <- Some frame;
       Condition.broadcast s.cond;
       while s.resp = None && not s.stop do
-        Condition.wait s.cond s.mu
+        Si_check.Lock.wait s.cond s.mu
       done;
       match s.resp with
       | Some reply ->
@@ -76,10 +76,10 @@ let send s frame =
 let transport s frame = send s frame
 
 let shutdown s =
-  Mutex.lock s.mu;
+  Si_check.Lock.lock s.mu;
   s.stop <- true;
   Condition.broadcast s.cond;
-  Mutex.unlock s.mu;
+  Si_check.Lock.unlock s.mu;
   match s.domain with
   | None -> ()
   | Some d ->

@@ -254,6 +254,22 @@ second run reports the same state:
   $ slimpad lint --json ws5 | grep -c '"code"'
   2
 
+An atomic save interrupted between write and rename leaves a ".si-tmp"
+orphan behind. Loaders ignore it, so nothing ever deletes it; the
+linter flags it (SL307) and `--fix` is the mechanical repair:
+
+  $ slimpad init ws7 --scenario icu --seed 7 > /dev/null
+  $ touch ws7/pad.xml.si-tmp
+  $ slimpad lint ws7
+  SL307 warning orphan-temp-file: pad.xml.si-tmp was left by an interrupted atomic save; loaders ignore it, and --fix deletes it  [file ws7/pad.xml.si-tmp]
+  0 error(s), 1 warning(s), 0 info
+  $ slimpad lint --fix ws7
+  no diagnostics
+  fixed: removed 0 orphaned layout triple(s), dropped 0 duplicate triple(s), deleted 1 orphaned temp file(s)
+  $ ls ws7 | grep -c 'si-tmp'
+  0
+  [1]
+
 Observability: every invocation counts its hot-path operations.
 `stats` appends the nonzero counters to the workspace summary, and
 `stats --json` emits one machine-readable document holding both:

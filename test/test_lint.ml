@@ -492,6 +492,37 @@ let test_wal_binary_snapshot_bad_rows () =
   let diags = Si_lint.run (wal_only path) in
   only_code "SL304" diags
 
+(* ----------------------------------------------------- SL307 hygiene *)
+
+let test_orphan_temp_file () =
+  let wal = temp_wal "pad.wal" in
+  let dir = Filename.dirname wal in
+  let orphan = Filename.concat dir "pad.xml.si-tmp" in
+  let oc = open_out orphan in
+  output_string oc "<half a store";
+  close_out oc;
+  let c = Si_lint.context ~workspace:dir () in
+  let diags = Si_lint.run c in
+  check_int "one diagnostic" 1 (List.length diags);
+  let d = List.hd diags in
+  check "code" "SL307" d.Si_lint.code;
+  check_bool "warning" true (d.Si_lint.severity = Si_lint.Warning);
+  check_bool "fixable" true d.Si_lint.fixable;
+  (* A bare-file target has no workspace to walk; the scan falls back
+     to the would-be temp of the store file itself. *)
+  let diags_file =
+    Si_lint.run (Si_lint.context ~store_file:(Filename.concat dir "pad.xml") ())
+  in
+  check_int "sibling fallback finds it too" 1 (List.length diags_file);
+  let report = ok (Si_lint.fix c diags) in
+  check_int "deleted" 1 report.Si_lint.removed_temp_files;
+  check_bool "gone from disk" true (not (Sys.file_exists orphan));
+  check_int "re-lint clean" 0 (List.length (Si_lint.run c));
+  (* Fixing the same diagnostics again: the file is already gone, and
+     that is success, not an error. *)
+  let report2 = ok (Si_lint.fix c diags) in
+  check_int "second fix is a no-op" 0 report2.Si_lint.removed_temp_files
+
 (* --------------------------------------------------------------- fixes *)
 
 let test_fix_removes_orphan_layout () =
@@ -695,6 +726,7 @@ let suite =
      test_wal_binary_snapshot_missing_section);
     ("SL304 binary rows undecodable", `Quick,
      test_wal_binary_snapshot_bad_rows);
+    ("SL307 orphan temp file", `Quick, test_orphan_temp_file);
     ("fix removes orphan layout triples", `Quick, test_fix_removes_orphan_layout);
     ("fix without a live store", `Quick, test_fix_nothing_without_dmi);
     ("fix is journaled and replays", `Quick, test_fix_journaled_replays_fixed);

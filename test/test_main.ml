@@ -25,4 +25,5 @@ let () =
       ("workload", Test_workload.suite);
       ("server", Test_server.suite);
       ("tui", Test_tui.suite);
+      ("check", Test_check.suite);
     ]
