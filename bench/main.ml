@@ -1424,6 +1424,77 @@ let check_overhead_tests () =
       (staged (enabled store_op));
   ]
 
+(* ------------------- E19: capture bundle throughput vs pad size *)
+
+(* Capture and apply over synthetic pads of 1k/10k/100k triples, with
+   and without base documents. Bases go through an in-memory reader (50
+   four-KB documents) so the group prices the bundle machinery — section
+   framing, CRCs, the compact triple codec — not the filesystem. Apply
+   targets a fresh pad per run; that pad's construction is part of the
+   restore path a migrating user actually pays. *)
+let bundle_tests () =
+  let module Slimpad = Si_slimpad.Slimpad in
+  let sizes = if !smoke then [ 1_000 ] else [ 1_000; 10_000; 100_000 ] in
+  let base_doc = String.make 4_096 'x' in
+  let bases ~kind:_ ~name = Ok (name, base_doc) in
+  List.concat_map
+    (fun n ->
+      let app = Slimpad.create (Desktop.create ()) in
+      Trim.add_all (Dmi.trim (Slimpad.dmi app)) (synthetic_triples n);
+      for i = 0 to 49 do
+        Manager.put_mark (Slimpad.marks app)
+          (Mark.make
+             ~id:(Printf.sprintf "m-%d" i)
+             ~mark_type:"text"
+             ~fields:[ ("fileName", Printf.sprintf "doc-%02d.txt" i) ]
+             ~excerpt:"cached excerpt" ())
+      done;
+      let plain, _ = Si_bundle.capture app in
+      let with_bases, _ = Si_bundle.capture ~bases app in
+      [
+        Test.make
+          ~name:(Printf.sprintf "capture:n=%d" n)
+          (staged (fun () -> ignore (Si_bundle.capture app)));
+        Test.make
+          ~name:(Printf.sprintf "capture+bases:n=%d" n)
+          (staged (fun () -> ignore (Si_bundle.capture ~bases app)));
+        Test.make
+          ~name:(Printf.sprintf "verify:n=%d" n)
+          (staged (fun () -> assert (Si_bundle.verify with_bases = [])));
+        Test.make
+          ~name:(Printf.sprintf "apply:n=%d" n)
+          (staged (fun () ->
+               let target = Slimpad.create (Desktop.create ()) in
+               ignore
+                 (Result.get_ok
+                    (Si_bundle.apply ~excerpts:true target plain))));
+      ])
+    sizes
+
+let bundle_size_report () =
+  let module Slimpad = Si_slimpad.Slimpad in
+  Printf.printf "\n-- E19 bundle bytes vs pad size --\n";
+  let base_doc = String.make 4_096 'x' in
+  let bases ~kind:_ ~name = Ok (name, base_doc) in
+  List.iter
+    (fun n ->
+      let app = Slimpad.create (Desktop.create ()) in
+      Trim.add_all (Dmi.trim (Slimpad.dmi app)) (synthetic_triples n);
+      for i = 0 to 49 do
+        Manager.put_mark (Slimpad.marks app)
+          (Mark.make
+             ~id:(Printf.sprintf "m-%d" i)
+             ~mark_type:"text"
+             ~fields:[ ("fileName", Printf.sprintf "doc-%02d.txt" i) ]
+             ~excerpt:"cached excerpt" ())
+      done;
+      let plain, _ = Si_bundle.capture app in
+      let full, _ = Si_bundle.capture ~bases app in
+      Printf.printf
+        "  n=%-8d bundle %9d B   +bases %9d B   (50 marks, 4 KiB docs)\n" n
+        (String.length plain) (String.length full))
+    (if !smoke then [ 1_000 ] else [ 1_000; 10_000; 100_000 ])
+
 (* ------------------------------------- --compare: regression gating *)
 
 (* Rebuild per-group latency distributions from two --json files using
@@ -1588,6 +1659,9 @@ let () =
     (check_overhead_tests ());
   Si_check.set_enabled false;
   Si_check.reset ();
+  run_group ~name:"E19 capture bundle (capture/verify/apply)"
+    (bundle_tests ());
+  bundle_size_report ();
   Si_obs.Span.disable ();
   ignore (Si_obs.Span.drain ());
   (match json_path with Some path -> write_json path | None -> ());

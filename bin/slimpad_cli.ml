@@ -759,15 +759,15 @@ let raw_triples_of_payload payload =
   | Ok root -> raw_triples_of_root root
 
 let lint_context_of_app ?raw_triples ?store_file ?wal_path ?archive
-    ?workspace app =
+    ?workspace ?bundle app =
   Si_lint.context ~dmi:(Slimpad.dmi app) ~marks:(Slimpad.marks app)
     ~resilient:(Slimpad.resilient app) ?raw_triples ?store_file ?wal_path
-    ?archive ?workspace ()
+    ?archive ?workspace ?bundle ()
 
 (* The read-only analysis context for a target; warnings (unloadable
    base documents, an unrestorable store) go to stderr but never stop
    the lint — WAL rules still run over whatever is on disk. *)
-let lint_context ?archive target =
+let lint_context ?archive ?bundle target =
   if Sys.file_exists target && not (Sys.is_directory target) then
     (* A bare pad store file. *)
     let desk = Desktop.create () in
@@ -775,11 +775,11 @@ let lint_context ?archive target =
     | Error msg ->
         Printf.eprintf "warning: %s: %s\n" target msg;
         Ok (Si_lint.context ?raw_triples:(raw_triples_of_file target)
-              ~store_file:target ?archive ())
+              ~store_file:target ?archive ?bundle ())
     | Ok app ->
         Ok (lint_context_of_app
               ?raw_triples:(raw_triples_of_file target)
-              ~store_file:target ?archive app)
+              ~store_file:target ?archive ?bundle app)
   else if Sys.file_exists target then begin
     let desk, problems = Workspace.load_desktop target in
     List.iter (Printf.eprintf "warning: %s\n") problems;
@@ -806,11 +806,11 @@ let lint_context ?archive target =
               Printf.eprintf "warning: %s\n" msg;
               Ok
                 (Si_lint.context ?raw_triples ~wal_path ?archive
-                   ~workspace:target ())
+                   ~workspace:target ?bundle ())
           | Ok (app, _) ->
               Ok
                 (lint_context_of_app ?raw_triples ~wal_path ?archive
-                   ~workspace:target app))
+                   ~workspace:target ?bundle app))
     else
       let store = Workspace.pad_store target in
       if not (Sys.file_exists store) then
@@ -820,11 +820,11 @@ let lint_context ?archive target =
         | Error msg ->
             Printf.eprintf "warning: %s: %s\n" store msg;
             Ok (Si_lint.context ?raw_triples:(raw_triples_of_file store)
-                  ~store_file:store ?archive ~workspace:target ())
+                  ~store_file:store ?archive ~workspace:target ?bundle ())
         | Ok app ->
             Ok (lint_context_of_app
                   ?raw_triples:(raw_triples_of_file store)
-                  ~store_file:store ?archive ~workspace:target app)
+                  ~store_file:store ?archive ~workspace:target ?bundle app)
   end
   else Error (Printf.sprintf "%s: no such file or directory" target)
 
@@ -869,7 +869,7 @@ let lint_apply_fixes target diags =
       | Error _ as e -> e
       | Ok report -> finish app report)
 
-let cmd_lint target json fix archive =
+let cmd_lint target json fix archive bundle =
   let print_report diags =
     if json then print_string (Si_lint.to_json diags)
     else print_string (Si_lint.to_text diags)
@@ -877,7 +877,16 @@ let cmd_lint target json fix archive =
   let exit_code diags =
     if Si_lint.count Si_lint.Error diags > 0 then 1 else 0
   in
-  match lint_context ?archive target with
+  (* --bundle alone verifies the artifact offline (SL308); with a
+     target, the bundle rides along in the same run. *)
+  let context () =
+    match (target, bundle) with
+    | Some target, _ -> lint_context ?archive ?bundle target
+    | None, Some _ -> Ok (Si_lint.context ?bundle ())
+    | None, None ->
+        Error "pass a TARGET (workspace or store file) or --bundle FILE"
+  in
+  match context () with
   | Error msg ->
       Printf.eprintf "error: %s\n" msg;
       1
@@ -887,33 +896,129 @@ let cmd_lint target json fix archive =
         print_report diags;
         exit_code diags
       end
-      else if not (List.exists (fun d -> d.Si_lint.fixable) diags) then begin
-        Printf.eprintf "nothing to fix\n";
-        print_report diags;
-        exit_code diags
-      end
       else
-        match lint_apply_fixes target diags with
-        | Error msg ->
-            Printf.eprintf "error: %s\n" msg;
-            1
-        | Ok report -> (
-            Printf.eprintf
-              "fixed: removed %d orphaned layout triple(s), dropped %d \
-               duplicate triple(s), deleted %d orphaned temp file(s)\n"
-              report.Si_lint.removed_layout_triples
-              report.Si_lint.duplicate_triples
-              report.Si_lint.removed_temp_files;
-            (* Re-lint from disk so the report reflects what the next
-               open will actually see. *)
-            match lint_context ?archive target with
+        match
+          if List.exists (fun d -> d.Si_lint.fixable) diags then target
+          else None
+        with
+        | None ->
+            Printf.eprintf "nothing to fix\n";
+            print_report diags;
+            exit_code diags
+        | Some target -> (
+            match lint_apply_fixes target diags with
             | Error msg ->
                 Printf.eprintf "error: %s\n" msg;
                 1
-            | Ok ctx ->
-                let diags = Si_lint.run ctx in
-                print_report diags;
-                exit_code diags))
+            | Ok report -> (
+                Printf.eprintf
+                  "fixed: removed %d orphaned layout triple(s), dropped %d \
+                   duplicate triple(s), deleted %d orphaned temp file(s)\n"
+                  report.Si_lint.removed_layout_triples
+                  report.Si_lint.duplicate_triples
+                  report.Si_lint.removed_temp_files;
+                (* Re-lint from disk so the report reflects what the next
+                   open will actually see. *)
+                match lint_context ?archive ?bundle target with
+                | Error msg ->
+                    Printf.eprintf "error: %s\n" msg;
+                    1
+                | Ok ctx ->
+                    let diags = Si_lint.run ctx in
+                    print_report diags;
+                    exit_code diags)))
+
+(* --------------------------------------------------------------- bundles *)
+
+let print_problems problems =
+  List.iter
+    (fun p -> Printf.printf "  problem: %s\n" (Si_bundle.problem_to_string p))
+    problems
+
+(* Greedy by design: per-document read failures land in the report, the
+   artifact is still written, and the exit code stays 0 — a partially
+   captured bundle beats no bundle (paper §5: the superimposed layer
+   outlives its bases). *)
+let cmd_capture dir out with_bases =
+  with_workspace dir (fun app ->
+      let bases =
+        if with_bases then Some (Si_bundle.Layout.reader ~dir) else None
+      in
+      match Si_bundle.capture_to_file ~workspace_id:dir ?bases app ~path:out
+      with
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          1
+      | Ok report ->
+          Printf.printf
+            "captured %d triple(s), %d mark(s), %d base document(s) to %s\n"
+            report.Si_bundle.captured_triples report.Si_bundle.captured_marks
+            report.Si_bundle.captured_bases out;
+          print_problems report.Si_bundle.capture_problems;
+          Printf.printf "content digest %s\n" (Si_bundle.app_digest app);
+          0)
+
+(* The import gate [--strict] rides on: load the bundle's content into a
+   scratch pad and run the full lint catalog over it before the real
+   workspace is touched at all. *)
+let bundle_preflight bytes =
+  match Slimpad.of_snapshot_bytes (Desktop.create ()) bytes with
+  | Error e -> Error ("bundle does not load: " ^ e)
+  | Ok scratch ->
+      let ctx =
+        Si_lint.context ~dmi:(Slimpad.dmi scratch)
+          ~marks:(Slimpad.marks scratch) ()
+      in
+      let errors = Si_lint.count Si_lint.Error (Si_lint.run ctx) in
+      if errors = 0 then Ok ()
+      else
+        Error
+          (Printf.sprintf "bundle is dirty: %d lint error(s); not applied"
+             errors)
+
+let cmd_apply dir file excerpts bases strict =
+  let fail msg =
+    Printf.eprintf "error: %s\n" msg;
+    1
+  in
+  match Si_bundle.read_file file with
+  | Error msg -> fail msg
+  | Ok bytes -> (
+      match if strict then bundle_preflight bytes else Ok () with
+      | Error msg -> fail msg
+      | Ok () ->
+          (if not (Sys.file_exists dir) then
+             try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+          with_workspace dir (fun app ->
+              let bases =
+                if bases then Some (Si_bundle.Layout.writer ~dir) else None
+              in
+              match Si_bundle.apply ~excerpts ?bases app bytes with
+              | Error msg -> fail msg
+              | Ok report ->
+                  Printf.printf
+                    "applied %d triple(s) (%d already present), %d mark(s) \
+                     (%d already present)\n"
+                    report.Si_bundle.added_triples
+                    report.Si_bundle.skipped_triples
+                    report.Si_bundle.installed_marks
+                    report.Si_bundle.skipped_marks;
+                  if report.Si_bundle.restored_excerpts > 0 then
+                    Printf.printf "restored %d cached excerpt(s)\n"
+                      report.Si_bundle.restored_excerpts;
+                  if
+                    report.Si_bundle.restored_bases > 0
+                    || report.Si_bundle.skipped_bases > 0
+                  then
+                    Printf.printf
+                      "restored %d base document(s) (%d already present)\n"
+                      report.Si_bundle.restored_bases
+                      report.Si_bundle.skipped_bases;
+                  print_problems report.Si_bundle.apply_problems;
+                  saved dir app (fun () ->
+                      Printf.printf "content digest %s\n"
+                        (Si_bundle.app_digest app);
+                      0)))
 
 (* ------------------------------------------------------------ replication *)
 
@@ -933,16 +1038,19 @@ let split_endpoint s =
       | Some p -> Ok ((if host = "" then "127.0.0.1" else host), p)
       | None -> bad ())
 
-let open_workspace_replica dir =
+let open_workspace_replica ?bootstrap dir =
+  (* A bootstrapped follower usually starts from nothing at all. *)
+  (if bootstrap <> None && not (Sys.file_exists dir) then
+     try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
   let desk, problems = Workspace.load_desktop dir in
   List.iter (Printf.eprintf "warning: %s\n") problems;
-  Slimpad.open_replica desk (Workspace.wal_path dir)
+  Slimpad.open_replica ?bootstrap desk (Workspace.wal_path dir)
 
 (* Follower mode: serve the replica protocol over a socket until SIGINT
    (or, with --until-seq, until the applied prefix reaches the target —
    how a script waits for catch-up). *)
-let serve_replica dir port until_seq =
-  match open_workspace_replica dir with
+let serve_replica ?bootstrap dir port until_seq =
+  match open_workspace_replica ?bootstrap dir with
   | Error msg ->
       Printf.eprintf "error: %s\n" msg;
       1
@@ -1045,17 +1153,32 @@ let ship_round dir endpoints checkpoint =
                       lag;
                   finish (if lag > 0 then 1 else 0))))
 
-let cmd_replicate dir serve until_seq followers checkpoint =
-  match (serve, followers) with
-  | Some port, [] -> serve_replica dir port until_seq
-  | Some _, _ :: _ ->
-      Printf.eprintf "error: --serve and --to are mutually exclusive\n";
+let cmd_replicate dir serve until_seq followers checkpoint bootstrap =
+  let boot =
+    match bootstrap with
+    | None -> Ok None
+    | Some file -> Result.map Option.some (Si_bundle.read_file file)
+  in
+  match boot with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
       1
-  | None, [] ->
-      Printf.eprintf
-        "error: pass --serve PORT (follower) or --to HOST:PORT (leader)\n";
-      1
-  | None, endpoints -> ship_round dir endpoints checkpoint
+  | Ok bootstrap -> (
+      match (serve, followers) with
+      | Some port, [] -> serve_replica ?bootstrap dir port until_seq
+      | Some _, _ :: _ ->
+          Printf.eprintf "error: --serve and --to are mutually exclusive\n";
+          1
+      | None, [] ->
+          Printf.eprintf
+            "error: pass --serve PORT (follower) or --to HOST:PORT \
+             (leader)\n";
+          1
+      | None, _ when bootstrap <> None ->
+          Printf.eprintf
+            "error: --bootstrap is follower-side (needs --serve)\n";
+          1
+      | None, endpoints -> ship_round dir endpoints checkpoint)
 
 let cmd_promote dir =
   match open_workspace_replica dir with
@@ -1082,10 +1205,26 @@ let cmd_promote dir =
               Printf.eprintf "error: %s\n" msg;
               1))
 
-let cmd_restore dir at archive out =
+let cmd_restore dir at archive out from_bundle =
   let archive =
     Option.value archive ~default:(Workspace.archive_path dir)
   in
+  match
+    match from_bundle with
+    | None -> Ok ()
+    | Some file ->
+        Result.bind (Si_bundle.read_file file) (fun bytes ->
+            Result.map
+              (fun (b : Si_wal.Segment.base) ->
+                Printf.printf
+                  "installed %s as restore base (term %d, seq %d)\n" file
+                  b.Si_wal.Segment.base_term b.Si_wal.Segment.base_seq)
+              (Si_bundle.to_archive ~archive bytes))
+  with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok () ->
   let desk, problems = Workspace.load_desktop dir in
   List.iter (Printf.eprintf "warning: %s\n") problems;
   match Slimpad.restore_at desk ~archive ~at with
@@ -1214,7 +1353,14 @@ let cmd_serve dir endpoint workers max_lag replica_of =
                 closing 1
             | Ok follower -> (
                 let config =
-                  { Serve.default_config with addr; port; workers; max_lag }
+                  {
+                    Serve.default_config with
+                    addr;
+                    port;
+                    workers;
+                    max_lag;
+                    workspace = Some dir;
+                  }
                 in
                 match Serve.start ~config ?follower app with
                 | Error msg ->
@@ -1393,18 +1539,32 @@ let client_stats endpoint =
         0
     | _ -> unexpected ())
 
-let client_job endpoint kind count predicate interactive =
+let client_job endpoint kind count predicate bundle with_bases strict
+    interactive =
+  let bundle_path k =
+    match bundle with
+    | Some path -> Ok path
+    | None -> Error (Printf.sprintf "%s: --bundle FILE is required" k)
+  in
   let kind =
     match kind with
     | "compact" -> Ok Proto.Compact
     | "checkpoint" -> Ok Proto.Checkpoint
     | "lint" -> Ok Proto.Lint
     | "bulk-add" -> Ok (Proto.Bulk_add { count; predicate })
+    | "capture" ->
+        Result.map
+          (fun path -> Proto.Capture { path; with_bases })
+          (bundle_path "capture")
+    | "apply" ->
+        Result.map
+          (fun path -> Proto.Apply { path; strict })
+          (bundle_path "apply")
     | k ->
         Error
           (Printf.sprintf
              "unknown job kind %S (one of compact, checkpoint, lint, \
-              bulk-add)"
+              bulk-add, capture, apply)"
              k)
   in
   match kind with
@@ -1756,8 +1916,9 @@ let history_cmd =
 
 let lint_cmd =
   let target =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET"
-         ~doc:"Workspace directory, or a bare pad store file (a pad.xml).")
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"TARGET"
+         ~doc:"Workspace directory, or a bare pad store file (a pad.xml); \
+               optional when --bundle is given.")
   in
   let json =
     Arg.(value & flag & info [ "json" ]
@@ -1774,11 +1935,72 @@ let lint_cmd =
          ~doc:"Shipping archive directory to verify offline (SL306); \
                default: the workspace's pad.archive when present.")
   in
+  let bundle =
+    Arg.(value & opt (some string) None & info [ "bundle" ] ~docv:"FILE"
+         ~doc:"Capture bundle to verify offline (SL308: container \
+               framing, section CRCs, schema version, dangling \
+               excerpts); works with or without a TARGET.")
+  in
   Cmd.v
     (Cmd.info "lint"
-       ~doc:"Static analysis of the store, marks, write-ahead log, and \
-             shipping archive (read-only unless --fix)")
-    Term.(const cmd_lint $ target $ json $ fix $ archive)
+       ~doc:"Static analysis of the store, marks, write-ahead log, \
+             shipping archive, and capture bundles (read-only unless \
+             --fix)")
+    Term.(const cmd_lint $ target $ json $ fix $ archive $ bundle)
+
+let capture_cmd =
+  let out =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ]
+         ~docv:"FILE" ~doc:"Where to write the bundle artifact.")
+  in
+  let with_bases =
+    Arg.(value & flag & info [ "with-bases" ]
+         ~doc:"Also pack every base document some mark addresses; a \
+               document that fails to read becomes a report problem, \
+               never an abort.")
+  in
+  Cmd.v
+    (Cmd.info "capture"
+       ~doc:"Package the workspace — triples, metamodel, marks, cached \
+             excerpts, optionally base documents — into one portable, \
+             CRC-framed bundle file")
+    Term.(const cmd_capture $ dir_arg $ out $ with_bases)
+
+let apply_cmd =
+  (* Not [dir_arg]: applying into a directory that does not exist yet is
+     the migration path (the bundle recreates the workspace), so the
+     converter must not insist on an existing directory. *)
+  let target_dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+         ~doc:"Workspace directory (created when missing).")
+  in
+  let file =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"BUNDLE"
+         ~doc:"The bundle file to install.")
+  in
+  let excerpts =
+    Arg.(value & flag & info [ "excerpts" ]
+         ~doc:"Restore the bundle's cached excerpts onto installed marks \
+               (default: marks install blank and re-resolve from base \
+               documents on demand).")
+  in
+  let bases =
+    Arg.(value & flag & info [ "bases" ]
+         ~doc:"Restore captured base documents into the workspace \
+               (existing files are never overwritten).")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ]
+         ~doc:"Lint the bundle's content in a scratch pad first and \
+               refuse to apply when any error-severity diagnostic \
+               fires.")
+  in
+  Cmd.v
+    (Cmd.info "apply"
+       ~doc:"Install a capture bundle into the workspace: install-only \
+             (nothing overwritten), journaled when the workspace has a \
+             WAL, per-mark failures never block the rest")
+    Term.(const cmd_apply $ target_dir $ file $ excerpts $ bases $ strict)
 
 let wal_enable_cmd =
   Cmd.v
@@ -1820,12 +2042,19 @@ let replicate_cmd =
          ~doc:"After shipping, seal the open segment and cut a fresh base \
                snapshot — a complete restore point in the archive.")
   in
+  let bootstrap =
+    Arg.(value & opt (some string) None & info [ "bootstrap" ] ~docv:"FILE"
+         ~doc:"With --serve: seed a fresh replica from a capture bundle \
+               before serving — it starts at the bundle's replication \
+               watermark instead of replaying from seq 1. Refused when \
+               the replica already has history.")
+  in
   Cmd.v
     (Cmd.info "replicate"
        ~doc:"WAL shipping over sockets: lead (--to, one push round per \
              invocation, archive in pad.archive) or follow (--serve)")
     Term.(const cmd_replicate $ dir_arg $ serve $ until_seq $ followers
-          $ checkpoint)
+          $ checkpoint $ bootstrap)
 
 let promote_cmd =
   Cmd.v
@@ -1850,12 +2079,19 @@ let restore_cmd =
          ~doc:"Write the restored store as DIR/pad.xml (DIR is created \
                when missing); default: report only.")
   in
+  let from_bundle =
+    Arg.(value & opt (some string) None
+         & info [ "from-bundle" ] ~docv:"FILE"
+             ~doc:"First install the capture bundle into the archive as a \
+                   base snapshot at its replication watermark; the restore \
+                   then treats it like any leader-cut base.")
+  in
   Cmd.v
     (Cmd.info "restore"
        ~doc:"Point-in-time recovery: rebuild the store exactly as it was \
              at --at SEQ from the shipping archive's base snapshots and \
              sealed segments")
-    Term.(const cmd_restore $ dir_arg $ at $ archive $ out)
+    Term.(const cmd_restore $ dir_arg $ at $ archive $ out $ from_bundle)
 
 let crash_matrix_cmd =
   let dir =
@@ -2017,7 +2253,8 @@ let client_cmd =
   let job =
     let kind =
       Arg.(required & pos 0 (some string) None & info [] ~docv:"KIND"
-           ~doc:"One of compact, checkpoint, lint, bulk-add.")
+           ~doc:"One of compact, checkpoint, lint, bulk-add, capture, \
+                 apply.")
     in
     let count =
       Arg.(value & opt int 1024 & info [ "count" ] ~docv:"N"
@@ -2026,6 +2263,19 @@ let client_cmd =
     let predicate =
       Arg.(value & opt string "bulkgen" & info [ "predicate" ] ~docv:"NAME"
            ~doc:"bulk-add: predicate for the generated triples.")
+    in
+    let bundle =
+      Arg.(value & opt (some string) None & info [ "bundle" ] ~docv:"FILE"
+           ~doc:"capture/apply: the bundle file on the server's \
+                 filesystem.")
+    in
+    let with_bases =
+      Arg.(value & flag & info [ "with-bases" ]
+           ~doc:"capture: pack base documents from the served workspace.")
+    in
+    let strict =
+      Arg.(value & flag & info [ "strict" ]
+           ~doc:"apply: refuse a bundle whose content lints with errors.")
     in
     let interactive =
       Arg.(value & flag & info [ "interactive" ]
@@ -2036,7 +2286,7 @@ let client_cmd =
          ~doc:"Submit a background job (bounded queue: a full one \
                answers Overloaded)")
       Term.(const client_job $ endpoint $ kind $ count $ predicate
-            $ interactive)
+            $ bundle $ with_bases $ strict $ interactive)
   in
   let job_status =
     let id = Arg.(required & pos 0 (some int) None & info [] ~docv:"ID") in
@@ -2192,6 +2442,7 @@ let main =
       query_cmd; validate_cmd; lint_cmd; stats_cmd; trace_cmd; health_cmd;
       history_cmd; model_cmd;
       import_cmd; export_html_cmd; template_cmd; instantiate_cmd;
+      capture_cmd; apply_cmd;
       wal_enable_cmd; wal_inspect_cmd; wal_compact_cmd;
       replicate_cmd; promote_cmd; restore_cmd; crash_matrix_cmd;
       serve_cmd; client_cmd; archive_prune_cmd; check_cmd;

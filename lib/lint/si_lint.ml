@@ -57,10 +57,11 @@ type context = {
   wal_path : string option;
   archive : string option;
   workspace : string option;
+  bundle : string option;
 }
 
 let context ?dmi ?marks ?resilient ?raw_triples ?store_file ?wal_path
-    ?archive ?workspace () =
+    ?archive ?workspace ?bundle () =
   {
     dmi;
     marks;
@@ -70,6 +71,7 @@ let context ?dmi ?marks ?resilient ?raw_triples ?store_file ?wal_path
     wal_path;
     archive;
     workspace;
+    bundle;
   }
 
 type rule = {
@@ -990,6 +992,39 @@ let rule_orphan_temp =
   in
   rule
 
+(* Offline verification of a capture bundle, from its bytes alone: the
+   engine is {!Si_bundle.verify} (container magic and section CRCs,
+   schema-version range, section decodability, excerpt entries naming
+   marks the bundle does not carry); this rule maps its problems onto
+   diagnostics so `slimpad lint --bundle <file>` reads like any other
+   lint pass. *)
+
+let rule_bundle =
+  let rec rule =
+    {
+      code = "SL308";
+      rule_name = "bundle-malformed";
+      rule_severity = Error;
+      synopsis =
+        "capture-bundle damage (magic, section CRCs, schema version, \
+         dangling excerpts)";
+      check =
+        (fun ctx ->
+          match ctx.bundle with
+          | None -> []
+          | Some path -> (
+              match Si_bundle.read_file path with
+              | Error e -> [ diag rule ~provenance:(In_file path) e ]
+              | Ok bytes ->
+                  List.map
+                    (fun p ->
+                      diag rule ~provenance:(In_file path)
+                        (Si_bundle.problem_to_string p))
+                    (Si_bundle.verify bytes)));
+    }
+  in
+  rule
+
 (* ------------------------------------------------------------- registry *)
 
 let builtin_rules =
@@ -1013,6 +1048,7 @@ let builtin_rules =
     rule_wal_binary_snapshot;
     rule_wal_archive;
     rule_orphan_temp;
+    rule_bundle;
   ]
 
 let registry = ref builtin_rules

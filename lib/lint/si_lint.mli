@@ -84,7 +84,15 @@
     - [SL307] [orphan-temp-file] (warning, fixable) — a [".si-tmp"]
       file left by an atomic save interrupted between write and
       rename. Loaders ignore the suffix, so the orphan is harmless but
-      permanent; {!fix} deletes it. *)
+      permanent; {!fix} deletes it.
+
+    Capture bundles (offline, from the artifact's bytes alone):
+    - [SL308] [bundle-malformed] (error) — capture-bundle damage
+      verified by [Si_bundle.verify]: container magic/framing/section
+      CRCs, a schema version outside the supported range, undecodable
+      triple/mark/excerpt/report/base sections, an unsafe base file
+      name, or a cached excerpt referring to a mark the bundle does
+      not carry. *)
 
 type severity = Error | Warning | Info
 
@@ -128,6 +136,7 @@ val context :
   ?wal_path:string ->
   ?archive:string ->
   ?workspace:string ->
+  ?bundle:string ->
   unit ->
   context
 (** [dmi] supplies the live store (triple, metamodel, and slimpad
@@ -138,7 +147,8 @@ val context :
     write-ahead log to verify offline; [archive] the shipping archive
     directory for [SL306]; [workspace] the workspace directory [SL307]
     scans for orphaned temp files (without it, the scan falls back to
-    the would-be temps of [store_file] and [wal_path]). *)
+    the would-be temps of [store_file] and [wal_path]); [bundle] a
+    capture-bundle file [SL308] verifies offline. *)
 
 (** {1 Rules}
 

@@ -23,6 +23,8 @@ type job_kind =
   | Checkpoint
   | Lint
   | Bulk_add of { count : int; predicate : string }
+  | Capture of { path : string; with_bases : bool }
+  | Apply of { path : string; strict : bool }
 
 type request =
   | Ping
@@ -84,6 +86,10 @@ let kind_fields = function
   | Lint -> [ "lint" ]
   | Bulk_add { count; predicate } ->
       [ "bulk-add"; string_of_int count; predicate ]
+  | Capture { path; with_bases } ->
+      [ "capture"; path; (if with_bases then "b" else "-") ]
+  | Apply { path; strict } ->
+      [ "apply"; path; (if strict then "s" else "-") ]
 
 let request_fields = function
   | Ping -> [ "ping" ]
@@ -175,6 +181,16 @@ let kind_of = function
       match int_of_string_opt count with
       | Some count when count >= 0 -> Ok (Bulk_add { count; predicate })
       | _ -> Error "bulk-add: bad count")
+  | [ "capture"; path; flag ] -> (
+      match flag with
+      | "b" -> Ok (Capture { path; with_bases = true })
+      | "-" -> Ok (Capture { path; with_bases = false })
+      | _ -> Error "capture: bad bases flag")
+  | [ "apply"; path; flag ] -> (
+      match flag with
+      | "s" -> Ok (Apply { path; strict = true })
+      | "-" -> Ok (Apply { path; strict = false })
+      | _ -> Error "apply: bad strict flag")
   | _ -> Error "bad job kind"
 
 let request_of = function

@@ -31,6 +31,15 @@ type job_kind =
   | Bulk_add of { count : int; predicate : string }
       (** Bulk import: [count] generated triples under [predicate],
           written in small batches so interactive writes interleave. *)
+  | Capture of { path : string; with_bases : bool }
+      (** Write a capture bundle of the served pad to [path] on the
+          server's filesystem ([Si_bundle.capture_to_file]);
+          [with_bases] packs base documents when the server has a
+          workspace directory. *)
+  | Apply of { path : string; strict : bool }
+      (** Install the bundle at [path] into the served pad. [strict]
+          rejects a bundle whose content lints with errors before
+          touching the pad. *)
 
 type request =
   | Ping

@@ -38,6 +38,7 @@ type config = {
   pending_connections : int;
   job_capacity : int;
   max_lag : int;
+  workspace : string option;
 }
 
 let default_config =
@@ -48,6 +49,7 @@ let default_config =
     pending_connections = 64;
     job_capacity = 8;
     max_lag = 64;
+    workspace = None;
   }
 
 type job = { job_id : int; job_kind : Proto.job_kind }
@@ -180,6 +182,88 @@ let run_job t = function
           | Error _ as e -> e
       in
       go 0 0
+  | Proto.Capture { path; with_bases } ->
+      (* Under the writer lock so the artifact is one consistent cut of
+         the pad; the lock's class is io_ok, so writing the file inside
+         it is legitimate (same discipline as persist). *)
+      let bases =
+        match (with_bases, t.cfg.workspace) with
+        | true, Some dir -> Some (Si_bundle.Layout.reader ~dir)
+        | true, None | false, _ -> None
+      in
+      with_writer t (fun () ->
+          match
+            Si_bundle.capture_to_file
+              ?workspace_id:t.cfg.workspace ?bases t.leader ~path
+          with
+          | Error _ as e -> e
+          | Ok report ->
+              Ok
+                (Printf.sprintf
+                   "captured %d triple(s), %d mark(s), %d base(s), %d \
+                    problem(s)"
+                   report.Si_bundle.captured_triples
+                   report.Si_bundle.captured_marks
+                   report.Si_bundle.captured_bases
+                   (List.length report.Si_bundle.capture_problems)))
+  | Proto.Apply { path; strict } -> (
+      (* Pre-flight outside the writer lock: load the bundle into a
+         scratch pad and lint it, so a dirty bundle under [strict] is
+         refused before the leader is touched (and a long lint pass
+         never stalls interactive writes). *)
+      match Si_bundle.read_file path with
+      | Error _ as e -> e
+      | Ok bytes -> (
+          let preflight =
+            if not strict then Ok ()
+            else
+              match
+                Slimpad.of_snapshot_bytes (Si_mark.Desktop.create ()) bytes
+              with
+              | Error e -> Error ("bundle does not load: " ^ e)
+              | Ok scratch ->
+                  let ctx =
+                    Si_lint.context
+                      ~dmi:(Slimpad.dmi scratch)
+                      ~marks:(Slimpad.marks scratch)
+                      ()
+                  in
+                  let errors =
+                    Si_lint.count Si_lint.Error (Si_lint.run ctx)
+                  in
+                  if errors = 0 then Ok ()
+                  else
+                    Error
+                      (Printf.sprintf
+                         "bundle is dirty: %d lint error(s); not applied"
+                         errors)
+          in
+          match preflight with
+          | Error _ as e -> e
+          | Ok () ->
+              let bases =
+                Option.map
+                  (fun dir -> Si_bundle.Layout.writer ~dir)
+                  t.cfg.workspace
+              in
+              with_writer t (fun () ->
+                  match Si_bundle.apply ?bases t.leader bytes with
+                  | Error _ as e -> e
+                  | Ok report -> (
+                      match persist t with
+                      | Error _ as e -> e
+                      | Ok () ->
+                          Ok
+                            (Printf.sprintf
+                               "applied %d triple(s) (%d present), %d \
+                                mark(s) (%d present), %d base(s), %d \
+                                problem(s)"
+                               report.Si_bundle.added_triples
+                               report.Si_bundle.skipped_triples
+                               report.Si_bundle.installed_marks
+                               report.Si_bundle.skipped_marks
+                               report.Si_bundle.restored_bases
+                               (List.length report.Si_bundle.apply_problems))))))
 
 let job_runner t =
   let rec go () =

@@ -30,11 +30,16 @@ type config = {
   job_capacity : int;  (** Background job queue bound per class. *)
   max_lag : int;
       (** Replica staleness bound (records) for read routing. *)
+  workspace : string option;
+      (** Workspace directory for capture/apply jobs: base documents
+          are read from and restored into it ({!Si_bundle.Layout}).
+          Without one, [Capture { with_bases = true }] packs no bases
+          and [Apply] restores none. *)
 }
 
 val default_config : config
 (** localhost, ephemeral port, 4 workers, 64 pending connections,
-    8 queued jobs, [max_lag] 64. *)
+    8 queued jobs, [max_lag] 64, no workspace. *)
 
 type t
 

@@ -871,6 +871,8 @@ let wal_close t =
 let shipper t = t.shipper
 let replica t = t.replica
 let snapshot_bytes t = binary_snapshot t
+let of_snapshot_bytes = app_of_snapshot
+let snapshot_meta = rep_meta_of_payload
 
 let start_shipping ?segment_records ?term ?(async = false) t ~archive =
   match wal_state_result t with
@@ -967,8 +969,8 @@ let attach_follower t ~name send =
 let detach_follower t name =
   match t.shipper with None -> () | Some sh -> Si_wal.Ship.detach sh name
 
-let open_replica ?store ?resilient ?wrap ?max_pending ?on_warning desktop
-    path =
+let open_replica ?store ?resilient ?wrap ?max_pending ?on_warning ?bootstrap
+    desktop path =
   (* Immediate sync: the replica acknowledges a record only after its
      local log flushed it, so an Ack means "durable here". *)
   match
@@ -991,8 +993,50 @@ let open_replica ?store ?resilient ?wrap ?max_pending ?on_warning desktop
                "wal at %s carries no replication metadata: it belongs to \
                 a standalone journaled pad, not a replica"
                path)
-      | _ ->
+      | _ -> (
           st.suppress <- true;
+          (* Bundle bootstrap: seed a {e fresh} replica from a snapshot
+             payload (a capture bundle is one — the container format is
+             shared), installing its state and stream watermark exactly
+             as a leader-pushed base would. The leader then ships only
+             records past the bundle's [(term, seq)], so a follower can
+             come up from a shipped file instead of a full catch-up. A
+             replica that already has history keeps it: bootstrapping
+             over an existing prefix would silently fork the stream. *)
+          let boot =
+            match bootstrap with
+            | None -> Ok ()
+            | Some _ when has_history ->
+                Error
+                  (Printf.sprintf
+                     "replica at %s already has history; refusing to \
+                      bootstrap over it"
+                     path)
+            | Some payload -> (
+                match
+                  app_of_snapshot ?store ?resilient ?wrap desktop payload
+                with
+                | Error e -> Error ("bootstrap: " ^ e)
+                | Ok fresh ->
+                    app.dmi <- fresh.dmi;
+                    app.marks <- fresh.marks;
+                    install_hooks app st;
+                    let term, seq =
+                      Option.value
+                        (rep_meta_of_payload payload)
+                        ~default:(0, 0)
+                    in
+                    Result.map
+                      (fun () -> app.rep_recovered <- Some (term, seq))
+                      (lift
+                         (Log.cut_snapshot st.log
+                            (snapshot_with_meta app (Some (term, seq))))))
+          in
+          match boot with
+          | Error e ->
+              ignore (wal_close app);
+              Error e
+          | Ok () ->
           let term, applied =
             match app.rep_recovered with
             | Some (tm, s) -> (tm, s + Log.record_count st.log)
@@ -1027,7 +1071,7 @@ let open_replica ?store ?resilient ?wrap ?max_pending ?on_warning desktop
               ~apply ~install ()
           in
           app.replica <- Some r;
-          Ok (app, recovery))
+          Ok (app, recovery)))
 
 let promote_replica ?segment_records t ~archive =
   match (t.replica, wal_state_result t) with

@@ -310,6 +310,7 @@ val open_replica :
   ?wrap:Si_mark.Desktop.opener_wrap ->
   ?max_pending:int ->
   ?on_warning:(string -> unit) ->
+  ?bootstrap:string ->
   Si_mark.Desktop.t -> string -> (t * wal_recovery, string) result
 (** Open (creating or resuming) a follower pad journaled at the given
     WAL path — always [Immediate] sync, so acknowledging a record means
@@ -318,7 +319,17 @@ val open_replica :
     gated by {!Si_wal.Replica.fresh_enough} for bounded staleness. The
     pad must not be mutated directly while following (hook-driven
     journaling is suspended); an existing WAL without replication
-    metadata is refused. *)
+    metadata is refused.
+
+    [bootstrap] seeds a {e fresh} replica from a snapshot payload — any
+    {!Si_wal.Binary} snapshot container, which a capture bundle
+    ([Si_bundle]) is — installing its state and its replication
+    [(term, seq)] watermark exactly as a leader-pushed base snapshot
+    would, so a follower comes up from a shipped file and the leader's
+    catch-up starts past the bundle's watermark. A payload without a
+    replication section bootstraps at [(0, 0)]. Refused when the
+    replica already has history: bootstrapping over an existing prefix
+    would fork the stream. *)
 
 val replica : t -> Si_wal.Replica.t option
 
@@ -346,6 +357,28 @@ val snapshot_bytes : t -> string
 (** The binary snapshot of the current state ({!Si_wal.Binary}
     container, no replication section) — what {!restore_at} should
     reproduce byte-for-byte at the corresponding cut point. *)
+
+val of_snapshot_bytes :
+  ?store:(module Si_triple.Store.S) ->
+  ?resilient:Si_mark.Resilient.t ->
+  ?wrap:Si_mark.Desktop.opener_wrap ->
+  Si_mark.Desktop.t -> string -> (t, string) result
+(** Rebuild an application from a snapshot payload — the exact decoder
+    recovery and replica installation use, so any {!Si_wal.Binary}
+    snapshot container (a WAL snapshot, an archive base, a capture
+    bundle) loads; unknown sections are ignored and a pre-binary XML
+    [<slimpad-store>] payload still parses. The result is [Whole_file]
+    with no hooks installed. *)
+
+val rep_meta : t -> (int * int) option
+(** The replication stream position [(term, seq)] to persist right
+    now: exact from a live shipper or replica, otherwise the recovered
+    basis advanced past every record appended since its snapshot.
+    [None] for a pad that never replicated. *)
+
+val snapshot_meta : string -> (int * int) option
+(** The replication [(term, seq)] watermark carried by a snapshot
+    payload's replication section, if any. *)
 
 (** {1 Observability}
 

@@ -121,6 +121,9 @@ let write_base ~dir ~term ~seq payload =
   | Error _ as e -> e
   | Ok () -> Ok { base_term = term; base_seq = seq; base_file = file }
 
+let import_base ~dir ~term ~seq payload =
+  Result.bind (ensure_dir dir) (fun () -> write_base ~dir ~term ~seq payload)
+
 (* --- reading ------------------------------------------------------- *)
 
 let header_err file detail = Error (Printf.sprintf "%s: %s" file detail)

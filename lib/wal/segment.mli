@@ -39,6 +39,15 @@ val seal :
 val write_base :
   dir:string -> term:int -> seq:int -> string -> (base, string) result
 
+val import_base :
+  dir:string -> term:int -> seq:int -> string -> (base, string) result
+(** Install an externally produced snapshot payload — e.g. a capture
+    bundle, whose container doubles as the snapshot-transfer format —
+    as a [base-<term>-<seq>.base] restore point, creating [dir] when
+    missing. {!index}/{!restore_plan} then treat it exactly like a
+    leader-cut base, so a workspace can be point-in-time restored (or
+    a follower bootstrapped) from a shipped file. *)
+
 val read : dir:string -> entry -> (string list, string) result
 (** Decode a segment's records, verifying magic, header-vs-name
     agreement, CRCs, and the record count. Any mismatch is an error —

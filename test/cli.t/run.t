@@ -305,3 +305,55 @@ span tree; --no-timings keeps the output reproducible:
   $ slimpad trace ws6 bogus
   error: unknown trace gesture "bogus" (one of open, query, resolve)
   [1]
+
+Capture bundles: `capture` packages a workspace — triples, metamodel,
+marks, cached excerpts, and (on request) the base documents — into one
+portable CRC-framed artifact. The printed content digest covers the
+superimposed content only, so it is the cross-machine identity of the
+pad:
+
+  $ slimpad init wsb --scenario icu --seed 7 > /dev/null
+  $ slimpad capture wsb -o pad.bundle --with-bases
+  captured 547 triple(s), 47 mark(s), 9 base document(s) to pad.bundle
+  content digest 5b080a1f56a3551c592c7c9a7a2fddbd
+
+The artifact verifies offline, without loading it into a pad (SL308):
+
+  $ slimpad lint --bundle pad.bundle
+  no diagnostics
+
+`apply` restores into a fresh directory — install-only, excerpt and
+base restore opt-in — and prints the same digest, which is how the
+cross-version CI gate asserts byte-identical content:
+
+  $ slimpad apply ws-restored pad.bundle --excerpts --bases --strict
+  applied 382 triple(s) (165 already present), 47 mark(s) (0 already present)
+  restored 47 cached excerpt(s)
+  restored 9 base document(s) (0 already present)
+  content digest 5b080a1f56a3551c592c7c9a7a2fddbd
+  $ ls ws-restored | grep -c 'note-0'
+  4
+
+Capture is greedy: a base document that fails to read becomes a report
+problem inside the artifact, never an abort — the exit code stays 0 and
+the superimposed content is still complete:
+
+  $ rm wsb/note-01.txt
+  $ slimpad capture wsb -o partial.bundle --with-bases
+  captured 547 triple(s), 47 mark(s), 8 base document(s) to partial.bundle
+    problem: text: note-01.txt: wsb/note-01.txt: No such file or directory
+  content digest 5b080a1f56a3551c592c7c9a7a2fddbd
+
+Apply is the opposite discipline — conservative. A flipped byte
+anywhere in the artifact trips a section CRC; the linter names the
+section, and `--strict` refuses before the target pad is touched:
+
+  $ dd if=pad.bundle of=damaged.bundle bs=1 count=$(($(wc -c < pad.bundle) - 3)) 2> /dev/null
+  $ printf '\377\377\377' >> damaged.bundle
+  $ slimpad lint --bundle damaged.bundle
+  SL308 error   bundle-malformed: container: header: section "base:xml:labs-04.xml" checksum mismatch (stored 6f5fe8c9, computed 9d09fc34)  [file damaged.bundle]
+  1 error(s), 0 warning(s), 0 info
+  [1]
+  $ slimpad apply ws2 damaged.bundle --strict
+  error: bundle does not load: binary snapshot: section "base:xml:labs-04.xml" checksum mismatch (stored 6f5fe8c9, computed 9d09fc34)
+  [1]

@@ -26,4 +26,5 @@ let () =
       ("server", Test_server.suite);
       ("tui", Test_tui.suite);
       ("check", Test_check.suite);
+      ("bundle", Test_bundle.suite);
     ]

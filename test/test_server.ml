@@ -70,6 +70,12 @@ let gen_job_kind =
         map2
           (fun count predicate -> Proto.Bulk_add { count; predicate })
           (int_range 0 10_000) gen_field;
+        map2
+          (fun path with_bases -> Proto.Capture { path; with_bases })
+          gen_field bool;
+        map2
+          (fun path strict -> Proto.Apply { path; strict })
+          gen_field bool;
       ])
 
 let gen_request =
@@ -179,6 +185,16 @@ let test_roundtrip_witnesses () =
       Proto.Submit { kind = Proto.Compact; priority = Proto.Interactive };
       Proto.Submit { kind = Proto.Checkpoint; priority = Proto.Bulk };
       Proto.Submit { kind = Proto.Lint; priority = Proto.Interactive };
+      Proto.Submit
+        {
+          kind = Proto.Capture { path = "/tmp/x.bundle"; with_bases = true };
+          priority = Proto.Bulk;
+        };
+      Proto.Submit
+        {
+          kind = Proto.Apply { path = "/tmp/x.bundle"; strict = true };
+          priority = Proto.Bulk;
+        };
       Proto.Job_status 7;
       Proto.Shutdown;
     ]
@@ -622,6 +638,75 @@ let test_bulk_import_interactive_latency () =
         = Proto.Count_is !n));
   Server.stop server
 
+(* Capture and apply run on the bulk job class: a client can pull a
+   portable bundle out of a live server and push one back in, with the
+   strict preflight refusing garbage before the pad is touched. *)
+let test_server_capture_apply_jobs () =
+  let server, app, dir = start_server () in
+  let path = Filename.concat dir "served.bundle" in
+  with_client server (fun c ->
+      for i = 1 to 20 do
+        check_bool "seed add" true
+          (req c "add"
+             (Proto.Add
+                (Triple.make
+                   (Printf.sprintf "s%d" i)
+                   "seeded" (Triple.Literal "x")))
+          = Proto.Ok_done)
+      done;
+      let submit kind =
+        match
+          req c "submit" (Proto.Submit { kind; priority = Proto.Bulk })
+        with
+        | Proto.Accepted id -> id
+        | r -> Alcotest.failf "submit: %s" (Proto.encode_response r)
+      in
+      let rec await id tries =
+        if tries > 500 then Alcotest.fail "job never finished"
+        else
+          match req c "job?" (Proto.Job_status id) with
+          | Proto.Job { state = Proto.Done summary; _ } -> Ok summary
+          | Proto.Job { state = Proto.Failed e; _ } -> Error e
+          | Proto.Job _ ->
+              Unix.sleepf 0.02;
+              await id (tries + 1)
+          | r -> Alcotest.failf "job?: %s" (Proto.encode_response r)
+      in
+      let summary =
+        match await (submit (Proto.Capture { path; with_bases = false })) 0 with
+        | Ok s -> s
+        | Error e -> Alcotest.failf "capture job failed: %s" e
+      in
+      check_bool "capture summary" true
+        (String.length summary >= 8 && String.sub summary 0 8 = "captured");
+      (* The artifact on disk is a verifiable cut of the served pad. *)
+      let bytes = sok "read bundle" (Si_bundle.read_file path) in
+      check_bool "artifact verifies clean" true (Si_bundle.verify bytes = []);
+      check_str "artifact digest matches the live pad"
+        (Si_bundle.app_digest app)
+        (sok "digest" (Si_bundle.content_digest bytes));
+      (* Applying the pad's own bundle back is a no-op install. *)
+      (match await (submit (Proto.Apply { path; strict = true })) 0 with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "apply job failed: %s" e);
+      check_bool "pad content unchanged" true
+        (req c "count"
+           (Proto.Count { Proto.any with p_predicate = Some "seeded" })
+        = Proto.Count_is 20);
+      (* A strict apply of garbage fails the job, typed, pad untouched. *)
+      let garbage = Filename.concat dir "garbage.bundle" in
+      let oc = open_out_bin garbage in
+      output_string oc "this is not a bundle";
+      close_out oc;
+      (match await (submit (Proto.Apply { path = garbage; strict = true })) 0 with
+      | Error _ -> ()
+      | Ok s -> Alcotest.failf "garbage apply succeeded: %s" s);
+      check_bool "pad survived the refusal" true
+        (req c "count"
+           (Proto.Count { Proto.any with p_predicate = Some "seeded" })
+        = Proto.Count_is 20));
+  Server.stop server
+
 let test_server_replica_routing () =
   let dir = scratch_dir () in
   let leader, _ =
@@ -739,6 +824,8 @@ let suite =
           test_server_jobs_and_overload;
         Alcotest.test_case "bulk import keeps interactive latency bounded"
           `Quick test_bulk_import_interactive_latency;
+        Alcotest.test_case "capture/apply bundle jobs" `Quick
+          test_server_capture_apply_jobs;
         Alcotest.test_case "replica-aware read routing" `Quick
           test_server_replica_routing;
         Alcotest.test_case "client-initiated shutdown" `Quick
